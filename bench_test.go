@@ -1,0 +1,539 @@
+// Benchmark harness: one benchmark per table/figure of the paper's
+// evaluation (see DESIGN.md's per-experiment index), plus ablation
+// benches for the design choices the paper fixes. Each benchmark
+// regenerates the figure's data series and reports the headline number
+// via b.ReportMetric, so `go test -bench=.` reproduces the evaluation.
+package netmaster_test
+
+import (
+	"sync"
+	"testing"
+
+	"netmaster"
+)
+
+// Shared fixtures, generated once outside the benchmark timers.
+var (
+	fixtureOnce sync.Once
+	benchCohort []*netmaster.Trace // 8-user motivation cohort, 21 days
+	benchVols   []*netmaster.Trace // 3-volunteer eval cohort, 14 days
+	benchHists  map[string]*netmaster.Trace
+	benchModel  *netmaster.PowerModel
+)
+
+func fixtures(b *testing.B) {
+	b.Helper()
+	fixtureOnce.Do(func() {
+		var err error
+		benchCohort, err = netmaster.GenerateCohort(netmaster.MotivationCohort(), 21)
+		if err != nil {
+			panic(err)
+		}
+		benchVols, err = netmaster.GenerateCohort(netmaster.EvalCohort(), 14)
+		if err != nil {
+			panic(err)
+		}
+		benchHists, err = netmaster.EvalHistories(14)
+		if err != nil {
+			panic(err)
+		}
+		benchModel = netmaster.Model3G()
+	})
+}
+
+// BenchmarkFig1aActivityDistribution regenerates Fig. 1(a): the
+// screen-on/screen-off split of network activities (paper: 40.98%
+// screen-off on average).
+func BenchmarkFig1aActivityDistribution(b *testing.B) {
+	fixtures(b)
+	var mean float64
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_, mean = netmaster.Fig1a(benchCohort)
+	}
+	b.ReportMetric(mean*100, "screen-off-%")
+}
+
+// BenchmarkFig1bBandwidthCDF regenerates Fig. 1(b): transfer-rate CDFs
+// (paper: 90% of screen-off transfers below 1 kB/s, screen-on below 5).
+func BenchmarkFig1bBandwidthCDF(b *testing.B) {
+	fixtures(b)
+	var offP90, onP90 float64
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		onCDF, offCDF := netmaster.Fig1b(benchCohort)
+		onP90 = onCDF.Quantile(0.9)
+		offP90 = offCDF.Quantile(0.9)
+	}
+	b.ReportMetric(offP90, "off-p90-kBps")
+	b.ReportMetric(onP90, "on-p90-kBps")
+}
+
+// BenchmarkFig2ScreenOnUtilization regenerates Fig. 2 (paper: 45.14%
+// average radio utilization of screen-on time).
+func BenchmarkFig2ScreenOnUtilization(b *testing.B) {
+	fixtures(b)
+	var mean float64
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_, mean = netmaster.Fig2(benchCohort)
+	}
+	b.ReportMetric(mean*100, "utilization-%")
+}
+
+// BenchmarkFig3CrossUserPearson regenerates Fig. 3 (paper: mean 0.1353).
+func BenchmarkFig3CrossUserPearson(b *testing.B) {
+	fixtures(b)
+	var mean float64
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_, mean = netmaster.Fig3(benchCohort)
+	}
+	b.ReportMetric(mean, "pearson")
+}
+
+// BenchmarkFig4IntraUserPearson regenerates Fig. 4: the day-by-day
+// Pearson matrix of the very regular user (paper: mean 0.8171).
+func BenchmarkFig4IntraUserPearson(b *testing.B) {
+	fixtures(b)
+	var mean float64
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		var err error
+		_, mean, err = netmaster.Fig4(benchCohort[3], 8)
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(mean, "pearson")
+}
+
+// BenchmarkFig5AppPattern regenerates Fig. 5: the one-week app usage
+// pattern of user 3 (paper: 8 of 23 apps network-active).
+func BenchmarkFig5AppPattern(b *testing.B) {
+	fixtures(b)
+	var apps int
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		rows, err := netmaster.Fig5(benchCohort[2], 7)
+		if err != nil {
+			b.Fatal(err)
+		}
+		apps = len(rows)
+	}
+	b.ReportMetric(float64(apps), "network-apps")
+}
+
+// fig7Rows runs the full Fig. 7 comparison once per iteration.
+func fig7Rows(b *testing.B) []netmaster.Fig7Row {
+	cfg := netmaster.DefaultFig7Config(benchModel)
+	cfg.Histories = benchHists
+	rows, err := netmaster.Fig7(benchVols, cfg)
+	if err != nil {
+		b.Fatal(err)
+	}
+	return rows
+}
+
+// BenchmarkFig7aEnergySaving regenerates Fig. 7(a): radio energy saving
+// of oracle / NetMaster / delay-and-batch (paper: NetMaster 77.8% mean).
+func BenchmarkFig7aEnergySaving(b *testing.B) {
+	fixtures(b)
+	var nmMean, oracleMean float64
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		rows := fig7Rows(b)
+		nmMean, oracleMean = 0, 0
+		for _, r := range rows {
+			nmMean += r.NetMasterSaving
+			oracleMean += r.OracleSaving
+		}
+		nmMean /= float64(len(rows))
+		oracleMean /= float64(len(rows))
+	}
+	b.ReportMetric(nmMean*100, "netmaster-saving-%")
+	b.ReportMetric(oracleMean*100, "oracle-saving-%")
+}
+
+// BenchmarkFig7bRadioOnTime regenerates Fig. 7(b): the share of default
+// radio-on time NetMaster turns off (paper: 75.39%).
+func BenchmarkFig7bRadioOnTime(b *testing.B) {
+	fixtures(b)
+	var offShare float64
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		rows := fig7Rows(b)
+		offShare = 0
+		for _, r := range rows {
+			offShare += r.RadioOffByNM
+		}
+		offShare /= float64(len(rows))
+	}
+	b.ReportMetric(offShare*100, "radio-off-%")
+}
+
+// BenchmarkFig7cBandwidthUtilization regenerates Fig. 7(c): average rate
+// multipliers (paper: 3.84× down, 2.63× up, peak ≈ 1×).
+func BenchmarkFig7cBandwidthUtilization(b *testing.B) {
+	fixtures(b)
+	var down, up, peak float64
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		rows := fig7Rows(b)
+		down, up, peak = 0, 0, 0
+		for _, r := range rows {
+			down += r.DownAvgIncrease
+			up += r.UpAvgIncrease
+			peak += r.DownPeakIncrease
+		}
+		n := float64(len(rows))
+		down, up, peak = down/n, up/n, peak/n
+	}
+	b.ReportMetric(down, "down-x")
+	b.ReportMetric(up, "up-x")
+	b.ReportMetric(peak, "peak-x")
+}
+
+// BenchmarkFig8DelaySweep regenerates Fig. 8: the delay-interval sweep
+// (paper @600 s: radio-on −36.7%, bandwidth +33.05%, energy −9.2%,
+// affected >40%).
+func BenchmarkFig8DelaySweep(b *testing.B) {
+	fixtures(b)
+	var last netmaster.Fig8Row
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		rows, err := netmaster.Fig8(benchVols, benchModel, []netmaster.Duration{0, 10, 60, 300, 600})
+		if err != nil {
+			b.Fatal(err)
+		}
+		last = rows[len(rows)-1]
+	}
+	b.ReportMetric(last.EnergySaving*100, "energy-saving-%@600s")
+	b.ReportMetric(last.AffectedShare*100, "affected-%@600s")
+}
+
+// BenchmarkFig9BatchSweep regenerates Fig. 9: the batch-size sweep
+// (paper: gains plateau past 5 aggregated transfers).
+func BenchmarkFig9BatchSweep(b *testing.B) {
+	fixtures(b)
+	var at5, at10 float64
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		rows, err := netmaster.Fig9(benchVols, benchModel, []int{0, 2, 5, 10})
+		if err != nil {
+			b.Fatal(err)
+		}
+		at5, at10 = rows[2].EnergySaving, rows[3].EnergySaving
+	}
+	b.ReportMetric(at5*100, "saving-%@5")
+	b.ReportMetric(at10*100, "saving-%@10")
+}
+
+// BenchmarkFig10aSleepIntervals regenerates Fig. 10(a): radio-on fraction
+// versus wake-up count for the paper's sleep intervals.
+func BenchmarkFig10aSleepIntervals(b *testing.B) {
+	var frac float64
+	for i := 0; i < b.N; i++ {
+		series := netmaster.Fig10a([]netmaster.Duration{5, 10, 20, 30, 120, 360}, 5, 20)
+		frac = series[3].Fraction[19] // sleep 30 s after 20 wake-ups
+	}
+	b.ReportMetric(frac, "radio-on-fraction")
+}
+
+// BenchmarkFig10bSleepSchemes regenerates Fig. 10(b): cumulative wake-ups
+// of exponential vs fixed vs random sleep over 30 minutes.
+func BenchmarkFig10bSleepSchemes(b *testing.B) {
+	var expWakes, fixedWakes int
+	for i := 0; i < b.N; i++ {
+		series, err := netmaster.Fig10b(10, 30*netmaster.Minute, 5, 42)
+		if err != nil {
+			b.Fatal(err)
+		}
+		for _, s := range series {
+			switch s.Scheme {
+			case "exponential":
+				expWakes = s.Minutes[len(s.Minutes)-1]
+			case "fixed":
+				fixedWakes = s.Minutes[len(s.Minutes)-1]
+			}
+		}
+	}
+	b.ReportMetric(float64(expWakes), "exp-wakes")
+	b.ReportMetric(float64(fixedWakes), "fixed-wakes")
+}
+
+// BenchmarkFig10cThresholdSweep regenerates Fig. 10(c): prediction
+// accuracy versus scheduler-attributed saving across δ.
+func BenchmarkFig10cThresholdSweep(b *testing.B) {
+	fixtures(b)
+	cfg := netmaster.DefaultNetMasterConfig(benchModel)
+	var accLow, accHigh float64
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		rows, err := netmaster.Fig10c(benchVols[:1], cfg, benchHists, benchModel, []float64{0.1, 0.4})
+		if err != nil {
+			b.Fatal(err)
+		}
+		accLow, accHigh = rows[0].Accuracy, rows[1].Accuracy
+	}
+	b.ReportMetric(accLow*100, "accuracy-%@0.1")
+	b.ReportMetric(accHigh*100, "accuracy-%@0.4")
+}
+
+// BenchmarkUserExperience regenerates the Section VI-B accounting
+// (paper: wrong decisions below 1%).
+func BenchmarkUserExperience(b *testing.B) {
+	fixtures(b)
+	cfg := netmaster.DefaultNetMasterConfig(benchModel)
+	var worst float64
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		rows, err := netmaster.UserExperience(benchVols, cfg, benchHists, benchModel)
+		if err != nil {
+			b.Fatal(err)
+		}
+		worst = 0
+		for _, r := range rows {
+			if r.Rate() > worst {
+				worst = r.Rate()
+			}
+		}
+	}
+	b.ReportMetric(worst*100, "worst-wrong-%")
+}
+
+// BenchmarkSchedulerApproximation measures the core algorithm against
+// brute force on small instances (Lemma IV.1's bound is (1−ε)/2; observed
+// ratios are far better).
+func BenchmarkSchedulerApproximation(b *testing.B) {
+	model := netmaster.Model3G()
+	cfg := netmaster.DefaultSchedulerConfig()
+	cfg.BandwidthBps = 1 // tight capacity forces real packing decisions
+	cfg.SavedEnergy = func(a netmaster.SchedActivity) float64 { return model.SavedEnergy(a.ActiveSecs) }
+	cfg.UseProb = func(netmaster.Instant) float64 { return 0.05 }
+	s, err := netmaster.NewScheduler(cfg)
+	if err != nil {
+		b.Fatal(err)
+	}
+	u := []netmaster.Interval{
+		{Start: 8 * 3600, End: 9 * 3600},
+		{Start: 20 * 3600, End: 21 * 3600},
+	}
+	var tn []netmaster.SchedActivity
+	for i := 0; i < 12; i++ {
+		tn = append(tn, netmaster.SchedActivity{
+			ID: i, Time: netmaster.Instant(i * 7000), Bytes: int64(400 + i*113), ActiveSecs: float64(3 + i%7),
+		})
+	}
+	var ratio float64
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		got, err := s.Schedule(u, tn)
+		if err != nil {
+			b.Fatal(err)
+		}
+		opt, err := s.BruteForce(u, tn)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if opt.Objective > 0 {
+			ratio = got.Objective / opt.Objective
+		}
+	}
+	b.ReportMetric(ratio, "optimality-ratio")
+}
+
+// BenchmarkAblationEpsilon sweeps SinKnap's ε (the paper fixes 0.1):
+// quality vs runtime of the scheduler's inner solver.
+func BenchmarkAblationEpsilon(b *testing.B) {
+	items := make([]netmaster.KnapsackItem, 120)
+	for i := range items {
+		items[i] = netmaster.KnapsackItem{ID: i, Profit: float64(1 + (i*37)%100), Weight: int64(1 + (i*61)%50)}
+	}
+	for _, eps := range []float64{0.02, 0.1, 0.5} {
+		eps := eps
+		b.Run(formatEps(eps), func(b *testing.B) {
+			var profit float64
+			for i := 0; i < b.N; i++ {
+				sol, err := netmaster.SinKnap(items, 800, eps)
+				if err != nil {
+					b.Fatal(err)
+				}
+				profit = sol.Profit
+			}
+			b.ReportMetric(profit, "profit")
+		})
+	}
+}
+
+func formatEps(eps float64) string {
+	switch eps {
+	case 0.02:
+		return "eps=0.02"
+	case 0.1:
+		return "eps=0.10"
+	default:
+		return "eps=0.50"
+	}
+}
+
+// ablationSaving replays NetMaster with one component disabled.
+func ablationSaving(b *testing.B, mutate func(*netmaster.NetMasterConfig)) float64 {
+	b.Helper()
+	tr := benchVols[0]
+	cfg := netmaster.DefaultNetMasterConfig(benchModel)
+	cfg.History = benchHists[tr.UserID]
+	if mutate != nil {
+		mutate(&cfg)
+	}
+	nm, err := netmaster.NewNetMasterPolicy(cfg)
+	if err != nil {
+		b.Fatal(err)
+	}
+	base, err := netmaster.Run(netmaster.BaselinePolicy{}, tr, benchModel)
+	if err != nil {
+		b.Fatal(err)
+	}
+	m, err := netmaster.Run(nm, tr, benchModel)
+	if err != nil {
+		b.Fatal(err)
+	}
+	return m.EnergySavingVs(base)
+}
+
+// BenchmarkAblationScheduler disables the knapsack scheduler (duty cycle
+// only) to isolate the decision-making component's contribution.
+func BenchmarkAblationScheduler(b *testing.B) {
+	fixtures(b)
+	var saving float64
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		saving = ablationSaving(b, func(c *netmaster.NetMasterConfig) { c.DisableScheduler = true })
+	}
+	b.ReportMetric(saving*100, "saving-%")
+}
+
+// BenchmarkAblationDutyCycle disables the real-time adjustment: every
+// unscheduled screen-off transfer runs immediately.
+func BenchmarkAblationDutyCycle(b *testing.B) {
+	fixtures(b)
+	var saving float64
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		saving = ablationSaving(b, func(c *netmaster.NetMasterConfig) { c.DisableDutyCycle = true })
+	}
+	b.ReportMetric(saving*100, "saving-%")
+}
+
+// BenchmarkAblationSpecialApps empties the allowlist: the user-experience
+// safety net goes away while savings stay put.
+func BenchmarkAblationSpecialApps(b *testing.B) {
+	fixtures(b)
+	var saving float64
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		saving = ablationSaving(b, func(c *netmaster.NetMasterConfig) { c.DisableSpecialApps = true })
+	}
+	b.ReportMetric(saving*100, "saving-%")
+}
+
+// BenchmarkAblationFullNetMaster is the non-ablated reference point.
+func BenchmarkAblationFullNetMaster(b *testing.B) {
+	fixtures(b)
+	var saving float64
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		saving = ablationSaving(b, nil)
+	}
+	b.ReportMetric(saving*100, "saving-%")
+}
+
+// Micro-benchmarks of the load-bearing primitives.
+
+func BenchmarkTraceGeneration(b *testing.B) {
+	spec := netmaster.EvalCohort()[0]
+	for i := 0; i < b.N; i++ {
+		if _, err := netmaster.GenerateTrace(spec, 7); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkHabitMining(b *testing.B) {
+	fixtures(b)
+	tr := benchVols[0]
+	cfg := netmaster.DefaultHabitConfig()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := netmaster.MineHabits(tr, cfg); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkNetMasterPlan(b *testing.B) {
+	fixtures(b)
+	tr := benchVols[0]
+	cfg := netmaster.DefaultNetMasterConfig(benchModel)
+	cfg.History = benchHists[tr.UserID]
+	nm, err := netmaster.NewNetMasterPolicy(cfg)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := netmaster.Run(nm, tr, benchModel); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkOraclePlan(b *testing.B) {
+	fixtures(b)
+	oracle, err := netmaster.NewOracle(benchModel)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := netmaster.Run(oracle, benchVols[0], benchModel); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkScaleQuarterYear stresses the full pipeline at scale: one
+// volunteer over 90 days — generation, mining from 84 growing history
+// prefixes, daily knapsack scheduling and duty-cycle simulation.
+func BenchmarkScaleQuarterYear(b *testing.B) {
+	fixtures(b)
+	spec := netmaster.EvalCohort()[0]
+	var saving float64
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		tr, err := netmaster.GenerateTrace(spec, 90)
+		if err != nil {
+			b.Fatal(err)
+		}
+		hist, err := netmaster.GenerateHistory(spec, 14)
+		if err != nil {
+			b.Fatal(err)
+		}
+		cfg := netmaster.DefaultNetMasterConfig(benchModel)
+		cfg.History = hist
+		nm, err := netmaster.NewNetMasterPolicy(cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		base, err := netmaster.Run(netmaster.BaselinePolicy{}, tr, benchModel)
+		if err != nil {
+			b.Fatal(err)
+		}
+		m, err := netmaster.Run(nm, tr, benchModel)
+		if err != nil {
+			b.Fatal(err)
+		}
+		saving = m.EnergySavingVs(base)
+	}
+	b.ReportMetric(saving*100, "saving-%")
+}

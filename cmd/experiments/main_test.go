@@ -1,0 +1,34 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+func TestRunSingleFigures(t *testing.T) {
+	// The cheap figures run end to end; days kept small.
+	for _, fig := range []string{"motivation", "1a", "1b", "2", "3", "4", "5", "10a", "10b", "delta"} {
+		if err := run(fig, 8, "3g", ""); err != nil {
+			t.Errorf("figure %s: %v", fig, err)
+		}
+	}
+}
+
+func TestRunUnknownModel(t *testing.T) {
+	if err := run("1a", 8, "6g", ""); err == nil {
+		t.Error("unknown model accepted")
+	}
+}
+
+func TestRunCSVExport(t *testing.T) {
+	dir := t.TempDir()
+	if err := run("7", 8, "3g", dir); err != nil {
+		t.Fatal(err)
+	}
+	for _, f := range []string{"fig7.csv", "fig8.csv", "fig9.csv", "fig10c.csv", "fig7a_gaps.csv"} {
+		if _, err := os.Stat(filepath.Join(dir, f)); err != nil {
+			t.Errorf("missing %s", f)
+		}
+	}
+}

@@ -1,0 +1,206 @@
+// Command netmaster-sim replays a scheduling policy over a usage trace and
+// prints the full metric set: radio energy, radio-on time, bandwidth
+// utilization and user-experience impact, with savings relative to the
+// unmanaged baseline.
+//
+// Usage:
+//
+//	netmaster-sim -trace user.trace [-policy netmaster|oracle|delay|batch|baseline]
+//	              [-interval 60] [-batch 5] [-model 3g|lte] [-history hist.trace]
+//	netmaster-sim -gen volunteer1 -days 21 -policy netmaster   # synthetic input
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"netmaster/internal/device"
+	"netmaster/internal/policy"
+	"netmaster/internal/power"
+	"netmaster/internal/report"
+	"netmaster/internal/simtime"
+	"netmaster/internal/synth"
+	"netmaster/internal/trace"
+)
+
+func main() {
+	var (
+		tracePath   = flag.String("trace", "", "trace file to replay")
+		gen         = flag.String("gen", "", "generate the named cohort user instead of reading a trace")
+		days        = flag.Int("days", 21, "days for -gen")
+		policyName  = flag.String("policy", "netmaster", "policy: baseline, netmaster, oracle, delay, batch")
+		interval    = flag.Int("interval", 60, "delay interval seconds (policy=delay)")
+		batchSize   = flag.Int("batch", 5, "batch size (policy=batch)")
+		modelName   = flag.String("model", "3g", "radio model: 3g or lte")
+		historyPath = flag.String("history", "", "optional pre-collected history trace (policy=netmaster)")
+		perApp      = flag.Bool("per-app", false, "print eprof-style per-app energy attribution")
+		timelineDay = flag.Int("timeline", -1, "render an ASCII radio timeline of this day (baseline vs the policy)")
+	)
+	flag.Parse()
+	if err := run(*tracePath, *gen, *days, *policyName, *interval, *batchSize, *modelName, *historyPath, *perApp, *timelineDay); err != nil {
+		fmt.Fprintln(os.Stderr, "netmaster-sim:", err)
+		os.Exit(1)
+	}
+}
+
+func run(tracePath, gen string, days int, policyName string, interval, batchSize int, modelName, historyPath string, perApp bool, timelineDay int) error {
+	var model *power.Model
+	switch modelName {
+	case "3g":
+		model = power.Model3G()
+	case "lte":
+		model = power.ModelLTE()
+	default:
+		return fmt.Errorf("unknown model %q", modelName)
+	}
+
+	t, history, err := loadTrace(tracePath, gen, days, historyPath)
+	if err != nil {
+		return err
+	}
+
+	p, err := buildPolicy(policyName, interval, batchSize, model, history)
+	if err != nil {
+		return err
+	}
+
+	base, err := device.Run(policy.Baseline{}, t, model)
+	if err != nil {
+		return err
+	}
+	m := base
+	if p != nil {
+		m, err = device.Run(p, t, model)
+		if err != nil {
+			return err
+		}
+	}
+
+	tbl := report.NewTable(fmt.Sprintf("%s on %s (%d days, %s)", m.PolicyName, t.UserID, t.Days, model.Name),
+		"metric", "value", "baseline", "saving/gain")
+	tbl.AddRow("radio energy (J)", m.Radio.EnergyJ, base.Radio.EnergyJ, report.Percent(m.EnergySavingVs(base)))
+	tbl.AddRow("radio-on time (h)", m.Radio.RadioOnSecs/3600, base.Radio.RadioOnSecs/3600, report.Percent(m.RadioOnSavingVs(base)))
+	tbl.AddRow("promotions", m.Radio.Promotions, base.Radio.Promotions, "")
+	tbl.AddRow("tail energy (J)", m.Radio.TailEnergyJ, base.Radio.TailEnergyJ, "")
+	down, up, pdown, pup := m.RateIncreaseVs(base)
+	tbl.AddRow("avg down rate (kB/s)", m.AvgDownRateBps/1024, base.AvgDownRateBps/1024, fmt.Sprintf("%.2fx", down))
+	tbl.AddRow("avg up rate (kB/s)", m.AvgUpRateBps/1024, base.AvgUpRateBps/1024, fmt.Sprintf("%.2fx", up))
+	tbl.AddRow("peak down rate (kB/s)", m.PeakDownRateBps/1024, base.PeakDownRateBps/1024, fmt.Sprintf("%.2fx", pdown))
+	tbl.AddRow("peak up rate (kB/s)", m.PeakUpRateBps/1024, base.PeakUpRateBps/1024, fmt.Sprintf("%.2fx", pup))
+	tbl.AddRow("duty wake-ups", m.WakeUps, 0, "")
+	tbl.AddRow("wake energy (J)", m.WakeEnergyJ, 0, "")
+	tbl.AddRow("interactions", m.Interactions, base.Interactions, "")
+	tbl.AddRow("wrong decisions", m.WrongDecisions, 0, report.Percent(m.WrongDecisionRate()))
+	tbl.AddRow("affected interactions", m.AffectedActivities, 0, report.Percent(m.AffectedRate()))
+	tbl.AddRow("deferred transfers", m.Deferred, 0, fmt.Sprintf("mean %.0fs max %.0fs", m.MeanDeferSecs, m.MaxDeferSecs))
+	if err := tbl.Render(os.Stdout); err != nil {
+		return err
+	}
+	if perApp {
+		if err := renderPerApp(t, p, model); err != nil {
+			return err
+		}
+	}
+	if timelineDay >= 0 {
+		return renderTimeline(t, p, model, timelineDay)
+	}
+	return nil
+}
+
+// renderTimeline prints the baseline's and the policy's radio Gantt for
+// one day side by side.
+func renderTimeline(t *trace.Trace, p device.Policy, model *power.Model, day int) error {
+	fmt.Printf("\nradio timeline, day %d (%s)\n", day, device.TimelineLegend)
+	basePlan, err := (policy.Baseline{}).Plan(t)
+	if err != nil {
+		return err
+	}
+	if err := device.RenderDayTimeline(os.Stdout, basePlan, model, day, 3); err != nil {
+		return err
+	}
+	if p == nil {
+		return nil
+	}
+	plan, err := p.Plan(t)
+	if err != nil {
+		return err
+	}
+	return device.RenderDayTimeline(os.Stdout, plan, model, day, 3)
+}
+
+// renderPerApp prints the eprof-style per-app energy attribution for the
+// chosen policy (or the baseline when no policy was selected).
+func renderPerApp(t *trace.Trace, p device.Policy, model *power.Model) error {
+	if p == nil {
+		p = policy.Baseline{}
+	}
+	plan, err := p.Plan(t)
+	if err != nil {
+		return err
+	}
+	shares, err := device.EnergyByApp(plan, model)
+	if err != nil {
+		return err
+	}
+	tbl := report.NewTable("per-app radio energy (tail blamed on the last user of the radio)",
+		"app", "total (J)", "active (J)", "promo (J)", "tail (J)", "bursts")
+	for _, s := range shares {
+		tbl.AddRow(string(s.App), s.EnergyJ, s.ActiveJ, s.PromoJ, s.TailJ, s.Bursts)
+	}
+	return tbl.Render(os.Stdout)
+}
+
+func loadTrace(tracePath, gen string, days int, historyPath string) (*trace.Trace, *trace.Trace, error) {
+	var history *trace.Trace
+	if historyPath != "" {
+		h, err := trace.ReadFile(historyPath)
+		if err != nil {
+			return nil, nil, err
+		}
+		history = h
+	}
+	if tracePath != "" {
+		t, err := trace.ReadFile(tracePath)
+		return t, history, err
+	}
+	if gen == "" {
+		return nil, nil, fmt.Errorf("need -trace FILE or -gen USER")
+	}
+	for _, spec := range append(synth.MotivationCohort(), synth.EvalCohort()...) {
+		if spec.ID != gen {
+			continue
+		}
+		t, err := synth.Generate(spec, days)
+		if err != nil {
+			return nil, nil, err
+		}
+		if history == nil {
+			history, err = synth.GenerateHistory(spec, 14)
+			if err != nil {
+				return nil, nil, err
+			}
+		}
+		return t, history, nil
+	}
+	return nil, nil, fmt.Errorf("no cohort user named %q", gen)
+}
+
+func buildPolicy(name string, interval, batchSize int, model *power.Model, history *trace.Trace) (device.Policy, error) {
+	switch name {
+	case "baseline":
+		return nil, nil // metrics of the baseline itself
+	case "netmaster":
+		cfg := policy.DefaultNetMasterConfig(model)
+		cfg.History = history
+		return policy.NewNetMaster(cfg)
+	case "oracle":
+		return policy.NewOracle(model)
+	case "delay":
+		return policy.NewDelay(simtime.Duration(interval))
+	case "batch":
+		return policy.NewBatch(batchSize, 0)
+	default:
+		return nil, fmt.Errorf("unknown policy %q", name)
+	}
+}

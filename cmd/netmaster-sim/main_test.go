@@ -1,0 +1,32 @@
+package main
+
+import "testing"
+
+func TestRunAllPolicies(t *testing.T) {
+	for _, p := range []string{"baseline", "netmaster", "oracle", "delay", "batch"} {
+		if err := run("", "volunteer3", 5, p, 30, 4, "3g", "", false, -1); err != nil {
+			t.Errorf("%s: %v", p, err)
+		}
+	}
+}
+
+func TestRunPerAppAndTimeline(t *testing.T) {
+	if err := run("", "volunteer3", 4, "netmaster", 30, 4, "lte", "", true, 2); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunErrors(t *testing.T) {
+	if err := run("", "", 5, "baseline", 30, 4, "3g", "", false, -1); err == nil {
+		t.Error("missing input accepted")
+	}
+	if err := run("", "volunteer3", 5, "wat", 30, 4, "3g", "", false, -1); err == nil {
+		t.Error("unknown policy accepted")
+	}
+	if err := run("", "volunteer3", 5, "baseline", 30, 4, "5g", "", false, -1); err == nil {
+		t.Error("unknown model accepted")
+	}
+	if err := run("", "nobody", 5, "baseline", 30, 4, "3g", "", false, -1); err == nil {
+		t.Error("unknown user accepted")
+	}
+}

@@ -1,0 +1,106 @@
+// Command tracegen generates synthetic smartphone usage traces from the
+// built-in cohorts and writes them in the line-oriented trace format.
+//
+// Usage:
+//
+//	tracegen -cohort motivation|eval [-days N] [-out DIR] [-user ID]
+//	tracegen -stats -cohort motivation   # print per-trace statistics only
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+
+	"netmaster/internal/stats"
+	"netmaster/internal/synth"
+	"netmaster/internal/trace"
+)
+
+func main() {
+	var (
+		cohort    = flag.String("cohort", "motivation", "cohort to generate: motivation or eval")
+		specFile  = flag.String("spec", "", "generate from a JSON cohort spec file instead of a built-in cohort")
+		emitSpec  = flag.String("emit-spec", "", "write the selected built-in cohort's spec JSON to this file and exit")
+		days      = flag.Int("days", 21, "trace length in days")
+		outDir    = flag.String("out", ".", "output directory for trace files")
+		user      = flag.String("user", "", "generate only this user ID")
+		statsOnly = flag.Bool("stats", false, "print statistics instead of writing files")
+	)
+	flag.Parse()
+	if err := run(*cohort, *specFile, *emitSpec, *days, *outDir, *user, *statsOnly); err != nil {
+		fmt.Fprintln(os.Stderr, "tracegen:", err)
+		os.Exit(1)
+	}
+}
+
+func run(cohort, specFile, emitSpec string, days int, outDir, user string, statsOnly bool) error {
+	var specs []synth.UserSpec
+	if specFile != "" {
+		var err error
+		specs, err = synth.ReadSpecsFile(specFile)
+		if err != nil {
+			return err
+		}
+	} else {
+		switch cohort {
+		case "motivation":
+			specs = synth.MotivationCohort()
+		case "eval":
+			specs = synth.EvalCohort()
+		default:
+			return fmt.Errorf("unknown cohort %q (want motivation or eval)", cohort)
+		}
+	}
+	if emitSpec != "" {
+		if err := synth.WriteSpecsFile(emitSpec, specs); err != nil {
+			return err
+		}
+		fmt.Printf("wrote %d user specs to %s\n", len(specs), emitSpec)
+		return nil
+	}
+	if user != "" {
+		var filtered []synth.UserSpec
+		for _, s := range specs {
+			if s.ID == user {
+				filtered = append(filtered, s)
+			}
+		}
+		if len(filtered) == 0 {
+			return fmt.Errorf("no user %q in cohort %q", user, cohort)
+		}
+		specs = filtered
+	}
+
+	for _, spec := range specs {
+		t, err := synth.Generate(spec, days)
+		if err != nil {
+			return err
+		}
+		if statsOnly {
+			printStats(t)
+			continue
+		}
+		path := filepath.Join(outDir, fmt.Sprintf("%s.trace", t.UserID))
+		if err := trace.WriteFile(path, t); err != nil {
+			return err
+		}
+		fmt.Printf("wrote %s: %d days, %d sessions, %d activities, %d interactions\n",
+			path, t.Days, len(t.Sessions), len(t.Activities), len(t.Interactions))
+	}
+	return nil
+}
+
+func printStats(t *trace.Trace) {
+	on, off := t.SplitByScreen()
+	down, up := t.TotalBytes()
+	rates := make([]float64, 0, len(off))
+	for _, a := range off {
+		rates = append(rates, a.RateBps()/1024)
+	}
+	fmt.Printf("%s: days=%d sessions=%d interactions=%d activities=%d (on=%d off=%d)\n",
+		t.UserID, t.Days, len(t.Sessions), len(t.Interactions), len(t.Activities), len(on), len(off))
+	fmt.Printf("  volume: down=%.1fMB up=%.1fMB; screen-off rate %s kB/s\n",
+		float64(down)/(1<<20), float64(up)/(1<<20), stats.Summarize(rates))
+}

@@ -1,0 +1,63 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+
+	"netmaster/internal/trace"
+)
+
+func TestRunGeneratesTraceFiles(t *testing.T) {
+	dir := t.TempDir()
+	if err := run("eval", "", "", 3, dir, "volunteer2", false); err != nil {
+		t.Fatal(err)
+	}
+	tr, err := trace.ReadFile(filepath.Join(dir, "volunteer2.trace"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tr.UserID != "volunteer2" || tr.Days != 3 {
+		t.Errorf("trace = %s/%d days", tr.UserID, tr.Days)
+	}
+}
+
+func TestRunStatsOnlyWritesNothing(t *testing.T) {
+	dir := t.TempDir()
+	if err := run("motivation", "", "", 2, dir, "", true); err != nil {
+		t.Fatal(err)
+	}
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(entries) != 0 {
+		t.Errorf("stats mode wrote %d files", len(entries))
+	}
+}
+
+func TestRunSpecRoundtrip(t *testing.T) {
+	dir := t.TempDir()
+	specPath := filepath.Join(dir, "cohort.json")
+	if err := run("eval", "", specPath, 3, dir, "", false); err != nil {
+		t.Fatal(err)
+	}
+	if err := run("", specPath, "", 2, dir, "volunteer1", false); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := os.Stat(filepath.Join(dir, "volunteer1.trace")); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunErrors(t *testing.T) {
+	if err := run("bogus", "", "", 3, t.TempDir(), "", false); err == nil {
+		t.Error("unknown cohort accepted")
+	}
+	if err := run("eval", "", "", 3, t.TempDir(), "nobody", false); err == nil {
+		t.Error("unknown user accepted")
+	}
+	if err := run("", "/does/not/exist.json", "", 3, t.TempDir(), "", false); err == nil {
+		t.Error("missing spec file accepted")
+	}
+}

@@ -1,0 +1,95 @@
+// Custom cohort walkthrough: define your own user population in a JSON
+// spec file, generate traces from it, and evaluate NetMaster on the
+// resulting workload — the path a downstream user takes to test the
+// middleware against their own usage assumptions.
+package main
+
+import (
+	"fmt"
+	"log"
+	"os"
+	"path/filepath"
+
+	"netmaster"
+)
+
+func main() {
+	// Start from a built-in volunteer and reshape it: a commuter whose
+	// entire phone life happens on two train rides.
+	spec := netmaster.EvalCohort()[0]
+	spec.ID = "train-commuter"
+	spec.Seed = 20260704
+	var weekday [24]float64
+	weekday[7] = 18 // morning ride
+	weekday[18] = 16
+	weekday[8] = 4
+	weekday[19] = 4
+	spec.WeekdayProfile = weekday
+	var weekend [24]float64
+	weekend[11] = 6
+	weekend[21] = 6
+	spec.WeekendProfile = weekend
+
+	// Persist the cohort as JSON — the same file `tracegen -spec` reads.
+	dir, err := os.MkdirTemp("", "netmaster-cohort")
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer os.RemoveAll(dir)
+	specPath := filepath.Join(dir, "cohort.json")
+	if err := netmaster.WriteSpecsFile(specPath, []netmaster.UserSpec{spec}); err != nil {
+		log.Fatal(err)
+	}
+	specs, err := netmaster.ReadSpecsFile(specPath)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("cohort file %s: %d user(s)\n", specPath, len(specs))
+
+	// Generate and evaluate.
+	tr, err := netmaster.GenerateTrace(specs[0], 14)
+	if err != nil {
+		log.Fatal(err)
+	}
+	history, err := netmaster.GenerateHistory(specs[0], 14)
+	if err != nil {
+		log.Fatal(err)
+	}
+	model := netmaster.Model3G()
+	cfg := netmaster.DefaultNetMasterConfig(model)
+	cfg.History = history
+	nm, err := netmaster.NewNetMasterPolicy(cfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+	base, err := netmaster.Run(netmaster.BaselinePolicy{}, tr, model)
+	if err != nil {
+		log.Fatal(err)
+	}
+	m, err := netmaster.Run(nm, tr, model)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("%s: %d sessions, %d activities over %d days\n",
+		tr.UserID, len(tr.Sessions), len(tr.Activities), tr.Days)
+	fmt.Printf("energy saving: %.1f%%  (a two-peak habit is NetMaster's best case:\n",
+		m.EnergySavingVs(base)*100)
+	fmt.Println(" nearly all background traffic sits far from the user's active slots)")
+
+	// The per-app attribution shows where the remaining budget goes.
+	plan, err := nm.Plan(tr)
+	if err != nil {
+		log.Fatal(err)
+	}
+	shares, err := netmaster.EnergyByApp(plan, model)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("\ntop remaining energy consumers:")
+	for i, s := range shares {
+		if i == 4 {
+			break
+		}
+		fmt.Printf("  %-28s %7.0f J (tail %5.0f J)\n", s.App, s.EnergyJ, s.TailJ)
+	}
+}

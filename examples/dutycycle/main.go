@@ -1,0 +1,58 @@
+// Duty-cycle schemes: compare the paper's exponential sleep against fixed
+// and random sleep over a silent half hour (Fig. 10b), then show how the
+// exponential scheme reacts to a burst of activity.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"netmaster"
+)
+
+func main() {
+	const (
+		interval = 10 * netmaster.Second
+		horizon  = 30 * netmaster.Minute
+		window   = 5 * netmaster.Second
+	)
+
+	exp, err := netmaster.NewExponentialSleep(interval, 0)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fixed, err := netmaster.NewFixedSleep(interval)
+	if err != nil {
+		log.Fatal(err)
+	}
+	random, err := netmaster.NewRandomSleep(interval/2, interval*2, 42)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Println("silent half hour (no network activity):")
+	for _, s := range []netmaster.DutyScheme{exp, fixed, random} {
+		res := netmaster.SimulateDutyCycle(s, 0, horizon, window, nil)
+		fmt.Printf("  %-12s %3d wake-ups, radio on %4.1f%% of the time\n",
+			s.Name(), res.NumWakeUps(), res.RadioOnFraction()*100)
+	}
+
+	// Activity between minutes 10 and 12 resets the exponential
+	// backoff; watch the wake density around it.
+	active := netmaster.Interval{Start: 10 * 60, End: 12 * 60}
+	exp2, err := netmaster.NewExponentialSleep(interval, 0)
+	if err != nil {
+		log.Fatal(err)
+	}
+	res := netmaster.SimulateDutyCycle(exp2, 0, horizon, window, func(iv netmaster.Interval) bool {
+		return iv.Overlaps(active)
+	})
+	fmt.Printf("\nexponential sleep with activity in minutes 10-12 (%d wake-ups):\n", res.NumWakeUps())
+	for _, w := range res.WakeUps {
+		marker := ""
+		if w.Activity {
+			marker = "  <- activity detected, backoff reset"
+		}
+		fmt.Printf("  wake at %v%s\n", w.At, marker)
+	}
+}

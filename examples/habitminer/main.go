@@ -1,0 +1,96 @@
+// Habit mining walkthrough: reproduce the paper's Section III analysis on
+// one user — hourly intensity, day-to-day Pearson regularity, predicted
+// user active slots at the paper's thresholds, and the Special-App
+// allowlist.
+package main
+
+import (
+	"fmt"
+	"log"
+	"math"
+	"strings"
+
+	"netmaster"
+)
+
+func main() {
+	// The motivation cohort's user 4 is the paper's very regular user
+	// (Fig. 4, mean day-to-day Pearson 0.8171).
+	spec := netmaster.MotivationCohort()[3]
+	tr, err := netmaster.GenerateTrace(spec, 21)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	profile, err := netmaster.MineHabits(tr, netmaster.DefaultHabitConfig())
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// Hourly usage probability (Eq. 2's Pr[u(ti)]) for weekdays.
+	fmt.Printf("weekday usage probability by hour for %s:\n", tr.UserID)
+	for h := 0; h < 24; h++ {
+		p := profile.Weekday.Slots[h].UseProb
+		bar := strings.Repeat("#", int(p*40))
+		fmt.Printf("  %02d:00  %.2f %s\n", h, p, bar)
+	}
+
+	// Predicted user active slots at the paper's weekday δ = 0.2.
+	fmt.Println("\npredicted user active slots (day 7, a Monday):")
+	for _, iv := range profile.PredictedActiveSlots(7) {
+		fmt.Printf("  %v\n", iv)
+	}
+
+	// The screen-off network active slots the scheduler would move.
+	tn := profile.PredictedNetSlots(7)
+	fmt.Printf("\npredicted screen-off network activity (Tn): %d app-slots\n", len(tn))
+	for _, pn := range tn[:min(5, len(tn))] {
+		fmt.Printf("  %-28s in %v: %.1f bursts, %.1f kB expected\n",
+			pn.App, pn.Slot, pn.Bursts, pn.Bytes()/1024)
+	}
+
+	// Special Apps: used at least once with network activity.
+	fmt.Printf("\nSpecial Apps (%d of %d installed):\n",
+		len(profile.SpecialApps), len(tr.InstalledApps))
+	for _, app := range profile.SpecialApps {
+		fmt.Printf("  %s\n", app)
+	}
+
+	// Day-to-day regularity: the Pearson parameter of Eq. 1.
+	var sum float64
+	n := 0
+	for d1 := 0; d1 < 7; d1++ {
+		for d2 := d1 + 1; d2 < 8; d2++ {
+			sum += pearson(tr.HourlyIntensity(d1), tr.HourlyIntensity(d2))
+			n++
+		}
+	}
+	fmt.Printf("\nmean day-to-day Pearson over the first 8 days: %.4f (paper: 0.8171)\n", sum/float64(n))
+}
+
+func pearson(x, y []float64) float64 {
+	var mx, my float64
+	for i := range x {
+		mx += x[i]
+		my += y[i]
+	}
+	mx /= float64(len(x))
+	my /= float64(len(y))
+	var sxy, sxx, syy float64
+	for i := range x {
+		sxy += (x[i] - mx) * (y[i] - my)
+		sxx += (x[i] - mx) * (x[i] - mx)
+		syy += (y[i] - my) * (y[i] - my)
+	}
+	if sxx == 0 || syy == 0 {
+		return 0
+	}
+	return sxy / math.Sqrt(sxx*syy)
+}
+
+func min(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}

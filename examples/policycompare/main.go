@@ -1,0 +1,70 @@
+// Policy comparison: replay every policy of the paper's evaluation —
+// baseline, offline oracle, NetMaster, naive delay and naive batch — over
+// one volunteer's trace and print the Fig. 7-style comparison.
+package main
+
+import (
+	"fmt"
+	"log"
+	"os"
+	"text/tabwriter"
+
+	"netmaster"
+)
+
+func main() {
+	spec := netmaster.EvalCohort()[1]
+	tr, err := netmaster.GenerateTrace(spec, 21)
+	if err != nil {
+		log.Fatal(err)
+	}
+	model := netmaster.Model3G()
+
+	history, err := netmaster.GenerateHistory(spec, 14)
+	if err != nil {
+		log.Fatal(err)
+	}
+	nmCfg := netmaster.DefaultNetMasterConfig(model)
+	nmCfg.History = history
+
+	var policies []netmaster.Policy
+	oracle, err := netmaster.NewOracle(model)
+	if err != nil {
+		log.Fatal(err)
+	}
+	nm, err := netmaster.NewNetMasterPolicy(nmCfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+	policies = append(policies, oracle, nm)
+	for _, d := range []netmaster.Duration{10, 20, 60} {
+		dp, err := netmaster.NewDelay(d)
+		if err != nil {
+			log.Fatal(err)
+		}
+		policies = append(policies, dp)
+	}
+	bp, err := netmaster.NewBatch(5, 0)
+	if err != nil {
+		log.Fatal(err)
+	}
+	policies = append(policies, bp)
+
+	results, err := netmaster.Compare(tr, model, policies)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	w := tabwriter.NewWriter(os.Stdout, 2, 4, 2, ' ', 0)
+	fmt.Fprintln(w, "policy\tenergy (J)\tsaving\tradio-on (h)\tbw down\taffected")
+	base := results[0].Metrics
+	for _, r := range results {
+		down, _, _, _ := r.Metrics.RateIncreaseVs(base)
+		fmt.Fprintf(w, "%s\t%.0f\t%.1f%%\t%.1f\t%.2fx\t%.1f%%\n",
+			r.Policy, r.Metrics.Radio.EnergyJ, r.EnergySaving*100,
+			r.Metrics.Radio.RadioOnSecs/3600, down, r.Metrics.AffectedRate()*100)
+	}
+	if err := w.Flush(); err != nil {
+		log.Fatal(err)
+	}
+}

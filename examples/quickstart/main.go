@@ -1,0 +1,61 @@
+// Quickstart: generate a synthetic smartphone usage trace, run the
+// NetMaster middleware over it, and print the energy it saves relative to
+// the unmanaged baseline.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"netmaster"
+)
+
+func main() {
+	// Every volunteer of the paper's evaluation cohort is available as
+	// a spec; generate three weeks of usage for the first one.
+	spec := netmaster.EvalCohort()[0]
+	tr, err := netmaster.GenerateTrace(spec, 21)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("trace %s: %d days, %d screen sessions, %d network activities\n",
+		tr.UserID, tr.Days, len(tr.Sessions), len(tr.Activities))
+
+	// The radio model used throughout the paper's evaluation: WCDMA
+	// with DCH/FACH tails.
+	model := netmaster.Model3G()
+
+	// NetMaster needs history to mine habits from; the paper collected
+	// weeks of traces before enabling the middleware.
+	history, err := netmaster.GenerateHistory(spec, 14)
+	if err != nil {
+		log.Fatal(err)
+	}
+	cfg := netmaster.DefaultNetMasterConfig(model)
+	cfg.History = history
+	nm, err := netmaster.NewNetMasterPolicy(cfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// Replay the baseline and NetMaster and compare.
+	base, err := netmaster.Run(netmaster.BaselinePolicy{}, tr, model)
+	if err != nil {
+		log.Fatal(err)
+	}
+	m, err := netmaster.Run(nm, tr, model)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Printf("baseline radio energy: %8.0f J over %.1f h radio-on\n",
+		base.Radio.EnergyJ, base.Radio.RadioOnSecs/3600)
+	fmt.Printf("netmaster radio energy: %7.0f J over %.1f h radio-on\n",
+		m.Radio.EnergyJ, m.Radio.RadioOnSecs/3600)
+	fmt.Printf("energy saving: %.1f%%   radio-on saving: %.1f%%\n",
+		m.EnergySavingVs(base)*100, m.RadioOnSavingVs(base)*100)
+	down, up, _, _ := m.RateIncreaseVs(base)
+	fmt.Printf("bandwidth utilization: %.2fx down, %.2fx up\n", down, up)
+	fmt.Printf("wrong decisions: %d of %d network-wanting interactions (%.2f%%)\n",
+		m.WrongDecisions, m.NetInteractions, m.WrongDecisionRate()*100)
+}

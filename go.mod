@@ -1,0 +1,3 @@
+module netmaster
+
+go 1.22

@@ -1,0 +1,44 @@
+package core
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"netmaster/internal/simtime"
+)
+
+// Scheduling scalability: the middleware solves one instance per day, so
+// the solver must stay comfortably sub-second at realistic sizes
+// (tens of activities, a handful of slots) and degrade gracefully beyond.
+func BenchmarkScheduleScaling(b *testing.B) {
+	for _, n := range []int{10, 50, 200} {
+		n := n
+		b.Run(fmt.Sprintf("activities=%d", n), func(b *testing.B) {
+			rng := rand.New(rand.NewSource(int64(n)))
+			cfg := testConfig(64, 0.0005, nil)
+			s, err := New(cfg)
+			if err != nil {
+				b.Fatal(err)
+			}
+			u := []simtime.Interval{hourSlot(0, 8), hourSlot(0, 13), hourSlot(0, 20)}
+			tn := make([]Activity, n)
+			for i := range tn {
+				tn[i] = Activity{
+					ID:         i,
+					Time:       simtime.Instant(rng.Int63n(int64(simtime.Day))),
+					Bytes:      rng.Int63n(20000) + 500,
+					ActiveSecs: float64(rng.Intn(20) + 1),
+					DeferOnly:  rng.Intn(3) == 0,
+				}
+			}
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := s.Schedule(u, tn); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}

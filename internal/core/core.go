@@ -1,0 +1,539 @@
+// Package core implements the paper's primary contribution: scheduling
+// predicted screen-off network activities into predicted user-active slots
+// by solving a multiple knapsack problem with overlapped itemsets
+// (Section IV, Algorithm 1).
+//
+// Each user active slot ti is a knapsack with capacity C(ti) =
+// Bandwidth·|ti| (Eq. 5). Each screen-off activity nj is an item with
+// weight V(nj) and profit ΔEj − ΔPj, where ΔEj = g(tj) is the radio energy
+// recovered by eliminating the isolated burst and ΔPj (Eq. 4) prices the
+// user-interruption risk of moving it. An activity lying between two
+// adjacent active slots may go into either — the "overlapped itemset" that
+// makes the problem harder than plain multiple knapsack. Algorithm 1
+// resolves it with duplicate → sort → SinKnap → filter → greedy-add and
+// carries a (1−ε)/2 approximation guarantee (Lemma IV.1).
+package core
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"netmaster/internal/knapsack"
+	"netmaster/internal/simtime"
+)
+
+// Activity is one screen-off network activity to be scheduled: an item of
+// Tn. Time is the instant it would occur unscheduled (the representative
+// point of its slot), Bytes its volume V(n) and ActiveSecs the radio
+// transfer time it needs.
+type Activity struct {
+	ID         int
+	Time       simtime.Instant
+	Bytes      int64
+	ActiveSecs float64
+	// DeferOnly forbids prefetching: the activity may only move to a
+	// slot at or after its natural time. Server pushes are defer-only —
+	// a message cannot be fetched before it exists — while app-initiated
+	// syncs may run early.
+	DeferOnly bool
+}
+
+// Config parameterises the scheduler.
+type Config struct {
+	// Eps is the ε of SinKnap; the paper runs ε = 0.1.
+	Eps float64
+	// BandwidthBps is the carrier bandwidth (bytes/second) defining
+	// slot capacity (Eq. 5).
+	BandwidthBps float64
+	// SavedEnergy returns ΔEj = g(tj) in joules for an activity: the
+	// energy recovered by eliminating its isolated radio cycle. Wired
+	// to power.Model.SavedEnergy in production.
+	SavedEnergy func(a Activity) float64
+	// PenaltyRateWattEq is the paper's scaling factor e_t converting
+	// interruption probability into an energy-equivalent rate
+	// (joules per second², combined with the probability integral of
+	// Eq. 4).
+	PenaltyRateWattEq float64
+	// UseProb returns Pr[u(t)] for the slot containing t; wired to the
+	// mined habit profile.
+	UseProb func(t simtime.Instant) float64
+	// ProbSlotWidth is the granularity at which UseProb is piecewise
+	// constant, used to integrate Eq. 4 exactly.
+	ProbSlotWidth simtime.Duration
+}
+
+// DefaultConfig returns the evaluation settings of the paper with the
+// energy hooks left nil (callers must wire SavedEnergy and UseProb).
+func DefaultConfig() Config {
+	return Config{
+		Eps:               0.1,
+		BandwidthBps:      256 * 1024,
+		PenaltyRateWattEq: 0.0005,
+		ProbSlotWidth:     simtime.Hour,
+	}
+}
+
+func (c *Config) validate() error {
+	if c.Eps <= 0 || c.Eps >= 1 {
+		return fmt.Errorf("core: eps %v outside (0,1)", c.Eps)
+	}
+	if c.BandwidthBps <= 0 {
+		return fmt.Errorf("core: non-positive bandwidth %v", c.BandwidthBps)
+	}
+	if c.SavedEnergy == nil {
+		return fmt.Errorf("core: SavedEnergy hook not set")
+	}
+	if c.UseProb == nil {
+		return fmt.Errorf("core: UseProb hook not set")
+	}
+	if c.PenaltyRateWattEq < 0 {
+		return fmt.Errorf("core: negative penalty rate")
+	}
+	if c.ProbSlotWidth <= 0 {
+		return fmt.Errorf("core: non-positive probability slot width")
+	}
+	return nil
+}
+
+// Assignment places one activity into one user active slot.
+type Assignment struct {
+	ActivityID int
+	SlotIndex  int // index into the U passed to Schedule
+	// Target is the instant within the slot the activity is moved to
+	// (the slot edge nearest its original time).
+	Target simtime.Instant
+	// Profit is ΔE − ΔP for this placement, with ΔP computed
+	// independently (pre-overlap-dedup).
+	Profit  float64
+	Saved   float64 // ΔE
+	Penalty float64 // independent ΔP
+}
+
+// Schedule is the scheduler's output, the S of Algorithm 1.
+type Schedule struct {
+	Assignments []Assignment
+	// Unscheduled lists activity IDs left in place (executed in their
+	// original screen-off slot).
+	Unscheduled []int
+	// TotalSaved is ΣΔE over assignments.
+	TotalSaved float64
+	// TotalPenalty is the overlap-deduplicated ΣΔP: per the paper,
+	// penalty over an interval shared by several moved activities is
+	// charged once.
+	TotalPenalty float64
+	// Objective = TotalSaved − TotalPenalty.
+	Objective float64
+	// SlotLoad[slot] is the scheduled volume per slot, for capacity
+	// audits.
+	SlotLoad []int64
+}
+
+// Capacity returns C(ti) of Eq. 5 for a slot interval.
+func (c *Config) Capacity(slot simtime.Interval) int64 {
+	return int64(c.BandwidthBps * slot.Len().Seconds())
+}
+
+// Penalty computes ΔPj (Eq. 4) for moving an activity from its original
+// time to target: the product of the e_t integral and the usage
+// probability integral over the displacement interval, integrated
+// piecewise over the probability slots.
+func (c *Config) Penalty(from, to simtime.Instant) float64 {
+	if from == to {
+		return 0
+	}
+	lo, hi := from, to
+	if lo > hi {
+		lo, hi = hi, lo
+	}
+	secs := hi.Sub(lo).Seconds()
+	probIntegral := c.probIntegral(lo, hi)
+	return c.PenaltyRateWattEq * secs * probIntegral / 1000
+}
+
+// probIntegral integrates Pr[u(t)] dt over [lo, hi) assuming UseProb is
+// piecewise constant on ProbSlotWidth slots.
+func (c *Config) probIntegral(lo, hi simtime.Instant) float64 {
+	var total float64
+	w := int64(c.ProbSlotWidth)
+	t := lo
+	for t < hi {
+		slotEnd := simtime.Instant((int64(t)/w + 1) * w)
+		if slotEnd > hi {
+			slotEnd = hi
+		}
+		total += c.UseProb(t) * slotEnd.Sub(t).Seconds()
+		t = slotEnd
+	}
+	return total
+}
+
+// nearestEdge returns the instant within slot closest to t: t itself when
+// inside, otherwise the nearer boundary (End−1 because intervals are
+// half-open).
+func nearestEdge(t simtime.Instant, slot simtime.Interval) simtime.Instant {
+	if slot.Contains(t) {
+		return t
+	}
+	if t < slot.Start {
+		return slot.Start
+	}
+	return slot.End - 1
+}
+
+// candidate is one (activity, slot) placement considered by the solver.
+type candidate struct {
+	act     Activity
+	slotIdx int
+	target  simtime.Instant
+	saved   float64
+	penalty float64
+}
+
+func (cd candidate) profit() float64 { return cd.saved - cd.penalty }
+
+// Scheduler solves the overlapped multiple knapsack problem.
+type Scheduler struct {
+	cfg Config
+}
+
+// New builds a Scheduler, validating the configuration.
+func New(cfg Config) (*Scheduler, error) {
+	if err := cfg.validate(); err != nil {
+		return nil, err
+	}
+	return &Scheduler{cfg: cfg}, nil
+}
+
+// Config returns the scheduler's configuration.
+func (s *Scheduler) Config() Config { return s.cfg }
+
+// Schedule runs Algorithm 1: given the user active slot set U (sorted,
+// disjoint intervals) and the screen-off activities Tn, it returns the
+// packing S. Activities whose every candidate placement has non-positive
+// profit stay unscheduled.
+func (s *Scheduler) Schedule(u []simtime.Interval, tn []Activity) (*Schedule, error) {
+	if err := validateSlots(u); err != nil {
+		return nil, err
+	}
+	if err := validateActivities(tn); err != nil {
+		return nil, err
+	}
+	if len(u) == 0 {
+		return &Schedule{Unscheduled: activityIDs(tn)}, nil
+	}
+
+	// Step 1 — Duplication: build candidate placements. An activity
+	// between two adjacent slots is duplicated into both; one before the
+	// first (after the last) slot gets a single candidate.
+	cands := s.buildCandidates(u, tn)
+
+	// Step 2+3 — Sort by profit density and run SinKnap per slot.
+	perSlot := make([][]candidate, len(u))
+	for _, cd := range cands {
+		perSlot[cd.slotIdx] = append(perSlot[cd.slotIdx], cd)
+	}
+	chosen := make(map[int][]candidate) // activityID → winning placements
+	for slotIdx, slotCands := range perSlot {
+		if len(slotCands) == 0 {
+			continue
+		}
+		sortByDensity(slotCands)
+		items := make([]knapsack.Item, len(slotCands))
+		for i, cd := range slotCands {
+			items[i] = knapsack.Item{ID: i, Profit: cd.profit(), Weight: cd.act.Bytes}
+		}
+		sol, err := knapsack.Solve(items, s.cfg.Capacity(u[slotIdx]), s.cfg.Eps)
+		if err != nil {
+			return nil, fmt.Errorf("core: slot %d: %w", slotIdx, err)
+		}
+		for _, id := range sol.IDs {
+			cd := slotCands[id]
+			chosen[cd.act.ID] = append(chosen[cd.act.ID], cd)
+		}
+	}
+
+	// Step 4 — Filtering: an activity packed in both duplicate slots
+	// keeps the copy in the slot with smaller residual capacity
+	// C(ti) − V(nj), freeing the other slot for greedy additions.
+	residual := make([]int64, len(u))
+	for i := range u {
+		residual[i] = s.cfg.Capacity(u[i])
+	}
+	var selected []candidate
+	scheduledIDs := make(map[int]bool)
+	// Deterministic iteration: ascending activity ID.
+	ids := make([]int, 0, len(chosen))
+	for id := range chosen {
+		ids = append(ids, id)
+	}
+	sort.Ints(ids)
+	for _, id := range ids {
+		placements := chosen[id]
+		best := placements[0]
+		if len(placements) > 1 {
+			// Smaller residual after placement wins (the paper's
+			// rule), profit as tie-break.
+			ra := residual[placements[0].slotIdx] - placements[0].act.Bytes
+			rb := residual[placements[1].slotIdx] - placements[1].act.Bytes
+			if rb < ra || (rb == ra && placements[1].profit() > placements[0].profit()) {
+				best = placements[1]
+			}
+		}
+		selected = append(selected, best)
+		scheduledIDs[id] = true
+		residual[best.slotIdx] -= best.act.Bytes
+	}
+
+	// GreedyAdd: try to place every remaining activity into any slot
+	// with room, in profit-density order.
+	var leftovers []candidate
+	for _, cd := range cands {
+		if !scheduledIDs[cd.act.ID] && cd.profit() > 0 {
+			leftovers = append(leftovers, cd)
+		}
+	}
+	sortByDensity(leftovers)
+	for _, cd := range leftovers {
+		if scheduledIDs[cd.act.ID] {
+			continue
+		}
+		if cd.act.Bytes <= residual[cd.slotIdx] {
+			selected = append(selected, cd)
+			scheduledIDs[cd.act.ID] = true
+			residual[cd.slotIdx] -= cd.act.Bytes
+		}
+	}
+
+	return s.buildSchedule(u, tn, selected, scheduledIDs), nil
+}
+
+// buildCandidates implements the duplication step.
+func (s *Scheduler) buildCandidates(u []simtime.Interval, tn []Activity) []candidate {
+	var cands []candidate
+	for _, a := range tn {
+		for _, slotIdx := range adjacentSlots(u, a.Time) {
+			target := nearestEdge(a.Time, u[slotIdx])
+			if a.DeferOnly && target < a.Time {
+				continue
+			}
+			cd := candidate{
+				act:     a,
+				slotIdx: slotIdx,
+				target:  target,
+				saved:   s.cfg.SavedEnergy(a),
+				penalty: s.cfg.Penalty(a.Time, target),
+			}
+			if cd.profit() > 0 {
+				cands = append(cands, cd)
+			}
+		}
+	}
+	return cands
+}
+
+// adjacentSlots returns the indices of the active slots adjacent to time
+// t: the slot containing t (alone, if any), else the nearest earlier and
+// later slots.
+func adjacentSlots(u []simtime.Interval, t simtime.Instant) []int {
+	// First slot starting after t.
+	next := sort.Search(len(u), func(i int) bool { return u[i].Start > t })
+	prev := next - 1
+	if prev >= 0 && u[prev].Contains(t) {
+		return []int{prev}
+	}
+	var out []int
+	if prev >= 0 {
+		out = append(out, prev)
+	}
+	if next < len(u) {
+		out = append(out, next)
+	}
+	return out
+}
+
+func sortByDensity(cds []candidate) {
+	sort.Slice(cds, func(i, j int) bool {
+		di := densityOf(cds[i])
+		dj := densityOf(cds[j])
+		if di != dj {
+			return di > dj
+		}
+		if cds[i].act.ID != cds[j].act.ID {
+			return cds[i].act.ID < cds[j].act.ID
+		}
+		return cds[i].slotIdx < cds[j].slotIdx
+	})
+}
+
+func densityOf(cd candidate) float64 {
+	if cd.act.Bytes == 0 {
+		return math.Inf(1)
+	}
+	return cd.profit() / float64(cd.act.Bytes)
+}
+
+// buildSchedule assembles the result, computing the overlap-deduplicated
+// total penalty: displacement intervals that overlap are charged once.
+func (s *Scheduler) buildSchedule(u []simtime.Interval, tn []Activity, selected []candidate, scheduledIDs map[int]bool) *Schedule {
+	out := &Schedule{SlotLoad: make([]int64, len(u))}
+	var displacement []simtime.Interval
+	sort.Slice(selected, func(i, j int) bool {
+		if selected[i].act.ID != selected[j].act.ID {
+			return selected[i].act.ID < selected[j].act.ID
+		}
+		return selected[i].slotIdx < selected[j].slotIdx
+	})
+	for _, cd := range selected {
+		out.Assignments = append(out.Assignments, Assignment{
+			ActivityID: cd.act.ID,
+			SlotIndex:  cd.slotIdx,
+			Target:     cd.target,
+			Profit:     cd.profit(),
+			Saved:      cd.saved,
+			Penalty:    cd.penalty,
+		})
+		out.TotalSaved += cd.saved
+		out.SlotLoad[cd.slotIdx] += cd.act.Bytes
+		lo, hi := cd.act.Time, cd.target
+		if lo > hi {
+			lo, hi = hi, lo
+		}
+		if lo != hi {
+			displacement = append(displacement, simtime.Interval{Start: lo, End: hi})
+		}
+	}
+	for _, iv := range simtime.MergeIntervals(displacement) {
+		out.TotalPenalty += s.cfg.PenaltyRateWattEq * iv.Len().Seconds() * s.cfg.probIntegral(iv.Start, iv.End) / 1000
+	}
+	out.Objective = out.TotalSaved - out.TotalPenalty
+	for _, a := range tn {
+		if !scheduledIDs[a.ID] {
+			out.Unscheduled = append(out.Unscheduled, a.ID)
+		}
+	}
+	sort.Ints(out.Unscheduled)
+	return out
+}
+
+func validateSlots(u []simtime.Interval) error {
+	for i, iv := range u {
+		if iv.IsEmpty() {
+			return fmt.Errorf("core: empty active slot %d", i)
+		}
+		if i > 0 && iv.Start < u[i-1].End {
+			return fmt.Errorf("core: active slots %d and %d overlap or are unsorted", i-1, i)
+		}
+	}
+	return nil
+}
+
+func validateActivities(tn []Activity) error {
+	seen := make(map[int]bool, len(tn))
+	for _, a := range tn {
+		if seen[a.ID] {
+			return fmt.Errorf("core: duplicate activity ID %d", a.ID)
+		}
+		seen[a.ID] = true
+		if a.Bytes < 0 {
+			return fmt.Errorf("core: activity %d has negative volume", a.ID)
+		}
+		if a.ActiveSecs < 0 {
+			return fmt.Errorf("core: activity %d has negative transfer time", a.ID)
+		}
+	}
+	return nil
+}
+
+func activityIDs(tn []Activity) []int {
+	out := make([]int, len(tn))
+	for i, a := range tn {
+		out[i] = a.ID
+	}
+	sort.Ints(out)
+	return out
+}
+
+// BruteForce solves the overlapped multiple knapsack exactly by
+// exhaustive search over every (slot | unscheduled) choice per activity.
+// Exponential — test harness only; it refuses instances with more than 20
+// activities.
+func (s *Scheduler) BruteForce(u []simtime.Interval, tn []Activity) (*Schedule, error) {
+	if err := validateSlots(u); err != nil {
+		return nil, err
+	}
+	if err := validateActivities(tn); err != nil {
+		return nil, err
+	}
+	if len(tn) > 20 {
+		return nil, fmt.Errorf("core: BruteForce limited to 20 activities, got %d", len(tn))
+	}
+	cands := s.buildCandidates(u, tn)
+	perAct := make(map[int][]candidate)
+	for _, cd := range cands {
+		perAct[cd.act.ID] = append(perAct[cd.act.ID], cd)
+	}
+	order := make([]int, 0, len(perAct))
+	for id := range perAct {
+		order = append(order, id)
+	}
+	sort.Ints(order)
+
+	capacity := make([]int64, len(u))
+	for i := range u {
+		capacity[i] = s.cfg.Capacity(u[i])
+	}
+
+	var best []candidate
+	bestObj := 0.0
+	var cur []candidate
+	var rec func(i int)
+	rec = func(i int) {
+		if i == len(order) {
+			obj := s.objectiveOf(cur)
+			if obj > bestObj {
+				bestObj = obj
+				best = append([]candidate(nil), cur...)
+			}
+			return
+		}
+		rec(i + 1) // leave unscheduled
+		for _, cd := range perAct[order[i]] {
+			if cd.act.Bytes <= capacity[cd.slotIdx] {
+				capacity[cd.slotIdx] -= cd.act.Bytes
+				cur = append(cur, cd)
+				rec(i + 1)
+				cur = cur[:len(cur)-1]
+				capacity[cd.slotIdx] += cd.act.Bytes
+			}
+		}
+	}
+	rec(0)
+
+	scheduled := make(map[int]bool)
+	for _, cd := range best {
+		scheduled[cd.act.ID] = true
+	}
+	return s.buildSchedule(u, tn, best, scheduled), nil
+}
+
+// objectiveOf computes ΣΔE − overlap-deduplicated ΣΔP of a selection.
+func (s *Scheduler) objectiveOf(sel []candidate) float64 {
+	var saved float64
+	var displacement []simtime.Interval
+	for _, cd := range sel {
+		saved += cd.saved
+		lo, hi := cd.act.Time, cd.target
+		if lo > hi {
+			lo, hi = hi, lo
+		}
+		if lo != hi {
+			displacement = append(displacement, simtime.Interval{Start: lo, End: hi})
+		}
+	}
+	var penalty float64
+	for _, iv := range simtime.MergeIntervals(displacement) {
+		penalty += s.cfg.PenaltyRateWattEq * iv.Len().Seconds() * s.cfg.probIntegral(iv.Start, iv.End) / 1000
+	}
+	return saved - penalty
+}

@@ -1,0 +1,416 @@
+package core
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"netmaster/internal/simtime"
+)
+
+// testConfig builds a scheduler config with a flat usage probability and
+// a duration-independent ΔE, so tests can reason about profits exactly.
+func testConfig(bandwidth float64, penaltyRate float64, useProb func(simtime.Instant) float64) Config {
+	if useProb == nil {
+		useProb = func(simtime.Instant) float64 { return 0.1 }
+	}
+	return Config{
+		Eps:               0.1,
+		BandwidthBps:      bandwidth,
+		PenaltyRateWattEq: penaltyRate,
+		ProbSlotWidth:     simtime.Hour,
+		SavedEnergy:       func(a Activity) float64 { return 10 + a.ActiveSecs },
+		UseProb:           useProb,
+	}
+}
+
+func mustScheduler(t *testing.T, cfg Config) *Scheduler {
+	t.Helper()
+	s, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s
+}
+
+func TestConfigValidation(t *testing.T) {
+	base := testConfig(1000, 0, nil)
+	mutations := map[string]func(*Config){
+		"bad eps low":    func(c *Config) { c.Eps = 0 },
+		"bad eps high":   func(c *Config) { c.Eps = 1 },
+		"zero bandwidth": func(c *Config) { c.BandwidthBps = 0 },
+		"nil saved":      func(c *Config) { c.SavedEnergy = nil },
+		"nil prob":       func(c *Config) { c.UseProb = nil },
+		"neg penalty":    func(c *Config) { c.PenaltyRateWattEq = -1 },
+		"zero slot":      func(c *Config) { c.ProbSlotWidth = 0 },
+	}
+	for name, mutate := range mutations {
+		cfg := base
+		mutate(&cfg)
+		if _, err := New(cfg); err == nil {
+			t.Errorf("%s: accepted", name)
+		}
+	}
+}
+
+func TestCapacity(t *testing.T) {
+	cfg := testConfig(100, 0, nil)
+	slot := simtime.Interval{Start: 0, End: simtime.Instant(simtime.Hour)}
+	if got := cfg.Capacity(slot); got != 360000 {
+		t.Errorf("Capacity = %d", got)
+	}
+}
+
+func TestPenaltyZeroForNoMove(t *testing.T) {
+	cfg := testConfig(1000, 5, nil)
+	if cfg.Penalty(100, 100) != 0 {
+		t.Error("no displacement must cost nothing")
+	}
+}
+
+func TestPenaltySymmetricAndHandComputed(t *testing.T) {
+	// Pr[u] = 0.5 everywhere: ΔP = et·secs·(0.5·secs)/1000.
+	cfg := testConfig(1000, 2, func(simtime.Instant) float64 { return 0.5 })
+	secs := 1800.0
+	want := 2 * secs * (0.5 * secs) / 1000
+	got := cfg.Penalty(simtime.At(0, 1, 0, 0), simtime.At(0, 1, 30, 0))
+	if math.Abs(got-want) > 1e-9 {
+		t.Errorf("Penalty = %v, want %v", got, want)
+	}
+	back := cfg.Penalty(simtime.At(0, 1, 30, 0), simtime.At(0, 1, 0, 0))
+	if math.Abs(got-back) > 1e-9 {
+		t.Error("Penalty must be symmetric in direction")
+	}
+}
+
+func TestPenaltyPiecewiseIntegration(t *testing.T) {
+	// Pr = 1 in hour 1, 0 elsewhere: moving across [0:30, 2:30) spans
+	// 7200 s, with a probability integral of exactly 3600 s.
+	cfg := testConfig(1000, 1, func(t simtime.Instant) float64 {
+		if t.HourOfDay() == 1 {
+			return 1
+		}
+		return 0
+	})
+	got := cfg.Penalty(simtime.At(0, 0, 30, 0), simtime.At(0, 2, 30, 0))
+	want := 1 * 7200.0 * 3600.0 / 1000
+	if math.Abs(got-want) > 1e-9 {
+		t.Errorf("piecewise Penalty = %v, want %v", got, want)
+	}
+}
+
+func hourSlot(day, hour int) simtime.Interval {
+	return simtime.Interval{Start: simtime.At(day, hour, 0, 0), End: simtime.At(day, hour+1, 0, 0)}
+}
+
+func TestScheduleBasicAssignment(t *testing.T) {
+	s := mustScheduler(t, testConfig(1000, 0, nil))
+	u := []simtime.Interval{hourSlot(0, 8)}
+	tn := []Activity{{ID: 1, Time: simtime.At(0, 3, 0, 0), Bytes: 100, ActiveSecs: 5}}
+	sched, err := s.Schedule(u, tn)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(sched.Assignments) != 1 || sched.Assignments[0].SlotIndex != 0 {
+		t.Fatalf("assignments = %+v", sched.Assignments)
+	}
+	if sched.Assignments[0].Target != simtime.At(0, 8, 0, 0) {
+		t.Errorf("target = %v, want slot start (nearest edge)", sched.Assignments[0].Target)
+	}
+	if len(sched.Unscheduled) != 0 {
+		t.Errorf("unscheduled = %v", sched.Unscheduled)
+	}
+	if math.Abs(sched.TotalSaved-15) > 1e-9 {
+		t.Errorf("TotalSaved = %v", sched.TotalSaved)
+	}
+}
+
+func TestScheduleEmptyU(t *testing.T) {
+	s := mustScheduler(t, testConfig(1000, 0, nil))
+	sched, err := s.Schedule(nil, []Activity{{ID: 7, Time: 100, Bytes: 10}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(sched.Assignments) != 0 || len(sched.Unscheduled) != 1 || sched.Unscheduled[0] != 7 {
+		t.Errorf("empty-U schedule = %+v", sched)
+	}
+}
+
+func TestScheduleRespectsCapacity(t *testing.T) {
+	// Capacity of 1 B/s × 3600 s = 3600 bytes; three 2000-byte items →
+	// only one fits.
+	s := mustScheduler(t, testConfig(1, 0, nil))
+	u := []simtime.Interval{hourSlot(0, 8)}
+	tn := []Activity{
+		{ID: 1, Time: simtime.At(0, 3, 0, 0), Bytes: 2000, ActiveSecs: 5},
+		{ID: 2, Time: simtime.At(0, 4, 0, 0), Bytes: 2000, ActiveSecs: 5},
+		{ID: 3, Time: simtime.At(0, 5, 0, 0), Bytes: 2000, ActiveSecs: 5},
+	}
+	sched, err := s.Schedule(u, tn)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(sched.Assignments) != 1 || len(sched.Unscheduled) != 2 {
+		t.Fatalf("capacity violated: %d assigned, %d unscheduled",
+			len(sched.Assignments), len(sched.Unscheduled))
+	}
+	if sched.SlotLoad[0] > 3600 {
+		t.Errorf("slot load %d exceeds capacity", sched.SlotLoad[0])
+	}
+}
+
+func TestScheduleDuplicationAndFilter(t *testing.T) {
+	// Activity between two slots is duplicated into both but must be
+	// scheduled exactly once.
+	s := mustScheduler(t, testConfig(1000, 0, nil))
+	u := []simtime.Interval{hourSlot(0, 8), hourSlot(0, 20)}
+	tn := []Activity{{ID: 1, Time: simtime.At(0, 14, 0, 0), Bytes: 100, ActiveSecs: 5}}
+	sched, err := s.Schedule(u, tn)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(sched.Assignments) != 1 {
+		t.Fatalf("duplicated activity scheduled %d times", len(sched.Assignments))
+	}
+}
+
+func TestScheduleDeferOnly(t *testing.T) {
+	// A push before the only slot can defer into it; a push after the
+	// only slot cannot move backwards and stays unscheduled.
+	s := mustScheduler(t, testConfig(1000, 0, nil))
+	u := []simtime.Interval{hourSlot(0, 8)}
+	tn := []Activity{
+		{ID: 1, Time: simtime.At(0, 3, 0, 0), Bytes: 100, ActiveSecs: 5, DeferOnly: true},
+		{ID: 2, Time: simtime.At(0, 14, 0, 0), Bytes: 100, ActiveSecs: 5, DeferOnly: true},
+	}
+	sched, err := s.Schedule(u, tn)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(sched.Assignments) != 1 || sched.Assignments[0].ActivityID != 1 {
+		t.Fatalf("defer-only handling wrong: %+v", sched.Assignments)
+	}
+	if len(sched.Unscheduled) != 1 || sched.Unscheduled[0] != 2 {
+		t.Errorf("unscheduled = %v", sched.Unscheduled)
+	}
+	// The same sync (not defer-only) may prefetch backwards.
+	tn[1].DeferOnly = false
+	sched, err = s.Schedule(u, tn)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(sched.Assignments) != 2 {
+		t.Errorf("sync prefetch rejected: %+v", sched.Assignments)
+	}
+}
+
+func TestScheduleRejectsUnprofitableMoves(t *testing.T) {
+	// A huge penalty rate makes every move lose money: nothing is
+	// scheduled.
+	s := mustScheduler(t, testConfig(1000, 1e6, func(simtime.Instant) float64 { return 1 }))
+	u := []simtime.Interval{hourSlot(0, 8)}
+	tn := []Activity{{ID: 1, Time: simtime.At(0, 3, 0, 0), Bytes: 100, ActiveSecs: 5}}
+	sched, err := s.Schedule(u, tn)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(sched.Assignments) != 0 {
+		t.Errorf("unprofitable move accepted: %+v", sched.Assignments)
+	}
+}
+
+func TestScheduleActivityInsideSlot(t *testing.T) {
+	// An activity already inside an active slot targets its own time
+	// with zero penalty.
+	s := mustScheduler(t, testConfig(1000, 10, nil))
+	u := []simtime.Interval{hourSlot(0, 8)}
+	tn := []Activity{{ID: 1, Time: simtime.At(0, 8, 30, 0), Bytes: 100, ActiveSecs: 5}}
+	sched, err := s.Schedule(u, tn)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(sched.Assignments) != 1 {
+		t.Fatal("in-slot activity not scheduled")
+	}
+	a := sched.Assignments[0]
+	if a.Target != simtime.At(0, 8, 30, 0) || a.Penalty != 0 {
+		t.Errorf("in-slot assignment = %+v", a)
+	}
+}
+
+func TestScheduleInputValidation(t *testing.T) {
+	s := mustScheduler(t, testConfig(1000, 0, nil))
+	// Overlapping slots.
+	if _, err := s.Schedule([]simtime.Interval{
+		{Start: 0, End: 100}, {Start: 50, End: 150},
+	}, nil); err == nil {
+		t.Error("overlapping slots accepted")
+	}
+	// Empty slot.
+	if _, err := s.Schedule([]simtime.Interval{{Start: 5, End: 5}}, nil); err == nil {
+		t.Error("empty slot accepted")
+	}
+	// Duplicate activity IDs.
+	if _, err := s.Schedule([]simtime.Interval{hourSlot(0, 8)}, []Activity{
+		{ID: 1, Time: 0, Bytes: 1}, {ID: 1, Time: 10, Bytes: 1},
+	}); err == nil {
+		t.Error("duplicate IDs accepted")
+	}
+	// Negative volume.
+	if _, err := s.Schedule([]simtime.Interval{hourSlot(0, 8)}, []Activity{
+		{ID: 1, Time: 0, Bytes: -1},
+	}); err == nil {
+		t.Error("negative volume accepted")
+	}
+}
+
+func TestOverlapDedupedPenalty(t *testing.T) {
+	// Two activities moved across overlapping stretches: the shared
+	// part of the displacement is charged once.
+	prob := func(simtime.Instant) float64 { return 1 }
+	cfg := testConfig(1e9, 0.0002, prob)
+	s := mustScheduler(t, cfg)
+	u := []simtime.Interval{hourSlot(0, 8)}
+	tn := []Activity{
+		{ID: 1, Time: simtime.At(0, 6, 0, 0), Bytes: 1, ActiveSecs: 5},
+		{ID: 2, Time: simtime.At(0, 7, 0, 0), Bytes: 1, ActiveSecs: 5},
+	}
+	sched, err := s.Schedule(u, tn)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(sched.Assignments) != 2 {
+		t.Fatalf("assignments = %+v", sched.Assignments)
+	}
+	// Displacements are [6h,8h) and [7h,8h); union is [6h,8h): the
+	// deduplicated penalty equals the larger single penalty.
+	bigger := cfg.Penalty(simtime.At(0, 6, 0, 0), simtime.At(0, 8, 0, 0))
+	if math.Abs(sched.TotalPenalty-bigger) > 1e-9 {
+		t.Errorf("TotalPenalty = %v, want deduped %v", sched.TotalPenalty, bigger)
+	}
+	// The independent penalties would sum higher.
+	indep := sched.Assignments[0].Penalty + sched.Assignments[1].Penalty
+	if indep <= sched.TotalPenalty {
+		t.Errorf("dedup had no effect: %v vs %v", indep, sched.TotalPenalty)
+	}
+}
+
+// randomInstance builds a small random scheduling instance.
+func randomInstance(rng *rand.Rand) ([]simtime.Interval, []Activity) {
+	numSlots := 1 + rng.Intn(3)
+	var u []simtime.Interval
+	hour := 6 + rng.Intn(3)
+	for i := 0; i < numSlots; i++ {
+		u = append(u, hourSlot(0, hour))
+		hour += 2 + rng.Intn(5)
+		if hour > 22 {
+			break
+		}
+	}
+	n := 1 + rng.Intn(8)
+	var tn []Activity
+	for i := 0; i < n; i++ {
+		tn = append(tn, Activity{
+			ID:         i,
+			Time:       simtime.Instant(rng.Int63n(int64(simtime.Day))),
+			Bytes:      rng.Int63n(3000) + 1,
+			ActiveSecs: float64(rng.Intn(30) + 1),
+			DeferOnly:  rng.Intn(3) == 0,
+		})
+	}
+	return u, tn
+}
+
+// TestLemmaGuaranteeProperty checks Lemma IV.1 empirically: with
+// independent profits (penalty 0, so overlap dedup is irrelevant) the
+// algorithm's total profit is at least (1−ε)/2 of the brute-force optimum.
+func TestLemmaGuaranteeProperty(t *testing.T) {
+	prop := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		cfg := testConfig(1, 0, nil) // tight capacity: 3600 bytes/slot
+		s, err := New(cfg)
+		if err != nil {
+			return false
+		}
+		u, tn := randomInstance(rng)
+		got, err := s.Schedule(u, tn)
+		if err != nil {
+			return false
+		}
+		opt, err := s.BruteForce(u, tn)
+		if err != nil {
+			return false
+		}
+		bound := (1 - cfg.Eps) / 2 * opt.Objective
+		return got.Objective >= bound-1e-9
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 120}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestSchedulerNearOptimalInPractice documents that the algorithm is far
+// better than its worst-case bound on typical instances.
+func TestSchedulerNearOptimalInPractice(t *testing.T) {
+	rng := rand.New(rand.NewSource(99))
+	cfg := testConfig(1, 0.0001, nil)
+	s := mustScheduler(t, cfg)
+	var ratioSum float64
+	trials := 0
+	for i := 0; i < 60; i++ {
+		u, tn := randomInstance(rng)
+		got, err := s.Schedule(u, tn)
+		if err != nil {
+			t.Fatal(err)
+		}
+		opt, err := s.BruteForce(u, tn)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if opt.Objective <= 0 {
+			continue
+		}
+		ratioSum += got.Objective / opt.Objective
+		trials++
+	}
+	if trials == 0 {
+		t.Skip("no positive instances")
+	}
+	if mean := ratioSum / float64(trials); mean < 0.9 {
+		t.Errorf("mean optimality ratio %v, expected > 0.9 in practice", mean)
+	}
+}
+
+func TestBruteForceRefusesLargeInstances(t *testing.T) {
+	s := mustScheduler(t, testConfig(1000, 0, nil))
+	tn := make([]Activity, 21)
+	for i := range tn {
+		tn[i] = Activity{ID: i, Time: simtime.Instant(i * 1000), Bytes: 1}
+	}
+	if _, err := s.BruteForce([]simtime.Interval{hourSlot(0, 8)}, tn); err == nil {
+		t.Error("BruteForce accepted 21 activities")
+	}
+}
+
+func TestScheduleDeterministic(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	u, tn := randomInstance(rng)
+	s := mustScheduler(t, testConfig(1, 0.001, nil))
+	a, err := s.Schedule(u, tn)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := s.Schedule(u, tn)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(a.Assignments) != len(b.Assignments) || a.Objective != b.Objective {
+		t.Error("scheduler is non-deterministic")
+	}
+	for i := range a.Assignments {
+		if a.Assignments[i] != b.Assignments[i] {
+			t.Errorf("assignment %d differs", i)
+		}
+	}
+}

@@ -1,0 +1,133 @@
+package device
+
+import (
+	"math"
+	"testing"
+
+	"netmaster/internal/power"
+	"netmaster/internal/simtime"
+	"netmaster/internal/trace"
+)
+
+func TestEnergyByAppConservation(t *testing.T) {
+	model := power.Model3G()
+	tr := planTrace()
+	p := identityPlan(tr)
+	p.WakeWindows = []simtime.Interval{
+		{Start: simtime.At(0, 5, 0, 0), End: simtime.At(0, 5, 0, 4)},
+	}
+	whole, err := ComputeMetrics(p, model)
+	if err != nil {
+		t.Fatal(err)
+	}
+	perApp, err := EnergyByApp(p, model)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var sum float64
+	for _, e := range perApp {
+		sum += e.EnergyJ
+		if math.Abs(e.EnergyJ-(e.ActiveJ+e.PromoJ+e.TailJ)) > 1e-9 {
+			t.Errorf("%s: breakdown doesn't sum: %+v", e.App, e)
+		}
+	}
+	if math.Abs(sum-whole.Radio.EnergyJ) > 1e-6 {
+		t.Errorf("per-app sum %v != total %v", sum, whole.Radio.EnergyJ)
+	}
+}
+
+func TestEnergyByAppAttribution(t *testing.T) {
+	model := power.Model3G()
+	// Two apps: "a" bursts alone (pays its promotion and tail); "b"
+	// joins a's second burst while the radio is up (pays only its
+	// extension) and is the last to finish, so the tail is b's.
+	tr := &trace.Trace{
+		UserID: "attr", Days: 1,
+		Activities: []trace.NetworkActivity{
+			{App: "a", Start: 1000, Duration: 10, BytesDown: 100, Kind: trace.KindSync},
+			{App: "a", Start: 2000, Duration: 10, BytesDown: 100, Kind: trace.KindSync},
+			{App: "b", Start: 2005, Duration: 15, BytesDown: 100, Kind: trace.KindSync},
+		},
+	}
+	tr.Normalize()
+	p := identityPlan(tr)
+	perApp, err := EnergyByApp(p, model)
+	if err != nil {
+		t.Fatal(err)
+	}
+	byApp := map[trace.AppID]AppEnergy{}
+	for _, e := range perApp {
+		byApp[e.App] = e
+	}
+	a, b := byApp["a"], byApp["b"]
+	if a.Bursts != 2 || b.Bursts != 1 {
+		t.Fatalf("burst counts: a=%d b=%d", a.Bursts, b.Bursts)
+	}
+	// a pays both promotions (it triggered both clusters).
+	if !almost(a.PromoJ, 2*model.PromoFromIdle.Energy()) {
+		t.Errorf("a promo = %v", a.PromoJ)
+	}
+	if b.PromoJ != 0 {
+		t.Errorf("b promo = %v, should ride a's radio", b.PromoJ)
+	}
+	// a owns the first cluster's tail, b the second's (it finished
+	// last).
+	if !almost(a.TailJ, model.TailEnergy()) {
+		t.Errorf("a tail = %v", a.TailJ)
+	}
+	if !almost(b.TailJ, model.TailEnergy()) {
+		t.Errorf("b tail = %v", b.TailJ)
+	}
+	// b's active time is only its extension beyond a's burst:
+	// [2005, 2020) extends [2000, 2010) by 10 s.
+	if !almost(b.ActiveJ, 10*model.ActivePowerMW/1000) {
+		t.Errorf("b active = %v", b.ActiveJ)
+	}
+	// Conservation against the timeline.
+	whole, err := ComputeMetrics(p, model)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !almost(a.EnergyJ+b.EnergyJ, whole.Radio.EnergyJ) {
+		t.Errorf("sum %v != total %v", a.EnergyJ+b.EnergyJ, whole.Radio.EnergyJ)
+	}
+}
+
+func TestEnergyByAppMonitorShare(t *testing.T) {
+	model := power.Model3G()
+	tr := planTrace()
+	p := identityPlan(tr)
+	p.WakeWindows = []simtime.Interval{
+		{Start: simtime.At(0, 6, 0, 0), End: simtime.At(0, 6, 0, 10)},
+	}
+	perApp, err := EnergyByApp(p, model)
+	if err != nil {
+		t.Fatal(err)
+	}
+	found := false
+	for _, e := range perApp {
+		if e.App == MonitorApp {
+			found = true
+			if !almost(e.ActiveJ, 10*0.46) {
+				t.Errorf("monitor energy = %v", e.ActiveJ)
+			}
+		}
+	}
+	if !found {
+		t.Fatal("monitor pseudo-app missing")
+	}
+}
+
+func TestEnergyByAppSortedDescending(t *testing.T) {
+	model := power.Model3G()
+	p := identityPlan(planTrace())
+	perApp, err := EnergyByApp(p, model)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 1; i < len(perApp); i++ {
+		if perApp[i].EnergyJ > perApp[i-1].EnergyJ {
+			t.Fatal("per-app shares unsorted")
+		}
+	}
+}

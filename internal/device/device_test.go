@@ -1,0 +1,324 @@
+package device
+
+import (
+	"math"
+	"strings"
+	"testing"
+
+	"netmaster/internal/power"
+	"netmaster/internal/simtime"
+	"netmaster/internal/trace"
+)
+
+func almost(a, b float64) bool { return math.Abs(a-b) < 1e-6 }
+
+// planTrace is a minimal one-day trace for plan/metric tests.
+func planTrace() *trace.Trace {
+	t := &trace.Trace{
+		UserID: "plan", Days: 1,
+		InstalledApps: []trace.AppID{"chat", "game"},
+		Sessions: []trace.ScreenSession{
+			{Interval: simtime.Interval{Start: simtime.At(0, 9, 0, 0), End: simtime.At(0, 9, 1, 0)}},
+		},
+		Activities: []trace.NetworkActivity{
+			{App: "chat", Start: simtime.At(0, 3, 0, 0), Duration: 10, BytesDown: 6144, BytesUp: 2048, Kind: trace.KindSync},
+			{App: "chat", Start: simtime.At(0, 9, 0, 5), Duration: 8, BytesDown: 20480, BytesUp: 4096, Kind: trace.KindUserDriven},
+			{App: "chat", Start: simtime.At(0, 15, 0, 0), Duration: 6, BytesDown: 2048, BytesUp: 512, Kind: trace.KindPush},
+		},
+		Interactions: []trace.Interaction{
+			{Time: simtime.At(0, 9, 0, 10), App: "chat", WantsNetwork: true},
+			{Time: simtime.At(0, 15, 30, 0), App: "game", WantsNetwork: true},
+			{Time: simtime.At(0, 16, 0, 0), App: "chat", WantsNetwork: true},
+		},
+	}
+	t.Normalize()
+	return t
+}
+
+// identityPlan executes everything as recorded.
+func identityPlan(t *trace.Trace) *Plan {
+	p := &Plan{PolicyName: "test", Trace: t}
+	for i := range t.Activities {
+		p.Executions = append(p.Executions, Execution{
+			Index: i, ExecStart: t.Activities[i].Start, TailCutSecs: power.FullTail,
+		})
+	}
+	return p
+}
+
+func TestValidateAcceptsIdentity(t *testing.T) {
+	if err := identityPlan(planTrace()).Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestValidateRejections(t *testing.T) {
+	mutations := map[string]func(*Plan){
+		"nil trace":     func(p *Plan) { p.Trace = nil },
+		"missing exec":  func(p *Plan) { p.Executions = p.Executions[:len(p.Executions)-1] },
+		"double exec":   func(p *Plan) { p.Executions[1].Index = 0 },
+		"index range":   func(p *Plan) { p.Executions[0].Index = 99 },
+		"neg start":     func(p *Plan) { p.Executions[0].ExecStart = -1 },
+		"past horizon":  func(p *Plan) { p.Executions[0].ExecStart = simtime.At(0, 23, 59, 59) },
+		"push prefetch": func(p *Plan) { p.Executions[2].ExecStart = simtime.At(0, 14, 0, 0) },
+		"user moved":    func(p *Plan) { p.Executions[1].ExecStart += 5 },
+		"neg tail":      func(p *Plan) { p.Executions[0].TailCutSecs = -1 },
+		"neg duration":  func(p *Plan) { p.Executions[0].Duration = -1 },
+		"duration spill": func(p *Plan) {
+			p.Executions[2].ExecStart = simtime.At(0, 23, 59, 0)
+			p.Executions[2].Duration = 2 * simtime.Minute
+		},
+	}
+	for name, mutate := range mutations {
+		p := identityPlan(planTrace())
+		mutate(p)
+		if err := p.Validate(); err == nil {
+			t.Errorf("%s: accepted", name)
+		}
+	}
+}
+
+func TestSyncPrefetchAllowed(t *testing.T) {
+	p := identityPlan(planTrace())
+	p.Executions[0].ExecStart = simtime.At(0, 1, 0, 0) // sync moved earlier: fine
+	if err := p.Validate(); err != nil {
+		t.Errorf("sync prefetch rejected: %v", err)
+	}
+}
+
+func TestComputeMetricsIdentityEnergy(t *testing.T) {
+	model := power.Model3G()
+	tr := planTrace()
+	m, err := ComputeMetrics(identityPlan(tr), model)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Three isolated bursts (gaps ≫ tail): 3 standalone cycles.
+	want := model.StandaloneBurstEnergy(10) + model.StandaloneBurstEnergy(8) + model.StandaloneBurstEnergy(6)
+	if !almost(m.Radio.EnergyJ, want) {
+		t.Errorf("energy = %v, want %v", m.Radio.EnergyJ, want)
+	}
+	if m.Radio.Promotions != 3 {
+		t.Errorf("promotions = %d", m.Radio.Promotions)
+	}
+	if m.BytesDown != 6144+20480+2048 || m.BytesUp != 2048+4096+512 {
+		t.Errorf("bytes = %d/%d", m.BytesDown, m.BytesUp)
+	}
+	if m.Deferred != 0 || m.WrongDecisions != 0 {
+		t.Errorf("identity plan has deferrals/wrongs: %+v", m)
+	}
+}
+
+func TestComputeMetricsCompactDuration(t *testing.T) {
+	model := power.Model3G()
+	tr := planTrace()
+	p := identityPlan(tr)
+	p.Executions[0].Duration = 2 // compacted from 10 s to 2 s
+	m, err := ComputeMetrics(p, model)
+	if err != nil {
+		t.Fatal(err)
+	}
+	base, _ := ComputeMetrics(identityPlan(tr), model)
+	// 8 s less active time at 800 mW.
+	if !almost(base.Radio.EnergyJ-m.Radio.EnergyJ, 8*0.8) {
+		t.Errorf("compact saving = %v", base.Radio.EnergyJ-m.Radio.EnergyJ)
+	}
+	// The compacted burst has a higher peak rate.
+	if m.PeakDownRateBps <= base.PeakDownRateBps {
+		t.Error("compacting did not raise the peak rate")
+	}
+}
+
+func TestComputeMetricsDeferralAccounting(t *testing.T) {
+	tr := planTrace()
+	p := identityPlan(tr)
+	p.Executions[0].ExecStart = tr.Activities[0].Start.Add(100) // sync +100 s
+	p.Executions[2].ExecStart = tr.Activities[2].Start.Add(50)  // push +50 s
+	m, err := ComputeMetrics(p, power.Model3G())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Deferred != 2 || !almost(m.MeanDeferSecs, 75) || !almost(m.MaxDeferSecs, 100) {
+		t.Errorf("deferral accounting = %+v", m)
+	}
+}
+
+func TestComputeMetricsWakeWindows(t *testing.T) {
+	model := power.Model3G()
+	tr := planTrace()
+	p := identityPlan(tr)
+	p.WakeWindows = []simtime.Interval{
+		{Start: simtime.At(0, 5, 0, 0), End: simtime.At(0, 5, 0, 4)}, // clean listen
+		{Start: simtime.At(0, 3, 0, 2), End: simtime.At(0, 3, 0, 6)}, // overlaps burst 0 entirely
+	}
+	m, err := ComputeMetrics(p, model)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Only the clean window costs: 4 s at FACH 460 mW = 1.84 J.
+	if !almost(m.WakeEnergyJ, 4*0.46) {
+		t.Errorf("wake energy = %v", m.WakeEnergyJ)
+	}
+	if m.WakeUps != 2 {
+		t.Errorf("wake-ups = %d", m.WakeUps)
+	}
+}
+
+func TestUserExperienceAccounting(t *testing.T) {
+	tr := planTrace()
+	p := identityPlan(tr)
+	// Block 15:00–17:00; whitelist only chat.
+	p.BlockedWindows = []simtime.Interval{{Start: simtime.At(0, 15, 0, 0), End: simtime.At(0, 17, 0, 0)}}
+	p.SpecialAppWhitelist = map[trace.AppID]bool{"chat": true}
+	m, err := ComputeMetrics(p, power.Model3G())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Interactions at 15:30 (game, wants net → wrong) and 16:00 (chat,
+	// special → affected but not wrong).
+	if m.AffectedActivities != 2 {
+		t.Errorf("affected = %d", m.AffectedActivities)
+	}
+	if m.WrongDecisions != 1 {
+		t.Errorf("wrong = %d", m.WrongDecisions)
+	}
+	if !almost(m.WrongDecisionRate(), 1.0/3.0) {
+		t.Errorf("wrong rate = %v", m.WrongDecisionRate())
+	}
+	if !almost(m.AffectedRate(), 2.0/3.0) {
+		t.Errorf("affected rate = %v", m.AffectedRate())
+	}
+}
+
+func TestSavingsHelpers(t *testing.T) {
+	a := Metrics{Radio: power.Result{EnergyJ: 25, RadioOnSecs: 50}}
+	b := Metrics{Radio: power.Result{EnergyJ: 100, RadioOnSecs: 200}}
+	if !almost(a.EnergySavingVs(b), 0.75) {
+		t.Errorf("EnergySavingVs = %v", a.EnergySavingVs(b))
+	}
+	if !almost(a.RadioOnSavingVs(b), 0.75) {
+		t.Errorf("RadioOnSavingVs = %v", a.RadioOnSavingVs(b))
+	}
+	zero := Metrics{}
+	if a.EnergySavingVs(zero) != 0 || a.RadioOnSavingVs(zero) != 0 {
+		t.Error("zero baseline must give 0 savings")
+	}
+}
+
+func TestRateIncreaseVs(t *testing.T) {
+	a := Metrics{AvgDownRateBps: 400, AvgUpRateBps: 100, PeakDownRateBps: 1000, PeakUpRateBps: 500}
+	b := Metrics{AvgDownRateBps: 100, AvgUpRateBps: 50, PeakDownRateBps: 1000, PeakUpRateBps: 500}
+	down, up, pd, pu := a.RateIncreaseVs(b)
+	if !almost(down, 4) || !almost(up, 2) || !almost(pd, 1) || !almost(pu, 1) {
+		t.Errorf("RateIncreaseVs = %v %v %v %v", down, up, pd, pu)
+	}
+	// Zero baseline rates report 1× rather than dividing by zero.
+	d2, _, _, _ := a.RateIncreaseVs(Metrics{})
+	if d2 != 1 {
+		t.Errorf("zero-baseline increase = %v", d2)
+	}
+}
+
+func TestRenderDayTimeline(t *testing.T) {
+	model := power.Model3G()
+	tr := planTrace()
+	p := identityPlan(tr)
+	p.WakeWindows = []simtime.Interval{{Start: simtime.At(0, 5, 0, 0), End: simtime.At(0, 5, 0, 30)}}
+	p.BlockedWindows = []simtime.Interval{{Start: simtime.At(0, 22, 0, 0), End: simtime.At(0, 23, 0, 0)}}
+	var sb strings.Builder
+	if err := RenderDayTimeline(&sb, p, model, 0, 2); err != nil {
+		t.Fatal(err)
+	}
+	line := sb.String()
+	// 24 hour groups of 2 cells each.
+	if got := strings.Count(line, "|"); got != 25 {
+		t.Errorf("separators = %d in %q", got, line)
+	}
+	for _, glyph := range []string{"#", "w", "_", "."} {
+		if !strings.Contains(line, glyph) {
+			t.Errorf("timeline missing %q: %q", glyph, line)
+		}
+	}
+	// A session with no transfer in its bucket renders 'S'.
+	quiet := &trace.Trace{UserID: "quiet", Days: 1, Sessions: []trace.ScreenSession{
+		{Interval: simtime.Interval{Start: simtime.At(0, 12, 0, 0), End: simtime.At(0, 12, 30, 0)}},
+	}}
+	quiet.Normalize()
+	qp := identityPlan(quiet)
+	sb.Reset()
+	if err := RenderDayTimeline(&sb, qp, model, 0, 2); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(sb.String(), "S") {
+		t.Errorf("quiet session not rendered: %q", sb.String())
+	}
+	// Out-of-range inputs rejected.
+	if err := RenderDayTimeline(&sb, p, model, 5, 2); err == nil {
+		t.Error("day out of range accepted")
+	}
+	if err := RenderDayTimeline(&sb, p, model, 0, 0); err == nil {
+		t.Error("zero buckets accepted")
+	}
+}
+
+type identityPolicy struct{}
+
+func (identityPolicy) Name() string { return "identity" }
+func (identityPolicy) Plan(tr *trace.Trace) (*Plan, error) {
+	return identityPlan(tr), nil
+}
+
+func TestRunHelper(t *testing.T) {
+	m, err := Run(identityPolicy{}, planTrace(), power.Model3G())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.PolicyName != "test" || m.Radio.EnergyJ <= 0 {
+		t.Errorf("Run = %+v", m)
+	}
+}
+
+func TestMetricsByDayDirect(t *testing.T) {
+	model := power.Model3G()
+	tr := planTrace()
+	p := identityPlan(tr)
+	p.WakeWindows = []simtime.Interval{{Start: simtime.At(0, 5, 0, 0), End: simtime.At(0, 5, 0, 3)}}
+	p.BlockedWindows = []simtime.Interval{{Start: simtime.At(0, 15, 0, 0), End: simtime.At(0, 17, 0, 0)}}
+	p.SpecialAppWhitelist = map[trace.AppID]bool{"chat": true}
+	days, err := MetricsByDay(p, model)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(days) != 1 {
+		t.Fatalf("days = %d", len(days))
+	}
+	d := days[0]
+	if d.WakeUps != 1 || !almost(d.WakeEnergyJ, 3*0.46) {
+		t.Errorf("wake accounting = %+v", d)
+	}
+	if d.Interactions != 3 || d.WrongDecisions != 1 || d.AffectedActivities != 2 {
+		t.Errorf("ux accounting = %+v", d)
+	}
+	whole, err := ComputeMetrics(p, model)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !almost(d.Radio.EnergyJ, whole.Radio.EnergyJ) {
+		t.Errorf("single-day energy %v != whole %v", d.Radio.EnergyJ, whole.Radio.EnergyJ)
+	}
+	// Invalid plans are rejected.
+	bad := identityPlan(tr)
+	bad.Executions[0].ExecStart = -1
+	if _, err := MetricsByDay(bad, model); err == nil {
+		t.Error("invalid plan accepted")
+	}
+}
+
+func TestMonitorPowerFallback(t *testing.T) {
+	m := power.Model3G()
+	m.Tails = nil
+	m.PromoFromTail = nil
+	if got := monitorPowerMW(m); !almost(got, m.ActivePowerMW/2) {
+		t.Errorf("tailless monitor power = %v", got)
+	}
+}

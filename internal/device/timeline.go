@@ -1,0 +1,124 @@
+// ASCII radio-timeline rendering: a compact Gantt of one day's radio
+// states under a plan — the visual the paper's Fig. 7(b) aggregates.
+// Each character cell is one bucket of the day; the glyph shows the
+// dominant radio state in that bucket.
+package device
+
+import (
+	"fmt"
+	"io"
+	"strings"
+
+	"netmaster/internal/power"
+	"netmaster/internal/simtime"
+)
+
+// Timeline glyphs, in increasing radio-state priority: a bucket shows the
+// highest-priority state that occurs in it.
+const (
+	glyphIdle   = '.'
+	glyphBlock  = '_'
+	glyphWake   = 'w'
+	glyphTail   = 't'
+	glyphActive = '#'
+	glyphScreen = 'S'
+)
+
+// RenderDayTimeline writes a one-line-per-policy ASCII view of the given
+// day: 24 groups of `perHour` buckets. Legend: '#' transferring, 't'
+// riding a tail, 'w' duty wake, 'S' screen on (no transfer), '_' radio
+// blocked by policy, '.' idle.
+func RenderDayTimeline(w io.Writer, p *Plan, model *power.Model, day, perHour int) error {
+	if err := p.Validate(); err != nil {
+		return err
+	}
+	if day < 0 || day >= p.Trace.Days {
+		return fmt.Errorf("device: day %d outside trace", day)
+	}
+	if perHour < 1 || perHour > 60 {
+		return fmt.Errorf("device: perHour %d outside [1, 60]", perHour)
+	}
+	buckets := 24 * perHour
+	cells := make([]rune, buckets)
+	for i := range cells {
+		cells[i] = glyphIdle
+	}
+	dayStart := simtime.At(day, 0, 0, 0)
+	dayIv := simtime.Interval{Start: dayStart, End: dayStart.Add(simtime.Day)}
+	bucketOf := func(t simtime.Instant) int {
+		return int(int64(t.Sub(dayStart)) * int64(buckets) / int64(simtime.Day))
+	}
+	paint := func(iv simtime.Interval, glyph rune, priority int) {
+		clipped := iv.Intersect(dayIv)
+		if clipped.IsEmpty() {
+			return
+		}
+		lo := bucketOf(clipped.Start)
+		hi := bucketOf(clipped.End - 1)
+		for b := lo; b <= hi && b < buckets; b++ {
+			if b >= 0 && glyphPriority(cells[b]) < priority {
+				cells[b] = glyph
+			}
+		}
+	}
+
+	for _, bw := range p.BlockedWindows {
+		paint(bw, glyphBlock, 1)
+	}
+	for _, s := range p.Trace.Sessions {
+		paint(s.Interval, glyphScreen, 2)
+	}
+	for _, ww := range p.WakeWindows {
+		paint(ww, glyphWake, 3)
+	}
+	for _, e := range p.Executions {
+		a := p.Trace.Activities[e.Index]
+		dur := e.durationFor(a)
+		iv := simtime.Interval{Start: e.ExecStart, End: e.ExecStart.Add(dur)}
+		paint(iv, glyphActive, 5)
+		// Paint the tail the burst is allowed to ride.
+		tail := model.TailSecs()
+		if e.TailCutSecs < tail {
+			tail = e.TailCutSecs
+		}
+		if tail > 0 {
+			paint(simtime.Interval{
+				Start: iv.End,
+				End:   iv.End.Add(simtime.Duration(tail)),
+			}, glyphTail, 4)
+		}
+	}
+
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "%-12s d%d |", p.PolicyName, day)
+	for h := 0; h < 24; h++ {
+		sb.WriteString(string(cells[h*perHour : (h+1)*perHour]))
+		if h != 23 {
+			sb.WriteByte('|')
+		}
+	}
+	sb.WriteString("|\n")
+	_, err := io.WriteString(w, sb.String())
+	return err
+}
+
+func glyphPriority(r rune) int {
+	switch r {
+	case glyphIdle:
+		return 0
+	case glyphBlock:
+		return 1
+	case glyphScreen:
+		return 2
+	case glyphWake:
+		return 3
+	case glyphTail:
+		return 4
+	case glyphActive:
+		return 5
+	}
+	return -1
+}
+
+// TimelineLegend describes the glyphs for display next to a rendering.
+const TimelineLegend = "# transfer   t tail   w duty wake   S screen on   _ blocked   . idle"

@@ -1,0 +1,199 @@
+package dutycycle
+
+import (
+	"testing"
+	"testing/quick"
+
+	"netmaster/internal/simtime"
+)
+
+func TestExponentialDoublingAndCap(t *testing.T) {
+	e, err := NewExponential(30, 120)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []simtime.Duration{30, 60, 120, 120, 120}
+	for i, w := range want {
+		if got := e.NextSleep(); got != w {
+			t.Errorf("sleep %d = %v, want %v", i, got, w)
+		}
+	}
+	e.Reset()
+	if got := e.NextSleep(); got != 30 {
+		t.Errorf("after reset = %v, want 30", got)
+	}
+}
+
+func TestExponentialDefaultCap(t *testing.T) {
+	e, err := NewExponential(30, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if e.Max != 30*64 {
+		t.Errorf("default cap = %v", e.Max)
+	}
+}
+
+func TestExponentialValidation(t *testing.T) {
+	if _, err := NewExponential(0, 0); err == nil {
+		t.Error("zero initial accepted")
+	}
+	if _, err := NewExponential(60, 30); err == nil {
+		t.Error("cap below initial accepted")
+	}
+}
+
+func TestFixedScheme(t *testing.T) {
+	f, err := NewFixed(45)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 5; i++ {
+		if f.NextSleep() != 45 {
+			t.Fatal("fixed interval drifted")
+		}
+	}
+	f.Reset() // must be a no-op
+	if f.NextSleep() != 45 {
+		t.Error("fixed interval changed after reset")
+	}
+	if _, err := NewFixed(0); err == nil {
+		t.Error("zero fixed interval accepted")
+	}
+}
+
+func TestRandomSchemeBoundsAndDeterminism(t *testing.T) {
+	a, err := NewRandom(10, 50, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := NewRandom(10, 50, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 100; i++ {
+		va, vb := a.NextSleep(), b.NextSleep()
+		if va != vb {
+			t.Fatal("same seed diverged")
+		}
+		if va < 10 || va > 50 {
+			t.Fatalf("sleep %v out of [10, 50]", va)
+		}
+	}
+	if _, err := NewRandom(0, 50, 1); err == nil {
+		t.Error("zero min accepted")
+	}
+	if _, err := NewRandom(50, 10, 1); err == nil {
+		t.Error("inverted range accepted")
+	}
+}
+
+func TestSchemeNames(t *testing.T) {
+	e, _ := NewExponential(1, 0)
+	f, _ := NewFixed(1)
+	r, _ := NewRandom(1, 2, 0)
+	if e.Name() != "exponential" || f.Name() != "fixed" || r.Name() != "random" {
+		t.Error("scheme names wrong")
+	}
+}
+
+func TestSimulateSilent(t *testing.T) {
+	// Fixed 60 s sleep + 5 s window over 10 minutes: wake at 60, 125,
+	// 190, ... — every 65 s.
+	f, _ := NewFixed(60)
+	res := Simulate(f, 0, 10*simtime.Minute, 5, nil)
+	if res.NumWakeUps() != 9 {
+		t.Errorf("wake-ups = %d, want 9", res.NumWakeUps())
+	}
+	if res.RadioOn != 9*5 {
+		t.Errorf("radio on = %v", res.RadioOn)
+	}
+	if res.WakeUps[0].At != 60 || res.WakeUps[1].At != 125 {
+		t.Errorf("wake times = %v, %v", res.WakeUps[0].At, res.WakeUps[1].At)
+	}
+}
+
+func TestSimulateExponentialBackoff(t *testing.T) {
+	e, _ := NewExponential(30, 0)
+	res := Simulate(e, 0, 30*simtime.Minute, 5, nil)
+	// Wakes at 30, +60, +120, +240, +480, +960 (cumulative with 5 s
+	// windows): far fewer than fixed.
+	if res.NumWakeUps() > 7 {
+		t.Errorf("exponential woke %d times in 30 min", res.NumWakeUps())
+	}
+	// Monotonically growing gaps.
+	for i := 2; i < res.NumWakeUps(); i++ {
+		g1 := res.WakeUps[i-1].At.Sub(res.WakeUps[i-2].At)
+		g2 := res.WakeUps[i].At.Sub(res.WakeUps[i-1].At)
+		if g2 < g1 {
+			t.Errorf("gap shrank without activity: %v then %v", g1, g2)
+		}
+	}
+}
+
+func TestSimulateActivityResets(t *testing.T) {
+	e, _ := NewExponential(30, 0)
+	active := simtime.Interval{Start: 940, End: 1000}
+	res := Simulate(e, 0, 20*simtime.Minute, 5, func(iv simtime.Interval) bool {
+		return iv.Overlaps(active)
+	})
+	sawActivity := false
+	for i := 1; i < res.NumWakeUps(); i++ {
+		if res.WakeUps[i-1].Activity {
+			sawActivity = true
+			gap := res.WakeUps[i].At.Sub(res.WakeUps[i-1].At.Add(res.WakeUps[i-1].Window))
+			if gap != 30 {
+				t.Errorf("post-activity gap = %v, want 30 (reset)", gap)
+			}
+		}
+	}
+	if !sawActivity {
+		t.Fatal("no wake-up observed the activity window")
+	}
+}
+
+func TestSimulateClampsWindowAtHorizon(t *testing.T) {
+	f, _ := NewFixed(50)
+	res := Simulate(f, 0, 52, 10, nil)
+	if res.NumWakeUps() != 1 {
+		t.Fatalf("wake-ups = %d", res.NumWakeUps())
+	}
+	if res.WakeUps[0].Window != 2 {
+		t.Errorf("clamped window = %v, want 2", res.WakeUps[0].Window)
+	}
+}
+
+func TestResultAccessors(t *testing.T) {
+	f, _ := NewFixed(60)
+	res := Simulate(f, 0, 10*simtime.Minute, 5, nil)
+	if res.WakeUpsBefore(simtime.Instant(5*simtime.Minute)) >= res.NumWakeUps() {
+		t.Error("WakeUpsBefore(5min) should be a strict prefix")
+	}
+	if f := res.RadioOnFraction(); f <= 0 || f >= 1 {
+		t.Errorf("RadioOnFraction = %v", f)
+	}
+	empty := Result{}
+	if empty.RadioOnFraction() != 0 {
+		t.Error("empty result fraction should be 0")
+	}
+}
+
+// Property: over the same silent horizon, a longer fixed interval never
+// produces more wake-ups, and exponential never wakes more than fixed at
+// the same base interval.
+func TestWakeCountMonotoneProperty(t *testing.T) {
+	prop := func(base8 uint8) bool {
+		base := simtime.Duration(base8%100) + 5
+		horizon := 30 * simtime.Minute
+		f1, _ := NewFixed(base)
+		f2, _ := NewFixed(base * 2)
+		e, _ := NewExponential(base, 0)
+		n1 := Simulate(f1, 0, horizon, 3, nil).NumWakeUps()
+		n2 := Simulate(f2, 0, horizon, 3, nil).NumWakeUps()
+		ne := Simulate(e, 0, horizon, 3, nil).NumWakeUps()
+		return n2 <= n1 && ne <= n1
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}

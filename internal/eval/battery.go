@@ -1,0 +1,114 @@
+// Battery-life projection: the paper's introduction motivates NetMaster
+// with battery life, not joules. This file converts radio savings into
+// the user-facing number — projected hours per charge — by combining the
+// radio budget with the screen and idle draws the radio does not cover.
+package eval
+
+import (
+	"fmt"
+
+	"netmaster/internal/device"
+	"netmaster/internal/policy"
+	"netmaster/internal/power"
+	"netmaster/internal/trace"
+)
+
+// BatteryConfig describes the non-radio power envelope of the handset.
+type BatteryConfig struct {
+	// CapacityWh is the battery capacity; the evaluation handsets
+	// (HTC One X class) carried ≈1800 mAh at 3.7 V ≈ 6.66 Wh.
+	CapacityWh float64
+	// ScreenPowerMW is the display+SoC draw while the screen is on.
+	ScreenPowerMW float64
+	// DeviceIdlePowerMW is the suspended-device floor (CPU sleep,
+	// RAM refresh), independent of the radio model's paging draw.
+	DeviceIdlePowerMW float64
+}
+
+// DefaultBatteryConfig returns handset-class constants.
+func DefaultBatteryConfig() BatteryConfig {
+	return BatteryConfig{
+		CapacityWh:        6.66,
+		ScreenPowerMW:     700,
+		DeviceIdlePowerMW: 25,
+	}
+}
+
+func (c BatteryConfig) validate() error {
+	if c.CapacityWh <= 0 {
+		return fmt.Errorf("eval: non-positive battery capacity")
+	}
+	if c.ScreenPowerMW < 0 || c.DeviceIdlePowerMW < 0 {
+		return fmt.Errorf("eval: negative power constants")
+	}
+	return nil
+}
+
+// BatteryRow is one policy's projected battery life over a cohort.
+type BatteryRow struct {
+	Policy string
+	// DeviceJPerDay is total device energy per user-day: radio + wake
+	// + screen + idle floor.
+	DeviceJPerDay float64
+	// RadioShare is the radio's fraction of the device budget.
+	RadioShare float64
+	// ProjectedHours is the battery life at that average draw.
+	ProjectedHours float64
+	// ExtensionVsBaseline is the relative battery-life gain.
+	ExtensionVsBaseline float64
+}
+
+// BatteryLife projects battery hours per charge for each policy over a
+// cohort. The first returned row is always the baseline.
+func BatteryLife(traces []*trace.Trace, model *power.Model, bat BatteryConfig, policies []device.Policy) ([]BatteryRow, error) {
+	if err := bat.validate(); err != nil {
+		return nil, err
+	}
+	// Screen and idle draws are policy-independent: compute once.
+	var screenSecs, daySecs float64
+	for _, t := range traces {
+		screenSecs += t.ScreenOnTotal().Seconds()
+		daySecs += t.Horizon().Seconds()
+	}
+	screenJ := screenSecs * bat.ScreenPowerMW / 1000
+	idleJ := daySecs * bat.DeviceIdlePowerMW / 1000
+	days := daySecs / 86400
+
+	project := func(radioJ float64) BatteryRow {
+		deviceJ := (radioJ + screenJ + idleJ) / days
+		avgW := deviceJ / 86400
+		return BatteryRow{
+			DeviceJPerDay:  deviceJ,
+			RadioShare:     radioJ / days / deviceJ,
+			ProjectedHours: bat.CapacityWh * 3600 / avgW / 3600,
+		}
+	}
+
+	var baseRadioJ float64
+	for _, t := range traces {
+		m, err := device.Run(policy.Baseline{}, t, model)
+		if err != nil {
+			return nil, err
+		}
+		baseRadioJ += m.Radio.EnergyJ
+	}
+	baseRow := project(baseRadioJ)
+	baseRow.Policy = "baseline"
+	rows := []BatteryRow{baseRow}
+
+	for _, p := range policies {
+		var radioJ float64
+		for _, t := range traces {
+			m, err := device.Run(p, t, model)
+			if err != nil {
+				return nil, fmt.Errorf("eval: battery %s on %s: %w", p.Name(), t.UserID, err)
+			}
+			radioJ += m.Radio.EnergyJ
+		}
+		row := project(radioJ)
+		row.Policy = p.Name()
+		row.ExtensionVsBaseline = row.ProjectedHours/baseRow.ProjectedHours - 1
+		rows = append(rows, row)
+	}
+	return rows, nil
+}

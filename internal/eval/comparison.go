@@ -1,0 +1,201 @@
+// The live comparison of Section VI: Baseline / Oracle / NetMaster /
+// naive delay-and-batch over the volunteer cohort (Fig. 7), plus the
+// user-experience accounting of Section VI-B.
+package eval
+
+import (
+	"fmt"
+
+	"netmaster/internal/device"
+	"netmaster/internal/policy"
+	"netmaster/internal/power"
+	"netmaster/internal/simtime"
+	"netmaster/internal/trace"
+)
+
+// PolicyResult is one policy's outcome on one trace, with savings
+// relative to the baseline arm.
+type PolicyResult struct {
+	Policy        string
+	Metrics       device.Metrics
+	EnergySaving  float64 // 1 − E/E_baseline
+	RadioOnSaving float64 // 1 − radioOn/radioOn_baseline
+}
+
+// Compare runs the baseline and then every policy over a trace. The
+// first element of the result is always the baseline (saving 0).
+func Compare(t *trace.Trace, model *power.Model, policies []device.Policy) ([]PolicyResult, error) {
+	base, err := device.Run(policy.Baseline{}, t, model)
+	if err != nil {
+		return nil, fmt.Errorf("eval: baseline on %s: %w", t.UserID, err)
+	}
+	out := []PolicyResult{{Policy: base.PolicyName, Metrics: base}}
+	for _, p := range policies {
+		m, err := device.Run(p, t, model)
+		if err != nil {
+			return nil, fmt.Errorf("eval: %s on %s: %w", p.Name(), t.UserID, err)
+		}
+		out = append(out, PolicyResult{
+			Policy:        m.PolicyName,
+			Metrics:       m,
+			EnergySaving:  m.EnergySavingVs(base),
+			RadioOnSaving: m.RadioOnSavingVs(base),
+		})
+	}
+	return out, nil
+}
+
+// Fig7Row is one volunteer's column group across Fig. 7(a–c).
+type Fig7Row struct {
+	UserID string
+	// Fig. 7(a): fraction of radio energy saved vs baseline.
+	OracleSaving    float64
+	NetMasterSaving float64
+	DelaySaving     map[simtime.Duration]float64 // delay-and-batch arms
+	// Fig. 7(b): time ratios normalised to baseline radio-on time.
+	RadioOnDefault   float64 // always 1
+	RadioOnNetMaster float64
+	RadioOffByNM     float64 // 1 − RadioOnNetMaster
+	// Fig. 7(c): bandwidth-utilization multipliers vs baseline.
+	DownAvgIncrease  float64
+	UpAvgIncrease    float64
+	DownPeakIncrease float64
+	UpPeakIncrease   float64
+	// Gap to the oracle: (E_nm − E_oracle)/E_baseline.
+	GapToOracle float64
+}
+
+// Fig7Config selects the comparison arms.
+type Fig7Config struct {
+	Model     *power.Model
+	NetMaster policy.NetMasterConfig
+	Delays    []simtime.Duration // the paper uses 10, 20 and 60 s
+	// Histories holds each volunteer's pre-collected monitoring trace
+	// (keyed by user ID), mirroring the trace-gathering phase that
+	// preceded the paper's live evaluation.
+	Histories map[string]*trace.Trace
+}
+
+// DefaultFig7Config returns the paper's arms for a model.
+func DefaultFig7Config(m *power.Model) Fig7Config {
+	return Fig7Config{
+		Model:     m,
+		NetMaster: policy.DefaultNetMasterConfig(m),
+		Delays: []simtime.Duration{
+			10 * simtime.Second, 20 * simtime.Second, 60 * simtime.Second,
+		},
+	}
+}
+
+// Fig7 runs the full comparison for each volunteer trace.
+func Fig7(traces []*trace.Trace, cfg Fig7Config) ([]Fig7Row, error) {
+	var rows []Fig7Row
+	for _, t := range traces {
+		row, err := fig7One(t, cfg)
+		if err != nil {
+			return nil, err
+		}
+		rows = append(rows, row)
+	}
+	return rows, nil
+}
+
+func fig7One(t *trace.Trace, cfg Fig7Config) (Fig7Row, error) {
+	oracle, err := policy.NewOracle(cfg.Model)
+	if err != nil {
+		return Fig7Row{}, err
+	}
+	nmCfg := cfg.NetMaster
+	if h, ok := cfg.Histories[t.UserID]; ok {
+		nmCfg.History = h
+	}
+	nm, err := policy.NewNetMaster(nmCfg)
+	if err != nil {
+		return Fig7Row{}, err
+	}
+	policies := []device.Policy{oracle, nm}
+	for _, d := range cfg.Delays {
+		dp, err := policy.NewDelay(d)
+		if err != nil {
+			return Fig7Row{}, err
+		}
+		policies = append(policies, dp)
+	}
+	results, err := Compare(t, cfg.Model, policies)
+	if err != nil {
+		return Fig7Row{}, err
+	}
+	base := results[0].Metrics
+	row := Fig7Row{
+		UserID:         t.UserID,
+		RadioOnDefault: 1,
+		DelaySaving:    make(map[simtime.Duration]float64, len(cfg.Delays)),
+	}
+	for i, r := range results[1:] {
+		switch {
+		case r.Policy == "oracle":
+			row.OracleSaving = r.EnergySaving
+		case r.Policy == "netmaster":
+			row.NetMasterSaving = r.EnergySaving
+			if base.Radio.RadioOnSecs > 0 {
+				row.RadioOnNetMaster = r.Metrics.Radio.RadioOnSecs / base.Radio.RadioOnSecs
+			}
+			row.RadioOffByNM = 1 - row.RadioOnNetMaster
+			row.DownAvgIncrease, row.UpAvgIncrease, row.DownPeakIncrease, row.UpPeakIncrease =
+				r.Metrics.RateIncreaseVs(base)
+		default:
+			// Delay arms in configuration order.
+			idx := i - 2
+			if idx >= 0 && idx < len(cfg.Delays) {
+				row.DelaySaving[cfg.Delays[idx]] = r.EnergySaving
+			}
+		}
+	}
+	row.GapToOracle = row.OracleSaving - row.NetMasterSaving
+	return row, nil
+}
+
+// UserExperienceResult is the Section VI-B accounting.
+type UserExperienceResult struct {
+	UserID          string
+	Interactions    int
+	NetInteractions int
+	WrongDecisions  int
+}
+
+// Rate returns wrong decisions per net-wanting interaction (the paper:
+// 1/319 < 1%).
+func (u UserExperienceResult) Rate() float64 {
+	if u.NetInteractions == 0 {
+		return 0
+	}
+	return float64(u.WrongDecisions) / float64(u.NetInteractions)
+}
+
+// UserExperience replays NetMaster over each trace and counts wrong
+// decisions: network-wanting interactions that hit a blocked radio with
+// no Special-App exemption.
+func UserExperience(traces []*trace.Trace, cfg policy.NetMasterConfig, histories map[string]*trace.Trace, model *power.Model) ([]UserExperienceResult, error) {
+	var out []UserExperienceResult
+	for _, t := range traces {
+		userCfg := cfg
+		if h, ok := histories[t.UserID]; ok {
+			userCfg.History = h
+		}
+		nm, err := policy.NewNetMaster(userCfg)
+		if err != nil {
+			return nil, err
+		}
+		m, err := device.Run(nm, t, model)
+		if err != nil {
+			return nil, fmt.Errorf("eval: user experience on %s: %w", t.UserID, err)
+		}
+		out = append(out, UserExperienceResult{
+			UserID:          t.UserID,
+			Interactions:    m.Interactions,
+			NetInteractions: m.NetInteractions,
+			WrongDecisions:  m.WrongDecisions,
+		})
+	}
+	return out, nil
+}

@@ -1,0 +1,192 @@
+// Habit-drift robustness: what happens when the user's lifestyle changes
+// mid-deployment (new job, semester break)? The paper's uniform mining
+// averages the old and new habits together; recency-weighted mining
+// (the §VII-motivated extension in internal/habit) tracks the change.
+// This experiment splices two different habit regimes into one trace and
+// compares the two miners.
+package eval
+
+import (
+	"fmt"
+
+	"netmaster/internal/device"
+	"netmaster/internal/habit"
+	"netmaster/internal/policy"
+	"netmaster/internal/power"
+	"netmaster/internal/simtime"
+	"netmaster/internal/synth"
+	"netmaster/internal/trace"
+)
+
+// DriftRow is one mining strategy's outcome on a spliced trace.
+type DriftRow struct {
+	Strategy string
+	// EnergySaving vs the baseline over the whole spliced trace.
+	EnergySaving float64
+	// Accuracy is the prediction accuracy over the post-drift weeks,
+	// measured with the final profile.
+	Accuracy float64
+	// StaleShare is the fraction of predicted-active hours (on a
+	// post-drift weekday) that the post-drift user never actually
+	// uses: the radio kept available for a habit that no longer
+	// exists. Uniform mining cannot shed these; recency mining can.
+	StaleShare float64
+	// WrongRate is the UX guardrail.
+	WrongRate float64
+}
+
+// DriftConfig parameterises the spliced workload.
+type DriftConfig struct {
+	// Before and After are the two habit regimes; the user lives
+	// WeeksBefore weeks under Before, then switches to After for
+	// WeeksAfter weeks.
+	Before, After synth.UserSpec
+	WeeksBefore   int
+	WeeksAfter    int
+	// HalfLifeDays is the recency miner's half-life.
+	HalfLifeDays float64
+}
+
+// DefaultDriftConfig models a shift-work change: the user's routine
+// rotates to disjoint hours, so the old habit disappears entirely.
+func DefaultDriftConfig() DriftConfig {
+	before := synth.EvalCohort()[1]
+	after := before
+	after.Seed = before.Seed + 31337
+	// Disjoint peak hours: the old 8h/19h habit disappears entirely
+	// (a 5 h rotation keeps the new peaks clear of the old ones).
+	after.WeekdayProfile = shiftProfile(before.WeekdayProfile, 5)
+	after.WeekendProfile = shiftProfile(before.WeekendProfile, 5)
+	return DriftConfig{
+		Before:       before,
+		After:        after,
+		WeeksBefore:  2,
+		WeeksAfter:   2,
+		HalfLifeDays: 3,
+	}
+}
+
+// shiftProfile rotates a 24-hour profile by the given number of hours.
+func shiftProfile(p [24]float64, by int) [24]float64 {
+	var out [24]float64
+	for h := 0; h < 24; h++ {
+		out[(h+by)%24] = p[h]
+	}
+	return out
+}
+
+// Drift runs the spliced-trace experiment and returns one row per mining
+// strategy (uniform first, then recency-weighted).
+func Drift(cfg DriftConfig, model *power.Model) ([]DriftRow, error) {
+	if cfg.WeeksBefore <= 0 || cfg.WeeksAfter <= 0 {
+		return nil, fmt.Errorf("eval: drift needs positive week counts")
+	}
+	before, err := synth.Generate(cfg.Before, cfg.WeeksBefore*7)
+	if err != nil {
+		return nil, err
+	}
+	after, err := synth.Generate(cfg.After, cfg.WeeksAfter*7)
+	if err != nil {
+		return nil, err
+	}
+	spliced, err := trace.Append(before, after)
+	if err != nil {
+		return nil, err
+	}
+
+	strategies := []struct {
+		name     string
+		halfLife float64
+	}{
+		{"uniform (paper)", 0},
+		{fmt.Sprintf("recency (half-life %gd)", cfg.HalfLifeDays), cfg.HalfLifeDays},
+	}
+	var rows []DriftRow
+	for _, s := range strategies {
+		nmCfg := policy.DefaultNetMasterConfig(model)
+		nmCfg.Habit.RecencyHalfLifeDays = s.halfLife
+		nm, err := policy.NewNetMaster(nmCfg)
+		if err != nil {
+			return nil, err
+		}
+		base, err := device.Run(policy.Baseline{}, spliced, model)
+		if err != nil {
+			return nil, err
+		}
+		m, err := device.Run(nm, spliced, model)
+		if err != nil {
+			return nil, err
+		}
+
+		// Accuracy over the post-drift trace with the final profile.
+		habitCfg := nmCfg.Habit
+		profile, err := habit.Mine(spliced, habitCfg)
+		if err != nil {
+			return nil, err
+		}
+		postShift := after.Clone() // day indices 0.. map to post-drift weekdays
+		acc := postDriftAccuracy(profile, postShift, cfg.WeeksBefore*7, habitCfg)
+		stale := staleShare(profile, postShift, cfg.WeeksBefore*7)
+
+		rows = append(rows, DriftRow{
+			Strategy:     s.name,
+			EnergySaving: m.EnergySavingVs(base),
+			Accuracy:     acc,
+			StaleShare:   stale,
+			WrongRate:    m.WrongDecisionRate(),
+		})
+	}
+	return rows, nil
+}
+
+// postDriftAccuracy measures how many post-drift interactions fall inside
+// the profile's predicted slots, shifting day indices by the pre-drift
+// span so day types stay aligned.
+func postDriftAccuracy(p *habit.Profile, post *trace.Trace, shiftDays int, cfg habit.Config) float64 {
+	if len(post.Interactions) == 0 {
+		return 1
+	}
+	shift := simtime.Instant(simtime.Duration(shiftDays) * simtime.Day)
+	hits := 0
+	for _, ia := range post.Interactions {
+		day := ia.Time.Day() + shiftDays
+		delta := cfg.Threshold(ia.Time.IsWeekend())
+		for _, iv := range p.ActiveSlotsWithThreshold(day, delta) {
+			// Slots come back in merged-trace time; shift the
+			// interaction into the same frame.
+			if iv.Contains(ia.Time + shift) {
+				hits++
+				break
+			}
+		}
+	}
+	return float64(hits) / float64(len(post.Interactions))
+}
+
+// staleShare measures, over the post-drift days, the fraction of
+// predicted-active time the user never actually used: stale habit the
+// profile failed to shed.
+func staleShare(p *habit.Profile, post *trace.Trace, shiftDays int) float64 {
+	shift := simtime.Instant(simtime.Duration(shiftDays) * simtime.Day)
+	var predicted, stale float64
+	for day := 0; day < post.Days; day++ {
+		interactions := post.InteractionsOfDay(day)
+		for _, iv := range p.PredictedActiveSlots(day + shiftDays) {
+			predicted += iv.Len().Seconds()
+			used := false
+			for _, ia := range interactions {
+				if iv.Contains(ia.Time + shift) {
+					used = true
+					break
+				}
+			}
+			if !used {
+				stale += iv.Len().Seconds()
+			}
+		}
+	}
+	if predicted == 0 {
+		return 0
+	}
+	return stale / predicted
+}

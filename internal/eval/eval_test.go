@@ -1,0 +1,629 @@
+package eval
+
+import (
+	"math"
+	"testing"
+
+	"netmaster/internal/device"
+	"netmaster/internal/habit"
+	"netmaster/internal/policy"
+	"netmaster/internal/power"
+	"netmaster/internal/simtime"
+	"netmaster/internal/synth"
+	"netmaster/internal/trace"
+)
+
+// The evaluation fixtures are expensive to generate, so build them once.
+var (
+	fixtureCohort     []*trace.Trace
+	fixtureVolunteers []*trace.Trace
+	fixtureHistories  map[string]*trace.Trace
+)
+
+func cohort(t *testing.T) []*trace.Trace {
+	t.Helper()
+	if fixtureCohort == nil {
+		c, err := synth.GenerateCohort(synth.MotivationCohort(), 14)
+		if err != nil {
+			t.Fatal(err)
+		}
+		fixtureCohort = c
+	}
+	return fixtureCohort
+}
+
+func volunteers(t *testing.T) []*trace.Trace {
+	t.Helper()
+	if fixtureVolunteers == nil {
+		v, err := synth.GenerateCohort(synth.EvalCohort(), 10)
+		if err != nil {
+			t.Fatal(err)
+		}
+		fixtureVolunteers = v
+	}
+	return fixtureVolunteers
+}
+
+func histories(t *testing.T) map[string]*trace.Trace {
+	t.Helper()
+	if fixtureHistories == nil {
+		h, err := synth.EvalHistories(7)
+		if err != nil {
+			t.Fatal(err)
+		}
+		fixtureHistories = h
+	}
+	return fixtureHistories
+}
+
+func TestFig1a(t *testing.T) {
+	rows, mean := Fig1a(cohort(t))
+	if len(rows) != 8 {
+		t.Fatalf("rows = %d", len(rows))
+	}
+	if mean <= 0.2 || mean >= 0.7 {
+		t.Errorf("mean screen-off share = %v, out of plausible band", mean)
+	}
+	for _, r := range rows {
+		if r.OnCount == 0 || r.OffCount == 0 {
+			t.Errorf("%s: degenerate split %d/%d", r.UserID, r.OnCount, r.OffCount)
+		}
+	}
+}
+
+func TestFig1b(t *testing.T) {
+	onCDF, offCDF := Fig1b(cohort(t))
+	if onCDF.Len() == 0 || offCDF.Len() == 0 {
+		t.Fatal("empty CDFs")
+	}
+	// The paper's ordering: screen-off rates sit well below screen-on.
+	if offCDF.Quantile(0.9) >= onCDF.Quantile(0.9) {
+		t.Errorf("off P90 %v not below on P90 %v", offCDF.Quantile(0.9), onCDF.Quantile(0.9))
+	}
+}
+
+func TestFig2(t *testing.T) {
+	rows, mean := Fig2(cohort(t))
+	if len(rows) != 8 {
+		t.Fatalf("rows = %d", len(rows))
+	}
+	if mean <= 0.15 || mean >= 0.8 {
+		t.Errorf("mean utilization = %v", mean)
+	}
+	for _, r := range rows {
+		if r.AvgUtilizedSecs > r.AvgSessionSecs {
+			t.Errorf("%s: utilized %v exceeds session %v", r.UserID, r.AvgUtilizedSecs, r.AvgSessionSecs)
+		}
+	}
+}
+
+func TestFig3AndFig4(t *testing.T) {
+	m, mean := Fig3(cohort(t))
+	if len(m) != 8 {
+		t.Fatalf("matrix size = %d", len(m))
+	}
+	if mean < -0.2 || mean > 0.5 {
+		t.Errorf("cross-user mean = %v", mean)
+	}
+	_, intra, err := Fig4(cohort(t)[3], 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if intra <= mean {
+		t.Errorf("intra-user %v not above cross-user %v", intra, mean)
+	}
+	if _, _, err := Fig4(cohort(t)[0], 0); err == nil {
+		t.Error("Fig4 with 0 days accepted")
+	}
+	if _, _, err := Fig4(cohort(t)[0], 99); err == nil {
+		t.Error("Fig4 beyond trace length accepted")
+	}
+}
+
+func TestIntraUserPearson(t *testing.T) {
+	perUser, mean := IntraUserPearson(cohort(t))
+	if len(perUser) != 8 {
+		t.Fatalf("perUser = %d", len(perUser))
+	}
+	if mean <= 0.2 {
+		t.Errorf("intra-user mean = %v, users should be regular", mean)
+	}
+}
+
+func TestFig5(t *testing.T) {
+	rows, err := Fig5(cohort(t)[2], 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) < 5 || len(rows) > 12 {
+		t.Errorf("network apps = %d, want ~8", len(rows))
+	}
+	// Rows are sorted by usage; the top one dominates.
+	if rows[0].Total < rows[len(rows)-1].Total {
+		t.Error("rows unsorted")
+	}
+	if len(rows[0].Hourly) != 24 {
+		t.Errorf("hourly vector length = %d", len(rows[0].Hourly))
+	}
+	if _, err := Fig5(cohort(t)[0], 0); err == nil {
+		t.Error("Fig5 with 0 days accepted")
+	}
+}
+
+func TestMotivationSummary(t *testing.T) {
+	m := Motivation(cohort(t))
+	if m.ScreenOffActivityShare <= 0 || m.ScreenOnUtilization <= 0 {
+		t.Errorf("summary = %+v", m)
+	}
+	if m.OffP90RateKBps >= m.OnP90RateKBps {
+		t.Error("rate ordering violated")
+	}
+	if m.IntraUserPearsonMean <= m.CrossUserPearson {
+		t.Error("Pearson ordering violated")
+	}
+	if m.ShortGapInteractionShare <= 0 || m.ShortGapInteractionShare >= 1 {
+		t.Errorf("short-gap share = %v", m.ShortGapInteractionShare)
+	}
+}
+
+func TestCompareOrderingAndBaseline(t *testing.T) {
+	tr := volunteers(t)[2]
+	model := power.Model3G()
+	oracle, err := policy.NewOracle(model)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := Compare(tr, model, []device.Policy{oracle})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res) != 2 || res[0].Policy != "baseline" {
+		t.Fatalf("results = %+v", res)
+	}
+	if res[0].EnergySaving != 0 {
+		t.Error("baseline saving must be 0")
+	}
+	if res[1].EnergySaving <= 0 {
+		t.Error("oracle saving must be positive")
+	}
+}
+
+func TestFig7Shapes(t *testing.T) {
+	model := power.Model3G()
+	cfg := DefaultFig7Config(model)
+	cfg.Histories = histories(t)
+	rows, err := Fig7(volunteers(t), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 3 {
+		t.Fatalf("rows = %d", len(rows))
+	}
+	for _, r := range rows {
+		// The paper's ordering: oracle ≥ NetMaster > every delay arm.
+		if r.OracleSaving < r.NetMasterSaving {
+			t.Errorf("%s: oracle %v below NetMaster %v", r.UserID, r.OracleSaving, r.NetMasterSaving)
+		}
+		for d, s := range r.DelaySaving {
+			if s >= r.NetMasterSaving {
+				t.Errorf("%s: delay-%v %v not below NetMaster %v", r.UserID, d, s, r.NetMasterSaving)
+			}
+		}
+		if r.NetMasterSaving < 0.4 {
+			t.Errorf("%s: NetMaster saving only %v", r.UserID, r.NetMasterSaving)
+		}
+		// Fig 7(b): consistency of the two time shares.
+		if math.Abs(r.RadioOnNetMaster+r.RadioOffByNM-1) > 1e-9 {
+			t.Errorf("%s: time shares don't sum to 1", r.UserID)
+		}
+		// Fig 7(c): bandwidth utilization improves substantially; peak
+		// stays in the same ballpark (the paper: unchanged).
+		if r.DownAvgIncrease < 1.5 {
+			t.Errorf("%s: down increase %v", r.UserID, r.DownAvgIncrease)
+		}
+		if r.DownPeakIncrease > 3 {
+			t.Errorf("%s: peak increase %v, should stay near 1x", r.UserID, r.DownPeakIncrease)
+		}
+	}
+}
+
+func TestFig8MonotoneTrend(t *testing.T) {
+	model := power.Model3G()
+	delays := []simtime.Duration{0, 20, 120, 600}
+	rows, err := Fig8(volunteers(t)[:1], model, delays)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 4 {
+		t.Fatalf("rows = %d", len(rows))
+	}
+	if rows[0].EnergySaving != 0 {
+		t.Error("delay-0 row must be zero")
+	}
+	// Longer delays: more saving and more affected users (Fig 8 trend).
+	if !(rows[3].EnergySaving > rows[1].EnergySaving) {
+		t.Errorf("saving trend broken: %+v", rows)
+	}
+	if !(rows[3].AffectedShare > rows[1].AffectedShare) {
+		t.Errorf("affected trend broken: %+v", rows)
+	}
+}
+
+func TestFig9Plateau(t *testing.T) {
+	model := power.Model3G()
+	rows, err := Fig9(volunteers(t)[:1], model, []int{0, 2, 5, 10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rows[1].EnergySaving <= 0 {
+		t.Error("batch-2 saves nothing")
+	}
+	// The paper: performance stops improving past ~5 aggregated
+	// transfers.
+	gainLate := rows[3].EnergySaving - rows[2].EnergySaving
+	gainEarly := rows[2].EnergySaving - rows[1].EnergySaving
+	if gainLate > gainEarly {
+		t.Errorf("no plateau: early gain %v, late gain %v", gainEarly, gainLate)
+	}
+}
+
+func TestFig10aDeterministic(t *testing.T) {
+	series := Fig10a([]simtime.Duration{5, 360}, 5, 10)
+	if len(series) != 2 {
+		t.Fatalf("series = %d", len(series))
+	}
+	// Fractions fall as sleeps double, and longer sleeps are always
+	// below shorter ones.
+	for k := 1; k < 10; k++ {
+		if series[0].Fraction[k] >= series[0].Fraction[k-1] {
+			t.Error("radio-on fraction must fall with wake count")
+		}
+	}
+	for k := 0; k < 10; k++ {
+		if series[1].Fraction[k] >= series[0].Fraction[k] {
+			t.Error("longer sleep must give lower fraction")
+		}
+	}
+	// Hand-check k=1 for sleep 5, window 5: 5/(5+5) = 0.5.
+	if math.Abs(series[0].Fraction[0]-0.5) > 1e-9 {
+		t.Errorf("fraction[0] = %v", series[0].Fraction[0])
+	}
+}
+
+func TestFig10bSchemeOrdering(t *testing.T) {
+	series, err := Fig10b(10, 30*simtime.Minute, 5, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	byName := map[string][]int{}
+	for _, s := range series {
+		byName[s.Scheme] = s.Minutes
+	}
+	exp, fixed, random := byName["exponential"], byName["fixed"], byName["random"]
+	last := len(fixed) - 1
+	if !(exp[last] < random[last] && random[last] <= fixed[last]) {
+		t.Errorf("wake ordering: exp=%d random=%d fixed=%d", exp[last], random[last], fixed[last])
+	}
+	// Cumulative counts never decrease.
+	for i := 1; i < len(fixed); i++ {
+		if fixed[i] < fixed[i-1] || exp[i] < exp[i-1] {
+			t.Error("cumulative counts decreased")
+		}
+	}
+}
+
+func TestFig10cTradeoff(t *testing.T) {
+	model := power.Model3G()
+	cfg := policy.DefaultNetMasterConfig(model)
+	rows, err := Fig10c(volunteers(t)[:1], cfg, histories(t), model, []float64{0, 0.25, 0.5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 3 {
+		t.Fatalf("rows = %d", len(rows))
+	}
+	// Accuracy falls (weakly) as δ rises; the scheduler's attributed
+	// saving rises (weakly) as more slots leave U.
+	if rows[2].Accuracy > rows[0].Accuracy {
+		t.Errorf("accuracy rose with δ: %+v", rows)
+	}
+	if rows[2].EnergySaving < rows[0].EnergySaving {
+		t.Errorf("scheduled saving fell with δ: %+v", rows)
+	}
+	for _, r := range rows {
+		if r.Accuracy < 0 || r.Accuracy > 1 {
+			t.Errorf("accuracy out of range: %+v", r)
+		}
+	}
+}
+
+func TestUserExperienceBelowPaperBound(t *testing.T) {
+	model := power.Model3G()
+	cfg := policy.DefaultNetMasterConfig(model)
+	rows, err := UserExperience(volunteers(t), cfg, histories(t), model)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, r := range rows {
+		if r.Rate() > 0.01 {
+			t.Errorf("%s: wrong decision rate %v above the paper's 1%%", r.UserID, r.Rate())
+		}
+		if r.NetInteractions == 0 {
+			t.Errorf("%s: no network-wanting interactions recorded", r.UserID)
+		}
+	}
+}
+
+func TestFig7aGapDistribution(t *testing.T) {
+	model := power.Model3G()
+	cfg := DefaultFig7Config(model)
+	cfg.Histories = histories(t)
+	dist, err := Fig7aGapDistribution(volunteers(t), cfg, 100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(dist.Gaps) == 0 {
+		t.Fatal("no tests")
+	}
+	// Gaps are sorted, non-negative, and summarised consistently.
+	for i := 1; i < len(dist.Gaps); i++ {
+		if dist.Gaps[i] < dist.Gaps[i-1] {
+			t.Fatal("gaps unsorted")
+		}
+	}
+	if dist.Worst != dist.Gaps[len(dist.Gaps)-1] {
+		t.Error("worst mismatch")
+	}
+	if dist.Mean < 0 || dist.Mean > dist.Worst {
+		t.Errorf("mean %v outside [0, worst %v]", dist.Mean, dist.Worst)
+	}
+	// The paper's shape: the typical test sits below 5%.
+	if dist.ShareBelow5pc < 0.5 {
+		t.Errorf("share below 5%% = %v; scheduling quality degraded", dist.ShareBelow5pc)
+	}
+	// An absurd baseline floor leaves no tests.
+	if _, err := Fig7aGapDistribution(volunteers(t), cfg, 1e12); err == nil {
+		t.Error("empty test set not reported")
+	}
+}
+
+func TestMetricsByDayConservation(t *testing.T) {
+	model := power.Model3G()
+	tr := volunteers(t)[0]
+	plan, err := (policy.Baseline{}).Plan(tr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	whole, err := device.ComputeMetrics(plan, model)
+	if err != nil {
+		t.Fatal(err)
+	}
+	days, err := device.MetricsByDay(plan, model)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(days) != tr.Days {
+		t.Fatalf("days = %d", len(days))
+	}
+	var sumE float64
+	var sumDown int64
+	var sumInter int
+	for _, d := range days {
+		sumE += d.Radio.EnergyJ
+		sumDown += d.BytesDown
+		sumInter += d.Interactions
+	}
+	// Day slicing severs cross-midnight tail bridging, so the summed
+	// energy may exceed the whole-trace energy by at most one radio
+	// cycle per boundary.
+	if sumE < whole.Radio.EnergyJ-1e-6 {
+		t.Errorf("per-day energy %v below whole-trace %v", sumE, whole.Radio.EnergyJ)
+	}
+	slack := float64(tr.Days) * (model.PromoFromIdle.Energy() + model.TailEnergy())
+	if sumE > whole.Radio.EnergyJ+slack {
+		t.Errorf("per-day energy %v exceeds whole-trace %v plus slack %v", sumE, whole.Radio.EnergyJ, slack)
+	}
+	if sumDown != whole.BytesDown || sumInter != whole.Interactions {
+		t.Error("per-day byte/interaction totals broken")
+	}
+}
+
+func TestHiddenImpactOrdering(t *testing.T) {
+	model := power.Model3G()
+	tr := volunteers(t)[:1]
+	nmCfg := policy.DefaultNetMasterConfig(model)
+	nmCfg.History = histories(t)[tr[0].UserID]
+	nm, err := policy.NewNetMaster(nmCfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	d60, err := policy.NewDelay(60 * simtime.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rows, err := HiddenImpact(tr, model, []device.Policy{policy.Baseline{}, nm, d60})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 3 {
+		t.Fatalf("rows = %d", len(rows))
+	}
+	base, nmRow, delayRow := rows[0], rows[1], rows[2]
+	if base.DelaySecs.Max != 0 || base.WithinMinute != 1 {
+		t.Errorf("baseline delays pushes: %+v", base)
+	}
+	// Delay-60 never exceeds its interval.
+	if delayRow.DelaySecs.Max > 60 {
+		t.Errorf("delay-60 max latency = %v", delayRow.DelaySecs.Max)
+	}
+	// Special-app pushes ride duty wakes: NetMaster's median stays in
+	// minutes (duty backoff), far below slot-deferral hours.
+	if nmRow.DelaySecs.P50 > 600 {
+		t.Errorf("NetMaster median push latency = %v s; special-app pushes should ride duty wakes", nmRow.DelaySecs.P50)
+	}
+	if nmRow.Pushes == 0 {
+		t.Error("no pushes measured")
+	}
+}
+
+func TestCrossModelConsistency(t *testing.T) {
+	rows, err := CrossModel(volunteers(t)[:2], histories(t), []*power.Model{power.Model3G(), power.ModelLTE()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 2 {
+		t.Fatalf("rows = %d", len(rows))
+	}
+	for _, r := range rows {
+		if r.BaselineJPerDay <= 0 {
+			t.Errorf("%s: zero baseline", r.Model)
+		}
+		if !(r.OracleSaving >= r.NetMasterSaving && r.NetMasterSaving > r.DelaySaving) {
+			t.Errorf("%s: ordering broken: %+v", r.Model, r)
+		}
+		if r.NetMasterSaving < 0.4 {
+			t.Errorf("%s: NetMaster saving %v", r.Model, r.NetMasterSaving)
+		}
+	}
+	// LTE's tail burns more per day unmanaged.
+	if rows[1].BaselineJPerDay <= rows[0].BaselineJPerDay {
+		t.Errorf("LTE baseline %v not above 3G %v", rows[1].BaselineJPerDay, rows[0].BaselineJPerDay)
+	}
+}
+
+func TestDeltaRiskMonotone(t *testing.T) {
+	rows, err := DeltaRisk(volunteers(t), habit.DefaultConfig(), []float64{0.05, 0.2, 0.5, 0.9})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Risk is non-decreasing in δ: excluding more slots can only raise
+	// the most likely excluded slot's probability.
+	for i := 1; i < len(rows); i++ {
+		if rows[i].WeekdayRisk < rows[i-1].WeekdayRisk-1e-9 {
+			t.Errorf("weekday risk fell: %+v", rows)
+		}
+		if rows[i].WeekendRisk < rows[i-1].WeekendRisk-1e-9 {
+			t.Errorf("weekend risk fell: %+v", rows)
+		}
+	}
+	// Risk is always below the δ that produced it.
+	for _, r := range rows {
+		if r.WeekdayRisk >= r.Delta {
+			t.Errorf("risk %v not below δ %v", r.WeekdayRisk, r.Delta)
+		}
+	}
+}
+
+func TestBatteryLifeProjection(t *testing.T) {
+	model := power.Model3G()
+	tr := volunteers(t)[:1]
+	nmCfg := policy.DefaultNetMasterConfig(model)
+	nmCfg.History = histories(t)[tr[0].UserID]
+	nm, err := policy.NewNetMaster(nmCfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rows, err := BatteryLife(tr, model, DefaultBatteryConfig(), []device.Policy{nm})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 2 || rows[0].Policy != "baseline" {
+		t.Fatalf("rows = %+v", rows)
+	}
+	base, nmRow := rows[0], rows[1]
+	if base.ExtensionVsBaseline != 0 {
+		t.Error("baseline extension must be 0")
+	}
+	if nmRow.ProjectedHours <= base.ProjectedHours {
+		t.Errorf("NetMaster hours %v not above baseline %v", nmRow.ProjectedHours, base.ProjectedHours)
+	}
+	if nmRow.ExtensionVsBaseline <= 0.1 {
+		t.Errorf("extension = %v, expected substantial", nmRow.ExtensionVsBaseline)
+	}
+	// Radio share must fall when the radio budget shrinks and screen
+	// energy stays fixed.
+	if nmRow.RadioShare >= base.RadioShare {
+		t.Errorf("radio share did not fall: %v vs %v", nmRow.RadioShare, base.RadioShare)
+	}
+	// Device totals conserve the fixed screen+idle part.
+	fixedBase := base.DeviceJPerDay * (1 - base.RadioShare)
+	fixedNM := nmRow.DeviceJPerDay * (1 - nmRow.RadioShare)
+	if math.Abs(fixedBase-fixedNM) > 1 {
+		t.Errorf("screen+idle floor changed: %v vs %v", fixedBase, fixedNM)
+	}
+	// Bad configs are rejected.
+	if _, err := BatteryLife(tr, model, BatteryConfig{}, nil); err == nil {
+		t.Error("zero capacity accepted")
+	}
+}
+
+func TestSensitivityTrends(t *testing.T) {
+	rows, err := Sensitivity(volunteers(t)[:1], histories(t), power.Model3G())
+	if err != nil {
+		t.Fatal(err)
+	}
+	byKnob := map[string][]SensitivityRow{}
+	for _, r := range rows {
+		byKnob[r.Knob] = append(byKnob[r.Knob], r)
+	}
+	// Longer initial sleeps shrink the wake share monotonically.
+	duty := byKnob["duty-initial-sleep"]
+	for i := 1; i < len(duty); i++ {
+		if duty[i].WakeShare > duty[i-1].WakeShare+1e-9 {
+			t.Errorf("wake share rose with a longer sleep: %+v", duty)
+		}
+	}
+	// A slower radio-off poll always costs energy.
+	tail := byKnob["tail-cut-secs"]
+	for i := 1; i < len(tail); i++ {
+		if tail[i].EnergySaving > tail[i-1].EnergySaving+1e-9 {
+			t.Errorf("saving rose with a slower tail cut: %+v", tail)
+		}
+	}
+	// Capacity never binds on this workload: all settings agree.
+	bw := byKnob["capacity-bandwidth"]
+	for i := 1; i < len(bw); i++ {
+		if math.Abs(bw[i].EnergySaving-bw[0].EnergySaving) > 0.02 {
+			t.Errorf("capacity unexpectedly binding: %+v", bw)
+		}
+	}
+	// The UX guardrail holds at every setting.
+	for _, r := range rows {
+		if r.WrongRate > 0.01 {
+			t.Errorf("%s=%s: wrong rate %v", r.Knob, r.Setting, r.WrongRate)
+		}
+	}
+}
+
+func TestDriftRecencyShedsStaleHabit(t *testing.T) {
+	rows, err := Drift(DefaultDriftConfig(), power.Model3G())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 2 {
+		t.Fatalf("rows = %d", len(rows))
+	}
+	uniform, recency := rows[0], rows[1]
+	// The recency miner sheds the abandoned habit much faster.
+	if recency.StaleShare >= uniform.StaleShare/2 {
+		t.Errorf("recency stale %v not well below uniform %v", recency.StaleShare, uniform.StaleShare)
+	}
+	// Neither strategy gives up coverage or UX to do it.
+	for _, r := range rows {
+		if r.Accuracy < 0.9 {
+			t.Errorf("%s: accuracy %v", r.Strategy, r.Accuracy)
+		}
+		if r.WrongRate > 0.01 {
+			t.Errorf("%s: wrong rate %v", r.Strategy, r.WrongRate)
+		}
+		if r.EnergySaving < 0.4 {
+			t.Errorf("%s: saving %v", r.Strategy, r.EnergySaving)
+		}
+	}
+	// Invalid config rejected.
+	bad := DefaultDriftConfig()
+	bad.WeeksBefore = 0
+	if _, err := Drift(bad, power.Model3G()); err == nil {
+		t.Error("zero weeks accepted")
+	}
+}

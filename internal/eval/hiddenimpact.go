@@ -1,0 +1,68 @@
+// The "hidden impact" of Section VII: even when no interaction is
+// visibly blocked, deferring server pushes delays notifications the user
+// would have wanted promptly (the paper's Facebook example). This file
+// quantifies that latency per policy — the analysis the paper defers to
+// future work.
+package eval
+
+import (
+	"fmt"
+
+	"netmaster/internal/device"
+	"netmaster/internal/power"
+	"netmaster/internal/stats"
+	"netmaster/internal/trace"
+)
+
+// PushLatencyRow summarises one policy's push-delivery delays over a
+// cohort: the time between a push's arrival and its execution.
+type PushLatencyRow struct {
+	Policy string
+	// Pushes counts the screen-off pushes measured.
+	Pushes int
+	// DelaySecs is the full latency sample summary.
+	DelaySecs stats.Summary
+	// WithinMinute is the fraction delivered within 60 s of arrival.
+	WithinMinute float64
+}
+
+// HiddenImpact replays each policy over the cohort and extracts the
+// push-delivery latency distribution.
+func HiddenImpact(traces []*trace.Trace, model *power.Model, policies []device.Policy) ([]PushLatencyRow, error) {
+	var rows []PushLatencyRow
+	for _, p := range policies {
+		row := PushLatencyRow{Policy: p.Name()}
+		var sample []float64
+		within := 0
+		for _, t := range traces {
+			plan, err := p.Plan(t)
+			if err != nil {
+				return nil, fmt.Errorf("eval: hidden impact %s on %s: %w", p.Name(), t.UserID, err)
+			}
+			if err := plan.Validate(); err != nil {
+				return nil, err
+			}
+			for _, e := range plan.Executions {
+				a := t.Activities[e.Index]
+				if a.Kind != trace.KindPush || t.ScreenOnAt(a.Start) {
+					continue
+				}
+				d := e.ExecStart.Sub(a.Start).Seconds()
+				if d < 0 {
+					d = 0
+				}
+				sample = append(sample, d)
+				if d <= 60 {
+					within++
+				}
+			}
+		}
+		row.Pushes = len(sample)
+		row.DelaySecs = stats.Summarize(sample)
+		if len(sample) > 0 {
+			row.WithinMinute = float64(within) / float64(len(sample))
+		}
+		rows = append(rows, row)
+	}
+	return rows, nil
+}

@@ -1,0 +1,97 @@
+// Sensitivity analysis over NetMaster's operational knobs — the
+// parameters the paper fixes by fiat (30 s initial sleep, the radio-off
+// poll latency, carrier bandwidth). Sweeping them shows how robust the
+// headline saving is to deployment conditions.
+package eval
+
+import (
+	"fmt"
+
+	"netmaster/internal/device"
+	"netmaster/internal/policy"
+	"netmaster/internal/power"
+	"netmaster/internal/simtime"
+	"netmaster/internal/trace"
+)
+
+// SensitivityRow is one knob setting's outcome.
+type SensitivityRow struct {
+	Knob    string
+	Setting string
+	// EnergySaving vs the baseline, and the duty-cycle share of
+	// NetMaster's remaining budget.
+	EnergySaving float64
+	WakeShare    float64
+	// WrongRate is the user-experience guardrail at this setting.
+	WrongRate float64
+}
+
+// Sensitivity sweeps the duty-cycle initial sleep, the radio-off poll
+// latency (tail cut) and the capacity bandwidth, one knob at a time
+// around the paper's defaults.
+func Sensitivity(traces []*trace.Trace, histories map[string]*trace.Trace, model *power.Model) ([]SensitivityRow, error) {
+	type variant struct {
+		knob    string
+		setting string
+		mutate  func(*policy.NetMasterConfig)
+	}
+	variants := []variant{
+		{"defaults", "paper", func(c *policy.NetMasterConfig) {}},
+	}
+	for _, s := range []simtime.Duration{10, 30, 120, 600} {
+		s := s
+		variants = append(variants, variant{
+			"duty-initial-sleep", s.String(),
+			func(c *policy.NetMasterConfig) { c.DutyInitialSleep = s },
+		})
+	}
+	for _, tc := range []float64{0, 0.5, 2, 5} {
+		tc := tc
+		variants = append(variants, variant{
+			"tail-cut-secs", fmt.Sprintf("%gs", tc),
+			func(c *policy.NetMasterConfig) { c.TailCutSecs = tc },
+		})
+	}
+	for _, bw := range []float64{32 * 1024, 256 * 1024, 2 * 1024 * 1024} {
+		bw := bw
+		variants = append(variants, variant{
+			"capacity-bandwidth", fmt.Sprintf("%.0fKiB/s", bw/1024),
+			func(c *policy.NetMasterConfig) { c.BandwidthBps = bw },
+		})
+	}
+
+	var rows []SensitivityRow
+	for _, v := range variants {
+		row := SensitivityRow{Knob: v.knob, Setting: v.setting}
+		for _, t := range traces {
+			cfg := policy.DefaultNetMasterConfig(model)
+			if h, ok := histories[t.UserID]; ok {
+				cfg.History = h
+			}
+			v.mutate(&cfg)
+			nm, err := policy.NewNetMaster(cfg)
+			if err != nil {
+				return nil, fmt.Errorf("eval: sensitivity %s=%s: %w", v.knob, v.setting, err)
+			}
+			base, err := device.Run(policy.Baseline{}, t, model)
+			if err != nil {
+				return nil, err
+			}
+			m, err := device.Run(nm, t, model)
+			if err != nil {
+				return nil, err
+			}
+			row.EnergySaving += m.EnergySavingVs(base)
+			if m.Radio.EnergyJ > 0 {
+				row.WakeShare += m.WakeEnergyJ / m.Radio.EnergyJ
+			}
+			row.WrongRate += m.WrongDecisionRate()
+		}
+		n := float64(len(traces))
+		row.EnergySaving /= n
+		row.WakeShare /= n
+		row.WrongRate /= n
+		rows = append(rows, row)
+	}
+	return rows, nil
+}

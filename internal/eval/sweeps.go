@@ -1,0 +1,311 @@
+// Off-line parameter sweeps: the delay-method analysis (Fig. 8), the
+// batch-method analysis (Fig. 9) and the parameter analysis of duty-cycle
+// schemes and prediction thresholds (Fig. 10).
+package eval
+
+import (
+	"fmt"
+
+	"netmaster/internal/device"
+	"netmaster/internal/dutycycle"
+	"netmaster/internal/habit"
+	"netmaster/internal/policy"
+	"netmaster/internal/power"
+	"netmaster/internal/simtime"
+	"netmaster/internal/trace"
+)
+
+// Fig8Row is one delay setting's outcome averaged over a cohort.
+type Fig8Row struct {
+	Delay simtime.Duration
+	// EnergySaving and RadioOnSaving are fractions of the baseline
+	// (Fig. 8a); BandwidthIncrease is the relative gain in average
+	// transfer rate over radio-on time (Fig. 8b); AffectedShare is the
+	// fraction of interactions falling inside hold windows (Fig. 8c).
+	EnergySaving      float64
+	RadioOnSaving     float64
+	BandwidthIncrease float64
+	AffectedShare     float64
+}
+
+// DefaultDelaySweep is the x-axis of Fig. 8.
+func DefaultDelaySweep() []simtime.Duration {
+	secs := []int64{0, 1, 2, 3, 4, 5, 10, 20, 30, 60, 120, 300, 600}
+	out := make([]simtime.Duration, len(secs))
+	for i, s := range secs {
+		out[i] = simtime.Duration(s)
+	}
+	return out
+}
+
+// Fig8 sweeps the delay interval over a cohort. Delay 0 is the baseline
+// row (all zeros).
+func Fig8(traces []*trace.Trace, model *power.Model, delays []simtime.Duration) ([]Fig8Row, error) {
+	var rows []Fig8Row
+	for _, d := range delays {
+		row := Fig8Row{Delay: d}
+		if d > 0 {
+			for _, t := range traces {
+				dp, err := policy.NewDelay(d)
+				if err != nil {
+					return nil, err
+				}
+				res, err := Compare(t, model, []device.Policy{dp})
+				if err != nil {
+					return nil, err
+				}
+				base, m := res[0].Metrics, res[1].Metrics
+				row.EnergySaving += res[1].EnergySaving
+				row.RadioOnSaving += res[1].RadioOnSaving
+				row.BandwidthIncrease += rateGain(m, base)
+				row.AffectedShare += m.AffectedRate()
+			}
+			n := float64(len(traces))
+			row.EnergySaving /= n
+			row.RadioOnSaving /= n
+			row.BandwidthIncrease /= n
+			row.AffectedShare /= n
+		}
+		rows = append(rows, row)
+	}
+	return rows, nil
+}
+
+// rateGain returns the relative increase of total average transfer rate
+// over radio-on time vs a baseline: rate/rate_base − 1.
+func rateGain(m, base device.Metrics) float64 {
+	br := base.AvgDownRateBps + base.AvgUpRateBps
+	mr := m.AvgDownRateBps + m.AvgUpRateBps
+	if br == 0 {
+		return 0
+	}
+	return mr/br - 1
+}
+
+// Fig9Row is one batch-size setting's outcome averaged over a cohort.
+type Fig9Row struct {
+	MaxBatch          int
+	EnergySaving      float64
+	RadioOnSaving     float64
+	BandwidthIncrease float64
+	AffectedShare     float64
+}
+
+// DefaultBatchSweep is the x-axis of Fig. 9.
+func DefaultBatchSweep() []int { return []int{0, 1, 2, 3, 4, 5, 6, 7, 8, 9, 10} }
+
+// Fig9 sweeps the batch aggregation limit; size 0 (or 1) degenerates to
+// the baseline behaviour.
+func Fig9(traces []*trace.Trace, model *power.Model, sizes []int) ([]Fig9Row, error) {
+	var rows []Fig9Row
+	for _, n := range sizes {
+		row := Fig9Row{MaxBatch: n}
+		if n > 1 {
+			for _, t := range traces {
+				bp, err := policy.NewBatch(n, 0)
+				if err != nil {
+					return nil, err
+				}
+				res, err := Compare(t, model, []device.Policy{bp})
+				if err != nil {
+					return nil, err
+				}
+				base, m := res[0].Metrics, res[1].Metrics
+				row.EnergySaving += res[1].EnergySaving
+				row.RadioOnSaving += res[1].RadioOnSaving
+				row.BandwidthIncrease += rateGain(m, base)
+				row.AffectedShare += m.AffectedRate()
+			}
+			k := float64(len(traces))
+			row.EnergySaving /= k
+			row.RadioOnSaving /= k
+			row.BandwidthIncrease /= k
+			row.AffectedShare /= k
+		}
+		rows = append(rows, row)
+	}
+	return rows, nil
+}
+
+// Fig10aSeries is the radio-on fraction after k wake-ups for one initial
+// sleep interval of the exponential scheme (Fig. 10a).
+type Fig10aSeries struct {
+	SleepSecs simtime.Duration
+	// Fraction[k-1] is radio-on time / elapsed time after k wake-ups.
+	Fraction []float64
+}
+
+// Fig10a computes the deterministic radio-on fraction curves for the
+// paper's sleep intervals {5, 10, 20, 30, 120, 360 s}, a wake window and
+// up to maxWakeUps wake-ups, with no activity (pure false-wake cost).
+func Fig10a(sleeps []simtime.Duration, wakeWindow simtime.Duration, maxWakeUps int) []Fig10aSeries {
+	var out []Fig10aSeries
+	for _, s := range sleeps {
+		series := Fig10aSeries{SleepSecs: s}
+		elapsed := 0.0
+		radioOn := 0.0
+		sleep := s
+		for k := 1; k <= maxWakeUps; k++ {
+			elapsed += sleep.Seconds() + wakeWindow.Seconds()
+			radioOn += wakeWindow.Seconds()
+			series.Fraction = append(series.Fraction, radioOn/elapsed)
+			sleep *= 2
+		}
+		out = append(out, series)
+	}
+	return out
+}
+
+// Fig10bSeries is the cumulative wake-up count over time for one scheme
+// (Fig. 10b).
+type Fig10bSeries struct {
+	Scheme string
+	// Minutes[i] is the cumulative wake-ups at minute i+1.
+	Minutes []int
+}
+
+// Fig10b simulates exponential, fixed and random sleep over a silent
+// horizon and reports cumulative wake-ups per minute. interval is the
+// base sleep used by all three schemes.
+func Fig10b(interval simtime.Duration, horizon simtime.Duration, wakeWindow simtime.Duration, seed int64) ([]Fig10bSeries, error) {
+	exp, err := dutycycle.NewExponential(interval, 0)
+	if err != nil {
+		return nil, err
+	}
+	fixed, err := dutycycle.NewFixed(interval)
+	if err != nil {
+		return nil, err
+	}
+	random, err := dutycycle.NewRandom(interval/2, interval*2, seed)
+	if err != nil {
+		return nil, err
+	}
+	schemes := []dutycycle.Scheme{exp, fixed, random}
+	var out []Fig10bSeries
+	for _, s := range schemes {
+		res := dutycycle.Simulate(s, 0, horizon, wakeWindow, nil)
+		series := Fig10bSeries{Scheme: s.Name()}
+		for m := simtime.Minute; m <= horizon; m += simtime.Minute {
+			series.Minutes = append(series.Minutes, res.WakeUpsBefore(simtime.Instant(m)))
+		}
+		out = append(out, series)
+	}
+	return out, nil
+}
+
+// Fig10cRow is one prediction-threshold setting (Fig. 10c).
+type Fig10cRow struct {
+	Delta float64
+	// Accuracy is the fraction of actual interactions inside predicted
+	// active slots. EnergySaving is the scheduling component's
+	// model-estimated ΣΔE at this δ relative to the oracle's realised
+	// saving: raising δ shrinks U, moves more slots into Tn, and hands
+	// the knapsack more to optimise — at the cost of accuracy.
+	Accuracy     float64
+	EnergySaving float64
+}
+
+// DefaultDeltaSweep is the x-axis of Fig. 10c.
+func DefaultDeltaSweep() []float64 {
+	return []float64{0, 0.05, 0.1, 0.15, 0.2, 0.25, 0.3, 0.35, 0.4, 0.45, 0.5}
+}
+
+// Fig10c sweeps the prediction threshold δ (applied to both day types)
+// over a cohort, reporting mean prediction accuracy and mean energy
+// saving relative to the oracle.
+func Fig10c(traces []*trace.Trace, base policy.NetMasterConfig, histories map[string]*trace.Trace, model *power.Model, deltas []float64) ([]Fig10cRow, error) {
+	oracle, err := policy.NewOracle(model)
+	if err != nil {
+		return nil, err
+	}
+	// Per-trace oracle absolute savings (J), computed once.
+	oracleSavedJ := make([]float64, len(traces))
+	for i, t := range traces {
+		res, err := Compare(t, model, []device.Policy{oracle})
+		if err != nil {
+			return nil, err
+		}
+		oracleSavedJ[i] = res[0].Metrics.Radio.EnergyJ - res[1].Metrics.Radio.EnergyJ
+	}
+
+	var rows []Fig10cRow
+	for _, d := range deltas {
+		cfg := base
+		cfg.Habit.WeekdayThreshold = d
+		cfg.Habit.WeekendThreshold = d
+		row := Fig10cRow{Delta: d}
+		for i, t := range traces {
+			userCfg := cfg
+			if h, ok := histories[t.UserID]; ok {
+				userCfg.History = h
+			}
+			nm, err := policy.NewNetMaster(userCfg)
+			if err != nil {
+				return nil, err
+			}
+			plan, err := nm.Plan(t)
+			if err != nil {
+				return nil, err
+			}
+			if oracleSavedJ[i] > 0 {
+				row.EnergySaving += plan.PlannedSavingJ / oracleSavedJ[i]
+			}
+			acc, err := predictionAccuracy(t, cfg, d)
+			if err != nil {
+				return nil, err
+			}
+			row.Accuracy += acc
+		}
+		n := float64(len(traces))
+		row.EnergySaving /= n
+		row.Accuracy /= n
+		rows = append(rows, row)
+	}
+	return rows, nil
+}
+
+// predictionAccuracy mines the trace and measures interaction coverage at
+// threshold δ.
+func predictionAccuracy(t *trace.Trace, cfg policy.NetMasterConfig, delta float64) (float64, error) {
+	profile, err := habit.Mine(t, cfg.Habit)
+	if err != nil {
+		return 0, fmt.Errorf("eval: mining %s: %w", t.UserID, err)
+	}
+	return profile.PredictionAccuracy(t, delta), nil
+}
+
+// DeltaRiskRow is one δ setting's realised interrupt risk (Section
+// IV-C.1's impact-based strategy): the maximum usage probability among
+// the slots δ excludes from U. The paper picks the smallest δ whose risk
+// stays within budget — 0.2 on weekdays, 0.1 on weekends.
+type DeltaRiskRow struct {
+	Delta       float64
+	WeekdayRisk float64 // max Pr[u] left outside U on weekdays
+	WeekendRisk float64
+}
+
+// DeltaRisk evaluates the impact-based threshold strategy over a cohort:
+// per δ, the mean (over users) of the realised interrupt risk.
+func DeltaRisk(traces []*trace.Trace, cfg habit.Config, deltas []float64) ([]DeltaRiskRow, error) {
+	profiles := make([]*habit.Profile, len(traces))
+	for i, t := range traces {
+		p, err := habit.Mine(t, cfg)
+		if err != nil {
+			return nil, err
+		}
+		profiles[i] = p
+	}
+	var rows []DeltaRiskRow
+	for _, d := range deltas {
+		row := DeltaRiskRow{Delta: d}
+		for _, p := range profiles {
+			row.WeekdayRisk += p.ImpactBasedThreshold(false, d)
+			row.WeekendRisk += p.ImpactBasedThreshold(true, d)
+		}
+		n := float64(len(profiles))
+		row.WeekdayRisk /= n
+		row.WeekendRisk /= n
+		rows = append(rows, row)
+	}
+	return rows, nil
+}

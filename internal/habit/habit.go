@@ -1,0 +1,438 @@
+// Package habit implements NetMaster's mining component: it turns the
+// monitoring database (a trace) into per-slot usage probabilities, detects
+// "Special Apps", and predicts the two slot sets the scheduler consumes —
+// the user active slot set U (Eq. 2) and the screen-off network active
+// slot set Tn (Eq. 3).
+//
+// Prediction is deliberately hour-level: the paper observes that usage is
+// close to random at minute granularity but highly regular per hour, and
+// that weekday and weekend lifestyles differ enough to deserve separate
+// thresholds (δ = 0.2 weekdays, δ = 0.1 weekends in the evaluation).
+package habit
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"netmaster/internal/simtime"
+	"netmaster/internal/trace"
+)
+
+// Config controls mining.
+type Config struct {
+	// SlotWidth is the prediction granularity; the paper uses one hour.
+	SlotWidth simtime.Duration
+	// WeekdayThreshold and WeekendThreshold are the δ values of Eq. 2:
+	// a slot is predicted user-active when the fraction of history
+	// days (of the same day type) with usage in that slot reaches δ.
+	WeekdayThreshold float64
+	WeekendThreshold float64
+	// RecencyHalfLifeDays, when positive, weights history days
+	// exponentially by age: a day h days old counts 2^(−h/halflife).
+	// The paper's §VII flags deeper habit analysis as future work;
+	// recency weighting lets the profile track lifestyle drift
+	// (semester changes, new jobs) instead of averaging it away. Zero
+	// keeps the paper's uniform weighting.
+	RecencyHalfLifeDays float64
+}
+
+// DefaultConfig returns the paper's evaluation settings.
+func DefaultConfig() Config {
+	return Config{
+		SlotWidth:        simtime.Hour,
+		WeekdayThreshold: 0.2,
+		WeekendThreshold: 0.1,
+	}
+}
+
+func (c Config) validate() error {
+	if c.SlotWidth <= 0 {
+		return fmt.Errorf("habit: non-positive slot width %v", c.SlotWidth)
+	}
+	if simtime.Day%c.SlotWidth != 0 {
+		return fmt.Errorf("habit: slot width %v does not divide a day", c.SlotWidth)
+	}
+	if c.WeekdayThreshold < 0 || c.WeekdayThreshold > 1 ||
+		c.WeekendThreshold < 0 || c.WeekendThreshold > 1 {
+		return fmt.Errorf("habit: thresholds must lie in [0,1]")
+	}
+	if c.RecencyHalfLifeDays < 0 {
+		return fmt.Errorf("habit: negative recency half-life")
+	}
+	return nil
+}
+
+// Threshold returns the δ in force for the given day type.
+func (c Config) Threshold(weekend bool) float64 {
+	if weekend {
+		return c.WeekendThreshold
+	}
+	return c.WeekdayThreshold
+}
+
+// SlotStats aggregates one slot-of-day across history days of one day
+// type.
+type SlotStats struct {
+	// UseProb is Pr[u(ti)]: fraction of days with at least one user
+	// interaction in this slot.
+	UseProb float64
+	// NetProb is Pr[n(ti)] per Eq. 3: the per-app-day frequency of
+	// screen-off network activity in this slot.
+	NetProb float64
+	// OffBytes is the mean screen-off volume (bytes/day) transferred in
+	// this slot, split by direction.
+	OffBytesDown float64
+	OffBytesUp   float64
+	// OffBursts is the mean number of screen-off bursts per day.
+	OffBursts float64
+}
+
+// AppOffDemand is one app's average screen-off network demand within one
+// slot-of-day: the predicted network activity the scheduler will move.
+type AppOffDemand struct {
+	App       trace.AppID
+	BytesDown float64
+	BytesUp   float64
+	Bursts    float64
+}
+
+// DayTypeProfile holds mined statistics for one day type (weekday or
+// weekend).
+type DayTypeProfile struct {
+	Days  int // history days of this type
+	Slots []SlotStats
+	// OffDemand[slot] lists per-app screen-off demand in that slot.
+	OffDemand [][]AppOffDemand
+	// weightSum is the total day weight (equals Days under uniform
+	// weighting).
+	weightSum float64
+}
+
+// Profile is the mining component's full output for one user.
+type Profile struct {
+	UserID    string
+	SlotWidth simtime.Duration
+	Config    Config
+	Weekday   DayTypeProfile
+	Weekend   DayTypeProfile
+	// SpecialApps are apps observed at least once with both a user
+	// interaction and a network activity — the allowlist the real-time
+	// adjustment layer trusts.
+	SpecialApps []trace.AppID
+}
+
+// SlotsPerDay returns the number of prediction slots in a day.
+func (p *Profile) SlotsPerDay() int { return int(simtime.Day / p.SlotWidth) }
+
+// dayType returns the profile for the day type of the given day index.
+func (p *Profile) dayType(day int) *DayTypeProfile {
+	if simtime.At(day, 0, 0, 0).IsWeekend() {
+		return &p.Weekend
+	}
+	return &p.Weekday
+}
+
+// Mine builds a Profile from a trace. Every complete day of the trace
+// contributes to its day type's statistics.
+func Mine(t *trace.Trace, cfg Config) (*Profile, error) {
+	if err := cfg.validate(); err != nil {
+		return nil, err
+	}
+	if err := t.Validate(); err != nil {
+		return nil, err
+	}
+	slots := int(simtime.Day / cfg.SlotWidth)
+	p := &Profile{
+		UserID:    t.UserID,
+		SlotWidth: cfg.SlotWidth,
+		Config:    cfg,
+		Weekday:   newDayTypeProfile(slots),
+		Weekend:   newDayTypeProfile(slots),
+	}
+
+	// Per-day, per-slot binary usage and screen-off per-app activity.
+	// Each day contributes with a recency weight (1 under the paper's
+	// uniform scheme).
+	type appSlot struct {
+		app  trace.AppID
+		slot int
+	}
+	for day := 0; day < t.Days; day++ {
+		dt := p.dayType(day)
+		dt.Days++
+		w := dayWeight(cfg, t.Days, day)
+		dt.weightSum += w
+		dayStart := simtime.At(day, 0, 0, 0)
+
+		used := make([]bool, slots)
+		for _, ia := range t.InteractionsOfDay(day) {
+			used[slotOf(ia.Time, dayStart, cfg.SlotWidth)] = true
+		}
+		for s, u := range used {
+			if u {
+				dt.Slots[s].UseProb += w // converted to a fraction below
+			}
+		}
+
+		offApps := make(map[appSlot]struct{})
+		offBursts := make([]float64, slots)
+		for _, a := range t.ActivitiesOfDay(day) {
+			if t.ScreenOnAt(a.Start) {
+				continue
+			}
+			s := slotOf(a.Start, dayStart, cfg.SlotWidth)
+			dt.Slots[s].OffBytesDown += w * float64(a.BytesDown)
+			dt.Slots[s].OffBytesUp += w * float64(a.BytesUp)
+			offBursts[s] += w
+			offApps[appSlot{a.App, s}] = struct{}{}
+			dt.addOffDemand(s, a, w)
+		}
+		for s, b := range offBursts {
+			dt.Slots[s].OffBursts += b
+		}
+		for as := range offApps {
+			dt.Slots[as.slot].NetProb += w // per-app-day occurrences; normalised below
+		}
+	}
+
+	finalize(&p.Weekday, len(t.NetworkApps()))
+	finalize(&p.Weekend, len(t.NetworkApps()))
+
+	p.SpecialApps = DetectSpecialApps(t)
+	return p, nil
+}
+
+func newDayTypeProfile(slots int) DayTypeProfile {
+	return DayTypeProfile{
+		Slots:     make([]SlotStats, slots),
+		OffDemand: make([][]AppOffDemand, slots),
+	}
+}
+
+func slotOf(t, dayStart simtime.Instant, width simtime.Duration) int {
+	return int(int64(t.Sub(dayStart)) / int64(width))
+}
+
+// dayWeight returns the mining weight of the given day: 1 under uniform
+// weighting, exponentially decayed by age otherwise. The newest day of
+// the history is age 0.
+func dayWeight(cfg Config, totalDays, day int) float64 {
+	if cfg.RecencyHalfLifeDays <= 0 {
+		return 1
+	}
+	age := float64(totalDays - 1 - day)
+	return math.Exp2(-age / cfg.RecencyHalfLifeDays)
+}
+
+// addOffDemand accumulates one screen-off burst into the per-app demand of
+// slot s with the day's weight.
+func (dt *DayTypeProfile) addOffDemand(s int, a trace.NetworkActivity, w float64) {
+	for i := range dt.OffDemand[s] {
+		if dt.OffDemand[s][i].App == a.App {
+			dt.OffDemand[s][i].BytesDown += w * float64(a.BytesDown)
+			dt.OffDemand[s][i].BytesUp += w * float64(a.BytesUp)
+			dt.OffDemand[s][i].Bursts += w
+			return
+		}
+	}
+	dt.OffDemand[s] = append(dt.OffDemand[s], AppOffDemand{
+		App:       a.App,
+		BytesDown: w * float64(a.BytesDown),
+		BytesUp:   w * float64(a.BytesUp),
+		Bursts:    w,
+	})
+}
+
+// finalize converts per-day accumulators into weighted means and Eq. 2/3
+// probabilities. numApps is the m of Eq. 3.
+func finalize(dt *DayTypeProfile, numApps int) {
+	if dt.Days == 0 || dt.weightSum == 0 {
+		return
+	}
+	k := dt.weightSum
+	m := float64(numApps)
+	if m == 0 {
+		m = 1
+	}
+	for s := range dt.Slots {
+		dt.Slots[s].UseProb /= k
+		dt.Slots[s].NetProb /= m * k
+		dt.Slots[s].OffBytesDown /= k
+		dt.Slots[s].OffBytesUp /= k
+		dt.Slots[s].OffBursts /= k
+		for i := range dt.OffDemand[s] {
+			dt.OffDemand[s][i].BytesDown /= k
+			dt.OffDemand[s][i].BytesUp /= k
+			dt.OffDemand[s][i].Bursts /= k
+		}
+		sort.Slice(dt.OffDemand[s], func(i, j int) bool {
+			return dt.OffDemand[s][i].App < dt.OffDemand[s][j].App
+		})
+	}
+}
+
+// DetectSpecialApps returns the apps used at least once (a user
+// interaction) that also produced network activity — the paper's "Special
+// Apps". The result is sorted. New apps unseen in the trace should be
+// treated as special by callers until history accumulates, which the
+// middleware layer handles.
+func DetectSpecialApps(t *trace.Trace) []trace.AppID {
+	interacted := make(map[trace.AppID]bool)
+	for _, ia := range t.Interactions {
+		interacted[ia.App] = true
+	}
+	var out []trace.AppID
+	for _, app := range t.NetworkApps() {
+		if interacted[app] {
+			out = append(out, app)
+		}
+	}
+	return out
+}
+
+// UseProbAt returns Pr[u] for the slot containing t, the integrand of the
+// scheduling penalty (Eq. 4).
+func (p *Profile) UseProbAt(t simtime.Instant) float64 {
+	dt := p.dayType(t.Day())
+	if dt.Days == 0 {
+		return 0
+	}
+	s := t.SecondOfDay() / int(p.SlotWidth)
+	return dt.Slots[s].UseProb
+}
+
+// PredictedActiveSlots returns the user active slot set U for the given
+// day as merged intervals in absolute simulation time: maximal runs of
+// slots whose UseProb meets the day type's threshold. Merging adjacent
+// slots realises the paper's remark that "ti doesn't have a fixed length".
+func (p *Profile) PredictedActiveSlots(day int) []simtime.Interval {
+	return p.activeSlotsWithThreshold(day, p.Config.Threshold(simtime.At(day, 0, 0, 0).IsWeekend()))
+}
+
+// ActiveSlotsWithThreshold is PredictedActiveSlots with an explicit δ,
+// used by the threshold sweep of Fig. 10(c).
+func (p *Profile) ActiveSlotsWithThreshold(day int, delta float64) []simtime.Interval {
+	return p.activeSlotsWithThreshold(day, delta)
+}
+
+func (p *Profile) activeSlotsWithThreshold(day int, delta float64) []simtime.Interval {
+	dt := p.dayType(day)
+	if dt.Days == 0 {
+		return nil
+	}
+	dayStart := simtime.At(day, 0, 0, 0)
+	var ivs []simtime.Interval
+	for s, st := range dt.Slots {
+		if st.UseProb >= delta && st.UseProb > 0 {
+			start := dayStart.Add(simtime.Duration(s) * p.SlotWidth)
+			ivs = append(ivs, simtime.Interval{Start: start, End: start.Add(p.SlotWidth)})
+		}
+	}
+	return simtime.MergeIntervals(ivs)
+}
+
+// PredictedNetActivity is one predicted screen-off network activity: an
+// element of Tn with its slot and expected demand.
+type PredictedNetActivity struct {
+	Slot      simtime.Interval
+	App       trace.AppID
+	BytesDown float64
+	BytesUp   float64
+	Bursts    float64
+}
+
+// Bytes returns the total predicted volume, V(n).
+func (a PredictedNetActivity) Bytes() float64 { return a.BytesDown + a.BytesUp }
+
+// PredictedNetSlots returns the screen-off network active slot set Tn for
+// the given day: per-slot, per-app expected screen-off demand in slots not
+// predicted user-active (Eq. 3's ti ∉ U condition).
+func (p *Profile) PredictedNetSlots(day int) []PredictedNetActivity {
+	dt := p.dayType(day)
+	if dt.Days == 0 {
+		return nil
+	}
+	active := p.PredictedActiveSlots(day)
+	dayStart := simtime.At(day, 0, 0, 0)
+	var out []PredictedNetActivity
+	for s := range dt.Slots {
+		start := dayStart.Add(simtime.Duration(s) * p.SlotWidth)
+		slotIv := simtime.Interval{Start: start, End: start.Add(p.SlotWidth)}
+		if overlapsAny(slotIv, active) {
+			continue
+		}
+		if dt.Slots[s].NetProb <= 0 {
+			continue
+		}
+		for _, d := range dt.OffDemand[s] {
+			if d.Bursts <= 0 {
+				continue
+			}
+			out = append(out, PredictedNetActivity{
+				Slot:      slotIv,
+				App:       d.App,
+				BytesDown: d.BytesDown,
+				BytesUp:   d.BytesUp,
+				Bursts:    d.Bursts,
+			})
+		}
+	}
+	return out
+}
+
+func overlapsAny(iv simtime.Interval, set []simtime.Interval) bool {
+	for _, s := range set {
+		if iv.Overlaps(s) {
+			return true
+		}
+	}
+	return false
+}
+
+// PredictionAccuracy returns the fraction of the trace's actual
+// interactions that fall inside the slots predicted active with threshold
+// δ — the "prediction accuracy" series of Fig. 10(c). Prediction for each
+// day uses the profile mined from the whole trace, mirroring the paper's
+// trace-driven analysis.
+func (p *Profile) PredictionAccuracy(t *trace.Trace, delta float64) float64 {
+	if len(t.Interactions) == 0 {
+		return 1
+	}
+	perDay := make(map[int][]simtime.Interval)
+	hits := 0
+	for _, ia := range t.Interactions {
+		day := ia.Time.Day()
+		ivs, ok := perDay[day]
+		if !ok {
+			ivs = p.ActiveSlotsWithThreshold(day, delta)
+			perDay[day] = ivs
+		}
+		for _, iv := range ivs {
+			if iv.Contains(ia.Time) {
+				hits++
+				break
+			}
+		}
+	}
+	return float64(hits) / float64(len(t.Interactions))
+}
+
+// ImpactBasedThreshold implements the paper's impact-based δ selection:
+// given a candidate active-slot set (slots with UseProb ≥ δ), the realised
+// interrupt risk is the maximum UseProb among the remaining inactive
+// slots. The function returns that risk for the supplied δ, letting a
+// caller pick the smallest δ whose risk stays below a budget.
+func (p *Profile) ImpactBasedThreshold(weekend bool, delta float64) float64 {
+	dt := &p.Weekday
+	if weekend {
+		dt = &p.Weekend
+	}
+	risk := 0.0
+	for _, st := range dt.Slots {
+		if st.UseProb < delta && st.UseProb > risk {
+			risk = st.UseProb
+		}
+	}
+	return risk
+}

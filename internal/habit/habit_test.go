@@ -1,0 +1,353 @@
+package habit
+
+import (
+	"math"
+	"testing"
+
+	"netmaster/internal/simtime"
+	"netmaster/internal/trace"
+)
+
+func almost(a, b float64) bool { return math.Abs(a-b) < 1e-9 }
+
+// routineTrace builds a deterministic 14-day trace: on weekdays the user
+// interacts at 08:30 and 20:30 every day and at 12:30 on alternating
+// days; the chat app syncs at 03:00 nightly (screen off) and once inside
+// the 08:00 hour; weekends have a single 11:30 interaction.
+func routineTrace() *trace.Trace {
+	t := &trace.Trace{
+		UserID:        "routine",
+		Days:          14,
+		InstalledApps: []trace.AppID{"chat", "mail", "idlegame"},
+	}
+	for day := 0; day < 14; day++ {
+		weekend := simtime.At(day, 0, 0, 0).IsWeekend()
+		if weekend {
+			addSession(t, day, 11, 30, 60, "chat", true)
+		} else {
+			addSession(t, day, 8, 30, 60, "chat", true)
+			addSession(t, day, 20, 30, 60, "mail", true)
+			if day%2 == 0 {
+				addSession(t, day, 12, 30, 30, "chat", false)
+			}
+		}
+		// Nightly screen-off sync: 3 KB down, 1 KB up over 10 s.
+		t.Activities = append(t.Activities, trace.NetworkActivity{
+			App: "chat", Start: simtime.At(day, 3, 0, 0), Duration: 10,
+			BytesDown: 3072, BytesUp: 1024, Kind: trace.KindSync,
+		})
+	}
+	t.Normalize()
+	return t
+}
+
+func addSession(t *trace.Trace, day, hour, min int, length simtime.Duration, app trace.AppID, net bool) {
+	start := simtime.At(day, hour, min, 0)
+	t.Sessions = append(t.Sessions, trace.ScreenSession{
+		Interval: simtime.Interval{Start: start, End: start.Add(length)},
+	})
+	t.Interactions = append(t.Interactions, trace.Interaction{Time: start.Add(2), App: app, WantsNetwork: net})
+	if net {
+		t.Activities = append(t.Activities, trace.NetworkActivity{
+			App: app, Start: start.Add(3), Duration: 5,
+			BytesDown: 10240, BytesUp: 2048, Kind: trace.KindUserDriven,
+		})
+	}
+}
+
+func TestDefaultConfig(t *testing.T) {
+	cfg := DefaultConfig()
+	if cfg.SlotWidth != simtime.Hour || cfg.WeekdayThreshold != 0.2 || cfg.WeekendThreshold != 0.1 {
+		t.Errorf("DefaultConfig = %+v", cfg)
+	}
+	if cfg.Threshold(false) != 0.2 || cfg.Threshold(true) != 0.1 {
+		t.Error("Threshold day-type selection wrong")
+	}
+}
+
+func TestConfigValidation(t *testing.T) {
+	bad := []Config{
+		{SlotWidth: 0, WeekdayThreshold: 0.2, WeekendThreshold: 0.1},
+		{SlotWidth: 7 * simtime.Minute, WeekdayThreshold: 0.2, WeekendThreshold: 0.1}, // doesn't divide a day
+		{SlotWidth: simtime.Hour, WeekdayThreshold: -0.1, WeekendThreshold: 0.1},
+		{SlotWidth: simtime.Hour, WeekdayThreshold: 0.2, WeekendThreshold: 1.5},
+	}
+	for i, cfg := range bad {
+		if _, err := Mine(routineTrace(), cfg); err == nil {
+			t.Errorf("config %d accepted: %+v", i, cfg)
+		}
+	}
+}
+
+func TestMineUseProb(t *testing.T) {
+	p, err := Mine(routineTrace(), DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 14 days starting Monday: 10 weekdays, 4 weekend days.
+	if p.Weekday.Days != 10 || p.Weekend.Days != 4 {
+		t.Fatalf("day counts = %d/%d", p.Weekday.Days, p.Weekend.Days)
+	}
+	// Every weekday has the 08:xx and 20:xx interactions.
+	if !almost(p.Weekday.Slots[8].UseProb, 1) {
+		t.Errorf("Pr[u(8h)] = %v", p.Weekday.Slots[8].UseProb)
+	}
+	if !almost(p.Weekday.Slots[20].UseProb, 1) {
+		t.Errorf("Pr[u(20h)] = %v", p.Weekday.Slots[20].UseProb)
+	}
+	// The alternating 12:30 session: days 0,2,4,8,10 are the weekdays
+	// with day%2==0 → 5 of 10 weekdays.
+	if !almost(p.Weekday.Slots[12].UseProb, 0.5) {
+		t.Errorf("Pr[u(12h)] = %v", p.Weekday.Slots[12].UseProb)
+	}
+	// Nights are idle.
+	if p.Weekday.Slots[3].UseProb != 0 {
+		t.Errorf("Pr[u(3h)] = %v", p.Weekday.Slots[3].UseProb)
+	}
+	// Weekend 11:30 every weekend day.
+	if !almost(p.Weekend.Slots[11].UseProb, 1) {
+		t.Errorf("weekend Pr[u(11h)] = %v", p.Weekend.Slots[11].UseProb)
+	}
+}
+
+func TestMineNetProbAndDemand(t *testing.T) {
+	p, err := Mine(routineTrace(), DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The 03:00 sync happens every day, screen off: NetProb of Eq. 3 is
+	// occurrences/(apps·days) = 1/m per day with m = 2 network apps.
+	if !almost(p.Weekday.Slots[3].NetProb, 0.5) {
+		t.Errorf("NetProb(3h) = %v", p.Weekday.Slots[3].NetProb)
+	}
+	// Mean nightly volume.
+	if !almost(p.Weekday.Slots[3].OffBytesDown, 3072) {
+		t.Errorf("OffBytesDown(3h) = %v", p.Weekday.Slots[3].OffBytesDown)
+	}
+	if !almost(p.Weekday.Slots[3].OffBursts, 1) {
+		t.Errorf("OffBursts(3h) = %v", p.Weekday.Slots[3].OffBursts)
+	}
+	// Per-app demand lists chat only.
+	d := p.Weekday.OffDemand[3]
+	if len(d) != 1 || d[0].App != "chat" || !almost(d[0].BytesDown, 3072) {
+		t.Errorf("OffDemand(3h) = %+v", d)
+	}
+}
+
+func TestPredictedActiveSlotsMergeAdjacent(t *testing.T) {
+	p, err := Mine(routineTrace(), DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Day 14 would be a Monday; predicted weekday slots at δ=0.2 are
+	// hours 8, 12 and 20 — non-adjacent, so three intervals.
+	slots := p.PredictedActiveSlots(14)
+	if len(slots) != 3 {
+		t.Fatalf("predicted slots = %v", slots)
+	}
+	if slots[0].Start != simtime.At(14, 8, 0, 0) || slots[0].End != simtime.At(14, 9, 0, 0) {
+		t.Errorf("first slot = %v", slots[0])
+	}
+	// With a high threshold the 0.6-probability hour drops out.
+	high := p.ActiveSlotsWithThreshold(14, 0.9)
+	if len(high) != 2 {
+		t.Errorf("high-threshold slots = %v", high)
+	}
+}
+
+func TestPredictedNetSlotsExcludeU(t *testing.T) {
+	p, err := Mine(routineTrace(), DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	tn := p.PredictedNetSlots(14)
+	// Only the 03:00 sync slot qualifies: the 8h screen-on transfers
+	// are not screen-off, and 8h/20h are in U anyway.
+	if len(tn) != 1 {
+		t.Fatalf("Tn = %+v", tn)
+	}
+	if tn[0].App != "chat" || tn[0].Slot.Start != simtime.At(14, 3, 0, 0) {
+		t.Errorf("Tn[0] = %+v", tn[0])
+	}
+	if !almost(tn[0].Bytes(), 3072+1024) {
+		t.Errorf("expected volume = %v", tn[0].Bytes())
+	}
+}
+
+func TestUseProbAt(t *testing.T) {
+	p, err := Mine(routineTrace(), DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !almost(p.UseProbAt(simtime.At(14, 8, 30, 0)), 1) {
+		t.Errorf("UseProbAt(Mon 8:30) = %v", p.UseProbAt(simtime.At(14, 8, 30, 0)))
+	}
+	if p.UseProbAt(simtime.At(14, 3, 30, 0)) != 0 {
+		t.Errorf("UseProbAt(Mon 3:30) = %v", p.UseProbAt(simtime.At(14, 3, 30, 0)))
+	}
+	// Weekend instant uses the weekend profile.
+	if !almost(p.UseProbAt(simtime.At(19, 11, 15, 0)), 1) { // day 19 = Saturday
+		t.Errorf("UseProbAt(Sat 11:15) = %v", p.UseProbAt(simtime.At(19, 11, 15, 0)))
+	}
+}
+
+func TestDetectSpecialApps(t *testing.T) {
+	apps := DetectSpecialApps(routineTrace())
+	// chat: interactions + network ✓; mail: interactions + network ✓;
+	// idlegame: installed, never used.
+	if len(apps) != 2 || apps[0] != "chat" || apps[1] != "mail" {
+		t.Errorf("SpecialApps = %v", apps)
+	}
+}
+
+func TestPredictionAccuracy(t *testing.T) {
+	tr := routineTrace()
+	p, err := Mine(tr, DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// At δ=0.2 every routine interaction is inside a predicted slot.
+	if acc := p.PredictionAccuracy(tr, 0.2); !almost(acc, 1) {
+		t.Errorf("accuracy at 0.2 = %v", acc)
+	}
+	// At δ=0.9 the alternating 12:30 interactions (5 occurrences) fall
+	// outside; total interactions = 10·2 + 5 + 4 = 29.
+	want := 1 - 5.0/29.0
+	if acc := p.PredictionAccuracy(tr, 0.9); !almost(acc, want) {
+		t.Errorf("accuracy at 0.9 = %v, want %v", acc, want)
+	}
+	// Accuracy on an interaction-free trace is trivially 1.
+	empty := &trace.Trace{UserID: "e", Days: 1}
+	if acc := p.PredictionAccuracy(empty, 0.2); acc != 1 {
+		t.Errorf("empty accuracy = %v", acc)
+	}
+}
+
+func TestImpactBasedThreshold(t *testing.T) {
+	p, err := Mine(routineTrace(), DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// At δ=0.9 the most likely excluded weekday slot is the 0.5 one.
+	if risk := p.ImpactBasedThreshold(false, 0.9); !almost(risk, 0.5) {
+		t.Errorf("risk at 0.9 = %v", risk)
+	}
+	// At δ=0.2 nothing above 0 is excluded.
+	if risk := p.ImpactBasedThreshold(false, 0.2); risk != 0 {
+		t.Errorf("risk at 0.2 = %v", risk)
+	}
+}
+
+func TestMineEmptyDayTypes(t *testing.T) {
+	// A 3-day trace has no weekend days; weekend predictions must be
+	// empty rather than panic.
+	tr := routineTrace().PrefixDays(3)
+	p, err := Mine(tr, DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Weekend.Days != 0 {
+		t.Fatalf("weekend days = %d", p.Weekend.Days)
+	}
+	if slots := p.PredictedActiveSlots(5); slots != nil { // day 5 = Saturday
+		t.Errorf("weekend slots from no data = %v", slots)
+	}
+	if p.UseProbAt(simtime.At(5, 11, 0, 0)) != 0 {
+		t.Error("weekend UseProb from no data should be 0")
+	}
+}
+
+func TestMineRejectsInvalidTrace(t *testing.T) {
+	bad := &trace.Trace{UserID: "bad", Days: 0}
+	if _, err := Mine(bad, DefaultConfig()); err == nil {
+		t.Error("Mine accepted an invalid trace")
+	}
+}
+
+func TestSlotsPerDay(t *testing.T) {
+	p, err := Mine(routineTrace(), DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.SlotsPerDay() != 24 {
+		t.Errorf("SlotsPerDay = %d", p.SlotsPerDay())
+	}
+	cfg := DefaultConfig()
+	cfg.SlotWidth = 30 * simtime.Minute
+	p2, err := Mine(routineTrace(), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p2.SlotsPerDay() != 48 {
+		t.Errorf("30-minute SlotsPerDay = %d", p2.SlotsPerDay())
+	}
+}
+
+func TestRecencyWeighting(t *testing.T) {
+	// A user whose 20:30 habit exists only in the first 7 of 14 days:
+	// uniform mining sees Pr = 0.5-ish; recency-weighted mining mostly
+	// forgets it.
+	tr := &trace.Trace{UserID: "drift", Days: 14, InstalledApps: []trace.AppID{"chat"}}
+	for day := 0; day < 14; day++ {
+		if simtime.At(day, 0, 0, 0).IsWeekend() {
+			continue
+		}
+		if day < 7 {
+			addSession(tr, day, 20, 30, 60, "chat", true)
+		} else {
+			addSession(tr, day, 9, 30, 60, "chat", true)
+		}
+	}
+	tr.Normalize()
+
+	uniform, err := Mine(tr, DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := DefaultConfig()
+	cfg.RecencyHalfLifeDays = 2
+	recent, err := Mine(tr, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Uniform: the old habit shows at 0.5; the new one at 0.5.
+	if uniform.Weekday.Slots[20].UseProb <= 0.3 {
+		t.Errorf("uniform old-habit Pr = %v", uniform.Weekday.Slots[20].UseProb)
+	}
+	// Recency: the old habit fades well below the new one.
+	oldP := recent.Weekday.Slots[20].UseProb
+	newP := recent.Weekday.Slots[9].UseProb
+	if oldP >= newP/4 {
+		t.Errorf("recency did not fade the old habit: old %v vs new %v", oldP, newP)
+	}
+	if newP <= 0.8 {
+		t.Errorf("recency new-habit Pr = %v", newP)
+	}
+}
+
+func TestRecencyValidation(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.RecencyHalfLifeDays = -1
+	if _, err := Mine(routineTrace(), cfg); err == nil {
+		t.Error("negative half-life accepted")
+	}
+}
+
+func TestRecencyUniformEquivalence(t *testing.T) {
+	// A huge half-life must converge to the uniform result.
+	cfg := DefaultConfig()
+	cfg.RecencyHalfLifeDays = 1e9
+	a, err := Mine(routineTrace(), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Mine(routineTrace(), DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for s := range a.Weekday.Slots {
+		if !almost(a.Weekday.Slots[s].UseProb, b.Weekday.Slots[s].UseProb) {
+			t.Fatalf("slot %d diverged: %v vs %v", s, a.Weekday.Slots[s].UseProb, b.Weekday.Slots[s].UseProb)
+		}
+	}
+}

@@ -1,0 +1,75 @@
+package knapsack
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// Solver micro-benchmarks: the scheduler calls SinKnap once per slot per
+// day, so its constant factors matter.
+
+func benchItems(n int, maxWeight int64) []Item {
+	rng := rand.New(rand.NewSource(42))
+	items := make([]Item, n)
+	for i := range items {
+		items[i] = Item{ID: i, Profit: rng.Float64() * 100, Weight: rng.Int63n(maxWeight) + 1}
+	}
+	return items
+}
+
+func BenchmarkSinKnap100(b *testing.B) {
+	items := benchItems(100, 50)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := SinKnap(items, 1000, 0.1); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkExactDP100(b *testing.B) {
+	items := benchItems(100, 50)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := Exact(items, 1000); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkBranchBound100(b *testing.B) {
+	items := benchItems(100, 50)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := BranchBound(items, 1000, 0); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkBranchBoundHugeCapacity(b *testing.B) {
+	rng := rand.New(rand.NewSource(7))
+	items := make([]Item, 60)
+	var total int64
+	for i := range items {
+		w := rng.Int63n(1<<28) + 1
+		items[i] = Item{ID: i, Profit: float64(w) * (0.5 + rng.Float64()), Weight: w}
+		total += w
+	}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := BranchBound(items, total/2, 0); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkGreedy100(b *testing.B) {
+	items := benchItems(100, 50)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := Greedy(items, 1000); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,129 @@
+// Exact branch and bound for 0/1 knapsack. The dynamic program in
+// knapsack.go is pseudo-polynomial in the capacity, which makes it
+// unusable for byte-denominated capacities (a one-hour slot at 256 KiB/s
+// holds ~9·10⁸ units). Branch and bound with the Dantzig fractional upper
+// bound is exact regardless of capacity and fast on the scheduler's
+// instance sizes, which makes it the ground-truth solver for large-
+// capacity tests and for callers that need exact packings.
+package knapsack
+
+import (
+	"fmt"
+	"sort"
+)
+
+// BranchBound solves the 0/1 knapsack exactly using depth-first branch
+// and bound with the fractional relaxation as the bound. maxNodes caps
+// the search (0 means DefaultMaxNodes); exceeding it returns an error
+// rather than a silently suboptimal answer.
+func BranchBound(items []Item, capacity int64, maxNodes int) (Solution, error) {
+	if capacity < 0 {
+		return Solution{}, fmt.Errorf("knapsack: negative capacity %d", capacity)
+	}
+	if maxNodes == 0 {
+		maxNodes = DefaultMaxNodes
+	}
+	feas, err := filterFeasible(items, capacity)
+	if err != nil {
+		return Solution{}, err
+	}
+	if len(feas) == 0 {
+		return Solution{}, nil
+	}
+	// Sort by density for tight fractional bounds; zero-weight items
+	// (infinite density) lead and are always taken.
+	order := append([]Item(nil), feas...)
+	sort.Slice(order, func(i, j int) bool {
+		di, dj := density(order[i]), density(order[j])
+		if di != dj {
+			return di > dj
+		}
+		return order[i].ID < order[j].ID
+	})
+
+	// Greedy seed: a good incumbent prunes early.
+	incumbent, err := Greedy(items, capacity)
+	if err != nil {
+		return Solution{}, err
+	}
+	bestProfit := incumbent.Profit
+	bestSet := append([]int(nil), incumbent.IDs...)
+
+	taken := make([]bool, len(order))
+	nodes := 0
+	var overflow bool
+
+	// Depth-first search in density order: the take-branch first, with
+	// the Dantzig bound pruning whole subtrees against the incumbent.
+	var dfs func(i int, profit float64, weight int64)
+	dfs = func(i int, profit float64, weight int64) {
+		if overflow {
+			return
+		}
+		nodes++
+		if nodes > maxNodes {
+			overflow = true
+			return
+		}
+		if profit > bestProfit {
+			bestProfit = profit
+			bestSet = bestSet[:0]
+			for j := 0; j < i; j++ {
+				if taken[j] {
+					bestSet = append(bestSet, order[j].ID)
+				}
+			}
+		}
+		if i == len(order) {
+			return
+		}
+		if profit+fractionalBound(order[i:], capacity-weight) <= bestProfit+1e-12 {
+			return
+		}
+		if weight+order[i].Weight <= capacity {
+			taken[i] = true
+			dfs(i+1, profit+order[i].Profit, weight+order[i].Weight)
+			taken[i] = false
+		}
+		dfs(i+1, profit, weight)
+	}
+	dfs(0, 0, 0)
+	if overflow {
+		return Solution{}, fmt.Errorf("knapsack: branch and bound exceeded %d nodes", maxNodes)
+	}
+
+	sol := Solution{IDs: append([]int(nil), bestSet...)}
+	byID := make(map[int]Item, len(feas))
+	for _, it := range feas {
+		byID[it.ID] = it
+	}
+	for _, id := range sol.IDs {
+		sol.Profit += byID[id].Profit
+		sol.Weight += byID[id].Weight
+	}
+	sol.normalize()
+	return sol, nil
+}
+
+// DefaultMaxNodes bounds the branch-and-bound search.
+const DefaultMaxNodes = 5_000_000
+
+// fractionalBound is the Dantzig upper bound: fill the residual capacity
+// greedily by density, taking a fraction of the first item that does not
+// fit. items must be density-sorted descending.
+func fractionalBound(items []Item, capacity int64) float64 {
+	var bound float64
+	remaining := capacity
+	for _, it := range items {
+		if it.Weight <= remaining {
+			bound += it.Profit
+			remaining -= it.Weight
+			continue
+		}
+		if remaining > 0 && it.Weight > 0 {
+			bound += it.Profit * float64(remaining) / float64(it.Weight)
+		}
+		break
+	}
+	return bound
+}

@@ -1,0 +1,359 @@
+package knapsack
+
+import (
+	"math"
+	"math/rand"
+	"sort"
+	"testing"
+	"testing/quick"
+)
+
+// bruteForce enumerates all 2^n subsets; ground truth for small n.
+func bruteForce(items []Item, capacity int64) Solution {
+	n := len(items)
+	var best Solution
+	for mask := 0; mask < 1<<n; mask++ {
+		var profit float64
+		var weight int64
+		for i := 0; i < n; i++ {
+			if mask&(1<<i) != 0 {
+				profit += items[i].Profit
+				weight += items[i].Weight
+			}
+		}
+		if weight <= capacity && profit > best.Profit {
+			best = Solution{Profit: profit, Weight: weight}
+			best.IDs = nil
+			for i := 0; i < n; i++ {
+				if mask&(1<<i) != 0 {
+					best.IDs = append(best.IDs, items[i].ID)
+				}
+			}
+		}
+	}
+	return best
+}
+
+func randomItems(rng *rand.Rand, n int) []Item {
+	items := make([]Item, n)
+	for i := range items {
+		items[i] = Item{
+			ID:     i,
+			Profit: rng.Float64() * 100,
+			Weight: rng.Int63n(50) + 1,
+		}
+	}
+	return items
+}
+
+func feasible(t *testing.T, name string, items []Item, capacity int64, sol Solution) {
+	t.Helper()
+	byID := make(map[int]Item)
+	for _, it := range items {
+		byID[it.ID] = it
+	}
+	var profit float64
+	var weight int64
+	seen := make(map[int]bool)
+	for _, id := range sol.IDs {
+		if seen[id] {
+			t.Fatalf("%s: item %d selected twice", name, id)
+		}
+		seen[id] = true
+		it, ok := byID[id]
+		if !ok {
+			t.Fatalf("%s: unknown item %d selected", name, id)
+		}
+		profit += it.Profit
+		weight += it.Weight
+	}
+	if weight > capacity {
+		t.Fatalf("%s: weight %d exceeds capacity %d", name, weight, capacity)
+	}
+	if math.Abs(profit-sol.Profit) > 1e-9 || weight != sol.Weight {
+		t.Fatalf("%s: reported profit/weight %v/%d inconsistent with items %v/%d",
+			name, sol.Profit, sol.Weight, profit, weight)
+	}
+}
+
+func TestExactKnownInstance(t *testing.T) {
+	items := []Item{
+		{ID: 0, Profit: 60, Weight: 10},
+		{ID: 1, Profit: 100, Weight: 20},
+		{ID: 2, Profit: 120, Weight: 30},
+	}
+	sol, err := Exact(items, 50)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sol.Profit != 220 || sol.Weight != 50 {
+		t.Errorf("Exact = %+v, want profit 220 weight 50", sol)
+	}
+	feasible(t, "exact", items, 50, sol)
+}
+
+func TestExactMatchesBruteForce(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for trial := 0; trial < 100; trial++ {
+		n := 1 + rng.Intn(10)
+		items := randomItems(rng, n)
+		capacity := rng.Int63n(200) + 1
+		sol, err := Exact(items, capacity)
+		if err != nil {
+			t.Fatal(err)
+		}
+		feasible(t, "exact", items, capacity, sol)
+		want := bruteForce(items, capacity)
+		if math.Abs(sol.Profit-want.Profit) > 1e-9 {
+			t.Fatalf("trial %d: Exact = %v, brute force = %v", trial, sol.Profit, want.Profit)
+		}
+	}
+}
+
+func TestGreedyHalfApproximation(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	for trial := 0; trial < 100; trial++ {
+		n := 1 + rng.Intn(10)
+		items := randomItems(rng, n)
+		capacity := rng.Int63n(200) + 1
+		sol, err := Greedy(items, capacity)
+		if err != nil {
+			t.Fatal(err)
+		}
+		feasible(t, "greedy", items, capacity, sol)
+		opt := bruteForce(items, capacity)
+		if sol.Profit < opt.Profit/2-1e-9 {
+			t.Fatalf("trial %d: greedy %v below half of OPT %v", trial, sol.Profit, opt.Profit)
+		}
+	}
+}
+
+func TestGreedyBestSingleFallback(t *testing.T) {
+	// One huge dense-blocking item: plain density greedy would take the
+	// small dense item and miss the big one.
+	items := []Item{
+		{ID: 0, Profit: 10, Weight: 1},   // density 10
+		{ID: 1, Profit: 90, Weight: 100}, // density 0.9
+	}
+	sol, err := Greedy(items, 100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sol.Profit != 90 {
+		t.Errorf("greedy fallback = %+v, want the 90-profit item", sol)
+	}
+}
+
+func TestSinKnapGuarantee(t *testing.T) {
+	rng := rand.New(rand.NewSource(13))
+	for _, eps := range []float64{0.05, 0.1, 0.3, 0.5} {
+		for trial := 0; trial < 50; trial++ {
+			n := 1 + rng.Intn(12)
+			items := randomItems(rng, n)
+			capacity := rng.Int63n(300) + 1
+			sol, err := SinKnap(items, capacity, eps)
+			if err != nil {
+				t.Fatal(err)
+			}
+			feasible(t, "sinknap", items, capacity, sol)
+			opt := bruteForce(items, capacity)
+			if sol.Profit < (1-eps)*opt.Profit-1e-9 {
+				t.Fatalf("eps=%v trial %d: SinKnap %v below (1-eps)·OPT %v",
+					eps, trial, sol.Profit, (1-eps)*opt.Profit)
+			}
+		}
+	}
+}
+
+func TestSinKnapEdgeCases(t *testing.T) {
+	if _, err := SinKnap(nil, 10, 0); err == nil {
+		t.Error("eps = 0 should be rejected")
+	}
+	if _, err := SinKnap(nil, 10, 1); err == nil {
+		t.Error("eps = 1 should be rejected")
+	}
+	if _, err := SinKnap(nil, -1, 0.1); err == nil {
+		t.Error("negative capacity should be rejected")
+	}
+	sol, err := SinKnap(nil, 10, 0.1)
+	if err != nil || len(sol.IDs) != 0 {
+		t.Errorf("empty instance: %+v, %v", sol, err)
+	}
+	// All items infeasible.
+	sol, err = SinKnap([]Item{{ID: 0, Profit: 5, Weight: 100}}, 10, 0.1)
+	if err != nil || len(sol.IDs) != 0 {
+		t.Errorf("oversized item selected: %+v", sol)
+	}
+	// Non-positive profits never selected.
+	sol, err = SinKnap([]Item{{ID: 0, Profit: -5, Weight: 1}, {ID: 1, Profit: 0, Weight: 1}}, 10, 0.1)
+	if err != nil || len(sol.IDs) != 0 {
+		t.Errorf("non-positive profit selected: %+v", sol)
+	}
+}
+
+func TestDuplicateIDsRejected(t *testing.T) {
+	items := []Item{{ID: 1, Profit: 1, Weight: 1}, {ID: 1, Profit: 2, Weight: 1}}
+	if _, err := Exact(items, 10); err == nil {
+		t.Error("Exact accepted duplicate IDs")
+	}
+	if _, err := Greedy(items, 10); err == nil {
+		t.Error("Greedy accepted duplicate IDs")
+	}
+	if _, err := SinKnap(items, 10, 0.1); err == nil {
+		t.Error("SinKnap accepted duplicate IDs")
+	}
+}
+
+func TestNegativeWeightRejected(t *testing.T) {
+	items := []Item{{ID: 0, Profit: 1, Weight: -1}}
+	if _, err := Exact(items, 10); err == nil {
+		t.Error("negative weight accepted")
+	}
+}
+
+func TestZeroWeightItems(t *testing.T) {
+	items := []Item{
+		{ID: 0, Profit: 5, Weight: 0},
+		{ID: 1, Profit: 3, Weight: 10},
+	}
+	sol, err := Exact(items, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sol.Profit != 5 || len(sol.IDs) != 1 || sol.IDs[0] != 0 {
+		t.Errorf("zero-capacity solution = %+v", sol)
+	}
+	// Greedy treats zero-weight as infinite density.
+	g, err := Greedy(items, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.Profit != 8 {
+		t.Errorf("greedy with zero-weight = %+v", g)
+	}
+}
+
+func TestSolvePicksBetter(t *testing.T) {
+	rng := rand.New(rand.NewSource(17))
+	for trial := 0; trial < 50; trial++ {
+		items := randomItems(rng, 1+rng.Intn(10))
+		capacity := rng.Int63n(200) + 1
+		s, err := Solve(items, capacity, 0.1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		fp, _ := SinKnap(items, capacity, 0.1)
+		gr, _ := Greedy(items, capacity)
+		best := math.Max(fp.Profit, gr.Profit)
+		if math.Abs(s.Profit-best) > 1e-9 {
+			t.Fatalf("Solve = %v, want max(%v, %v)", s.Profit, fp.Profit, gr.Profit)
+		}
+	}
+}
+
+// Property: SinKnap's reported solution is always feasible and meets the
+// guarantee against the exact DP (which itself equals brute force, tested
+// above), across random instances from testing/quick.
+func TestSinKnapQuickProperty(t *testing.T) {
+	prop := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 1 + rng.Intn(14)
+		items := randomItems(rng, n)
+		capacity := rng.Int63n(400) + 1
+		sol, err := SinKnap(items, capacity, 0.1)
+		if err != nil {
+			return false
+		}
+		opt, err := Exact(items, capacity)
+		if err != nil {
+			return false
+		}
+		if sol.Weight > capacity {
+			return false
+		}
+		return sol.Profit >= 0.9*opt.Profit-1e-9
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 150}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestBranchBoundMatchesExact(t *testing.T) {
+	rng := rand.New(rand.NewSource(23))
+	for trial := 0; trial < 120; trial++ {
+		n := 1 + rng.Intn(14)
+		items := randomItems(rng, n)
+		capacity := rng.Int63n(300) + 1
+		bb, err := BranchBound(items, capacity, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		feasible(t, "branchbound", items, capacity, bb)
+		opt, err := Exact(items, capacity)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if math.Abs(bb.Profit-opt.Profit) > 1e-9 {
+			t.Fatalf("trial %d: BranchBound %v, Exact %v", trial, bb.Profit, opt.Profit)
+		}
+	}
+}
+
+func TestBranchBoundHugeCapacity(t *testing.T) {
+	// A capacity far beyond the DP's reach: 10^12 units.
+	rng := rand.New(rand.NewSource(29))
+	items := make([]Item, 40)
+	var total int64
+	for i := range items {
+		w := rng.Int63n(1<<30) + 1
+		items[i] = Item{ID: i, Profit: float64(w) * (0.5 + rng.Float64()), Weight: w}
+		total += w
+	}
+	capacity := total / 2
+	sol, err := BranchBound(items, capacity, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	feasible(t, "branchbound-huge", items, capacity, sol)
+	// Must at least match greedy.
+	gr, err := Greedy(items, capacity)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sol.Profit < gr.Profit-1e-9 {
+		t.Fatalf("BranchBound %v below greedy %v", sol.Profit, gr.Profit)
+	}
+	// And the fractional bound caps it from above.
+	order := append([]Item(nil), items...)
+	sort.Slice(order, func(i, j int) bool { return density(order[i]) > density(order[j]) })
+	if ub := fractionalBound(order, capacity); sol.Profit > ub+1e-6 {
+		t.Fatalf("BranchBound %v exceeds fractional bound %v", sol.Profit, ub)
+	}
+}
+
+func TestBranchBoundNodeCap(t *testing.T) {
+	// A pathological instance with an absurdly small node budget must
+	// fail loudly rather than return a silent approximation.
+	rng := rand.New(rand.NewSource(31))
+	items := randomItems(rng, 30)
+	if _, err := BranchBound(items, 500, 3); err == nil {
+		t.Error("node cap overflow not reported")
+	}
+}
+
+func TestBranchBoundEdgeCases(t *testing.T) {
+	if _, err := BranchBound(nil, -1, 0); err == nil {
+		t.Error("negative capacity accepted")
+	}
+	sol, err := BranchBound(nil, 100, 0)
+	if err != nil || len(sol.IDs) != 0 {
+		t.Errorf("empty instance: %+v, %v", sol, err)
+	}
+	sol, err = BranchBound([]Item{{ID: 0, Profit: 5, Weight: 0}}, 0, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sol.Profit != 5 {
+		t.Errorf("zero-weight item missed: %+v", sol)
+	}
+}

@@ -1,0 +1,382 @@
+// Package middleware is NetMaster's on-device service architecture
+// (Fig. 6 of the paper): a monitoring component that records the four
+// monitored features through a hybrid event/timer trigger model into the
+// on-device database, a mining component that rebuilds usage history from
+// those records and produces hourly predictions, and a scheduling
+// component that turns predictions into radio commands (enable/disable,
+// triggered syncs) with the duty-cycle real-time adjustment.
+//
+// The offline evaluation replays policies over whole traces
+// (internal/policy); this package is the online mirror — the shape the
+// code would take as a long-running service between the apps and the
+// radio. Feeding it the event stream of a trace and mining from its own
+// database must reproduce the same per-slot statistics the offline miner
+// computes, which the integration tests assert.
+package middleware
+
+import (
+	"fmt"
+	"sort"
+
+	"netmaster/internal/dutycycle"
+	"netmaster/internal/habit"
+	"netmaster/internal/recorddb"
+	"netmaster/internal/simtime"
+	"netmaster/internal/trace"
+)
+
+// EventKind classifies device events delivered to the monitoring
+// component's broadcast receivers.
+type EventKind int
+
+const (
+	// EventScreenOn and EventScreenOff are the screen state broadcasts.
+	EventScreenOn EventKind = iota
+	EventScreenOff
+	// EventInteraction is a user usage event on an app.
+	EventInteraction
+	// EventNetSample is a timer-triggered byte-counter sample: bytes
+	// moved by an app since the previous sample.
+	EventNetSample
+	// EventAppInstalled announces a newly installed app; the paper
+	// treats unknown apps as Special until history accumulates.
+	EventAppInstalled
+)
+
+var eventNames = [...]string{"screen-on", "screen-off", "interaction", "net-sample", "app-installed"}
+
+// String names the event kind.
+func (k EventKind) String() string {
+	if k < 0 || int(k) >= len(eventNames) {
+		return fmt.Sprintf("EventKind(%d)", int(k))
+	}
+	return eventNames[k]
+}
+
+// Event is one device event.
+type Event struct {
+	Time         simtime.Instant
+	Kind         EventKind
+	App          trace.AppID
+	BytesDown    int64
+	BytesUp      int64
+	WantsNetwork bool
+}
+
+// CommandKind classifies the scheduling component's outputs.
+type CommandKind int
+
+const (
+	// CmdRadioEnable and CmdRadioDisable drive the data switch ("svc
+	// data enable/disable" in the Android implementation).
+	CmdRadioEnable CommandKind = iota
+	CmdRadioDisable
+	// CmdTriggerSync instructs an app's scheduled background sync to
+	// run now.
+	CmdTriggerSync
+)
+
+var commandNames = [...]string{"radio-enable", "radio-disable", "trigger-sync"}
+
+// String names the command kind.
+func (k CommandKind) String() string {
+	if k < 0 || int(k) >= len(commandNames) {
+		return fmt.Sprintf("CommandKind(%d)", int(k))
+	}
+	return commandNames[k]
+}
+
+// Command is one radio/sync instruction issued by the service.
+type Command struct {
+	Time simtime.Instant
+	Kind CommandKind
+	App  trace.AppID
+}
+
+// Config parameterises the service.
+type Config struct {
+	// Habit configures the mining component.
+	Habit habit.Config
+	// DB sizes the monitoring database's write cache.
+	DB recorddb.Config
+	// ScreenOnSamplePeriod and ScreenOffSamplePeriod are the two
+	// timer-trigger periods of the monitoring component (1 s and 30 s
+	// in the paper).
+	ScreenOnSamplePeriod  simtime.Duration
+	ScreenOffSamplePeriod simtime.Duration
+	// DutyInitialSleep seeds the exponential duty cycle used while the
+	// screen is off.
+	DutyInitialSleep simtime.Duration
+	DutyMaxSleep     simtime.Duration
+}
+
+// DefaultConfig returns the paper's settings.
+func DefaultConfig() Config {
+	return Config{
+		Habit:                 habit.DefaultConfig(),
+		DB:                    recorddb.DefaultConfig(),
+		ScreenOnSamplePeriod:  1 * simtime.Second,
+		ScreenOffSamplePeriod: 30 * simtime.Second,
+		DutyInitialSleep:      30 * simtime.Second,
+		DutyMaxSleep:          7680 * simtime.Second,
+	}
+}
+
+func (c Config) validate() error {
+	if c.ScreenOnSamplePeriod <= 0 || c.ScreenOffSamplePeriod <= 0 {
+		return fmt.Errorf("middleware: non-positive sample periods")
+	}
+	if c.DutyInitialSleep <= 0 {
+		return fmt.Errorf("middleware: non-positive duty sleep")
+	}
+	return nil
+}
+
+// Service is the running middleware: monitoring + mining + scheduling.
+type Service struct {
+	cfg Config
+	db  *recorddb.DB
+
+	screenOn     bool
+	radioEnabled bool
+	lastMined    int // day index of the last mining run, -1 before any
+	profile      *habit.Profile
+	special      map[trace.AppID]bool
+	installed    map[trace.AppID]bool
+
+	duty      *dutycycle.Exponential
+	nextWake  simtime.Instant
+	days      int // days of history recorded so far
+	lastEvent simtime.Instant
+
+	// installDay records when each app appeared; fresh installs stay
+	// Special until enough history accumulates to judge them.
+	installDay map[trace.AppID]int
+
+	// Special-App detection state: an app seen with both a user
+	// interaction and network traffic joins the allowlist.
+	interactedApps map[trace.AppID]bool
+	networkedApps  map[trace.AppID]bool
+}
+
+// New builds a Service with an empty monitoring database.
+func New(cfg Config) (*Service, error) {
+	if err := cfg.validate(); err != nil {
+		return nil, err
+	}
+	db, err := recorddb.Open(cfg.DB)
+	if err != nil {
+		return nil, err
+	}
+	duty, err := dutycycle.NewExponential(cfg.DutyInitialSleep, cfg.DutyMaxSleep)
+	if err != nil {
+		return nil, err
+	}
+	return &Service{
+		cfg:        cfg,
+		db:         db,
+		lastMined:  -1,
+		special:    make(map[trace.AppID]bool),
+		installed:  make(map[trace.AppID]bool),
+		installDay: make(map[trace.AppID]int),
+		duty:       duty,
+		nextWake:   -1,
+	}, nil
+}
+
+// DB exposes the monitoring database (read-only use intended).
+func (s *Service) DB() *recorddb.DB { return s.db }
+
+// Profile returns the latest mined profile, or nil before the first
+// mining run.
+func (s *Service) Profile() *habit.Profile { return s.profile }
+
+// RadioEnabled reports the service's current data-switch state.
+func (s *Service) RadioEnabled() bool { return s.radioEnabled }
+
+// SpecialApps returns the current allowlist, sorted.
+func (s *Service) SpecialApps() []trace.AppID {
+	out := make([]trace.AppID, 0, len(s.special))
+	for app, ok := range s.special {
+		if ok {
+			out = append(out, app)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// HandleEvent is the event-trigger path of the monitoring component plus
+// the real-time reactions of the scheduling component. Events must be
+// delivered in non-decreasing time order.
+func (s *Service) HandleEvent(e Event) ([]Command, error) {
+	if e.Time < s.lastEvent {
+		return nil, fmt.Errorf("middleware: event at %v before %v", e.Time, s.lastEvent)
+	}
+	s.lastEvent = e.Time
+	cmds := s.mineIfDue(e.Time)
+
+	switch e.Kind {
+	case EventScreenOn:
+		s.screenOn = true
+		s.db.Append(recorddb.Record{Time: e.Time, Feature: recorddb.FeatureScreen, Value: 1})
+		// The user is active: power the radio for foreground use and
+		// suspend the duty cycle.
+		if !s.radioEnabled {
+			s.radioEnabled = true
+			cmds = append(cmds, Command{Time: e.Time, Kind: CmdRadioEnable})
+		}
+		s.nextWake = -1
+		s.duty.Reset()
+
+	case EventScreenOff:
+		s.screenOn = false
+		s.db.Append(recorddb.Record{Time: e.Time, Feature: recorddb.FeatureScreen, Value: 0})
+		// Hand the radio to the duty cycle, restarting the backoff: a
+		// fresh screen-off period begins at the initial sleep T.
+		if s.radioEnabled {
+			s.radioEnabled = false
+			cmds = append(cmds, Command{Time: e.Time, Kind: CmdRadioDisable})
+		}
+		s.duty.Reset()
+		s.nextWake = e.Time.Add(s.duty.NextSleep())
+
+	case EventInteraction:
+		s.db.Append(recorddb.Record{Time: e.Time, Feature: recorddb.FeatureInteraction, App: e.App, Value: 1})
+		s.noteSpecialCandidate(e.App, true)
+		// Usage outside the predicted slots: power the radio on for a
+		// Special App that needs the network.
+		if e.WantsNetwork && !s.radioEnabled && s.isSpecial(e.App) {
+			s.radioEnabled = true
+			cmds = append(cmds, Command{Time: e.Time, Kind: CmdRadioEnable, App: e.App})
+		}
+
+	case EventNetSample:
+		if e.BytesDown > 0 {
+			s.db.Append(recorddb.Record{Time: e.Time, Feature: recorddb.FeatureNetwork, App: e.App, Value: e.BytesDown})
+		}
+		if e.BytesUp > 0 {
+			s.db.Append(recorddb.Record{Time: e.Time, Feature: recorddb.FeatureNetwork, App: e.App, Value: e.BytesUp, Up: true})
+		}
+		s.noteSpecialCandidate(e.App, false)
+		// Activity detected during a wake: the duty cycle resets.
+		if !s.screenOn {
+			s.duty.Reset()
+			s.nextWake = e.Time.Add(s.duty.NextSleep())
+		}
+
+	case EventAppInstalled:
+		s.installed[e.App] = true
+		if _, ok := s.installDay[e.App]; !ok {
+			s.installDay[e.App] = e.Time.Day()
+		}
+		s.db.Append(recorddb.Record{Time: e.Time, Feature: recorddb.FeatureApp, App: e.App, Value: 1})
+		// A new app is treated as Special until history shows
+		// otherwise, avoiding false blocking.
+		s.special[e.App] = true
+
+	default:
+		return nil, fmt.Errorf("middleware: unknown event kind %v", e.Kind)
+	}
+	return cmds, nil
+}
+
+// Tick is the timer-trigger path: duty-cycle wake-ups while the screen is
+// off and the nightly mining run. Call it at least once per duty sleep
+// interval; now must be non-decreasing.
+func (s *Service) Tick(now simtime.Instant) ([]Command, error) {
+	if now < s.lastEvent {
+		return nil, fmt.Errorf("middleware: tick at %v before %v", now, s.lastEvent)
+	}
+	s.lastEvent = now
+	cmds := s.mineIfDue(now)
+	if !s.screenOn && s.nextWake >= 0 && now >= s.nextWake {
+		// Wake the radio so Special Apps can use the network.
+		cmds = append(cmds, Command{Time: now, Kind: CmdRadioEnable})
+		for _, app := range s.SpecialApps() {
+			cmds = append(cmds, Command{Time: now, Kind: CmdTriggerSync, App: app})
+		}
+		cmds = append(cmds, Command{Time: now, Kind: CmdRadioDisable})
+		s.nextWake = now.Add(s.duty.NextSleep())
+	}
+	return cmds, nil
+}
+
+// noteSpecialCandidate updates the Special-App detection state: an app
+// observed with both a user interaction and network traffic joins the
+// allowlist.
+func (s *Service) noteSpecialCandidate(app trace.AppID, interacted bool) {
+	if app == "" {
+		return
+	}
+	if s.interactedApps == nil {
+		s.interactedApps = make(map[trace.AppID]bool)
+	}
+	if s.networkedApps == nil {
+		s.networkedApps = make(map[trace.AppID]bool)
+	}
+	if interacted {
+		s.interactedApps[app] = true
+	} else {
+		s.networkedApps[app] = true
+	}
+	if s.interactedApps[app] && s.networkedApps[app] {
+		s.special[app] = true
+	}
+}
+
+func (s *Service) isSpecial(app trace.AppID) bool { return s.special[app] }
+
+// mineIfDue runs the mining component at the first opportunity of each
+// new day (midnight boundary crossed since the last mining run).
+func (s *Service) mineIfDue(now simtime.Instant) []Command {
+	day := now.Day()
+	if day <= s.lastMined || day == 0 {
+		return nil
+	}
+	// Rebuild the history trace from the monitoring records and mine.
+	hist, err := RecordsToTrace(s.db, day, s.installedList())
+	if err != nil {
+		// Mining is best-effort: a malformed DB leaves the previous
+		// profile in place.
+		s.lastMined = day
+		return nil
+	}
+	profile, err := habit.Mine(hist, s.cfg.Habit)
+	if err != nil {
+		s.lastMined = day
+		return nil
+	}
+	s.profile = profile
+	s.days = day
+	s.lastMined = day
+
+	// Re-derive the Special-App allowlist from the accumulated history:
+	// apps observed with both usage and network traffic stay, and a
+	// fresh install keeps its benefit-of-the-doubt status for
+	// newInstallGraceDays before the history verdict applies.
+	fresh := make(map[trace.AppID]bool, len(s.special))
+	for _, app := range habit.DetectSpecialApps(hist) {
+		fresh[app] = true
+	}
+	for app, d0 := range s.installDay {
+		if day-d0 < newInstallGraceDays {
+			fresh[app] = true
+		}
+	}
+	s.special = fresh
+	return nil
+}
+
+// newInstallGraceDays is how long a newly installed app is presumed
+// Special before its own history decides.
+const newInstallGraceDays = 2
+
+func (s *Service) installedList() []trace.AppID {
+	out := make([]trace.AppID, 0, len(s.installed))
+	for app := range s.installed {
+		out = append(out, app)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}

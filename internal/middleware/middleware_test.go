@@ -1,0 +1,489 @@
+package middleware
+
+import (
+	"testing"
+
+	"netmaster/internal/device"
+	"netmaster/internal/policy"
+	"netmaster/internal/power"
+	"netmaster/internal/recorddb"
+	"netmaster/internal/simtime"
+	"netmaster/internal/synth"
+	"netmaster/internal/trace"
+)
+
+func TestConfigValidation(t *testing.T) {
+	bad := DefaultConfig()
+	bad.ScreenOnSamplePeriod = 0
+	if _, err := New(bad); err == nil {
+		t.Error("zero sample period accepted")
+	}
+	bad = DefaultConfig()
+	bad.DutyInitialSleep = 0
+	if _, err := New(bad); err == nil {
+		t.Error("zero duty sleep accepted")
+	}
+}
+
+func TestScreenEventsDriveRadio(t *testing.T) {
+	s, err := New(DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	cmds, err := s.HandleEvent(Event{Time: 100, Kind: EventScreenOn})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(cmds) != 1 || cmds[0].Kind != CmdRadioEnable {
+		t.Fatalf("screen-on commands = %+v", cmds)
+	}
+	if !s.RadioEnabled() {
+		t.Fatal("radio not enabled after screen-on")
+	}
+	cmds, err = s.HandleEvent(Event{Time: 130, Kind: EventScreenOff})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(cmds) != 1 || cmds[0].Kind != CmdRadioDisable {
+		t.Fatalf("screen-off commands = %+v", cmds)
+	}
+	if s.RadioEnabled() {
+		t.Fatal("radio still enabled after screen-off")
+	}
+}
+
+func TestEventsMustBeOrdered(t *testing.T) {
+	s, _ := New(DefaultConfig())
+	if _, err := s.HandleEvent(Event{Time: 100, Kind: EventScreenOn}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.HandleEvent(Event{Time: 50, Kind: EventScreenOff}); err == nil {
+		t.Error("out-of-order event accepted")
+	}
+	if _, err := s.Tick(40); err == nil {
+		t.Error("out-of-order tick accepted")
+	}
+}
+
+func TestDutyCycleWakesViaTick(t *testing.T) {
+	s, _ := New(DefaultConfig())
+	// Mark an app special first: interaction + network.
+	if _, err := s.HandleEvent(Event{Time: 0, Kind: EventInteraction, App: "chat"}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.HandleEvent(Event{Time: 1, Kind: EventNetSample, App: "chat", BytesDown: 100}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.HandleEvent(Event{Time: 10, Kind: EventScreenOff}); err != nil {
+		t.Fatal(err)
+	}
+	// Before the first wake (10 + 30 s): nothing.
+	cmds, err := s.Tick(30)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(cmds) != 0 {
+		t.Fatalf("early tick issued %+v", cmds)
+	}
+	// At 40 s the first wake fires: enable, trigger syncs, disable.
+	cmds, err = s.Tick(41)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(cmds) < 3 || cmds[0].Kind != CmdRadioEnable || cmds[len(cmds)-1].Kind != CmdRadioDisable {
+		t.Fatalf("wake commands = %+v", cmds)
+	}
+	foundSync := false
+	for _, c := range cmds {
+		if c.Kind == CmdTriggerSync && c.App == "chat" {
+			foundSync = true
+		}
+	}
+	if !foundSync {
+		t.Error("special app sync not triggered at wake")
+	}
+	// The next wake backs off exponentially (60 s later, not 30).
+	cmds, _ = s.Tick(80)
+	if len(cmds) != 0 {
+		t.Errorf("backoff ignored: %+v", cmds)
+	}
+	cmds, _ = s.Tick(102)
+	if len(cmds) == 0 {
+		t.Error("second wake missing after backoff")
+	}
+}
+
+func TestSpecialAppDetectionAndRadioOn(t *testing.T) {
+	s, _ := New(DefaultConfig())
+	// New installs are special until history accumulates.
+	if _, err := s.HandleEvent(Event{Time: 0, Kind: EventAppInstalled, App: "newapp"}); err != nil {
+		t.Fatal(err)
+	}
+	apps := s.SpecialApps()
+	if len(apps) != 1 || apps[0] != "newapp" {
+		t.Fatalf("SpecialApps = %v", apps)
+	}
+	// A network-wanting interaction with a special app while the radio
+	// is off powers it on.
+	cmds, err := s.HandleEvent(Event{Time: 10, Kind: EventInteraction, App: "newapp", WantsNetwork: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(cmds) != 1 || cmds[0].Kind != CmdRadioEnable || cmds[0].App != "newapp" {
+		t.Fatalf("special-app interaction commands = %+v", cmds)
+	}
+	// A non-special app does not.
+	s2, _ := New(DefaultConfig())
+	cmds, err = s2.HandleEvent(Event{Time: 10, Kind: EventInteraction, App: "unknown", WantsNetwork: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(cmds) != 0 {
+		t.Errorf("non-special interaction powered the radio: %+v", cmds)
+	}
+}
+
+func TestMonitoringRecordsReachDB(t *testing.T) {
+	s, _ := New(DefaultConfig())
+	events := []Event{
+		{Time: 0, Kind: EventAppInstalled, App: "chat"},
+		{Time: 100, Kind: EventScreenOn},
+		{Time: 105, Kind: EventInteraction, App: "chat"},
+		{Time: 110, Kind: EventNetSample, App: "chat", BytesDown: 2048, BytesUp: 512},
+		{Time: 130, Kind: EventScreenOff},
+	}
+	for _, e := range events {
+		if _, err := s.HandleEvent(e); err != nil {
+			t.Fatal(err)
+		}
+	}
+	db := s.DB()
+	if got := len(db.Query(0, 1000, recorddb.FeatureScreen)); got != 2 {
+		t.Errorf("screen records = %d", got)
+	}
+	if got := len(db.Query(0, 1000, recorddb.FeatureInteraction)); got != 1 {
+		t.Errorf("interaction records = %d", got)
+	}
+	// The byte sample splits into a down and an up record.
+	if got := len(db.Query(0, 1000, recorddb.FeatureNetwork)); got != 2 {
+		t.Errorf("network records = %d", got)
+	}
+}
+
+func TestMiningRunsAtMidnight(t *testing.T) {
+	s, _ := New(DefaultConfig())
+	if _, err := s.HandleEvent(Event{Time: simtime.At(0, 9, 0, 0), Kind: EventScreenOn}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.HandleEvent(Event{Time: simtime.At(0, 9, 0, 5), Kind: EventInteraction, App: "chat"}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.HandleEvent(Event{Time: simtime.At(0, 9, 1, 0), Kind: EventScreenOff}); err != nil {
+		t.Fatal(err)
+	}
+	if s.Profile() != nil {
+		t.Fatal("profile mined before any midnight")
+	}
+	if _, err := s.Tick(simtime.At(1, 0, 0, 30)); err != nil {
+		t.Fatal(err)
+	}
+	p := s.Profile()
+	if p == nil {
+		t.Fatal("no profile after midnight")
+	}
+	if p.Weekday.Days != 1 {
+		t.Errorf("mined days = %d", p.Weekday.Days)
+	}
+	if p.Weekday.Slots[9].UseProb != 1 {
+		t.Errorf("mined Pr[u(9h)] = %v", p.Weekday.Slots[9].UseProb)
+	}
+}
+
+func TestEventsFromTraceOrderingAndCoverage(t *testing.T) {
+	tr, err := synth.Generate(synth.EvalCohort()[2], 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	events, err := EventsFromTrace(tr, DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	var last simtime.Instant = -1
+	var installs, screens, samples, interactions int
+	var sampleDown, sampleUp int64
+	for _, e := range events {
+		if e.Time < last {
+			t.Fatal("events out of order")
+		}
+		last = e.Time
+		switch e.Kind {
+		case EventAppInstalled:
+			installs++
+		case EventScreenOn, EventScreenOff:
+			screens++
+		case EventNetSample:
+			samples++
+			sampleDown += e.BytesDown
+			sampleUp += e.BytesUp
+		case EventInteraction:
+			interactions++
+		}
+	}
+	if installs != len(tr.InstalledApps) {
+		t.Errorf("installs = %d", installs)
+	}
+	if screens != 2*len(tr.Sessions) {
+		t.Errorf("screen events = %d, want %d", screens, 2*len(tr.Sessions))
+	}
+	if interactions != len(tr.Interactions) {
+		t.Errorf("interactions = %d", interactions)
+	}
+	// Byte conservation: samples carry exactly the trace's volume.
+	down, up := tr.TotalBytes()
+	if sampleDown != down || sampleUp != up {
+		t.Errorf("sampled bytes %d/%d, trace %d/%d", sampleDown, sampleUp, down, up)
+	}
+}
+
+// TestMonitorMinerRoundtrip is the paper's architecture in motion: feed a
+// trace's event stream through the monitoring component, rebuild history
+// from the database, and check the rebuilt trace preserves the statistics
+// mining needs.
+func TestMonitorMinerRoundtrip(t *testing.T) {
+	tr, err := synth.Generate(synth.EvalCohort()[2], 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := DefaultConfig()
+	s, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	events, err := EventsFromTrace(tr, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, e := range events {
+		if _, err := s.HandleEvent(e); err != nil {
+			t.Fatal(err)
+		}
+	}
+	rebuilt, err := RecordsToTrace(s.DB(), 3, tr.InstalledApps)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := rebuilt.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	// Session count and screen-on time survive exactly.
+	if len(rebuilt.Sessions) != len(tr.Sessions) {
+		t.Errorf("sessions: rebuilt %d, original %d", len(rebuilt.Sessions), len(tr.Sessions))
+	}
+	if rebuilt.ScreenOnTotal() != tr.ScreenOnTotal() {
+		t.Errorf("screen-on: rebuilt %v, original %v", rebuilt.ScreenOnTotal(), tr.ScreenOnTotal())
+	}
+	if len(rebuilt.Interactions) != len(tr.Interactions) {
+		t.Errorf("interactions: rebuilt %d, original %d", len(rebuilt.Interactions), len(tr.Interactions))
+	}
+	// Volume survives to within the sampler's integer rounding.
+	oDown, oUp := tr.TotalBytes()
+	rDown, rUp := rebuilt.TotalBytes()
+	if rDown != oDown || rUp != oUp {
+		t.Errorf("bytes: rebuilt %d/%d, original %d/%d", rDown, rUp, oDown, oUp)
+	}
+	// Burst merging coarsens activity counts but must stay in the same
+	// magnitude (the monitor merges sub-30 s gaps).
+	if len(rebuilt.Activities) < len(tr.Activities)/3 {
+		t.Errorf("activities: rebuilt %d from %d — too coarse", len(rebuilt.Activities), len(tr.Activities))
+	}
+	// Hourly interaction intensity — the mining input — is preserved.
+	for d := 0; d < 3; d++ {
+		ov := tr.HourlyIntensity(d)
+		rv := rebuilt.HourlyIntensity(d)
+		for h := range ov {
+			if ov[h] != rv[h] {
+				t.Fatalf("day %d hour %d intensity: rebuilt %v, original %v", d, h, rv[h], ov[h])
+			}
+		}
+	}
+}
+
+func TestRecordsToTraceValidation(t *testing.T) {
+	db, _ := recorddb.Open(recorddb.DefaultConfig())
+	if _, err := RecordsToTrace(db, 0, nil); err == nil {
+		t.Error("zero days accepted")
+	}
+	// Dangling screen-on clamps to the horizon.
+	db.Append(recorddb.Record{Time: 100, Feature: recorddb.FeatureScreen, Value: 1})
+	tr, err := RecordsToTrace(db, 1, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tr.Sessions) != 1 || tr.Sessions[0].Interval.End != simtime.Instant(simtime.Day) {
+		t.Errorf("dangling session = %+v", tr.Sessions)
+	}
+}
+
+func TestKindStrings(t *testing.T) {
+	if EventScreenOn.String() != "screen-on" || EventNetSample.String() != "net-sample" {
+		t.Error("event names wrong")
+	}
+	if CmdRadioEnable.String() != "radio-enable" || CmdTriggerSync.String() != "trigger-sync" {
+		t.Error("command names wrong")
+	}
+	if EventKind(99).String() == "" || CommandKind(99).String() == "" {
+		t.Error("unknown kinds should render")
+	}
+}
+
+func TestReplayOnlineService(t *testing.T) {
+	tr, err := synth.Generate(synth.EvalCohort()[1], 6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	model := power.Model3G()
+	res, err := Replay(tr, DefaultReplayConfig(model))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := res.Plan.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Commands) == 0 {
+		t.Fatal("service issued no commands")
+	}
+	if len(res.Plan.WakeWindows) == 0 {
+		t.Error("no duty wakes in the online run")
+	}
+	if res.Service.Profile() == nil {
+		t.Error("nightly mining never ran")
+	}
+	// The online run saves energy relative to the baseline and stays in
+	// the same regime as the offline duty-cycle-only NetMaster.
+	base, err := device.Run(policy.Baseline{}, tr, model)
+	if err != nil {
+		t.Fatal(err)
+	}
+	online, err := device.ComputeMetrics(res.Plan, model)
+	if err != nil {
+		t.Fatal(err)
+	}
+	onSaving := online.EnergySavingVs(base)
+	if onSaving <= 0.2 {
+		t.Fatalf("online saving = %v", onSaving)
+	}
+	cfg := policy.DefaultNetMasterConfig(model)
+	cfg.DisableScheduler = true
+	nm, err := policy.NewNetMaster(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	offline, err := device.Run(nm, tr, model)
+	if err != nil {
+		t.Fatal(err)
+	}
+	offSaving := offline.EnergySavingVs(base)
+	if diff := onSaving - offSaving; diff < -0.2 || diff > 0.2 {
+		t.Errorf("online %v vs offline duty-only %v: regimes diverged", onSaving, offSaving)
+	}
+}
+
+func TestReplayValidation(t *testing.T) {
+	tr, err := synth.Generate(synth.EvalCohort()[2], 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := DefaultReplayConfig(nil)
+	if _, err := Replay(tr, cfg); err == nil {
+		t.Error("nil model accepted")
+	}
+	cfg = DefaultReplayConfig(power.Model3G())
+	cfg.DutyWakeWindow = 0
+	if _, err := Replay(tr, cfg); err == nil {
+		t.Error("zero wake window accepted")
+	}
+	cfg = DefaultReplayConfig(power.Model3G())
+	cfg.TailCutSecs = -1
+	if _, err := Replay(tr, cfg); err == nil {
+		t.Error("negative tail cut accepted")
+	}
+}
+
+func TestSampleActivityByteConservationEdge(t *testing.T) {
+	// A screen-off burst longer than the 30 s sample period splits into
+	// several samples whose bytes sum exactly, including remainders
+	// that do not divide evenly.
+	tr := &trace.Trace{
+		UserID: "edge", Days: 1,
+		Activities: []trace.NetworkActivity{
+			{App: "a", Start: 100, Duration: 95, BytesDown: 1000, BytesUp: 7, Kind: trace.KindSync},
+		},
+	}
+	tr.Normalize()
+	events, err := EventsFromTrace(tr, DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	var down, up int64
+	samples := 0
+	for _, e := range events {
+		if e.Kind == EventNetSample {
+			samples++
+			down += e.BytesDown
+			up += e.BytesUp
+		}
+	}
+	if samples != 4 { // ceil(95/30)
+		t.Errorf("samples = %d", samples)
+	}
+	if down != 1000 || up != 7 {
+		t.Errorf("bytes = %d/%d", down, up)
+	}
+}
+
+func TestRecordsToTraceMergesSampleRuns(t *testing.T) {
+	db, _ := recorddb.Open(recorddb.DefaultConfig())
+	// Samples 10 s apart merge into one activity; a 60 s gap starts a
+	// new one.
+	for _, ts := range []simtime.Instant{100, 110, 120} {
+		db.Append(recorddb.Record{Time: ts, Feature: recorddb.FeatureNetwork, App: "a", Value: 100})
+	}
+	db.Append(recorddb.Record{Time: 300, Feature: recorddb.FeatureNetwork, App: "a", Value: 50})
+	tr, err := RecordsToTrace(db, 1, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tr.Activities) != 2 {
+		t.Fatalf("activities = %+v", tr.Activities)
+	}
+	if tr.Activities[0].BytesDown != 300 || tr.Activities[0].Start != 100 {
+		t.Errorf("merged run = %+v", tr.Activities[0])
+	}
+	if tr.Activities[1].BytesDown != 50 {
+		t.Errorf("second run = %+v", tr.Activities[1])
+	}
+}
+
+func TestReplayDeterministic(t *testing.T) {
+	tr, err := synth.Generate(synth.EvalCohort()[2], 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := DefaultReplayConfig(power.Model3G())
+	a, err := Replay(tr, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Replay(tr, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(a.Commands) != len(b.Commands) || len(a.Plan.Executions) != len(b.Plan.Executions) {
+		t.Fatal("online replay non-deterministic")
+	}
+	for i := range a.Plan.Executions {
+		if a.Plan.Executions[i] != b.Plan.Executions[i] {
+			t.Fatalf("execution %d differs", i)
+		}
+	}
+}

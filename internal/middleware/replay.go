@@ -1,0 +1,233 @@
+// Online replay: drive the middleware Service over a trace's event stream
+// exactly as it would run on the device — broadcast receivers for events,
+// timer ticks for duty-cycle wake-ups and nightly mining — and derive the
+// execution plan its commands imply. This is the deployment-mode
+// counterpart of the offline policy in internal/policy: the offline
+// NetMaster plans each day with hindsight-free history, while the online
+// service reacts event by event. The integration tests compare the two.
+package middleware
+
+import (
+	"fmt"
+	"sort"
+
+	"netmaster/internal/device"
+	"netmaster/internal/power"
+	"netmaster/internal/simtime"
+	"netmaster/internal/trace"
+)
+
+// ReplayConfig extends the service configuration with the replay-level
+// parameters the execution derivation needs.
+type ReplayConfig struct {
+	Service Config
+	// Model converts volumes to compact burst durations.
+	Model *power.Model
+	// DutyWakeWindow is the radio-on listening window at each wake.
+	DutyWakeWindow simtime.Duration
+	// TailCutSecs is the radio-off latency after a managed burst.
+	TailCutSecs float64
+}
+
+// DefaultReplayConfig returns deployment defaults matching the offline
+// policy's.
+func DefaultReplayConfig(model *power.Model) ReplayConfig {
+	return ReplayConfig{
+		Service:        DefaultConfig(),
+		Model:          model,
+		DutyWakeWindow: 2 * simtime.Second,
+		TailCutSecs:    0.5,
+	}
+}
+
+// ReplayResult is the online run's outcome.
+type ReplayResult struct {
+	Plan *device.Plan
+	// Commands is the full command log the service issued.
+	Commands []Command
+	// Service is the final service state (profile, special apps, DB).
+	Service *Service
+}
+
+// Replay runs the service over the trace and derives the executed plan:
+// foreground transfers run as recorded; screen-off background transfers
+// wait for the next radio-enable command (a duty wake-up or the user
+// turning the screen on) and then run as compact bursts.
+func Replay(t *trace.Trace, cfg ReplayConfig) (*ReplayResult, error) {
+	if cfg.Model == nil {
+		return nil, fmt.Errorf("middleware: replay needs a power model")
+	}
+	if err := cfg.Model.Validate(); err != nil {
+		return nil, err
+	}
+	if cfg.DutyWakeWindow <= 0 {
+		return nil, fmt.Errorf("middleware: non-positive wake window")
+	}
+	if cfg.TailCutSecs < 0 {
+		return nil, fmt.Errorf("middleware: negative tail cut")
+	}
+	svc, err := New(cfg.Service)
+	if err != nil {
+		return nil, err
+	}
+	events, err := EventsFromTrace(t, cfg.Service)
+	if err != nil {
+		return nil, err
+	}
+
+	res := &ReplayResult{Service: svc}
+	plan := &device.Plan{PolicyName: "netmaster-online", Trace: t}
+	res.Plan = plan
+
+	horizon := simtime.Instant(t.Horizon())
+
+	// Pending screen-off background transfers, by activity index.
+	var pending []int
+	nextBg := 0 // next background activity to watch for
+	type bgRef struct {
+		index int
+		at    simtime.Instant
+	}
+	var bgQueue []bgRef
+	for i, a := range t.Activities {
+		if a.Kind.IsBackground() && !t.ScreenOnAt(a.Start) {
+			bgQueue = append(bgQueue, bgRef{index: i, at: a.Start})
+		} else {
+			plan.Executions = append(plan.Executions, device.Execution{
+				Index: i, ExecStart: a.Start, TailCutSecs: cfg.TailCutSecs,
+			})
+		}
+	}
+
+	// serve executes every pending transfer at the given instant.
+	serve := func(at simtime.Instant) {
+		cur := at
+		for _, idx := range pending {
+			a := t.Activities[idx]
+			dur := cfg.Model.CompactDuration(a.Bytes())
+			exec := cur
+			if exec.Add(dur) > horizon {
+				exec = horizon.Add(-dur)
+			}
+			if exec < a.Start {
+				exec = a.Start
+			}
+			if exec.Add(dur) > horizon {
+				plan.Executions = append(plan.Executions, device.Execution{
+					Index: idx, ExecStart: a.Start, TailCutSecs: cfg.TailCutSecs,
+				})
+				continue
+			}
+			plan.Executions = append(plan.Executions, device.Execution{
+				Index: idx, ExecStart: exec, Duration: dur, TailCutSecs: cfg.TailCutSecs,
+			})
+			cur = exec.Add(dur)
+		}
+		pending = pending[:0]
+	}
+
+	handleCommands := func(cmds []Command) {
+		for _, c := range cmds {
+			res.Commands = append(res.Commands, c)
+			if c.Kind != CmdRadioEnable {
+				continue
+			}
+			// Radio up: pending background transfers go now.
+			if c.App == "" { // duty wake or screen-on
+				window := simtime.Interval{Start: c.Time, End: c.Time.Add(cfg.DutyWakeWindow)}
+				if window.End > horizon {
+					window.End = horizon
+				}
+				if !window.IsEmpty() {
+					plan.WakeWindows = append(plan.WakeWindows, window)
+				}
+			}
+			serve(c.Time)
+		}
+	}
+
+	// Interleave events with duty ticks at the service's wake times.
+	for _, e := range events {
+		for svc.nextWake >= 0 && !svc.screenOn && svc.nextWake < e.Time {
+			at := svc.nextWake
+			cmds, err := svc.Tick(at)
+			if err != nil {
+				return nil, err
+			}
+			handleCommands(cmds)
+		}
+		// Background arrivals up to this event become pending.
+		for nextBg < len(bgQueue) && bgQueue[nextBg].at <= e.Time {
+			pending = append(pending, bgQueue[nextBg].index)
+			nextBg++
+		}
+		cmds, err := svc.HandleEvent(e)
+		if err != nil {
+			return nil, err
+		}
+		handleCommands(cmds)
+	}
+	// Drain remaining wakes and pending transfers to the horizon.
+	for svc.nextWake >= 0 && !svc.screenOn && svc.nextWake < horizon {
+		at := svc.nextWake
+		for nextBg < len(bgQueue) && bgQueue[nextBg].at <= at {
+			pending = append(pending, bgQueue[nextBg].index)
+			nextBg++
+		}
+		cmds, err := svc.Tick(at)
+		if err != nil {
+			return nil, err
+		}
+		handleCommands(cmds)
+	}
+	for nextBg < len(bgQueue) {
+		pending = append(pending, bgQueue[nextBg].index)
+		nextBg++
+	}
+	if len(pending) > 0 {
+		// Transfers still pending at the end of the trace run as
+		// recorded.
+		for _, idx := range pending {
+			plan.Executions = append(plan.Executions, device.Execution{
+				Index: idx, ExecStart: t.Activities[idx].Start, TailCutSecs: cfg.TailCutSecs,
+			})
+		}
+		pending = pending[:0]
+	}
+
+	// User-experience bookkeeping: the radio is unavailable during
+	// screen-off stretches outside wake windows.
+	plan.BlockedWindows = screenOffWindows(t)
+	plan.SpecialAppWhitelist = map[trace.AppID]bool{}
+	for _, app := range svc.SpecialApps() {
+		plan.SpecialAppWhitelist[app] = true
+	}
+
+	sort.Slice(plan.Executions, func(i, j int) bool {
+		return plan.Executions[i].Index < plan.Executions[j].Index
+	})
+	if err := plan.Validate(); err != nil {
+		return nil, fmt.Errorf("middleware: online plan invalid: %w", err)
+	}
+	return res, nil
+}
+
+// screenOffWindows returns the complement of the trace's screen sessions
+// within the horizon.
+func screenOffWindows(t *trace.Trace) []simtime.Interval {
+	var out []simtime.Interval
+	var cur simtime.Instant
+	for _, s := range t.Sessions {
+		if s.Interval.Start > cur {
+			out = append(out, simtime.Interval{Start: cur, End: s.Interval.Start})
+		}
+		if s.Interval.End > cur {
+			cur = s.Interval.End
+		}
+	}
+	horizon := simtime.Instant(t.Horizon())
+	if cur < horizon {
+		out = append(out, simtime.Interval{Start: cur, End: horizon})
+	}
+	return out
+}

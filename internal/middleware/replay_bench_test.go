@@ -1,0 +1,50 @@
+package middleware
+
+import (
+	"testing"
+
+	"netmaster/internal/power"
+	"netmaster/internal/synth"
+)
+
+// BenchmarkOnlineReplayWeek measures the online service path — events in,
+// commands out — over one volunteer-week.
+func BenchmarkOnlineReplayWeek(b *testing.B) {
+	tr, err := synth.Generate(synth.EvalCohort()[1], 7)
+	if err != nil {
+		b.Fatal(err)
+	}
+	cfg := DefaultReplayConfig(power.Model3G())
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := Replay(tr, cfg); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkEventIngestion measures the monitoring component's raw event
+// throughput.
+func BenchmarkEventIngestion(b *testing.B) {
+	tr, err := synth.Generate(synth.EvalCohort()[2], 2)
+	if err != nil {
+		b.Fatal(err)
+	}
+	events, err := EventsFromTrace(tr, DefaultConfig())
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		svc, err := New(DefaultConfig())
+		if err != nil {
+			b.Fatal(err)
+		}
+		for _, e := range events {
+			if _, err := svc.HandleEvent(e); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}
+	b.ReportMetric(float64(len(events)), "events")
+}

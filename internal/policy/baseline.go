@@ -1,0 +1,33 @@
+// Package policy implements the network-scheduling policies compared in
+// the paper's evaluation: the unmanaged Baseline, the "naive delay and
+// batch" schemes of Qian et al. [10] and Huang et al. [2], an offline
+// Oracle that lower-bounds radio energy, and NetMaster itself (habit
+// mining + overlapped-knapsack scheduling + real-time adjustment).
+package policy
+
+import (
+	"netmaster/internal/device"
+	"netmaster/internal/power"
+	"netmaster/internal/trace"
+)
+
+// Baseline executes every network activity exactly when the trace
+// recorded it, with the operating system's default radio tail behaviour —
+// the "Without NetMaster" arm of the evaluation.
+type Baseline struct{}
+
+// Name implements device.Policy.
+func (Baseline) Name() string { return "baseline" }
+
+// Plan implements device.Policy.
+func (Baseline) Plan(t *trace.Trace) (*device.Plan, error) {
+	p := &device.Plan{PolicyName: "baseline", Trace: t}
+	for i := range t.Activities {
+		p.Executions = append(p.Executions, device.Execution{
+			Index:       i,
+			ExecStart:   t.Activities[i].Start,
+			TailCutSecs: power.FullTail,
+		})
+	}
+	return p, nil
+}

@@ -1,0 +1,464 @@
+// NetMaster: the paper's middleware as a replayable policy. Each day it
+// mines the history available so far (the mining component), predicts the
+// user active slot set U and the screen-off network active slots Tn, runs
+// the overlapped-knapsack scheduler (the scheduling component's decision
+// making), and covers mispredictions with the exponential duty cycle and
+// the Special-Apps allowlist (real-time adjustment).
+package policy
+
+import (
+	"fmt"
+	"sort"
+
+	"netmaster/internal/core"
+	"netmaster/internal/device"
+	"netmaster/internal/dutycycle"
+	"netmaster/internal/habit"
+	"netmaster/internal/power"
+	"netmaster/internal/simtime"
+	"netmaster/internal/trace"
+)
+
+// NetMasterConfig parameterises the middleware.
+type NetMasterConfig struct {
+	// Habit configures mining (slot width, weekday/weekend δ).
+	Habit habit.Config
+	// Eps is the scheduler's ε (paper: 0.1).
+	Eps float64
+	// BandwidthBps is the carrier bandwidth behind C(ti) = B·|ti|.
+	BandwidthBps float64
+	// PenaltyRateWattEq is the e_t scaling factor of Eq. 4.
+	PenaltyRateWattEq float64
+	// Model is the radio model used for ΔE and tail decisions.
+	Model *power.Model
+	// History is an optional pre-collected trace of the same user (the
+	// paper gathered weeks of traces before enabling NetMaster); it
+	// must cover whole weeks so weekday alignment is preserved. With a
+	// history the middleware schedules from day one.
+	History *trace.Trace
+	// MinTrainDays is the warm-up: days with less history run
+	// unmanaged (the monitor only records).
+	MinTrainDays int
+
+	// Duty cycle parameters: initial sleep T (paper: 30 s), the backoff
+	// cap and the wake listen window.
+	DutyInitialSleep simtime.Duration
+	DutyMaxSleep     simtime.Duration
+	DutyWakeWindow   simtime.Duration
+	// TailCutSecs is the radio-off latency after a managed burst: the
+	// scheduling component polls TELEPHONY_SERVICE and issues
+	// "svc data disable" once no transmission is detected.
+	TailCutSecs float64
+
+	// Ablation switches (all false in the paper's configuration).
+	DisableScheduler   bool // skip knapsack scheduling; duty cycle only
+	DisableDutyCycle   bool // unpredicted activities run immediately
+	DisableSpecialApps bool // empty allowlist: every blocked want is wrong
+}
+
+// DefaultNetMasterConfig returns the paper's evaluation settings for the
+// given radio model.
+func DefaultNetMasterConfig(m *power.Model) NetMasterConfig {
+	return NetMasterConfig{
+		Habit:             habit.DefaultConfig(),
+		Eps:               0.1,
+		BandwidthBps:      256 * 1024,
+		PenaltyRateWattEq: 0.0005,
+		Model:             m,
+		MinTrainDays:      1,
+		DutyInitialSleep:  30 * simtime.Second,
+		DutyMaxSleep:      7680 * simtime.Second,
+		DutyWakeWindow:    2 * simtime.Second,
+		TailCutSecs:       0.5,
+	}
+}
+
+// NetMaster implements device.Policy.
+type NetMaster struct {
+	cfg NetMasterConfig
+}
+
+// NewNetMaster validates the configuration and builds the policy.
+func NewNetMaster(cfg NetMasterConfig) (*NetMaster, error) {
+	if cfg.Model == nil {
+		return nil, fmt.Errorf("policy: netmaster needs a power model")
+	}
+	if err := cfg.Model.Validate(); err != nil {
+		return nil, err
+	}
+	if cfg.Eps <= 0 || cfg.Eps >= 1 {
+		return nil, fmt.Errorf("policy: netmaster eps %v outside (0,1)", cfg.Eps)
+	}
+	if cfg.BandwidthBps <= 0 {
+		return nil, fmt.Errorf("policy: netmaster non-positive bandwidth")
+	}
+	if cfg.MinTrainDays < 1 {
+		return nil, fmt.Errorf("policy: netmaster needs at least 1 warm-up day")
+	}
+	if cfg.DutyInitialSleep <= 0 || cfg.DutyWakeWindow <= 0 {
+		return nil, fmt.Errorf("policy: netmaster invalid duty-cycle timings")
+	}
+	if cfg.TailCutSecs < 0 {
+		return nil, fmt.Errorf("policy: netmaster negative tail cut")
+	}
+	if cfg.History != nil && cfg.History.Days%7 != 0 {
+		return nil, fmt.Errorf("policy: netmaster history must cover whole weeks, got %d days", cfg.History.Days)
+	}
+	return &NetMaster{cfg: cfg}, nil
+}
+
+// Name implements device.Policy.
+func (n *NetMaster) Name() string { return "netmaster" }
+
+// Plan implements device.Policy.
+func (n *NetMaster) Plan(t *trace.Trace) (*device.Plan, error) {
+	p := &device.Plan{
+		PolicyName:          n.Name(),
+		Trace:               t,
+		SpecialAppWhitelist: map[trace.AppID]bool{},
+	}
+	if !n.cfg.DisableSpecialApps {
+		for _, app := range habit.DetectSpecialApps(t) {
+			p.SpecialAppWhitelist[app] = true
+		}
+	}
+
+	for day := 0; day < t.Days; day++ {
+		if err := n.planDay(p, t, day); err != nil {
+			return nil, fmt.Errorf("policy: netmaster day %d: %w", day, err)
+		}
+	}
+	return p, nil
+}
+
+// dayActivities returns the indices of the trace's activities starting on
+// the given day.
+func dayActivities(t *trace.Trace, day int) []int {
+	iv := simtime.Interval{Start: simtime.At(day, 0, 0, 0), End: simtime.At(day+1, 0, 0, 0)}
+	var out []int
+	for i, a := range t.Activities {
+		if iv.Contains(a.Start) {
+			out = append(out, i)
+		}
+	}
+	return out
+}
+
+func (n *NetMaster) planDay(p *device.Plan, t *trace.Trace, day int) error {
+	indices := dayActivities(t, day)
+
+	// Warm-up: not enough history, run unmanaged while the monitor
+	// records.
+	histDays := day
+	if n.cfg.History != nil {
+		histDays += n.cfg.History.Days
+	}
+	if histDays < n.cfg.MinTrainDays {
+		for _, i := range indices {
+			p.Executions = append(p.Executions, device.Execution{
+				Index: i, ExecStart: t.Activities[i].Start, TailCutSecs: power.FullTail,
+			})
+		}
+		return nil
+	}
+
+	// Mining component: hour-level prediction from history only — the
+	// pre-collected trace (if any) plus the days already replayed.
+	histTrace := t.PrefixDays(day)
+	var shift simtime.Instant
+	if n.cfg.History != nil {
+		merged, err := trace.Append(n.cfg.History, histTrace)
+		if err != nil {
+			return err
+		}
+		histTrace = merged
+		shift = simtime.Instant(n.cfg.History.Horizon())
+	}
+	profile, err := habit.Mine(histTrace, n.cfg.Habit)
+	if err != nil {
+		return err
+	}
+	// Prediction happens at the merged-trace day index; slot intervals
+	// come back in merged time and are shifted to replay time.
+	predDay := day
+	if n.cfg.History != nil {
+		predDay += n.cfg.History.Days
+	}
+	u := shiftIntervals(profile.PredictedActiveSlots(predDay), -shift)
+	dayIv := simtime.Interval{Start: simtime.At(day, 0, 0, 0), End: simtime.At(day+1, 0, 0, 0)}
+	for _, b := range complementWithin(dayIv, u) {
+		p.BlockedWindows = append(p.BlockedWindows, b)
+	}
+
+	// Classify the day's activities. The real-time adjustment owns the
+	// radio whenever the screen is off — inside or outside U — so any
+	// screen-off transfer the scheduler does not claim rides a duty
+	// wake-up.
+	var schedulable []core.Activity // knapsack candidates
+	var dutyIdx []int               // real-time adjustment path
+	byID := make(map[int]trace.NetworkActivity)
+	for _, i := range indices {
+		a := t.Activities[i]
+		switch {
+		case !a.Kind.IsBackground() || t.ScreenOnAt(a.Start):
+			// Foreground / user-driven / streaming: untouched, but
+			// the scheduling component reclaims the tail.
+			p.Executions = append(p.Executions, device.Execution{
+				Index: i, ExecStart: a.Start, TailCutSecs: n.cfg.TailCutSecs,
+			})
+		case a.Kind == trace.KindPush && p.SpecialAppWhitelist[a.App]:
+			// Pushes for Special Apps are delivered at duty-cycle
+			// cadence, never deferred into a far-away slot: the
+			// real-time layer wakes the radio "to let Special Apps
+			// use the network", which bounds notification latency —
+			// the §VII hidden impact.
+			dutyIdx = append(dutyIdx, i)
+		case !containsIn(u, a.Start) && !n.cfg.DisableScheduler && n.predicted(profile, predDay, shift, a):
+			schedulable = append(schedulable, core.Activity{
+				ID:         i,
+				Time:       a.Start,
+				Bytes:      a.Bytes(),
+				ActiveSecs: a.Duration.Seconds(),
+				DeferOnly:  a.Kind == trace.KindPush,
+			})
+			byID[i] = a
+		default:
+			dutyIdx = append(dutyIdx, i)
+		}
+	}
+
+	// Scheduling component: overlapped multiple knapsack over U.
+	if len(schedulable) > 0 {
+		sched, err := n.schedule(profile, shift, u, schedulable)
+		if err != nil {
+			return err
+		}
+		cursors := make(map[int]simtime.Instant)
+		horizon := simtime.Instant(t.Horizon())
+		for _, asg := range sched.Assignments {
+			a := byID[asg.ActivityID]
+			slot := u[asg.SlotIndex]
+			// Scheduled transfers are compacted: the middleware
+			// triggers the sync as one burst inside the active slot.
+			dur := n.cfg.Model.CompactDuration(a.Bytes())
+			cur, ok := cursors[asg.SlotIndex]
+			if !ok {
+				cur = slot.Start
+			}
+			if a.Kind == trace.KindPush && cur < a.Start {
+				cur = a.Start
+			}
+			if cur.Add(dur) > horizon {
+				cur = horizon.Add(-dur)
+			}
+			if a.Kind == trace.KindPush && cur < a.Start {
+				// No room after arrival; run as recorded.
+				p.Executions = append(p.Executions, device.Execution{
+					Index: asg.ActivityID, ExecStart: a.Start, TailCutSecs: n.cfg.TailCutSecs,
+				})
+				continue
+			}
+			p.Executions = append(p.Executions, device.Execution{
+				Index: asg.ActivityID, ExecStart: cur, Duration: dur, TailCutSecs: n.cfg.TailCutSecs,
+			})
+			cursors[asg.SlotIndex] = cur.Add(dur)
+		}
+		p.PlannedSavingJ += sched.TotalSaved
+		p.PlannedPenaltyJ += sched.TotalPenalty
+		dutyIdx = append(dutyIdx, sched.Unscheduled...)
+		sort.Ints(dutyIdx)
+	}
+
+	// Real-time adjustment: exponential duty cycle over every
+	// screen-off period of the day.
+	n.runDutyCycle(p, t, day, dutyIdx)
+	return nil
+}
+
+// shiftIntervals translates a slot set by the given offset.
+func shiftIntervals(ivs []simtime.Interval, by simtime.Instant) []simtime.Interval {
+	out := make([]simtime.Interval, len(ivs))
+	for i, iv := range ivs {
+		out[i] = simtime.Interval{Start: iv.Start + by, End: iv.End + by}
+	}
+	return out
+}
+
+// predicted reports whether the activity's (slot, app) pair was network-
+// active in history — i.e. the activity belongs to the predicted Tn.
+// predDay and shift translate between replay time and merged-history time.
+func (n *NetMaster) predicted(profile *habit.Profile, predDay int, shift simtime.Instant, a trace.NetworkActivity) bool {
+	for _, pn := range profile.PredictedNetSlots(predDay) {
+		if pn.App == a.App && pn.Slot.Contains(a.Start+shift) {
+			return true
+		}
+	}
+	return false
+}
+
+// schedule wires the core scheduler to the mined profile and radio model;
+// shift translates replay-time instants into merged-history time for the
+// probability lookups.
+func (n *NetMaster) schedule(profile *habit.Profile, shift simtime.Instant, u []simtime.Interval, acts []core.Activity) (*core.Schedule, error) {
+	cfg := core.Config{
+		Eps:               n.cfg.Eps,
+		BandwidthBps:      n.cfg.BandwidthBps,
+		PenaltyRateWattEq: n.cfg.PenaltyRateWattEq,
+		ProbSlotWidth:     n.cfg.Habit.SlotWidth,
+		SavedEnergy: func(a core.Activity) float64 {
+			return n.cfg.Model.SavedEnergy(a.ActiveSecs)
+		},
+		UseProb: func(t simtime.Instant) float64 {
+			return profile.UseProbAt(t + shift)
+		},
+	}
+	s, err := core.New(cfg)
+	if err != nil {
+		return nil, err
+	}
+	return s.Schedule(u, acts)
+}
+
+// runDutyCycle executes the remaining screen-off activities at duty-cycle
+// wake-ups and records the wake windows' radio cost. The duty cycle owns
+// the radio for the whole screen-off time of the day.
+func (n *NetMaster) runDutyCycle(p *device.Plan, t *trace.Trace, day int, dutyIdx []int) {
+	horizon := simtime.Instant(t.Horizon())
+	if n.cfg.DisableDutyCycle {
+		for _, i := range dutyIdx {
+			p.Executions = append(p.Executions, device.Execution{
+				Index: i, ExecStart: t.Activities[i].Start, TailCutSecs: n.cfg.TailCutSecs,
+			})
+		}
+		return
+	}
+	dayIv := simtime.Interval{Start: simtime.At(day, 0, 0, 0), End: simtime.At(day+1, 0, 0, 0)}
+
+	// Gaps: day ∩ screen-off.
+	var covered []simtime.Interval
+	for _, s := range t.Sessions {
+		iv := s.Interval.Intersect(dayIv)
+		if !iv.IsEmpty() {
+			covered = append(covered, iv)
+		}
+	}
+	gaps := complementWithin(dayIv, simtime.MergeIntervals(covered))
+
+	// Pending activities per gap, in time order.
+	pendingIn := func(g simtime.Interval) []int {
+		var out []int
+		for _, i := range dutyIdx {
+			if g.Contains(t.Activities[i].Start) {
+				out = append(out, i)
+			}
+		}
+		sort.Slice(out, func(x, y int) bool { return t.Activities[out[x]].Start < t.Activities[out[y]].Start })
+		return out
+	}
+
+	handled := make(map[int]bool)
+	for _, g := range gaps {
+		pending := pendingIn(g)
+		scheme, _ := dutycycle.NewExponential(n.cfg.DutyInitialSleep, n.cfg.DutyMaxSleep)
+		cursor := 0
+		wakeAt := g.Start
+		for {
+			sleep := scheme.NextSleep()
+			wakeAt = wakeAt.Add(sleep)
+			if wakeAt >= g.End {
+				break
+			}
+			window := simtime.Interval{Start: wakeAt, End: wakeAt.Add(n.cfg.DutyWakeWindow)}
+			if window.End > g.End {
+				window.End = g.End
+			}
+			p.WakeWindows = append(p.WakeWindows, window)
+			served := false
+			exec := wakeAt
+			for cursor < len(pending) && t.Activities[pending[cursor]].Start <= wakeAt {
+				i := pending[cursor]
+				a := t.Activities[i]
+				dur := n.cfg.Model.CompactDuration(a.Bytes())
+				if exec.Add(dur) > horizon {
+					exec = horizon.Add(-dur)
+				}
+				if exec < a.Start {
+					exec = a.Start
+				}
+				p.Executions = append(p.Executions, device.Execution{
+					Index: i, ExecStart: exec, Duration: dur, TailCutSecs: n.cfg.TailCutSecs,
+				})
+				handled[i] = true
+				exec = exec.Add(dur)
+				cursor++
+				served = true
+			}
+			if served {
+				scheme.Reset()
+			}
+			wakeAt = window.End
+		}
+	}
+	// Activities arriving after the last wake of their gap (or outside
+	// every gap) run when the radio is next enabled: the gap end.
+	for _, i := range dutyIdx {
+		if handled[i] {
+			continue
+		}
+		a := t.Activities[i]
+		exec := a.Start
+		dur := n.cfg.Model.CompactDuration(a.Bytes())
+		for _, g := range gaps {
+			if g.Contains(a.Start) {
+				exec = g.End
+				break
+			}
+		}
+		if exec.Add(dur) > horizon {
+			exec = horizon.Add(-dur)
+		}
+		if exec < a.Start {
+			// No room to compact after arrival; run as recorded.
+			p.Executions = append(p.Executions, device.Execution{
+				Index: i, ExecStart: a.Start, TailCutSecs: n.cfg.TailCutSecs,
+			})
+			continue
+		}
+		p.Executions = append(p.Executions, device.Execution{
+			Index: i, ExecStart: exec, Duration: dur, TailCutSecs: n.cfg.TailCutSecs,
+		})
+	}
+}
+
+// containsIn reports whether t lies in any interval of the sorted set.
+func containsIn(ivs []simtime.Interval, t simtime.Instant) bool {
+	for _, iv := range ivs {
+		if iv.Contains(t) {
+			return true
+		}
+	}
+	return false
+}
+
+// complementWithin returns the parts of outer not covered by the sorted
+// disjoint intervals inner.
+func complementWithin(outer simtime.Interval, inner []simtime.Interval) []simtime.Interval {
+	var out []simtime.Interval
+	cur := outer.Start
+	for _, iv := range inner {
+		clipped := iv.Intersect(outer)
+		if clipped.IsEmpty() {
+			continue
+		}
+		if clipped.Start > cur {
+			out = append(out, simtime.Interval{Start: cur, End: clipped.Start})
+		}
+		if clipped.End > cur {
+			cur = clipped.End
+		}
+	}
+	if cur < outer.End {
+		out = append(out, simtime.Interval{Start: cur, End: outer.End})
+	}
+	return out
+}

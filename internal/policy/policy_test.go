@@ -1,0 +1,485 @@
+package policy
+
+import (
+	"testing"
+
+	"netmaster/internal/device"
+	"netmaster/internal/power"
+	"netmaster/internal/simtime"
+	"netmaster/internal/synth"
+	"netmaster/internal/trace"
+)
+
+// evalTrace generates a small deterministic volunteer trace once.
+var evalTraceCache *trace.Trace
+
+func evalTrace(t *testing.T) *trace.Trace {
+	t.Helper()
+	if evalTraceCache == nil {
+		tr, err := synth.Generate(synth.EvalCohort()[0], 10)
+		if err != nil {
+			t.Fatal(err)
+		}
+		evalTraceCache = tr
+	}
+	return evalTraceCache
+}
+
+var evalHistoryCache *trace.Trace
+
+func evalHistory(t *testing.T) *trace.Trace {
+	t.Helper()
+	if evalHistoryCache == nil {
+		h, err := synth.GenerateHistory(synth.EvalCohort()[0], 7)
+		if err != nil {
+			t.Fatal(err)
+		}
+		evalHistoryCache = h
+	}
+	return evalHistoryCache
+}
+
+func mustMetrics(t *testing.T, p device.Policy, tr *trace.Trace, m *power.Model) device.Metrics {
+	t.Helper()
+	metrics, err := device.Run(p, tr, m)
+	if err != nil {
+		t.Fatalf("%s: %v", p.Name(), err)
+	}
+	return metrics
+}
+
+func TestBaselineIdentity(t *testing.T) {
+	tr := evalTrace(t)
+	plan, err := Baseline{}.Plan(tr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := plan.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	for _, e := range plan.Executions {
+		if e.ExecStart != tr.Activities[e.Index].Start {
+			t.Fatal("baseline moved an activity")
+		}
+		if e.TailCutSecs != power.FullTail {
+			t.Fatal("baseline cut a tail")
+		}
+		if e.Duration != 0 {
+			t.Fatal("baseline compacted a transfer")
+		}
+	}
+	if len(plan.BlockedWindows) != 0 || len(plan.WakeWindows) != 0 {
+		t.Error("baseline has blocking or wakes")
+	}
+}
+
+func TestDelayValidation(t *testing.T) {
+	if _, err := NewDelay(0); err == nil {
+		t.Error("zero interval accepted")
+	}
+	if _, err := NewDelay(-5); err == nil {
+		t.Error("negative interval accepted")
+	}
+}
+
+func TestDelaySemantics(t *testing.T) {
+	tr := evalTrace(t)
+	d, err := NewDelay(60 * simtime.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	plan, err := d.Plan(tr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := plan.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	for _, e := range plan.Executions {
+		a := tr.Activities[e.Index]
+		defer_ := e.ExecStart.Sub(a.Start)
+		if defer_ < 0 {
+			t.Fatal("delay prefetched an activity")
+		}
+		if !a.Kind.IsBackground() || tr.ScreenOnAt(a.Start) {
+			if defer_ != 0 {
+				t.Fatal("delay moved a foreground transfer")
+			}
+			continue
+		}
+		if defer_ > 60 {
+			t.Fatalf("activity deferred %v, beyond the interval", defer_)
+		}
+		if e.Duration != 0 {
+			t.Fatal("naive delay must not compact transfers")
+		}
+	}
+	// Hold windows are bounded by the interval.
+	for _, w := range plan.BlockedWindows {
+		if w.Len() > 60 {
+			t.Fatalf("hold window %v exceeds interval", w.Len())
+		}
+	}
+}
+
+func TestDelayLongerIntervalSavesMore(t *testing.T) {
+	tr := evalTrace(t)
+	model := power.Model3G()
+	base := mustMetrics(t, Baseline{}, tr, model)
+	d10, _ := NewDelay(10)
+	d300, _ := NewDelay(300)
+	m10 := mustMetrics(t, d10, tr, model)
+	m300 := mustMetrics(t, d300, tr, model)
+	if m300.EnergySavingVs(base) <= m10.EnergySavingVs(base) {
+		t.Errorf("delay-300 (%v) not better than delay-10 (%v)",
+			m300.EnergySavingVs(base), m10.EnergySavingVs(base))
+	}
+}
+
+func TestBatchValidation(t *testing.T) {
+	if _, err := NewBatch(0, 0); err == nil {
+		t.Error("zero batch accepted")
+	}
+	if _, err := NewBatch(3, -1); err == nil {
+		t.Error("negative hold accepted")
+	}
+	b, err := NewBatch(3, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if b.MaxHold != DefaultBatchHold {
+		t.Errorf("default hold = %v", b.MaxHold)
+	}
+}
+
+func TestBatchSemantics(t *testing.T) {
+	tr := evalTrace(t)
+	b, err := NewBatch(4, 120)
+	if err != nil {
+		t.Fatal(err)
+	}
+	plan, err := b.Plan(tr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := plan.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	for _, e := range plan.Executions {
+		a := tr.Activities[e.Index]
+		d := e.ExecStart.Sub(a.Start)
+		if d < 0 {
+			t.Fatal("batch prefetched an activity")
+		}
+		if a.Kind.IsBackground() && !tr.ScreenOnAt(a.Start) {
+			if d > 120 {
+				t.Fatalf("batch held an activity %v, beyond the bound", d)
+			}
+		} else if d != 0 {
+			t.Fatal("batch moved a foreground transfer")
+		}
+	}
+	for _, w := range plan.BlockedWindows {
+		if w.Len() > 120 {
+			t.Fatalf("hold window %v exceeds bound", w.Len())
+		}
+	}
+}
+
+func TestOracleValidation(t *testing.T) {
+	if _, err := NewOracle(nil); err == nil {
+		t.Error("nil model accepted")
+	}
+	bad := power.Model3G()
+	bad.ActivePowerMW = 0
+	if _, err := NewOracle(bad); err == nil {
+		t.Error("invalid model accepted")
+	}
+}
+
+func TestOracleBeatsEveryone(t *testing.T) {
+	tr := evalTrace(t)
+	model := power.Model3G()
+	oracle, err := NewOracle(model)
+	if err != nil {
+		t.Fatal(err)
+	}
+	base := mustMetrics(t, Baseline{}, tr, model)
+	om := mustMetrics(t, oracle, tr, model)
+	if om.Radio.EnergyJ >= base.Radio.EnergyJ {
+		t.Fatal("oracle no better than baseline")
+	}
+	// Oracle against NetMaster and delay: it must win.
+	cfg := DefaultNetMasterConfig(model)
+	cfg.History = evalHistory(t)
+	nm, err := NewNetMaster(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	nmm := mustMetrics(t, nm, tr, model)
+	if om.Radio.EnergyJ > nmm.Radio.EnergyJ {
+		t.Errorf("oracle (%v J) worse than NetMaster (%v J)", om.Radio.EnergyJ, nmm.Radio.EnergyJ)
+	}
+	// Oracle never blocks the user.
+	if om.WrongDecisions != 0 || om.AffectedActivities != 0 {
+		t.Error("oracle affected the user")
+	}
+}
+
+func TestOraclePushesNeverPrefetched(t *testing.T) {
+	tr := evalTrace(t)
+	oracle, _ := NewOracle(power.Model3G())
+	plan, err := oracle.Plan(tr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := plan.Validate(); err != nil {
+		t.Fatal(err) // Validate enforces push causality
+	}
+}
+
+func TestNetMasterValidation(t *testing.T) {
+	model := power.Model3G()
+	good := DefaultNetMasterConfig(model)
+	mutations := map[string]func(*NetMasterConfig){
+		"nil model":   func(c *NetMasterConfig) { c.Model = nil },
+		"bad eps":     func(c *NetMasterConfig) { c.Eps = 0 },
+		"bad bw":      func(c *NetMasterConfig) { c.BandwidthBps = 0 },
+		"bad warmup":  func(c *NetMasterConfig) { c.MinTrainDays = 0 },
+		"bad duty":    func(c *NetMasterConfig) { c.DutyInitialSleep = 0 },
+		"bad tail":    func(c *NetMasterConfig) { c.TailCutSecs = -1 },
+		"bad history": func(c *NetMasterConfig) { c.History = &trace.Trace{Days: 3} },
+	}
+	for name, mutate := range mutations {
+		cfg := good
+		mutate(&cfg)
+		if _, err := NewNetMaster(cfg); err == nil {
+			t.Errorf("%s: accepted", name)
+		}
+	}
+}
+
+func TestNetMasterPlanValidAndSaves(t *testing.T) {
+	tr := evalTrace(t)
+	model := power.Model3G()
+	cfg := DefaultNetMasterConfig(model)
+	cfg.History = evalHistory(t)
+	nm, err := NewNetMaster(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	plan, err := nm.Plan(tr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := plan.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	base := mustMetrics(t, Baseline{}, tr, model)
+	m, err := device.ComputeMetrics(plan, model)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if saving := m.EnergySavingVs(base); saving < 0.4 {
+		t.Errorf("NetMaster saving = %v, expected substantial", saving)
+	}
+	if m.WrongDecisionRate() > 0.01 {
+		t.Errorf("wrong decision rate = %v, paper bound is 1%%", m.WrongDecisionRate())
+	}
+	if plan.PlannedSavingJ <= 0 {
+		t.Error("scheduler attributed no savings")
+	}
+	if len(plan.WakeWindows) == 0 {
+		t.Error("duty cycle produced no wakes")
+	}
+}
+
+func TestNetMasterWarmupWithoutHistory(t *testing.T) {
+	tr := evalTrace(t)
+	model := power.Model3G()
+	cfg := DefaultNetMasterConfig(model)
+	cfg.MinTrainDays = 3
+	nm, err := NewNetMaster(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	plan, err := nm.Plan(tr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Warm-up days run unmanaged: day-0 executions are untouched.
+	for _, e := range plan.Executions {
+		a := tr.Activities[e.Index]
+		if a.Start.Day() < 3 {
+			if e.ExecStart != a.Start || e.TailCutSecs != power.FullTail {
+				t.Fatalf("warm-up day %d activity managed: %+v", a.Start.Day(), e)
+			}
+		}
+	}
+	// No blocking during warm-up.
+	for _, w := range plan.BlockedWindows {
+		if w.Start.Day() < 3 {
+			t.Fatal("blocked window during warm-up")
+		}
+	}
+}
+
+func TestNetMasterAblations(t *testing.T) {
+	tr := evalTrace(t)
+	model := power.Model3G()
+	base := mustMetrics(t, Baseline{}, tr, model)
+
+	run := func(mutate func(*NetMasterConfig)) device.Metrics {
+		cfg := DefaultNetMasterConfig(model)
+		cfg.History = evalHistory(t)
+		if mutate != nil {
+			mutate(&cfg)
+		}
+		nm, err := NewNetMaster(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return mustMetrics(t, nm, tr, model)
+	}
+
+	full := run(nil)
+	noSched := run(func(c *NetMasterConfig) { c.DisableScheduler = true })
+	noDuty := run(func(c *NetMasterConfig) { c.DisableDutyCycle = true })
+	noSpecial := run(func(c *NetMasterConfig) { c.DisableSpecialApps = true })
+
+	if full.EnergySavingVs(base) <= 0 {
+		t.Fatal("full NetMaster saves nothing")
+	}
+	// Disabling the duty cycle removes all wake windows.
+	if noDuty.WakeUps != 0 {
+		t.Errorf("duty disabled but %d wakes", noDuty.WakeUps)
+	}
+	// Disabling Special Apps can only increase wrong decisions.
+	if noSpecial.WrongDecisions < full.WrongDecisions {
+		t.Errorf("special-apps off reduced wrongs: %d < %d",
+			noSpecial.WrongDecisions, full.WrongDecisions)
+	}
+	// The scheduler-less variant still works (duty cycle handles all).
+	if noSched.EnergySavingVs(base) <= 0 {
+		t.Error("duty-cycle-only variant saves nothing")
+	}
+}
+
+func TestNetMasterDeterminism(t *testing.T) {
+	tr := evalTrace(t)
+	model := power.Model3G()
+	cfg := DefaultNetMasterConfig(model)
+	cfg.History = evalHistory(t)
+	nm, err := NewNetMaster(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p1, err := nm.Plan(tr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p2, err := nm.Plan(tr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(p1.Executions) != len(p2.Executions) {
+		t.Fatal("non-deterministic execution count")
+	}
+	for i := range p1.Executions {
+		if p1.Executions[i] != p2.Executions[i] {
+			t.Fatalf("execution %d differs", i)
+		}
+	}
+}
+
+func TestPolicyNames(t *testing.T) {
+	d, _ := NewDelay(30)
+	b, _ := NewBatch(5, 0)
+	o, _ := NewOracle(power.Model3G())
+	nm, _ := NewNetMaster(DefaultNetMasterConfig(power.Model3G()))
+	names := map[string]string{
+		(Baseline{}).Name(): "baseline",
+		d.Name():            "delay-30s",
+		b.Name():            "batch-5",
+		o.Name():            "oracle",
+		nm.Name():           "netmaster",
+	}
+	for got, want := range names {
+		if got != want {
+			t.Errorf("name %q, want %q", got, want)
+		}
+	}
+}
+
+func TestNetMasterSpecialPushesRideDutyCycle(t *testing.T) {
+	tr := evalTrace(t)
+	model := power.Model3G()
+	cfg := DefaultNetMasterConfig(model)
+	cfg.History = evalHistory(t)
+	nm, err := NewNetMaster(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	plan, err := nm.Plan(tr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// No special-app push is ever deferred beyond the duty cycle's
+	// backoff cap: slot deferral would show hour-scale delays.
+	maxDefer := cfg.DutyMaxSleep.Seconds() + cfg.DutyWakeWindow.Seconds() + 1
+	for _, e := range plan.Executions {
+		a := tr.Activities[e.Index]
+		if a.Kind != trace.KindPush || !plan.SpecialAppWhitelist[a.App] {
+			continue
+		}
+		if d := e.ExecStart.Sub(a.Start).Seconds(); d > maxDefer {
+			t.Fatalf("special push deferred %.0f s, beyond the duty cap %.0f", d, maxDefer)
+		}
+	}
+}
+
+func TestPoliciesOnDegenerateTraces(t *testing.T) {
+	model := power.Model3G()
+	oracle, _ := NewOracle(model)
+	d, _ := NewDelay(60)
+	b, _ := NewBatch(3, 0)
+	nm, _ := NewNetMaster(DefaultNetMasterConfig(model))
+	policies := []device.Policy{Baseline{}, oracle, d, b, nm}
+
+	cases := map[string]*trace.Trace{
+		"empty": {UserID: "empty", Days: 2},
+		"no sessions": func() *trace.Trace {
+			tr := &trace.Trace{UserID: "nosess", Days: 2}
+			tr.Activities = []trace.NetworkActivity{
+				{App: "a", Start: 100, Duration: 5, BytesDown: 100, Kind: trace.KindSync},
+				{App: "a", Start: 90000, Duration: 5, BytesDown: 100, Kind: trace.KindPush},
+			}
+			tr.Normalize()
+			return tr
+		}(),
+		"no activities": func() *trace.Trace {
+			tr := &trace.Trace{UserID: "noacts", Days: 2}
+			tr.Sessions = []trace.ScreenSession{
+				{Interval: simtime.Interval{Start: 100, End: 200}},
+			}
+			tr.Interactions = []trace.Interaction{{Time: 150, App: "a", WantsNetwork: true}}
+			tr.Normalize()
+			return tr
+		}(),
+	}
+	for name, tr := range cases {
+		if err := tr.Validate(); err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		for _, p := range policies {
+			m, err := device.Run(p, tr, model)
+			if err != nil {
+				t.Errorf("%s on %s: %v", p.Name(), name, err)
+				continue
+			}
+			if m.Radio.EnergyJ < 0 || m.Radio.RadioOnSecs < 0 {
+				t.Errorf("%s on %s: negative accounting %+v", p.Name(), name, m.Radio)
+			}
+		}
+	}
+}

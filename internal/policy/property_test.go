@@ -1,0 +1,145 @@
+package policy
+
+import (
+	"testing"
+	"testing/quick"
+
+	"netmaster/internal/device"
+	"netmaster/internal/power"
+	"netmaster/internal/simtime"
+	"netmaster/internal/synth"
+	"netmaster/internal/trace"
+)
+
+// randomSpecTrace builds a short trace from a randomized user spec, so
+// the policy invariants are exercised over diverse usage shapes, not just
+// the calibrated cohorts.
+func randomSpecTrace(seed int64) (*trace.Trace, error) {
+	spec := synth.EvalCohort()[int(uint64(seed)%3)]
+	spec.ID = "prop"
+	spec.Seed = seed
+	spec.DayJitter = 0.2 + float64(uint64(seed)%7)*0.1
+	spec.MeanSessionSecs = 10 + float64(uint64(seed)%5)*8
+	spec.InteractionsPerSession = 1 + float64(uint64(seed)%3)*0.5
+	return synth.Generate(spec, 4)
+}
+
+// TestAllPoliciesProduceValidPlans replays every policy over randomized
+// traces and requires structurally valid plans throughout.
+func TestAllPoliciesProduceValidPlans(t *testing.T) {
+	model := power.Model3G()
+	oracle, err := NewOracle(model)
+	if err != nil {
+		t.Fatal(err)
+	}
+	prop := func(seed int64) bool {
+		tr, err := randomSpecTrace(seed)
+		if err != nil {
+			return false
+		}
+		delay, err := NewDelay(simtime.Duration(1 + uint64(seed)%600))
+		if err != nil {
+			return false
+		}
+		batch, err := NewBatch(int(1+uint64(seed)%10), 0)
+		if err != nil {
+			return false
+		}
+		nmCfg := DefaultNetMasterConfig(model)
+		nm, err := NewNetMaster(nmCfg)
+		if err != nil {
+			return false
+		}
+		for _, p := range []device.Policy{Baseline{}, oracle, delay, batch, nm} {
+			plan, err := p.Plan(tr)
+			if err != nil {
+				t.Logf("seed %d: %s: %v", seed, p.Name(), err)
+				return false
+			}
+			if err := plan.Validate(); err != nil {
+				t.Logf("seed %d: %s: %v", seed, p.Name(), err)
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 25}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestEnergyOrderingProperty: on any trace, the oracle's energy never
+// exceeds the baseline's, and every policy's byte totals match the
+// baseline's (no transfer is dropped).
+func TestEnergyOrderingProperty(t *testing.T) {
+	model := power.Model3G()
+	oracle, err := NewOracle(model)
+	if err != nil {
+		t.Fatal(err)
+	}
+	prop := func(seed int64) bool {
+		tr, err := randomSpecTrace(seed)
+		if err != nil {
+			return false
+		}
+		base, err := device.Run(Baseline{}, tr, model)
+		if err != nil {
+			return false
+		}
+		om, err := device.Run(oracle, tr, model)
+		if err != nil {
+			return false
+		}
+		if om.Radio.EnergyJ > base.Radio.EnergyJ+1e-6 {
+			t.Logf("seed %d: oracle %v above baseline %v", seed, om.Radio.EnergyJ, base.Radio.EnergyJ)
+			return false
+		}
+		nm, err := NewNetMaster(DefaultNetMasterConfig(model))
+		if err != nil {
+			return false
+		}
+		nmm, err := device.Run(nm, tr, model)
+		if err != nil {
+			return false
+		}
+		// Byte conservation across policies.
+		if nmm.BytesDown != base.BytesDown || nmm.BytesUp != base.BytesUp ||
+			om.BytesDown != base.BytesDown || om.BytesUp != base.BytesUp {
+			t.Logf("seed %d: bytes differ", seed)
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 20}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestDelayDeferBoundProperty: no background transfer is deferred beyond
+// the configured interval, on any trace.
+func TestDelayDeferBoundProperty(t *testing.T) {
+	prop := func(seed int64, iv16 uint16) bool {
+		tr, err := randomSpecTrace(seed)
+		if err != nil {
+			return false
+		}
+		interval := simtime.Duration(iv16%600) + 1
+		d, err := NewDelay(interval)
+		if err != nil {
+			return false
+		}
+		plan, err := d.Plan(tr)
+		if err != nil {
+			return false
+		}
+		for _, e := range plan.Executions {
+			if e.ExecStart.Sub(tr.Activities[e.Index].Start) > interval {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 20}); err != nil {
+		t.Error(err)
+	}
+}

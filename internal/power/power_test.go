@@ -1,0 +1,342 @@
+package power
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"netmaster/internal/simtime"
+)
+
+func almost(a, b float64) bool { return math.Abs(a-b) < 1e-6 }
+
+func TestStockModelsValidate(t *testing.T) {
+	if err := Model3G().Validate(); err != nil {
+		t.Error(err)
+	}
+	if err := ModelLTE().Validate(); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestModelValidateRejections(t *testing.T) {
+	mutations := map[string]func(*Model){
+		"zero active power":   func(m *Model) { m.ActivePowerMW = 0 },
+		"tail count mismatch": func(m *Model) { m.PromoFromTail = m.PromoFromTail[:1] },
+		"negative tail":       func(m *Model) { m.Tails[0].Secs = -1 },
+		"negative promo":      func(m *Model) { m.PromoFromIdle.PowerMW = -1 },
+		"zero throughput":     func(m *Model) { m.DownBps = 0 },
+		"zero batch rate":     func(m *Model) { m.BatchBps = 0 },
+	}
+	for name, mutate := range mutations {
+		m := Model3G()
+		mutate(m)
+		if err := m.Validate(); err == nil {
+			t.Errorf("%s: Validate accepted an invalid model", name)
+		}
+	}
+}
+
+func TestPhaseEnergy(t *testing.T) {
+	p := Phase{Secs: 2, PowerMW: 550}
+	if !almost(p.Energy(), 1.1) {
+		t.Errorf("Energy = %v", p.Energy())
+	}
+}
+
+func TestTailAggregates(t *testing.T) {
+	m := Model3G()
+	if !almost(m.TailSecs(), 17) {
+		t.Errorf("TailSecs = %v", m.TailSecs())
+	}
+	// 5s·800mW + 12s·460mW = 4 + 5.52 = 9.52 J
+	if !almost(m.TailEnergy(), 9.52) {
+		t.Errorf("TailEnergy = %v", m.TailEnergy())
+	}
+}
+
+func TestStandaloneAndMarginalBurstEnergy(t *testing.T) {
+	m := Model3G()
+	// promo 1.1 + 10s·0.8 + tails 9.52 = 18.62 J
+	if !almost(m.StandaloneBurstEnergy(10), 18.62) {
+		t.Errorf("Standalone = %v", m.StandaloneBurstEnergy(10))
+	}
+	if !almost(m.MarginalBurstEnergy(10), 8) {
+		t.Errorf("Marginal = %v", m.MarginalBurstEnergy(10))
+	}
+	// SavedEnergy is exactly promo + tails, independent of duration.
+	if !almost(m.SavedEnergy(10), 10.62) || !almost(m.SavedEnergy(3), 10.62) {
+		t.Errorf("SavedEnergy = %v / %v", m.SavedEnergy(10), m.SavedEnergy(3))
+	}
+}
+
+func TestTransferSecs(t *testing.T) {
+	m := Model3G()
+	if got := m.TransferSecs(350*1024, 0); !almost(got, 1) {
+		t.Errorf("TransferSecs(350KB down) = %v", got)
+	}
+	if got := m.TransferSecs(1, 1); !almost(got, 0.25) {
+		t.Errorf("minimum transfer time = %v", got)
+	}
+}
+
+func TestCompactDuration(t *testing.T) {
+	m := Model3G() // BatchBps = 6 KiB/s
+	if got := m.CompactDuration(6 * 1024); got != 1 {
+		t.Errorf("CompactDuration(6KiB) = %v", got)
+	}
+	if got := m.CompactDuration(13 * 1024); got != 3 {
+		t.Errorf("CompactDuration(13KiB) = %v", got)
+	}
+	if got := m.CompactDuration(0); got != 1 {
+		t.Errorf("CompactDuration(0) = %v", got)
+	}
+}
+
+func TestEnergyOfBurstsSingle(t *testing.T) {
+	m := Model3G()
+	res := m.EnergyOfBursts([]simtime.Interval{{Start: 100, End: 110}})
+	if !almost(res.EnergyJ, 18.62) {
+		t.Errorf("single burst energy = %v", res.EnergyJ)
+	}
+	if !almost(res.RadioOnSecs, 2+10+17) {
+		t.Errorf("radio-on = %v", res.RadioOnSecs)
+	}
+	if res.Promotions != 1 || res.TailPromotions != 0 {
+		t.Errorf("promotions = %d/%d", res.Promotions, res.TailPromotions)
+	}
+}
+
+func TestEnergyOfBurstsTailBridging(t *testing.T) {
+	m := Model3G()
+	// Second burst 3 s after the first: still in the DCH tail, no
+	// promotion; the tail between them is cut short at 3 s.
+	res := m.EnergyOfBursts([]simtime.Interval{
+		{Start: 0, End: 10},
+		{Start: 13, End: 20},
+	})
+	if res.Promotions != 1 {
+		t.Errorf("promotions = %d, want 1 (tail bridged)", res.Promotions)
+	}
+	// promo 1.1 + 17s active ·0.8 + 3s DCH tail ·0.8 + full tail 9.52
+	want := 1.1 + 17*0.8 + 3*0.8 + 9.52
+	if !almost(res.EnergyJ, want) {
+		t.Errorf("energy = %v, want %v", res.EnergyJ, want)
+	}
+}
+
+func TestEnergyOfBurstsFachPromotion(t *testing.T) {
+	m := Model3G()
+	// Gap of 10 s lands inside the FACH tail (5 < 10 < 17): the second
+	// burst pays the FACH→DCH promotion.
+	res := m.EnergyOfBursts([]simtime.Interval{
+		{Start: 0, End: 10},
+		{Start: 20, End: 25},
+	})
+	if res.Promotions != 1 || res.TailPromotions != 1 {
+		t.Errorf("promotions = %d idle, %d tail; want 1, 1", res.Promotions, res.TailPromotions)
+	}
+}
+
+func TestEnergyOfBurstsFullGap(t *testing.T) {
+	m := Model3G()
+	// Gap of 100 s: full tail rides out, second burst pays a full
+	// promotion. Total = 2 × standalone.
+	res := m.EnergyOfBursts([]simtime.Interval{
+		{Start: 0, End: 10},
+		{Start: 110, End: 120},
+	})
+	if !almost(res.EnergyJ, 2*m.StandaloneBurstEnergy(10)) {
+		t.Errorf("energy = %v, want %v", res.EnergyJ, 2*m.StandaloneBurstEnergy(10))
+	}
+	if res.Promotions != 2 {
+		t.Errorf("promotions = %d", res.Promotions)
+	}
+}
+
+func TestEnergyOfBurstsMergesOverlaps(t *testing.T) {
+	m := Model3G()
+	merged := m.EnergyOfBursts([]simtime.Interval{
+		{Start: 0, End: 10},
+		{Start: 5, End: 15},
+	})
+	single := m.EnergyOfBursts([]simtime.Interval{{Start: 0, End: 15}})
+	if !almost(merged.EnergyJ, single.EnergyJ) {
+		t.Errorf("overlapping bursts: %v, want %v", merged.EnergyJ, single.EnergyJ)
+	}
+}
+
+func TestEnergyOfTimelineTailCut(t *testing.T) {
+	m := Model3G()
+	full := m.EnergyOfTimeline([]Burst{{Interval: simtime.Interval{Start: 0, End: 10}, TailCutSecs: FullTail}})
+	cut := m.EnergyOfTimeline([]Burst{{Interval: simtime.Interval{Start: 0, End: 10}, TailCutSecs: 0}})
+	if !almost(full.EnergyJ, 18.62) {
+		t.Errorf("full tail = %v", full.EnergyJ)
+	}
+	// Cutting immediately removes the whole 9.52 J tail.
+	if !almost(cut.EnergyJ, 18.62-9.52) {
+		t.Errorf("cut tail = %v", cut.EnergyJ)
+	}
+	// A 1-second allowance keeps 1 s of DCH tail.
+	one := m.EnergyOfTimeline([]Burst{{Interval: simtime.Interval{Start: 0, End: 10}, TailCutSecs: 1}})
+	if !almost(one.EnergyJ, 18.62-9.52+0.8) {
+		t.Errorf("1s tail = %v", one.EnergyJ)
+	}
+}
+
+func TestTailCutForcesPromotion(t *testing.T) {
+	m := Model3G()
+	// With the tail cut at 0, a burst 3 s later must pay a full idle
+	// promotion even though 3 s is inside the natural DCH tail.
+	res := m.EnergyOfTimeline([]Burst{
+		{Interval: simtime.Interval{Start: 0, End: 10}, TailCutSecs: 0},
+		{Interval: simtime.Interval{Start: 13, End: 20}, TailCutSecs: 0},
+	})
+	if res.Promotions != 2 {
+		t.Errorf("promotions = %d, want 2 (cut forced idle)", res.Promotions)
+	}
+}
+
+func TestMergeBurstsKeepsPermissiveTail(t *testing.T) {
+	m := Model3G()
+	// Overlapping bursts, one with full tail: the merged burst keeps
+	// the permissive tail.
+	res := m.EnergyOfTimeline([]Burst{
+		{Interval: simtime.Interval{Start: 0, End: 10}, TailCutSecs: 0},
+		{Interval: simtime.Interval{Start: 5, End: 12}, TailCutSecs: FullTail},
+	})
+	want := m.EnergyOfBursts([]simtime.Interval{{Start: 0, End: 12}})
+	if !almost(res.EnergyJ, want.EnergyJ) {
+		t.Errorf("merged energy = %v, want %v", res.EnergyJ, want.EnergyJ)
+	}
+}
+
+func TestIdleEnergy(t *testing.T) {
+	m := Model3G()
+	// 100 s horizon, 40 s radio-on → 60 s idle at 10 mW = 0.6 J.
+	if got := m.IdleEnergy(100, 40); !almost(got, 0.6) {
+		t.Errorf("IdleEnergy = %v", got)
+	}
+	if got := m.IdleEnergy(10, 40); got != 0 {
+		t.Errorf("over-busy idle energy = %v", got)
+	}
+}
+
+func TestResultAdd(t *testing.T) {
+	a := Result{EnergyJ: 1, RadioOnSecs: 2, ActiveSecs: 3, PromoEnergyJ: 4, ActiveEnergyJ: 5, TailEnergyJ: 6, Promotions: 7, TailPromotions: 8}
+	b := a
+	a.Add(b)
+	if a.EnergyJ != 2 || a.Promotions != 14 || a.TailEnergyJ != 12 {
+		t.Errorf("Add = %+v", a)
+	}
+}
+
+// Property: batching bursts together never increases total energy
+// relative to spreading them far apart (the core premise of NetMaster).
+func TestBatchingNeverWorseProperty(t *testing.T) {
+	m := Model3G()
+	prop := func(durs [5]uint8) bool {
+		var batched, spread []simtime.Interval
+		cursor := simtime.Instant(0)
+		far := simtime.Instant(0)
+		for _, d := range durs {
+			dur := simtime.Duration(d%30) + 1
+			batched = append(batched, simtime.Interval{Start: cursor, End: cursor.Add(dur)})
+			cursor = cursor.Add(dur)
+			spread = append(spread, simtime.Interval{Start: far, End: far.Add(dur)})
+			far = far.Add(dur + 1000) // beyond the full tail
+		}
+		eb := m.EnergyOfBursts(batched).EnergyJ
+		es := m.EnergyOfBursts(spread).EnergyJ
+		return eb <= es+1e-9
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: energy and radio-on time are non-negative and consistent for
+// arbitrary burst sets, and cutting tails never increases energy.
+func TestTailCutMonotoneProperty(t *testing.T) {
+	m := Model3G()
+	prop := func(raw [6]uint16, cut8 uint8) bool {
+		var bursts []Burst
+		cursor := simtime.Instant(0)
+		for _, r := range raw {
+			gap := simtime.Duration(r % 300)
+			dur := simtime.Duration(r%20) + 1
+			cursor = cursor.Add(gap)
+			bursts = append(bursts, Burst{
+				Interval:    simtime.Interval{Start: cursor, End: cursor.Add(dur)},
+				TailCutSecs: FullTail,
+			})
+			cursor = cursor.Add(dur)
+		}
+		full := m.EnergyOfTimeline(bursts)
+		cutSecs := float64(cut8 % 18)
+		cutBursts := make([]Burst, len(bursts))
+		for i, b := range bursts {
+			b.TailCutSecs = cutSecs
+			cutBursts[i] = b
+		}
+		cut := m.EnergyOfTimeline(cutBursts)
+		if full.EnergyJ < 0 || full.RadioOnSecs < 0 {
+			return false
+		}
+		// Cutting tails saves tail energy but may add promotions; the
+		// invariant that must always hold is tail energy monotonicity.
+		return cut.TailEnergyJ <= full.TailEnergyJ+1e-9
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestLTEModelValues(t *testing.T) {
+	m := ModelLTE()
+	// Huang et al. constants: promotion 0.26 s @ 1210 mW, one 11.6 s
+	// tail @ 1060 mW.
+	if !almost(m.PromoFromIdle.Energy(), 0.26*1.21) {
+		t.Errorf("LTE promotion energy = %v", m.PromoFromIdle.Energy())
+	}
+	if !almost(m.TailEnergy(), 11.6*1.06) {
+		t.Errorf("LTE tail energy = %v", m.TailEnergy())
+	}
+	// A short burst on LTE costs more than on 3G: hotter tail.
+	if ModelLTE().StandaloneBurstEnergy(2) <= Model3G().StandaloneBurstEnergy(2) {
+		t.Error("LTE short-burst cost should exceed 3G's")
+	}
+}
+
+func TestTimelineSegmentAdditivity(t *testing.T) {
+	// Two burst groups separated far beyond any tail must cost exactly
+	// the sum of the groups computed independently.
+	m := Model3G()
+	g1 := []simtime.Interval{{Start: 0, End: 5}, {Start: 8, End: 12}}
+	g2 := []simtime.Interval{{Start: 10000, End: 10007}}
+	whole := m.EnergyOfBursts(append(append([]simtime.Interval{}, g1...), g2...))
+	split := m.EnergyOfBursts(g1).EnergyJ + m.EnergyOfBursts(g2).EnergyJ
+	if !almost(whole.EnergyJ, split) {
+		t.Errorf("segment additivity broken: %v vs %v", whole.EnergyJ, split)
+	}
+}
+
+func TestPromotionAfterGapExported(t *testing.T) {
+	m := Model3G()
+	p, fromIdle := m.PromotionAfterGap(3)
+	if fromIdle || p.Secs != 0 {
+		t.Errorf("3s gap: %+v fromIdle=%v, want free DCH", p, fromIdle)
+	}
+	p, fromIdle = m.PromotionAfterGap(10)
+	if fromIdle || !almost(p.Secs, 1.5) {
+		t.Errorf("10s gap: %+v fromIdle=%v, want FACH promo", p, fromIdle)
+	}
+	p, fromIdle = m.PromotionAfterGap(100)
+	if !fromIdle || !almost(p.Secs, 2.0) {
+		t.Errorf("100s gap: %+v fromIdle=%v, want idle promo", p, fromIdle)
+	}
+	secs, energy := m.TailUntil(6)
+	if !almost(secs, 6) || !almost(energy, 5*0.8+1*0.46) {
+		t.Errorf("TailUntil(6) = %v s, %v J", secs, energy)
+	}
+}

@@ -1,0 +1,119 @@
+// Timeline accounting with policy-driven radio switching. NetMaster's
+// scheduling component drives the data switch directly ("svc data
+// disable"), which drops the radio to idle without riding the full
+// inactivity tails. A Burst therefore carries a tail allowance: how many
+// seconds of tail the policy permits after the transfer before it forces
+// the radio off.
+package power
+
+import (
+	"math"
+	"sort"
+
+	"netmaster/internal/simtime"
+)
+
+// Burst is one radio-active transfer period with a tail policy.
+type Burst struct {
+	Interval simtime.Interval
+	// TailCutSecs bounds the tail after this burst: +Inf rides the full
+	// inactivity timers (the OS default), 0 forces the radio off
+	// immediately, and a small positive value models the latency of the
+	// disable command.
+	TailCutSecs float64
+}
+
+// FullTail is the default tail allowance: ride the model's inactivity
+// timers to completion.
+const FullTail = math.MaxFloat64
+
+// EnergyOfTimeline runs the RRC machine over a burst sequence honouring
+// per-burst tail cuts. Bursts are sorted and overlapping actives merged
+// (concurrent transfers share the radio; a merged burst keeps the most
+// permissive tail allowance among its members, since the radio can only be
+// forced off once every owner has finished).
+func (m *Model) EnergyOfTimeline(bursts []Burst) Result {
+	merged := mergeBursts(bursts)
+	var res Result
+	for i, b := range merged {
+		activeSecs := b.Interval.Len().Seconds()
+		res.ActiveSecs += activeSecs
+		res.ActiveEnergyJ += activeSecs * m.ActivePowerMW / 1000
+		res.RadioOnSecs += activeSecs
+
+		if i == 0 {
+			res.PromoEnergyJ += m.PromoFromIdle.Energy()
+			res.RadioOnSecs += m.PromoFromIdle.Secs
+			res.Promotions++
+		} else {
+			prev := merged[i-1]
+			gap := b.Interval.Start.Sub(prev.Interval.End).Seconds()
+			var promo Phase
+			var fromIdle, inTail bool
+			if gap >= prev.TailCutSecs {
+				// The policy forced the radio off before this
+				// burst arrived: full promotion.
+				promo, fromIdle = m.PromoFromIdle, true
+			} else {
+				promo, fromIdle, inTail = m.promotionAfterGap(gap)
+			}
+			res.PromoEnergyJ += promo.Energy()
+			res.RadioOnSecs += promo.Secs
+			if fromIdle {
+				res.Promotions++
+			} else if inTail && promo.Secs > 0 {
+				res.TailPromotions++
+			}
+		}
+
+		gap := math.Inf(1)
+		if i+1 < len(merged) {
+			gap = merged[i+1].Interval.Start.Sub(b.Interval.End).Seconds()
+		}
+		allowance := gap
+		if b.TailCutSecs < allowance {
+			allowance = b.TailCutSecs
+		}
+		tailSecs, tailEnergy := m.tailUntil(allowance)
+		res.TailEnergyJ += tailEnergy
+		res.RadioOnSecs += tailSecs
+	}
+	res.EnergyJ = res.PromoEnergyJ + res.ActiveEnergyJ + res.TailEnergyJ
+	return res
+}
+
+// mergeBursts sorts bursts by start and merges overlapping or touching
+// active intervals, keeping the largest tail allowance of the merged
+// members.
+func mergeBursts(bursts []Burst) []Burst {
+	nonEmpty := make([]Burst, 0, len(bursts))
+	for _, b := range bursts {
+		if !b.Interval.IsEmpty() {
+			nonEmpty = append(nonEmpty, b)
+		}
+	}
+	if len(nonEmpty) == 0 {
+		return nil
+	}
+	sort.Slice(nonEmpty, func(i, j int) bool {
+		if nonEmpty[i].Interval.Start != nonEmpty[j].Interval.Start {
+			return nonEmpty[i].Interval.Start < nonEmpty[j].Interval.Start
+		}
+		return nonEmpty[i].Interval.End < nonEmpty[j].Interval.End
+	})
+	out := []Burst{nonEmpty[0]}
+	for _, b := range nonEmpty[1:] {
+		last := &out[len(out)-1]
+		if b.Interval.Start <= last.Interval.End {
+			if b.Interval.End > last.Interval.End {
+				last.Interval.End = b.Interval.End
+			}
+			if b.TailCutSecs > last.TailCutSecs {
+				last.TailCutSecs = b.TailCutSecs
+			}
+		} else {
+			out = append(out, b)
+		}
+	}
+	return out
+}

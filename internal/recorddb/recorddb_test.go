@@ -1,0 +1,134 @@
+package recorddb
+
+import (
+	"sync"
+	"testing"
+
+	"netmaster/internal/simtime"
+)
+
+func TestOpenValidation(t *testing.T) {
+	if _, err := Open(Config{CacheBytes: -1}); err == nil {
+		t.Error("negative cache budget accepted")
+	}
+	db, err := Open(DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if db.Len() != 0 {
+		t.Error("fresh DB not empty")
+	}
+}
+
+func TestAppendAndQuery(t *testing.T) {
+	db, _ := Open(DefaultConfig())
+	db.Append(Record{Time: 10, Feature: FeatureScreen, Value: 1})
+	db.Append(Record{Time: 20, Feature: FeatureNetwork, App: "chat", Value: 512})
+	db.Append(Record{Time: 30, Feature: FeatureScreen, Value: 0})
+	db.Append(Record{Time: 25, Feature: FeatureNetwork, App: "chat", Value: 256, Up: true})
+
+	screens := db.Query(0, 100, FeatureScreen)
+	if len(screens) != 2 || screens[0].Value != 1 || screens[1].Value != 0 {
+		t.Errorf("screen query = %+v", screens)
+	}
+	nets := db.Query(0, 100, FeatureNetwork)
+	if len(nets) != 2 || nets[0].Time != 20 || nets[1].Time != 25 {
+		t.Errorf("network query unsorted: %+v", nets)
+	}
+	// Range bounds are half-open.
+	if got := db.Query(10, 30, FeatureScreen); len(got) != 1 {
+		t.Errorf("half-open query = %+v", got)
+	}
+}
+
+func TestQueryReadsCacheBeforeFlush(t *testing.T) {
+	db, _ := Open(Config{CacheBytes: 1 << 20})
+	db.Append(Record{Time: 5, Feature: FeatureInteraction, App: "chat", Value: 1})
+	if s := db.Stats(); s.Flushes != 0 || s.CachedNow != 1 {
+		t.Fatalf("unexpected stats %+v", s)
+	}
+	if got := db.Query(0, 10, FeatureInteraction); len(got) != 1 {
+		t.Error("cached record not visible to Query")
+	}
+}
+
+func TestFlushOnBudgetOverflow(t *testing.T) {
+	// Budget of ~10 records.
+	db, _ := Open(Config{CacheBytes: 10 * approxSize})
+	for i := 0; i < 25; i++ {
+		db.Append(Record{Time: simtime.Instant(i), Feature: FeatureNetwork, Value: 1})
+	}
+	s := db.Stats()
+	if s.Flushes < 2 {
+		t.Errorf("expected at least 2 flushes, got %d", s.Flushes)
+	}
+	if s.Appended != 25 || s.StoredNow+s.CachedNow != 25 {
+		t.Errorf("record accounting wrong: %+v", s)
+	}
+}
+
+func TestExplicitFlush(t *testing.T) {
+	db, _ := Open(DefaultConfig())
+	db.Append(Record{Time: 1, Feature: FeatureScreen, Value: 1})
+	db.Flush()
+	s := db.Stats()
+	if s.Flushes != 1 || s.CachedNow != 0 || s.StoredNow != 1 {
+		t.Errorf("flush stats = %+v", s)
+	}
+	db.Flush() // flushing an empty cache is a no-op
+	if db.Stats().Flushes != 1 {
+		t.Error("empty flush counted")
+	}
+}
+
+func TestAllMergesStoreAndCache(t *testing.T) {
+	db, _ := Open(Config{CacheBytes: 2 * approxSize})
+	for i := 5; i > 0; i-- {
+		db.Append(Record{Time: simtime.Instant(i), Feature: FeatureApp, App: "x", Value: 1})
+	}
+	all := db.All()
+	if len(all) != 5 {
+		t.Fatalf("All = %d records", len(all))
+	}
+	for i := 1; i < len(all); i++ {
+		if all[i].Time < all[i-1].Time {
+			t.Error("All not time-sorted")
+		}
+	}
+}
+
+func TestFeatureString(t *testing.T) {
+	if FeatureScreen.String() != "screen" || FeatureNetwork.String() != "network" ||
+		FeatureApp.String() != "app" || FeatureInteraction.String() != "interaction" {
+		t.Error("feature names wrong")
+	}
+	if Feature(42).String() == "" {
+		t.Error("unknown feature should still render")
+	}
+}
+
+func TestConcurrentAppends(t *testing.T) {
+	db, _ := Open(Config{CacheBytes: 50 * approxSize})
+	var wg sync.WaitGroup
+	const writers, perWriter = 8, 200
+	for w := 0; w < writers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < perWriter; i++ {
+				db.Append(Record{
+					Time:    simtime.Instant(w*perWriter + i),
+					Feature: FeatureNetwork,
+					Value:   int64(i),
+				})
+			}
+		}(w)
+	}
+	wg.Wait()
+	if db.Len() != writers*perWriter {
+		t.Errorf("lost records: %d of %d", db.Len(), writers*perWriter)
+	}
+	if got := len(db.Query(0, 1<<40, FeatureNetwork)); got != writers*perWriter {
+		t.Errorf("query found %d", got)
+	}
+}

@@ -1,0 +1,151 @@
+// Package report renders experiment output as aligned text tables and
+// CSV, so every figure of the paper can be regenerated as a data series
+// from the command line.
+package report
+
+import (
+	"fmt"
+	"io"
+	"strings"
+	"text/tabwriter"
+)
+
+// Table accumulates rows and renders them aligned.
+type Table struct {
+	Title   string
+	Headers []string
+	rows    [][]string
+}
+
+// NewTable builds a table with a title and column headers.
+func NewTable(title string, headers ...string) *Table {
+	return &Table{Title: title, Headers: headers}
+}
+
+// AddRow appends a row; values are formatted with %v, floats with
+// 4 significant digits.
+func (t *Table) AddRow(cells ...interface{}) {
+	row := make([]string, len(cells))
+	for i, c := range cells {
+		row[i] = formatCell(c)
+	}
+	t.rows = append(t.rows, row)
+}
+
+func formatCell(c interface{}) string {
+	switch v := c.(type) {
+	case float64:
+		return fmt.Sprintf("%.4g", v)
+	case float32:
+		return fmt.Sprintf("%.4g", v)
+	case string:
+		return v
+	default:
+		return fmt.Sprint(v)
+	}
+}
+
+// NumRows returns the number of data rows.
+func (t *Table) NumRows() int { return len(t.rows) }
+
+// Render writes the table to w.
+func (t *Table) Render(w io.Writer) error {
+	if t.Title != "" {
+		if _, err := fmt.Fprintf(w, "\n== %s ==\n", t.Title); err != nil {
+			return err
+		}
+	}
+	tw := tabwriter.NewWriter(w, 2, 4, 2, ' ', 0)
+	if len(t.Headers) > 0 {
+		if _, err := fmt.Fprintln(tw, strings.Join(t.Headers, "\t")); err != nil {
+			return err
+		}
+		seps := make([]string, len(t.Headers))
+		for i, h := range t.Headers {
+			seps[i] = strings.Repeat("-", len(h))
+		}
+		if _, err := fmt.Fprintln(tw, strings.Join(seps, "\t")); err != nil {
+			return err
+		}
+	}
+	for _, row := range t.rows {
+		if _, err := fmt.Fprintln(tw, strings.Join(row, "\t")); err != nil {
+			return err
+		}
+	}
+	return tw.Flush()
+}
+
+// RenderCSV writes the table as CSV (no title).
+func (t *Table) RenderCSV(w io.Writer) error {
+	writeLine := func(cells []string) error {
+		escaped := make([]string, len(cells))
+		for i, c := range cells {
+			if strings.ContainsAny(c, ",\"\n") {
+				c = "\"" + strings.ReplaceAll(c, "\"", "\"\"") + "\""
+			}
+			escaped[i] = c
+		}
+		_, err := fmt.Fprintln(w, strings.Join(escaped, ","))
+		return err
+	}
+	if len(t.Headers) > 0 {
+		if err := writeLine(t.Headers); err != nil {
+			return err
+		}
+	}
+	for _, row := range t.rows {
+		if err := writeLine(row); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Percent formats a fraction as a percentage string.
+func Percent(f float64) string { return fmt.Sprintf("%.1f%%", f*100) }
+
+// Series renders an (x, y) data series compactly for figure output.
+func Series(w io.Writer, name string, xs, ys []float64) error {
+	if _, err := fmt.Fprintf(w, "%s:", name); err != nil {
+		return err
+	}
+	n := len(xs)
+	if len(ys) < n {
+		n = len(ys)
+	}
+	for i := 0; i < n; i++ {
+		if _, err := fmt.Fprintf(w, " (%.4g, %.4g)", xs[i], ys[i]); err != nil {
+			return err
+		}
+	}
+	_, err := fmt.Fprintln(w)
+	return err
+}
+
+// Matrix renders a labelled square matrix with 3-decimal entries.
+func Matrix(w io.Writer, title string, labels []string, m [][]float64) error {
+	if _, err := fmt.Fprintf(w, "\n== %s ==\n", title); err != nil {
+		return err
+	}
+	tw := tabwriter.NewWriter(w, 2, 4, 2, ' ', 0)
+	header := append([]string{""}, labels...)
+	if _, err := fmt.Fprintln(tw, strings.Join(header, "\t")); err != nil {
+		return err
+	}
+	for i, row := range m {
+		cells := make([]string, 0, len(row)+1)
+		label := fmt.Sprint(i + 1)
+		if i < len(labels) {
+			label = labels[i]
+		}
+		cells = append(cells, label)
+		for _, v := range row {
+			cells = append(cells, fmt.Sprintf("%.3f", v))
+		}
+		if _, err := fmt.Fprintln(tw, strings.Join(cells, "\t")); err != nil {
+			return err
+		}
+	}
+	return tw.Flush()
+}

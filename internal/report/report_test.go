@@ -1,0 +1,143 @@
+package report
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestTableRender(t *testing.T) {
+	tbl := NewTable("Demo", "name", "value")
+	tbl.AddRow("alpha", 1.23456)
+	tbl.AddRow("beta", 42)
+	tbl.AddRow("gamma", "literal")
+	if tbl.NumRows() != 3 {
+		t.Fatalf("NumRows = %d", tbl.NumRows())
+	}
+	var sb strings.Builder
+	if err := tbl.Render(&sb); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	for _, want := range []string{"== Demo ==", "name", "value", "alpha", "1.235", "42", "literal", "----"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("render missing %q in:\n%s", want, out)
+		}
+	}
+}
+
+func TestTableRenderNoTitle(t *testing.T) {
+	tbl := NewTable("", "a")
+	tbl.AddRow(1)
+	var sb strings.Builder
+	if err := tbl.Render(&sb); err != nil {
+		t.Fatal(err)
+	}
+	if strings.Contains(sb.String(), "==") {
+		t.Error("untitled table rendered a title bar")
+	}
+}
+
+func TestRenderCSV(t *testing.T) {
+	tbl := NewTable("ignored", "k", "v")
+	tbl.AddRow("plain", 1)
+	tbl.AddRow("with,comma", 2)
+	tbl.AddRow(`with"quote`, 3)
+	var sb strings.Builder
+	if err := tbl.RenderCSV(&sb); err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSpace(sb.String()), "\n")
+	if len(lines) != 4 {
+		t.Fatalf("csv lines = %d", len(lines))
+	}
+	if lines[0] != "k,v" {
+		t.Errorf("header = %q", lines[0])
+	}
+	if lines[2] != `"with,comma",2` {
+		t.Errorf("escaped comma = %q", lines[2])
+	}
+	if lines[3] != `"with""quote",3` {
+		t.Errorf("escaped quote = %q", lines[3])
+	}
+}
+
+func TestPercent(t *testing.T) {
+	if Percent(0.778) != "77.8%" {
+		t.Errorf("Percent = %q", Percent(0.778))
+	}
+}
+
+func TestSeries(t *testing.T) {
+	var sb strings.Builder
+	if err := Series(&sb, "s", []float64{1, 2}, []float64{0.1, 0.2}); err != nil {
+		t.Fatal(err)
+	}
+	if got := sb.String(); got != "s: (1, 0.1) (2, 0.2)\n" {
+		t.Errorf("Series = %q", got)
+	}
+	// Mismatched lengths truncate to the shorter.
+	sb.Reset()
+	if err := Series(&sb, "s", []float64{1, 2, 3}, []float64{9}); err != nil {
+		t.Fatal(err)
+	}
+	if got := sb.String(); got != "s: (1, 9)\n" {
+		t.Errorf("truncated Series = %q", got)
+	}
+}
+
+func TestMatrix(t *testing.T) {
+	var sb strings.Builder
+	err := Matrix(&sb, "M", []string{"a", "b"}, [][]float64{{1, 0.5}, {0.5, 1}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	for _, want := range []string{"== M ==", "a", "b", "1.000", "0.500"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("matrix missing %q in:\n%s", want, out)
+		}
+	}
+}
+
+func TestTableNoHeaders(t *testing.T) {
+	tbl := NewTable("t")
+	tbl.AddRow("a", "b")
+	var sb strings.Builder
+	if err := tbl.Render(&sb); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(sb.String(), "a") {
+		t.Error("row missing")
+	}
+	sb.Reset()
+	if err := tbl.RenderCSV(&sb); err != nil {
+		t.Fatal(err)
+	}
+	if strings.TrimSpace(sb.String()) != "a,b" {
+		t.Errorf("csv = %q", sb.String())
+	}
+}
+
+func TestMatrixLabelFallback(t *testing.T) {
+	var sb strings.Builder
+	// Only one label for a 2x2 matrix: the second row falls back to its
+	// index.
+	if err := Matrix(&sb, "m", []string{"only"}, [][]float64{{1, 0}, {0, 1}}); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(sb.String(), "2") {
+		t.Errorf("fallback label missing: %q", sb.String())
+	}
+}
+
+func TestFloat32Cell(t *testing.T) {
+	tbl := NewTable("", "v")
+	tbl.AddRow(float32(1.5))
+	var sb strings.Builder
+	if err := tbl.RenderCSV(&sb); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(sb.String(), "1.5") {
+		t.Errorf("float32 cell = %q", sb.String())
+	}
+}

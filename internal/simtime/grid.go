@@ -1,0 +1,81 @@
+// Slot grids: uniform partitions of a trace horizon into fixed-width time
+// slots. The habit miner predicts at hour granularity but the scheduler
+// and simulator work on finer grids, so the grid type is parameterised by
+// slot width.
+package simtime
+
+import "fmt"
+
+// Grid is a uniform partition of [0, Horizon) into slots of width Width.
+// The final slot may be truncated if Width does not divide Horizon.
+type Grid struct {
+	Width   Duration
+	Horizon Duration
+}
+
+// NewGrid builds a grid; width must be positive and horizon non-negative.
+func NewGrid(width, horizon Duration) Grid {
+	if width <= 0 {
+		panic(fmt.Sprintf("simtime: non-positive grid width %v", width))
+	}
+	if horizon < 0 {
+		panic(fmt.Sprintf("simtime: negative grid horizon %v", horizon))
+	}
+	return Grid{Width: width, Horizon: horizon}
+}
+
+// NumSlots returns the number of slots in the grid, counting a truncated
+// final slot.
+func (g Grid) NumSlots() int {
+	if g.Horizon == 0 {
+		return 0
+	}
+	return int((int64(g.Horizon) + int64(g.Width) - 1) / int64(g.Width))
+}
+
+// SlotOf returns the index of the slot containing t, or -1 if t lies
+// outside [0, Horizon).
+func (g Grid) SlotOf(t Instant) int {
+	if t < 0 || Duration(t) >= g.Horizon {
+		return -1
+	}
+	return int(int64(t) / int64(g.Width))
+}
+
+// SlotInterval returns the half-open interval of slot i. It panics if i is
+// out of range.
+func (g Grid) SlotInterval(i int) Interval {
+	n := g.NumSlots()
+	if i < 0 || i >= n {
+		panic(fmt.Sprintf("simtime: slot %d out of range [0, %d)", i, n))
+	}
+	start := Instant(int64(i) * int64(g.Width))
+	end := start.Add(g.Width)
+	if Duration(end) > g.Horizon {
+		end = Instant(g.Horizon)
+	}
+	return Interval{Start: start, End: end}
+}
+
+// SlotsOverlapping returns the slot index range [first, last] whose
+// intervals overlap iv, or (-1, -1) when none do.
+func (g Grid) SlotsOverlapping(iv Interval) (first, last int) {
+	if iv.IsEmpty() || Duration(iv.Start) >= g.Horizon || iv.End <= 0 {
+		return -1, -1
+	}
+	start := iv.Start
+	if start < 0 {
+		start = 0
+	}
+	end := iv.End
+	if Duration(end) > g.Horizon {
+		end = Instant(g.Horizon)
+	}
+	first = int(int64(start) / int64(g.Width))
+	last = int((int64(end) - 1) / int64(g.Width))
+	return first, last
+}
+
+// DayGrid returns the 24-slot hour grid of a single day, the granularity
+// used for habit intensity vectors.
+func DayGrid() Grid { return Grid{Width: Hour, Horizon: Day} }

@@ -1,0 +1,356 @@
+// Trace generation: turns a UserSpec into a deterministic, seeded
+// synthetic trace.
+package synth
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"sort"
+
+	"netmaster/internal/simtime"
+	"netmaster/internal/trace"
+)
+
+// Generate produces a trace of the given number of days for one user
+// spec. The same spec and day count always produce the identical trace.
+func Generate(spec UserSpec, days int) (*trace.Trace, error) {
+	if err := spec.Validate(); err != nil {
+		return nil, err
+	}
+	if days <= 0 {
+		return nil, fmt.Errorf("synth: non-positive day count %d", days)
+	}
+	g := &generator{
+		spec: spec,
+		rng:  rand.New(rand.NewSource(spec.Seed)),
+		out: &trace.Trace{
+			UserID: spec.ID,
+			Days:   days,
+		},
+	}
+	for _, a := range spec.Apps {
+		g.out.InstalledApps = append(g.out.InstalledApps, a.ID)
+	}
+	for day := 0; day < days; day++ {
+		g.generateDay(day)
+	}
+	g.out.Normalize()
+	if err := g.out.Validate(); err != nil {
+		return nil, fmt.Errorf("synth: generated invalid trace: %w", err)
+	}
+	return g.out, nil
+}
+
+// GenerateCohort generates one trace per spec.
+func GenerateCohort(specs []UserSpec, days int) ([]*trace.Trace, error) {
+	out := make([]*trace.Trace, len(specs))
+	for i, s := range specs {
+		t, err := Generate(s, days)
+		if err != nil {
+			return nil, err
+		}
+		out[i] = t
+	}
+	return out, nil
+}
+
+type generator struct {
+	spec UserSpec
+	rng  *rand.Rand
+	out  *trace.Trace
+}
+
+// poisson draws from Poisson(lambda) with Knuth's product method; lambda
+// up to a few tens, as used here, is well within its numeric range.
+func (g *generator) poisson(lambda float64) int {
+	if lambda <= 0 {
+		return 0
+	}
+	l := math.Exp(-lambda)
+	k := 0
+	p := 1.0
+	for {
+		p *= g.rng.Float64()
+		if p <= l {
+			return k
+		}
+		k++
+		if k > 10000 {
+			return k // unreachable for sane lambda; guards infinite loops
+		}
+	}
+}
+
+// lognormal draws a positive value with the given mean and log-space
+// sigma.
+func (g *generator) lognormal(mean, sigma float64) float64 {
+	if mean <= 0 {
+		return 0
+	}
+	return mean * math.Exp(sigma*g.rng.NormFloat64()-sigma*sigma/2)
+}
+
+// dayProfile returns the hourly session rates for a day, after applying
+// the per-day lognormal jitter that controls intra-user regularity.
+func (g *generator) dayProfile(day int) [24]float64 {
+	base := g.spec.WeekdayProfile
+	if simtime.At(day, 0, 0, 0).IsWeekend() {
+		base = g.spec.WeekendProfile
+	}
+	var p [24]float64
+	// A single day-level factor plus per-hour factors: the day factor
+	// models "busy vs quiet days", per-hour jitter models schedule
+	// drift.
+	dayFactor := g.lognormal(1, g.spec.DayJitter/2)
+	for h := 0; h < 24; h++ {
+		p[h] = base[h] * dayFactor * g.lognormal(1, g.spec.DayJitter)
+	}
+	return p
+}
+
+// generateDay emits one day's sessions, interactions and activities.
+func (g *generator) generateDay(day int) {
+	dayStart := simtime.At(day, 0, 0, 0)
+	prof := g.dayProfile(day)
+
+	sessions := g.generateSessions(dayStart, prof)
+	g.out.Sessions = append(g.out.Sessions, sessions...)
+
+	for _, s := range sessions {
+		g.populateSession(s)
+	}
+	g.generateSyncs(day, dayStart)
+	g.generatePushes(day, dayStart, prof)
+}
+
+// generateSessions draws screen-on sessions from the hourly profile and
+// resolves overlaps by keeping the earlier session.
+func (g *generator) generateSessions(dayStart simtime.Instant, prof [24]float64) []trace.ScreenSession {
+	type cand struct {
+		start simtime.Instant
+		len   simtime.Duration
+	}
+	var cands []cand
+	for h := 0; h < 24; h++ {
+		n := g.poisson(prof[h])
+		for i := 0; i < n; i++ {
+			start := dayStart.Add(simtime.Duration(h)*simtime.Hour +
+				simtime.Duration(g.rng.Int63n(int64(simtime.Hour))))
+			length := simtime.Duration(math.Round(g.lognormal(g.spec.MeanSessionSecs, 0.8)))
+			if length < 5 {
+				length = 5
+			}
+			if length > 900 {
+				length = 900
+			}
+			cands = append(cands, cand{start: start, len: length})
+		}
+	}
+	sort.Slice(cands, func(i, j int) bool { return cands[i].start < cands[j].start })
+	dayEnd := dayStart.Add(simtime.Day)
+	var out []trace.ScreenSession
+	var lastEnd simtime.Instant
+	for _, c := range cands {
+		if c.start < lastEnd {
+			continue // overlap: drop the later candidate
+		}
+		end := c.start.Add(c.len)
+		if end > dayEnd {
+			end = dayEnd
+		}
+		if end <= c.start {
+			continue
+		}
+		out = append(out, trace.ScreenSession{Interval: simtime.Interval{Start: c.start, End: end}})
+		lastEnd = end
+	}
+	return out
+}
+
+// populateSession emits the interactions of one session and their
+// foreground transfers.
+func (g *generator) populateSession(s trace.ScreenSession) {
+	iv := s.Interval
+	n := 1 + g.poisson(g.spec.InteractionsPerSession-1)
+	span := int64(iv.Len())
+	times := make([]simtime.Instant, 0, n)
+	for i := 0; i < n; i++ {
+		times = append(times, iv.Start.Add(simtime.Duration(g.rng.Int63n(span))))
+	}
+	sort.Slice(times, func(i, j int) bool { return times[i] < times[j] })
+	for _, tm := range times {
+		app := g.pickApp()
+		wants := g.rng.Float64() < app.WantsNetworkProb
+		g.out.Interactions = append(g.out.Interactions, trace.Interaction{
+			Time:         tm,
+			App:          app.ID,
+			WantsNetwork: wants,
+		})
+		if !wants || app.FgBytesDown+app.FgBytesUp <= 0 {
+			continue
+		}
+		down := g.lognormal(app.FgBytesDown, 0.7)
+		up := g.lognormal(app.FgBytesUp, 0.7)
+		rate := g.lognormal(g.spec.OnRateBps, 0.5)
+		dur := (down + up) / rate
+		// Scale the activity to fit the session's remaining screen
+		// time so utilization stays near FgActiveFraction; reducing
+		// volume with duration keeps the rate realistic.
+		maxDur := iv.End.Sub(tm).Seconds() * g.spec.FgActiveFraction / float64(n) * 2
+		if maxDur < 1 {
+			maxDur = 1
+		}
+		if dur > maxDur {
+			scale := maxDur / dur
+			down *= scale
+			up *= scale
+			dur = maxDur
+		}
+		g.emitActivity(app.ID, tm, dur, down, up, trace.KindUserDriven)
+	}
+}
+
+// offBurstSecs draws one screen-off burst duration.
+func (g *generator) offBurstSecs() float64 {
+	d := g.lognormal(g.spec.OffBurstSecs, 0.6)
+	if d < 1 {
+		d = 1
+	}
+	if d > 60 {
+		d = 60
+	}
+	return d
+}
+
+// pickApp samples an app by usage weight.
+func (g *generator) pickApp() AppSpec {
+	var total float64
+	for _, a := range g.spec.Apps {
+		total += a.UsageWeight
+	}
+	x := g.rng.Float64() * total
+	for _, a := range g.spec.Apps {
+		x -= a.UsageWeight
+		if x < 0 {
+			return a
+		}
+	}
+	return g.spec.Apps[len(g.spec.Apps)-1]
+}
+
+// generateSyncs emits periodic background transfers for every app with a
+// sync period, with ±10% phase jitter.
+func (g *generator) generateSyncs(day int, dayStart simtime.Instant) {
+	for _, app := range g.spec.Apps {
+		if app.SyncPeriodSecs <= 0 {
+			continue
+		}
+		period := app.SyncPeriodSecs
+		phase := g.rng.Float64() * period
+		for t := phase; t < simtime.Day.Seconds(); t += period {
+			jitter := (g.rng.Float64()*2 - 1) * 0.1 * period
+			at := dayStart.Add(simtime.Duration(math.Round(t + jitter)))
+			if at < dayStart || at >= dayStart.Add(simtime.Day) {
+				continue
+			}
+			down := g.lognormal(app.SyncBytesDown, 0.6)
+			up := g.lognormal(app.SyncBytesUp, 0.6)
+			dur := g.offBurstSecs()
+			g.emitActivity(app.ID, at, dur, down, up, trace.KindSync)
+			g.emitFollowers(app, at, down, up, trace.KindSync)
+		}
+	}
+}
+
+// emitFollowers appends the short-range burst cluster after a background
+// event.
+func (g *generator) emitFollowers(app AppSpec, at simtime.Instant, down, up float64, kind trace.ActivityKind) {
+	if app.BurstFollowers <= 0 {
+		return
+	}
+	spacing := app.FollowerSpacingSecs
+	if spacing <= 0 {
+		spacing = 25
+	}
+	n := g.poisson(app.BurstFollowers)
+	t := at
+	for i := 0; i < n; i++ {
+		gap := g.lognormal(spacing, 0.7)
+		if gap < 2 {
+			gap = 2
+		}
+		t = t.Add(simtime.Duration(math.Round(gap)))
+		fDown := g.lognormal(down/2, 0.5)
+		fUp := g.lognormal(up/2, 0.5)
+		g.emitActivity(app.ID, t, g.offBurstSecs(), fDown, fUp, kind)
+	}
+}
+
+// generatePushes emits server pushes, Poisson-thinned by the user's
+// hourly profile with a floor so night pushes still occur.
+func (g *generator) generatePushes(day int, dayStart simtime.Instant, prof [24]float64) {
+	var profSum float64
+	for _, p := range prof {
+		profSum += p
+	}
+	if profSum <= 0 {
+		profSum = 1
+	}
+	for _, app := range g.spec.Apps {
+		if app.PushRatePerDay <= 0 {
+			continue
+		}
+		for h := 0; h < 24; h++ {
+			// Pushes arrive mostly independent of the receiver's own
+			// usage habit (senders have their own schedules), with a
+			// mild bias toward the user's social hours.
+			weight := 0.15*prof[h]/profSum + 0.85/24
+			lambda := app.PushRatePerDay * weight
+			n := g.poisson(lambda)
+			for i := 0; i < n; i++ {
+				at := dayStart.Add(simtime.Duration(h)*simtime.Hour +
+					simtime.Duration(g.rng.Int63n(int64(simtime.Hour))))
+				down := g.lognormal(app.PushBytesDown, 0.6)
+				up := g.lognormal(app.PushBytesUp, 0.6)
+				dur := g.offBurstSecs()
+				g.emitActivity(app.ID, at, dur, down, up, trace.KindPush)
+				g.emitFollowers(app, at, down, up, trace.KindPush)
+			}
+		}
+	}
+}
+
+// emitActivity appends one network activity, clamping it inside the
+// horizon and rounding its duration to whole seconds (≥1).
+func (g *generator) emitActivity(app trace.AppID, at simtime.Instant, durSecs, down, up float64, kind trace.ActivityKind) {
+	if durSecs < 1 {
+		durSecs = 1
+	}
+	if durSecs > 180 {
+		// Cap pathological tails; rescale volume to keep the rate.
+		scale := 180 / durSecs
+		down *= scale
+		up *= scale
+		durSecs = 180
+	}
+	dur := simtime.Duration(math.Round(durSecs))
+	horizon := simtime.Instant(g.out.Horizon())
+	if at.Add(dur) > horizon {
+		if at >= horizon {
+			return
+		}
+		dur = horizon.Sub(at)
+	}
+	if dur <= 0 {
+		return
+	}
+	g.out.Activities = append(g.out.Activities, trace.NetworkActivity{
+		App:       app,
+		Start:     at,
+		Duration:  dur,
+		BytesDown: int64(down),
+		BytesUp:   int64(up),
+		Kind:      kind,
+	})
+}

@@ -1,0 +1,68 @@
+// Spec serialization: user specs are plain JSON so downstream users can
+// define their own cohorts in files instead of editing Go code. The
+// format is the UserSpec structure verbatim.
+package synth
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+)
+
+// WriteSpecs serializes a cohort as indented JSON.
+func WriteSpecs(w io.Writer, specs []UserSpec) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(specs); err != nil {
+		return fmt.Errorf("synth: encoding specs: %w", err)
+	}
+	return nil
+}
+
+// ReadSpecs parses and validates a cohort from JSON.
+func ReadSpecs(r io.Reader) ([]UserSpec, error) {
+	dec := json.NewDecoder(r)
+	dec.DisallowUnknownFields()
+	var specs []UserSpec
+	if err := dec.Decode(&specs); err != nil {
+		return nil, fmt.Errorf("synth: decoding specs: %w", err)
+	}
+	if len(specs) == 0 {
+		return nil, fmt.Errorf("synth: empty cohort")
+	}
+	seen := make(map[string]bool, len(specs))
+	for i := range specs {
+		if err := specs[i].Validate(); err != nil {
+			return nil, fmt.Errorf("synth: spec %d: %w", i, err)
+		}
+		if seen[specs[i].ID] {
+			return nil, fmt.Errorf("synth: duplicate user ID %q", specs[i].ID)
+		}
+		seen[specs[i].ID] = true
+	}
+	return specs, nil
+}
+
+// WriteSpecsFile writes a cohort to the named file.
+func WriteSpecsFile(path string, specs []UserSpec) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return fmt.Errorf("synth: %w", err)
+	}
+	defer f.Close()
+	if err := WriteSpecs(f, specs); err != nil {
+		return err
+	}
+	return f.Close()
+}
+
+// ReadSpecsFile reads a cohort from the named file.
+func ReadSpecsFile(path string) ([]UserSpec, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, fmt.Errorf("synth: %w", err)
+	}
+	defer f.Close()
+	return ReadSpecs(f)
+}

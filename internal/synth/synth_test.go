@@ -1,0 +1,308 @@
+package synth
+
+import (
+	"reflect"
+	"strings"
+	"testing"
+
+	"netmaster/internal/stats"
+	"netmaster/internal/trace"
+)
+
+func TestSpecValidation(t *testing.T) {
+	good := MotivationCohort()[0]
+	mutations := map[string]func(*UserSpec){
+		"no id":        func(u *UserSpec) { u.ID = "" },
+		"bad session":  func(u *UserSpec) { u.MeanSessionSecs = 0 },
+		"bad inter":    func(u *UserSpec) { u.InteractionsPerSession = 0 },
+		"bad fraction": func(u *UserSpec) { u.FgActiveFraction = 1.5 },
+		"bad burst":    func(u *UserSpec) { u.OffBurstSecs = 0 },
+		"no apps":      func(u *UserSpec) { u.Apps = nil },
+		"zero usage": func(u *UserSpec) {
+			for i := range u.Apps {
+				u.Apps[i].UsageWeight = 0
+			}
+		},
+	}
+	for name, mutate := range mutations {
+		spec := good
+		spec.Apps = append([]AppSpec(nil), good.Apps...)
+		mutate(&spec)
+		if err := spec.Validate(); err == nil {
+			t.Errorf("%s: accepted", name)
+		}
+	}
+}
+
+func TestGenerateRejectsBadInput(t *testing.T) {
+	spec := MotivationCohort()[0]
+	if _, err := Generate(spec, 0); err == nil {
+		t.Error("zero days accepted")
+	}
+	spec.ID = ""
+	if _, err := Generate(spec, 7); err == nil {
+		t.Error("invalid spec accepted")
+	}
+}
+
+func TestGenerateDeterministic(t *testing.T) {
+	spec := MotivationCohort()[2]
+	a, err := Generate(spec, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Generate(spec, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(a, b) {
+		t.Fatal("same spec produced different traces")
+	}
+	// A different seed produces a different realisation.
+	spec.Seed++
+	c, err := Generate(spec, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if reflect.DeepEqual(a, c) {
+		t.Fatal("different seeds produced identical traces")
+	}
+}
+
+func TestGeneratedTracesValidate(t *testing.T) {
+	for _, spec := range append(MotivationCohort(), EvalCohort()...) {
+		tr, err := Generate(spec, 7)
+		if err != nil {
+			t.Fatalf("%s: %v", spec.ID, err)
+		}
+		if err := tr.Validate(); err != nil {
+			t.Fatalf("%s: %v", spec.ID, err)
+		}
+		if len(tr.Sessions) == 0 || len(tr.Activities) == 0 || len(tr.Interactions) == 0 {
+			t.Fatalf("%s: degenerate trace", spec.ID)
+		}
+	}
+}
+
+func TestGenerateHistoryAlignment(t *testing.T) {
+	spec := EvalCohort()[0]
+	if _, err := GenerateHistory(spec, 10); err == nil {
+		t.Error("non-week-aligned history accepted")
+	}
+	h, err := GenerateHistory(spec, 14)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr, err := Generate(spec, 14)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if reflect.DeepEqual(h, tr) {
+		t.Error("history identical to the evaluation trace (future leak)")
+	}
+}
+
+func TestEvalHistories(t *testing.T) {
+	hs, err := EvalHistories(7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(hs) != 3 {
+		t.Fatalf("histories = %d", len(hs))
+	}
+	for id, h := range hs {
+		if h.UserID != id {
+			t.Errorf("history %s has UserID %s", id, h.UserID)
+		}
+	}
+}
+
+func TestActivityKindsPresent(t *testing.T) {
+	tr, err := Generate(MotivationCohort()[0], 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	kinds := make(map[trace.ActivityKind]int)
+	for _, a := range tr.Activities {
+		kinds[a.Kind]++
+	}
+	for _, k := range []trace.ActivityKind{trace.KindSync, trace.KindPush, trace.KindUserDriven} {
+		if kinds[k] == 0 {
+			t.Errorf("no %v activities generated", k)
+		}
+	}
+}
+
+func TestBurstClusteringPresent(t *testing.T) {
+	// The follower model must yield some short inter-arrival background
+	// pairs — the structure interval-fixed delay exploits.
+	tr, err := Generate(EvalCohort()[0], 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, off := tr.SplitByScreen()
+	short := 0
+	for i := 1; i < len(off); i++ {
+		if gap := off[i].Start.Sub(off[i-1].Start); gap > 0 && gap < 120 {
+			short++
+		}
+	}
+	if frac := float64(short) / float64(len(off)); frac < 0.1 {
+		t.Errorf("only %.1f%% of screen-off gaps below 2 min; clustering missing", frac*100)
+	}
+}
+
+// Calibration integration tests: DESIGN.md §6 targets.
+
+func motivationTraces(t *testing.T) []*trace.Trace {
+	t.Helper()
+	traces, err := GenerateCohort(MotivationCohort(), 21)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return traces
+}
+
+func TestCalibrationScreenOffShare(t *testing.T) {
+	if testing.Short() {
+		t.Skip("calibration checks need full 21-day traces")
+	}
+	var sum float64
+	traces := motivationTraces(t)
+	for _, tr := range traces {
+		on, off := tr.SplitByScreen()
+		sum += float64(len(off)) / float64(len(on)+len(off))
+	}
+	share := sum / float64(len(traces))
+	if share < 0.36 || share > 0.56 {
+		t.Errorf("screen-off activity share = %.3f, want 0.41 ± 0.05 (paper 40.98%%), tolerance widened to 0.15 high side for cluster followers", share)
+	}
+}
+
+func TestCalibrationOffRates(t *testing.T) {
+	if testing.Short() {
+		t.Skip("calibration checks need full 21-day traces")
+	}
+	var offRates, onRates []float64
+	for _, tr := range motivationTraces(t) {
+		on, off := tr.SplitByScreen()
+		for _, a := range off {
+			offRates = append(offRates, a.RateBps()/1024)
+		}
+		for _, a := range on {
+			onRates = append(onRates, a.RateBps()/1024)
+		}
+	}
+	offP90 := stats.NewECDF(offRates).Quantile(0.9)
+	onP90 := stats.NewECDF(onRates).Quantile(0.9)
+	if offP90 >= 1 {
+		t.Errorf("screen-off P90 rate = %.3f kB/s, paper: below 1", offP90)
+	}
+	if onP90 >= 5 {
+		t.Errorf("screen-on P90 rate = %.3f kB/s, paper: below 5", onP90)
+	}
+}
+
+func TestCalibrationPearson(t *testing.T) {
+	if testing.Short() {
+		t.Skip("calibration checks need full 21-day traces")
+	}
+	traces := motivationTraces(t)
+	// Cross-user: distinct archetypes.
+	vectors := make([][]float64, len(traces))
+	for i, tr := range traces {
+		vectors[i] = tr.TotalIntensity()
+	}
+	cross := stats.OffDiagonalMean(stats.PearsonMatrix(vectors))
+	if cross < 0.04 || cross > 0.24 {
+		t.Errorf("cross-user Pearson = %.4f, want 0.14 ± 0.10", cross)
+	}
+	// Intra-user regularity.
+	var intraSum float64
+	for _, tr := range traces {
+		days := make([][]float64, tr.Days)
+		for d := 0; d < tr.Days; d++ {
+			days[d] = tr.HourlyIntensity(d)
+		}
+		intraSum += stats.OffDiagonalMean(stats.PearsonMatrix(days))
+	}
+	intra := intraSum / float64(len(traces))
+	if intra < 0.39 || intra > 0.69 {
+		t.Errorf("intra-user Pearson = %.4f, want 0.54 ± 0.15", intra)
+	}
+	// The very regular user (index 3) over its first 8 days.
+	u4 := traces[3]
+	days := make([][]float64, 8)
+	for d := 0; d < 8; d++ {
+		days[d] = u4.HourlyIntensity(d)
+	}
+	reg := stats.OffDiagonalMean(stats.PearsonMatrix(days))
+	if reg < 0.72 || reg > 0.92 {
+		t.Errorf("user4 Pearson = %.4f, want 0.82 ± 0.10", reg)
+	}
+}
+
+func TestCalibrationAppEcosystem(t *testing.T) {
+	if testing.Short() {
+		t.Skip("calibration checks need full 21-day traces")
+	}
+	tr := motivationTraces(t)[2] // the paper profiles user 3
+	week := tr.PrefixDays(7)
+	netApps := week.NetworkApps()
+	if len(week.InstalledApps) != 23 {
+		t.Errorf("installed apps = %d, want 23", len(week.InstalledApps))
+	}
+	if len(netApps) < 6 || len(netApps) > 10 {
+		t.Errorf("network-active apps in a week = %d, want ~8", len(netApps))
+	}
+	counts := week.AppUsageCounts()
+	topShare := float64(counts[0].Count) / float64(len(week.Interactions))
+	if counts[0].App != "com.tencent.mm" {
+		t.Errorf("top app = %s, want com.tencent.mm", counts[0].App)
+	}
+	if topShare < 0.45 || topShare > 0.72 {
+		t.Errorf("top-app usage share = %.3f, want ~0.59", topShare)
+	}
+}
+
+func TestSpecIORoundtrip(t *testing.T) {
+	specs := EvalCohort()
+	path := t.TempDir() + "/cohort.json"
+	if err := WriteSpecsFile(path, specs); err != nil {
+		t.Fatal(err)
+	}
+	back, err := ReadSpecsFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(specs, back) {
+		t.Fatal("spec roundtrip mismatch")
+	}
+	// The traces they generate are identical too.
+	a, err := Generate(specs[0], 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Generate(back[0], 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(a, b) {
+		t.Fatal("roundtripped spec generates a different trace")
+	}
+}
+
+func TestReadSpecsRejections(t *testing.T) {
+	cases := map[string]string{
+		"empty cohort":   `[]`,
+		"bad json":       `[{`,
+		"unknown field":  `[{"ID":"u","Bogus":1}]`,
+		"invalid spec":   `[{"ID":""}]`,
+		"duplicate user": `[{"ID":"u","MeanSessionSecs":10,"InteractionsPerSession":1,"OffBurstSecs":5,"OnRateBps":100,"Apps":[{"ID":"a","UsageWeight":1}]},{"ID":"u","MeanSessionSecs":10,"InteractionsPerSession":1,"OffBurstSecs":5,"OnRateBps":100,"Apps":[{"ID":"a","UsageWeight":1}]}]`,
+	}
+	for name, in := range cases {
+		if _, err := ReadSpecs(strings.NewReader(in)); err == nil {
+			t.Errorf("%s: accepted", name)
+		}
+	}
+}

@@ -1,0 +1,42 @@
+package trace
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+// FuzzRead hammers the trace parser with arbitrary input: it must never
+// panic, and anything it accepts must be a valid, re-serializable trace.
+func FuzzRead(f *testing.F) {
+	var seed bytes.Buffer
+	if err := Write(&seed, tinyTrace()); err != nil {
+		f.Fatal(err)
+	}
+	f.Add(seed.String())
+	f.Add("")
+	f.Add(`{"type":"header","header":{"user_id":"u","days":1}}`)
+	f.Add(`{"type":"activity"}`)
+	f.Add("{\"type\":\"header\",\"header\":{\"user_id\":\"u\",\"days\":2}}\n" +
+		`{"type":"session","session":{"interval":{"Start":5,"End":90}}}`)
+	f.Fuzz(func(t *testing.T, input string) {
+		tr, err := Read(strings.NewReader(input))
+		if err != nil {
+			return // rejection is fine; panics are not
+		}
+		if err := tr.Validate(); err != nil {
+			t.Fatalf("Read accepted an invalid trace: %v", err)
+		}
+		var buf bytes.Buffer
+		if err := Write(&buf, tr); err != nil {
+			t.Fatalf("accepted trace failed to serialize: %v", err)
+		}
+		back, err := Read(&buf)
+		if err != nil {
+			t.Fatalf("roundtrip re-read failed: %v", err)
+		}
+		if back.Days != tr.Days || len(back.Activities) != len(tr.Activities) {
+			t.Fatal("roundtrip changed the trace")
+		}
+	})
+}

@@ -1,0 +1,137 @@
+package trace
+
+import (
+	"bytes"
+	"math/rand"
+	"path/filepath"
+	"reflect"
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"netmaster/internal/simtime"
+)
+
+func TestWriteReadRoundtrip(t *testing.T) {
+	tr := tinyTrace()
+	var buf bytes.Buffer
+	if err := Write(&buf, tr); err != nil {
+		t.Fatal(err)
+	}
+	got, err := Read(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(tr, got) {
+		t.Errorf("roundtrip mismatch:\n got %+v\nwant %+v", got, tr)
+	}
+}
+
+func TestFileRoundtrip(t *testing.T) {
+	tr := tinyTrace()
+	path := filepath.Join(t.TempDir(), "t.trace")
+	if err := WriteFile(path, tr); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(tr, got) {
+		t.Error("file roundtrip mismatch")
+	}
+}
+
+func TestReadErrors(t *testing.T) {
+	cases := map[string]string{
+		"no header":        `{"type":"session","session":{"interval":{"Start":0,"End":5}}}`,
+		"duplicate header": "{\"type\":\"header\",\"header\":{\"user_id\":\"u\",\"days\":1}}\n{\"type\":\"header\",\"header\":{\"user_id\":\"u\",\"days\":1}}",
+		"unknown type":     "{\"type\":\"header\",\"header\":{\"user_id\":\"u\",\"days\":1}}\n{\"type\":\"wat\"}",
+		"bad json":         "{\"type\":",
+		"missing body":     "{\"type\":\"header\",\"header\":{\"user_id\":\"u\",\"days\":1}}\n{\"type\":\"activity\"}",
+		"invalid trace":    "{\"type\":\"header\",\"header\":{\"user_id\":\"u\",\"days\":0}}",
+		"bad kind": "{\"type\":\"header\",\"header\":{\"user_id\":\"u\",\"days\":1}}\n" +
+			`{"type":"activity","activity":{"app":"a","start":0,"duration":1,"down":0,"up":0,"kind":"nope"}}`,
+	}
+	for name, input := range cases {
+		if _, err := Read(strings.NewReader(input)); err == nil {
+			t.Errorf("%s: Read accepted invalid input", name)
+		}
+	}
+}
+
+func TestReadNormalizesUnsortedInput(t *testing.T) {
+	// Records deliberately out of chronological order: the reader must
+	// sort and the result must validate.
+	input := "{\"type\":\"header\",\"header\":{\"user_id\":\"u\",\"days\":1}}\n" +
+		`{"type":"activity","activity":{"app":"b","start":500,"duration":5,"down":1,"up":0,"kind":"sync"}}` + "\n" +
+		`{"type":"activity","activity":{"app":"a","start":100,"duration":5,"down":1,"up":0,"kind":"push"}}` + "\n"
+	tr, err := Read(strings.NewReader(input))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tr.Activities[0].App != "a" || tr.Activities[1].App != "b" {
+		t.Errorf("reader did not normalize: %+v", tr.Activities)
+	}
+}
+
+// randomTrace builds a random valid trace for the roundtrip property.
+func randomTrace(seed int64) *Trace {
+	rng := rand.New(rand.NewSource(seed))
+	days := 1 + rng.Intn(3)
+	tr := &Trace{UserID: "prop", Days: days, InstalledApps: []AppID{"a", "b"}}
+	horizon := int64(days) * int64(simtime.Day)
+	cursor := int64(0)
+	for cursor < horizon-120 && rng.Float64() < 0.9 {
+		cursor += 30 + rng.Int63n(7200)
+		length := 5 + rng.Int63n(60)
+		if cursor+length >= horizon {
+			break
+		}
+		tr.Sessions = append(tr.Sessions, ScreenSession{Interval: simtime.Interval{
+			Start: simtime.Instant(cursor), End: simtime.Instant(cursor + length),
+		}})
+		cursor += length
+	}
+	for i := 0; i < rng.Intn(40); i++ {
+		start := rng.Int63n(horizon - 200)
+		tr.Activities = append(tr.Activities, NetworkActivity{
+			App:       AppID([]string{"a", "b"}[rng.Intn(2)]),
+			Start:     simtime.Instant(start),
+			Duration:  simtime.Duration(1 + rng.Int63n(100)),
+			BytesDown: rng.Int63n(1 << 20),
+			BytesUp:   rng.Int63n(1 << 16),
+			Kind:      ActivityKind(rng.Intn(4)),
+		})
+	}
+	for i := 0; i < rng.Intn(30); i++ {
+		tr.Interactions = append(tr.Interactions, Interaction{
+			Time:         simtime.Instant(rng.Int63n(horizon)),
+			App:          "a",
+			WantsNetwork: rng.Intn(2) == 0,
+		})
+	}
+	tr.Normalize()
+	return tr
+}
+
+func TestRoundtripProperty(t *testing.T) {
+	prop := func(seed int64) bool {
+		tr := randomTrace(seed)
+		if err := tr.Validate(); err != nil {
+			return false
+		}
+		var buf bytes.Buffer
+		if err := Write(&buf, tr); err != nil {
+			return false
+		}
+		got, err := Read(&buf)
+		if err != nil {
+			return false
+		}
+		return reflect.DeepEqual(tr, got)
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 60}); err != nil {
+		t.Error(err)
+	}
+}

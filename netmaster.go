@@ -1,0 +1,326 @@
+// Package netmaster is a faithful reimplementation of "NetMaster: Taming
+// Energy Devourers on Smartphones" (ICPP 2014) as a trace-driven
+// simulation library. It bundles everything the paper's system needs:
+//
+//   - a smartphone usage-trace model and a habit-driven synthetic trace
+//     generator calibrated to the paper's measurement study;
+//   - an RRC radio power model (3G WCDMA and LTE) with promotion and
+//     inactivity-tail structure;
+//   - the habit mining component (hourly usage prediction, Eq. 2/3,
+//     Special-App detection);
+//   - the core scheduling algorithm: multiple knapsack with overlapped
+//     itemsets, built on the Ibarra–Kim FPTAS, with the (1−ε)/2 guarantee
+//     of Lemma IV.1;
+//   - the NetMaster middleware policy (mining + scheduling + exponential
+//     duty-cycle real-time adjustment) and the paper's comparators
+//     (baseline, offline oracle, naive delay and batch);
+//   - an evaluation harness that reproduces every figure of the paper.
+//
+// The package re-exports the main types of the internal packages so that
+// typical uses need a single import:
+//
+//	traces, _ := netmaster.GenerateCohort(netmaster.EvalCohort(), 21)
+//	model := netmaster.Model3G()
+//	policy, _ := netmaster.NewNetMasterPolicy(netmaster.DefaultNetMasterConfig(model))
+//	metrics, _ := netmaster.Run(policy, traces[0], model)
+package netmaster
+
+import (
+	"netmaster/internal/core"
+	"netmaster/internal/device"
+	"netmaster/internal/dutycycle"
+	"netmaster/internal/eval"
+	"netmaster/internal/habit"
+	"netmaster/internal/knapsack"
+	"netmaster/internal/policy"
+	"netmaster/internal/power"
+	"netmaster/internal/simtime"
+	"netmaster/internal/synth"
+	"netmaster/internal/trace"
+)
+
+// Time primitives.
+type (
+	// Instant is a point in simulation time (seconds from trace start).
+	Instant = simtime.Instant
+	// Duration is a span of simulation time in seconds.
+	Duration = simtime.Duration
+	// Interval is a half-open time range.
+	Interval = simtime.Interval
+)
+
+// Re-exported time constants.
+const (
+	Second = simtime.Second
+	Minute = simtime.Minute
+	Hour   = simtime.Hour
+	Day    = simtime.Day
+	Week   = simtime.Week
+)
+
+// Trace model.
+type (
+	// Trace is a complete monitored usage record of one user.
+	Trace = trace.Trace
+	// AppID identifies an application by package name.
+	AppID = trace.AppID
+	// NetworkActivity is one recorded transfer burst.
+	NetworkActivity = trace.NetworkActivity
+	// ScreenSession is one screen-on period.
+	ScreenSession = trace.ScreenSession
+	// Interaction is one user usage event.
+	Interaction = trace.Interaction
+	// ActivityKind classifies transfers (sync, push, user, stream).
+	ActivityKind = trace.ActivityKind
+)
+
+// Activity kinds.
+const (
+	KindSync       = trace.KindSync
+	KindPush       = trace.KindPush
+	KindUserDriven = trace.KindUserDriven
+	KindStream     = trace.KindStream
+)
+
+// ReadTraceFile and WriteTraceFile are the trace (de)serializers.
+var (
+	ReadTraceFile  = trace.ReadFile
+	WriteTraceFile = trace.WriteFile
+)
+
+// Synthetic trace generation.
+type (
+	// UserSpec describes one synthetic user's habit.
+	UserSpec = synth.UserSpec
+	// AppSpec describes one installed application's behaviour.
+	AppSpec = synth.AppSpec
+)
+
+// Generator entry points.
+var (
+	// GenerateTrace produces a deterministic trace for one user spec.
+	GenerateTrace = synth.Generate
+	// GenerateCohort produces one trace per spec.
+	GenerateCohort = synth.GenerateCohort
+	// GenerateHistory produces a pre-collection trace for pretraining.
+	GenerateHistory = synth.GenerateHistory
+	// MotivationCohort is the paper's 8-user measurement cohort.
+	MotivationCohort = synth.MotivationCohort
+	// EvalCohort is the paper's 3-volunteer evaluation cohort.
+	EvalCohort = synth.EvalCohort
+	// EvalHistories builds the volunteers' pre-collected traces.
+	EvalHistories = synth.EvalHistories
+	// ReadSpecsFile and WriteSpecsFile (de)serialize custom cohorts.
+	ReadSpecsFile  = synth.ReadSpecsFile
+	WriteSpecsFile = synth.WriteSpecsFile
+)
+
+// Radio power modelling.
+type (
+	// PowerModel is a parameterised RRC radio model.
+	PowerModel = power.Model
+	// PowerPhase is one fixed-length radio phase.
+	PowerPhase = power.Phase
+	// RadioResult is the energy accounting of a radio timeline.
+	RadioResult = power.Result
+	// RadioBurst is one transfer burst with a tail policy.
+	RadioBurst = power.Burst
+)
+
+// Stock radio models.
+var (
+	// Model3G is the WCDMA model used in the paper's evaluation.
+	Model3G = power.Model3G
+	// ModelLTE is Huang et al.'s LTE model.
+	ModelLTE = power.ModelLTE
+)
+
+// Habit mining.
+type (
+	// HabitConfig parameterises mining (slot width, δ thresholds).
+	HabitConfig = habit.Config
+	// HabitProfile is the mining component's output.
+	HabitProfile = habit.Profile
+	// PredictedNetActivity is one element of the predicted Tn.
+	PredictedNetActivity = habit.PredictedNetActivity
+)
+
+// Mining entry points.
+var (
+	// MineHabits builds a HabitProfile from a trace.
+	MineHabits = habit.Mine
+	// DefaultHabitConfig returns the paper's mining settings.
+	DefaultHabitConfig = habit.DefaultConfig
+	// DetectSpecialApps returns the paper's "Special Apps" allowlist.
+	DetectSpecialApps = habit.DetectSpecialApps
+)
+
+// Core scheduling (Algorithm 1).
+type (
+	// Scheduler solves the overlapped multiple knapsack problem.
+	Scheduler = core.Scheduler
+	// SchedulerConfig parameterises the scheduler.
+	SchedulerConfig = core.Config
+	// SchedActivity is one screen-off activity to schedule.
+	SchedActivity = core.Activity
+	// SchedResult is the packing S of Algorithm 1.
+	SchedResult = core.Schedule
+	// KnapsackItem is a 0/1 knapsack item.
+	KnapsackItem = knapsack.Item
+	// KnapsackSolution is a selected subset of items.
+	KnapsackSolution = knapsack.Solution
+)
+
+// Scheduling entry points.
+var (
+	// NewScheduler builds the overlapped-knapsack scheduler.
+	NewScheduler = core.New
+	// DefaultSchedulerConfig returns the paper's ε and capacity model.
+	DefaultSchedulerConfig = core.DefaultConfig
+	// SinKnap is the Ibarra–Kim (1−ε)-approximate knapsack solver.
+	SinKnap = knapsack.SinKnap
+	// ExactKnapsack solves 0/1 knapsack exactly by DP (small
+	// capacities).
+	ExactKnapsack = knapsack.Exact
+	// BranchBoundKnapsack solves exactly for any capacity.
+	BranchBoundKnapsack = knapsack.BranchBound
+	// GreedyKnapsack is the classic 1/2-approximation.
+	GreedyKnapsack = knapsack.Greedy
+)
+
+// Duty cycling (real-time adjustment).
+type (
+	// DutyScheme generates sleep intervals between radio wake-ups.
+	DutyScheme = dutycycle.Scheme
+	// DutyResult summarises a duty-cycle simulation.
+	DutyResult = dutycycle.Result
+)
+
+// Duty-cycle entry points.
+var (
+	// NewExponentialSleep is the paper's doubling backoff.
+	NewExponentialSleep = dutycycle.NewExponential
+	// NewFixedSleep and NewRandomSleep are the Fig. 10(b) comparators.
+	NewFixedSleep  = dutycycle.NewFixed
+	NewRandomSleep = dutycycle.NewRandom
+	// SimulateDutyCycle runs a scheme over a horizon.
+	SimulateDutyCycle = dutycycle.Simulate
+)
+
+// Policies and replay.
+type (
+	// Policy maps a trace to an execution plan.
+	Policy = device.Policy
+	// Plan is a policy's complete decision record.
+	Plan = device.Plan
+	// Execution is one activity's actual run.
+	Execution = device.Execution
+	// Metrics are the per-trace evaluation results.
+	Metrics = device.Metrics
+	// NetMasterConfig parameterises the middleware policy.
+	NetMasterConfig = policy.NetMasterConfig
+	// BaselinePolicy executes everything as recorded.
+	BaselinePolicy = policy.Baseline
+)
+
+// Policy constructors and replay entry points.
+var (
+	// NewNetMasterPolicy builds the paper's middleware as a policy.
+	NewNetMasterPolicy = policy.NewNetMaster
+	// DefaultNetMasterConfig returns the paper's evaluation settings.
+	DefaultNetMasterConfig = policy.DefaultNetMasterConfig
+	// NewOracle is the offline optimal comparator.
+	NewOracle = policy.NewOracle
+	// NewDelay and NewBatch are the naive interval-fixed comparators.
+	NewDelay = policy.NewDelay
+	NewBatch = policy.NewBatch
+	// Run replays a policy over a trace and returns its metrics.
+	Run = device.Run
+	// ComputeMetrics evaluates an explicit plan.
+	ComputeMetrics = device.ComputeMetrics
+)
+
+// Evaluation harness (figure reproduction).
+type (
+	// PolicyResult is one policy's outcome on one trace.
+	PolicyResult = eval.PolicyResult
+	// MotivationStats bundles the Section III headline numbers.
+	MotivationStats = eval.MotivationStats
+	// Fig7Config selects the live-comparison arms.
+	Fig7Config = eval.Fig7Config
+	// Fig7Row / Fig8Row / Fig9Row / Fig10cRow are figure data rows.
+	Fig7Row   = eval.Fig7Row
+	Fig8Row   = eval.Fig8Row
+	Fig9Row   = eval.Fig9Row
+	Fig10cRow = eval.Fig10cRow
+)
+
+// Evaluation entry points.
+var (
+	// Compare runs the baseline plus the given policies over a trace.
+	Compare = eval.Compare
+	// Motivation computes the Section III summary over a cohort.
+	Motivation = eval.Motivation
+	// Fig1a–Fig5 reproduce the motivation study's figures.
+	Fig1a = eval.Fig1a
+	Fig1b = eval.Fig1b
+	Fig2  = eval.Fig2
+	Fig3  = eval.Fig3
+	Fig4  = eval.Fig4
+	Fig5  = eval.Fig5
+	// IntraUserPearson measures per-user day-to-day regularity.
+	IntraUserPearson = eval.IntraUserPearson
+	// Fig7 runs the full live comparison (energy, radio-on, bandwidth).
+	Fig7 = eval.Fig7
+	// DefaultFig7Config returns the paper's comparison arms.
+	DefaultFig7Config = eval.DefaultFig7Config
+	// Fig8 and Fig9 are the delay/batch sweeps.
+	Fig8 = eval.Fig8
+	Fig9 = eval.Fig9
+	// Fig10a, Fig10b and Fig10c are the parameter analyses.
+	Fig10a = eval.Fig10a
+	Fig10b = eval.Fig10b
+	Fig10c = eval.Fig10c
+	// UserExperience counts wrong decisions (Section VI-B).
+	UserExperience = eval.UserExperience
+	// Fig7aGapDistribution reproduces the per-test gap headline.
+	Fig7aGapDistribution = eval.Fig7aGapDistribution
+	// HiddenImpact measures push-delivery latency (Section VII).
+	HiddenImpact = eval.HiddenImpact
+	// BatteryLife projects hours per charge.
+	BatteryLife = eval.BatteryLife
+	// DefaultBatteryConfig returns handset-class constants.
+	DefaultBatteryConfig = eval.DefaultBatteryConfig
+	// CrossModel replays the suite under multiple radio models.
+	CrossModel = eval.CrossModel
+	// Sensitivity sweeps NetMaster's operational knobs.
+	Sensitivity = eval.Sensitivity
+	// Drift runs the habit-drift experiment (recency vs uniform mining).
+	Drift = eval.Drift
+	// DefaultDriftConfig is the shift-work drift scenario.
+	DefaultDriftConfig = eval.DefaultDriftConfig
+	// DeltaRisk evaluates the impact-based δ selection strategy.
+	DeltaRisk = eval.DeltaRisk
+	// RenderDayTimeline draws an ASCII radio Gantt for one day.
+	RenderDayTimeline = device.RenderDayTimeline
+	// EnergyByApp attributes a plan's radio energy to applications.
+	EnergyByApp = device.EnergyByApp
+	// MetricsByDay slices a plan's metrics per day.
+	MetricsByDay = device.MetricsByDay
+)
+
+// Extension types.
+type (
+	// GapDistribution summarises per-test gaps to the oracle.
+	GapDistribution = eval.GapDistribution
+	// PushLatencyRow is one policy's push-delay summary.
+	PushLatencyRow = eval.PushLatencyRow
+	// BatteryRow and BatteryConfig belong to the battery projection.
+	BatteryRow    = eval.BatteryRow
+	BatteryConfig = eval.BatteryConfig
+	// AppEnergy is one application's radio-energy share.
+	AppEnergy = device.AppEnergy
+	// DriftRow and DriftConfig belong to the habit-drift experiment.
+	DriftRow    = eval.DriftRow
+	DriftConfig = eval.DriftConfig
+)

@@ -1,0 +1,135 @@
+package netmaster_test
+
+import (
+	"testing"
+
+	"netmaster"
+)
+
+// TestPublicAPIEndToEnd drives the whole pipeline through the facade the
+// way the quickstart example does: generate → mine → schedule → replay →
+// compare.
+func TestPublicAPIEndToEnd(t *testing.T) {
+	spec := netmaster.EvalCohort()[0]
+	tr, err := netmaster.GenerateTrace(spec, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := tr.Validate(); err != nil {
+		t.Fatal(err)
+	}
+
+	model := netmaster.Model3G()
+	history, err := netmaster.GenerateHistory(spec, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	cfg := netmaster.DefaultNetMasterConfig(model)
+	cfg.History = history
+	nm, err := netmaster.NewNetMasterPolicy(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	oracle, err := netmaster.NewOracle(model)
+	if err != nil {
+		t.Fatal(err)
+	}
+	delay, err := netmaster.NewDelay(60 * netmaster.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	results, err := netmaster.Compare(tr, model, []netmaster.Policy{oracle, nm, delay})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(results) != 4 {
+		t.Fatalf("results = %d", len(results))
+	}
+	oracleSaving := results[1].EnergySaving
+	nmSaving := results[2].EnergySaving
+	delaySaving := results[3].EnergySaving
+	if !(oracleSaving >= nmSaving && nmSaving > delaySaving) {
+		t.Errorf("ordering violated: oracle %v, netmaster %v, delay %v",
+			oracleSaving, nmSaving, delaySaving)
+	}
+	if nmSaving < 0.4 {
+		t.Errorf("NetMaster saving = %v, expected substantial", nmSaving)
+	}
+}
+
+// TestPublicAPIMining exercises the habit-mining surface.
+func TestPublicAPIMining(t *testing.T) {
+	tr, err := netmaster.GenerateTrace(netmaster.MotivationCohort()[3], 14)
+	if err != nil {
+		t.Fatal(err)
+	}
+	profile, err := netmaster.MineHabits(tr, netmaster.DefaultHabitConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(profile.SpecialApps) == 0 {
+		t.Error("no Special Apps detected")
+	}
+	slots := profile.PredictedActiveSlots(14)
+	if len(slots) == 0 {
+		t.Error("no predicted active slots")
+	}
+	if acc := profile.PredictionAccuracy(tr, 0.2); acc <= 0.5 {
+		t.Errorf("accuracy = %v", acc)
+	}
+}
+
+// TestPublicAPIScheduler exercises the core algorithm surface.
+func TestPublicAPIScheduler(t *testing.T) {
+	model := netmaster.Model3G()
+	cfg := netmaster.DefaultSchedulerConfig()
+	cfg.SavedEnergy = func(a netmaster.SchedActivity) float64 { return model.SavedEnergy(a.ActiveSecs) }
+	cfg.UseProb = func(netmaster.Instant) float64 { return 0.05 }
+	s, err := netmaster.NewScheduler(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	u := []netmaster.Interval{{Start: 8 * 3600, End: 10 * 3600}}
+	tn := []netmaster.SchedActivity{
+		{ID: 1, Time: 3 * 3600, Bytes: 4096, ActiveSecs: 10},
+	}
+	sched, err := s.Schedule(u, tn)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(sched.Assignments) != 1 {
+		t.Fatalf("assignments = %+v", sched.Assignments)
+	}
+	// The knapsack primitives are reachable too.
+	sol, err := netmaster.SinKnap([]netmaster.KnapsackItem{
+		{ID: 0, Profit: 10, Weight: 5},
+		{ID: 1, Profit: 7, Weight: 5},
+	}, 5, 0.1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sol.Profit != 10 {
+		t.Errorf("SinKnap profit = %v", sol.Profit)
+	}
+}
+
+// TestPublicAPITraceIO exercises the serialization surface.
+func TestPublicAPITraceIO(t *testing.T) {
+	tr, err := netmaster.GenerateTrace(netmaster.EvalCohort()[2], 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := t.TempDir() + "/u.trace"
+	if err := netmaster.WriteTraceFile(path, tr); err != nil {
+		t.Fatal(err)
+	}
+	back, err := netmaster.ReadTraceFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.UserID != tr.UserID || len(back.Activities) != len(tr.Activities) {
+		t.Error("trace IO roundtrip mismatch")
+	}
+}
