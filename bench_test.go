@@ -15,30 +15,33 @@ import (
 // Shared fixtures, generated once outside the benchmark timers.
 var (
 	fixtureOnce sync.Once
+	fixtureErr  error
 	benchCohort []*netmaster.Trace // 8-user motivation cohort, 21 days
 	benchVols   []*netmaster.Trace // 3-volunteer eval cohort, 14 days
 	benchHists  map[string]*netmaster.Trace
 	benchModel  *netmaster.PowerModel
 )
 
+// fixtures builds the shared cohorts once; a generation failure fails
+// the calling benchmark (and every later one) instead of crashing the
+// whole test binary.
 func fixtures(b *testing.B) {
 	b.Helper()
 	fixtureOnce.Do(func() {
-		var err error
-		benchCohort, err = netmaster.GenerateCohort(netmaster.MotivationCohort(), 21)
-		if err != nil {
-			panic(err)
+		if benchCohort, fixtureErr = netmaster.GenerateCohort(netmaster.MotivationCohort(), 21); fixtureErr != nil {
+			return
 		}
-		benchVols, err = netmaster.GenerateCohort(netmaster.EvalCohort(), 14)
-		if err != nil {
-			panic(err)
+		if benchVols, fixtureErr = netmaster.GenerateCohort(netmaster.EvalCohort(), 14); fixtureErr != nil {
+			return
 		}
-		benchHists, err = netmaster.EvalHistories(14)
-		if err != nil {
-			panic(err)
+		if benchHists, fixtureErr = netmaster.EvalHistories(14); fixtureErr != nil {
+			return
 		}
 		benchModel = netmaster.Model3G()
 	})
+	if fixtureErr != nil {
+		b.Fatalf("fixtures: %v", fixtureErr)
+	}
 }
 
 // BenchmarkFig1aActivityDistribution regenerates Fig. 1(a): the

@@ -7,7 +7,7 @@
 // Usage:
 //
 //	experiments [-figure all|1a|1b|2|3|4|5|7|8|9|10a|10b|10c|ux|motivation]
-//	            [-days N] [-model 3g|lte] [-seed N]
+//	            [-days N] [-model 3g|lte] [-seed N] [-parallelism N]
 package main
 
 import (
@@ -15,10 +15,12 @@ import (
 	"fmt"
 	"os"
 	"path/filepath"
+	"runtime"
 
 	"netmaster/internal/device"
 	"netmaster/internal/eval"
 	"netmaster/internal/habit"
+	"netmaster/internal/parallel"
 	"netmaster/internal/policy"
 	"netmaster/internal/power"
 	"netmaster/internal/report"
@@ -33,8 +35,11 @@ func main() {
 		days      = flag.Int("days", 21, "trace length in days (the paper: 3 weeks)")
 		modelName = flag.String("model", "3g", "radio model: 3g or lte")
 		csvDir    = flag.String("csv", "", "also write figure data as CSV files into this directory")
+		workers   = flag.Int("parallelism", runtime.GOMAXPROCS(0),
+			"worker-pool width for the evaluation engine and scheduler (1 = sequential)")
 	)
 	flag.Parse()
+	parallel.SetDefaultWorkers(*workers)
 	if err := run(*figure, *days, *modelName, *csvDir); err != nil {
 		fmt.Fprintln(os.Stderr, "experiments:", err)
 		os.Exit(1)

@@ -20,6 +20,7 @@ import (
 	"sort"
 
 	"netmaster/internal/knapsack"
+	"netmaster/internal/parallel"
 	"netmaster/internal/simtime"
 )
 
@@ -168,6 +169,100 @@ func (c *Config) probIntegral(lo, hi simtime.Instant) float64 {
 	return total
 }
 
+// penaltyCache precomputes the cumulative UseProb integral over the
+// scheduling horizon, built once per Schedule call. Schedule evaluates
+// Eq. 4 once per candidate plus once per merged displacement interval;
+// with the cache each of those integrals is two lookups and a
+// partial-slot interpolation instead of a walk over every probability
+// slot in between.
+type penaltyCache struct {
+	origin int64 // aligned down to a ProbSlotWidth boundary
+	width  int64
+	// probs[i] is UseProb over slot i; cum[i] is the integral of UseProb
+	// over [origin, origin + i·width).
+	probs []float64
+	cum   []float64
+}
+
+func floorDiv(a, b int64) int64 {
+	q := a / b
+	if a%b != 0 && (a < 0) != (b < 0) {
+		q--
+	}
+	return q
+}
+
+// newPenaltyCache samples UseProb once per probability slot across
+// [lo, hi] and builds the prefix sum.
+func (c *Config) newPenaltyCache(lo, hi simtime.Instant) *penaltyCache {
+	if hi < lo {
+		lo, hi = hi, lo
+	}
+	w := int64(c.ProbSlotWidth)
+	origin := floorDiv(int64(lo), w) * w
+	n := int((int64(hi)-origin)/w) + 1
+	pc := &penaltyCache{
+		origin: origin,
+		width:  w,
+		probs:  make([]float64, n),
+		cum:    make([]float64, n+1),
+	}
+	for i := 0; i < n; i++ {
+		pc.probs[i] = c.UseProb(simtime.Instant(origin + int64(i)*w))
+		pc.cum[i+1] = pc.cum[i] + pc.probs[i]*float64(w)
+	}
+	return pc
+}
+
+// at returns the integral of UseProb over [origin, t).
+func (pc *penaltyCache) at(t simtime.Instant) float64 {
+	off := int64(t) - pc.origin
+	i := off / pc.width
+	rem := off - i*pc.width
+	if rem == 0 {
+		return pc.cum[i]
+	}
+	return pc.cum[i] + pc.probs[i]*float64(rem)
+}
+
+// integral is the cached counterpart of Config.probIntegral.
+func (pc *penaltyCache) integral(lo, hi simtime.Instant) float64 {
+	return pc.at(hi) - pc.at(lo)
+}
+
+// penalty is the cached counterpart of Config.Penalty.
+func (pc *penaltyCache) penalty(c *Config, from, to simtime.Instant) float64 {
+	if from == to {
+		return 0
+	}
+	lo, hi := from, to
+	if lo > hi {
+		lo, hi = hi, lo
+	}
+	return c.PenaltyRateWattEq * hi.Sub(lo).Seconds() * pc.integral(lo, hi) / 1000
+}
+
+// horizonCache builds the penalty cache spanning every instant Schedule
+// can touch: slot edges and activity times.
+func (s *Scheduler) horizonCache(u []simtime.Interval, tn []Activity) *penaltyCache {
+	var lo, hi simtime.Instant
+	switch {
+	case len(u) > 0:
+		lo, hi = u[0].Start, u[len(u)-1].End
+	case len(tn) > 0:
+		lo, hi = tn[0].Time, tn[0].Time
+	}
+	for _, a := range tn {
+		if a.Time < lo {
+			lo = a.Time
+		}
+		if a.Time > hi {
+			hi = a.Time
+		}
+	}
+	return s.cfg.newPenaltyCache(lo, hi)
+}
+
 // nearestEdge returns the instant within slot closest to t: t itself when
 // inside, otherwise the nearer boundary (End−1 because intervals are
 // half-open).
@@ -223,20 +318,29 @@ func (s *Scheduler) Schedule(u []simtime.Interval, tn []Activity) (*Schedule, er
 		return &Schedule{Unscheduled: activityIDs(tn)}, nil
 	}
 
+	// The penalty prefix sum spans the whole horizon once; every Eq. 4
+	// integral below is two lookups instead of a probability-slot walk.
+	pc := s.horizonCache(u, tn)
+
 	// Step 1 — Duplication: build candidate placements. An activity
 	// between two adjacent slots is duplicated into both; one before the
 	// first (after the last) slot gets a single candidate.
-	cands := s.buildCandidates(u, tn)
+	cands := s.buildCandidates(u, tn, pc)
 
-	// Step 2+3 — Sort by profit density and run SinKnap per slot.
+	// Step 2+3 — Sort by profit density and run SinKnap per slot. The
+	// per-slot knapsacks are independent (they share only the read-only
+	// config), so they solve concurrently; solutions land in a pre-sized
+	// slice by slot index and merge sequentially below, keeping the
+	// output bit-identical to a sequential run.
 	perSlot := make([][]candidate, len(u))
 	for _, cd := range cands {
 		perSlot[cd.slotIdx] = append(perSlot[cd.slotIdx], cd)
 	}
-	chosen := make(map[int][]candidate) // activityID → winning placements
-	for slotIdx, slotCands := range perSlot {
+	sols := make([]knapsack.Solution, len(u))
+	err := parallel.ForEach(len(u), func(slotIdx int) error {
+		slotCands := perSlot[slotIdx]
 		if len(slotCands) == 0 {
-			continue
+			return nil
 		}
 		sortByDensity(slotCands)
 		items := make([]knapsack.Item, len(slotCands))
@@ -245,10 +349,18 @@ func (s *Scheduler) Schedule(u []simtime.Interval, tn []Activity) (*Schedule, er
 		}
 		sol, err := knapsack.Solve(items, s.cfg.Capacity(u[slotIdx]), s.cfg.Eps)
 		if err != nil {
-			return nil, fmt.Errorf("core: slot %d: %w", slotIdx, err)
+			return fmt.Errorf("core: slot %d: %w", slotIdx, err)
 		}
+		sols[slotIdx] = sol
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	chosen := make(map[int][]candidate) // activityID → winning placements
+	for slotIdx, sol := range sols {
 		for _, id := range sol.IDs {
-			cd := slotCands[id]
+			cd := perSlot[slotIdx][id]
 			chosen[cd.act.ID] = append(chosen[cd.act.ID], cd)
 		}
 	}
@@ -305,11 +417,11 @@ func (s *Scheduler) Schedule(u []simtime.Interval, tn []Activity) (*Schedule, er
 		}
 	}
 
-	return s.buildSchedule(u, tn, selected, scheduledIDs), nil
+	return s.buildSchedule(u, tn, selected, scheduledIDs, pc), nil
 }
 
 // buildCandidates implements the duplication step.
-func (s *Scheduler) buildCandidates(u []simtime.Interval, tn []Activity) []candidate {
+func (s *Scheduler) buildCandidates(u []simtime.Interval, tn []Activity, pc *penaltyCache) []candidate {
 	var cands []candidate
 	for _, a := range tn {
 		for _, slotIdx := range adjacentSlots(u, a.Time) {
@@ -322,7 +434,7 @@ func (s *Scheduler) buildCandidates(u []simtime.Interval, tn []Activity) []candi
 				slotIdx: slotIdx,
 				target:  target,
 				saved:   s.cfg.SavedEnergy(a),
-				penalty: s.cfg.Penalty(a.Time, target),
+				penalty: pc.penalty(&s.cfg, a.Time, target),
 			}
 			if cd.profit() > 0 {
 				cands = append(cands, cd)
@@ -375,7 +487,7 @@ func densityOf(cd candidate) float64 {
 
 // buildSchedule assembles the result, computing the overlap-deduplicated
 // total penalty: displacement intervals that overlap are charged once.
-func (s *Scheduler) buildSchedule(u []simtime.Interval, tn []Activity, selected []candidate, scheduledIDs map[int]bool) *Schedule {
+func (s *Scheduler) buildSchedule(u []simtime.Interval, tn []Activity, selected []candidate, scheduledIDs map[int]bool, pc *penaltyCache) *Schedule {
 	out := &Schedule{SlotLoad: make([]int64, len(u))}
 	var displacement []simtime.Interval
 	sort.Slice(selected, func(i, j int) bool {
@@ -404,7 +516,7 @@ func (s *Scheduler) buildSchedule(u []simtime.Interval, tn []Activity, selected 
 		}
 	}
 	for _, iv := range simtime.MergeIntervals(displacement) {
-		out.TotalPenalty += s.cfg.PenaltyRateWattEq * iv.Len().Seconds() * s.cfg.probIntegral(iv.Start, iv.End) / 1000
+		out.TotalPenalty += s.cfg.PenaltyRateWattEq * iv.Len().Seconds() * pc.integral(iv.Start, iv.End) / 1000
 	}
 	out.Objective = out.TotalSaved - out.TotalPenalty
 	for _, a := range tn {
@@ -468,7 +580,8 @@ func (s *Scheduler) BruteForce(u []simtime.Interval, tn []Activity) (*Schedule, 
 	if len(tn) > 20 {
 		return nil, fmt.Errorf("core: BruteForce limited to 20 activities, got %d", len(tn))
 	}
-	cands := s.buildCandidates(u, tn)
+	pc := s.horizonCache(u, tn)
+	cands := s.buildCandidates(u, tn, pc)
 	perAct := make(map[int][]candidate)
 	for _, cd := range cands {
 		perAct[cd.act.ID] = append(perAct[cd.act.ID], cd)
@@ -490,7 +603,7 @@ func (s *Scheduler) BruteForce(u []simtime.Interval, tn []Activity) (*Schedule, 
 	var rec func(i int)
 	rec = func(i int) {
 		if i == len(order) {
-			obj := s.objectiveOf(cur)
+			obj := s.objectiveOf(cur, pc)
 			if obj > bestObj {
 				bestObj = obj
 				best = append([]candidate(nil), cur...)
@@ -514,11 +627,11 @@ func (s *Scheduler) BruteForce(u []simtime.Interval, tn []Activity) (*Schedule, 
 	for _, cd := range best {
 		scheduled[cd.act.ID] = true
 	}
-	return s.buildSchedule(u, tn, best, scheduled), nil
+	return s.buildSchedule(u, tn, best, scheduled, pc), nil
 }
 
 // objectiveOf computes ΣΔE − overlap-deduplicated ΣΔP of a selection.
-func (s *Scheduler) objectiveOf(sel []candidate) float64 {
+func (s *Scheduler) objectiveOf(sel []candidate, pc *penaltyCache) float64 {
 	var saved float64
 	var displacement []simtime.Interval
 	for _, cd := range sel {
@@ -533,7 +646,7 @@ func (s *Scheduler) objectiveOf(sel []candidate) float64 {
 	}
 	var penalty float64
 	for _, iv := range simtime.MergeIntervals(displacement) {
-		penalty += s.cfg.PenaltyRateWattEq * iv.Len().Seconds() * s.cfg.probIntegral(iv.Start, iv.End) / 1000
+		penalty += s.cfg.PenaltyRateWattEq * iv.Len().Seconds() * pc.integral(iv.Start, iv.End) / 1000
 	}
 	return saved - penalty
 }

@@ -1,0 +1,87 @@
+package core
+
+import (
+	"testing"
+	"time"
+
+	"netmaster/internal/simtime"
+)
+
+// penaltyWorkload builds a day-horizon config plus the (from, to) pairs
+// a 1000-activity Schedule call evaluates: every activity against every
+// slot boundary, the same shape buildCandidates walks.
+func penaltyWorkload() (*Config, *penaltyCache, [][2]simtime.Instant) {
+	cfg := DefaultConfig()
+	cfg.UseProb = func(t simtime.Instant) float64 {
+		return 0.02 + 0.04*float64(t.HourOfDay()%7)
+	}
+	pc := cfg.newPenaltyCache(0, simtime.Instant(simtime.Day))
+	var pairs [][2]simtime.Instant
+	for i := 0; i < 1000; i++ {
+		from := simtime.Instant(int64(i) * 86_400 / 1000 * int64(simtime.Second))
+		for h := 1; h < 24; h += 3 {
+			pairs = append(pairs, [2]simtime.Instant{from, simtime.At(0, h, 20, 0)})
+		}
+	}
+	return &cfg, pc, pairs
+}
+
+// BenchmarkPenaltyOldVsNew compares the pre-cache penalty path (a
+// linear walk over UseProb slots per call, what Schedule used to do for
+// every candidate) against the prefix-sum cache (two lookups plus
+// interpolation). The "speedup" sub-benchmark reports the ratio on a
+// 1000-activity candidate workload.
+func BenchmarkPenaltyOldVsNew(b *testing.B) {
+	cfg, pc, pairs := penaltyWorkload()
+
+	b.Run("old-linear-walk", func(b *testing.B) {
+		var sink float64
+		for i := 0; i < b.N; i++ {
+			for _, p := range pairs {
+				sink += cfg.Penalty(p[0], p[1])
+			}
+		}
+		_ = sink
+	})
+	b.Run("new-prefix-sum", func(b *testing.B) {
+		var sink float64
+		for i := 0; i < b.N; i++ {
+			for _, p := range pairs {
+				sink += pc.penalty(cfg, p[0], p[1])
+			}
+		}
+		_ = sink
+	})
+	b.Run("speedup", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			var sink float64
+			start := time.Now()
+			for _, p := range pairs {
+				sink += cfg.Penalty(p[0], p[1])
+			}
+			old := time.Since(start)
+			start = time.Now()
+			for _, p := range pairs {
+				sink += pc.penalty(cfg, p[0], p[1])
+			}
+			cached := time.Since(start)
+			_ = sink
+			b.ReportMetric(float64(old)/float64(cached), "speedup-x")
+		}
+	})
+}
+
+// TestPenaltyCacheMatchesDirect cross-checks the two paths the
+// benchmark compares: the cached penalty must equal the direct
+// integral within floating-point tolerance on the full workload.
+func TestPenaltyCacheMatchesDirect(t *testing.T) {
+	cfg, pc, pairs := penaltyWorkload()
+	for _, p := range pairs {
+		direct := cfg.Penalty(p[0], p[1])
+		cached := pc.penalty(cfg, p[0], p[1])
+		diff := direct - cached
+		if diff < -1e-9 || diff > 1e-9 {
+			t.Fatalf("penalty(%d,%d): direct %v cached %v", p[0], p[1], direct, cached)
+		}
+	}
+}

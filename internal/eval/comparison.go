@@ -7,6 +7,7 @@ import (
 	"fmt"
 
 	"netmaster/internal/device"
+	"netmaster/internal/parallel"
 	"netmaster/internal/policy"
 	"netmaster/internal/power"
 	"netmaster/internal/simtime"
@@ -87,17 +88,12 @@ func DefaultFig7Config(m *power.Model) Fig7Config {
 	}
 }
 
-// Fig7 runs the full comparison for each volunteer trace.
+// Fig7 runs the full comparison for each volunteer trace. Volunteers are
+// independent, so they fan out over the worker pool; rows land by index.
 func Fig7(traces []*trace.Trace, cfg Fig7Config) ([]Fig7Row, error) {
-	var rows []Fig7Row
-	for _, t := range traces {
-		row, err := fig7One(t, cfg)
-		if err != nil {
-			return nil, err
-		}
-		rows = append(rows, row)
-	}
-	return rows, nil
+	return parallel.Map(len(traces), func(i int) (Fig7Row, error) {
+		return fig7One(traces[i], cfg)
+	})
 }
 
 func fig7One(t *trace.Trace, cfg Fig7Config) (Fig7Row, error) {
@@ -176,26 +172,25 @@ func (u UserExperienceResult) Rate() float64 {
 // decisions: network-wanting interactions that hit a blocked radio with
 // no Special-App exemption.
 func UserExperience(traces []*trace.Trace, cfg policy.NetMasterConfig, histories map[string]*trace.Trace, model *power.Model) ([]UserExperienceResult, error) {
-	var out []UserExperienceResult
-	for _, t := range traces {
+	return parallel.Map(len(traces), func(i int) (UserExperienceResult, error) {
+		t := traces[i]
 		userCfg := cfg
 		if h, ok := histories[t.UserID]; ok {
 			userCfg.History = h
 		}
 		nm, err := policy.NewNetMaster(userCfg)
 		if err != nil {
-			return nil, err
+			return UserExperienceResult{}, err
 		}
 		m, err := device.Run(nm, t, model)
 		if err != nil {
-			return nil, fmt.Errorf("eval: user experience on %s: %w", t.UserID, err)
+			return UserExperienceResult{}, fmt.Errorf("eval: user experience on %s: %w", t.UserID, err)
 		}
-		out = append(out, UserExperienceResult{
+		return UserExperienceResult{
 			UserID:          t.UserID,
 			Interactions:    m.Interactions,
 			NetInteractions: m.NetInteractions,
 			WrongDecisions:  m.WrongDecisions,
-		})
-	}
-	return out, nil
+		}, nil
+	})
 }

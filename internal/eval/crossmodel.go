@@ -7,6 +7,7 @@ package eval
 
 import (
 	"netmaster/internal/device"
+	"netmaster/internal/parallel"
 	"netmaster/internal/policy"
 	"netmaster/internal/power"
 	"netmaster/internal/trace"
@@ -23,16 +24,21 @@ type CrossModelRow struct {
 	DelaySaving     float64 // 60 s arm
 }
 
-// CrossModel evaluates the policy suite under each radio model.
+// CrossModel evaluates the policy suite under each radio model. Models
+// and per-trace replays fan out over the worker pool; partials reduce in
+// index order so the means match a sequential run bit for bit.
 func CrossModel(traces []*trace.Trace, histories map[string]*trace.Trace, models []*power.Model) ([]CrossModelRow, error) {
-	var rows []CrossModelRow
-	for _, model := range models {
+	return parallel.Map(len(models), func(mi int) (CrossModelRow, error) {
+		model := models[mi]
 		row := CrossModelRow{Model: model.Name}
-		var days float64
-		for _, t := range traces {
+		type part struct {
+			baselineJ, days, oracle, netmaster, delay float64
+		}
+		parts, err := parallel.Map(len(traces), func(ti int) (part, error) {
+			t := traces[ti]
 			oracle, err := policy.NewOracle(model)
 			if err != nil {
-				return nil, err
+				return part{}, err
 			}
 			nmCfg := policy.DefaultNetMasterConfig(model)
 			if h, ok := histories[t.UserID]; ok {
@@ -40,28 +46,40 @@ func CrossModel(traces []*trace.Trace, histories map[string]*trace.Trace, models
 			}
 			nm, err := policy.NewNetMaster(nmCfg)
 			if err != nil {
-				return nil, err
+				return part{}, err
 			}
 			d60, err := policy.NewDelay(60)
 			if err != nil {
-				return nil, err
+				return part{}, err
 			}
 			res, err := Compare(t, model, []device.Policy{oracle, nm, d60})
 			if err != nil {
-				return nil, err
+				return part{}, err
 			}
-			row.BaselineJPerDay += res[0].Metrics.Radio.EnergyJ
-			days += float64(t.Days)
-			row.OracleSaving += res[1].EnergySaving
-			row.NetMasterSaving += res[2].EnergySaving
-			row.DelaySaving += res[3].EnergySaving
+			return part{
+				baselineJ: res[0].Metrics.Radio.EnergyJ,
+				days:      float64(t.Days),
+				oracle:    res[1].EnergySaving,
+				netmaster: res[2].EnergySaving,
+				delay:     res[3].EnergySaving,
+			}, nil
+		})
+		if err != nil {
+			return CrossModelRow{}, err
+		}
+		var days float64
+		for _, p := range parts {
+			row.BaselineJPerDay += p.baselineJ
+			days += p.days
+			row.OracleSaving += p.oracle
+			row.NetMasterSaving += p.netmaster
+			row.DelaySaving += p.delay
 		}
 		n := float64(len(traces))
 		row.BaselineJPerDay /= days
 		row.OracleSaving /= n
 		row.NetMasterSaving /= n
 		row.DelaySaving /= n
-		rows = append(rows, row)
-	}
-	return rows, nil
+		return row, nil
+	})
 }

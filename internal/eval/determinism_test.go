@@ -1,0 +1,118 @@
+package eval
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"netmaster/internal/core"
+	"netmaster/internal/habit"
+	"netmaster/internal/parallel"
+	"netmaster/internal/policy"
+	"netmaster/internal/power"
+	"netmaster/internal/simtime"
+)
+
+// parallelismLevels are the pool widths the determinism tests sweep;
+// width 1 is the plain sequential loop the others must match byte for
+// byte.
+var parallelismLevels = []int{1, 2, 8}
+
+// withWorkers runs fn under each parallelism level and returns the
+// rendering of each run's result; all renderings must be identical.
+func assertIdenticalAcrossWorkers(t *testing.T, name string, fn func() (any, error)) {
+	t.Helper()
+	var want string
+	for i, w := range parallelismLevels {
+		prev := parallel.SetDefaultWorkers(w)
+		v, err := fn()
+		parallel.SetDefaultWorkers(prev)
+		if err != nil {
+			t.Fatalf("%s @ parallelism %d: %v", name, w, err)
+		}
+		got := fmt.Sprintf("%#v", v)
+		if i == 0 {
+			want = got
+			continue
+		}
+		if got != want {
+			t.Errorf("%s: parallelism %d output differs from sequential:\nseq: %.200s\npar: %.200s",
+				name, w, want, got)
+		}
+	}
+}
+
+// TestEvalDeterminismAcrossParallelism asserts the parallel evaluation
+// paths produce byte-identical figure rows versus the sequential path.
+func TestEvalDeterminismAcrossParallelism(t *testing.T) {
+	vols := volunteers(t)
+	hists := histories(t)
+	model := power.Model3G()
+
+	assertIdenticalAcrossWorkers(t, "Fig8", func() (any, error) {
+		return Fig8(vols, model, []simtime.Duration{0, 10, 60, 600})
+	})
+	assertIdenticalAcrossWorkers(t, "Fig9", func() (any, error) {
+		return Fig9(vols, model, []int{0, 2, 5})
+	})
+	assertIdenticalAcrossWorkers(t, "Fig7", func() (any, error) {
+		cfg := DefaultFig7Config(model)
+		cfg.Histories = hists
+		return Fig7(vols, cfg)
+	})
+	assertIdenticalAcrossWorkers(t, "Fig10c", func() (any, error) {
+		return Fig10c(vols[:2], policy.DefaultNetMasterConfig(model), hists, model, []float64{0.1, 0.3})
+	})
+	assertIdenticalAcrossWorkers(t, "DeltaRisk", func() (any, error) {
+		return DeltaRisk(vols, habit.DefaultConfig(), DefaultDeltaSweep())
+	})
+	assertIdenticalAcrossWorkers(t, "UserExperience", func() (any, error) {
+		return UserExperience(vols, policy.DefaultNetMasterConfig(model), hists, model)
+	})
+	assertIdenticalAcrossWorkers(t, "GapDistribution", func() (any, error) {
+		cfg := DefaultFig7Config(model)
+		cfg.Histories = hists
+		return Fig7aGapDistribution(vols, cfg, 100)
+	})
+	assertIdenticalAcrossWorkers(t, "CrossModel", func() (any, error) {
+		return CrossModel(vols[:2], hists, []*power.Model{power.Model3G(), power.ModelLTE()})
+	})
+}
+
+// TestSchedulerDeterminismAcrossParallelism asserts Scheduler.Schedule
+// emits byte-identical packings at every pool width across random seeds.
+func TestSchedulerDeterminismAcrossParallelism(t *testing.T) {
+	for _, seed := range []int64{1, 7, 42} {
+		rng := rand.New(rand.NewSource(seed))
+		cfg := core.DefaultConfig()
+		cfg.BandwidthBps = 4
+		cfg.SavedEnergy = func(a core.Activity) float64 { return 5 + a.ActiveSecs }
+		cfg.UseProb = func(ti simtime.Instant) float64 {
+			return float64(ti.HourOfDay()%5) * 0.11
+		}
+		s, err := core.New(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var u []simtime.Interval
+		for h := 7; h < 23; h += 3 {
+			u = append(u, simtime.Interval{
+				Start: simtime.At(0, h, 0, 0),
+				End:   simtime.At(0, h, 45, 0),
+			})
+		}
+		var tn []core.Activity
+		for i := 0; i < 200; i++ {
+			tn = append(tn, core.Activity{
+				ID:         i,
+				Time:       simtime.Instant(rng.Int63n(int64(simtime.Day))),
+				Bytes:      rng.Int63n(4000) + 1,
+				ActiveSecs: float64(rng.Intn(20) + 1),
+				DeferOnly:  rng.Intn(4) == 0,
+			})
+		}
+		assertIdenticalAcrossWorkers(t, fmt.Sprintf("Schedule(seed=%d)", seed), func() (any, error) {
+			return s.Schedule(u, tn)
+		})
+	}
+}

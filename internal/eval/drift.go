@@ -11,6 +11,7 @@ import (
 
 	"netmaster/internal/device"
 	"netmaster/internal/habit"
+	"netmaster/internal/parallel"
 	"netmaster/internal/policy"
 	"netmaster/internal/power"
 	"netmaster/internal/simtime"
@@ -101,40 +102,45 @@ func Drift(cfg DriftConfig, model *power.Model) ([]DriftRow, error) {
 		{"uniform (paper)", 0},
 		{fmt.Sprintf("recency (half-life %gd)", cfg.HalfLifeDays), cfg.HalfLifeDays},
 	}
-	var rows []DriftRow
-	for _, s := range strategies {
+	// The two mining strategies replay the same spliced trace
+	// independently; fan them out.
+	rows, err := parallel.Map(len(strategies), func(si int) (DriftRow, error) {
+		s := strategies[si]
 		nmCfg := policy.DefaultNetMasterConfig(model)
 		nmCfg.Habit.RecencyHalfLifeDays = s.halfLife
 		nm, err := policy.NewNetMaster(nmCfg)
 		if err != nil {
-			return nil, err
+			return DriftRow{}, err
 		}
 		base, err := device.Run(policy.Baseline{}, spliced, model)
 		if err != nil {
-			return nil, err
+			return DriftRow{}, err
 		}
 		m, err := device.Run(nm, spliced, model)
 		if err != nil {
-			return nil, err
+			return DriftRow{}, err
 		}
 
 		// Accuracy over the post-drift trace with the final profile.
 		habitCfg := nmCfg.Habit
 		profile, err := habit.Mine(spliced, habitCfg)
 		if err != nil {
-			return nil, err
+			return DriftRow{}, err
 		}
 		postShift := after.Clone() // day indices 0.. map to post-drift weekdays
 		acc := postDriftAccuracy(profile, postShift, cfg.WeeksBefore*7, habitCfg)
 		stale := staleShare(profile, postShift, cfg.WeeksBefore*7)
 
-		rows = append(rows, DriftRow{
+		return DriftRow{
 			Strategy:     s.name,
 			EnergySaving: m.EnergySavingVs(base),
 			Accuracy:     acc,
 			StaleShare:   stale,
 			WrongRate:    m.WrongDecisionRate(),
-		})
+		}, nil
+	})
+	if err != nil {
+		return nil, err
 	}
 	return rows, nil
 }

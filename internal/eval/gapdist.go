@@ -9,6 +9,7 @@ import (
 	"sort"
 
 	"netmaster/internal/device"
+	"netmaster/internal/parallel"
 	"netmaster/internal/policy"
 	"netmaster/internal/power"
 	"netmaster/internal/trace"
@@ -35,31 +36,36 @@ type GapDistribution struct {
 // a phone that idled all day is not a meaningful test.
 func Fig7aGapDistribution(traces []*trace.Trace, cfg Fig7Config, minBaselineJ float64) (GapDistribution, error) {
 	var out GapDistribution
-	oracle, err := policy.NewOracle(cfg.Model)
-	if err != nil {
-		return out, err
-	}
-	for _, t := range traces {
+	// Per-volunteer replays are independent: fan out, collect each
+	// volunteer's gap list by index, then flatten in volunteer order so
+	// the aggregate is identical to a sequential run.
+	perTrace, err := parallel.Map(len(traces), func(i int) ([]float64, error) {
+		t := traces[i]
+		oracle, err := policy.NewOracle(cfg.Model)
+		if err != nil {
+			return nil, err
+		}
 		nmCfg := cfg.NetMaster
 		if h, ok := cfg.Histories[t.UserID]; ok {
 			nmCfg.History = h
 		}
 		nm, err := policy.NewNetMaster(nmCfg)
 		if err != nil {
-			return out, err
+			return nil, err
 		}
 		baseDays, err := planDays(policy.Baseline{}, t, cfg.Model)
 		if err != nil {
-			return out, err
+			return nil, err
 		}
 		oracleDays, err := planDays(oracle, t, cfg.Model)
 		if err != nil {
-			return out, err
+			return nil, err
 		}
 		nmDays, err := planDays(nm, t, cfg.Model)
 		if err != nil {
-			return out, err
+			return nil, err
 		}
+		var gaps []float64
 		for d := range baseDays {
 			base := baseDays[d].Radio.EnergyJ
 			if base < minBaselineJ {
@@ -75,8 +81,15 @@ func Fig7aGapDistribution(traces []*trace.Trace, cfg Fig7Config, minBaselineJ fl
 			if gap < 0 {
 				gap = 0 // per-day slicing noise can favour NetMaster
 			}
-			out.Gaps = append(out.Gaps, gap)
+			gaps = append(gaps, gap)
 		}
+		return gaps, nil
+	})
+	if err != nil {
+		return out, err
+	}
+	for _, gaps := range perTrace {
+		out.Gaps = append(out.Gaps, gaps...)
 	}
 	if len(out.Gaps) == 0 {
 		return out, fmt.Errorf("eval: no tests above the %v J baseline floor", minBaselineJ)

@@ -8,6 +8,7 @@ import (
 	"fmt"
 
 	"netmaster/internal/device"
+	"netmaster/internal/parallel"
 	"netmaster/internal/policy"
 	"netmaster/internal/power"
 	"netmaster/internal/simtime"
@@ -60,10 +61,14 @@ func Sensitivity(traces []*trace.Trace, histories map[string]*trace.Trace, model
 		})
 	}
 
-	var rows []SensitivityRow
-	for _, v := range variants {
+	// Each (variant, trace) replay is independent; variants fan out and
+	// per-trace partials reduce in index order for bit-identical means.
+	return parallel.Map(len(variants), func(vi int) (SensitivityRow, error) {
+		v := variants[vi]
 		row := SensitivityRow{Knob: v.knob, Setting: v.setting}
-		for _, t := range traces {
+		type part struct{ saving, wake, wrong float64 }
+		parts, err := parallel.Map(len(traces), func(ti int) (part, error) {
+			t := traces[ti]
 			cfg := policy.DefaultNetMasterConfig(model)
 			if h, ok := histories[t.UserID]; ok {
 				cfg.History = h
@@ -71,27 +76,34 @@ func Sensitivity(traces []*trace.Trace, histories map[string]*trace.Trace, model
 			v.mutate(&cfg)
 			nm, err := policy.NewNetMaster(cfg)
 			if err != nil {
-				return nil, fmt.Errorf("eval: sensitivity %s=%s: %w", v.knob, v.setting, err)
+				return part{}, fmt.Errorf("eval: sensitivity %s=%s: %w", v.knob, v.setting, err)
 			}
 			base, err := device.Run(policy.Baseline{}, t, model)
 			if err != nil {
-				return nil, err
+				return part{}, err
 			}
 			m, err := device.Run(nm, t, model)
 			if err != nil {
-				return nil, err
+				return part{}, err
 			}
-			row.EnergySaving += m.EnergySavingVs(base)
+			p := part{saving: m.EnergySavingVs(base), wrong: m.WrongDecisionRate()}
 			if m.Radio.EnergyJ > 0 {
-				row.WakeShare += m.WakeEnergyJ / m.Radio.EnergyJ
+				p.wake = m.WakeEnergyJ / m.Radio.EnergyJ
 			}
-			row.WrongRate += m.WrongDecisionRate()
+			return p, nil
+		})
+		if err != nil {
+			return SensitivityRow{}, err
+		}
+		for _, p := range parts {
+			row.EnergySaving += p.saving
+			row.WakeShare += p.wake
+			row.WrongRate += p.wrong
 		}
 		n := float64(len(traces))
 		row.EnergySaving /= n
 		row.WakeShare /= n
 		row.WrongRate /= n
-		rows = append(rows, row)
-	}
-	return rows, nil
+		return row, nil
+	})
 }

@@ -9,11 +9,39 @@ import (
 	"netmaster/internal/device"
 	"netmaster/internal/dutycycle"
 	"netmaster/internal/habit"
+	"netmaster/internal/parallel"
 	"netmaster/internal/policy"
 	"netmaster/internal/power"
 	"netmaster/internal/simtime"
 	"netmaster/internal/trace"
 )
+
+// sweepPart is one trace's contribution to a sweep-point row. Per-trace
+// work fans out over the worker pool into an index-ordered slice and is
+// reduced sequentially, so the floating-point sums — and therefore every
+// reproduced paper number — are bit-identical to a sequential run.
+type sweepPart struct {
+	energySaving      float64
+	radioOnSaving     float64
+	bandwidthIncrease float64
+	affectedShare     float64
+}
+
+// comparePart replays one comparison policy on one trace and extracts
+// the standard sweep metrics.
+func comparePart(t *trace.Trace, model *power.Model, p device.Policy) (sweepPart, error) {
+	res, err := Compare(t, model, []device.Policy{p})
+	if err != nil {
+		return sweepPart{}, err
+	}
+	base, m := res[0].Metrics, res[1].Metrics
+	return sweepPart{
+		energySaving:      res[1].EnergySaving,
+		radioOnSaving:     res[1].RadioOnSaving,
+		bandwidthIncrease: rateGain(m, base),
+		affectedShare:     m.AffectedRate(),
+	}, nil
+}
 
 // Fig8Row is one delay setting's outcome averaged over a cohort.
 type Fig8Row struct {
@@ -39,26 +67,29 @@ func DefaultDelaySweep() []simtime.Duration {
 }
 
 // Fig8 sweeps the delay interval over a cohort. Delay 0 is the baseline
-// row (all zeros).
+// row (all zeros). Sweep points and per-trace replays fan out over the
+// worker pool; rows land by index.
 func Fig8(traces []*trace.Trace, model *power.Model, delays []simtime.Duration) ([]Fig8Row, error) {
-	var rows []Fig8Row
-	for _, d := range delays {
+	rows := make([]Fig8Row, len(delays))
+	err := parallel.ForEach(len(delays), func(di int) error {
+		d := delays[di]
 		row := Fig8Row{Delay: d}
 		if d > 0 {
-			for _, t := range traces {
+			parts, err := parallel.Map(len(traces), func(ti int) (sweepPart, error) {
 				dp, err := policy.NewDelay(d)
 				if err != nil {
-					return nil, err
+					return sweepPart{}, err
 				}
-				res, err := Compare(t, model, []device.Policy{dp})
-				if err != nil {
-					return nil, err
-				}
-				base, m := res[0].Metrics, res[1].Metrics
-				row.EnergySaving += res[1].EnergySaving
-				row.RadioOnSaving += res[1].RadioOnSaving
-				row.BandwidthIncrease += rateGain(m, base)
-				row.AffectedShare += m.AffectedRate()
+				return comparePart(traces[ti], model, dp)
+			})
+			if err != nil {
+				return err
+			}
+			for _, p := range parts {
+				row.EnergySaving += p.energySaving
+				row.RadioOnSaving += p.radioOnSaving
+				row.BandwidthIncrease += p.bandwidthIncrease
+				row.AffectedShare += p.affectedShare
 			}
 			n := float64(len(traces))
 			row.EnergySaving /= n
@@ -66,7 +97,11 @@ func Fig8(traces []*trace.Trace, model *power.Model, delays []simtime.Duration) 
 			row.BandwidthIncrease /= n
 			row.AffectedShare /= n
 		}
-		rows = append(rows, row)
+		rows[di] = row
+		return nil
+	})
+	if err != nil {
+		return nil, err
 	}
 	return rows, nil
 }
@@ -95,26 +130,29 @@ type Fig9Row struct {
 func DefaultBatchSweep() []int { return []int{0, 1, 2, 3, 4, 5, 6, 7, 8, 9, 10} }
 
 // Fig9 sweeps the batch aggregation limit; size 0 (or 1) degenerates to
-// the baseline behaviour.
+// the baseline behaviour. Sweep points and per-trace replays fan out
+// over the worker pool; rows land by index.
 func Fig9(traces []*trace.Trace, model *power.Model, sizes []int) ([]Fig9Row, error) {
-	var rows []Fig9Row
-	for _, n := range sizes {
+	rows := make([]Fig9Row, len(sizes))
+	err := parallel.ForEach(len(sizes), func(si int) error {
+		n := sizes[si]
 		row := Fig9Row{MaxBatch: n}
 		if n > 1 {
-			for _, t := range traces {
+			parts, err := parallel.Map(len(traces), func(ti int) (sweepPart, error) {
 				bp, err := policy.NewBatch(n, 0)
 				if err != nil {
-					return nil, err
+					return sweepPart{}, err
 				}
-				res, err := Compare(t, model, []device.Policy{bp})
-				if err != nil {
-					return nil, err
-				}
-				base, m := res[0].Metrics, res[1].Metrics
-				row.EnergySaving += res[1].EnergySaving
-				row.RadioOnSaving += res[1].RadioOnSaving
-				row.BandwidthIncrease += rateGain(m, base)
-				row.AffectedShare += m.AffectedRate()
+				return comparePart(traces[ti], model, bp)
+			})
+			if err != nil {
+				return err
+			}
+			for _, p := range parts {
+				row.EnergySaving += p.energySaving
+				row.RadioOnSaving += p.radioOnSaving
+				row.BandwidthIncrease += p.bandwidthIncrease
+				row.AffectedShare += p.affectedShare
 			}
 			k := float64(len(traces))
 			row.EnergySaving /= k
@@ -122,7 +160,11 @@ func Fig9(traces []*trace.Trace, model *power.Model, sizes []int) ([]Fig9Row, er
 			row.BandwidthIncrease /= k
 			row.AffectedShare /= k
 		}
-		rows = append(rows, row)
+		rows[si] = row
+		return nil
+	})
+	if err != nil {
+		return nil, err
 	}
 	return rows, nil
 }
@@ -214,52 +256,71 @@ func DefaultDeltaSweep() []float64 {
 // over a cohort, reporting mean prediction accuracy and mean energy
 // saving relative to the oracle.
 func Fig10c(traces []*trace.Trace, base policy.NetMasterConfig, histories map[string]*trace.Trace, model *power.Model, deltas []float64) ([]Fig10cRow, error) {
-	oracle, err := policy.NewOracle(model)
+	// Per-trace oracle absolute savings (J), computed once, in parallel.
+	// Each goroutine builds its own oracle: Plan is read-only on the
+	// trace but policies are cheap and this keeps them unshared.
+	oracleSavedJ, err := parallel.Map(len(traces), func(i int) (float64, error) {
+		oracle, err := policy.NewOracle(model)
+		if err != nil {
+			return 0, err
+		}
+		res, err := Compare(traces[i], model, []device.Policy{oracle})
+		if err != nil {
+			return 0, err
+		}
+		return res[0].Metrics.Radio.EnergyJ - res[1].Metrics.Radio.EnergyJ, nil
+	})
 	if err != nil {
 		return nil, err
 	}
-	// Per-trace oracle absolute savings (J), computed once.
-	oracleSavedJ := make([]float64, len(traces))
-	for i, t := range traces {
-		res, err := Compare(t, model, []device.Policy{oracle})
-		if err != nil {
-			return nil, err
-		}
-		oracleSavedJ[i] = res[0].Metrics.Radio.EnergyJ - res[1].Metrics.Radio.EnergyJ
-	}
 
-	var rows []Fig10cRow
-	for _, d := range deltas {
+	rows := make([]Fig10cRow, len(deltas))
+	err = parallel.ForEach(len(deltas), func(di int) error {
+		d := deltas[di]
 		cfg := base
 		cfg.Habit.WeekdayThreshold = d
 		cfg.Habit.WeekendThreshold = d
 		row := Fig10cRow{Delta: d}
-		for i, t := range traces {
+		type part struct{ saving, accuracy float64 }
+		parts, err := parallel.Map(len(traces), func(i int) (part, error) {
+			t := traces[i]
 			userCfg := cfg
 			if h, ok := histories[t.UserID]; ok {
 				userCfg.History = h
 			}
 			nm, err := policy.NewNetMaster(userCfg)
 			if err != nil {
-				return nil, err
+				return part{}, err
 			}
 			plan, err := nm.Plan(t)
 			if err != nil {
-				return nil, err
+				return part{}, err
 			}
+			var p part
 			if oracleSavedJ[i] > 0 {
-				row.EnergySaving += plan.PlannedSavingJ / oracleSavedJ[i]
+				p.saving = plan.PlannedSavingJ / oracleSavedJ[i]
 			}
-			acc, err := predictionAccuracy(t, cfg, d)
+			p.accuracy, err = predictionAccuracy(t, cfg, d)
 			if err != nil {
-				return nil, err
+				return part{}, err
 			}
-			row.Accuracy += acc
+			return p, nil
+		})
+		if err != nil {
+			return err
+		}
+		for _, p := range parts {
+			row.EnergySaving += p.saving
+			row.Accuracy += p.accuracy
 		}
 		n := float64(len(traces))
 		row.EnergySaving /= n
 		row.Accuracy /= n
-		rows = append(rows, row)
+		rows[di] = row
+		return nil
+	})
+	if err != nil {
+		return nil, err
 	}
 	return rows, nil
 }
@@ -287,16 +348,16 @@ type DeltaRiskRow struct {
 // DeltaRisk evaluates the impact-based threshold strategy over a cohort:
 // per δ, the mean (over users) of the realised interrupt risk.
 func DeltaRisk(traces []*trace.Trace, cfg habit.Config, deltas []float64) ([]DeltaRiskRow, error) {
-	profiles := make([]*habit.Profile, len(traces))
-	for i, t := range traces {
-		p, err := habit.Mine(t, cfg)
-		if err != nil {
-			return nil, err
-		}
-		profiles[i] = p
+	// Mining is the expensive half: fan it out per user first.
+	profiles, err := parallel.Map(len(traces), func(i int) (*habit.Profile, error) {
+		return habit.Mine(traces[i], cfg)
+	})
+	if err != nil {
+		return nil, err
 	}
-	var rows []DeltaRiskRow
-	for _, d := range deltas {
+	rows := make([]DeltaRiskRow, len(deltas))
+	err = parallel.ForEach(len(deltas), func(di int) error {
+		d := deltas[di]
 		row := DeltaRiskRow{Delta: d}
 		for _, p := range profiles {
 			row.WeekdayRisk += p.ImpactBasedThreshold(false, d)
@@ -305,7 +366,11 @@ func DeltaRisk(traces []*trace.Trace, cfg habit.Config, deltas []float64) ([]Del
 		n := float64(len(profiles))
 		row.WeekdayRisk /= n
 		row.WeekendRisk /= n
-		rows = append(rows, row)
+		rows[di] = row
+		return nil
+	})
+	if err != nil {
+		return nil, err
 	}
 	return rows, nil
 }

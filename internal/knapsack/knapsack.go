@@ -10,6 +10,7 @@ import (
 	"fmt"
 	"math"
 	"sort"
+	"sync"
 )
 
 // Item is one knapsack item. In the scheduler an item is a screen-off
@@ -72,17 +73,20 @@ func Exact(items []Item, capacity int64) (Solution, error) {
 		return pickZeroWeight(feas), nil
 	}
 	c := int(capacity)
-	// best[w] = max profit using weight ≤ w; choice[i][w] = item i taken
-	// at weight w.
+	// best[w] = max profit using weight ≤ w. The backtracking record is a
+	// bitset row per item (bit j set ⇔ item i taken at weight j): 1 bit
+	// per (item, weight) cell instead of the previous 1-byte bool, so
+	// large quantised capacities stay well clear of gigabyte allocations.
 	best := make([]float64, c+1)
-	take := make([][]bool, len(feas))
+	words := (c + 1 + 63) / 64
+	take := make([]uint64, len(feas)*words)
 	for i, it := range feas {
-		take[i] = make([]bool, c+1)
+		row := take[i*words : (i+1)*words]
 		w := int(it.Weight)
 		for j := c; j >= w; j-- {
 			if cand := best[j-w] + it.Profit; cand > best[j] {
 				best[j] = cand
-				take[i][j] = true
+				row[j>>6] |= 1 << (uint(j) & 63)
 			}
 		}
 	}
@@ -90,7 +94,7 @@ func Exact(items []Item, capacity int64) (Solution, error) {
 	sol := Solution{}
 	j := c
 	for i := len(feas) - 1; i >= 0; i-- {
-		if take[i][j] {
+		if take[i*words+(j>>6)]&(1<<(uint(j)&63)) != 0 {
 			sol.IDs = append(sol.IDs, feas[i].ID)
 			sol.Profit += feas[i].Profit
 			sol.Weight += feas[i].Weight
@@ -200,7 +204,9 @@ func SinKnap(items []Item, capacity int64, eps float64) (Solution, error) {
 	// Scaled profits: floor(p/K). Truncation (or omission of an item
 	// whose profit rounds to zero) loses < K per item, so the total loss
 	// is < nK = ε·Pmax ≤ ε·OPT.
-	scaled := make([]int, len(feas))
+	buf := dpPool.Get().(*dpBuffers)
+	defer dpPool.Put(buf)
+	scaled := buf.scaled(len(feas))
 	var totalScaled int
 	for i, it := range feas {
 		scaled[i] = int(math.Floor(it.Profit / k))
@@ -209,23 +215,19 @@ func SinKnap(items []Item, capacity int64, eps float64) (Solution, error) {
 
 	// DP over exact scaled profit: dp[p] holds the minimum weight
 	// achieving scaled profit p, plus an immutable selection list.
-	// Parent lists are persistent (never mutated once linked), so later
-	// overwrites of a level cannot corrupt earlier chains — this keeps
-	// reconstruction sound without a 2-D table.
-	type selNode struct {
-		item int32
-		prev *selNode
-	}
-	type cell struct {
-		weight int64
-		sel    *selNode
-	}
+	// Selection nodes live in an append-only index arena (sel is an
+	// index into it, -1 = none) rather than a pointer-chained list:
+	// chains stay persistent — nodes are never mutated once linked, so
+	// later overwrites of a level cannot corrupt earlier chains — while
+	// the arena and the dp table themselves recycle through a sync.Pool
+	// across solves instead of being reallocated per improvement.
 	const unreachable = math.MaxInt64
-	dp := make([]cell, totalScaled+1)
+	dp := buf.cells(totalScaled + 1)
 	for i := range dp {
-		dp[i].weight = unreachable
+		dp[i] = dpCell{weight: unreachable, sel: -1}
 	}
-	dp[0].weight = 0
+	dp[0] = dpCell{weight: 0, sel: -1}
+	arena := buf.arena[:0]
 	for i, it := range feas {
 		sp := scaled[i]
 		if sp == 0 {
@@ -239,10 +241,12 @@ func SinKnap(items []Item, capacity int64, eps float64) (Solution, error) {
 			}
 			cand := dp[p].weight + it.Weight
 			if cand <= capacity && cand < dp[p+sp].weight {
-				dp[p+sp] = cell{weight: cand, sel: &selNode{item: int32(i), prev: dp[p].sel}}
+				arena = append(arena, selNode{item: int32(i), prev: dp[p].sel})
+				dp[p+sp] = dpCell{weight: cand, sel: int32(len(arena) - 1)}
 			}
 		}
 	}
+	buf.arena = arena // keep any growth for the next solve
 
 	bestP := 0
 	for p := totalScaled; p > 0; p-- {
@@ -252,8 +256,8 @@ func SinKnap(items []Item, capacity int64, eps float64) (Solution, error) {
 		}
 	}
 	var sol Solution
-	for n := dp[bestP].sel; n != nil; n = n.prev {
-		it := feas[n.item]
+	for n := dp[bestP].sel; n >= 0; n = arena[n].prev {
+		it := feas[arena[n].item]
 		sol.IDs = append(sol.IDs, it.ID)
 		sol.Profit += it.Profit
 		sol.Weight += it.Weight
@@ -261,6 +265,50 @@ func SinKnap(items []Item, capacity int64, eps float64) (Solution, error) {
 	sol.normalize()
 	return sol, nil
 }
+
+// selNode is one link of a persistent selection chain: the item taken at
+// a DP improvement and the arena index of the predecessor link (-1 for
+// the chain head).
+type selNode struct {
+	item int32
+	prev int32
+}
+
+// dpCell is one DP level: the minimum weight achieving its scaled profit
+// and the arena index of its selection chain.
+type dpCell struct {
+	weight int64
+	sel    int32
+}
+
+// dpBuffers bundles SinKnap's working storage so repeated solves (the
+// scheduler runs one per active slot, per user, per day) reuse memory
+// instead of allocating a fresh table and a node per DP improvement.
+type dpBuffers struct {
+	dp       []dpCell
+	arena    []selNode
+	scaledBf []int
+}
+
+func (b *dpBuffers) cells(n int) []dpCell {
+	if cap(b.dp) < n {
+		b.dp = make([]dpCell, n)
+	}
+	b.dp = b.dp[:n]
+	return b.dp
+}
+
+func (b *dpBuffers) scaled(n int) []int {
+	if cap(b.scaledBf) < n {
+		b.scaledBf = make([]int, n)
+	}
+	b.scaledBf = b.scaledBf[:n]
+	return b.scaledBf
+}
+
+// dpPool recycles dpBuffers across SinKnap calls; sync.Pool keeps the
+// concurrent per-slot solves race-free without a lock on the hot path.
+var dpPool = sync.Pool{New: func() any { return new(dpBuffers) }}
 
 // Solve returns the better of SinKnap and Greedy; combining the two never
 // weakens the (1−ε) guarantee and the greedy occasionally wins on scaled

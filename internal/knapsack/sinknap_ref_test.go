@@ -1,0 +1,172 @@
+package knapsack
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"testing"
+	"time"
+)
+
+// sinKnapPointerChain is the pre-optimization SinKnap, kept verbatim as a
+// reference: it allocates a fresh dp table per call and a heap selNode
+// per DP improvement. The arena version must match it solution-for-
+// solution; the benchmarks below measure what the allocation diet buys.
+func sinKnapPointerChain(items []Item, capacity int64, eps float64) (Solution, error) {
+	if eps <= 0 || eps >= 1 {
+		return Solution{}, fmt.Errorf("knapsack: SinKnap eps %v outside (0,1)", eps)
+	}
+	if capacity < 0 {
+		return Solution{}, fmt.Errorf("knapsack: negative capacity %d", capacity)
+	}
+	feas, err := filterFeasible(items, capacity)
+	if err != nil {
+		return Solution{}, err
+	}
+	if len(feas) == 0 {
+		return Solution{}, nil
+	}
+	pmax := 0.0
+	for _, it := range feas {
+		if it.Profit > pmax {
+			pmax = it.Profit
+		}
+	}
+	k := eps * pmax / float64(len(feas))
+	scaled := make([]int, len(feas))
+	var totalScaled int
+	for i, it := range feas {
+		scaled[i] = int(math.Floor(it.Profit / k))
+		totalScaled += scaled[i]
+	}
+	type selNode struct {
+		item int32
+		prev *selNode
+	}
+	type cell struct {
+		weight int64
+		sel    *selNode
+	}
+	const unreachable = math.MaxInt64
+	dp := make([]cell, totalScaled+1)
+	for i := range dp {
+		dp[i].weight = unreachable
+	}
+	dp[0].weight = 0
+	for i, it := range feas {
+		sp := scaled[i]
+		if sp == 0 {
+			continue
+		}
+		for p := totalScaled - sp; p >= 0; p-- {
+			if dp[p].weight == unreachable {
+				continue
+			}
+			cand := dp[p].weight + it.Weight
+			if cand <= capacity && cand < dp[p+sp].weight {
+				dp[p+sp] = cell{weight: cand, sel: &selNode{item: int32(i), prev: dp[p].sel}}
+			}
+		}
+	}
+	bestP := 0
+	for p := totalScaled; p > 0; p-- {
+		if dp[p].weight != unreachable {
+			bestP = p
+			break
+		}
+	}
+	var sol Solution
+	for n := dp[bestP].sel; n != nil; n = n.prev {
+		it := feas[n.item]
+		sol.IDs = append(sol.IDs, it.ID)
+		sol.Profit += it.Profit
+		sol.Weight += it.Weight
+	}
+	sol.normalize()
+	return sol, nil
+}
+
+// TestSinKnapMatchesPointerChainReference cross-checks the arena-based
+// SinKnap against the original pointer-chained implementation on random
+// instances: the selection logic is unchanged, so the solutions must be
+// identical item for item.
+func TestSinKnapMatchesPointerChainReference(t *testing.T) {
+	rng := rand.New(rand.NewSource(2024))
+	for trial := 0; trial < 200; trial++ {
+		n := 1 + rng.Intn(60)
+		items := make([]Item, n)
+		for i := range items {
+			items[i] = Item{ID: i, Profit: rng.Float64() * 100, Weight: rng.Int63n(80) + 1}
+		}
+		capacity := rng.Int63n(1500) + 1
+		eps := 0.02 + rng.Float64()*0.5
+		got, err := SinKnap(items, capacity, eps)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want, err := sinKnapPointerChain(items, capacity, eps)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got.Profit != want.Profit || got.Weight != want.Weight || len(got.IDs) != len(want.IDs) {
+			t.Fatalf("trial %d: arena %+v != reference %+v", trial, got, want)
+		}
+		for i := range got.IDs {
+			if got.IDs[i] != want.IDs[i] {
+				t.Fatalf("trial %d: IDs differ: %v vs %v", trial, got.IDs, want.IDs)
+			}
+		}
+	}
+}
+
+// BenchmarkSinKnapOldVsNew measures the allocation diet: the old
+// pointer-chain implementation against the pooled arena one on the same
+// instance, reporting the speedup factor.
+func BenchmarkSinKnapOldVsNew(b *testing.B) {
+	items := benchItems(150, 60)
+	const capacity, eps = 1500, 0.1
+	b.Run("old-pointer-chain", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			if _, err := sinKnapPointerChain(items, capacity, eps); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("new-arena-pooled", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			if _, err := SinKnap(items, capacity, eps); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("speedup", func(b *testing.B) {
+		// One benchmark that times both and reports the ratio, so the
+		// win is visible in a single metric.
+		iters := 50
+		oldT := timeSolver(b, iters, func() {
+			if _, err := sinKnapPointerChain(items, capacity, eps); err != nil {
+				b.Fatal(err)
+			}
+		})
+		newT := timeSolver(b, iters, func() {
+			if _, err := SinKnap(items, capacity, eps); err != nil {
+				b.Fatal(err)
+			}
+		})
+		if newT > 0 {
+			b.ReportMetric(float64(oldT)/float64(newT), "speedup-x")
+		}
+	})
+}
+
+func timeSolver(b *testing.B, iters int, fn func()) time.Duration {
+	b.Helper()
+	fn() // warm the pool
+	start := time.Now()
+	for i := 0; i < iters; i++ {
+		fn()
+	}
+	return time.Since(start)
+}

@@ -1,0 +1,113 @@
+package parallel
+
+import (
+	"errors"
+	"fmt"
+	"sync/atomic"
+	"testing"
+)
+
+func TestForEachCoversAllIndices(t *testing.T) {
+	for _, workers := range []int{1, 2, 8, 100} {
+		n := 237
+		seen := make([]atomic.Int32, n)
+		err := ForEachN(workers, n, func(i int) error {
+			seen[i].Add(1)
+			return nil
+		})
+		if err != nil {
+			t.Fatalf("workers=%d: %v", workers, err)
+		}
+		for i := range seen {
+			if got := seen[i].Load(); got != 1 {
+				t.Fatalf("workers=%d: index %d executed %d times", workers, i, got)
+			}
+		}
+	}
+}
+
+func TestForEachEmptyAndNegative(t *testing.T) {
+	calls := 0
+	if err := ForEach(0, func(int) error { calls++; return nil }); err != nil {
+		t.Fatal(err)
+	}
+	if err := ForEach(-5, func(int) error { calls++; return nil }); err != nil {
+		t.Fatal(err)
+	}
+	if calls != 0 {
+		t.Errorf("fn called %d times on empty ranges", calls)
+	}
+}
+
+func TestForEachFirstErrorPropagation(t *testing.T) {
+	// Deterministic failures at indices 40 and 90: the smallest observed
+	// index must win, and since indices are claimed ascending, index 40
+	// is always observed.
+	for _, workers := range []int{1, 2, 8} {
+		err := ForEachN(workers, 100, func(i int) error {
+			if i == 40 || i == 90 {
+				return fmt.Errorf("fail@%d", i)
+			}
+			return nil
+		})
+		if err == nil || err.Error() != "fail@40" {
+			t.Errorf("workers=%d: err = %v, want fail@40", workers, err)
+		}
+	}
+}
+
+func TestForEachStopsClaimingAfterError(t *testing.T) {
+	var calls atomic.Int64
+	boom := errors.New("boom")
+	err := ForEachN(4, 10_000, func(i int) error {
+		calls.Add(1)
+		if i == 0 {
+			return boom
+		}
+		return nil
+	})
+	if !errors.Is(err, boom) {
+		t.Fatalf("err = %v", err)
+	}
+	if c := calls.Load(); c == 10_000 {
+		t.Error("pool kept claiming indices after the error")
+	}
+}
+
+func TestMapOrdering(t *testing.T) {
+	for _, workers := range []int{1, 3, 16} {
+		got, err := MapN(workers, 50, func(i int) (int, error) { return i * i, nil })
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i, v := range got {
+			if v != i*i {
+				t.Fatalf("workers=%d: out[%d] = %d", workers, i, v)
+			}
+		}
+	}
+}
+
+func TestMapError(t *testing.T) {
+	out, err := MapN(4, 20, func(i int) (int, error) {
+		if i == 7 {
+			return 0, errors.New("no")
+		}
+		return i, nil
+	})
+	if err == nil || out != nil {
+		t.Errorf("Map error path: out=%v err=%v", out, err)
+	}
+}
+
+func TestSetDefaultWorkers(t *testing.T) {
+	prev := SetDefaultWorkers(3)
+	defer SetDefaultWorkers(prev)
+	if DefaultWorkers() != 3 {
+		t.Errorf("DefaultWorkers = %d", DefaultWorkers())
+	}
+	if SetDefaultWorkers(0); DefaultWorkers() != 1 {
+		t.Errorf("clamp failed: %d", DefaultWorkers())
+	}
+	SetDefaultWorkers(prev)
+}

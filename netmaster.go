@@ -32,11 +32,24 @@ import (
 	"netmaster/internal/eval"
 	"netmaster/internal/habit"
 	"netmaster/internal/knapsack"
+	"netmaster/internal/parallel"
 	"netmaster/internal/policy"
 	"netmaster/internal/power"
 	"netmaster/internal/simtime"
 	"netmaster/internal/synth"
 	"netmaster/internal/trace"
+)
+
+// Parallel evaluation engine controls. The evaluation sweeps and the
+// scheduler's per-slot knapsack solves fan out over a bounded worker
+// pool; results are written by index, so output is bit-identical at any
+// parallelism (see docs/performance.md).
+var (
+	// SetParallelism sets the worker-pool width (1 = fully sequential,
+	// the default is GOMAXPROCS). It returns the previous setting.
+	SetParallelism = parallel.SetDefaultWorkers
+	// Parallelism returns the current worker-pool width.
+	Parallelism = parallel.DefaultWorkers
 )
 
 // Time primitives.

@@ -1,0 +1,145 @@
+// Sequential-versus-parallel benchmarks for the evaluation engine and
+// the scheduler hot path (see docs/performance.md). Each Benchmark*
+// pair runs the identical workload at parallelism 1 and at GOMAXPROCS;
+// the "speedup" sub-benchmark times both inside one run and reports the
+// ratio via b.ReportMetric, so a single `-bench` invocation yields the
+// headline number. On a single-core host the fan-out ratio is ~1× by
+// construction; the allocation-diet wins are benchmarked separately in
+// internal/knapsack (BenchmarkSinKnapOldVsNew) and internal/core
+// (BenchmarkPenaltyOldVsNew).
+package netmaster_test
+
+import (
+	"runtime"
+	"testing"
+	"time"
+
+	"netmaster"
+)
+
+// timeRuns measures the wall-clock time of n calls to fn under the
+// given parallelism, restoring the previous setting afterwards.
+func timeRuns(b *testing.B, workers, n int, fn func() error) time.Duration {
+	b.Helper()
+	prev := netmaster.SetParallelism(workers)
+	defer netmaster.SetParallelism(prev)
+	start := time.Now()
+	for i := 0; i < n; i++ {
+		if err := fn(); err != nil {
+			b.Fatal(err)
+		}
+	}
+	return time.Since(start)
+}
+
+// benchSeqVsPar emits the sequential / parallel / speedup trio for one
+// workload.
+func benchSeqVsPar(b *testing.B, fn func() error) {
+	maxWorkers := runtime.GOMAXPROCS(0)
+	b.Run("sequential", func(b *testing.B) {
+		prev := netmaster.SetParallelism(1)
+		defer netmaster.SetParallelism(prev)
+		for i := 0; i < b.N; i++ {
+			if err := fn(); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("parallel", func(b *testing.B) {
+		prev := netmaster.SetParallelism(maxWorkers)
+		defer netmaster.SetParallelism(prev)
+		for i := 0; i < b.N; i++ {
+			if err := fn(); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("speedup", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			seq := timeRuns(b, 1, 1, fn)
+			par := timeRuns(b, maxWorkers, 1, fn)
+			b.ReportMetric(float64(seq)/float64(par), "speedup-x")
+			b.ReportMetric(float64(maxWorkers), "workers")
+		}
+	})
+}
+
+// BenchmarkFig8ParallelSpeedup compares the Fig. 8 delay sweep at
+// parallelism 1 versus GOMAXPROCS. The sweep fans out over (delay,
+// trace) pairs; output is bit-identical either way (see
+// TestEvalDeterminismAcrossParallelism).
+func BenchmarkFig8ParallelSpeedup(b *testing.B) {
+	fixtures(b)
+	benchSeqVsPar(b, func() error {
+		_, err := netmaster.Fig8(benchVols, benchModel, []netmaster.Duration{0, 10, 60, 300, 600})
+		return err
+	})
+}
+
+// BenchmarkFig7ParallelSpeedup compares the full live comparison (one
+// independent policy suite per volunteer) at parallelism 1 versus
+// GOMAXPROCS.
+func BenchmarkFig7ParallelSpeedup(b *testing.B) {
+	fixtures(b)
+	cfg := netmaster.DefaultFig7Config(benchModel)
+	cfg.Histories = benchHists
+	benchSeqVsPar(b, func() error {
+		_, err := netmaster.Fig7(benchVols, cfg)
+		return err
+	})
+}
+
+// schedule1k builds the 1000-activity scheduling instance used by the
+// scheduler hot-path benchmark: a day's horizon with eight unused
+// slots and deterministic pseudo-random activities.
+func schedule1k(b *testing.B) (*netmaster.Scheduler, []netmaster.Interval, []netmaster.SchedActivity) {
+	b.Helper()
+	model := netmaster.Model3G()
+	cfg := netmaster.DefaultSchedulerConfig()
+	cfg.BandwidthBps = 256
+	cfg.SavedEnergy = func(a netmaster.SchedActivity) float64 { return model.SavedEnergy(a.ActiveSecs) }
+	cfg.UseProb = func(t netmaster.Instant) float64 {
+		return 0.02 + 0.04*float64(t.HourOfDay()%7)
+	}
+	s, err := netmaster.NewScheduler(cfg)
+	if err != nil {
+		b.Fatal(err)
+	}
+	var u []netmaster.Interval
+	for h := 1; h < 24; h += 3 {
+		u = append(u, netmaster.Interval{
+			Start: netmaster.Instant(h) * netmaster.Instant(netmaster.Hour),
+			End:   netmaster.Instant(h)*netmaster.Instant(netmaster.Hour) + netmaster.Instant(40*netmaster.Minute),
+		})
+	}
+	tn := make([]netmaster.SchedActivity, 1000)
+	state := uint64(0x9e3779b97f4a7c15)
+	next := func(mod int64) int64 { // splitmix-style deterministic stream
+		state ^= state << 13
+		state ^= state >> 7
+		state ^= state << 17
+		return int64(state % uint64(mod))
+	}
+	for i := range tn {
+		tn[i] = netmaster.SchedActivity{
+			ID:         i,
+			Time:       netmaster.Instant(next(int64(netmaster.Day))),
+			Bytes:      next(200_000) + 1,
+			ActiveSecs: float64(next(25) + 1),
+			DeferOnly:  next(5) == 0,
+		}
+	}
+	return s, u, tn
+}
+
+// BenchmarkSchedule1kParallelSpeedup compares Scheduler.Schedule on a
+// 1000-activity instance with per-slot knapsack solves sequential
+// versus fanned out. The packing is bit-identical either way (see
+// TestSchedulerDeterminismAcrossParallelism).
+func BenchmarkSchedule1kParallelSpeedup(b *testing.B) {
+	s, u, tn := schedule1k(b)
+	benchSeqVsPar(b, func() error {
+		_, err := s.Schedule(u, tn)
+		return err
+	})
+}
