@@ -5,17 +5,27 @@
 //
 // Usage:
 //
-//	netmaster-sim -trace user.trace [-policy netmaster|oracle|delay|batch|baseline]
+//	netmaster-sim -trace user.trace [-policy netmaster|oracle|delay|batch|baseline|online]
 //	              [-interval 60] [-batch 5] [-model 3g|lte] [-history hist.trace]
 //	netmaster-sim -gen volunteer1 -days 21 -policy netmaster   # synthetic input
+//	netmaster-sim -gen volunteer1 -policy online -fault-rate 0.1 -fault-seed 3   # chaos replay
+//
+// The online policy replays the middleware service event by event (the
+// deployment path) instead of planning offline. With -fault-rate > 0 or
+// -fault-outage set it runs under a seeded fault schedule and prints the
+// service's health counters next to the energy metrics.
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"strconv"
+	"strings"
 
 	"netmaster/internal/device"
+	"netmaster/internal/faults"
+	"netmaster/internal/middleware"
 	"netmaster/internal/policy"
 	"netmaster/internal/power"
 	"netmaster/internal/report"
@@ -24,45 +34,80 @@ import (
 	"netmaster/internal/trace"
 )
 
+// options collects every flag; run is kept testable by taking it whole.
+type options struct {
+	tracePath   string
+	gen         string
+	days        int
+	policyName  string
+	interval    int
+	batchSize   int
+	modelName   string
+	historyPath string
+	perApp      bool
+	timelineDay int
+
+	// Fault schedule (policy=online only).
+	faultRate   float64
+	faultSeed   int64
+	faultOutage string // "start:end" in seconds
+	maxDeferral int    // seconds, 0 = default
+}
+
 func main() {
-	var (
-		tracePath   = flag.String("trace", "", "trace file to replay")
-		gen         = flag.String("gen", "", "generate the named cohort user instead of reading a trace")
-		days        = flag.Int("days", 21, "days for -gen")
-		policyName  = flag.String("policy", "netmaster", "policy: baseline, netmaster, oracle, delay, batch")
-		interval    = flag.Int("interval", 60, "delay interval seconds (policy=delay)")
-		batchSize   = flag.Int("batch", 5, "batch size (policy=batch)")
-		modelName   = flag.String("model", "3g", "radio model: 3g or lte")
-		historyPath = flag.String("history", "", "optional pre-collected history trace (policy=netmaster)")
-		perApp      = flag.Bool("per-app", false, "print eprof-style per-app energy attribution")
-		timelineDay = flag.Int("timeline", -1, "render an ASCII radio timeline of this day (baseline vs the policy)")
-	)
+	var o options
+	flag.StringVar(&o.tracePath, "trace", "", "trace file to replay")
+	flag.StringVar(&o.gen, "gen", "", "generate the named cohort user instead of reading a trace")
+	flag.IntVar(&o.days, "days", 21, "days for -gen")
+	flag.StringVar(&o.policyName, "policy", "netmaster", "policy: baseline, netmaster, oracle, delay, batch, online")
+	flag.IntVar(&o.interval, "interval", 60, "delay interval seconds (policy=delay)")
+	flag.IntVar(&o.batchSize, "batch", 5, "batch size (policy=batch)")
+	flag.StringVar(&o.modelName, "model", "3g", "radio model: 3g or lte")
+	flag.StringVar(&o.historyPath, "history", "", "optional pre-collected history trace (policy=netmaster)")
+	flag.BoolVar(&o.perApp, "per-app", false, "print eprof-style per-app energy attribution")
+	flag.IntVar(&o.timelineDay, "timeline", -1, "render an ASCII radio timeline of this day (baseline vs the policy)")
+	flag.Float64Var(&o.faultRate, "fault-rate", 0, "uniform fault probability for the chaos replay (policy=online)")
+	flag.Int64Var(&o.faultSeed, "fault-seed", 1, "fault-schedule seed (policy=online)")
+	flag.StringVar(&o.faultOutage, "fault-outage", "", "radio outage window start:end in seconds (policy=online)")
+	flag.IntVar(&o.maxDeferral, "max-deferral", 0, "hard deferral deadline in seconds, 0 = 4x duty max sleep (policy=online)")
 	flag.Parse()
-	if err := run(*tracePath, *gen, *days, *policyName, *interval, *batchSize, *modelName, *historyPath, *perApp, *timelineDay); err != nil {
+	if err := run(o); err != nil {
 		fmt.Fprintln(os.Stderr, "netmaster-sim:", err)
 		os.Exit(1)
 	}
 }
 
-func run(tracePath, gen string, days int, policyName string, interval, batchSize int, modelName, historyPath string, perApp bool, timelineDay int) error {
+func run(o options) error {
 	var model *power.Model
-	switch modelName {
+	switch o.modelName {
 	case "3g":
 		model = power.Model3G()
 	case "lte":
 		model = power.ModelLTE()
 	default:
-		return fmt.Errorf("unknown model %q", modelName)
+		return fmt.Errorf("unknown model %q", o.modelName)
 	}
 
-	t, history, err := loadTrace(tracePath, gen, days, historyPath)
+	t, history, err := loadTrace(o.tracePath, o.gen, o.days, o.historyPath)
 	if err != nil {
 		return err
 	}
 
-	p, err := buildPolicy(policyName, interval, batchSize, model, history)
-	if err != nil {
-		return err
+	var p device.Policy
+	var health *middleware.Health
+	var faultStats faults.Stats
+	if o.policyName == "online" {
+		plan, h, fs, err := runOnline(t, model, o)
+		if err != nil {
+			return err
+		}
+		p = &plannedPolicy{name: plan.PolicyName, plan: plan}
+		health, faultStats = h, fs
+	} else {
+		p, err = buildPolicy(o.policyName, o.interval, o.batchSize, model, history)
+		if err != nil {
+			return err
+		}
 	}
 
 	base, err := device.Run(policy.Baseline{}, t, model)
@@ -97,14 +142,103 @@ func run(tracePath, gen string, days int, policyName string, interval, batchSize
 	if err := tbl.Render(os.Stdout); err != nil {
 		return err
 	}
-	if perApp {
+	if health != nil {
+		if err := renderHealth(*health, faultStats); err != nil {
+			return err
+		}
+	}
+	if o.perApp {
 		if err := renderPerApp(t, p, model); err != nil {
 			return err
 		}
 	}
-	if timelineDay >= 0 {
-		return renderTimeline(t, p, model, timelineDay)
+	if o.timelineDay >= 0 {
+		return renderTimeline(t, p, model, o.timelineDay)
 	}
+	return nil
+}
+
+// plannedPolicy adapts an already-computed plan (the online replay's) to
+// the device.Policy interface the renderers expect.
+type plannedPolicy struct {
+	name string
+	plan *device.Plan
+}
+
+func (p *plannedPolicy) Name() string { return p.name }
+
+func (p *plannedPolicy) Plan(t *trace.Trace) (*device.Plan, error) { return p.plan, nil }
+
+// runOnline replays the middleware service over the trace — plainly, or
+// under the flags' fault schedule.
+func runOnline(t *trace.Trace, model *power.Model, o options) (*device.Plan, *middleware.Health, faults.Stats, error) {
+	cfg := middleware.DefaultChaosConfig(model)
+	cfg.Faults = faults.Uniform(o.faultSeed, o.faultRate)
+	if o.faultOutage != "" {
+		iv, err := parseOutage(o.faultOutage)
+		if err != nil {
+			return nil, nil, faults.Stats{}, err
+		}
+		cfg.Faults.RadioOutages = []simtime.Interval{iv}
+	}
+	if o.maxDeferral > 0 {
+		cfg.MaxDeferral = simtime.Duration(o.maxDeferral)
+	}
+	if cfg.Faults.IsZero() {
+		res, err := middleware.Replay(t, cfg.Replay)
+		if err != nil {
+			return nil, nil, faults.Stats{}, err
+		}
+		return res.Plan, nil, faults.Stats{}, nil
+	}
+	res, err := middleware.ReplayChaos(t, cfg)
+	if err != nil {
+		return nil, nil, faults.Stats{}, err
+	}
+	return res.Plan, &res.Health, res.Faults, nil
+}
+
+func parseOutage(s string) (simtime.Interval, error) {
+	parts := strings.SplitN(s, ":", 2)
+	if len(parts) != 2 {
+		return simtime.Interval{}, fmt.Errorf("fault outage %q: want start:end seconds", s)
+	}
+	start, err := strconv.ParseInt(parts[0], 10, 64)
+	if err != nil {
+		return simtime.Interval{}, fmt.Errorf("fault outage start: %w", err)
+	}
+	end, err := strconv.ParseInt(parts[1], 10, 64)
+	if err != nil {
+		return simtime.Interval{}, fmt.Errorf("fault outage end: %w", err)
+	}
+	if end < start {
+		return simtime.Interval{}, fmt.Errorf("fault outage %q inverted", s)
+	}
+	return simtime.Interval{Start: simtime.Instant(start), End: simtime.Instant(end)}, nil
+}
+
+// renderHealth prints the service's fault counters and degradation mode
+// after a chaos replay.
+func renderHealth(h middleware.Health, fs faults.Stats) error {
+	tbl := report.NewTable(fmt.Sprintf("service health (mode %s, %d faults absorbed)", h.Mode, h.FaultsAbsorbed()),
+		"counter", "value")
+	tbl.AddRow("mode transitions", h.ModeTransitions)
+	tbl.AddRow("db write faults", h.DBFaults)
+	tbl.AddRow("mining faults", h.MineFaults)
+	tbl.AddRow("stale events", h.StaleEvents)
+	tbl.AddRow("dropped events", h.DroppedEvents)
+	tbl.AddRow("duplicated events", h.DupEvents)
+	tbl.AddRow("reordered events", h.ReorderedEvents)
+	tbl.AddRow("radio retries", h.RadioRetries)
+	tbl.AddRow("sync retries", h.SyncRetries)
+	tbl.AddRow("transfer retries", h.TransferRetries)
+	tbl.AddRow("radio give-ups", h.RadioGiveUps)
+	tbl.AddRow("sync give-ups", h.SyncGiveUps)
+	tbl.AddRow("deadline flushes", h.DeadlineFlushes)
+	if err := tbl.Render(os.Stdout); err != nil {
+		return err
+	}
+	fmt.Printf("fault injector: %v\n", fs)
 	return nil
 }
 

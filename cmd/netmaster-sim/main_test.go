@@ -2,31 +2,69 @@ package main
 
 import "testing"
 
+func opts(gen string, days int, policy string) options {
+	return options{
+		gen: gen, days: days, policyName: policy,
+		interval: 30, batchSize: 4, modelName: "3g",
+		timelineDay: -1, faultSeed: 1,
+	}
+}
+
 func TestRunAllPolicies(t *testing.T) {
-	for _, p := range []string{"baseline", "netmaster", "oracle", "delay", "batch"} {
-		if err := run("", "volunteer3", 5, p, 30, 4, "3g", "", false, -1); err != nil {
+	for _, p := range []string{"baseline", "netmaster", "oracle", "delay", "batch", "online"} {
+		if err := run(opts("volunteer3", 5, p)); err != nil {
 			t.Errorf("%s: %v", p, err)
 		}
 	}
 }
 
 func TestRunPerAppAndTimeline(t *testing.T) {
-	if err := run("", "volunteer3", 4, "netmaster", 30, 4, "lte", "", true, 2); err != nil {
+	o := opts("volunteer3", 4, "netmaster")
+	o.modelName = "lte"
+	o.perApp = true
+	o.timelineDay = 2
+	if err := run(o); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunOnlineWithFaults(t *testing.T) {
+	o := opts("volunteer3", 5, "online")
+	o.faultRate = 0.15
+	o.faultSeed = 3
+	if err := run(o); err != nil {
+		t.Fatal(err)
+	}
+	o.faultOutage = "90000:180000"
+	o.maxDeferral = 7200
+	if err := run(o); err != nil {
 		t.Fatal(err)
 	}
 }
 
 func TestRunErrors(t *testing.T) {
-	if err := run("", "", 5, "baseline", 30, 4, "3g", "", false, -1); err == nil {
+	if err := run(opts("", 5, "baseline")); err == nil {
 		t.Error("missing input accepted")
 	}
-	if err := run("", "volunteer3", 5, "wat", 30, 4, "3g", "", false, -1); err == nil {
+	if err := run(opts("volunteer3", 5, "wat")); err == nil {
 		t.Error("unknown policy accepted")
 	}
-	if err := run("", "volunteer3", 5, "baseline", 30, 4, "5g", "", false, -1); err == nil {
+	o := opts("volunteer3", 5, "baseline")
+	o.modelName = "5g"
+	if err := run(o); err == nil {
 		t.Error("unknown model accepted")
 	}
-	if err := run("", "nobody", 5, "baseline", 30, 4, "3g", "", false, -1); err == nil {
+	if err := run(opts("nobody", 5, "baseline")); err == nil {
 		t.Error("unknown user accepted")
+	}
+	o = opts("volunteer3", 5, "online")
+	o.faultOutage = "bogus"
+	if err := run(o); err == nil {
+		t.Error("malformed outage accepted")
+	}
+	o = opts("volunteer3", 5, "online")
+	o.faultOutage = "500:100"
+	if err := run(o); err == nil {
+		t.Error("inverted outage accepted")
 	}
 }

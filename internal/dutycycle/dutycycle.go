@@ -60,11 +60,12 @@ func (e *Exponential) Name() string { return "exponential" }
 func (e *Exponential) NextSleep() simtime.Duration {
 	if e.cur == 0 {
 		e.cur = e.Initial
+	} else if e.cur >= e.Max/2 {
+		// Clamp before doubling so a Max near the integer ceiling
+		// cannot overflow the multiplication.
+		e.cur = e.Max
 	} else {
 		e.cur *= 2
-		if e.cur > e.Max {
-			e.cur = e.Max
-		}
 	}
 	return e.cur
 }

@@ -1,6 +1,7 @@
 package dutycycle
 
 import (
+	"math"
 	"testing"
 	"testing/quick"
 
@@ -195,5 +196,113 @@ func TestWakeCountMonotoneProperty(t *testing.T) {
 	}
 	if err := quick.Check(prop, &quick.Config{MaxCount: 100}); err != nil {
 		t.Error(err)
+	}
+}
+
+// TestExponentialResetMidBackoff models the screen-on / activity case:
+// however deep the backoff, one Reset returns the sequence to its
+// initial sleep and the doubling restarts from there.
+func TestExponentialResetMidBackoff(t *testing.T) {
+	e, err := NewExponential(30, 7680)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 4; i++ {
+		e.NextSleep() // 30, 60, 120, 240
+	}
+	e.Reset()
+	if got := e.NextSleep(); got != 30 {
+		t.Fatalf("sleep after reset = %v, want 30", got)
+	}
+	if got := e.NextSleep(); got != 60 {
+		t.Fatalf("second sleep after reset = %v, want 60", got)
+	}
+	// Reset is idempotent: resetting an already-reset scheme changes
+	// nothing.
+	e.Reset()
+	e.Reset()
+	if got := e.NextSleep(); got != 30 {
+		t.Fatalf("sleep after double reset = %v, want 30", got)
+	}
+}
+
+// TestExponentialClampSticky verifies the cap holds once reached — the
+// sequence stays at Max forever without overflowing, even for a cap
+// near the integer ceiling.
+func TestExponentialClampSticky(t *testing.T) {
+	e, err := NewExponential(30, 7680)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var last simtime.Duration
+	for i := 0; i < 64; i++ {
+		last = e.NextSleep()
+	}
+	if last != 7680 {
+		t.Fatalf("sleep after 64 steps = %v, want cap 7680", last)
+	}
+	// A cap at the integer ceiling must not wrap the doubling negative.
+	huge, err := NewExponential(1<<40, simtime.Duration(math.MaxInt64))
+	if err != nil {
+		t.Fatal(err)
+	}
+	prev := simtime.Duration(0)
+	for i := 0; i < 80; i++ {
+		d := huge.NextSleep()
+		if d <= 0 || d < prev {
+			t.Fatalf("step %d: sleep %v regressed or overflowed (prev %v)", i, d, prev)
+		}
+		prev = d
+	}
+	if prev != simtime.Duration(math.MaxInt64) {
+		t.Fatalf("huge cap never reached: %v", prev)
+	}
+}
+
+// TestSimulateWakeExactlyAtTransition pins the boundary case of a wake
+// firing exactly at a screen transition: a wake landing on the first
+// instant of activity still detects it (half-open window [t, t+w)
+// contains t), resets the backoff, and the next sleep is the initial
+// interval again.
+func TestSimulateWakeExactlyAtTransition(t *testing.T) {
+	e, err := NewExponential(30, 7680)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Activity exists precisely from t=30 (the first wake instant) on.
+	activeFrom := simtime.Instant(30)
+	res := Simulate(e, 0, 200, 2, func(iv simtime.Interval) bool {
+		return iv.End > activeFrom
+	})
+	if len(res.WakeUps) == 0 {
+		t.Fatal("no wake-ups")
+	}
+	first := res.WakeUps[0]
+	if first.At != 30 || !first.Activity {
+		t.Fatalf("first wake = %+v, want activity at t=30", first)
+	}
+	// Backoff reset: the next wake comes one initial sleep after the
+	// window closes, not a doubled one.
+	if len(res.WakeUps) > 1 {
+		gap := res.WakeUps[1].At.Sub(first.At.Add(first.Window))
+		if gap != 30 {
+			t.Fatalf("gap after reset wake = %v, want 30", gap)
+		}
+	}
+	// A wake firing exactly when activity ends (half-open: the window
+	// [100, 102) starts where activity [0, 100) stops) must NOT detect
+	// it.
+	f, err := NewFixed(100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res = Simulate(f, 0, 300, 2, func(iv simtime.Interval) bool {
+		return iv.Start < 100 // activity strictly before t=100
+	})
+	if len(res.WakeUps) == 0 || res.WakeUps[0].At != 100 {
+		t.Fatalf("fixed wake schedule unexpected: %+v", res.WakeUps)
+	}
+	if res.WakeUps[0].Activity {
+		t.Fatal("wake at the instant activity ended still detected it")
 	}
 }

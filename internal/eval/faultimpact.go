@@ -1,0 +1,100 @@
+// Fault-impact evaluation: how much of the paper's energy saving the
+// online middleware retains as the fault intensity rises. The chaos
+// replay (internal/middleware + internal/faults) produces the degraded
+// plan; this file scores it against the unmanaged baseline and the
+// fault-free online run, averaged over several fault-schedule seeds —
+// the robustness counterpart of the Fig. 7 comparison.
+package eval
+
+import (
+	"fmt"
+
+	"netmaster/internal/device"
+	"netmaster/internal/faults"
+	"netmaster/internal/middleware"
+	"netmaster/internal/policy"
+	"netmaster/internal/power"
+	"netmaster/internal/trace"
+)
+
+// FaultImpactRow is the outcome of one fault intensity on one trace,
+// averaged across seeds.
+type FaultImpactRow struct {
+	// Intensity is the uniform fault probability (faults.Uniform knob).
+	Intensity float64
+	// Seeds is how many fault schedules were averaged.
+	Seeds int
+	// EnergySaving is the mean 1 − E/E_baseline under faults.
+	EnergySaving float64
+	// SavingRetained is EnergySaving divided by the fault-free online
+	// saving — 1.0 means faults cost nothing, 0 means the saving is
+	// gone.
+	SavingRetained float64
+	// FaultsInjected and FaultsAbsorbed are mean injector decisions
+	// gone bad and mean health-counter sum per run.
+	FaultsInjected float64
+	FaultsAbsorbed float64
+	// DeadlineFlushes is the mean number of transfers that needed the
+	// hard deferral deadline.
+	DeadlineFlushes float64
+}
+
+// FaultImpact replays the trace online under each fault intensity,
+// averaging energy saving over the seeds, with intensity 0 scored via
+// the identical chaos path (zero schedule) as the reference.
+func FaultImpact(t *trace.Trace, model *power.Model, intensities []float64, seeds []int64) ([]FaultImpactRow, error) {
+	if len(seeds) == 0 {
+		return nil, fmt.Errorf("eval: fault impact needs at least one seed")
+	}
+	base, err := device.Run(policy.Baseline{}, t, model)
+	if err != nil {
+		return nil, fmt.Errorf("eval: baseline on %s: %w", t.UserID, err)
+	}
+
+	runOne := func(intensity float64, seed int64) (*middleware.ChaosResult, device.Metrics, error) {
+		cfg := middleware.DefaultChaosConfig(model)
+		cfg.Faults = faults.Uniform(seed, intensity)
+		res, err := middleware.ReplayChaos(t, cfg)
+		if err != nil {
+			return nil, device.Metrics{}, err
+		}
+		m, err := device.ComputeMetrics(res.Plan, model)
+		if err != nil {
+			return nil, device.Metrics{}, err
+		}
+		return res, m, nil
+	}
+
+	// Fault-free reference saving (any seed: a zero schedule injects
+	// nothing, so they all agree).
+	_, cleanM, err := runOne(0, seeds[0])
+	if err != nil {
+		return nil, fmt.Errorf("eval: fault-free online replay on %s: %w", t.UserID, err)
+	}
+	cleanSaving := cleanM.EnergySavingVs(base)
+
+	var rows []FaultImpactRow
+	for _, p := range intensities {
+		row := FaultImpactRow{Intensity: p, Seeds: len(seeds)}
+		for _, seed := range seeds {
+			res, m, err := runOne(p, seed)
+			if err != nil {
+				return nil, fmt.Errorf("eval: chaos replay p=%v seed=%d on %s: %w", p, seed, t.UserID, err)
+			}
+			row.EnergySaving += m.EnergySavingVs(base)
+			row.FaultsInjected += float64(res.Faults.TotalInjected())
+			row.FaultsAbsorbed += float64(res.Health.FaultsAbsorbed())
+			row.DeadlineFlushes += float64(res.Health.DeadlineFlushes)
+		}
+		n := float64(len(seeds))
+		row.EnergySaving /= n
+		row.FaultsInjected /= n
+		row.FaultsAbsorbed /= n
+		row.DeadlineFlushes /= n
+		if cleanSaving != 0 {
+			row.SavingRetained = row.EnergySaving / cleanSaving
+		}
+		rows = append(rows, row)
+	}
+	return rows, nil
+}

@@ -1,0 +1,59 @@
+package eval
+
+import (
+	"testing"
+
+	"netmaster/internal/power"
+	"netmaster/internal/synth"
+)
+
+func TestFaultImpact(t *testing.T) {
+	tr, err := synth.Generate(synth.EvalCohort()[1], 6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	model := power.Model3G()
+	rows, err := FaultImpact(tr, model, []float64{0, 0.1, 0.3}, []int64{1, 2, 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 3 {
+		t.Fatalf("%d rows", len(rows))
+	}
+	// Intensity 0 retains the full fault-free saving by construction.
+	if rows[0].Intensity != 0 || rows[0].SavingRetained < 0.999 || rows[0].SavingRetained > 1.001 {
+		t.Fatalf("zero-intensity row = %+v", rows[0])
+	}
+	if rows[0].FaultsInjected != 0 {
+		t.Fatalf("zero schedule injected %v faults", rows[0].FaultsInjected)
+	}
+	for _, r := range rows[1:] {
+		if r.FaultsInjected == 0 {
+			t.Fatalf("intensity %v injected nothing", r.Intensity)
+		}
+		if r.FaultsAbsorbed == 0 {
+			t.Fatalf("intensity %v absorbed nothing", r.Intensity)
+		}
+		// Degradation must be graceful: faults cost energy saving, but
+		// the service keeps a meaningful fraction of it.
+		if r.SavingRetained < 0.3 {
+			t.Fatalf("intensity %v retains only %v of the saving", r.Intensity, r.SavingRetained)
+		}
+	}
+	if testing.Verbose() {
+		for _, r := range rows {
+			t.Logf("p=%.2f saving=%.3f retained=%.3f injected=%.0f absorbed=%.0f flushes=%.1f",
+				r.Intensity, r.EnergySaving, r.SavingRetained, r.FaultsInjected, r.FaultsAbsorbed, r.DeadlineFlushes)
+		}
+	}
+}
+
+func TestFaultImpactNeedsSeeds(t *testing.T) {
+	tr, err := synth.Generate(synth.EvalCohort()[0], 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := FaultImpact(tr, power.Model3G(), []float64{0.1}, nil); err == nil {
+		t.Fatal("no seeds accepted")
+	}
+}

@@ -1,0 +1,222 @@
+package middleware
+
+import (
+	"reflect"
+	"testing"
+
+	"netmaster/internal/faults"
+	"netmaster/internal/power"
+	"netmaster/internal/simtime"
+	"netmaster/internal/synth"
+	"netmaster/internal/trace"
+)
+
+// TestChaosNoFaultBitIdentical is the harness's ground rule: a chaos
+// replay under a zero fault schedule must be byte-for-byte the plain
+// Replay — same commands, same executions, same wake windows — so that
+// every divergence seen under faults is attributable to the schedule.
+func TestChaosNoFaultBitIdentical(t *testing.T) {
+	tr, err := synth.Generate(synth.EvalCohort()[1], 6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	model := power.Model3G()
+	plain, err := Replay(tr, DefaultReplayConfig(model))
+	if err != nil {
+		t.Fatal(err)
+	}
+	ccfg := DefaultChaosConfig(model)
+	ccfg.Faults = faults.Config{Seed: 7} // zero probabilities: no faults
+	chaos, err := ReplayChaos(tr, ccfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(plain.Commands, chaos.Commands) {
+		t.Fatalf("command log diverged: plain %d commands, chaos %d",
+			len(plain.Commands), len(chaos.Commands))
+	}
+	if !reflect.DeepEqual(plain.Plan.Executions, chaos.Plan.Executions) {
+		t.Fatal("execution schedule diverged under a zero fault schedule")
+	}
+	if !reflect.DeepEqual(plain.Plan.WakeWindows, chaos.Plan.WakeWindows) {
+		t.Fatal("wake windows diverged under a zero fault schedule")
+	}
+	if got := chaos.Health.FaultsAbsorbed(); got != 0 {
+		t.Fatalf("no-fault run reported %d absorbed faults: %+v", got, chaos.Health)
+	}
+	if chaos.Health.Mode != ModeNormal {
+		t.Fatalf("no-fault run ended in mode %v", chaos.Health.Mode)
+	}
+	for _, rec := range chaos.Log {
+		if !rec.Applied || rec.Attempts != 1 || rec.AppliedAt != rec.Time {
+			t.Fatalf("no-fault command executed non-trivially: %+v", rec)
+		}
+	}
+}
+
+// foldRadio replays the applied commands of a chaos log against a
+// modelled radio and returns the final state — the executor's log must
+// be a complete, consistent account of every radio transition.
+func foldRadio(log []CommandRecord) bool {
+	on := false
+	for _, rec := range log {
+		if !rec.Applied {
+			continue
+		}
+		switch rec.Kind {
+		case CmdRadioEnable:
+			on = true
+		case CmdRadioDisable:
+			on = false
+		}
+	}
+	return on
+}
+
+// checkInvariants asserts the three per-run soak invariants: byte
+// conservation, radio-state consistency, and bounded deferral latency.
+func checkInvariants(t *testing.T, tr *trace.Trace, cfg ChaosConfig, res *ChaosResult) {
+	t.Helper()
+
+	// Byte conservation: every recorded activity executes exactly once
+	// — nothing lost to a dropped event or fault, nothing duplicated by
+	// a retry or a replayed event.
+	seen := make(map[int]int, len(tr.Activities))
+	for _, ex := range res.Plan.Executions {
+		seen[ex.Index]++
+	}
+	for i := range tr.Activities {
+		if seen[i] != 1 {
+			t.Fatalf("activity %d executed %d times", i, seen[i])
+		}
+	}
+	if len(res.Plan.Executions) != len(tr.Activities) {
+		t.Fatalf("%d executions for %d activities", len(res.Plan.Executions), len(tr.Activities))
+	}
+
+	// Radio-state consistency: folding the applied commands in the log
+	// reproduces the executor's ground-truth final radio state.
+	if got := foldRadio(res.Log); got != res.FinalRadioOn {
+		t.Fatalf("folded radio state %v != executor state %v", got, res.FinalRadioOn)
+	}
+
+	// Bounded deferral: no screen-off background transfer starts later
+	// than its arrival plus the hard deadline, modulo retry backoff and
+	// the serve chain of transfers ahead of it in the same window.
+	slack := simtime.Duration(cfg.Retry.MaxAttempts)*(cfg.Retry.MaxBackoff+cfg.Retry.InitialBackoff) +
+		3600*simtime.Second
+	bound := cfg.MaxDeferral + slack
+	for _, ex := range res.Plan.Executions {
+		a := tr.Activities[ex.Index]
+		if !a.Kind.IsBackground() || tr.ScreenOnAt(a.Start) {
+			continue
+		}
+		if wait := ex.ExecStart.Sub(a.Start); wait > bound {
+			t.Fatalf("activity %d deferred %v > bound %v", ex.Index, wait, bound)
+		}
+	}
+}
+
+// TestChaosSoak replays a two-week trace under randomized fault
+// schedules across several seeds, asserting the four invariants that
+// define correct degraded operation — and that each seed reproduces its
+// run bit for bit.
+func TestChaosSoak(t *testing.T) {
+	tr, err := synth.Generate(synth.EvalCohort()[2], 14)
+	if err != nil {
+		t.Fatal(err)
+	}
+	model := power.Model3G()
+	seeds := []int64{1, 2, 3, 4, 5}
+	if testing.Short() {
+		seeds = seeds[:2]
+	}
+	for _, seed := range seeds {
+		cfg := DefaultChaosConfig(model)
+		cfg.Faults = faults.Uniform(seed, 0.08)
+		res, err := ReplayChaos(tr, cfg)
+		if err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		if res.Faults.TotalInjected() == 0 {
+			t.Fatalf("seed %d: schedule injected nothing", seed)
+		}
+		checkInvariants(t, tr, cfg, res)
+
+		// Seed determinism: the identical config replays bit-identically.
+		again, err := ReplayChaos(tr, cfg)
+		if err != nil {
+			t.Fatalf("seed %d rerun: %v", seed, err)
+		}
+		if !reflect.DeepEqual(res.Log, again.Log) {
+			t.Fatalf("seed %d: command log not reproducible", seed)
+		}
+		if !reflect.DeepEqual(res.Plan.Executions, again.Plan.Executions) {
+			t.Fatalf("seed %d: executions not reproducible", seed)
+		}
+		if res.Health != again.Health {
+			t.Fatalf("seed %d: health diverged:\n%+v\n%+v", seed, res.Health, again.Health)
+		}
+		if res.Faults != again.Faults {
+			t.Fatalf("seed %d: fault stats diverged", seed)
+		}
+	}
+}
+
+// TestChaosDeadlineFlush blacks the radio out for two full days: every
+// wake-up fails, so pending screen-off transfers can only leave through
+// the hard deferral deadline — which must fire, and must still keep
+// every invariant.
+func TestChaosDeadlineFlush(t *testing.T) {
+	tr, err := synth.Generate(synth.EvalCohort()[1], 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := DefaultChaosConfig(power.Model3G())
+	cfg.Faults = faults.Config{
+		Seed: 11,
+		RadioOutages: []simtime.Interval{
+			{Start: simtime.Instant(2 * simtime.Day), End: simtime.Instant(4 * simtime.Day)},
+		},
+	}
+	res, err := ReplayChaos(tr, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkInvariants(t, tr, cfg, res)
+	if res.Health.DeadlineFlushes == 0 {
+		t.Fatal("two-day radio outage never tripped the deferral deadline")
+	}
+	if res.Health.RadioGiveUps == 0 {
+		t.Fatal("outage produced no radio give-ups")
+	}
+}
+
+// TestChaosHeavyFaultsDegrade drives the schedule hard enough that the
+// service must actually enter its degraded modes and recover machinery,
+// and still satisfies every invariant.
+func TestChaosHeavyFaultsDegrade(t *testing.T) {
+	tr, err := synth.Generate(synth.EvalCohort()[0], 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := DefaultChaosConfig(power.Model3G())
+	cfg.Faults = faults.Uniform(99, 0.35)
+	res, err := ReplayChaos(tr, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkInvariants(t, tr, cfg, res)
+	h := res.Health
+	if h.RadioRetries == 0 && h.SyncRetries == 0 {
+		t.Error("heavy schedule triggered no command retries")
+	}
+	if h.DBFaults == 0 {
+		t.Error("heavy schedule hit no DB writes")
+	}
+	if h.FaultsAbsorbed() == 0 {
+		t.Error("heavy schedule absorbed no faults")
+	}
+	t.Logf("health under heavy faults: %+v", h)
+	t.Logf("injector: %v", res.Faults)
+}

@@ -19,9 +19,17 @@ import (
 // stream the device would deliver: app-install announcements at time 0,
 // screen broadcasts, interactions, and per-activity network samples at
 // the state-appropriate timer period.
+// maxConvertDays bounds the day count either conversion accepts. Beyond
+// ten years the horizon arithmetic risks int64 overflow and the sample
+// expansion allocates absurdly; no real monitoring window comes close.
+const maxConvertDays = 3650
+
 func EventsFromTrace(t *trace.Trace, cfg Config) ([]Event, error) {
 	if err := t.Validate(); err != nil {
 		return nil, err
+	}
+	if t.Days > maxConvertDays {
+		return nil, fmt.Errorf("middleware: trace spans %d days, limit %d", t.Days, maxConvertDays)
 	}
 	var events []Event
 	for _, app := range t.InstalledApps {
@@ -112,6 +120,9 @@ func sampleActivity(t *trace.Trace, a trace.NetworkActivity, cfg Config) []Event
 func RecordsToTrace(db *recorddb.DB, days int, installed []trace.AppID) (*trace.Trace, error) {
 	if days <= 0 {
 		return nil, fmt.Errorf("middleware: non-positive day count %d", days)
+	}
+	if days > maxConvertDays {
+		return nil, fmt.Errorf("middleware: day count %d above limit %d", days, maxConvertDays)
 	}
 	horizon := simtime.Instant(simtime.Duration(days) * simtime.Day)
 	out := &trace.Trace{Days: days, InstalledApps: append([]trace.AppID(nil), installed...)}

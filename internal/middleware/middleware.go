@@ -16,9 +16,11 @@ package middleware
 
 import (
 	"fmt"
+	"math"
 	"sort"
 
 	"netmaster/internal/dutycycle"
+	"netmaster/internal/faults"
 	"netmaster/internal/habit"
 	"netmaster/internal/recorddb"
 	"netmaster/internal/simtime"
@@ -105,9 +107,15 @@ type Config struct {
 	ScreenOnSamplePeriod  simtime.Duration
 	ScreenOffSamplePeriod simtime.Duration
 	// DutyInitialSleep seeds the exponential duty cycle used while the
-	// screen is off.
+	// screen is off; DutyMaxSleep caps the backoff.
 	DutyInitialSleep simtime.Duration
 	DutyMaxSleep     simtime.Duration
+	// Faults optionally injects failures at the service's effect
+	// boundaries (record-DB writes, mining runs). Nil means every
+	// operation succeeds — the plain replay path. The chaos replay
+	// shares one injector between the service and the command executor
+	// so a single seed identifies the whole fault schedule.
+	Faults *faults.Injector
 }
 
 // DefaultConfig returns the paper's settings.
@@ -129,13 +137,100 @@ func (c Config) validate() error {
 	if c.DutyInitialSleep <= 0 {
 		return fmt.Errorf("middleware: non-positive duty sleep")
 	}
+	if c.DutyMaxSleep <= 0 {
+		return fmt.Errorf("middleware: non-positive duty max sleep %v", c.DutyMaxSleep)
+	}
+	if c.DutyMaxSleep < c.DutyInitialSleep {
+		return fmt.Errorf("middleware: duty max sleep %v below initial %v",
+			c.DutyMaxSleep, c.DutyInitialSleep)
+	}
 	return nil
+}
+
+// Mode is the service's degradation state. The service reports its mode
+// through Health so operators can see which fallback is in force.
+type Mode int
+
+const (
+	// ModeNormal is full operation: monitoring, mining and scheduling
+	// all healthy.
+	ModeNormal Mode = iota
+	// ModeDutyOnly means mining has failed and no usable profile
+	// exists: the service runs on the duty-cycle real-time adjustment
+	// alone, exactly the paper's fallback for unpredictable users.
+	ModeDutyOnly
+	// ModePassThrough means the record DB is unavailable: with no
+	// monitoring there is nothing to mine and no basis for blocking, so
+	// the radio is left permanently on — the unmanaged baseline — until
+	// writes succeed again.
+	ModePassThrough
+)
+
+var modeNames = [...]string{"normal", "duty-only", "pass-through"}
+
+// String names the mode.
+func (m Mode) String() string {
+	if m < 0 || int(m) >= len(modeNames) {
+		return fmt.Sprintf("Mode(%d)", int(m))
+	}
+	return modeNames[m]
+}
+
+// Health is the service's fault-handling counters: how many faults were
+// seen and absorbed at each boundary, how often operations were
+// retried, and which degraded mode is in force. The facade exports it
+// so a deployment can alarm on these.
+type Health struct {
+	// Mode is the degradation state currently in force.
+	Mode Mode
+	// ModeTransitions counts entries into and exits from degraded
+	// modes.
+	ModeTransitions int
+
+	// DBFaults counts monitoring-record writes that failed (the record
+	// is lost); MineFaults counts mining runs that errored or produced
+	// a corrupt/empty profile the validator rejected.
+	DBFaults   int
+	MineFaults int
+
+	// StaleEvents counts events delivered out of order and clamped to
+	// the service clock; DroppedEvents, DupEvents and ReorderedEvents
+	// count the stream perturbations the chaos harness injected.
+	StaleEvents     int
+	DroppedEvents   int
+	DupEvents       int
+	ReorderedEvents int
+
+	// RadioRetries, SyncRetries and TransferRetries count re-attempts
+	// at the executor boundaries; RadioGiveUps and SyncGiveUps count
+	// commands abandoned after the retry budget.
+	RadioRetries    int
+	SyncRetries     int
+	TransferRetries int
+	RadioGiveUps    int
+	SyncGiveUps     int
+
+	// DeadlineFlushes counts screen-off transfers force-executed at the
+	// hard deferral deadline instead of waiting for a radio window.
+	DeadlineFlushes int
+}
+
+// FaultsAbsorbed sums the faults the service survived.
+func (h Health) FaultsAbsorbed() int {
+	return h.DBFaults + h.MineFaults + h.StaleEvents + h.DroppedEvents +
+		h.DupEvents + h.ReorderedEvents + h.RadioRetries + h.SyncRetries +
+		h.TransferRetries + h.RadioGiveUps + h.SyncGiveUps + h.DeadlineFlushes
 }
 
 // Service is the running middleware: monitoring + mining + scheduling.
 type Service struct {
 	cfg Config
 	db  *recorddb.DB
+	inj *faults.Injector
+
+	health       Health
+	dbFailStreak int  // consecutive failed record writes
+	mineFailed   bool // the last mining run produced nothing usable
 
 	screenOn     bool
 	radioEnabled bool
@@ -175,6 +270,7 @@ func New(cfg Config) (*Service, error) {
 	return &Service{
 		cfg:        cfg,
 		db:         db,
+		inj:        cfg.Faults,
 		lastMined:  -1,
 		special:    make(map[trace.AppID]bool),
 		installed:  make(map[trace.AppID]bool),
@@ -182,6 +278,103 @@ func New(cfg Config) (*Service, error) {
 		duty:       duty,
 		nextWake:   -1,
 	}, nil
+}
+
+// Health returns the service's fault-handling counters and current
+// degradation mode.
+func (s *Service) Health() Health { return s.health }
+
+// dbFailThreshold is how many consecutive record-write failures the
+// service tolerates before declaring the DB unavailable and entering
+// pass-through mode.
+const dbFailThreshold = 3
+
+// setMode switches the degradation mode, counting the transition. When
+// the service leaves pass-through with the screen off, the radio is
+// handed back to the duty cycle from a fresh backoff.
+func (s *Service) setMode(now simtime.Instant, m Mode) {
+	if s.health.Mode == m {
+		return
+	}
+	prev := s.health.Mode
+	s.health.Mode = m
+	s.health.ModeTransitions++
+	if prev == ModePassThrough && !s.screenOn {
+		s.duty.Reset()
+		s.nextWake = now.Add(s.duty.NextSleep())
+	}
+}
+
+// normalMode is the mode the service returns to when the DB recovers:
+// plain normal, or duty-only while mining still has nothing usable.
+func (s *Service) normalMode() Mode {
+	if s.mineFailed && s.profile == nil {
+		return ModeDutyOnly
+	}
+	return ModeNormal
+}
+
+// appendRecord writes one monitoring record, absorbing injected DB
+// faults: a failed write is counted and the record lost, and a streak
+// of failures beyond dbFailThreshold puts the service into pass-through
+// mode (radio always on) until a write succeeds again.
+func (s *Service) appendRecord(r recorddb.Record) bool {
+	if s.inj.Decide(faults.OpDBWrite, r.Time) != faults.OK {
+		s.health.DBFaults++
+		s.dbFailStreak++
+		if s.dbFailStreak >= dbFailThreshold {
+			s.setMode(r.Time, ModePassThrough)
+		}
+		return false
+	}
+	s.dbFailStreak = 0
+	if s.health.Mode == ModePassThrough {
+		s.setMode(r.Time, s.normalMode())
+	}
+	s.db.Append(r)
+	return true
+}
+
+// enforceMode applies the degraded-mode policy to the commands the
+// normal path produced. In pass-through (record DB unavailable) the
+// radio is left permanently on: disables are swallowed, an enable is
+// issued if the radio is down, and the duty cycle is parked.
+func (s *Service) enforceMode(now simtime.Instant, cmds []Command) []Command {
+	if s.health.Mode != ModePassThrough {
+		return cmds
+	}
+	out := cmds[:0]
+	for _, c := range cmds {
+		if c.Kind == CmdRadioDisable {
+			s.radioEnabled = true
+			continue
+		}
+		out = append(out, c)
+	}
+	if !s.radioEnabled {
+		s.radioEnabled = true
+		out = append(out, Command{Time: now, Kind: CmdRadioEnable})
+	}
+	s.nextWake = -1
+	return out
+}
+
+// forceRadioState overrides the service's view of the data switch. The
+// chaos executor calls it when a command never took effect despite
+// retries, so the service re-issues the command at its next
+// opportunity instead of trusting a state it does not have.
+func (s *Service) forceRadioState(on bool) { s.radioEnabled = on }
+
+// dutyWakeFailed re-arms the duty cycle after a wake whose radio enable
+// never took effect: the backoff restarts so the next probe comes at
+// the initial sleep rather than doubling away while transfers wait
+// behind a radio that never came up.
+func (s *Service) dutyWakeFailed(at simtime.Instant) {
+	if s.screenOn {
+		return
+	}
+	s.duty.Reset()
+	s.nextWake = at.Add(s.duty.NextSleep())
 }
 
 // DB exposes the monitoring database (read-only use intended).
@@ -219,7 +412,7 @@ func (s *Service) HandleEvent(e Event) ([]Command, error) {
 	switch e.Kind {
 	case EventScreenOn:
 		s.screenOn = true
-		s.db.Append(recorddb.Record{Time: e.Time, Feature: recorddb.FeatureScreen, Value: 1})
+		s.appendRecord(recorddb.Record{Time: e.Time, Feature: recorddb.FeatureScreen, Value: 1})
 		// The user is active: power the radio for foreground use and
 		// suspend the duty cycle.
 		if !s.radioEnabled {
@@ -231,7 +424,7 @@ func (s *Service) HandleEvent(e Event) ([]Command, error) {
 
 	case EventScreenOff:
 		s.screenOn = false
-		s.db.Append(recorddb.Record{Time: e.Time, Feature: recorddb.FeatureScreen, Value: 0})
+		s.appendRecord(recorddb.Record{Time: e.Time, Feature: recorddb.FeatureScreen, Value: 0})
 		// Hand the radio to the duty cycle, restarting the backoff: a
 		// fresh screen-off period begins at the initial sleep T.
 		if s.radioEnabled {
@@ -242,7 +435,7 @@ func (s *Service) HandleEvent(e Event) ([]Command, error) {
 		s.nextWake = e.Time.Add(s.duty.NextSleep())
 
 	case EventInteraction:
-		s.db.Append(recorddb.Record{Time: e.Time, Feature: recorddb.FeatureInteraction, App: e.App, Value: 1})
+		s.appendRecord(recorddb.Record{Time: e.Time, Feature: recorddb.FeatureInteraction, App: e.App, Value: 1})
 		s.noteSpecialCandidate(e.App, true)
 		// Usage outside the predicted slots: power the radio on for a
 		// Special App that needs the network.
@@ -253,10 +446,10 @@ func (s *Service) HandleEvent(e Event) ([]Command, error) {
 
 	case EventNetSample:
 		if e.BytesDown > 0 {
-			s.db.Append(recorddb.Record{Time: e.Time, Feature: recorddb.FeatureNetwork, App: e.App, Value: e.BytesDown})
+			s.appendRecord(recorddb.Record{Time: e.Time, Feature: recorddb.FeatureNetwork, App: e.App, Value: e.BytesDown})
 		}
 		if e.BytesUp > 0 {
-			s.db.Append(recorddb.Record{Time: e.Time, Feature: recorddb.FeatureNetwork, App: e.App, Value: e.BytesUp, Up: true})
+			s.appendRecord(recorddb.Record{Time: e.Time, Feature: recorddb.FeatureNetwork, App: e.App, Value: e.BytesUp, Up: true})
 		}
 		s.noteSpecialCandidate(e.App, false)
 		// Activity detected during a wake: the duty cycle resets.
@@ -270,7 +463,7 @@ func (s *Service) HandleEvent(e Event) ([]Command, error) {
 		if _, ok := s.installDay[e.App]; !ok {
 			s.installDay[e.App] = e.Time.Day()
 		}
-		s.db.Append(recorddb.Record{Time: e.Time, Feature: recorddb.FeatureApp, App: e.App, Value: 1})
+		s.appendRecord(recorddb.Record{Time: e.Time, Feature: recorddb.FeatureApp, App: e.App, Value: 1})
 		// A new app is treated as Special until history shows
 		// otherwise, avoiding false blocking.
 		s.special[e.App] = true
@@ -278,7 +471,20 @@ func (s *Service) HandleEvent(e Event) ([]Command, error) {
 	default:
 		return nil, fmt.Errorf("middleware: unknown event kind %v", e.Kind)
 	}
-	return cmds, nil
+	return s.enforceMode(e.Time, cmds), nil
+}
+
+// HandleLate delivers an event that may have arrived out of order (a
+// reordered broadcast). Instead of rejecting it like HandleEvent, the
+// service counts it as stale and processes it at its own clock — the
+// actual delivery time — so a late broadcast degrades bookkeeping
+// precision without stalling the event loop.
+func (s *Service) HandleLate(e Event) ([]Command, error) {
+	if e.Time < s.lastEvent {
+		s.health.StaleEvents++
+		e.Time = s.lastEvent
+	}
+	return s.HandleEvent(e)
 }
 
 // Tick is the timer-trigger path: duty-cycle wake-ups while the screen is
@@ -299,7 +505,7 @@ func (s *Service) Tick(now simtime.Instant) ([]Command, error) {
 		cmds = append(cmds, Command{Time: now, Kind: CmdRadioDisable})
 		s.nextWake = now.Add(s.duty.NextSleep())
 	}
-	return cmds, nil
+	return s.enforceMode(now, cmds), nil
 }
 
 // noteSpecialCandidate updates the Special-App detection state: an app
@@ -329,27 +535,31 @@ func (s *Service) isSpecial(app trace.AppID) bool { return s.special[app] }
 
 // mineIfDue runs the mining component at the first opportunity of each
 // new day (midnight boundary crossed since the last mining run).
+// Mining is best-effort: a failed run — malformed DB, injected miner
+// error, corrupt or empty profile caught by validation — leaves the
+// previous profile in place, and the service degrades to duty-only
+// operation when it has no profile at all.
 func (s *Service) mineIfDue(now simtime.Instant) []Command {
 	day := now.Day()
 	if day <= s.lastMined || day == 0 {
 		return nil
 	}
-	// Rebuild the history trace from the monitoring records and mine.
-	hist, err := RecordsToTrace(s.db, day, s.installedList())
+	s.lastMined = day
+	profile, hist, err := s.mineOnce(now, day)
 	if err != nil {
-		// Mining is best-effort: a malformed DB leaves the previous
-		// profile in place.
-		s.lastMined = day
+		s.health.MineFaults++
+		s.mineFailed = true
+		if s.profile == nil && s.health.Mode == ModeNormal {
+			s.setMode(now, ModeDutyOnly)
+		}
 		return nil
 	}
-	profile, err := habit.Mine(hist, s.cfg.Habit)
-	if err != nil {
-		s.lastMined = day
-		return nil
-	}
+	s.mineFailed = false
 	s.profile = profile
 	s.days = day
-	s.lastMined = day
+	if s.health.Mode == ModeDutyOnly {
+		s.setMode(now, ModeNormal)
+	}
 
 	// Re-derive the Special-App allowlist from the accumulated history:
 	// apps observed with both usage and network traffic stay, and a
@@ -366,6 +576,90 @@ func (s *Service) mineIfDue(now simtime.Instant) []Command {
 	}
 	s.special = fresh
 	return nil
+}
+
+// mineOnce performs one mining pass under the fault injector. Whatever
+// the miner produces — including an injected corrupt or empty profile —
+// must pass profileUsable before the service adopts it.
+func (s *Service) mineOnce(now simtime.Instant, day int) (*habit.Profile, *trace.Trace, error) {
+	var outcome = s.inj.Decide(faults.OpMine, now)
+	if outcome == faults.Fail {
+		return nil, nil, fmt.Errorf("middleware: mining run at %v failed", now)
+	}
+	if outcome == faults.Empty {
+		// The miner "succeeded" with a vacuous profile; validation must
+		// refuse it like any other garbage.
+		empty := &habit.Profile{}
+		if err := profileUsable(empty); err != nil {
+			return nil, nil, err
+		}
+		return empty, nil, nil
+	}
+	hist, err := RecordsToTrace(s.db, day, s.installedList())
+	if err != nil {
+		return nil, nil, err
+	}
+	profile, err := habit.Mine(hist, s.cfg.Habit)
+	if err != nil {
+		return nil, nil, err
+	}
+	if outcome == faults.Corrupt {
+		corruptProfile(profile)
+	}
+	if err := profileUsable(profile); err != nil {
+		return nil, nil, err
+	}
+	return profile, hist, nil
+}
+
+// profileUsable is the service's defence against corrupt or vacuous
+// mining output: before the scheduler may trust a profile it must carry
+// real history, a slot grid that tiles the day, and finite
+// probabilities. Anything else is treated as a failed mining run.
+func profileUsable(p *habit.Profile) error {
+	if p == nil {
+		return fmt.Errorf("middleware: nil profile")
+	}
+	if p.SlotWidth <= 0 || simtime.Day%p.SlotWidth != 0 {
+		return fmt.Errorf("middleware: profile slot width %v does not tile a day", p.SlotWidth)
+	}
+	if p.Weekday.Days+p.Weekend.Days <= 0 {
+		return fmt.Errorf("middleware: profile carries no history days")
+	}
+	slots := int(simtime.Day / p.SlotWidth)
+	for _, dt := range []*habit.DayTypeProfile{&p.Weekday, &p.Weekend} {
+		if dt.Days < 0 {
+			return fmt.Errorf("middleware: profile has negative day count %d", dt.Days)
+		}
+		if dt.Days > 0 && len(dt.Slots) != slots {
+			return fmt.Errorf("middleware: profile has %d slots, want %d", len(dt.Slots), slots)
+		}
+		for i, st := range dt.Slots {
+			for _, v := range []float64{st.UseProb, st.NetProb} {
+				if math.IsNaN(v) || v < 0 || v > 1 {
+					return fmt.Errorf("middleware: profile slot %d probability %v outside [0,1]", i, v)
+				}
+			}
+			for _, v := range []float64{st.OffBytesDown, st.OffBytesUp, st.OffBursts} {
+				if math.IsNaN(v) || math.IsInf(v, 0) || v < 0 {
+					return fmt.Errorf("middleware: profile slot %d volume %v invalid", i, v)
+				}
+			}
+		}
+	}
+	return nil
+}
+
+// corruptProfile scrambles a mined profile the way the fault schedule's
+// Corrupt outcome models a miner writing garbage: poisoned
+// probabilities that profileUsable is expected to catch.
+func corruptProfile(p *habit.Profile) {
+	for _, dt := range []*habit.DayTypeProfile{&p.Weekday, &p.Weekend} {
+		for i := range dt.Slots {
+			dt.Slots[i].UseProb = math.NaN()
+			dt.Slots[i].NetProb = -1
+		}
+	}
 }
 
 // newInstallGraceDays is how long a newly installed app is presumed

@@ -5,6 +5,18 @@
 // counterpart of the offline policy in internal/policy: the offline
 // NetMaster plans each day with hindsight-free history, while the online
 // service reacts event by event. The integration tests compare the two.
+//
+// Two entry points share one engine. Replay is the happy path: every
+// command takes effect instantly. ReplayChaos threads a seeded fault
+// injector (internal/faults) through every effect boundary — event
+// delivery, radio commands, triggered syncs, deferred transfers, record
+// writes, mining — and layers the recovery machinery on top: bounded
+// retries with exponential backoff and deterministic jitter, a hard
+// deferral deadline so no screen-off transfer waits past a configurable
+// bound, and the service's degraded modes. Because both paths run the
+// same engine and every fault hook is a no-op under a zero schedule, a
+// chaos replay with no faults is bit-identical to Replay — which the
+// chaos tests assert.
 package middleware
 
 import (
@@ -12,6 +24,7 @@ import (
 	"sort"
 
 	"netmaster/internal/device"
+	"netmaster/internal/faults"
 	"netmaster/internal/power"
 	"netmaster/internal/simtime"
 	"netmaster/internal/trace"
@@ -49,11 +62,260 @@ type ReplayResult struct {
 	Service *Service
 }
 
+// RetryPolicy bounds the executor's re-attempts at a failed radio
+// command or triggered sync: exponential backoff from InitialBackoff to
+// MaxBackoff with deterministic jitter (faults.Backoff), giving up
+// after MaxAttempts.
+type RetryPolicy struct {
+	MaxAttempts    int
+	InitialBackoff simtime.Duration
+	MaxBackoff     simtime.Duration
+}
+
+// DefaultRetryPolicy matches a handset's svc-command retry loop: four
+// attempts backing off 1 s → 30 s.
+func DefaultRetryPolicy() RetryPolicy {
+	return RetryPolicy{MaxAttempts: 4, InitialBackoff: simtime.Second, MaxBackoff: 30 * simtime.Second}
+}
+
+func (r RetryPolicy) validate() error {
+	if r.MaxAttempts <= 0 {
+		return fmt.Errorf("middleware: non-positive retry attempts %d", r.MaxAttempts)
+	}
+	if r.InitialBackoff <= 0 || r.MaxBackoff < r.InitialBackoff {
+		return fmt.Errorf("middleware: invalid retry backoff [%v, %v]", r.InitialBackoff, r.MaxBackoff)
+	}
+	return nil
+}
+
+// ChaosConfig parameterises a fault-injected online replay.
+type ChaosConfig struct {
+	Replay ReplayConfig
+	// Faults is the seeded fault schedule.
+	Faults faults.Config
+	// Retry bounds command re-attempts.
+	Retry RetryPolicy
+	// MaxDeferral is the hard deadline: a screen-off transfer that has
+	// waited this long past its arrival is force-executed instead of
+	// waiting for the next radio window, bounding deferral latency even
+	// when every wake-up fails.
+	MaxDeferral simtime.Duration
+}
+
+// DefaultChaosConfig returns a chaos configuration whose deadline sits
+// well above the duty cycle's longest sleep, so it never fires in a
+// fault-free run (keeping the no-fault chaos replay bit-identical to
+// Replay) but bounds deferral as soon as wake-ups start failing.
+func DefaultChaosConfig(model *power.Model) ChaosConfig {
+	rc := DefaultReplayConfig(model)
+	return ChaosConfig{
+		Replay:      rc,
+		Retry:       DefaultRetryPolicy(),
+		MaxDeferral: 4 * rc.Service.DutyMaxSleep,
+	}
+}
+
+// CommandRecord is one issued command with its execution outcome under
+// the fault schedule.
+type CommandRecord struct {
+	Command
+	// Attempts is how many executions were tried (1 = first try took).
+	Attempts int
+	// Applied reports whether the command finally took effect.
+	Applied bool
+	// AppliedAt is when it took effect; retries shift it past
+	// Command.Time by the accumulated backoff.
+	AppliedAt simtime.Instant
+}
+
+// ChaosResult is the fault-injected run's outcome: the plain replay
+// result plus the health counters, the injector's statistics, and the
+// annotated command log.
+type ChaosResult struct {
+	*ReplayResult
+	// Health aggregates the service- and executor-side fault counters.
+	Health Health
+	// Faults is the injector's per-boundary decision statistics.
+	Faults faults.Stats
+	// Log annotates every issued command with its execution outcome.
+	Log []CommandRecord
+	// FinalRadioOn is the executor's ground-truth radio state at the
+	// end of the run; folding the Applied commands of Log must yield
+	// exactly this value (the radio-state consistency invariant).
+	FinalRadioOn bool
+}
+
 // Replay runs the service over the trace and derives the executed plan:
 // foreground transfers run as recorded; screen-off background transfers
 // wait for the next radio-enable command (a duty wake-up or the user
 // turning the screen on) and then run as compact bursts.
 func Replay(t *trace.Trace, cfg ReplayConfig) (*ReplayResult, error) {
+	return replay(t, cfg, nil)
+}
+
+// ReplayChaos runs the service over the trace under the fault schedule,
+// with the recovery machinery engaged. The same seed always reproduces
+// the same run bit for bit.
+func ReplayChaos(t *trace.Trace, cfg ChaosConfig) (*ChaosResult, error) {
+	inj, err := faults.New(cfg.Faults)
+	if err != nil {
+		return nil, err
+	}
+	if err := cfg.Retry.validate(); err != nil {
+		return nil, err
+	}
+	if cfg.MaxDeferral <= 0 {
+		return nil, fmt.Errorf("middleware: non-positive deferral deadline %v", cfg.MaxDeferral)
+	}
+	cs := &chaosState{cfg: cfg, inj: inj}
+	rcfg := cfg.Replay
+	// The service's own boundaries (record writes, mining) draw from
+	// the same injector as the command executor: one seed, one schedule.
+	rcfg.Service.Faults = inj
+	res, err := replay(t, rcfg, cs)
+	if err != nil {
+		return nil, err
+	}
+	health := res.Service.Health()
+	health.RadioRetries = cs.radioRetries
+	health.SyncRetries = cs.syncRetries
+	health.TransferRetries = cs.transferRetries
+	health.RadioGiveUps = cs.radioGiveUps
+	health.SyncGiveUps = cs.syncGiveUps
+	health.DeadlineFlushes = cs.deadlineFlushes
+	health.DroppedEvents = cs.droppedEvents
+	health.DupEvents = cs.dupEvents
+	health.ReorderedEvents = cs.reorderedEvents
+	return &ChaosResult{
+		ReplayResult: res,
+		Health:       health,
+		Faults:       inj.Stats(),
+		Log:          cs.log,
+		FinalRadioOn: cs.radioOn,
+	}, nil
+}
+
+// chaosState is the executor side of a fault-injected replay: the
+// modelled radio, the retry loop, the deferral deadline, and the
+// counters that end up in Health.
+type chaosState struct {
+	cfg     ChaosConfig
+	inj     *faults.Injector
+	horizon simtime.Instant
+
+	log     []CommandRecord
+	radioOn bool
+	cmdSeq  uint64 // per-command jitter key
+
+	radioRetries, syncRetries, transferRetries int
+	radioGiveUps, syncGiveUps                  int
+	deadlineFlushes                            int
+	droppedEvents, dupEvents, reorderedEvents  int
+}
+
+// perturb applies the injector's event schedule to the delivery stream:
+// dropped events vanish, duplicated events are delivered twice, and
+// reordered events slip a bounded number of positions later (the
+// service clamps their timestamps on delivery). Under a zero schedule
+// the stream is returned in its original order.
+func (cs *chaosState) perturb(events []Event) []Event {
+	plan := cs.inj.EventSchedule(len(events))
+	if plan == nil {
+		return events
+	}
+	maxShift := 0
+	for _, p := range plan {
+		if p.Delay > maxShift {
+			maxShift = p.Delay
+		}
+	}
+	slots := make([][]Event, len(events)+maxShift)
+	for i, e := range events {
+		p := plan[i]
+		if p.Drop {
+			cs.droppedEvents++
+			continue
+		}
+		pos := i
+		if p.Delay > 0 {
+			cs.reorderedEvents++
+			pos += p.Delay
+		}
+		slots[pos] = append(slots[pos], e)
+		if p.Dup {
+			cs.dupEvents++
+			slots[pos] = append(slots[pos], e)
+		}
+	}
+	out := make([]Event, 0, len(events))
+	for _, s := range slots {
+		out = append(out, s...)
+	}
+	return out
+}
+
+// execute carries out one command against the modelled radio: each
+// attempt draws the fault schedule, a read-back after the attempt
+// catches silent no-ops, and failed attempts retry after an
+// exponential, deterministically jittered backoff until the budget or
+// the horizon runs out.
+func (cs *chaosState) execute(c Command) CommandRecord {
+	rec := CommandRecord{Command: c, AppliedAt: c.Time}
+	seq := cs.cmdSeq
+	cs.cmdSeq++
+	at := c.Time
+	for attempt := 0; attempt < cs.cfg.Retry.MaxAttempts; attempt++ {
+		rec.Attempts++
+		ok := false
+		switch c.Kind {
+		case CmdRadioEnable:
+			if cs.inj.Decide(faults.OpRadioEnable, at) == faults.OK {
+				cs.radioOn = true
+			}
+			ok = cs.radioOn // read-back: a silent no-op left it down
+		case CmdRadioDisable:
+			if cs.inj.Decide(faults.OpRadioDisable, at) == faults.OK {
+				cs.radioOn = false
+			}
+			ok = !cs.radioOn
+		case CmdTriggerSync:
+			// A sync can only be triggered over a radio that is
+			// actually up.
+			ok = cs.inj.Decide(faults.OpTriggerSync, at) == faults.OK && cs.radioOn
+		}
+		if ok {
+			rec.Applied = true
+			rec.AppliedAt = at
+			break
+		}
+		switch c.Kind {
+		case CmdTriggerSync:
+			cs.syncRetries++
+		default:
+			cs.radioRetries++
+		}
+		at = at.Add(faults.Backoff(cs.cfg.Retry.InitialBackoff, cs.cfg.Retry.MaxBackoff, attempt, seq))
+		if at >= cs.horizon {
+			break // no simulated time left to retry in
+		}
+	}
+	if !rec.Applied {
+		if c.Kind == CmdTriggerSync {
+			cs.syncGiveUps++
+		} else {
+			cs.radioGiveUps++
+		}
+	}
+	cs.log = append(cs.log, rec)
+	return rec
+}
+
+// replay is the shared engine behind Replay (cs == nil: every command
+// takes effect instantly) and ReplayChaos (cs != nil: commands execute
+// through the fault schedule with retries, the event stream is
+// perturbed, and overdue transfers are force-flushed at the deferral
+// deadline).
+func replay(t *trace.Trace, cfg ReplayConfig, cs *chaosState) (*ReplayResult, error) {
 	if cfg.Model == nil {
 		return nil, fmt.Errorf("middleware: replay needs a power model")
 	}
@@ -80,6 +342,11 @@ func Replay(t *trace.Trace, cfg ReplayConfig) (*ReplayResult, error) {
 	res.Plan = plan
 
 	horizon := simtime.Instant(t.Horizon())
+	if cs != nil {
+		cs.horizon = horizon
+		plan.PolicyName = "netmaster-online-chaos"
+		events = cs.perturb(events)
+	}
 
 	// Pending screen-off background transfers, by activity index.
 	var pending []int
@@ -99,11 +366,26 @@ func Replay(t *trace.Trace, cfg ReplayConfig) (*ReplayResult, error) {
 		}
 	}
 
-	// serve executes every pending transfer at the given instant.
+	// serve executes every pending transfer at the given instant. Under
+	// chaos a transfer may fail transiently and stay pending for the
+	// next radio window or the deadline; serving with the radio
+	// actually down is a radio-state inconsistency and aborts the run.
+	var serveErr error
 	serve := func(at simtime.Instant) {
+		if cs != nil && !cs.radioOn {
+			serveErr = fmt.Errorf("middleware: serving transfers at %v with the radio down", at)
+			return
+		}
+		var retained []int
 		cur := at
 		for _, idx := range pending {
 			a := t.Activities[idx]
+			if cs != nil && cs.inj.Decide(faults.OpTransfer, cur) != faults.OK {
+				// Transient transfer failure: keep it pending.
+				cs.transferRetries++
+				retained = append(retained, idx)
+				continue
+			}
 			dur := cfg.Model.CompactDuration(a.Bytes())
 			exec := cur
 			if exec.Add(dur) > horizon {
@@ -124,48 +406,136 @@ func Replay(t *trace.Trace, cfg ReplayConfig) (*ReplayResult, error) {
 			cur = exec.Add(dur)
 		}
 		pending = pending[:0]
+		pending = append(pending, retained...)
 	}
 
-	handleCommands := func(cmds []Command) {
-		for _, c := range cmds {
-			res.Commands = append(res.Commands, c)
-			if c.Kind != CmdRadioEnable {
+	// flushOverdue enforces the hard deferral deadline: any pending
+	// transfer whose wait would exceed MaxDeferral by `now` is executed
+	// at its deadline instant — the OS giving up on batching and
+	// letting the transfer run on its own — regardless of radio faults.
+	flushOverdue := func(now simtime.Instant) {
+		if cs == nil || len(pending) == 0 {
+			return
+		}
+		var retained []int
+		for _, idx := range pending {
+			a := t.Activities[idx]
+			due := a.Start.Add(cs.cfg.MaxDeferral)
+			if due > now {
+				retained = append(retained, idx)
 				continue
 			}
-			// Radio up: pending background transfers go now.
-			if c.App == "" { // duty wake or screen-on
-				window := simtime.Interval{Start: c.Time, End: c.Time.Add(cfg.DutyWakeWindow)}
-				if window.End > horizon {
-					window.End = horizon
+			cs.deadlineFlushes++
+			dur := cfg.Model.CompactDuration(a.Bytes())
+			if due.Add(dur) > horizon {
+				// No room for a compact burst before the horizon: run
+				// as recorded, like the end-of-trace drain.
+				plan.Executions = append(plan.Executions, device.Execution{
+					Index: idx, ExecStart: a.Start, TailCutSecs: cfg.TailCutSecs,
+				})
+				continue
+			}
+			plan.Executions = append(plan.Executions, device.Execution{
+				Index: idx, ExecStart: due, Duration: dur, TailCutSecs: cfg.TailCutSecs,
+			})
+		}
+		pending = pending[:0]
+		pending = append(pending, retained...)
+	}
+
+	handleCommands := func(cmds []Command, fromTick bool) {
+		for _, c := range cmds {
+			res.Commands = append(res.Commands, c)
+			if cs == nil {
+				// Plain path: every command takes effect instantly.
+				if c.Kind != CmdRadioEnable {
+					continue
 				}
-				if !window.IsEmpty() {
-					plan.WakeWindows = append(plan.WakeWindows, window)
+				if c.App == "" { // duty wake or screen-on
+					window := simtime.Interval{Start: c.Time, End: c.Time.Add(cfg.DutyWakeWindow)}
+					if window.End > horizon {
+						window.End = horizon
+					}
+					if !window.IsEmpty() {
+						plan.WakeWindows = append(plan.WakeWindows, window)
+					}
+				}
+				serve(c.Time)
+				continue
+			}
+			rec := cs.execute(c)
+			switch c.Kind {
+			case CmdRadioEnable:
+				if !rec.Applied {
+					// The radio never came up: make sure the service
+					// knows, so its next opportunity re-issues the
+					// enable — and restart the duty backoff when this
+					// was a wake, so the next probe comes soon instead
+					// of doubling away.
+					svc.forceRadioState(false)
+					if fromTick {
+						svc.dutyWakeFailed(c.Time)
+					}
+					continue
+				}
+				if c.App == "" {
+					window := simtime.Interval{Start: rec.AppliedAt, End: rec.AppliedAt.Add(cfg.DutyWakeWindow)}
+					if window.End > horizon {
+						window.End = horizon
+					}
+					if !window.IsEmpty() {
+						plan.WakeWindows = append(plan.WakeWindows, window)
+					}
+				}
+				serve(rec.AppliedAt)
+			case CmdRadioDisable:
+				if !rec.Applied {
+					// The radio is stuck on: the service will issue
+					// the disable again at its next opportunity.
+					svc.forceRadioState(true)
 				}
 			}
-			serve(c.Time)
+			if serveErr != nil {
+				return
+			}
 		}
+	}
+
+	deliver := func(e Event) ([]Command, error) {
+		if cs != nil {
+			return svc.HandleLate(e)
+		}
+		return svc.HandleEvent(e)
 	}
 
 	// Interleave events with duty ticks at the service's wake times.
 	for _, e := range events {
 		for svc.nextWake >= 0 && !svc.screenOn && svc.nextWake < e.Time {
 			at := svc.nextWake
+			flushOverdue(at)
 			cmds, err := svc.Tick(at)
 			if err != nil {
 				return nil, err
 			}
-			handleCommands(cmds)
+			handleCommands(cmds, true)
+			if serveErr != nil {
+				return nil, serveErr
+			}
 		}
 		// Background arrivals up to this event become pending.
 		for nextBg < len(bgQueue) && bgQueue[nextBg].at <= e.Time {
 			pending = append(pending, bgQueue[nextBg].index)
 			nextBg++
 		}
-		cmds, err := svc.HandleEvent(e)
+		flushOverdue(e.Time)
+		cmds, err := deliver(e)
 		if err != nil {
 			return nil, err
 		}
-		handleCommands(cmds)
+		handleCommands(cmds, false)
+		if serveErr != nil {
+			return nil, serveErr
+		}
 	}
 	// Drain remaining wakes and pending transfers to the horizon.
 	for svc.nextWake >= 0 && !svc.screenOn && svc.nextWake < horizon {
@@ -174,11 +544,15 @@ func Replay(t *trace.Trace, cfg ReplayConfig) (*ReplayResult, error) {
 			pending = append(pending, bgQueue[nextBg].index)
 			nextBg++
 		}
+		flushOverdue(at)
 		cmds, err := svc.Tick(at)
 		if err != nil {
 			return nil, err
 		}
-		handleCommands(cmds)
+		handleCommands(cmds, true)
+		if serveErr != nil {
+			return nil, serveErr
+		}
 	}
 	for nextBg < len(bgQueue) {
 		pending = append(pending, bgQueue[nextBg].index)

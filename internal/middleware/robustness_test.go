@@ -1,0 +1,243 @@
+package middleware
+
+import (
+	"math"
+	"testing"
+
+	"netmaster/internal/faults"
+	"netmaster/internal/habit"
+	"netmaster/internal/simtime"
+)
+
+// Satellite: DutyMaxSleep must be positive and at least the initial
+// sleep.
+func TestDutyMaxSleepValidation(t *testing.T) {
+	bad := DefaultConfig()
+	bad.DutyMaxSleep = 0
+	if _, err := New(bad); err == nil {
+		t.Error("zero duty max sleep accepted")
+	}
+	bad = DefaultConfig()
+	bad.DutyMaxSleep = -5
+	if _, err := New(bad); err == nil {
+		t.Error("negative duty max sleep accepted")
+	}
+	bad = DefaultConfig()
+	bad.DutyMaxSleep = bad.DutyInitialSleep - 1
+	if _, err := New(bad); err == nil {
+		t.Error("duty max sleep below initial accepted")
+	}
+	ok := DefaultConfig()
+	ok.DutyMaxSleep = ok.DutyInitialSleep // degenerate but consistent
+	if _, err := New(ok); err != nil {
+		t.Errorf("max == initial rejected: %v", err)
+	}
+}
+
+func mustInjector(t *testing.T, cfg faults.Config) *faults.Injector {
+	t.Helper()
+	inj, err := faults.New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return inj
+}
+
+// A streak of failed record writes beyond the threshold must flip the
+// service into pass-through: the radio stays on, screen-off disables
+// are swallowed, and the duty cycle is parked.
+func TestPassThroughOnDBFailure(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.Faults = mustInjector(t, faults.Config{Seed: 1, DBWriteFailProb: 1})
+	s, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.HandleEvent(Event{Time: 100, Kind: EventScreenOn}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.HandleEvent(Event{Time: 110, Kind: EventInteraction, App: "a"}); err != nil {
+		t.Fatal(err)
+	}
+	cmds, err := s.HandleEvent(Event{Time: 120, Kind: EventScreenOff})
+	if err != nil {
+		t.Fatal(err)
+	}
+	h := s.Health()
+	if h.Mode != ModePassThrough {
+		t.Fatalf("mode = %v after %d DB faults, want pass-through", h.Mode, h.DBFaults)
+	}
+	if h.DBFaults < dbFailThreshold {
+		t.Fatalf("DBFaults = %d", h.DBFaults)
+	}
+	for _, c := range cmds {
+		if c.Kind == CmdRadioDisable {
+			t.Fatal("pass-through let a radio disable through")
+		}
+	}
+	if !s.RadioEnabled() {
+		t.Fatal("pass-through left the radio off")
+	}
+	// The duty cycle is parked: a tick during screen-off wakes nothing.
+	cmds, err = s.Tick(500)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, c := range cmds {
+		if c.Kind == CmdRadioDisable {
+			t.Fatal("pass-through tick disabled the radio")
+		}
+	}
+	if !s.RadioEnabled() {
+		t.Fatal("tick in pass-through dropped the radio")
+	}
+}
+
+// A mining run that always fails leaves the service profile-less and in
+// duty-only mode: the duty cycle keeps running, the scheduler never
+// trusts a profile that does not exist.
+func TestDutyOnlyOnMineFailure(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.Faults = mustInjector(t, faults.Config{Seed: 2, MineFailProb: 1})
+	s, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.HandleEvent(Event{Time: 100, Kind: EventScreenOn}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.HandleEvent(Event{Time: 200, Kind: EventScreenOff}); err != nil {
+		t.Fatal(err)
+	}
+	// First event of day 1 triggers the midnight mining run.
+	day1 := simtime.Instant(simtime.Day + 100)
+	cmds, err := s.HandleEvent(Event{Time: day1, Kind: EventScreenOn})
+	if err != nil {
+		t.Fatal(err)
+	}
+	h := s.Health()
+	if h.MineFaults == 0 {
+		t.Fatal("mining fault not counted")
+	}
+	if h.Mode != ModeDutyOnly {
+		t.Fatalf("mode = %v after mining failure, want duty-only", h.Mode)
+	}
+	if s.Profile() != nil {
+		t.Fatal("failed mining still produced a profile")
+	}
+	// The service keeps operating: screen-on still powers the radio.
+	found := false
+	for _, c := range cmds {
+		if c.Kind == CmdRadioEnable {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatal("duty-only mode stopped issuing radio commands")
+	}
+}
+
+// HandleLate absorbs out-of-order delivery: the event is processed at
+// the service clock and counted, where HandleEvent would reject it.
+func TestHandleLateClampsStaleEvents(t *testing.T) {
+	s, err := New(DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.HandleEvent(Event{Time: 100, Kind: EventScreenOn}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.HandleEvent(Event{Time: 50, Kind: EventScreenOff}); err == nil {
+		t.Fatal("HandleEvent accepted a stale event")
+	}
+	if _, err := s.HandleLate(Event{Time: 50, Kind: EventScreenOff}); err != nil {
+		t.Fatalf("HandleLate rejected a stale event: %v", err)
+	}
+	if got := s.Health().StaleEvents; got != 1 {
+		t.Fatalf("StaleEvents = %d, want 1", got)
+	}
+	// An in-order event through HandleLate is not stale.
+	if _, err := s.HandleLate(Event{Time: 150, Kind: EventScreenOn}); err != nil {
+		t.Fatal(err)
+	}
+	if got := s.Health().StaleEvents; got != 1 {
+		t.Fatalf("StaleEvents = %d after in-order delivery, want 1", got)
+	}
+}
+
+func validTestProfile() *habit.Profile {
+	p := &habit.Profile{SlotWidth: simtime.Hour}
+	p.Weekday.Days = 5
+	p.Weekday.Slots = make([]habit.SlotStats, 24)
+	p.Weekend.Days = 2
+	p.Weekend.Slots = make([]habit.SlotStats, 24)
+	for i := range p.Weekday.Slots {
+		p.Weekday.Slots[i] = habit.SlotStats{UseProb: 0.5, NetProb: 0.25}
+		p.Weekend.Slots[i] = habit.SlotStats{UseProb: 0.1, NetProb: 0.05}
+	}
+	return p
+}
+
+// profileUsable is the gate between the miner and the scheduler: it
+// must accept real output and refuse every corruption the fault
+// schedule can produce.
+func TestProfileUsable(t *testing.T) {
+	if err := profileUsable(validTestProfile()); err != nil {
+		t.Fatalf("valid profile rejected: %v", err)
+	}
+	if err := profileUsable(nil); err == nil {
+		t.Error("nil profile accepted")
+	}
+	if err := profileUsable(&habit.Profile{}); err == nil {
+		t.Error("empty profile accepted")
+	}
+	p := validTestProfile()
+	p.SlotWidth = 7 // does not tile a day
+	if err := profileUsable(p); err == nil {
+		t.Error("untileable slot width accepted")
+	}
+	p = validTestProfile()
+	p.Weekday.Slots = p.Weekday.Slots[:10]
+	if err := profileUsable(p); err == nil {
+		t.Error("short slot grid accepted")
+	}
+	p = validTestProfile()
+	p.Weekend.Slots[3].NetProb = math.NaN()
+	if err := profileUsable(p); err == nil {
+		t.Error("NaN probability accepted")
+	}
+	p = validTestProfile()
+	p.Weekday.Slots[0].UseProb = 1.5
+	if err := profileUsable(p); err == nil {
+		t.Error("probability above 1 accepted")
+	}
+	p = validTestProfile()
+	p.Weekday.Slots[0].OffBytesDown = math.Inf(1)
+	if err := profileUsable(p); err == nil {
+		t.Error("infinite volume accepted")
+	}
+	p = validTestProfile()
+	corruptProfile(p)
+	if err := profileUsable(p); err == nil {
+		t.Error("corrupted profile accepted")
+	}
+}
+
+// Mode and Health plumbing.
+func TestModeStringsAndHealthSum(t *testing.T) {
+	for _, m := range []Mode{ModeNormal, ModeDutyOnly, ModePassThrough} {
+		if m.String() == "" || m.String() == "Mode(99)" {
+			t.Fatalf("mode %d has no name", int(m))
+		}
+	}
+	if got := (Mode(99)).String(); got != "Mode(99)" {
+		t.Fatalf("out-of-range mode name %q", got)
+	}
+	h := Health{DBFaults: 1, MineFaults: 2, StaleEvents: 3, RadioRetries: 4, DeadlineFlushes: 5}
+	if got := h.FaultsAbsorbed(); got != 15 {
+		t.Fatalf("FaultsAbsorbed = %d, want 15", got)
+	}
+	if (Health{}).FaultsAbsorbed() != 0 {
+		t.Fatal("zero health absorbed faults")
+	}
+}

@@ -30,8 +30,10 @@ import (
 	"netmaster/internal/device"
 	"netmaster/internal/dutycycle"
 	"netmaster/internal/eval"
+	"netmaster/internal/faults"
 	"netmaster/internal/habit"
 	"netmaster/internal/knapsack"
+	"netmaster/internal/middleware"
 	"netmaster/internal/parallel"
 	"netmaster/internal/policy"
 	"netmaster/internal/power"
@@ -320,6 +322,73 @@ var (
 	EnergyByApp = device.EnergyByApp
 	// MetricsByDay slices a plan's metrics per day.
 	MetricsByDay = device.MetricsByDay
+)
+
+// Online middleware, fault injection and graceful degradation (see
+// docs/robustness.md).
+type (
+	// OnlineConfig parameterises the online middleware service.
+	OnlineConfig = middleware.Config
+	// OnlineReplayConfig parameterises the online (deployment-mode)
+	// replay of the middleware over a trace.
+	OnlineReplayConfig = middleware.ReplayConfig
+	// OnlineReplayResult is the online run's outcome.
+	OnlineReplayResult = middleware.ReplayResult
+	// ChaosConfig parameterises a fault-injected online replay.
+	ChaosConfig = middleware.ChaosConfig
+	// ChaosResult is a fault-injected run's outcome: plan, health
+	// counters, fault statistics and the annotated command log.
+	ChaosResult = middleware.ChaosResult
+	// RetryPolicy bounds command re-attempts under faults.
+	RetryPolicy = middleware.RetryPolicy
+	// ServiceHealth is the middleware's fault-handling counters and
+	// degradation mode.
+	ServiceHealth = middleware.Health
+	// ServiceMode is the middleware's degradation state.
+	ServiceMode = middleware.Mode
+	// FaultConfig is a seeded fault schedule for the injector.
+	FaultConfig = faults.Config
+	// FaultStats counts injector decisions per effect boundary.
+	FaultStats = faults.Stats
+	// FaultInjector draws deterministic fault outcomes from a schedule.
+	FaultInjector = faults.Injector
+	// FaultImpactRow is one fault intensity's mean evaluation outcome.
+	FaultImpactRow = eval.FaultImpactRow
+)
+
+// Degradation modes.
+const (
+	// ModeNormal is full operation.
+	ModeNormal = middleware.ModeNormal
+	// ModeDutyOnly means mining failed: duty-cycle adjustment only.
+	ModeDutyOnly = middleware.ModeDutyOnly
+	// ModePassThrough means the record DB is unavailable: radio always
+	// on until writes succeed again.
+	ModePassThrough = middleware.ModePassThrough
+)
+
+// Online replay and fault-injection entry points.
+var (
+	// OnlineReplay drives the middleware service over a trace event by
+	// event — the deployment path, as opposed to the offline planner.
+	OnlineReplay = middleware.Replay
+	// DefaultOnlineReplayConfig returns deployment defaults.
+	DefaultOnlineReplayConfig = middleware.DefaultReplayConfig
+	// ChaosReplay runs the online service under a seeded fault
+	// schedule with retries, deferral deadline and degraded modes.
+	ChaosReplay = middleware.ReplayChaos
+	// DefaultChaosConfig returns a chaos configuration whose deadline
+	// never fires fault-free.
+	DefaultChaosConfig = middleware.DefaultChaosConfig
+	// DefaultRetryPolicy is the executor's backoff budget.
+	DefaultRetryPolicy = middleware.DefaultRetryPolicy
+	// NewFaultInjector builds a deterministic injector from a schedule.
+	NewFaultInjector = faults.New
+	// UniformFaults builds the single-knob uniform fault schedule.
+	UniformFaults = faults.Uniform
+	// FaultImpact measures energy saving retained under rising fault
+	// intensity.
+	FaultImpact = eval.FaultImpact
 )
 
 // Extension types.

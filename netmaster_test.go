@@ -133,3 +133,44 @@ func TestPublicAPITraceIO(t *testing.T) {
 		t.Error("trace IO roundtrip mismatch")
 	}
 }
+
+// TestPublicAPIChaos exercises the fault-injection surface: online
+// replay, chaos replay under a uniform schedule, health counters and
+// the fault-impact evaluation.
+func TestPublicAPIChaos(t *testing.T) {
+	tr, err := netmaster.GenerateTrace(netmaster.EvalCohort()[1], 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	model := netmaster.Model3G()
+	plain, err := netmaster.OnlineReplay(tr, netmaster.DefaultOnlineReplayConfig(model))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := plain.Plan.Validate(); err != nil {
+		t.Fatal(err)
+	}
+
+	cfg := netmaster.DefaultChaosConfig(model)
+	cfg.Faults = netmaster.UniformFaults(5, 0.2)
+	res, err := netmaster.ChaosReplay(tr, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Faults.TotalInjected() == 0 || res.Health.FaultsAbsorbed() == 0 {
+		t.Fatalf("chaos replay injected/absorbed nothing: %+v", res.Health)
+	}
+	if res.Health.Mode != netmaster.ModeNormal &&
+		res.Health.Mode != netmaster.ModeDutyOnly &&
+		res.Health.Mode != netmaster.ModePassThrough {
+		t.Fatalf("unknown mode %v", res.Health.Mode)
+	}
+
+	rows, err := netmaster.FaultImpact(tr, model, []float64{0.1}, []int64{1, 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 1 || rows[0].Seeds != 2 {
+		t.Fatalf("fault impact rows = %+v", rows)
+	}
+}
