@@ -1,0 +1,144 @@
+package main
+
+import (
+	"bytes"
+	"flag"
+	"io"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+// The golden files pin netmaster-sim's observable output byte for byte:
+// the report tables on stdout and the -metrics-out / -trace-out JSON.
+// Everything feeding them is deterministic — seeded synthetic traces,
+// seeded fault schedules, sorted-key JSON marshalling — so a diff here
+// means behaviour changed, not noise. Regenerate deliberately with
+//
+//	go test ./cmd/netmaster-sim -run Golden -update
+var update = flag.Bool("update", false, "rewrite the golden files")
+
+// checkGolden compares got against testdata/<name>, rewriting the
+// fixture under -update.
+func checkGolden(t *testing.T, name string, got []byte) {
+	t.Helper()
+	path := filepath.Join("testdata", name)
+	if *update {
+		if err := os.MkdirAll("testdata", 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(path, got, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		return
+	}
+	want, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("missing golden file (run with -update to create): %v", err)
+	}
+	if !bytes.Equal(got, want) {
+		t.Errorf("%s differs from golden file (re-run with -update if intended)\ngot:\n%s\nwant:\n%s",
+			name, got, want)
+	}
+}
+
+func TestGoldenTextOutput(t *testing.T) {
+	cases := []struct {
+		name string
+		o    options
+	}{
+		{"netmaster_text.golden", opts("volunteer3", 5, "netmaster")},
+		{"baseline_text.golden", opts("volunteer3", 5, "baseline")},
+		{"online_text.golden", opts("volunteer3", 5, "online")},
+		{"online_chaos_text.golden", func() options {
+			o := opts("volunteer3", 5, "online")
+			o.faultRate = 0.15
+			o.faultSeed = 3
+			return o
+		}()},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			var buf bytes.Buffer
+			if err := run(tc.o, &buf); err != nil {
+				t.Fatal(err)
+			}
+			checkGolden(t, tc.name, buf.Bytes())
+		})
+	}
+}
+
+func TestGoldenMetricsAndTrace(t *testing.T) {
+	cases := []struct {
+		name string
+		o    options
+	}{
+		{"online_chaos", func() options {
+			o := opts("volunteer3", 5, "online")
+			o.faultRate = 0.15
+			o.faultSeed = 3
+			return o
+		}()},
+		{"netmaster_offline", opts("volunteer3", 5, "netmaster")},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			dir := t.TempDir()
+			o := tc.o
+			o.metricsOut = filepath.Join(dir, "metrics.json")
+			o.traceOut = filepath.Join(dir, "trace.jsonl")
+			o.traceCap = 256 // bounded fixture; wraps deterministically
+			if err := run(o, io.Discard); err != nil {
+				t.Fatal(err)
+			}
+			for suffix, path := range map[string]string{
+				"_metrics.json.golden": o.metricsOut,
+				"_trace.jsonl.golden":  o.traceOut,
+			} {
+				got, err := os.ReadFile(path)
+				if err != nil {
+					t.Fatal(err)
+				}
+				checkGolden(t, tc.name+suffix, got)
+			}
+		})
+	}
+}
+
+// TestGoldenRunsAreReproducible guards the premise of the golden files:
+// two identical invocations produce byte-identical text, metrics and
+// trace output within one process.
+func TestGoldenRunsAreReproducible(t *testing.T) {
+	render := func() (string, string, string) {
+		dir := t.TempDir()
+		o := opts("volunteer3", 4, "online")
+		o.faultRate = 0.2
+		o.faultSeed = 7
+		o.metricsOut = filepath.Join(dir, "m.json")
+		o.traceOut = filepath.Join(dir, "t.jsonl")
+		var buf bytes.Buffer
+		if err := run(o, &buf); err != nil {
+			t.Fatal(err)
+		}
+		m, err := os.ReadFile(o.metricsOut)
+		if err != nil {
+			t.Fatal(err)
+		}
+		tr, err := os.ReadFile(o.traceOut)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return buf.String(), string(m), string(tr)
+	}
+	t1, m1, r1 := render()
+	t2, m2, r2 := render()
+	if t1 != t2 {
+		t.Error("text output not reproducible")
+	}
+	if m1 != m2 {
+		t.Error("metrics JSON not reproducible")
+	}
+	if r1 != r2 {
+		t.Error("trace JSONL not reproducible")
+	}
+}

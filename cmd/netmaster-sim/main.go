@@ -17,14 +17,20 @@
 package main
 
 import (
+	"expvar"
 	"flag"
 	"fmt"
+	"io"
+	"net/http"
+	_ "net/http/pprof"
 	"os"
 	"strconv"
 	"strings"
+	"sync"
 
 	"netmaster/internal/device"
 	"netmaster/internal/faults"
+	"netmaster/internal/metrics"
 	"netmaster/internal/middleware"
 	"netmaster/internal/policy"
 	"netmaster/internal/power"
@@ -32,6 +38,7 @@ import (
 	"netmaster/internal/simtime"
 	"netmaster/internal/synth"
 	"netmaster/internal/trace"
+	"netmaster/internal/tracing"
 )
 
 // options collects every flag; run is kept testable by taking it whole.
@@ -52,6 +59,12 @@ type options struct {
 	faultSeed   int64
 	faultOutage string // "start:end" in seconds
 	maxDeferral int    // seconds, 0 = default
+
+	// Observability outputs.
+	metricsOut string // write the metrics snapshot JSON here
+	traceOut   string // write the decision trace JSONL here
+	traceCap   int    // trace ring capacity, 0 = default
+	pprofAddr  string // serve /debug/pprof and /debug/vars here
 }
 
 func main() {
@@ -70,14 +83,81 @@ func main() {
 	flag.Int64Var(&o.faultSeed, "fault-seed", 1, "fault-schedule seed (policy=online)")
 	flag.StringVar(&o.faultOutage, "fault-outage", "", "radio outage window start:end in seconds (policy=online)")
 	flag.IntVar(&o.maxDeferral, "max-deferral", 0, "hard deferral deadline in seconds, 0 = 4x duty max sleep (policy=online)")
+	flag.StringVar(&o.metricsOut, "metrics-out", "", "write the run's metrics snapshot to this file as JSON")
+	flag.StringVar(&o.traceOut, "trace-out", "", "write the run's decision trace to this file as JSONL")
+	flag.IntVar(&o.traceCap, "trace-cap", 0, "trace ring capacity in events, 0 = default")
+	flag.StringVar(&o.pprofAddr, "pprof-addr", "", "serve net/http/pprof and expvar on this address (for soak runs)")
 	flag.Parse()
-	if err := run(o); err != nil {
+	if err := run(o, os.Stdout); err != nil {
 		fmt.Fprintln(os.Stderr, "netmaster-sim:", err)
 		os.Exit(1)
 	}
 }
 
-func run(o options) error {
+// observed bundles the per-run observability plumbing: a fresh registry
+// and trace sink per invocation (never the process-wide defaults, so
+// repeated runs in one process — tests — stay independent), written to
+// the -metrics-out / -trace-out files once the run finishes.
+type observed struct {
+	reg  *metrics.Registry
+	sink *tracing.Sink
+	o    options
+}
+
+// pprofOnce guards the expvar publication: expvar panics on duplicate
+// names, and the debug server is process-wide anyway.
+var pprofOnce sync.Once
+
+func newObserved(o options) *observed {
+	if o.metricsOut == "" && o.traceOut == "" && o.pprofAddr == "" {
+		return &observed{o: o}
+	}
+	ob := &observed{reg: metrics.NewRegistry(), sink: tracing.NewSink(o.traceCap), o: o}
+	if o.pprofAddr != "" {
+		pprofOnce.Do(func() {
+			expvar.Publish("netmaster_metrics", ob.reg)
+			go func() {
+				if err := http.ListenAndServe(o.pprofAddr, nil); err != nil {
+					fmt.Fprintln(os.Stderr, "netmaster-sim: pprof server:", err)
+				}
+			}()
+		})
+	}
+	return ob
+}
+
+// flush writes the collected metrics and trace to their output files.
+func (ob *observed) flush() error {
+	if ob.o.metricsOut != "" {
+		f, err := os.Create(ob.o.metricsOut)
+		if err != nil {
+			return err
+		}
+		if err := ob.reg.WriteJSON(f); err != nil {
+			f.Close()
+			return err
+		}
+		if err := f.Close(); err != nil {
+			return err
+		}
+	}
+	if ob.o.traceOut != "" {
+		f, err := os.Create(ob.o.traceOut)
+		if err != nil {
+			return err
+		}
+		if err := ob.sink.WriteJSONL(f); err != nil {
+			f.Close()
+			return err
+		}
+		if err := f.Close(); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func run(o options, stdout io.Writer) error {
 	var model *power.Model
 	switch o.modelName {
 	case "3g":
@@ -93,18 +173,19 @@ func run(o options) error {
 		return err
 	}
 
+	ob := newObserved(o)
 	var p device.Policy
 	var health *middleware.Health
 	var faultStats faults.Stats
 	if o.policyName == "online" {
-		plan, h, fs, err := runOnline(t, model, o)
+		plan, h, fs, err := runOnline(t, model, o, ob)
 		if err != nil {
 			return err
 		}
 		p = &plannedPolicy{name: plan.PolicyName, plan: plan}
 		health, faultStats = h, fs
 	} else {
-		p, err = buildPolicy(o.policyName, o.interval, o.batchSize, model, history)
+		p, err = buildPolicy(o.policyName, o.interval, o.batchSize, model, history, ob)
 		if err != nil {
 			return err
 		}
@@ -139,23 +220,25 @@ func run(o options) error {
 	tbl.AddRow("wrong decisions", m.WrongDecisions, 0, report.Percent(m.WrongDecisionRate()))
 	tbl.AddRow("affected interactions", m.AffectedActivities, 0, report.Percent(m.AffectedRate()))
 	tbl.AddRow("deferred transfers", m.Deferred, 0, fmt.Sprintf("mean %.0fs max %.0fs", m.MeanDeferSecs, m.MaxDeferSecs))
-	if err := tbl.Render(os.Stdout); err != nil {
+	if err := tbl.Render(stdout); err != nil {
 		return err
 	}
 	if health != nil {
-		if err := renderHealth(*health, faultStats); err != nil {
+		if err := renderHealth(stdout, *health, faultStats); err != nil {
 			return err
 		}
 	}
 	if o.perApp {
-		if err := renderPerApp(t, p, model); err != nil {
+		if err := renderPerApp(stdout, t, p, model); err != nil {
 			return err
 		}
 	}
 	if o.timelineDay >= 0 {
-		return renderTimeline(t, p, model, o.timelineDay)
+		if err := renderTimeline(stdout, t, p, model, o.timelineDay); err != nil {
+			return err
+		}
 	}
-	return nil
+	return ob.flush()
 }
 
 // plannedPolicy adapts an already-computed plan (the online replay's) to
@@ -171,8 +254,10 @@ func (p *plannedPolicy) Plan(t *trace.Trace) (*device.Plan, error) { return p.pl
 
 // runOnline replays the middleware service over the trace — plainly, or
 // under the flags' fault schedule.
-func runOnline(t *trace.Trace, model *power.Model, o options) (*device.Plan, *middleware.Health, faults.Stats, error) {
+func runOnline(t *trace.Trace, model *power.Model, o options, ob *observed) (*device.Plan, *middleware.Health, faults.Stats, error) {
 	cfg := middleware.DefaultChaosConfig(model)
+	cfg.Replay.Service.Metrics = ob.reg
+	cfg.Replay.Service.Tracing = ob.sink
 	cfg.Faults = faults.Uniform(o.faultSeed, o.faultRate)
 	if o.faultOutage != "" {
 		iv, err := parseOutage(o.faultOutage)
@@ -219,7 +304,7 @@ func parseOutage(s string) (simtime.Interval, error) {
 
 // renderHealth prints the service's fault counters and degradation mode
 // after a chaos replay.
-func renderHealth(h middleware.Health, fs faults.Stats) error {
+func renderHealth(w io.Writer, h middleware.Health, fs faults.Stats) error {
 	tbl := report.NewTable(fmt.Sprintf("service health (mode %s, %d faults absorbed)", h.Mode, h.FaultsAbsorbed()),
 		"counter", "value")
 	tbl.AddRow("mode transitions", h.ModeTransitions)
@@ -235,22 +320,22 @@ func renderHealth(h middleware.Health, fs faults.Stats) error {
 	tbl.AddRow("radio give-ups", h.RadioGiveUps)
 	tbl.AddRow("sync give-ups", h.SyncGiveUps)
 	tbl.AddRow("deadline flushes", h.DeadlineFlushes)
-	if err := tbl.Render(os.Stdout); err != nil {
+	if err := tbl.Render(w); err != nil {
 		return err
 	}
-	fmt.Printf("fault injector: %v\n", fs)
+	fmt.Fprintf(w, "fault injector: %v\n", fs)
 	return nil
 }
 
 // renderTimeline prints the baseline's and the policy's radio Gantt for
 // one day side by side.
-func renderTimeline(t *trace.Trace, p device.Policy, model *power.Model, day int) error {
-	fmt.Printf("\nradio timeline, day %d (%s)\n", day, device.TimelineLegend)
+func renderTimeline(w io.Writer, t *trace.Trace, p device.Policy, model *power.Model, day int) error {
+	fmt.Fprintf(w, "\nradio timeline, day %d (%s)\n", day, device.TimelineLegend)
 	basePlan, err := (policy.Baseline{}).Plan(t)
 	if err != nil {
 		return err
 	}
-	if err := device.RenderDayTimeline(os.Stdout, basePlan, model, day, 3); err != nil {
+	if err := device.RenderDayTimeline(w, basePlan, model, day, 3); err != nil {
 		return err
 	}
 	if p == nil {
@@ -260,12 +345,12 @@ func renderTimeline(t *trace.Trace, p device.Policy, model *power.Model, day int
 	if err != nil {
 		return err
 	}
-	return device.RenderDayTimeline(os.Stdout, plan, model, day, 3)
+	return device.RenderDayTimeline(w, plan, model, day, 3)
 }
 
 // renderPerApp prints the eprof-style per-app energy attribution for the
 // chosen policy (or the baseline when no policy was selected).
-func renderPerApp(t *trace.Trace, p device.Policy, model *power.Model) error {
+func renderPerApp(w io.Writer, t *trace.Trace, p device.Policy, model *power.Model) error {
 	if p == nil {
 		p = policy.Baseline{}
 	}
@@ -282,7 +367,7 @@ func renderPerApp(t *trace.Trace, p device.Policy, model *power.Model) error {
 	for _, s := range shares {
 		tbl.AddRow(string(s.App), s.EnergyJ, s.ActiveJ, s.PromoJ, s.TailJ, s.Bursts)
 	}
-	return tbl.Render(os.Stdout)
+	return tbl.Render(w)
 }
 
 func loadTrace(tracePath, gen string, days int, historyPath string) (*trace.Trace, *trace.Trace, error) {
@@ -320,13 +405,15 @@ func loadTrace(tracePath, gen string, days int, historyPath string) (*trace.Trac
 	return nil, nil, fmt.Errorf("no cohort user named %q", gen)
 }
 
-func buildPolicy(name string, interval, batchSize int, model *power.Model, history *trace.Trace) (device.Policy, error) {
+func buildPolicy(name string, interval, batchSize int, model *power.Model, history *trace.Trace, ob *observed) (device.Policy, error) {
 	switch name {
 	case "baseline":
 		return nil, nil // metrics of the baseline itself
 	case "netmaster":
 		cfg := policy.DefaultNetMasterConfig(model)
 		cfg.History = history
+		cfg.Metrics = ob.reg
+		cfg.Tracing = ob.sink
 		return policy.NewNetMaster(cfg)
 	case "oracle":
 		return policy.NewOracle(model)

@@ -1,6 +1,9 @@
 package main
 
-import "testing"
+import (
+	"io"
+	"testing"
+)
 
 func opts(gen string, days int, policy string) options {
 	return options{
@@ -12,7 +15,7 @@ func opts(gen string, days int, policy string) options {
 
 func TestRunAllPolicies(t *testing.T) {
 	for _, p := range []string{"baseline", "netmaster", "oracle", "delay", "batch", "online"} {
-		if err := run(opts("volunteer3", 5, p)); err != nil {
+		if err := run(opts("volunteer3", 5, p), io.Discard); err != nil {
 			t.Errorf("%s: %v", p, err)
 		}
 	}
@@ -23,7 +26,7 @@ func TestRunPerAppAndTimeline(t *testing.T) {
 	o.modelName = "lte"
 	o.perApp = true
 	o.timelineDay = 2
-	if err := run(o); err != nil {
+	if err := run(o, io.Discard); err != nil {
 		t.Fatal(err)
 	}
 }
@@ -32,39 +35,39 @@ func TestRunOnlineWithFaults(t *testing.T) {
 	o := opts("volunteer3", 5, "online")
 	o.faultRate = 0.15
 	o.faultSeed = 3
-	if err := run(o); err != nil {
+	if err := run(o, io.Discard); err != nil {
 		t.Fatal(err)
 	}
 	o.faultOutage = "90000:180000"
 	o.maxDeferral = 7200
-	if err := run(o); err != nil {
+	if err := run(o, io.Discard); err != nil {
 		t.Fatal(err)
 	}
 }
 
 func TestRunErrors(t *testing.T) {
-	if err := run(opts("", 5, "baseline")); err == nil {
+	if err := run(opts("", 5, "baseline"), io.Discard); err == nil {
 		t.Error("missing input accepted")
 	}
-	if err := run(opts("volunteer3", 5, "wat")); err == nil {
+	if err := run(opts("volunteer3", 5, "wat"), io.Discard); err == nil {
 		t.Error("unknown policy accepted")
 	}
 	o := opts("volunteer3", 5, "baseline")
 	o.modelName = "5g"
-	if err := run(o); err == nil {
+	if err := run(o, io.Discard); err == nil {
 		t.Error("unknown model accepted")
 	}
-	if err := run(opts("nobody", 5, "baseline")); err == nil {
+	if err := run(opts("nobody", 5, "baseline"), io.Discard); err == nil {
 		t.Error("unknown user accepted")
 	}
 	o = opts("volunteer3", 5, "online")
 	o.faultOutage = "bogus"
-	if err := run(o); err == nil {
+	if err := run(o, io.Discard); err == nil {
 		t.Error("malformed outage accepted")
 	}
 	o = opts("volunteer3", 5, "online")
 	o.faultOutage = "500:100"
-	if err := run(o); err == nil {
+	if err := run(o, io.Discard); err == nil {
 		t.Error("inverted outage accepted")
 	}
 }

@@ -20,8 +20,10 @@ import (
 	"sort"
 
 	"netmaster/internal/knapsack"
+	"netmaster/internal/metrics"
 	"netmaster/internal/parallel"
 	"netmaster/internal/simtime"
+	"netmaster/internal/tracing"
 )
 
 // Activity is one screen-off network activity to be scheduled: an item of
@@ -62,6 +64,12 @@ type Config struct {
 	// ProbSlotWidth is the granularity at which UseProb is piecewise
 	// constant, used to integrate Eq. 4 exactly.
 	ProbSlotWidth simtime.Duration
+	// Metrics and Tracing optionally record each Schedule run: counters
+	// for runs/assignments and one KindSchedDecision trace event per
+	// accepted placement (chosen slot, profit, ΔE, ΔP). Both nil (the
+	// default) costs a single comparison per Schedule call.
+	Metrics *metrics.Registry
+	Tracing *tracing.Sink
 }
 
 // DefaultConfig returns the evaluation settings of the paper with the
@@ -417,7 +425,48 @@ func (s *Scheduler) Schedule(u []simtime.Interval, tn []Activity) (*Schedule, er
 		}
 	}
 
-	return s.buildSchedule(u, tn, selected, scheduledIDs, pc), nil
+	out := s.buildSchedule(u, tn, selected, scheduledIDs, pc)
+	s.observe(out)
+	return out, nil
+}
+
+// observe publishes one Schedule run to the configured observability
+// layer: aggregate counters plus a decision trace event per accepted
+// assignment. Runs sequentially after the parallel per-slot solves, so
+// trace ordering is deterministic.
+func (s *Scheduler) observe(sched *Schedule) {
+	reg, sink := s.cfg.Metrics, s.cfg.Tracing
+	if reg == nil && sink == nil {
+		return
+	}
+	reg.Counter("sched_runs_total").Inc()
+	reg.Counter("sched_assignments_total").Add(int64(len(sched.Assignments)))
+	reg.Counter("sched_unscheduled_total").Add(int64(len(sched.Unscheduled)))
+	reg.Gauge("sched_last_objective").Set(sched.Objective)
+	var latest simtime.Instant
+	for _, a := range sched.Assignments {
+		if a.Target > latest {
+			latest = a.Target
+		}
+		sink.Emit(tracing.Event{
+			Time:     a.Target,
+			Kind:     tracing.KindSchedDecision,
+			Activity: a.ActivityID,
+			Slot:     a.SlotIndex,
+			Value:    a.Profit,
+			Saved:    a.Saved,
+			Penalty:  a.Penalty,
+		})
+	}
+	reg.Advance(latest)
+	sink.Emit(tracing.Event{
+		Time:     latest,
+		Kind:     tracing.KindSchedRun,
+		Activity: len(sched.Assignments),
+		Value:    sched.Objective,
+		Saved:    sched.TotalSaved,
+		Penalty:  sched.TotalPenalty,
+	})
 }
 
 // buildCandidates implements the duplication step.

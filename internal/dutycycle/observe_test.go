@@ -1,0 +1,56 @@
+package dutycycle
+
+import (
+	"testing"
+
+	"netmaster/internal/metrics"
+	"netmaster/internal/simtime"
+	"netmaster/internal/tracing"
+)
+
+func TestObserve(t *testing.T) {
+	res := Result{
+		WakeUps: []WakeUp{
+			{At: 10, Window: 2 * simtime.Second, Activity: true},
+			{At: 40, Window: 2 * simtime.Second},
+			{At: 100, Window: 4 * simtime.Second, Activity: true},
+		},
+		RadioOn: 8 * simtime.Second,
+		Horizon: simtime.Day,
+	}
+	reg := metrics.NewRegistry()
+	sink := tracing.NewSink(16)
+	Observe(res, reg, sink)
+
+	snap := reg.Snapshot()
+	for name, want := range map[string]int64{
+		"duty_wakeups_total":          3,
+		"duty_active_wakeups_total":   2,
+		"duty_radio_on_seconds_total": 8,
+	} {
+		if got := snap.Counters[name]; got != want {
+			t.Errorf("%s = %d, want %d", name, got, want)
+		}
+	}
+	evs := sink.Events()
+	if len(evs) != 3 {
+		t.Fatalf("%d trace events, want 3", len(evs))
+	}
+	for i, ev := range evs {
+		if ev.Kind != tracing.KindDutyWake || ev.Time != res.WakeUps[i].At {
+			t.Errorf("event %d = %+v, want duty-wake at %d", i, ev, res.WakeUps[i].At)
+		}
+	}
+	// The registry's sim-clock must reach the last window's end.
+	if want := res.WakeUps[2].At.Add(res.WakeUps[2].Window); reg.SimTime() != want {
+		t.Errorf("sim-time %d, want %d", reg.SimTime(), want)
+	}
+}
+
+// Observe must be a total no-op on nil instruments — callers wire it
+// unconditionally.
+func TestObserveNil(t *testing.T) {
+	Observe(Result{WakeUps: []WakeUp{{At: 1}}}, nil, nil)
+	var reg *metrics.Registry
+	Observe(Result{WakeUps: []WakeUp{{At: 1}}}, reg, tracing.NewSink(4))
+}

@@ -30,16 +30,20 @@ func Compare(t *trace.Trace, model *power.Model, policies []device.Policy) ([]Po
 	if err != nil {
 		return nil, fmt.Errorf("eval: baseline on %s: %w", t.UserID, err)
 	}
+	horizon := simtime.Instant(t.Horizon())
+	observeRun(horizon, base.PolicyName, t.UserID, 0)
 	out := []PolicyResult{{Policy: base.PolicyName, Metrics: base}}
 	for _, p := range policies {
 		m, err := device.Run(p, t, model)
 		if err != nil {
 			return nil, fmt.Errorf("eval: %s on %s: %w", p.Name(), t.UserID, err)
 		}
+		saving := m.EnergySavingVs(base)
+		observeRun(horizon, m.PolicyName, t.UserID, saving)
 		out = append(out, PolicyResult{
 			Policy:        m.PolicyName,
 			Metrics:       m,
-			EnergySaving:  m.EnergySavingVs(base),
+			EnergySaving:  saving,
 			RadioOnSaving: m.RadioOnSavingVs(base),
 		})
 	}

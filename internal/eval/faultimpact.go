@@ -14,6 +14,7 @@ import (
 	"netmaster/internal/middleware"
 	"netmaster/internal/policy"
 	"netmaster/internal/power"
+	"netmaster/internal/simtime"
 	"netmaster/internal/trace"
 )
 
@@ -94,6 +95,8 @@ func FaultImpact(t *trace.Trace, model *power.Model, intensities []float64, seed
 		if cleanSaving != 0 {
 			row.SavingRetained = row.EnergySaving / cleanSaving
 		}
+		observeRun(simtime.Instant(t.Horizon()),
+			fmt.Sprintf("chaos-p=%g", p), t.UserID, row.EnergySaving)
 		rows = append(rows, row)
 	}
 	return rows, nil

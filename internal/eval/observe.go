@@ -1,0 +1,54 @@
+// Observability hook for the evaluation sweeps. The sweeps fan out over
+// the internal/parallel worker pool and are called through free
+// functions rather than a configured object, so the hook is process-wide
+// state: set once before a sweep, read through an atomic pointer on
+// every policy run. Unset (the default) it costs one atomic load.
+package eval
+
+import (
+	"sync/atomic"
+
+	"netmaster/internal/metrics"
+	"netmaster/internal/simtime"
+	"netmaster/internal/tracing"
+)
+
+type observability struct {
+	reg  *metrics.Registry
+	sink *tracing.Sink
+}
+
+var obsPtr atomic.Pointer[observability]
+
+// SetObservability wires (or, with two nils, unwires) the registry and
+// trace sink the evaluation functions publish to: one KindEvalRun trace
+// event and an eval_runs_total tick per scored policy run. Safe to call
+// concurrently with running sweeps; in-flight runs use whichever hook
+// they loaded.
+func SetObservability(reg *metrics.Registry, sink *tracing.Sink) {
+	if reg == nil && sink == nil {
+		obsPtr.Store(nil)
+		return
+	}
+	obsPtr.Store(&observability{reg: reg, sink: sink})
+}
+
+// observeRun records one scored policy run: the energy saving of policy
+// `name` on trace `user`, Value = saving vs baseline; at is the trace
+// horizon the run covered.
+func observeRun(at simtime.Instant, name, user string, saving float64) {
+	o := obsPtr.Load()
+	if o == nil {
+		return
+	}
+	o.reg.Counter("eval_runs_total").Inc()
+	o.reg.Advance(at)
+	o.sink.Emit(tracing.Event{
+		Time:    at,
+		Kind:    tracing.KindEvalRun,
+		Op:      name,
+		Detail:  user,
+		Value:   saving,
+		Outcome: "ok",
+	})
+}

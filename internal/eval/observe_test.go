@@ -1,0 +1,62 @@
+package eval
+
+import (
+	"testing"
+
+	"netmaster/internal/device"
+	"netmaster/internal/metrics"
+	"netmaster/internal/policy"
+	"netmaster/internal/power"
+	"netmaster/internal/synth"
+	"netmaster/internal/tracing"
+)
+
+// TestSetObservability wires the process-global eval hook, runs a
+// comparison, and asserts one eval-run event and counter tick per
+// evaluated policy (baseline included). The hook must also unwire
+// cleanly so later tests see no instrumentation.
+func TestSetObservability(t *testing.T) {
+	tr, err := synth.Generate(synth.EvalCohort()[0], 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	reg := metrics.NewRegistry()
+	sink := tracing.NewSink(64)
+	SetObservability(reg, sink)
+	defer SetObservability(nil, nil)
+
+	delay, err := policy.NewDelay(300)
+	if err != nil {
+		t.Fatal(err)
+	}
+	policies := []device.Policy{delay}
+	if _, err := Compare(tr, power.Model3G(), policies); err != nil {
+		t.Fatal(err)
+	}
+
+	wantRuns := int64(len(policies) + 1) // + baseline
+	if got := reg.Snapshot().Counters["eval_runs_total"]; got != wantRuns {
+		t.Errorf("eval_runs_total = %d, want %d", got, wantRuns)
+	}
+	evs := sink.Events()
+	if int64(len(evs)) != wantRuns {
+		t.Fatalf("%d trace events, want %d", len(evs), wantRuns)
+	}
+	for _, ev := range evs {
+		if ev.Kind != tracing.KindEvalRun {
+			t.Errorf("event kind %q, want eval-run", ev.Kind)
+		}
+		if ev.Detail != tr.UserID {
+			t.Errorf("event user %q, want %q", ev.Detail, tr.UserID)
+		}
+	}
+
+	// Unwired: further runs must leave the registry untouched.
+	SetObservability(nil, nil)
+	if _, err := Compare(tr, power.Model3G(), nil); err != nil {
+		t.Fatal(err)
+	}
+	if got := reg.Snapshot().Counters["eval_runs_total"]; got != wantRuns {
+		t.Errorf("unwired hook still counted: eval_runs_total = %d, want %d", got, wantRuns)
+	}
+}

@@ -1,0 +1,179 @@
+package knapsack
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+// Property-based checks of the Ibarra–Kim FPTAS against the exact DP on
+// random itemsets. Three invariants must hold on every instance:
+//
+//  1. feasibility — the packing never exceeds capacity;
+//  2. soundness — an approximation can never beat the exact optimum;
+//  3. the (1−ε) guarantee — SinKnap's profit is at least (1−ε)·OPT,
+//     which in particular implies the ≥ (1−ε)/2·OPT the scheduler's
+//     Lemma IV.1 bound builds on.
+//
+// Instances mimic the scheduler's shape: profits are ΔE−ΔP-like floats,
+// weights are byte volumes, capacity is bandwidth·slot-length-like.
+
+// randItems builds a reproducible random instance. Weights stay small
+// enough that the exact DP is fast, profits span several magnitudes.
+func randItems(rng *rand.Rand, n int, maxW int64) []Item {
+	items := make([]Item, n)
+	for i := range items {
+		items[i] = Item{
+			ID:     i,
+			Profit: math.Exp(rng.Float64()*6-3) * 10, // ~0.5 .. 2000
+			Weight: rng.Int63n(maxW + 1),
+		}
+		if rng.Intn(8) == 0 {
+			items[i].Profit = 0 // infeasible: dropped by the filter
+		}
+	}
+	return items
+}
+
+// checkSolution verifies structural sanity: selected IDs exist, are
+// unique, and the reported profit/weight match the items.
+func checkSolution(t *testing.T, items []Item, sol Solution, capacity int64, label string) {
+	t.Helper()
+	byID := make(map[int]Item, len(items))
+	for _, it := range items {
+		byID[it.ID] = it
+	}
+	seen := make(map[int]bool)
+	var profit float64
+	var weight int64
+	for _, id := range sol.IDs {
+		it, ok := byID[id]
+		if !ok {
+			t.Fatalf("%s: selected unknown item %d", label, id)
+		}
+		if seen[id] {
+			t.Fatalf("%s: item %d selected twice", label, id)
+		}
+		seen[id] = true
+		profit += it.Profit
+		weight += it.Weight
+	}
+	if weight != sol.Weight {
+		t.Fatalf("%s: reported weight %d, recomputed %d", label, sol.Weight, weight)
+	}
+	if math.Abs(profit-sol.Profit) > 1e-6*(1+math.Abs(profit)) {
+		t.Fatalf("%s: reported profit %v, recomputed %v", label, sol.Profit, profit)
+	}
+	if sol.Weight > capacity {
+		t.Fatalf("%s: weight %d exceeds capacity %d", label, sol.Weight, capacity)
+	}
+}
+
+func TestPropertySinKnapFeasibleAndSound(t *testing.T) {
+	rng := rand.New(rand.NewSource(20140801))
+	for trial := 0; trial < 300; trial++ {
+		n := 1 + rng.Intn(14)
+		maxW := int64(1 + rng.Intn(120))
+		capacity := rng.Int63n(maxW * int64(n) / 2)
+		eps := 0.05 + rng.Float64()*0.5
+		items := randItems(rng, n, maxW)
+
+		exact, err := Exact(items, capacity)
+		if err != nil {
+			t.Fatal(err)
+		}
+		checkSolution(t, items, exact, capacity, "Exact")
+
+		for _, arm := range []struct {
+			name  string
+			solve func() (Solution, error)
+		}{
+			{"SinKnap", func() (Solution, error) { return SinKnap(items, capacity, eps) }},
+			{"Greedy", func() (Solution, error) { return Greedy(items, capacity) }},
+			{"Solve", func() (Solution, error) { return Solve(items, capacity, eps) }},
+		} {
+			sol, err := arm.solve()
+			if err != nil {
+				t.Fatalf("trial %d %s: %v", trial, arm.name, err)
+			}
+			checkSolution(t, items, sol, capacity, arm.name)
+			// Soundness: no approximation beats the exact optimum
+			// (small float slack for differently-ordered summation).
+			if sol.Profit > exact.Profit*(1+1e-9)+1e-9 {
+				t.Fatalf("trial %d: %s profit %v beats exact %v",
+					trial, arm.name, sol.Profit, exact.Profit)
+			}
+		}
+	}
+}
+
+func TestPropertySinKnapGuarantee(t *testing.T) {
+	rng := rand.New(rand.NewSource(19750401)) // Ibarra–Kim, JACM 1975
+	for trial := 0; trial < 300; trial++ {
+		n := 1 + rng.Intn(14)
+		maxW := int64(1 + rng.Intn(120))
+		capacity := rng.Int63n(maxW * int64(n) / 2)
+		eps := 0.05 + rng.Float64()*0.5
+		items := randItems(rng, n, maxW)
+
+		exact, err := Exact(items, capacity)
+		if err != nil {
+			t.Fatal(err)
+		}
+		sol, err := SinKnap(items, capacity, eps)
+		if err != nil {
+			t.Fatal(err)
+		}
+		// The FPTAS bound: profit ≥ (1−ε)·OPT. This is strictly
+		// stronger than the (1−ε)/2 factor Lemma IV.1 needs from the
+		// per-slot solver, so the scheduler's guarantee is covered too.
+		want := (1 - eps) * exact.Profit
+		if sol.Profit < want-1e-9 {
+			t.Fatalf("trial %d: SinKnap profit %v below (1-%v)*OPT = %v (OPT %v)",
+				trial, sol.Profit, eps, want, exact.Profit)
+		}
+		if halfWant := want / 2; sol.Profit < halfWant {
+			t.Fatalf("trial %d: Lemma IV.1 floor violated: %v < %v", trial, sol.Profit, halfWant)
+		}
+	}
+}
+
+// FuzzSinKnap drives the same three invariants from fuzzed bytes, so the
+// fuzzer can hunt for adversarial profit/weight patterns (near-ties,
+// zero weights, extreme scales) that random sampling misses.
+func FuzzSinKnap(f *testing.F) {
+	f.Add([]byte{1, 2, 3, 4, 5, 6, 7, 8}, int64(50), uint8(2))
+	f.Add([]byte{0, 0, 0, 0, 255, 255}, int64(0), uint8(9))
+	f.Add([]byte{200, 1, 200, 1, 200, 1}, int64(3), uint8(5))
+	f.Fuzz(func(t *testing.T, raw []byte, capacity int64, epsRaw uint8) {
+		if capacity < 0 || capacity > 4096 || len(raw) < 2 || len(raw) > 40 {
+			t.Skip()
+		}
+		eps := 0.05 + float64(epsRaw%10)*0.09 // 0.05 .. 0.86
+		var items []Item
+		for i := 0; i+1 < len(raw); i += 2 {
+			items = append(items, Item{
+				ID:     i / 2,
+				Profit: float64(raw[i]) / 3,
+				Weight: int64(raw[i+1]),
+			})
+		}
+		exact, err := Exact(items, capacity)
+		if err != nil {
+			t.Fatal(err)
+		}
+		sol, err := SinKnap(items, capacity, eps)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if sol.Weight > capacity {
+			t.Fatalf("capacity exceeded: %d > %d", sol.Weight, capacity)
+		}
+		if sol.Profit > exact.Profit*(1+1e-9)+1e-9 {
+			t.Fatalf("beats exact: %v > %v", sol.Profit, exact.Profit)
+		}
+		if sol.Profit < (1-eps)*exact.Profit-1e-9 {
+			t.Fatalf("guarantee violated: %v < (1-%v)*%v", sol.Profit, eps, exact.Profit)
+		}
+	})
+}

@@ -1,0 +1,50 @@
+package metrics
+
+import "testing"
+
+// The hot-path contract: updates through resolved handles allocate
+// nothing, so instrumentation cannot shift the scheduler benchmarks
+// (BENCH_sched.json) by more than noise.
+
+func BenchmarkCounterAdd(b *testing.B) {
+	c := NewRegistry().Counter("c")
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		c.Add(1)
+	}
+	if testing.AllocsPerRun(100, func() { c.Add(1) }) != 0 {
+		b.Fatal("Counter.Add allocates")
+	}
+}
+
+func BenchmarkGaugeSet(b *testing.B) {
+	g := NewRegistry().Gauge("g")
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		g.Set(float64(i))
+	}
+	if testing.AllocsPerRun(100, func() { g.Set(1) }) != 0 {
+		b.Fatal("Gauge.Set allocates")
+	}
+}
+
+func BenchmarkHistogramObserve(b *testing.B) {
+	h := NewRegistry().Histogram("h", []float64{1, 10, 60, 300, 1800, 3600})
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		h.Observe(float64(i % 4000))
+	}
+	if testing.AllocsPerRun(100, func() { h.Observe(17) }) != 0 {
+		b.Fatal("Histogram.Observe allocates")
+	}
+}
+
+func BenchmarkNilHandles(b *testing.B) {
+	var c *Counter
+	var h *Histogram
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		c.Add(1)
+		h.Observe(1)
+	}
+}

@@ -22,9 +22,11 @@ import (
 	"netmaster/internal/dutycycle"
 	"netmaster/internal/faults"
 	"netmaster/internal/habit"
+	"netmaster/internal/metrics"
 	"netmaster/internal/recorddb"
 	"netmaster/internal/simtime"
 	"netmaster/internal/trace"
+	"netmaster/internal/tracing"
 )
 
 // EventKind classifies device events delivered to the monitoring
@@ -116,6 +118,13 @@ type Config struct {
 	// shares one injector between the service and the command executor
 	// so a single seed identifies the whole fault schedule.
 	Faults *faults.Injector
+	// Metrics and Tracing wire the observability layer (see
+	// docs/observability.md): every effect boundary the fault injector
+	// can touch emits a counter and, where useful, a trace event. Both
+	// are optional; nil means the instrumentation compiles down to nil
+	// checks.
+	Metrics *metrics.Registry
+	Tracing *tracing.Sink
 }
 
 // DefaultConfig returns the paper's settings.
@@ -227,6 +236,7 @@ type Service struct {
 	cfg Config
 	db  *recorddb.DB
 	inj *faults.Injector
+	obs svcObs
 
 	health       Health
 	dbFailStreak int  // consecutive failed record writes
@@ -271,6 +281,7 @@ func New(cfg Config) (*Service, error) {
 		cfg:        cfg,
 		db:         db,
 		inj:        cfg.Faults,
+		obs:        newSvcObs(cfg.Metrics, cfg.Tracing),
 		lastMined:  -1,
 		special:    make(map[trace.AppID]bool),
 		installed:  make(map[trace.AppID]bool),
@@ -299,6 +310,7 @@ func (s *Service) setMode(now simtime.Instant, m Mode) {
 	prev := s.health.Mode
 	s.health.Mode = m
 	s.health.ModeTransitions++
+	s.obs.modeChange(now, prev, m)
 	if prev == ModePassThrough && !s.screenOn {
 		s.duty.Reset()
 		s.nextWake = now.Add(s.duty.NextSleep())
@@ -321,6 +333,8 @@ func (s *Service) normalMode() Mode {
 func (s *Service) appendRecord(r recorddb.Record) bool {
 	if s.inj.Decide(faults.OpDBWrite, r.Time) != faults.OK {
 		s.health.DBFaults++
+		s.obs.dbFaults.Inc()
+		s.obs.sink.Emit(tracing.Event{Time: r.Time, Kind: tracing.KindFault, Op: "db-write"})
 		s.dbFailStreak++
 		if s.dbFailStreak >= dbFailThreshold {
 			s.setMode(r.Time, ModePassThrough)
@@ -332,6 +346,7 @@ func (s *Service) appendRecord(r recorddb.Record) bool {
 		s.setMode(r.Time, s.normalMode())
 	}
 	s.db.Append(r)
+	s.obs.records.Inc()
 	return true
 }
 
@@ -407,6 +422,8 @@ func (s *Service) HandleEvent(e Event) ([]Command, error) {
 		return nil, fmt.Errorf("middleware: event at %v before %v", e.Time, s.lastEvent)
 	}
 	s.lastEvent = e.Time
+	s.obs.events.Inc()
+	s.obs.reg.Advance(e.Time)
 	cmds := s.mineIfDue(e.Time)
 
 	switch e.Kind {
@@ -482,6 +499,7 @@ func (s *Service) HandleEvent(e Event) ([]Command, error) {
 func (s *Service) HandleLate(e Event) ([]Command, error) {
 	if e.Time < s.lastEvent {
 		s.health.StaleEvents++
+		s.obs.stale.Inc()
 		e.Time = s.lastEvent
 	}
 	return s.HandleEvent(e)
@@ -495,9 +513,12 @@ func (s *Service) Tick(now simtime.Instant) ([]Command, error) {
 		return nil, fmt.Errorf("middleware: tick at %v before %v", now, s.lastEvent)
 	}
 	s.lastEvent = now
+	s.obs.ticks.Inc()
+	s.obs.reg.Advance(now)
 	cmds := s.mineIfDue(now)
 	if !s.screenOn && s.nextWake >= 0 && now >= s.nextWake {
 		// Wake the radio so Special Apps can use the network.
+		s.obs.dutyWakes.Inc()
 		cmds = append(cmds, Command{Time: now, Kind: CmdRadioEnable})
 		for _, app := range s.SpecialApps() {
 			cmds = append(cmds, Command{Time: now, Kind: CmdTriggerSync, App: app})
@@ -546,6 +567,7 @@ func (s *Service) mineIfDue(now simtime.Instant) []Command {
 	}
 	s.lastMined = day
 	profile, hist, err := s.mineOnce(now, day)
+	s.obs.mineResult(now, err)
 	if err != nil {
 		s.health.MineFaults++
 		s.mineFailed = true
@@ -575,6 +597,7 @@ func (s *Service) mineIfDue(now simtime.Instant) []Command {
 		}
 	}
 	s.special = fresh
+	s.obs.specialApps.Set(float64(len(fresh)))
 	return nil
 }
 

@@ -1,0 +1,250 @@
+// Observability wiring for the online middleware: every effect boundary
+// the fault injector can touch — event delivery, record writes, mining
+// runs, radio commands, triggered syncs, deferred transfers — emits a
+// metric and, where there is a story to tell, a trace event. Handles are
+// resolved once per Service/replay, so the per-event cost is an atomic
+// add (or nothing at all when no Registry is wired — both bundles are
+// nil-tolerant end to end).
+//
+// The executor-side counters are updated at the exact code paths that
+// build the execution plan and the Health counters, which is what makes
+// the metrics↔ground-truth invariant structural: replay_bytes_*,
+// replay_deferrals_total and replay_wake_window_seconds_total cannot
+// disagree with the returned plan because the same statement produces
+// both (asserted by TestMetricsMatchReplayAccounting).
+package middleware
+
+import (
+	"fmt"
+
+	"netmaster/internal/device"
+	"netmaster/internal/metrics"
+	"netmaster/internal/simtime"
+	"netmaster/internal/trace"
+	"netmaster/internal/tracing"
+)
+
+// DeferBuckets are the histogram bounds (seconds) for deferral waits:
+// sub-second batching up to the multi-hour deadline regime.
+var DeferBuckets = []float64{1, 10, 60, 300, 1800, 3600, 7200, 21600, 86400}
+
+// svcObs bundles the monitoring/mining-side instruments the Service
+// updates as events arrive.
+type svcObs struct {
+	reg  *metrics.Registry
+	sink *tracing.Sink
+
+	events, ticks, records, dbFaults  *metrics.Counter
+	mineRuns, mineFaults              *metrics.Counter
+	modeTransitions, stale, dutyWakes *metrics.Counter
+	mode, specialApps                 *metrics.Gauge
+}
+
+func newSvcObs(reg *metrics.Registry, sink *tracing.Sink) svcObs {
+	return svcObs{
+		reg:             reg,
+		sink:            sink,
+		events:          reg.Counter("mw_events_total"),
+		ticks:           reg.Counter("mw_ticks_total"),
+		records:         reg.Counter("mw_records_written_total"),
+		dbFaults:        reg.Counter("mw_db_faults_total"),
+		mineRuns:        reg.Counter("mw_mine_runs_total"),
+		mineFaults:      reg.Counter("mw_mine_faults_total"),
+		modeTransitions: reg.Counter("mw_mode_transitions_total"),
+		stale:           reg.Counter("mw_stale_events_total"),
+		dutyWakes:       reg.Counter("mw_duty_wakes_total"),
+		mode:            reg.Gauge("mw_mode"),
+		specialApps:     reg.Gauge("mw_special_apps"),
+	}
+}
+
+// repObs bundles the executor-side instruments of a replay, plus the
+// commanded-radio-session tracker.
+type repObs struct {
+	reg  *metrics.Registry
+	sink *tracing.Sink
+
+	transfers, bytesDown, bytesUp, deferrals *metrics.Counter
+	burstSecs                                *metrics.Counter
+	wakeWindows, wakeWindowSecs              *metrics.Counter
+	commands, radioSessions                  *metrics.Counter
+	radioRetries, syncRetries, xferRetries   *metrics.Counter
+	radioGiveUps, syncGiveUps                *metrics.Counter
+	deadlineFlushes                          *metrics.Counter
+	droppedEvents, dupEvents, reorderedEvs   *metrics.Counter
+	deferSecs                                *metrics.Histogram
+
+	sessionOn    bool
+	sessionSince simtime.Instant
+}
+
+func newRepObs(reg *metrics.Registry, sink *tracing.Sink) *repObs {
+	return &repObs{
+		reg:             reg,
+		sink:            sink,
+		transfers:       reg.Counter("replay_transfers_total"),
+		bytesDown:       reg.Counter("replay_bytes_down_total"),
+		bytesUp:         reg.Counter("replay_bytes_up_total"),
+		deferrals:       reg.Counter("replay_deferrals_total"),
+		burstSecs:       reg.Counter("replay_burst_seconds_total"),
+		wakeWindows:     reg.Counter("replay_wake_windows_total"),
+		wakeWindowSecs:  reg.Counter("replay_wake_window_seconds_total"),
+		commands:        reg.Counter("replay_commands_total"),
+		radioSessions:   reg.Counter("replay_radio_sessions_total"),
+		radioRetries:    reg.Counter("replay_radio_retries_total"),
+		syncRetries:     reg.Counter("replay_sync_retries_total"),
+		xferRetries:     reg.Counter("replay_transfer_retries_total"),
+		radioGiveUps:    reg.Counter("replay_radio_giveups_total"),
+		syncGiveUps:     reg.Counter("replay_sync_giveups_total"),
+		deadlineFlushes: reg.Counter("replay_deadline_flushes_total"),
+		droppedEvents:   reg.Counter("replay_dropped_events_total"),
+		dupEvents:       reg.Counter("replay_dup_events_total"),
+		reorderedEvs:    reg.Counter("replay_reordered_events_total"),
+		deferSecs:       reg.Histogram("replay_defer_seconds", DeferBuckets),
+	}
+}
+
+// execution records one planned execution: counters for the invariant
+// totals and a transfer trace event carrying the execution path that
+// produced it (foreground, served, deadline, drain, …).
+func (o *repObs) execution(a trace.NetworkActivity, e device.Execution, reason string) {
+	dur := e.Duration
+	if dur == 0 {
+		dur = a.Duration
+	}
+	o.transfers.Inc()
+	o.bytesDown.Add(a.BytesDown)
+	o.bytesUp.Add(a.BytesUp)
+	o.burstSecs.Add(int64(dur))
+	deferSecs := e.ExecStart.Sub(a.Start).Seconds()
+	if deferSecs > 0 {
+		o.deferrals.Inc()
+		o.deferSecs.Observe(deferSecs)
+	}
+	o.reg.Advance(e.ExecStart.Add(dur))
+	o.sink.Emit(tracing.Event{
+		Time:     e.ExecStart,
+		Kind:     tracing.KindTransfer,
+		App:      string(a.App),
+		Activity: e.Index,
+		Bytes:    a.BytesDown + a.BytesUp,
+		Dur:      dur,
+		Value:    deferSecs,
+		Outcome:  reason,
+	})
+}
+
+// wakeWindow records one duty-cycle listen window.
+func (o *repObs) wakeWindow(w simtime.Interval) {
+	o.wakeWindows.Inc()
+	o.wakeWindowSecs.Add(int64(w.Len()))
+	o.sink.Emit(tracing.Event{Time: w.Start, Kind: tracing.KindDutyWake, Dur: w.Len()})
+}
+
+// radioOn and radioOff track commanded radio sessions (enable → disable
+// as the executor applied them); radioOff emits the session span.
+func (o *repObs) radioOn(at simtime.Instant) {
+	if o.sessionOn {
+		return
+	}
+	o.sessionOn = true
+	o.sessionSince = at
+}
+
+func (o *repObs) radioOff(at simtime.Instant) {
+	if !o.sessionOn {
+		return
+	}
+	o.sessionOn = false
+	o.radioSessions.Inc()
+	o.sink.Emit(tracing.Event{
+		Time: o.sessionSince,
+		Kind: tracing.KindRadioSession,
+		Dur:  at.Sub(o.sessionSince),
+	})
+}
+
+// finish closes a radio session left open at the end of the run and
+// stamps the registry with the full horizon covered.
+func (o *repObs) finish(horizon simtime.Instant) {
+	o.radioOff(horizon)
+	o.reg.Advance(horizon)
+}
+
+// retry records one failed executor attempt that will be retried.
+func (o *repObs) retry(kind CommandKind, at simtime.Instant, attempt int) {
+	switch kind {
+	case CmdTriggerSync:
+		o.syncRetries.Inc()
+	default:
+		o.radioRetries.Inc()
+	}
+	o.sink.Emit(tracing.Event{
+		Time:     at,
+		Kind:     tracing.KindFaultRetry,
+		Op:       kind.String(),
+		Attempts: attempt,
+	})
+}
+
+// giveUp records a command abandoned after the retry budget.
+func (o *repObs) giveUp(c Command, attempts int) {
+	if c.Kind == CmdTriggerSync {
+		o.syncGiveUps.Inc()
+	} else {
+		o.radioGiveUps.Inc()
+	}
+	o.sink.Emit(tracing.Event{
+		Time:     c.Time,
+		Kind:     tracing.KindGiveUp,
+		Op:       c.Kind.String(),
+		App:      string(c.App),
+		Attempts: attempts,
+	})
+}
+
+// transferRetry records a transient deferred-transfer failure.
+func (o *repObs) transferRetry(at simtime.Instant, idx int) {
+	o.xferRetries.Inc()
+	o.sink.Emit(tracing.Event{
+		Time:     at,
+		Kind:     tracing.KindFaultRetry,
+		Op:       "transfer",
+		Activity: idx,
+	})
+}
+
+// deadlineFlush records a transfer force-executed at the hard deferral
+// deadline after waiting `waited`.
+func (o *repObs) deadlineFlush(at simtime.Instant, idx int, waited simtime.Duration) {
+	o.deadlineFlushes.Inc()
+	o.sink.Emit(tracing.Event{
+		Time:     at,
+		Kind:     tracing.KindDeadlineFlush,
+		Activity: idx,
+		Dur:      waited,
+	})
+}
+
+// modeChange records a degradation-mode transition on the service side.
+func (o *svcObs) modeChange(at simtime.Instant, from, to Mode) {
+	o.modeTransitions.Inc()
+	o.mode.Set(float64(to))
+	o.sink.Emit(tracing.Event{
+		Time:   at,
+		Kind:   tracing.KindModeTransition,
+		Detail: fmt.Sprintf("%s→%s", from, to),
+	})
+}
+
+// mineResult records one midnight mining run's outcome.
+func (o *svcObs) mineResult(at simtime.Instant, err error) {
+	o.mineRuns.Inc()
+	ev := tracing.Event{Time: at, Kind: tracing.KindMineRun, Outcome: "ok"}
+	if err != nil {
+		o.mineFaults.Inc()
+		ev.Outcome = "fail"
+		ev.Detail = err.Error()
+	}
+	o.sink.Emit(ev)
+}

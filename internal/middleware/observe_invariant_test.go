@@ -1,0 +1,253 @@
+package middleware
+
+import (
+	"math"
+	"testing"
+
+	"netmaster/internal/device"
+	"netmaster/internal/faults"
+	"netmaster/internal/metrics"
+	"netmaster/internal/parallel"
+	"netmaster/internal/power"
+	"netmaster/internal/simtime"
+	"netmaster/internal/synth"
+	"netmaster/internal/trace"
+	"netmaster/internal/tracing"
+)
+
+// These tests close the observability loop: the replay_* metrics a run
+// emits must agree exactly — not approximately — with the ground truth
+// the replay engine returns through its own API (the execution plan,
+// the command log, the Health counters, device.ComputeMetrics). Any
+// drift means an effect boundary gained or lost an instrumentation
+// hook, which is precisely the regression the layer exists to catch.
+
+// planCounts recomputes from the returned plan what the counters must
+// read. It deliberately mirrors the accounting in device.ComputeMetrics
+// rather than the instrumentation in observe.go, so the two sides of
+// the comparison come from independent code paths.
+func planCounts(tr *trace.Trace, p *device.Plan) (transfers, bytesDown, bytesUp, deferrals, wakeWindows, wakeWindowSecs int64, deferSum float64) {
+	transfers = int64(len(p.Executions))
+	for _, e := range p.Executions {
+		a := tr.Activities[e.Index]
+		bytesDown += a.BytesDown
+		bytesUp += a.BytesUp
+		if d := e.ExecStart.Sub(a.Start).Seconds(); d > 0 {
+			deferrals++
+			deferSum += d
+		}
+	}
+	wakeWindows = int64(len(p.WakeWindows))
+	for _, w := range p.WakeWindows {
+		wakeWindowSecs += int64(w.Len())
+	}
+	return
+}
+
+// foldSessions counts commanded radio sessions (enable → disable spans,
+// with a trailing open session closed at the horizon) from a command
+// sequence, mirroring what repObs tracks incrementally.
+func foldSessions(kinds []CommandKind) int64 {
+	var sessions int64
+	on := false
+	for _, k := range kinds {
+		switch k {
+		case CmdRadioEnable:
+			on = true
+		case CmdRadioDisable:
+			if on {
+				sessions++
+				on = false
+			}
+		}
+	}
+	if on {
+		sessions++
+	}
+	return sessions
+}
+
+func wantCounter(t *testing.T, snap metrics.Snapshot, name string, want int64) {
+	t.Helper()
+	if got := snap.Counters[name]; got != want {
+		t.Errorf("%s = %d, ground truth %d", name, got, want)
+	}
+}
+
+// checkReplayMetrics asserts the full counter↔plan correspondence for
+// one finished run.
+func checkReplayMetrics(t *testing.T, tr *trace.Trace, model *power.Model, res *ReplayResult, reg *metrics.Registry, sink *tracing.Sink, cmdKinds []CommandKind) {
+	t.Helper()
+	snap := reg.Snapshot()
+	transfers, down, up, deferrals, wakes, wakeSecs, deferSum := planCounts(tr, res.Plan)
+
+	wantCounter(t, snap, "replay_transfers_total", transfers)
+	wantCounter(t, snap, "replay_bytes_down_total", down)
+	wantCounter(t, snap, "replay_bytes_up_total", up)
+	wantCounter(t, snap, "replay_deferrals_total", deferrals)
+	wantCounter(t, snap, "replay_wake_windows_total", wakes)
+	wantCounter(t, snap, "replay_wake_window_seconds_total", wakeSecs)
+	wantCounter(t, snap, "replay_commands_total", int64(len(res.Commands)))
+	wantCounter(t, snap, "replay_radio_sessions_total", foldSessions(cmdKinds))
+
+	// The deferral histogram must carry every deferral and their exact
+	// summed wait (same additions in a different order: float slack).
+	hist, ok := snap.Histograms["replay_defer_seconds"]
+	if !ok {
+		t.Fatal("replay_defer_seconds histogram missing")
+	}
+	if hist.Count != deferrals {
+		t.Errorf("defer histogram count %d, ground truth %d", hist.Count, deferrals)
+	}
+	if math.Abs(hist.Sum-deferSum) > 1e-6*(1+deferSum) {
+		t.Errorf("defer histogram sum %v, ground truth %v", hist.Sum, deferSum)
+	}
+
+	// Cross-check against the device-layer evaluation of the same plan.
+	dm, err := device.ComputeMetrics(res.Plan, model)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if dm.BytesDown != down || dm.BytesUp != up {
+		t.Errorf("ComputeMetrics bytes (%d,%d) disagree with plan recount (%d,%d)",
+			dm.BytesDown, dm.BytesUp, down, up)
+	}
+	wantCounter(t, snap, "replay_bytes_down_total", dm.BytesDown)
+	wantCounter(t, snap, "replay_bytes_up_total", dm.BytesUp)
+	wantCounter(t, snap, "replay_deferrals_total", int64(dm.Deferred))
+	wantCounter(t, snap, "replay_wake_windows_total", int64(dm.WakeUps))
+	if dm.Deferred > 0 {
+		wantSum := dm.MeanDeferSecs * float64(dm.Deferred)
+		if math.Abs(hist.Sum-wantSum) > 1e-6*(1+wantSum) {
+			t.Errorf("defer histogram sum %v, ComputeMetrics %v", hist.Sum, wantSum)
+		}
+	}
+
+	// The trace must carry exactly one transfer event per execution
+	// (capacity is sized above the run, so nothing may drop), and the
+	// registry's high-water sim-time must reach the trace horizon.
+	if sink.Dropped() != 0 {
+		t.Fatalf("trace sink dropped %d events despite headroom", sink.Dropped())
+	}
+	var transferEvs int64
+	for _, ev := range sink.Events() {
+		if ev.Kind == tracing.KindTransfer {
+			transferEvs++
+		}
+	}
+	if transferEvs != transfers {
+		t.Errorf("%d transfer trace events, %d executions", transferEvs, transfers)
+	}
+	if horizon := simtime.Instant(tr.Horizon()); reg.SimTime() < horizon {
+		t.Errorf("registry sim-time %d short of horizon %d", reg.SimTime(), horizon)
+	}
+}
+
+// TestMetricsMatchReplayAccounting replays a synthetic trace with a
+// wired registry and asserts every replay_* total equals what the
+// returned plan and command log imply — under worker pools of 1 and 8,
+// which must also yield byte-identical snapshots (the replay engine is
+// sequential; the pool width may not leak into its accounting).
+func TestMetricsMatchReplayAccounting(t *testing.T) {
+	tr, err := synth.Generate(synth.EvalCohort()[1], 6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	model := power.Model3G()
+
+	snapshots := map[int]string{}
+	for _, workers := range []int{1, 8} {
+		prev := parallel.SetDefaultWorkers(workers)
+		reg := metrics.NewRegistry()
+		sink := tracing.NewSink(1 << 17)
+		cfg := DefaultReplayConfig(model)
+		cfg.Service.Metrics = reg
+		cfg.Service.Tracing = sink
+		res, err := Replay(tr, cfg)
+		parallel.SetDefaultWorkers(prev)
+		if err != nil {
+			t.Fatal(err)
+		}
+		kinds := make([]CommandKind, len(res.Commands))
+		for i, c := range res.Commands {
+			kinds[i] = c.Kind
+		}
+		checkReplayMetrics(t, tr, model, res, reg, sink, kinds)
+		snapshots[workers] = reg.String()
+	}
+	if snapshots[1] != snapshots[8] {
+		t.Errorf("metrics differ across worker pools:\nworkers=1: %s\nworkers=8: %s",
+			snapshots[1], snapshots[8])
+	}
+}
+
+// TestMetricsMatchChaosAccounting runs the same correspondence under a
+// seeded fault schedule and additionally pins every fault-machinery
+// counter to its Health ground truth — the counters and the Health
+// fields are incremented at the same program points, so any inequality
+// is a missing or doubled hook.
+func TestMetricsMatchChaosAccounting(t *testing.T) {
+	tr, err := synth.Generate(synth.EvalCohort()[0], 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	model := power.Model3G()
+	reg := metrics.NewRegistry()
+	sink := tracing.NewSink(1 << 17)
+	cfg := DefaultChaosConfig(model)
+	cfg.Replay.Service.Metrics = reg
+	cfg.Replay.Service.Tracing = sink
+	cfg.Faults = faults.Config{
+		Seed:             42,
+		RadioFailProb:    0.15,
+		RadioSilentProb:  0.05,
+		SyncFailProb:     0.1,
+		TransferFailProb: 0.1,
+		DBWriteFailProb:  0.05,
+		MineFailProb:     0.3,
+		DropEventProb:    0.02,
+		DupEventProb:     0.02,
+		ReorderEventProb: 0.02,
+	}
+	res, err := ReplayChaos(tr, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Under chaos the session tracker follows the commands the executor
+	// actually applied, at the instants they took effect.
+	var kinds []CommandKind
+	for _, rec := range res.Log {
+		if rec.Applied {
+			kinds = append(kinds, rec.Kind)
+		}
+	}
+	checkReplayMetrics(t, tr, model, res.ReplayResult, reg, sink, kinds)
+
+	snap := reg.Snapshot()
+	h := res.Health
+	for name, want := range map[string]int{
+		"replay_radio_retries_total":    h.RadioRetries,
+		"replay_sync_retries_total":     h.SyncRetries,
+		"replay_transfer_retries_total": h.TransferRetries,
+		"replay_radio_giveups_total":    h.RadioGiveUps,
+		"replay_sync_giveups_total":     h.SyncGiveUps,
+		"replay_deadline_flushes_total": h.DeadlineFlushes,
+		"replay_dropped_events_total":   h.DroppedEvents,
+		"replay_dup_events_total":       h.DupEvents,
+		"replay_reordered_events_total": h.ReorderedEvents,
+		"mw_db_faults_total":            h.DBFaults,
+		"mw_mine_faults_total":          h.MineFaults,
+		"mw_stale_events_total":         h.StaleEvents,
+		"mw_mode_transitions_total":     h.ModeTransitions,
+	} {
+		wantCounter(t, snap, name, int64(want))
+	}
+	if h.FaultsAbsorbed() == 0 {
+		t.Fatal("fault schedule injected nothing; the chaos leg of the invariant is vacuous")
+	}
+
+	// Commands under chaos: one counter tick per issued command,
+	// applied or not — the annotated log is the ground truth.
+	wantCounter(t, snap, "replay_commands_total", int64(len(res.Log)))
+}

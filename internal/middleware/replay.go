@@ -201,6 +201,7 @@ func ReplayChaos(t *trace.Trace, cfg ChaosConfig) (*ChaosResult, error) {
 type chaosState struct {
 	cfg     ChaosConfig
 	inj     *faults.Injector
+	obs     *repObs
 	horizon simtime.Instant
 
 	log     []CommandRecord
@@ -234,16 +235,19 @@ func (cs *chaosState) perturb(events []Event) []Event {
 		p := plan[i]
 		if p.Drop {
 			cs.droppedEvents++
+			cs.obs.droppedEvents.Inc()
 			continue
 		}
 		pos := i
 		if p.Delay > 0 {
 			cs.reorderedEvents++
+			cs.obs.reorderedEvs.Inc()
 			pos += p.Delay
 		}
 		slots[pos] = append(slots[pos], e)
 		if p.Dup {
 			cs.dupEvents++
+			cs.obs.dupEvents.Inc()
 			slots[pos] = append(slots[pos], e)
 		}
 	}
@@ -294,6 +298,7 @@ func (cs *chaosState) execute(c Command) CommandRecord {
 		default:
 			cs.radioRetries++
 		}
+		cs.obs.retry(c.Kind, at, rec.Attempts)
 		at = at.Add(faults.Backoff(cs.cfg.Retry.InitialBackoff, cs.cfg.Retry.MaxBackoff, attempt, seq))
 		if at >= cs.horizon {
 			break // no simulated time left to retry in
@@ -305,6 +310,7 @@ func (cs *chaosState) execute(c Command) CommandRecord {
 		} else {
 			cs.radioGiveUps++
 		}
+		cs.obs.giveUp(c, rec.Attempts)
 	}
 	cs.log = append(cs.log, rec)
 	return rec
@@ -341,9 +347,19 @@ func replay(t *trace.Trace, cfg ReplayConfig, cs *chaosState) (*ReplayResult, er
 	plan := &device.Plan{PolicyName: "netmaster-online", Trace: t}
 	res.Plan = plan
 
+	// One observability bundle per replay; record is the single funnel
+	// that both extends the plan and updates the replay_* totals, so the
+	// metrics cannot disagree with the returned plan.
+	obs := newRepObs(cfg.Service.Metrics, cfg.Service.Tracing)
+	record := func(e device.Execution, reason string) {
+		plan.Executions = append(plan.Executions, e)
+		obs.execution(t.Activities[e.Index], e, reason)
+	}
+
 	horizon := simtime.Instant(t.Horizon())
 	if cs != nil {
 		cs.horizon = horizon
+		cs.obs = obs
 		plan.PolicyName = "netmaster-online-chaos"
 		events = cs.perturb(events)
 	}
@@ -360,9 +376,9 @@ func replay(t *trace.Trace, cfg ReplayConfig, cs *chaosState) (*ReplayResult, er
 		if a.Kind.IsBackground() && !t.ScreenOnAt(a.Start) {
 			bgQueue = append(bgQueue, bgRef{index: i, at: a.Start})
 		} else {
-			plan.Executions = append(plan.Executions, device.Execution{
+			record(device.Execution{
 				Index: i, ExecStart: a.Start, TailCutSecs: cfg.TailCutSecs,
-			})
+			}, "foreground")
 		}
 	}
 
@@ -383,6 +399,7 @@ func replay(t *trace.Trace, cfg ReplayConfig, cs *chaosState) (*ReplayResult, er
 			if cs != nil && cs.inj.Decide(faults.OpTransfer, cur) != faults.OK {
 				// Transient transfer failure: keep it pending.
 				cs.transferRetries++
+				obs.transferRetry(cur, idx)
 				retained = append(retained, idx)
 				continue
 			}
@@ -395,14 +412,14 @@ func replay(t *trace.Trace, cfg ReplayConfig, cs *chaosState) (*ReplayResult, er
 				exec = a.Start
 			}
 			if exec.Add(dur) > horizon {
-				plan.Executions = append(plan.Executions, device.Execution{
+				record(device.Execution{
 					Index: idx, ExecStart: a.Start, TailCutSecs: cfg.TailCutSecs,
-				})
+				}, "horizon")
 				continue
 			}
-			plan.Executions = append(plan.Executions, device.Execution{
+			record(device.Execution{
 				Index: idx, ExecStart: exec, Duration: dur, TailCutSecs: cfg.TailCutSecs,
-			})
+			}, "served")
 			cur = exec.Add(dur)
 		}
 		pending = pending[:0]
@@ -426,18 +443,19 @@ func replay(t *trace.Trace, cfg ReplayConfig, cs *chaosState) (*ReplayResult, er
 				continue
 			}
 			cs.deadlineFlushes++
+			obs.deadlineFlush(due, idx, cs.cfg.MaxDeferral)
 			dur := cfg.Model.CompactDuration(a.Bytes())
 			if due.Add(dur) > horizon {
 				// No room for a compact burst before the horizon: run
 				// as recorded, like the end-of-trace drain.
-				plan.Executions = append(plan.Executions, device.Execution{
+				record(device.Execution{
 					Index: idx, ExecStart: a.Start, TailCutSecs: cfg.TailCutSecs,
-				})
+				}, "deadline")
 				continue
 			}
-			plan.Executions = append(plan.Executions, device.Execution{
+			record(device.Execution{
 				Index: idx, ExecStart: due, Duration: dur, TailCutSecs: cfg.TailCutSecs,
-			})
+			}, "deadline")
 		}
 		pending = pending[:0]
 		pending = append(pending, retained...)
@@ -446,11 +464,17 @@ func replay(t *trace.Trace, cfg ReplayConfig, cs *chaosState) (*ReplayResult, er
 	handleCommands := func(cmds []Command, fromTick bool) {
 		for _, c := range cmds {
 			res.Commands = append(res.Commands, c)
+			obs.commands.Inc()
 			if cs == nil {
 				// Plain path: every command takes effect instantly.
-				if c.Kind != CmdRadioEnable {
+				switch c.Kind {
+				case CmdRadioDisable:
+					obs.radioOff(c.Time)
+					continue
+				case CmdTriggerSync:
 					continue
 				}
+				obs.radioOn(c.Time)
 				if c.App == "" { // duty wake or screen-on
 					window := simtime.Interval{Start: c.Time, End: c.Time.Add(cfg.DutyWakeWindow)}
 					if window.End > horizon {
@@ -458,6 +482,7 @@ func replay(t *trace.Trace, cfg ReplayConfig, cs *chaosState) (*ReplayResult, er
 					}
 					if !window.IsEmpty() {
 						plan.WakeWindows = append(plan.WakeWindows, window)
+						obs.wakeWindow(window)
 					}
 				}
 				serve(c.Time)
@@ -478,6 +503,7 @@ func replay(t *trace.Trace, cfg ReplayConfig, cs *chaosState) (*ReplayResult, er
 					}
 					continue
 				}
+				obs.radioOn(rec.AppliedAt)
 				if c.App == "" {
 					window := simtime.Interval{Start: rec.AppliedAt, End: rec.AppliedAt.Add(cfg.DutyWakeWindow)}
 					if window.End > horizon {
@@ -485,6 +511,7 @@ func replay(t *trace.Trace, cfg ReplayConfig, cs *chaosState) (*ReplayResult, er
 					}
 					if !window.IsEmpty() {
 						plan.WakeWindows = append(plan.WakeWindows, window)
+						obs.wakeWindow(window)
 					}
 				}
 				serve(rec.AppliedAt)
@@ -493,6 +520,8 @@ func replay(t *trace.Trace, cfg ReplayConfig, cs *chaosState) (*ReplayResult, er
 					// The radio is stuck on: the service will issue
 					// the disable again at its next opportunity.
 					svc.forceRadioState(true)
+				} else {
+					obs.radioOff(rec.AppliedAt)
 				}
 			}
 			if serveErr != nil {
@@ -562,12 +591,13 @@ func replay(t *trace.Trace, cfg ReplayConfig, cs *chaosState) (*ReplayResult, er
 		// Transfers still pending at the end of the trace run as
 		// recorded.
 		for _, idx := range pending {
-			plan.Executions = append(plan.Executions, device.Execution{
+			record(device.Execution{
 				Index: idx, ExecStart: t.Activities[idx].Start, TailCutSecs: cfg.TailCutSecs,
-			})
+			}, "drain")
 		}
 		pending = pending[:0]
 	}
+	obs.finish(horizon)
 
 	// User-experience bookkeeping: the radio is unavailable during
 	// screen-off stretches outside wake windows.

@@ -14,9 +14,11 @@ import (
 	"netmaster/internal/device"
 	"netmaster/internal/dutycycle"
 	"netmaster/internal/habit"
+	"netmaster/internal/metrics"
 	"netmaster/internal/power"
 	"netmaster/internal/simtime"
 	"netmaster/internal/trace"
+	"netmaster/internal/tracing"
 )
 
 // NetMasterConfig parameterises the middleware.
@@ -54,6 +56,12 @@ type NetMasterConfig struct {
 	DisableScheduler   bool // skip knapsack scheduling; duty cycle only
 	DisableDutyCycle   bool // unpredicted activities run immediately
 	DisableSpecialApps bool // empty allowlist: every blocked want is wrong
+
+	// Metrics and Tracing flow through to the core scheduler so each
+	// knapsack run records its decisions (KindSchedDecision events and
+	// sched_* counters). Optional; nil disables the instrumentation.
+	Metrics *metrics.Registry
+	Tracing *tracing.Sink
 }
 
 // DefaultNetMasterConfig returns the paper's evaluation settings for the
@@ -305,6 +313,8 @@ func (n *NetMaster) schedule(profile *habit.Profile, shift simtime.Instant, u []
 		BandwidthBps:      n.cfg.BandwidthBps,
 		PenaltyRateWattEq: n.cfg.PenaltyRateWattEq,
 		ProbSlotWidth:     n.cfg.Habit.SlotWidth,
+		Metrics:           n.cfg.Metrics,
+		Tracing:           n.cfg.Tracing,
 		SavedEnergy: func(a core.Activity) float64 {
 			return n.cfg.Model.SavedEnergy(a.ActiveSecs)
 		},

@@ -1,0 +1,116 @@
+package report
+
+import (
+	"errors"
+	"strings"
+	"testing"
+)
+
+// Regression pins for two subtle behaviours the golden files depend on:
+// formatCell's %.4g float formatting (the tables' numeric style) and
+// Render surfacing the tabwriter's deferred Flush error instead of
+// swallowing it.
+
+func TestFormatCellSigFigs(t *testing.T) {
+	cases := []struct {
+		in   interface{}
+		want string
+	}{
+		{1.23456, "1.235"},         // rounds to 4 significant digits
+		{42.0, "42"},               // no trailing zeros
+		{0.000123456, "0.0001235"}, // small magnitudes stay decimal
+		{1234567.0, "1.235e+06"},   // large magnitudes go scientific
+		{-9.8765, "-9.877"},        // sign preserved through rounding
+		{float32(2.5), "2.5"},      // float32 shares the float path
+		{0.0, "0"},                 // zero is bare
+		{7, "7"},                   // ints bypass the float path
+		{int64(-3), "-3"},          //
+		{"as-is", "as-is"},         // strings pass through untouched
+		{true, "true"},             // everything else via %v
+	}
+	for _, tc := range cases {
+		if got := formatCell(tc.in); got != tc.want {
+			t.Errorf("formatCell(%v) = %q, want %q", tc.in, got, tc.want)
+		}
+	}
+}
+
+// failAfter accepts n bytes then fails every subsequent write — the
+// shape of a pipe closing mid-render.
+type failAfter struct {
+	n   int
+	err error
+}
+
+func (w *failAfter) Write(p []byte) (int, error) {
+	if w.n <= 0 {
+		return 0, w.err
+	}
+	if len(p) > w.n {
+		n := w.n
+		w.n = 0
+		return n, w.err
+	}
+	w.n -= len(p)
+	return len(p), nil
+}
+
+func TestRenderPropagatesFlushError(t *testing.T) {
+	tbl := NewTable("t", "a", "b")
+	tbl.AddRow(1, 2)
+	tbl.AddRow(3, 4)
+
+	// The tabwriter buffers all row bytes until Flush, so a writer that
+	// fails after the title can only surface its error there. A Render
+	// that ignored Flush's return would report success for a table that
+	// never reached the sink.
+	errSink := errors.New("sink closed")
+	w := &failAfter{n: len("\n== t ==\n"), err: errSink}
+	if err := tbl.Render(w); !errors.Is(err, errSink) {
+		t.Fatalf("Render error = %v, want %v", err, errSink)
+	}
+
+	// A writer that fails immediately errors on the title write itself.
+	if err := tbl.Render(&failAfter{err: errSink}); !errors.Is(err, errSink) {
+		t.Fatalf("Render with dead writer = %v, want %v", err, errSink)
+	}
+}
+
+func TestRenderCSVPropagatesWriteError(t *testing.T) {
+	tbl := NewTable("", "h")
+	tbl.AddRow("v")
+	errSink := errors.New("sink closed")
+	if err := tbl.RenderCSV(&failAfter{err: errSink}); !errors.Is(err, errSink) {
+		t.Fatalf("RenderCSV error = %v, want %v", err, errSink)
+	}
+}
+
+func TestSeriesAndMatrixPropagateWriteError(t *testing.T) {
+	errSink := errors.New("sink closed")
+	if err := Series(&failAfter{err: errSink}, "s", []float64{1}, []float64{2}); !errors.Is(err, errSink) {
+		t.Fatalf("Series error = %v, want %v", err, errSink)
+	}
+	if err := Matrix(&failAfter{err: errSink}, "m", []string{"a"}, [][]float64{{1}}); !errors.Is(err, errSink) {
+		t.Fatalf("Matrix error = %v, want %v", err, errSink)
+	}
+}
+
+// TestTableRenderGoldenShape pins the full rendered layout — column
+// alignment, separator row, %.4g cells — in one exact-match assertion.
+func TestTableRenderGoldenShape(t *testing.T) {
+	tbl := NewTable("Savings", "policy", "saving")
+	tbl.AddRow("netmaster", 0.31415)
+	tbl.AddRow("baseline", 0.0)
+	var sb strings.Builder
+	if err := tbl.Render(&sb); err != nil {
+		t.Fatal(err)
+	}
+	want := "\n== Savings ==\n" +
+		"policy     saving\n" +
+		"------     ------\n" +
+		"netmaster  0.3141\n" +
+		"baseline   0\n"
+	if sb.String() != want {
+		t.Errorf("rendered table:\n%q\nwant:\n%q", sb.String(), want)
+	}
+}

@@ -1,0 +1,231 @@
+// Package tracing records *why* the simulated system did what it did:
+// lightweight, sim-time-stamped event records for radio sessions,
+// duty-cycle wakes, scheduling decisions (chosen slot and profit),
+// deferral deadlines and fault retries, collected in a bounded ring
+// buffer and exportable as JSONL.
+//
+// Where internal/metrics answers "how much", a trace answers "when and
+// why": every record carries the simulation instant and enough context
+// (activity index, slot, attempt count, outcome) to reconstruct a
+// single transfer's story across the chaos machinery. The sink is a
+// fixed-capacity ring so a 14-day soak cannot grow without bound — when
+// it wraps, the oldest events are dropped and counted.
+//
+// Like metrics handles, a nil *Sink is a valid no-op, so instrumented
+// code pays one nil check when tracing is off.
+package tracing
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"sync"
+
+	"netmaster/internal/simtime"
+)
+
+// Kind classifies trace events. String-typed so JSONL stays greppable.
+type Kind string
+
+// The event kinds the instrumented packages emit.
+const (
+	// KindRadioSession is one commanded radio-on span (enable → disable);
+	// Dur is its length.
+	KindRadioSession Kind = "radio-session"
+	// KindDutyWake is one duty-cycle wake; Dur is the listen window.
+	KindDutyWake Kind = "duty-wake"
+	// KindSchedDecision is one accepted assignment of Algorithm 1:
+	// Activity moved to Slot at Time, with Value = profit (ΔE − ΔP),
+	// Saved = ΔE and Penalty = ΔP.
+	KindSchedDecision Kind = "sched-decision"
+	// KindSchedRun summarises one Schedule call (Value = objective).
+	KindSchedRun Kind = "sched-run"
+	// KindTransfer is one executed network activity; Outcome says which
+	// path ran it (foreground, served, deadline, drain).
+	KindTransfer Kind = "transfer"
+	// KindDeadlineFlush is a transfer force-executed at the hard
+	// deferral deadline; Dur is how long it had waited.
+	KindDeadlineFlush Kind = "deadline-flush"
+	// KindFault is an absorbed one-shot fault (a lost DB write, a
+	// perturbed event) that has no retry loop; Op names the boundary.
+	KindFault Kind = "fault"
+	// KindFaultRetry is one failed command/transfer attempt about to be
+	// retried; Attempts is the attempt number that failed.
+	KindFaultRetry Kind = "fault-retry"
+	// KindGiveUp is a command abandoned after the retry budget.
+	KindGiveUp Kind = "give-up"
+	// KindModeTransition is a middleware degradation-mode change;
+	// Detail is "from→to".
+	KindModeTransition Kind = "mode-transition"
+	// KindMineRun is one midnight mining run; Outcome is ok or fail.
+	KindMineRun Kind = "mine-run"
+	// KindEvalRun is one policy evaluation in an eval sweep; Value is
+	// the energy saving vs baseline.
+	KindEvalRun Kind = "eval-run"
+)
+
+// Event is one trace record. Zero-valued fields are omitted from JSONL,
+// so each kind only pays for the context it carries.
+type Event struct {
+	// Seq is the sink-assigned global sequence number, monotonically
+	// increasing across the run even when the ring has wrapped.
+	Seq uint64 `json:"seq"`
+	// Time is the simulation instant of the event.
+	Time simtime.Instant `json:"t"`
+	// Kind classifies the event.
+	Kind Kind `json:"kind"`
+	// Op names the effect boundary for fault events (radio-enable,
+	// trigger-sync, transfer, …).
+	Op string `json:"op,omitempty"`
+	// App is the application involved, when one is.
+	App string `json:"app,omitempty"`
+	// Activity is the trace activity index (or scheduler activity ID).
+	Activity int `json:"activity,omitempty"`
+	// Slot is the chosen active-slot index of a scheduling decision.
+	Slot int `json:"slot,omitempty"`
+	// Attempts counts executor attempts for retry/give-up events.
+	Attempts int `json:"attempts,omitempty"`
+	// Bytes is the payload moved, for transfer events.
+	Bytes int64 `json:"bytes,omitempty"`
+	// Dur is the event's span (session length, wake window, wait).
+	Dur simtime.Duration `json:"dur,omitempty"`
+	// Value, Saved and Penalty carry the numeric payload: profit terms
+	// for scheduling decisions, savings for eval runs.
+	Value   float64 `json:"value,omitempty"`
+	Saved   float64 `json:"saved,omitempty"`
+	Penalty float64 `json:"penalty,omitempty"`
+	// Outcome is a short result tag (ok, fail, served, deadline, …).
+	Outcome string `json:"outcome,omitempty"`
+	// Detail is free-form context (mode transitions, error strings).
+	Detail string `json:"detail,omitempty"`
+}
+
+// DefaultCapacity is the ring size used when NewSink is given a
+// non-positive capacity: enough for a multi-week replay's decision log
+// while bounding a soak's memory.
+const DefaultCapacity = 1 << 16
+
+// Sink collects events in a fixed-capacity ring buffer. Safe for
+// concurrent use; a nil *Sink discards events.
+type Sink struct {
+	mu      sync.Mutex
+	buf     []Event
+	start   int    // index of the oldest event
+	n       int    // events currently buffered
+	seq     uint64 // next sequence number
+	dropped uint64 // events overwritten after the ring wrapped
+}
+
+// NewSink builds a sink holding at most capacity events (DefaultCapacity
+// when capacity <= 0).
+func NewSink(capacity int) *Sink {
+	if capacity <= 0 {
+		capacity = DefaultCapacity
+	}
+	return &Sink{buf: make([]Event, 0, capacity)}
+}
+
+// defaultSink is the process-wide sink shared by the eval hooks when no
+// explicit sink is wired.
+var defaultSink = NewSink(0)
+
+// Default returns the process-wide sink.
+func Default() *Sink { return defaultSink }
+
+// Emit records one event, assigning its sequence number. When the ring
+// is full the oldest event is dropped and counted. Nil-safe.
+func (s *Sink) Emit(e Event) {
+	if s == nil {
+		return
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	e.Seq = s.seq
+	s.seq++
+	if s.n < cap(s.buf) {
+		if len(s.buf) < cap(s.buf) {
+			s.buf = s.buf[:len(s.buf)+1]
+		}
+		s.buf[(s.start+s.n)%cap(s.buf)] = e
+		s.n++
+		return
+	}
+	s.buf[s.start] = e
+	s.start = (s.start + 1) % cap(s.buf)
+	s.dropped++
+}
+
+// Len returns the number of buffered events.
+func (s *Sink) Len() int {
+	if s == nil {
+		return 0
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.n
+}
+
+// Dropped returns how many events the ring has overwritten.
+func (s *Sink) Dropped() uint64 {
+	if s == nil {
+		return 0
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.dropped
+}
+
+// Events returns the buffered events oldest-first.
+func (s *Sink) Events() []Event {
+	if s == nil {
+		return nil
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	out := make([]Event, s.n)
+	for i := 0; i < s.n; i++ {
+		out[i] = s.buf[(s.start+i)%cap(s.buf)]
+	}
+	return out
+}
+
+// Reset discards every buffered event and the drop count, keeping the
+// sequence counter so later events remain globally ordered.
+func (s *Sink) Reset() {
+	if s == nil {
+		return
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.buf = s.buf[:0]
+	s.start, s.n, s.dropped = 0, 0, 0
+}
+
+// WriteJSONL writes the buffered events oldest-first, one JSON object
+// per line.
+func (s *Sink) WriteJSONL(w io.Writer) error {
+	for _, e := range s.Events() {
+		b, err := json.Marshal(e)
+		if err != nil {
+			return fmt.Errorf("tracing: marshal event %d: %w", e.Seq, err)
+		}
+		if _, err := w.Write(append(b, '\n')); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// ReadJSONL parses events written by WriteJSONL, for tooling and tests.
+func ReadJSONL(r io.Reader) ([]Event, error) {
+	dec := json.NewDecoder(r)
+	var out []Event
+	for dec.More() {
+		var e Event
+		if err := dec.Decode(&e); err != nil {
+			return nil, fmt.Errorf("tracing: event %d: %w", len(out), err)
+		}
+		out = append(out, e)
+	}
+	return out, nil
+}

@@ -33,6 +33,7 @@ import (
 	"netmaster/internal/faults"
 	"netmaster/internal/habit"
 	"netmaster/internal/knapsack"
+	"netmaster/internal/metrics"
 	"netmaster/internal/middleware"
 	"netmaster/internal/parallel"
 	"netmaster/internal/policy"
@@ -40,6 +41,7 @@ import (
 	"netmaster/internal/simtime"
 	"netmaster/internal/synth"
 	"netmaster/internal/trace"
+	"netmaster/internal/tracing"
 )
 
 // Parallel evaluation engine controls. The evaluation sweeps and the
@@ -389,6 +391,39 @@ var (
 	// FaultImpact measures energy saving retained under rising fault
 	// intensity.
 	FaultImpact = eval.FaultImpact
+)
+
+// Observability layer (see docs/observability.md): sim-time metrics and
+// decision tracing across the middleware, the core scheduler, the duty
+// cycle and the evaluation sweeps.
+type (
+	// MetricsRegistry holds named counters, gauges and histograms with a
+	// sim-time-stamped, deterministic JSON snapshot.
+	MetricsRegistry = metrics.Registry
+	// MetricsSnapshot is a frozen, JSON-serialisable registry view.
+	MetricsSnapshot = metrics.Snapshot
+	// TraceSink is the bounded ring buffer collecting trace events.
+	TraceSink = tracing.Sink
+	// TraceEvent is one sim-time-stamped decision/effect record.
+	TraceEvent = tracing.Event
+	// TraceEventKind classifies trace events.
+	TraceEventKind = tracing.Kind
+)
+
+// Observability entry points.
+var (
+	// NewMetricsRegistry builds an empty metrics registry.
+	NewMetricsRegistry = metrics.NewRegistry
+	// DefaultMetrics returns the process-wide metrics registry.
+	DefaultMetrics = metrics.Default
+	// NewTraceSink builds a trace sink holding at most capacity events
+	// (<= 0 means the default capacity).
+	NewTraceSink = tracing.NewSink
+	// DefaultTraceSink returns the process-wide trace sink.
+	DefaultTraceSink = tracing.Default
+	// SetEvalObservability wires a registry and sink into the evaluation
+	// sweeps (Compare, Fig7, FaultImpact, …); two nils unwire them.
+	SetEvalObservability = eval.SetObservability
 )
 
 // Extension types.
