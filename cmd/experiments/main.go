@@ -17,9 +17,12 @@ import (
 	"path/filepath"
 	"runtime"
 
+	"netmaster/internal/atomicfile"
 	"netmaster/internal/device"
 	"netmaster/internal/eval"
 	"netmaster/internal/habit"
+	"netmaster/internal/metrics"
+	"netmaster/internal/middleware"
 	"netmaster/internal/parallel"
 	"netmaster/internal/policy"
 	"netmaster/internal/power"
@@ -27,6 +30,7 @@ import (
 	"netmaster/internal/simtime"
 	"netmaster/internal/synth"
 	"netmaster/internal/trace"
+	"netmaster/internal/tracing"
 )
 
 func main() {
@@ -35,18 +39,19 @@ func main() {
 		days      = flag.Int("days", 21, "trace length in days (the paper: 3 weeks)")
 		modelName = flag.String("model", "3g", "radio model: 3g or lte")
 		csvDir    = flag.String("csv", "", "also write figure data as CSV files into this directory")
+		obsDir    = flag.String("obs-dir", "", "replay the cohort online and write per-device metrics.json + trace.jsonl for netmaster-analyze")
 		workers   = flag.Int("parallelism", runtime.GOMAXPROCS(0),
 			"worker-pool width for the evaluation engine and scheduler (1 = sequential)")
 	)
 	flag.Parse()
 	parallel.SetDefaultWorkers(*workers)
-	if err := run(*figure, *days, *modelName, *csvDir); err != nil {
+	if err := run(*figure, *days, *modelName, *csvDir, *obsDir); err != nil {
 		fmt.Fprintln(os.Stderr, "experiments:", err)
 		os.Exit(1)
 	}
 }
 
-func run(figure string, days int, modelName, csvDir string) error {
+func run(figure string, days int, modelName, csvDir, obsDir string) error {
 	var model *power.Model
 	switch modelName {
 	case "3g":
@@ -184,7 +189,41 @@ func run(figure string, days int, modelName, csvDir string) error {
 		}
 		fmt.Fprintf(w, "\nCSV series written to %s\n", csvDir)
 	}
+	if obsDir != "" {
+		if err := writeObservability(obsDir, volunteers, model); err != nil {
+			return err
+		}
+		fmt.Fprintf(w, "\nobservability cohort written to %s (analyse with netmaster-analyze)\n", obsDir)
+	}
 	return nil
+}
+
+// writeObservability replays every volunteer through the online
+// middleware — the deployment path — with a private registry and trace
+// sink each, and writes the per-device exports in the cohort layout
+// netmaster-analyze consumes: <dir>/<user>/metrics.json + trace.jsonl.
+// Devices replay in parallel on the default worker pool; each file is
+// written atomically.
+func writeObservability(dir string, volunteers []*trace.Trace, model *power.Model) error {
+	return parallel.ForEach(len(volunteers), func(i int) error {
+		t := volunteers[i]
+		reg := metrics.NewRegistry()
+		sink := tracing.NewSink(0)
+		cfg := middleware.DefaultReplayConfig(model)
+		cfg.Service.Metrics = reg
+		cfg.Service.Tracing = sink
+		if _, err := middleware.Replay(t, cfg); err != nil {
+			return fmt.Errorf("%s: %w", t.UserID, err)
+		}
+		ddir := filepath.Join(dir, t.UserID)
+		if err := os.MkdirAll(ddir, 0o755); err != nil {
+			return err
+		}
+		if err := atomicfile.WriteFile(filepath.Join(ddir, "metrics.json"), reg.WriteJSON); err != nil {
+			return err
+		}
+		return atomicfile.WriteFile(filepath.Join(ddir, "trace.jsonl"), sink.WriteJSONL)
+	})
 }
 
 // writeCSVs exports the evaluation figures' data series as CSV files.

@@ -4,31 +4,69 @@ import (
 	"os"
 	"path/filepath"
 	"testing"
+
+	"netmaster/internal/tracing"
 )
 
 func TestRunSingleFigures(t *testing.T) {
 	// The cheap figures run end to end; days kept small.
 	for _, fig := range []string{"motivation", "1a", "1b", "2", "3", "4", "5", "10a", "10b", "delta"} {
-		if err := run(fig, 8, "3g", ""); err != nil {
+		if err := run(fig, 8, "3g", "", ""); err != nil {
 			t.Errorf("figure %s: %v", fig, err)
 		}
 	}
 }
 
 func TestRunUnknownModel(t *testing.T) {
-	if err := run("1a", 8, "6g", ""); err == nil {
+	if err := run("1a", 8, "6g", "", ""); err == nil {
 		t.Error("unknown model accepted")
 	}
 }
 
 func TestRunCSVExport(t *testing.T) {
 	dir := t.TempDir()
-	if err := run("7", 8, "3g", dir); err != nil {
+	if err := run("7", 8, "3g", dir, ""); err != nil {
 		t.Fatal(err)
 	}
 	for _, f := range []string{"fig7.csv", "fig8.csv", "fig9.csv", "fig10c.csv", "fig7a_gaps.csv"} {
 		if _, err := os.Stat(filepath.Join(dir, f)); err != nil {
 			t.Errorf("missing %s", f)
+		}
+	}
+}
+
+// -obs-dir writes the per-device cohort layout netmaster-analyze
+// consumes: every volunteer gets metrics.json and a well-formed
+// headered trace.
+func TestRunObservabilityExport(t *testing.T) {
+	dir := t.TempDir()
+	if err := run("1a", 6, "3g", "", dir); err != nil {
+		t.Fatal(err)
+	}
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(entries) == 0 {
+		t.Fatal("no device directories written")
+	}
+	for _, e := range entries {
+		if _, err := os.Stat(filepath.Join(dir, e.Name(), "metrics.json")); err != nil {
+			t.Errorf("%s: %v", e.Name(), err)
+		}
+		f, err := os.Open(filepath.Join(dir, e.Name(), "trace.jsonl"))
+		if err != nil {
+			t.Errorf("%s: %v", e.Name(), err)
+			continue
+		}
+		hdr, events, err := tracing.ReadJSONLWithHeader(f)
+		f.Close()
+		if err != nil {
+			t.Errorf("%s: %v", e.Name(), err)
+			continue
+		}
+		if hdr.Format == 0 || len(events) == 0 || hdr.Events != len(events) {
+			t.Errorf("%s: header %+v with %d events", e.Name(), hdr, len(events))
 		}
 	}
 }

@@ -1,0 +1,196 @@
+package main
+
+import (
+	"bytes"
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"netmaster/internal/atomicfile"
+	"netmaster/internal/metrics"
+	"netmaster/internal/middleware"
+	"netmaster/internal/power"
+	"netmaster/internal/synth"
+	"netmaster/internal/tracing"
+)
+
+// The golden files pin the fleet report byte for byte over a fixed
+// 3-device cohort: the same seeded online replays netmaster-sim runs,
+// analysed at every parallelism setting. A diff means the analyser's
+// behaviour changed, not noise. Regenerate deliberately with
+//
+//	go test ./cmd/netmaster-analyze -run Golden -update
+var update = flag.Bool("update", false, "rewrite the golden files")
+
+func checkGolden(t *testing.T, name string, got []byte) {
+	t.Helper()
+	path := filepath.Join("testdata", name)
+	if *update {
+		if err := os.MkdirAll("testdata", 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(path, got, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		return
+	}
+	want, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("missing golden file (run with -update to create): %v", err)
+	}
+	if !bytes.Equal(got, want) {
+		t.Errorf("%s differs from golden file (re-run with -update if intended)\ngot:\n%s\nwant:\n%s",
+			name, got, want)
+	}
+}
+
+// writeCohort replays the first three cohort users online and writes
+// their observability exports in the layout the analyzer consumes:
+// <dir>/<device>/metrics.json + trace.jsonl.
+func writeCohort(t *testing.T, dir string) []string {
+	t.Helper()
+	model := power.Model3G()
+	var devices []string
+	for _, spec := range synth.EvalCohort()[:3] {
+		tr, err := synth.Generate(spec, 4)
+		if err != nil {
+			t.Fatal(err)
+		}
+		reg := metrics.NewRegistry()
+		sink := tracing.NewSink(0)
+		cfg := middleware.DefaultReplayConfig(model)
+		cfg.Service.Metrics = reg
+		cfg.Service.Tracing = sink
+		if _, err := middleware.Replay(tr, cfg); err != nil {
+			t.Fatal(err)
+		}
+		ddir := filepath.Join(dir, spec.ID)
+		if err := os.MkdirAll(ddir, 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := atomicfile.WriteFile(filepath.Join(ddir, "metrics.json"), reg.WriteJSON); err != nil {
+			t.Fatal(err)
+		}
+		if err := atomicfile.WriteFile(filepath.Join(ddir, "trace.jsonl"), sink.WriteJSONL); err != nil {
+			t.Fatal(err)
+		}
+		devices = append(devices, ddir)
+	}
+	return devices
+}
+
+func render(t *testing.T, o options) string {
+	t.Helper()
+	var buf bytes.Buffer
+	if _, err := run(o, &buf); err != nil {
+		t.Fatal(err)
+	}
+	return buf.String()
+}
+
+func TestGoldenFleetReport(t *testing.T) {
+	dir := t.TempDir()
+	writeCohort(t, dir)
+
+	for _, format := range []string{"text", "json"} {
+		golden := fmt.Sprintf("fleet_%s.golden", format)
+		t.Run(format, func(t *testing.T) {
+			seq := render(t, options{format: format, parallelism: 1, modelName: "3g", dirs: []string{dir}})
+			checkGolden(t, golden, []byte(seq))
+			// The report must not depend on worker count or repetition.
+			for _, par := range []int{8, 1} {
+				if got := render(t, options{format: format, parallelism: par, modelName: "3g", dirs: []string{dir}}); got != seq {
+					t.Errorf("parallelism %d changed the %s report", par, format)
+				}
+			}
+		})
+	}
+
+	t.Run("prom", func(t *testing.T) {
+		promOut := filepath.Join(t.TempDir(), "fleet.prom")
+		render(t, options{format: "text", parallelism: 1, modelName: "3g", promOut: promOut, dirs: []string{dir}})
+		seq, err := os.ReadFile(promOut)
+		if err != nil {
+			t.Fatal(err)
+		}
+		checkGolden(t, "fleet_prom.golden", seq)
+		render(t, options{format: "text", parallelism: 8, modelName: "3g", promOut: promOut, dirs: []string{dir}})
+		par, err := os.ReadFile(promOut)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(seq, par) {
+			t.Error("parallelism changed the Prometheus exposition")
+		}
+	})
+}
+
+// Passing the device directories individually must produce exactly the
+// cohort-directory report.
+func TestDeviceArgsEquivalentToCohortDir(t *testing.T) {
+	dir := t.TempDir()
+	devices := writeCohort(t, dir)
+	whole := render(t, options{format: "text", parallelism: 1, modelName: "3g", dirs: []string{dir}})
+	split := render(t, options{format: "text", parallelism: 1, modelName: "3g", dirs: devices})
+	if whole != split {
+		t.Error("device-dir arguments diverge from the cohort-dir report")
+	}
+}
+
+// A clean cohort reports zero invariant errors; a spliced trace is
+// caught and counted for -check.
+func TestCheckFindsCorruptTrace(t *testing.T) {
+	dir := t.TempDir()
+	devices := writeCohort(t, dir)
+
+	var buf bytes.Buffer
+	errs, err := run(options{format: "text", parallelism: 1, modelName: "3g", dirs: []string{dir}}, &buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if errs != 0 {
+		t.Fatalf("clean cohort reported %d errors:\n%s", errs, buf.String())
+	}
+
+	// Splice: repeat the first event line at the end of one trace. Its
+	// sequence number regresses, which the seq-order audit must flag.
+	tracePath := filepath.Join(devices[0], "trace.jsonl")
+	b, err := os.ReadFile(tracePath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.SplitN(string(b), "\n", 3)
+	if len(lines) < 3 {
+		t.Fatal("trace too short to splice")
+	}
+	if err := os.WriteFile(tracePath, append(b, []byte(lines[1]+"\n")...), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	errs, err = run(options{format: "text", parallelism: 1, modelName: "3g", dirs: []string{dir}}, &buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if errs == 0 {
+		t.Fatal("spliced trace not flagged")
+	}
+}
+
+func TestRejectsBadInputs(t *testing.T) {
+	if _, err := run(options{format: "text", modelName: "3g"}, &bytes.Buffer{}); err == nil {
+		t.Error("no input dirs accepted")
+	}
+	if _, err := run(options{format: "text", modelName: "warp"}, &bytes.Buffer{}); err == nil {
+		t.Error("unknown model accepted")
+	}
+	dir := t.TempDir()
+	writeCohort(t, dir)
+	if _, err := run(options{format: "yaml", modelName: "3g", dirs: []string{dir}}, &bytes.Buffer{}); err == nil {
+		t.Error("unknown format accepted")
+	}
+	if _, err := run(options{format: "text", modelName: "3g", dirs: []string{t.TempDir()}}, &bytes.Buffer{}); err == nil {
+		t.Error("empty dir accepted")
+	}
+}

@@ -24,10 +24,12 @@ import (
 	"net/http"
 	_ "net/http/pprof"
 	"os"
+	"path/filepath"
 	"strconv"
 	"strings"
 	"sync"
 
+	"netmaster/internal/atomicfile"
 	"netmaster/internal/device"
 	"netmaster/internal/faults"
 	"netmaster/internal/metrics"
@@ -63,6 +65,7 @@ type options struct {
 	// Observability outputs.
 	metricsOut string // write the metrics snapshot JSON here
 	traceOut   string // write the decision trace JSONL here
+	obsDir     string // write <obsDir>/<user>/metrics.json + trace.jsonl
 	traceCap   int    // trace ring capacity, 0 = default
 	pprofAddr  string // serve /debug/pprof and /debug/vars here
 }
@@ -85,6 +88,7 @@ func main() {
 	flag.IntVar(&o.maxDeferral, "max-deferral", 0, "hard deferral deadline in seconds, 0 = 4x duty max sleep (policy=online)")
 	flag.StringVar(&o.metricsOut, "metrics-out", "", "write the run's metrics snapshot to this file as JSON")
 	flag.StringVar(&o.traceOut, "trace-out", "", "write the run's decision trace to this file as JSONL")
+	flag.StringVar(&o.obsDir, "obs-dir", "", "write <dir>/<user>/metrics.json and trace.jsonl for netmaster-analyze")
 	flag.IntVar(&o.traceCap, "trace-cap", 0, "trace ring capacity in events, 0 = default")
 	flag.StringVar(&o.pprofAddr, "pprof-addr", "", "serve net/http/pprof and expvar on this address (for soak runs)")
 	flag.Parse()
@@ -109,7 +113,7 @@ type observed struct {
 var pprofOnce sync.Once
 
 func newObserved(o options) *observed {
-	if o.metricsOut == "" && o.traceOut == "" && o.pprofAddr == "" {
+	if o.metricsOut == "" && o.traceOut == "" && o.obsDir == "" && o.pprofAddr == "" {
 		return &observed{o: o}
 	}
 	ob := &observed{reg: metrics.NewRegistry(), sink: tracing.NewSink(o.traceCap), o: o}
@@ -127,30 +131,30 @@ func newObserved(o options) *observed {
 }
 
 // flush writes the collected metrics and trace to their output files.
-func (ob *observed) flush() error {
+// All writes are atomic (temp file + rename), so a crashed or killed run
+// never leaves a torn snapshot where a previous good one stood, and
+// netmaster-analyze never reads a half-written cohort. user names the
+// device directory under -obs-dir.
+func (ob *observed) flush(user string) error {
 	if ob.o.metricsOut != "" {
-		f, err := os.Create(ob.o.metricsOut)
-		if err != nil {
-			return err
-		}
-		if err := ob.reg.WriteJSON(f); err != nil {
-			f.Close()
-			return err
-		}
-		if err := f.Close(); err != nil {
+		if err := atomicfile.WriteFile(ob.o.metricsOut, ob.reg.WriteJSON); err != nil {
 			return err
 		}
 	}
 	if ob.o.traceOut != "" {
-		f, err := os.Create(ob.o.traceOut)
-		if err != nil {
+		if err := atomicfile.WriteFile(ob.o.traceOut, ob.sink.WriteJSONL); err != nil {
 			return err
 		}
-		if err := ob.sink.WriteJSONL(f); err != nil {
-			f.Close()
+	}
+	if ob.o.obsDir != "" {
+		dir := filepath.Join(ob.o.obsDir, user)
+		if err := os.MkdirAll(dir, 0o755); err != nil {
 			return err
 		}
-		if err := f.Close(); err != nil {
+		if err := atomicfile.WriteFile(filepath.Join(dir, "metrics.json"), ob.reg.WriteJSON); err != nil {
+			return err
+		}
+		if err := atomicfile.WriteFile(filepath.Join(dir, "trace.jsonl"), ob.sink.WriteJSONL); err != nil {
 			return err
 		}
 	}
@@ -238,7 +242,7 @@ func run(o options, stdout io.Writer) error {
 			return err
 		}
 	}
-	return ob.flush()
+	return ob.flush(t.UserID)
 }
 
 // plannedPolicy adapts an already-computed plan (the online replay's) to

@@ -2,7 +2,11 @@ package main
 
 import (
 	"io"
+	"os"
+	"path/filepath"
 	"testing"
+
+	"netmaster/internal/tracing"
 )
 
 func opts(gen string, days int, policy string) options {
@@ -69,5 +73,31 @@ func TestRunErrors(t *testing.T) {
 	o.faultOutage = "500:100"
 	if err := run(o, io.Discard); err == nil {
 		t.Error("inverted outage accepted")
+	}
+}
+
+// -obs-dir writes the per-device layout netmaster-analyze consumes; the
+// run's byte-identical metrics and trace also land there.
+func TestRunObsDir(t *testing.T) {
+	dir := t.TempDir()
+	o := opts("volunteer3", 4, "online")
+	o.obsDir = dir
+	if err := run(o, io.Discard); err != nil {
+		t.Fatal(err)
+	}
+	f, err := os.Open(filepath.Join(dir, "volunteer3", "trace.jsonl"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	hdr, events, err := tracing.ReadJSONLWithHeader(f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if hdr.Format == 0 || hdr.Events != len(events) || len(events) == 0 {
+		t.Fatalf("header %+v with %d events", hdr, len(events))
+	}
+	if _, err := os.Stat(filepath.Join(dir, "volunteer3", "metrics.json")); err != nil {
+		t.Fatal(err)
 	}
 }

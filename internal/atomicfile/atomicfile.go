@@ -1,0 +1,57 @@
+// Package atomicfile writes files atomically: content goes to a
+// temporary file in the destination directory and is renamed into place
+// only after a successful write and close. A crashed or interrupted run
+// therefore never leaves a half-written metrics snapshot or trace export
+// for downstream tooling (the fleet analyzer) to choke on — the
+// destination either holds the previous complete file or the new one.
+package atomicfile
+
+import (
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+)
+
+// WriteFile streams write's output into path atomically. The temporary
+// file lives in path's directory so the final rename never crosses a
+// filesystem boundary. On any error the temporary file is removed and
+// the destination is left untouched.
+func WriteFile(path string, write func(w io.Writer) error) (err error) {
+	dir := filepath.Dir(path)
+	f, err := os.CreateTemp(dir, "."+filepath.Base(path)+".tmp*")
+	if err != nil {
+		return fmt.Errorf("atomicfile: %w", err)
+	}
+	tmp := f.Name()
+	defer func() {
+		if err != nil {
+			f.Close()
+			os.Remove(tmp)
+		}
+	}()
+	if err = write(f); err != nil {
+		return err
+	}
+	if err = f.Sync(); err != nil {
+		return fmt.Errorf("atomicfile: sync %s: %w", tmp, err)
+	}
+	if err = f.Close(); err != nil {
+		return fmt.Errorf("atomicfile: close %s: %w", tmp, err)
+	}
+	if err = os.Chmod(tmp, 0o644); err != nil {
+		return fmt.Errorf("atomicfile: chmod %s: %w", tmp, err)
+	}
+	if err = os.Rename(tmp, path); err != nil {
+		return fmt.Errorf("atomicfile: rename into %s: %w", path, err)
+	}
+	return nil
+}
+
+// WriteFileBytes writes b into path atomically.
+func WriteFileBytes(path string, b []byte) error {
+	return WriteFile(path, func(w io.Writer) error {
+		_, err := w.Write(b)
+		return err
+	})
+}

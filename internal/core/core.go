@@ -109,6 +109,9 @@ func (c *Config) validate() error {
 type Assignment struct {
 	ActivityID int
 	SlotIndex  int // index into the U passed to Schedule
+	// Bytes is the activity's volume V(n), the knapsack weight it
+	// occupies in the slot.
+	Bytes int64
 	// Target is the instant within the slot the activity is moved to
 	// (the slot edge nearest its original time).
 	Target simtime.Instant
@@ -426,15 +429,17 @@ func (s *Scheduler) Schedule(u []simtime.Interval, tn []Activity) (*Schedule, er
 	}
 
 	out := s.buildSchedule(u, tn, selected, scheduledIDs, pc)
-	s.observe(out)
+	s.observe(u, out)
 	return out, nil
 }
 
 // observe publishes one Schedule run to the configured observability
-// layer: aggregate counters plus a decision trace event per accepted
-// assignment. Runs sequentially after the parallel per-slot solves, so
-// trace ordering is deterministic.
-func (s *Scheduler) observe(sched *Schedule) {
+// layer: aggregate counters, a decision trace event per accepted
+// assignment, and one sched-slot event per loaded slot carrying its
+// assigned volume next to its Eq. 5 capacity (the fleet analyzer audits
+// load ≤ capacity from these). Runs sequentially after the parallel
+// per-slot solves, so trace ordering is deterministic.
+func (s *Scheduler) observe(u []simtime.Interval, sched *Schedule) {
 	reg, sink := s.cfg.Metrics, s.cfg.Tracing
 	if reg == nil && sink == nil {
 		return
@@ -453,9 +458,23 @@ func (s *Scheduler) observe(sched *Schedule) {
 			Kind:     tracing.KindSchedDecision,
 			Activity: a.ActivityID,
 			Slot:     a.SlotIndex,
+			Bytes:    a.Bytes,
 			Value:    a.Profit,
 			Saved:    a.Saved,
 			Penalty:  a.Penalty,
+		})
+	}
+	for slot, load := range sched.SlotLoad {
+		if load == 0 {
+			continue
+		}
+		sink.Emit(tracing.Event{
+			Time:  u[slot].Start,
+			Kind:  tracing.KindSchedSlot,
+			Slot:  slot,
+			Dur:   u[slot].Len(),
+			Bytes: load,
+			Cap:   s.cfg.Capacity(u[slot]),
 		})
 	}
 	reg.Advance(latest)
@@ -549,6 +568,7 @@ func (s *Scheduler) buildSchedule(u []simtime.Interval, tn []Activity, selected 
 		out.Assignments = append(out.Assignments, Assignment{
 			ActivityID: cd.act.ID,
 			SlotIndex:  cd.slotIdx,
+			Bytes:      cd.act.Bytes,
 			Target:     cd.target,
 			Profit:     cd.profit(),
 			Saved:      cd.saved,

@@ -62,6 +62,12 @@ const (
 	// KindEvalRun is one policy evaluation in an eval sweep; Value is
 	// the energy saving vs baseline.
 	KindEvalRun Kind = "eval-run"
+	// KindSchedSlot is one loaded user-active slot of a Schedule run:
+	// Slot is its index, Time its start, Dur its length, Bytes the
+	// volume assigned into it and Cap its Eq. 5 capacity. Emitted only
+	// for slots that received at least one assignment, so the fleet
+	// analyzer can audit capacity from the trace alone.
+	KindSchedSlot Kind = "sched-slot"
 )
 
 // Event is one trace record. Zero-valued fields are omitted from JSONL,
@@ -85,8 +91,11 @@ type Event struct {
 	Slot int `json:"slot,omitempty"`
 	// Attempts counts executor attempts for retry/give-up events.
 	Attempts int `json:"attempts,omitempty"`
-	// Bytes is the payload moved, for transfer events.
+	// Bytes is the payload moved, for transfer events, or the volume
+	// assigned into a slot for sched-slot events.
 	Bytes int64 `json:"bytes,omitempty"`
+	// Cap is the Eq. 5 slot capacity in bytes, for sched-slot events.
+	Cap int64 `json:"cap,omitempty"`
 	// Dur is the event's span (session length, wake window, wait).
 	Dur simtime.Duration `json:"dur,omitempty"`
 	// Value, Saved and Penalty carry the numeric payload: profit terms
@@ -201,9 +210,58 @@ func (s *Sink) Reset() {
 	s.start, s.n, s.dropped = 0, 0, 0
 }
 
-// WriteJSONL writes the buffered events oldest-first, one JSON object
-// per line.
+// Header is the metadata line leading a JSONL export. It makes a trace
+// file self-describing about truncation: a ring that wrapped reports the
+// overwritten-event count as trace_dropped_total, so the fleet analyzer
+// can flag a truncated trace instead of silently computing wrong totals
+// from the surviving suffix.
+type Header struct {
+	// Format identifies a header line (and versions the layout); events
+	// never carry this field.
+	Format int `json:"trace_format"`
+	// Events is the number of event lines that follow.
+	Events int `json:"events"`
+	// Dropped is the number of events the ring overwrote before export.
+	Dropped uint64 `json:"trace_dropped_total"`
+	// NextSeq is the sink's next sequence number; NextSeq - Events -
+	// Dropped is the first buffered event's sequence (absent resets).
+	NextSeq uint64 `json:"next_seq"`
+	// Capacity is the ring size the sink ran with.
+	Capacity int `json:"capacity"`
+}
+
+// formatVersion is the JSONL layout version written by WriteJSONL.
+const formatVersion = 1
+
+// Truncated reports whether the export lost events to the ring.
+func (h Header) Truncated() bool { return h.Dropped > 0 }
+
+// Header returns the metadata WriteJSONL would emit right now.
+func (s *Sink) Header() Header {
+	if s == nil {
+		return Header{Format: formatVersion}
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return Header{
+		Format:   formatVersion,
+		Events:   s.n,
+		Dropped:  s.dropped,
+		NextSeq:  s.seq,
+		Capacity: cap(s.buf),
+	}
+}
+
+// WriteJSONL writes a header line followed by the buffered events
+// oldest-first, one JSON object per line.
 func (s *Sink) WriteJSONL(w io.Writer) error {
+	hdr, err := json.Marshal(s.Header())
+	if err != nil {
+		return fmt.Errorf("tracing: marshal header: %w", err)
+	}
+	if _, err := w.Write(append(hdr, '\n')); err != nil {
+		return err
+	}
 	for _, e := range s.Events() {
 		b, err := json.Marshal(e)
 		if err != nil {
@@ -216,16 +274,42 @@ func (s *Sink) WriteJSONL(w io.Writer) error {
 	return nil
 }
 
-// ReadJSONL parses events written by WriteJSONL, for tooling and tests.
+// ReadJSONL parses events written by WriteJSONL, skipping the header
+// line when one is present (headerless pre-format-1 files still parse).
 func ReadJSONL(r io.Reader) ([]Event, error) {
+	_, evs, err := ReadJSONLWithHeader(r)
+	return evs, err
+}
+
+// ReadJSONLWithHeader parses a JSONL export into its header and events.
+// Headerless input yields a zero header (Format 0).
+func ReadJSONLWithHeader(r io.Reader) (Header, []Event, error) {
 	dec := json.NewDecoder(r)
+	var hdr Header
 	var out []Event
+	first := true
 	for dec.More() {
+		var raw json.RawMessage
+		if err := dec.Decode(&raw); err != nil {
+			return hdr, nil, fmt.Errorf("tracing: line %d: %w", len(out)+1, err)
+		}
+		if first {
+			first = false
+			var probe struct {
+				Format int `json:"trace_format"`
+			}
+			if err := json.Unmarshal(raw, &probe); err == nil && probe.Format > 0 {
+				if err := json.Unmarshal(raw, &hdr); err != nil {
+					return hdr, nil, fmt.Errorf("tracing: header: %w", err)
+				}
+				continue
+			}
+		}
 		var e Event
-		if err := dec.Decode(&e); err != nil {
-			return nil, fmt.Errorf("tracing: event %d: %w", len(out), err)
+		if err := json.Unmarshal(raw, &e); err != nil {
+			return hdr, nil, fmt.Errorf("tracing: event %d: %w", len(out), err)
 		}
 		out = append(out, e)
 	}
-	return out, nil
+	return hdr, out, nil
 }

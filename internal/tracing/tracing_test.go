@@ -67,11 +67,12 @@ func TestJSONLRoundTrip(t *testing.T) {
 	if err := s.WriteJSONL(&buf); err != nil {
 		t.Fatal(err)
 	}
-	if got := strings.Count(buf.String(), "\n"); got != 2 {
-		t.Fatalf("JSONL lines = %d, want 2", got)
+	// Header line plus one line per event.
+	if got := strings.Count(buf.String(), "\n"); got != 3 {
+		t.Fatalf("JSONL lines = %d, want 3", got)
 	}
 	// Zero fields stay out of the wire format.
-	if strings.Contains(strings.Split(buf.String(), "\n")[0], `"op"`) {
+	if strings.Contains(strings.Split(buf.String(), "\n")[1], `"op"`) {
 		t.Fatalf("empty op serialised: %s", buf.String())
 	}
 	back, err := ReadJSONL(&buf)
@@ -80,6 +81,56 @@ func TestJSONLRoundTrip(t *testing.T) {
 	}
 	if len(back) != 2 || back[0] != s.Events()[0] || back[1] != s.Events()[1] {
 		t.Fatalf("round trip mismatch: %+v vs %+v", back, s.Events())
+	}
+}
+
+func TestJSONLHeaderCarriesDrops(t *testing.T) {
+	s := NewSink(4)
+	for i := 0; i < 10; i++ {
+		s.Emit(Event{Time: simtime.Instant(i), Kind: KindTransfer, Activity: i})
+	}
+	var buf bytes.Buffer
+	if err := s.WriteJSONL(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(strings.Split(buf.String(), "\n")[0], `"trace_dropped_total":6`) {
+		t.Fatalf("header missing drop count: %s", strings.Split(buf.String(), "\n")[0])
+	}
+	hdr, evs, err := ReadJSONLWithHeader(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !hdr.Truncated() || hdr.Dropped != 6 || hdr.Events != 4 || hdr.NextSeq != 10 || hdr.Capacity != 4 {
+		t.Fatalf("header = %+v", hdr)
+	}
+	if hdr.Format != formatVersion {
+		t.Fatalf("format = %d, want %d", hdr.Format, formatVersion)
+	}
+	if len(evs) != 4 || evs[0].Seq != 6 {
+		t.Fatalf("events after header wrong: %+v", evs)
+	}
+}
+
+func TestReadJSONLHeaderless(t *testing.T) {
+	// Pre-format-1 files have no header line; they must still parse.
+	hdr, evs, err := ReadJSONLWithHeader(strings.NewReader(
+		`{"seq":0,"t":5,"kind":"transfer","activity":1}` + "\n" +
+			`{"seq":1,"t":6,"kind":"transfer","activity":2}` + "\n"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if hdr.Format != 0 || hdr.Truncated() {
+		t.Fatalf("headerless input produced header %+v", hdr)
+	}
+	if len(evs) != 2 || evs[1].Activity != 2 {
+		t.Fatalf("events = %+v", evs)
+	}
+}
+
+func TestNilSinkHeader(t *testing.T) {
+	var s *Sink
+	if h := s.Header(); h.Events != 0 || h.Dropped != 0 || h.Format != formatVersion {
+		t.Fatalf("nil sink header = %+v", h)
 	}
 }
 

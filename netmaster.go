@@ -40,6 +40,8 @@ import (
 	"netmaster/internal/power"
 	"netmaster/internal/simtime"
 	"netmaster/internal/synth"
+	"netmaster/internal/telemetry"
+	"netmaster/internal/telemetry/analyze"
 	"netmaster/internal/trace"
 	"netmaster/internal/tracing"
 )
@@ -408,6 +410,25 @@ type (
 	TraceEvent = tracing.Event
 	// TraceEventKind classifies trace events.
 	TraceEventKind = tracing.Kind
+	// TraceHeader is the JSONL header line carrying the format version
+	// and the ring's drop count (trace_dropped_total).
+	TraceHeader = tracing.Header
+	// FleetDevice pairs a device ID with its metrics snapshot for fleet
+	// aggregation.
+	FleetDevice = telemetry.Device
+	// FleetAgg is the mergeable multi-device aggregate: counters sum,
+	// gauges keep min/mean/max, histograms merge bucket-wise.
+	FleetAgg = telemetry.Agg
+	// FleetSnapshot is the deterministic fleet-wide export.
+	FleetSnapshot = telemetry.FleetSnapshot
+	// FleetReport is the trace-analysis roll-up netmaster-analyze
+	// prints: per-app attribution, prediction scorecards, deferral
+	// distributions, thrash stats and invariant findings.
+	FleetReport = analyze.FleetReport
+	// DeviceAnalysis is one device's trace analysis.
+	DeviceAnalysis = analyze.DeviceReport
+	// AnalysisFinding is one typed invariant-audit result.
+	AnalysisFinding = analyze.Finding
 )
 
 // Observability entry points.
@@ -424,6 +445,16 @@ var (
 	// SetEvalObservability wires a registry and sink into the evaluation
 	// sweeps (Compare, Fig7, FaultImpact, …); two nils unwire them.
 	SetEvalObservability = eval.SetObservability
+	// AggregateFleet merges per-device snapshots into one fleet
+	// aggregate; the result is independent of device order.
+	AggregateFleet = telemetry.Aggregate
+	// AnalyzeDevice derives one device's report from its trace.
+	AnalyzeDevice = analyze.Device
+	// AnalyzeFleet rolls device analyses up to the cohort.
+	AnalyzeFleet = analyze.Fleet
+	// WriteFleetProm writes a fleet snapshot in Prometheus text
+	// exposition format.
+	WriteFleetProm = telemetry.WriteProm
 )
 
 // Extension types.
