@@ -15,9 +15,9 @@ import (
 	"fmt"
 	"os"
 	"path/filepath"
-	"runtime"
 
 	"netmaster/internal/atomicfile"
+	"netmaster/internal/cliconfig"
 	"netmaster/internal/device"
 	"netmaster/internal/eval"
 	"netmaster/internal/habit"
@@ -34,32 +34,20 @@ import (
 )
 
 func main() {
-	var (
-		figure    = flag.String("figure", "all", "which figure to regenerate")
-		days      = flag.Int("days", 21, "trace length in days (the paper: 3 weeks)")
-		modelName = flag.String("model", "3g", "radio model: 3g or lte")
-		csvDir    = flag.String("csv", "", "also write figure data as CSV files into this directory")
-		obsDir    = flag.String("obs-dir", "", "replay the cohort online and write per-device metrics.json + trace.jsonl for netmaster-analyze")
-		workers   = flag.Int("parallelism", runtime.GOMAXPROCS(0),
-			"worker-pool width for the evaluation engine and scheduler (1 = sequential)")
-	)
+	o := cliconfig.DefaultExperiments()
+	o.Register(flag.CommandLine)
 	flag.Parse()
-	parallel.SetDefaultWorkers(*workers)
-	if err := run(*figure, *days, *modelName, *csvDir, *obsDir); err != nil {
+	parallel.SetDefaultWorkers(o.Parallelism)
+	if err := run(o.Figure, o.Days, o.ModelName, o.CSVDir, o.ObsDir); err != nil {
 		fmt.Fprintln(os.Stderr, "experiments:", err)
 		os.Exit(1)
 	}
 }
 
 func run(figure string, days int, modelName, csvDir, obsDir string) error {
-	var model *power.Model
-	switch modelName {
-	case "3g":
-		model = power.Model3G()
-	case "lte":
-		model = power.ModelLTE()
-	default:
-		return fmt.Errorf("unknown model %q", modelName)
+	model, err := cliconfig.ResolveModel(modelName)
+	if err != nil {
+		return err
 	}
 
 	motivation, err := synth.GenerateCohort(synth.MotivationCohort(), days)

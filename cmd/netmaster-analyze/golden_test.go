@@ -98,11 +98,11 @@ func TestGoldenFleetReport(t *testing.T) {
 	for _, format := range []string{"text", "json"} {
 		golden := fmt.Sprintf("fleet_%s.golden", format)
 		t.Run(format, func(t *testing.T) {
-			seq := render(t, options{format: format, parallelism: 1, modelName: "3g", dirs: []string{dir}})
+			seq := render(t, options{Format: format, Parallelism: 1, ModelName: "3g", Dirs: []string{dir}})
 			checkGolden(t, golden, []byte(seq))
 			// The report must not depend on worker count or repetition.
 			for _, par := range []int{8, 1} {
-				if got := render(t, options{format: format, parallelism: par, modelName: "3g", dirs: []string{dir}}); got != seq {
+				if got := render(t, options{Format: format, Parallelism: par, ModelName: "3g", Dirs: []string{dir}}); got != seq {
 					t.Errorf("parallelism %d changed the %s report", par, format)
 				}
 			}
@@ -111,13 +111,13 @@ func TestGoldenFleetReport(t *testing.T) {
 
 	t.Run("prom", func(t *testing.T) {
 		promOut := filepath.Join(t.TempDir(), "fleet.prom")
-		render(t, options{format: "text", parallelism: 1, modelName: "3g", promOut: promOut, dirs: []string{dir}})
+		render(t, options{Format: "text", Parallelism: 1, ModelName: "3g", PromOut: promOut, Dirs: []string{dir}})
 		seq, err := os.ReadFile(promOut)
 		if err != nil {
 			t.Fatal(err)
 		}
 		checkGolden(t, "fleet_prom.golden", seq)
-		render(t, options{format: "text", parallelism: 8, modelName: "3g", promOut: promOut, dirs: []string{dir}})
+		render(t, options{Format: "text", Parallelism: 8, ModelName: "3g", PromOut: promOut, Dirs: []string{dir}})
 		par, err := os.ReadFile(promOut)
 		if err != nil {
 			t.Fatal(err)
@@ -133,8 +133,8 @@ func TestGoldenFleetReport(t *testing.T) {
 func TestDeviceArgsEquivalentToCohortDir(t *testing.T) {
 	dir := t.TempDir()
 	devices := writeCohort(t, dir)
-	whole := render(t, options{format: "text", parallelism: 1, modelName: "3g", dirs: []string{dir}})
-	split := render(t, options{format: "text", parallelism: 1, modelName: "3g", dirs: devices})
+	whole := render(t, options{Format: "text", Parallelism: 1, ModelName: "3g", Dirs: []string{dir}})
+	split := render(t, options{Format: "text", Parallelism: 1, ModelName: "3g", Dirs: devices})
 	if whole != split {
 		t.Error("device-dir arguments diverge from the cohort-dir report")
 	}
@@ -147,7 +147,7 @@ func TestCheckFindsCorruptTrace(t *testing.T) {
 	devices := writeCohort(t, dir)
 
 	var buf bytes.Buffer
-	errs, err := run(options{format: "text", parallelism: 1, modelName: "3g", dirs: []string{dir}}, &buf)
+	errs, err := run(options{Format: "text", Parallelism: 1, ModelName: "3g", Dirs: []string{dir}}, &buf)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -169,7 +169,7 @@ func TestCheckFindsCorruptTrace(t *testing.T) {
 	if err := os.WriteFile(tracePath, append(b, []byte(lines[1]+"\n")...), 0o644); err != nil {
 		t.Fatal(err)
 	}
-	errs, err = run(options{format: "text", parallelism: 1, modelName: "3g", dirs: []string{dir}}, &buf)
+	errs, err = run(options{Format: "text", Parallelism: 1, ModelName: "3g", Dirs: []string{dir}}, &buf)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -179,18 +179,18 @@ func TestCheckFindsCorruptTrace(t *testing.T) {
 }
 
 func TestRejectsBadInputs(t *testing.T) {
-	if _, err := run(options{format: "text", modelName: "3g"}, &bytes.Buffer{}); err == nil {
+	if _, err := run(options{Format: "text", ModelName: "3g"}, &bytes.Buffer{}); err == nil {
 		t.Error("no input dirs accepted")
 	}
-	if _, err := run(options{format: "text", modelName: "warp"}, &bytes.Buffer{}); err == nil {
+	if _, err := run(options{Format: "text", ModelName: "warp"}, &bytes.Buffer{}); err == nil {
 		t.Error("unknown model accepted")
 	}
 	dir := t.TempDir()
 	writeCohort(t, dir)
-	if _, err := run(options{format: "yaml", modelName: "3g", dirs: []string{dir}}, &bytes.Buffer{}); err == nil {
+	if _, err := run(options{Format: "yaml", ModelName: "3g", Dirs: []string{dir}}, &bytes.Buffer{}); err == nil {
 		t.Error("unknown format accepted")
 	}
-	if _, err := run(options{format: "text", modelName: "3g", dirs: []string{t.TempDir()}}, &bytes.Buffer{}); err == nil {
+	if _, err := run(options{Format: "text", ModelName: "3g", Dirs: []string{t.TempDir()}}, &bytes.Buffer{}); err == nil {
 		t.Error("empty dir accepted")
 	}
 }

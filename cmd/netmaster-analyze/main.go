@@ -33,9 +33,9 @@ import (
 	"strings"
 
 	"netmaster/internal/atomicfile"
+	"netmaster/internal/cliconfig"
 	"netmaster/internal/metrics"
 	"netmaster/internal/parallel"
-	"netmaster/internal/power"
 	"netmaster/internal/report"
 	"netmaster/internal/telemetry"
 	"netmaster/internal/telemetry/analyze"
@@ -47,29 +47,19 @@ const (
 	traceFile   = "trace.jsonl"
 )
 
-type options struct {
-	format      string // text | json
-	out         string // report destination, "" = stdout
-	promOut     string // Prometheus exposition destination
-	check       bool   // exit non-zero on error findings
-	parallelism int    // worker count, 0 = default
-	modelName   string // 3g | lte, prices attributed seconds
-	dirs        []string
-}
+// options is the netmaster-analyze flag set, shared via cliconfig so
+// the common flags (-model, -parallelism, -format, output paths) stay
+// aligned across binaries.
+type options = cliconfig.Analyze
 
 func main() {
-	var o options
-	flag.StringVar(&o.format, "format", "text", "report format: text or json")
-	flag.StringVar(&o.out, "out", "", "write the report to this file instead of stdout")
-	flag.StringVar(&o.promOut, "prom-out", "", "write the merged metrics in Prometheus text exposition format to this file")
-	flag.BoolVar(&o.check, "check", false, "exit with status 2 when any invariant audit fails")
-	flag.IntVar(&o.parallelism, "parallelism", 0, "worker count for loading and merging, 0 = GOMAXPROCS")
-	flag.StringVar(&o.modelName, "model", "3g", "radio model pricing attributed seconds: 3g or lte")
+	o := cliconfig.DefaultAnalyze()
+	o.Register(flag.CommandLine)
 	flag.Parse()
-	o.dirs = flag.Args()
+	o.Dirs = flag.Args()
 	var out io.Writer = os.Stdout
 	var buf *strings.Builder
-	if o.out != "" {
+	if o.Out != "" {
 		buf = &strings.Builder{}
 		out = buf
 	}
@@ -79,12 +69,12 @@ func main() {
 		os.Exit(1)
 	}
 	if buf != nil {
-		if err := atomicfile.WriteFileBytes(o.out, []byte(buf.String())); err != nil {
+		if err := atomicfile.WriteFileBytes(o.Out, []byte(buf.String())); err != nil {
 			fmt.Fprintln(os.Stderr, "netmaster-analyze:", err)
 			os.Exit(1)
 		}
 	}
-	if o.check && errs > 0 {
+	if o.Check && errs > 0 {
 		fmt.Fprintf(os.Stderr, "netmaster-analyze: %d invariant findings\n", errs)
 		os.Exit(2)
 	}
@@ -100,24 +90,19 @@ type fleetDoc struct {
 // run loads every device, merges, and writes the report. It returns the
 // number of error-severity findings (the -check exit condition).
 func run(o options, out io.Writer) (int, error) {
-	var model *power.Model
-	switch o.modelName {
-	case "3g":
-		model = power.Model3G()
-	case "lte":
-		model = power.ModelLTE()
-	default:
-		return 0, fmt.Errorf("unknown model %q", o.modelName)
+	model, err := cliconfig.ResolveModel(o.ModelName)
+	if err != nil {
+		return 0, err
 	}
-	if len(o.dirs) == 0 {
+	if len(o.Dirs) == 0 {
 		return 0, fmt.Errorf("no input directories (want device or cohort dirs)")
 	}
-	devDirs, err := discoverDevices(o.dirs)
+	devDirs, err := discoverDevices(o.Dirs)
 	if err != nil {
 		return 0, err
 	}
 
-	workers := o.parallelism
+	workers := o.Parallelism
 	if workers <= 0 {
 		workers = parallel.DefaultWorkers()
 	}
@@ -156,8 +141,8 @@ func run(o options, out io.Writer) (int, error) {
 	}
 	doc := fleetDoc{Metrics: agg.Export(), Analysis: analyze.Fleet(reports)}
 
-	if o.promOut != "" {
-		err := atomicfile.WriteFile(o.promOut, func(w io.Writer) error {
+	if o.PromOut != "" {
+		err := atomicfile.WriteFile(o.PromOut, func(w io.Writer) error {
 			return telemetry.WriteProm(w, "netmaster_", doc.Metrics)
 		})
 		if err != nil {
@@ -165,7 +150,7 @@ func run(o options, out io.Writer) (int, error) {
 		}
 	}
 
-	switch o.format {
+	switch o.Format {
 	case "json":
 		enc := json.NewEncoder(out)
 		enc.SetIndent("", "  ")
@@ -177,7 +162,7 @@ func run(o options, out io.Writer) (int, error) {
 			return 0, err
 		}
 	default:
-		return 0, fmt.Errorf("unknown format %q (want text or json)", o.format)
+		return 0, fmt.Errorf("unknown format %q (want text or json)", o.Format)
 	}
 	return doc.Analysis.Errors(), nil
 }

@@ -1,0 +1,82 @@
+// Command netmaster-serve runs the NetMaster pipelines as a
+// long-running HTTP/JSON daemon: habit mining, scheduling, policy
+// simulation and fleet telemetry behind one API.
+//
+// Usage:
+//
+//	netmaster-serve [-addr 127.0.0.1:8080] [-max-in-flight 64]
+//	                [-cache-size 128] [-request-timeout 30]
+//	                [-shutdown-grace 5] [-parallelism N] [-quiet]
+//
+// Endpoints (see docs/api.md for request/response bodies):
+//
+//	POST /v1/mine          trace → habit profile (LRU-cached by content hash)
+//	POST /v1/schedule      activities + profile → packing
+//	POST /v1/simulate      trace + policy → metrics vs baseline
+//	POST /v1/fleet/ingest  one device's metrics + decision trace
+//	GET  /v1/fleet/report  live fleet aggregate + analysis roll-up
+//	GET  /metrics          Prometheus text exposition (server + fleet)
+//	GET  /healthz          liveness + fleet size + in-flight count
+//	GET  /debug/pprof/     runtime profiles
+//
+// SIGTERM/SIGINT drains in-flight requests within -shutdown-grace and
+// exits 0.
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"netmaster/internal/cliconfig"
+	"netmaster/internal/metrics"
+	"netmaster/internal/parallel"
+	"netmaster/internal/server"
+)
+
+func main() {
+	o := cliconfig.DefaultServe()
+	o.Register(flag.CommandLine)
+	flag.Parse()
+	if err := run(o); err != nil {
+		fmt.Fprintln(os.Stderr, "netmaster-serve:", err)
+		os.Exit(1)
+	}
+}
+
+func run(o cliconfig.Serve) error {
+	if o.Parallelism > 0 {
+		parallel.SetDefaultWorkers(o.Parallelism)
+	}
+	cfg := server.Config{
+		Addr:           o.Addr,
+		MaxInFlight:    o.MaxInFlight,
+		CacheSize:      o.CacheSize,
+		RequestTimeout: time.Duration(o.RequestTimeoutSecs) * time.Second,
+		ShutdownGrace:  time.Duration(o.ShutdownGraceSecs) * time.Second,
+		Parallelism:    o.Parallelism,
+		Metrics:        metrics.NewRegistry(),
+	}
+	if !o.Quiet {
+		cfg.LogWriter = os.Stderr
+	}
+	srv, err := server.New(cfg)
+	if err != nil {
+		return err
+	}
+	if err := srv.Start(); err != nil {
+		return err
+	}
+	fmt.Fprintf(os.Stderr, "netmaster-serve: listening on http://%s\n", srv.Addr())
+
+	ctx, stop := signal.NotifyContext(context.Background(), syscall.SIGTERM, syscall.SIGINT)
+	defer stop()
+	<-ctx.Done()
+	stop()
+	fmt.Fprintln(os.Stderr, "netmaster-serve: draining")
+	return srv.Shutdown(context.Background())
+}

@@ -52,8 +52,8 @@ func TestGoldenTextOutput(t *testing.T) {
 		{"online_text.golden", opts("volunteer3", 5, "online")},
 		{"online_chaos_text.golden", func() options {
 			o := opts("volunteer3", 5, "online")
-			o.faultRate = 0.15
-			o.faultSeed = 3
+			o.FaultRate = 0.15
+			o.FaultSeed = 3
 			return o
 		}()},
 	}
@@ -75,8 +75,8 @@ func TestGoldenMetricsAndTrace(t *testing.T) {
 	}{
 		{"online_chaos", func() options {
 			o := opts("volunteer3", 5, "online")
-			o.faultRate = 0.15
-			o.faultSeed = 3
+			o.FaultRate = 0.15
+			o.FaultSeed = 3
 			return o
 		}()},
 		{"netmaster_offline", opts("volunteer3", 5, "netmaster")},
@@ -85,15 +85,15 @@ func TestGoldenMetricsAndTrace(t *testing.T) {
 		t.Run(tc.name, func(t *testing.T) {
 			dir := t.TempDir()
 			o := tc.o
-			o.metricsOut = filepath.Join(dir, "metrics.json")
-			o.traceOut = filepath.Join(dir, "trace.jsonl")
-			o.traceCap = 256 // bounded fixture; wraps deterministically
+			o.MetricsOut = filepath.Join(dir, "metrics.json")
+			o.TraceOut = filepath.Join(dir, "trace.jsonl")
+			o.TraceCap = 256 // bounded fixture; wraps deterministically
 			if err := run(o, io.Discard); err != nil {
 				t.Fatal(err)
 			}
 			for suffix, path := range map[string]string{
-				"_metrics.json.golden": o.metricsOut,
-				"_trace.jsonl.golden":  o.traceOut,
+				"_metrics.json.golden": o.MetricsOut,
+				"_trace.jsonl.golden":  o.TraceOut,
 			} {
 				got, err := os.ReadFile(path)
 				if err != nil {
@@ -112,19 +112,19 @@ func TestGoldenRunsAreReproducible(t *testing.T) {
 	render := func() (string, string, string) {
 		dir := t.TempDir()
 		o := opts("volunteer3", 4, "online")
-		o.faultRate = 0.2
-		o.faultSeed = 7
-		o.metricsOut = filepath.Join(dir, "m.json")
-		o.traceOut = filepath.Join(dir, "t.jsonl")
+		o.FaultRate = 0.2
+		o.FaultSeed = 7
+		o.MetricsOut = filepath.Join(dir, "m.json")
+		o.TraceOut = filepath.Join(dir, "t.jsonl")
 		var buf bytes.Buffer
 		if err := run(o, &buf); err != nil {
 			t.Fatal(err)
 		}
-		m, err := os.ReadFile(o.metricsOut)
+		m, err := os.ReadFile(o.MetricsOut)
 		if err != nil {
 			t.Fatal(err)
 		}
-		tr, err := os.ReadFile(o.traceOut)
+		tr, err := os.ReadFile(o.TraceOut)
 		if err != nil {
 			t.Fatal(err)
 		}

@@ -30,6 +30,7 @@ import (
 	"sync"
 
 	"netmaster/internal/atomicfile"
+	"netmaster/internal/cliconfig"
 	"netmaster/internal/device"
 	"netmaster/internal/faults"
 	"netmaster/internal/metrics"
@@ -43,54 +44,14 @@ import (
 	"netmaster/internal/tracing"
 )
 
-// options collects every flag; run is kept testable by taking it whole.
-type options struct {
-	tracePath   string
-	gen         string
-	days        int
-	policyName  string
-	interval    int
-	batchSize   int
-	modelName   string
-	historyPath string
-	perApp      bool
-	timelineDay int
-
-	// Fault schedule (policy=online only).
-	faultRate   float64
-	faultSeed   int64
-	faultOutage string // "start:end" in seconds
-	maxDeferral int    // seconds, 0 = default
-
-	// Observability outputs.
-	metricsOut string // write the metrics snapshot JSON here
-	traceOut   string // write the decision trace JSONL here
-	obsDir     string // write <obsDir>/<user>/metrics.json + trace.jsonl
-	traceCap   int    // trace ring capacity, 0 = default
-	pprofAddr  string // serve /debug/pprof and /debug/vars here
-}
+// options is the netmaster-sim flag set, shared via cliconfig so the
+// common flags (-model, -obs-dir, ...) stay aligned across binaries;
+// run is kept testable by taking it whole.
+type options = cliconfig.Sim
 
 func main() {
-	var o options
-	flag.StringVar(&o.tracePath, "trace", "", "trace file to replay")
-	flag.StringVar(&o.gen, "gen", "", "generate the named cohort user instead of reading a trace")
-	flag.IntVar(&o.days, "days", 21, "days for -gen")
-	flag.StringVar(&o.policyName, "policy", "netmaster", "policy: baseline, netmaster, oracle, delay, batch, online")
-	flag.IntVar(&o.interval, "interval", 60, "delay interval seconds (policy=delay)")
-	flag.IntVar(&o.batchSize, "batch", 5, "batch size (policy=batch)")
-	flag.StringVar(&o.modelName, "model", "3g", "radio model: 3g or lte")
-	flag.StringVar(&o.historyPath, "history", "", "optional pre-collected history trace (policy=netmaster)")
-	flag.BoolVar(&o.perApp, "per-app", false, "print eprof-style per-app energy attribution")
-	flag.IntVar(&o.timelineDay, "timeline", -1, "render an ASCII radio timeline of this day (baseline vs the policy)")
-	flag.Float64Var(&o.faultRate, "fault-rate", 0, "uniform fault probability for the chaos replay (policy=online)")
-	flag.Int64Var(&o.faultSeed, "fault-seed", 1, "fault-schedule seed (policy=online)")
-	flag.StringVar(&o.faultOutage, "fault-outage", "", "radio outage window start:end in seconds (policy=online)")
-	flag.IntVar(&o.maxDeferral, "max-deferral", 0, "hard deferral deadline in seconds, 0 = 4x duty max sleep (policy=online)")
-	flag.StringVar(&o.metricsOut, "metrics-out", "", "write the run's metrics snapshot to this file as JSON")
-	flag.StringVar(&o.traceOut, "trace-out", "", "write the run's decision trace to this file as JSONL")
-	flag.StringVar(&o.obsDir, "obs-dir", "", "write <dir>/<user>/metrics.json and trace.jsonl for netmaster-analyze")
-	flag.IntVar(&o.traceCap, "trace-cap", 0, "trace ring capacity in events, 0 = default")
-	flag.StringVar(&o.pprofAddr, "pprof-addr", "", "serve net/http/pprof and expvar on this address (for soak runs)")
+	o := cliconfig.DefaultSim()
+	o.Register(flag.CommandLine)
 	flag.Parse()
 	if err := run(o, os.Stdout); err != nil {
 		fmt.Fprintln(os.Stderr, "netmaster-sim:", err)
@@ -113,15 +74,15 @@ type observed struct {
 var pprofOnce sync.Once
 
 func newObserved(o options) *observed {
-	if o.metricsOut == "" && o.traceOut == "" && o.obsDir == "" && o.pprofAddr == "" {
+	if o.MetricsOut == "" && o.TraceOut == "" && o.ObsDir == "" && o.PprofAddr == "" {
 		return &observed{o: o}
 	}
-	ob := &observed{reg: metrics.NewRegistry(), sink: tracing.NewSink(o.traceCap), o: o}
-	if o.pprofAddr != "" {
+	ob := &observed{reg: metrics.NewRegistry(), sink: tracing.NewSink(o.TraceCap), o: o}
+	if o.PprofAddr != "" {
 		pprofOnce.Do(func() {
 			expvar.Publish("netmaster_metrics", ob.reg)
 			go func() {
-				if err := http.ListenAndServe(o.pprofAddr, nil); err != nil {
+				if err := http.ListenAndServe(o.PprofAddr, nil); err != nil {
 					fmt.Fprintln(os.Stderr, "netmaster-sim: pprof server:", err)
 				}
 			}()
@@ -136,18 +97,18 @@ func newObserved(o options) *observed {
 // netmaster-analyze never reads a half-written cohort. user names the
 // device directory under -obs-dir.
 func (ob *observed) flush(user string) error {
-	if ob.o.metricsOut != "" {
-		if err := atomicfile.WriteFile(ob.o.metricsOut, ob.reg.WriteJSON); err != nil {
+	if ob.o.MetricsOut != "" {
+		if err := atomicfile.WriteFile(ob.o.MetricsOut, ob.reg.WriteJSON); err != nil {
 			return err
 		}
 	}
-	if ob.o.traceOut != "" {
-		if err := atomicfile.WriteFile(ob.o.traceOut, ob.sink.WriteJSONL); err != nil {
+	if ob.o.TraceOut != "" {
+		if err := atomicfile.WriteFile(ob.o.TraceOut, ob.sink.WriteJSONL); err != nil {
 			return err
 		}
 	}
-	if ob.o.obsDir != "" {
-		dir := filepath.Join(ob.o.obsDir, user)
+	if ob.o.ObsDir != "" {
+		dir := filepath.Join(ob.o.ObsDir, user)
 		if err := os.MkdirAll(dir, 0o755); err != nil {
 			return err
 		}
@@ -162,17 +123,12 @@ func (ob *observed) flush(user string) error {
 }
 
 func run(o options, stdout io.Writer) error {
-	var model *power.Model
-	switch o.modelName {
-	case "3g":
-		model = power.Model3G()
-	case "lte":
-		model = power.ModelLTE()
-	default:
-		return fmt.Errorf("unknown model %q", o.modelName)
+	model, err := cliconfig.ResolveModel(o.ModelName)
+	if err != nil {
+		return err
 	}
 
-	t, history, err := loadTrace(o.tracePath, o.gen, o.days, o.historyPath)
+	t, history, err := loadTrace(o.TracePath, o.Gen, o.Days, o.HistoryPath)
 	if err != nil {
 		return err
 	}
@@ -181,7 +137,7 @@ func run(o options, stdout io.Writer) error {
 	var p device.Policy
 	var health *middleware.Health
 	var faultStats faults.Stats
-	if o.policyName == "online" {
+	if o.PolicyName == "online" {
 		plan, h, fs, err := runOnline(t, model, o, ob)
 		if err != nil {
 			return err
@@ -189,7 +145,7 @@ func run(o options, stdout io.Writer) error {
 		p = &plannedPolicy{name: plan.PolicyName, plan: plan}
 		health, faultStats = h, fs
 	} else {
-		p, err = buildPolicy(o.policyName, o.interval, o.batchSize, model, history, ob)
+		p, err = buildPolicy(o.PolicyName, o.Interval, o.BatchSize, model, history, ob)
 		if err != nil {
 			return err
 		}
@@ -232,13 +188,13 @@ func run(o options, stdout io.Writer) error {
 			return err
 		}
 	}
-	if o.perApp {
+	if o.PerApp {
 		if err := renderPerApp(stdout, t, p, model); err != nil {
 			return err
 		}
 	}
-	if o.timelineDay >= 0 {
-		if err := renderTimeline(stdout, t, p, model, o.timelineDay); err != nil {
+	if o.TimelineDay >= 0 {
+		if err := renderTimeline(stdout, t, p, model, o.TimelineDay); err != nil {
 			return err
 		}
 	}
@@ -262,16 +218,16 @@ func runOnline(t *trace.Trace, model *power.Model, o options, ob *observed) (*de
 	cfg := middleware.DefaultChaosConfig(model)
 	cfg.Replay.Service.Metrics = ob.reg
 	cfg.Replay.Service.Tracing = ob.sink
-	cfg.Faults = faults.Uniform(o.faultSeed, o.faultRate)
-	if o.faultOutage != "" {
-		iv, err := parseOutage(o.faultOutage)
+	cfg.Faults = faults.Uniform(o.FaultSeed, o.FaultRate)
+	if o.FaultOutage != "" {
+		iv, err := parseOutage(o.FaultOutage)
 		if err != nil {
 			return nil, nil, faults.Stats{}, err
 		}
 		cfg.Faults.RadioOutages = []simtime.Interval{iv}
 	}
-	if o.maxDeferral > 0 {
-		cfg.MaxDeferral = simtime.Duration(o.maxDeferral)
+	if o.MaxDeferral > 0 {
+		cfg.MaxDeferral = simtime.Duration(o.MaxDeferral)
 	}
 	if cfg.Faults.IsZero() {
 		res, err := middleware.Replay(t, cfg.Replay)

@@ -11,9 +11,9 @@ import (
 
 func opts(gen string, days int, policy string) options {
 	return options{
-		gen: gen, days: days, policyName: policy,
-		interval: 30, batchSize: 4, modelName: "3g",
-		timelineDay: -1, faultSeed: 1,
+		Gen: gen, Days: days, PolicyName: policy,
+		Interval: 30, BatchSize: 4, ModelName: "3g",
+		TimelineDay: -1, FaultSeed: 1,
 	}
 }
 
@@ -27,9 +27,9 @@ func TestRunAllPolicies(t *testing.T) {
 
 func TestRunPerAppAndTimeline(t *testing.T) {
 	o := opts("volunteer3", 4, "netmaster")
-	o.modelName = "lte"
-	o.perApp = true
-	o.timelineDay = 2
+	o.ModelName = "lte"
+	o.PerApp = true
+	o.TimelineDay = 2
 	if err := run(o, io.Discard); err != nil {
 		t.Fatal(err)
 	}
@@ -37,13 +37,13 @@ func TestRunPerAppAndTimeline(t *testing.T) {
 
 func TestRunOnlineWithFaults(t *testing.T) {
 	o := opts("volunteer3", 5, "online")
-	o.faultRate = 0.15
-	o.faultSeed = 3
+	o.FaultRate = 0.15
+	o.FaultSeed = 3
 	if err := run(o, io.Discard); err != nil {
 		t.Fatal(err)
 	}
-	o.faultOutage = "90000:180000"
-	o.maxDeferral = 7200
+	o.FaultOutage = "90000:180000"
+	o.MaxDeferral = 7200
 	if err := run(o, io.Discard); err != nil {
 		t.Fatal(err)
 	}
@@ -57,7 +57,7 @@ func TestRunErrors(t *testing.T) {
 		t.Error("unknown policy accepted")
 	}
 	o := opts("volunteer3", 5, "baseline")
-	o.modelName = "5g"
+	o.ModelName = "5g"
 	if err := run(o, io.Discard); err == nil {
 		t.Error("unknown model accepted")
 	}
@@ -65,12 +65,12 @@ func TestRunErrors(t *testing.T) {
 		t.Error("unknown user accepted")
 	}
 	o = opts("volunteer3", 5, "online")
-	o.faultOutage = "bogus"
+	o.FaultOutage = "bogus"
 	if err := run(o, io.Discard); err == nil {
 		t.Error("malformed outage accepted")
 	}
 	o = opts("volunteer3", 5, "online")
-	o.faultOutage = "500:100"
+	o.FaultOutage = "500:100"
 	if err := run(o, io.Discard); err == nil {
 		t.Error("inverted outage accepted")
 	}
@@ -81,7 +81,7 @@ func TestRunErrors(t *testing.T) {
 func TestRunObsDir(t *testing.T) {
 	dir := t.TempDir()
 	o := opts("volunteer3", 4, "online")
-	o.obsDir = dir
+	o.ObsDir = dir
 	if err := run(o, io.Discard); err != nil {
 		t.Fatal(err)
 	}

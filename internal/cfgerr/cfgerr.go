@@ -1,0 +1,107 @@
+// Package cfgerr is the shared vocabulary for configuration validation
+// across the repository: every public config struct exposes a uniform
+// Validate() error method whose failures are typed field errors rather
+// than ad-hoc fmt.Errorf strings. A caller — the CLIs, the HTTP server's
+// request decoding, tests — can unwrap a *FieldError with errors.As and
+// report exactly which component and field was rejected, with the
+// offending value attached, instead of string-matching messages.
+package cfgerr
+
+import (
+	"errors"
+	"fmt"
+	"strings"
+)
+
+// FieldError reports one rejected configuration field.
+type FieldError struct {
+	// Component names the config struct, e.g. "middleware.Config" or
+	// "server.Config".
+	Component string
+	// Field is the rejected field; nested fields join with a dot
+	// ("Retry.MaxAttempts").
+	Field string
+	// Value is the rejected value as supplied.
+	Value any
+	// Reason says what the field must satisfy.
+	Reason string
+}
+
+// Error formats like "middleware.Config.DutyMaxSleep = -1: must be
+// positive".
+func (e *FieldError) Error() string {
+	return fmt.Sprintf("%s.%s = %v: %s", e.Component, e.Field, e.Value, e.Reason)
+}
+
+// New builds a FieldError.
+func New(component, field string, value any, reason string) *FieldError {
+	return &FieldError{Component: component, Field: field, Value: value, Reason: reason}
+}
+
+// Errors collects several field errors into one error value, so a
+// Validate() implementation may report every rejected field at once.
+// A nil or empty Errors is not an error; use Err to normalise.
+type Errors []*FieldError
+
+// Error joins the individual messages with "; ".
+func (es Errors) Error() string {
+	parts := make([]string, len(es))
+	for i, e := range es {
+		parts[i] = e.Error()
+	}
+	return strings.Join(parts, "; ")
+}
+
+// Unwrap exposes the individual field errors to errors.As/Is.
+func (es Errors) Unwrap() []error {
+	out := make([]error, len(es))
+	for i, e := range es {
+		out[i] = e
+	}
+	return out
+}
+
+// Err returns the collection as an error: nil when empty, the single
+// *FieldError when there is exactly one, the collection otherwise.
+func (es Errors) Err() error {
+	switch len(es) {
+	case 0:
+		return nil
+	case 1:
+		return es[0]
+	default:
+		return es
+	}
+}
+
+// Field extracts the typed field error from err, if any.
+func Field(err error) (*FieldError, bool) {
+	var fe *FieldError
+	if errors.As(err, &fe) {
+		return fe, true
+	}
+	return nil, false
+}
+
+// Is reports whether err carries a FieldError for the given component
+// and field — the assertion the validation table tests are written in.
+func Is(err error, component, field string) bool {
+	var fe *FieldError
+	if !errors.As(err, &fe) {
+		return false
+	}
+	if fe.Component == component && fe.Field == field {
+		return true
+	}
+	// errors.As stops at the first match in Unwrap order; scan the
+	// whole collection when err is an Errors.
+	var es Errors
+	if errors.As(err, &es) {
+		for _, e := range es {
+			if e.Component == component && e.Field == field {
+				return true
+			}
+		}
+	}
+	return false
+}

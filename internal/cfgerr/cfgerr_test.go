@@ -1,0 +1,53 @@
+package cfgerr
+
+import (
+	"errors"
+	"fmt"
+	"testing"
+)
+
+func TestFieldErrorMessage(t *testing.T) {
+	e := New("middleware.Config", "DutyMaxSleep", -1, "must be positive")
+	want := "middleware.Config.DutyMaxSleep = -1: must be positive"
+	if e.Error() != want {
+		t.Errorf("Error() = %q, want %q", e.Error(), want)
+	}
+}
+
+func TestFieldUnwrapsThroughWrapping(t *testing.T) {
+	e := New("core.Config", "Eps", 1.5, "must lie in (0,1)")
+	wrapped := fmt.Errorf("building scheduler: %w", e)
+	fe, ok := Field(wrapped)
+	if !ok {
+		t.Fatal("Field() did not find the FieldError through fmt wrapping")
+	}
+	if fe.Component != "core.Config" || fe.Field != "Eps" {
+		t.Errorf("unexpected field error %+v", fe)
+	}
+	if !Is(wrapped, "core.Config", "Eps") {
+		t.Error("Is() = false for matching component/field")
+	}
+	if Is(wrapped, "core.Config", "BandwidthBps") {
+		t.Error("Is() = true for non-matching field")
+	}
+}
+
+func TestErrorsCollection(t *testing.T) {
+	var es Errors
+	if es.Err() != nil {
+		t.Error("empty Errors.Err() != nil")
+	}
+	es = append(es, New("server.Config", "MaxInFlight", 0, "must be positive"))
+	if _, ok := Field(es.Err()); !ok {
+		t.Error("single-element Errors.Err() is not a *FieldError")
+	}
+	es = append(es, New("server.Config", "CacheSize", -3, "must be non-negative"))
+	err := es.Err()
+	if !Is(err, "server.Config", "MaxInFlight") || !Is(err, "server.Config", "CacheSize") {
+		t.Errorf("Is() missed a collected field in %v", err)
+	}
+	var fe *FieldError
+	if !errors.As(err, &fe) {
+		t.Error("errors.As failed on Errors collection")
+	}
+}

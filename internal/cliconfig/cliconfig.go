@@ -1,0 +1,197 @@
+// Package cliconfig centralises the flag surface of the repository's
+// binaries. Each command gets one options struct with a Register method
+// that installs its flags on a FlagSet; the flags shared across
+// commands (-model, -parallelism, -obs-dir, report formats and output
+// paths) are declared once here, so their names, defaults and help
+// strings cannot drift apart between binaries.
+package cliconfig
+
+import (
+	"flag"
+	"fmt"
+
+	"netmaster/internal/parallel"
+	"netmaster/internal/power"
+)
+
+// ResolveModel maps the shared -model flag value to a power model.
+func ResolveModel(name string) (*power.Model, error) {
+	switch name {
+	case "3g":
+		return power.Model3G(), nil
+	case "lte":
+		return power.ModelLTE(), nil
+	default:
+		return nil, fmt.Errorf("unknown model %q (want 3g or lte)", name)
+	}
+}
+
+// Workers resolves a -parallelism value to an effective worker count:
+// non-positive means the process-wide default.
+func Workers(parallelism int) int {
+	if parallelism <= 0 {
+		return parallel.DefaultWorkers()
+	}
+	return parallelism
+}
+
+// registerModel installs the shared -model flag.
+func registerModel(fs *flag.FlagSet, dst *string, usage string) {
+	fs.StringVar(dst, "model", *dst, usage)
+}
+
+// Sim is the netmaster-sim option set.
+type Sim struct {
+	TracePath   string
+	Gen         string
+	Days        int
+	PolicyName  string
+	Interval    int
+	BatchSize   int
+	ModelName   string
+	HistoryPath string
+	PerApp      bool
+	TimelineDay int
+
+	// Fault schedule (policy=online only).
+	FaultRate   float64
+	FaultSeed   int64
+	FaultOutage string // "start:end" in seconds
+	MaxDeferral int    // seconds, 0 = default
+
+	// Observability outputs.
+	MetricsOut string // write the metrics snapshot JSON here
+	TraceOut   string // write the decision trace JSONL here
+	ObsDir     string // write <ObsDir>/<user>/metrics.json + trace.jsonl
+	TraceCap   int    // trace ring capacity, 0 = default
+	PprofAddr  string // serve /debug/pprof and /debug/vars here
+}
+
+// DefaultSim returns netmaster-sim's flag defaults.
+func DefaultSim() Sim {
+	return Sim{
+		Days:        21,
+		PolicyName:  "netmaster",
+		Interval:    60,
+		BatchSize:   5,
+		ModelName:   "3g",
+		TimelineDay: -1,
+		FaultSeed:   1,
+	}
+}
+
+// Register installs netmaster-sim's flags.
+func (o *Sim) Register(fs *flag.FlagSet) {
+	fs.StringVar(&o.TracePath, "trace", o.TracePath, "trace file to replay")
+	fs.StringVar(&o.Gen, "gen", o.Gen, "generate the named cohort user instead of reading a trace")
+	fs.IntVar(&o.Days, "days", o.Days, "days for -gen")
+	fs.StringVar(&o.PolicyName, "policy", o.PolicyName, "policy: baseline, netmaster, oracle, delay, batch, online")
+	fs.IntVar(&o.Interval, "interval", o.Interval, "delay interval seconds (policy=delay)")
+	fs.IntVar(&o.BatchSize, "batch", o.BatchSize, "batch size (policy=batch)")
+	registerModel(fs, &o.ModelName, "radio model: 3g or lte")
+	fs.StringVar(&o.HistoryPath, "history", o.HistoryPath, "optional pre-collected history trace (policy=netmaster)")
+	fs.BoolVar(&o.PerApp, "per-app", o.PerApp, "print eprof-style per-app energy attribution")
+	fs.IntVar(&o.TimelineDay, "timeline", o.TimelineDay, "render an ASCII radio timeline of this day (baseline vs the policy)")
+	fs.Float64Var(&o.FaultRate, "fault-rate", o.FaultRate, "uniform fault probability for the chaos replay (policy=online)")
+	fs.Int64Var(&o.FaultSeed, "fault-seed", o.FaultSeed, "fault-schedule seed (policy=online)")
+	fs.StringVar(&o.FaultOutage, "fault-outage", o.FaultOutage, "radio outage window start:end in seconds (policy=online)")
+	fs.IntVar(&o.MaxDeferral, "max-deferral", o.MaxDeferral, "hard deferral deadline in seconds, 0 = 4x duty max sleep (policy=online)")
+	fs.StringVar(&o.MetricsOut, "metrics-out", o.MetricsOut, "write the run's metrics snapshot to this file as JSON")
+	fs.StringVar(&o.TraceOut, "trace-out", o.TraceOut, "write the run's decision trace to this file as JSONL")
+	fs.StringVar(&o.ObsDir, "obs-dir", o.ObsDir, "write <dir>/<user>/metrics.json and trace.jsonl for netmaster-analyze")
+	fs.IntVar(&o.TraceCap, "trace-cap", o.TraceCap, "trace ring capacity in events, 0 = default")
+	fs.StringVar(&o.PprofAddr, "pprof-addr", o.PprofAddr, "serve net/http/pprof and expvar on this address (for soak runs)")
+}
+
+// Experiments is the experiments option set.
+type Experiments struct {
+	Figure      string
+	Days        int
+	ModelName   string
+	CSVDir      string
+	ObsDir      string
+	Parallelism int
+}
+
+// DefaultExperiments returns experiments' flag defaults. Parallelism
+// zero resolves to the process-wide default at Register time (the
+// binary's historical default was GOMAXPROCS).
+func DefaultExperiments() Experiments {
+	return Experiments{
+		Figure:      "all",
+		Days:        21,
+		ModelName:   "3g",
+		Parallelism: parallel.DefaultWorkers(),
+	}
+}
+
+// Register installs experiments' flags.
+func (o *Experiments) Register(fs *flag.FlagSet) {
+	fs.StringVar(&o.Figure, "figure", o.Figure, "which figure to regenerate")
+	fs.IntVar(&o.Days, "days", o.Days, "trace length in days (the paper: 3 weeks)")
+	registerModel(fs, &o.ModelName, "radio model: 3g or lte")
+	fs.StringVar(&o.CSVDir, "csv", o.CSVDir, "also write figure data as CSV files into this directory")
+	fs.StringVar(&o.ObsDir, "obs-dir", o.ObsDir, "replay the cohort online and write per-device metrics.json + trace.jsonl for netmaster-analyze")
+	fs.IntVar(&o.Parallelism, "parallelism", o.Parallelism,
+		"worker-pool width for the evaluation engine and scheduler (1 = sequential)")
+}
+
+// Analyze is the netmaster-analyze option set. Dirs comes from the
+// positional arguments, not a flag.
+type Analyze struct {
+	Format      string // text | json
+	Out         string // report destination, "" = stdout
+	PromOut     string // Prometheus exposition destination
+	Check       bool   // exit non-zero on error findings
+	Parallelism int    // worker count, 0 = default
+	ModelName   string // 3g | lte, prices attributed seconds
+	Dirs        []string
+}
+
+// DefaultAnalyze returns netmaster-analyze's flag defaults.
+func DefaultAnalyze() Analyze {
+	return Analyze{Format: "text", ModelName: "3g"}
+}
+
+// Register installs netmaster-analyze's flags.
+func (o *Analyze) Register(fs *flag.FlagSet) {
+	fs.StringVar(&o.Format, "format", o.Format, "report format: text or json")
+	fs.StringVar(&o.Out, "out", o.Out, "write the report to this file instead of stdout")
+	fs.StringVar(&o.PromOut, "prom-out", o.PromOut, "write the merged metrics in Prometheus text exposition format to this file")
+	fs.BoolVar(&o.Check, "check", o.Check, "exit with status 2 when any invariant audit fails")
+	fs.IntVar(&o.Parallelism, "parallelism", o.Parallelism, "worker count for loading and merging, 0 = GOMAXPROCS")
+	registerModel(fs, &o.ModelName, "radio model pricing attributed seconds: 3g or lte")
+}
+
+// Serve is the netmaster-serve option set.
+type Serve struct {
+	Addr               string
+	MaxInFlight        int
+	CacheSize          int
+	RequestTimeoutSecs int
+	ShutdownGraceSecs  int
+	Parallelism        int
+	Quiet              bool // suppress the per-request access log
+}
+
+// DefaultServe returns netmaster-serve's flag defaults.
+func DefaultServe() Serve {
+	return Serve{
+		Addr:               "127.0.0.1:8080",
+		MaxInFlight:        64,
+		CacheSize:          128,
+		RequestTimeoutSecs: 30,
+		ShutdownGraceSecs:  5,
+	}
+}
+
+// Register installs netmaster-serve's flags.
+func (o *Serve) Register(fs *flag.FlagSet) {
+	fs.StringVar(&o.Addr, "addr", o.Addr, "listen address")
+	fs.IntVar(&o.MaxInFlight, "max-in-flight", o.MaxInFlight, "bound on concurrently served API requests; excess answers 429")
+	fs.IntVar(&o.CacheSize, "cache-size", o.CacheSize, "habit-profile LRU capacity in entries, 0 disables caching")
+	fs.IntVar(&o.RequestTimeoutSecs, "request-timeout", o.RequestTimeoutSecs, "per-request deadline in seconds")
+	fs.IntVar(&o.ShutdownGraceSecs, "shutdown-grace", o.ShutdownGraceSecs, "drain window in seconds on SIGTERM/SIGINT")
+	fs.IntVar(&o.Parallelism, "parallelism", o.Parallelism, "worker count for request fan-out, 0 = GOMAXPROCS")
+	fs.BoolVar(&o.Quiet, "quiet", o.Quiet, "suppress the per-request access log on stderr")
+}

@@ -15,10 +15,12 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"math"
 	"sort"
 
+	"netmaster/internal/cfgerr"
 	"netmaster/internal/knapsack"
 	"netmaster/internal/metrics"
 	"netmaster/internal/parallel"
@@ -83,26 +85,29 @@ func DefaultConfig() Config {
 	}
 }
 
-func (c *Config) validate() error {
+// Validate checks the scheduler configuration, returning typed field
+// errors (cfgerr.FieldError) for every rejected field.
+func (c *Config) Validate() error {
+	var es cfgerr.Errors
 	if c.Eps <= 0 || c.Eps >= 1 {
-		return fmt.Errorf("core: eps %v outside (0,1)", c.Eps)
+		es = append(es, cfgerr.New("core.Config", "Eps", c.Eps, "must lie in (0,1)"))
 	}
 	if c.BandwidthBps <= 0 {
-		return fmt.Errorf("core: non-positive bandwidth %v", c.BandwidthBps)
+		es = append(es, cfgerr.New("core.Config", "BandwidthBps", c.BandwidthBps, "must be positive"))
 	}
 	if c.SavedEnergy == nil {
-		return fmt.Errorf("core: SavedEnergy hook not set")
+		es = append(es, cfgerr.New("core.Config", "SavedEnergy", nil, "hook must be set"))
 	}
 	if c.UseProb == nil {
-		return fmt.Errorf("core: UseProb hook not set")
+		es = append(es, cfgerr.New("core.Config", "UseProb", nil, "hook must be set"))
 	}
 	if c.PenaltyRateWattEq < 0 {
-		return fmt.Errorf("core: negative penalty rate")
+		es = append(es, cfgerr.New("core.Config", "PenaltyRateWattEq", c.PenaltyRateWattEq, "must be non-negative"))
 	}
 	if c.ProbSlotWidth <= 0 {
-		return fmt.Errorf("core: non-positive probability slot width")
+		es = append(es, cfgerr.New("core.Config", "ProbSlotWidth", c.ProbSlotWidth, "must be positive"))
 	}
-	return nil
+	return es.Err()
 }
 
 // Assignment places one activity into one user active slot.
@@ -305,7 +310,7 @@ type Scheduler struct {
 
 // New builds a Scheduler, validating the configuration.
 func New(cfg Config) (*Scheduler, error) {
-	if err := cfg.validate(); err != nil {
+	if err := cfg.Validate(); err != nil {
 		return nil, err
 	}
 	return &Scheduler{cfg: cfg}, nil
@@ -319,6 +324,15 @@ func (s *Scheduler) Config() Config { return s.cfg }
 // packing S. Activities whose every candidate placement has non-positive
 // profit stay unscheduled.
 func (s *Scheduler) Schedule(u []simtime.Interval, tn []Activity) (*Schedule, error) {
+	return s.ScheduleCtx(context.Background(), u, tn)
+}
+
+// ScheduleCtx is Schedule with cancellation: the per-slot knapsack
+// fan-out stops claiming slots once ctx is done and ctx.Err() is
+// returned. A completed run is unaffected by a later cancellation, so
+// for a given input the successful output is byte-identical whether or
+// not a deadline was attached.
+func (s *Scheduler) ScheduleCtx(ctx context.Context, u []simtime.Interval, tn []Activity) (*Schedule, error) {
 	if err := validateSlots(u); err != nil {
 		return nil, err
 	}
@@ -348,7 +362,7 @@ func (s *Scheduler) Schedule(u []simtime.Interval, tn []Activity) (*Schedule, er
 		perSlot[cd.slotIdx] = append(perSlot[cd.slotIdx], cd)
 	}
 	sols := make([]knapsack.Solution, len(u))
-	err := parallel.ForEach(len(u), func(slotIdx int) error {
+	err := parallel.ForEachCtx(ctx, len(u), func(slotIdx int) error {
 		slotCands := perSlot[slotIdx]
 		if len(slotCands) == 0 {
 			return nil

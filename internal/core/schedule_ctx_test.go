@@ -1,0 +1,42 @@
+package core
+
+import (
+	"context"
+	"errors"
+	"reflect"
+	"testing"
+
+	"netmaster/internal/simtime"
+)
+
+func TestScheduleCtxMatchesSchedule(t *testing.T) {
+	s := mustScheduler(t, testConfig(1000, 0.5, nil))
+	u := []simtime.Interval{hourSlot(0, 8), hourSlot(0, 12), hourSlot(0, 20)}
+	tn := []Activity{
+		{ID: 1, Time: simtime.At(0, 3, 0, 0), Bytes: 100, ActiveSecs: 5},
+		{ID: 2, Time: simtime.At(0, 10, 0, 0), Bytes: 200, ActiveSecs: 3},
+		{ID: 3, Time: simtime.At(0, 15, 0, 0), Bytes: 50, ActiveSecs: 9},
+	}
+	want, err := s.Schedule(u, tn)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := s.ScheduleCtx(context.Background(), u, tn)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(got, want) {
+		t.Errorf("ScheduleCtx = %+v, want %+v", got, want)
+	}
+}
+
+func TestScheduleCtxCancelled(t *testing.T) {
+	s := mustScheduler(t, testConfig(1000, 0, nil))
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	u := []simtime.Interval{hourSlot(0, 8)}
+	tn := []Activity{{ID: 1, Time: simtime.At(0, 3, 0, 0), Bytes: 100, ActiveSecs: 5}}
+	if _, err := s.ScheduleCtx(ctx, u, tn); !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+}

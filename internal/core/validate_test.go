@@ -1,0 +1,66 @@
+package core
+
+import (
+	"testing"
+
+	"netmaster/internal/cfgerr"
+	"netmaster/internal/simtime"
+)
+
+func validConfig() Config {
+	cfg := DefaultConfig()
+	cfg.SavedEnergy = func(Activity) float64 { return 1 }
+	cfg.UseProb = func(simtime.Instant) float64 { return 0.5 }
+	return cfg
+}
+
+func TestConfigValidateFields(t *testing.T) {
+	cases := []struct {
+		name   string
+		mutate func(*Config)
+		field  string // "" = valid
+	}{
+		{"default ok", func(c *Config) {}, ""},
+		{"eps zero", func(c *Config) { c.Eps = 0 }, "Eps"},
+		{"eps one", func(c *Config) { c.Eps = 1 }, "Eps"},
+		{"zero bandwidth", func(c *Config) { c.BandwidthBps = 0 }, "BandwidthBps"},
+		{"nil saved energy", func(c *Config) { c.SavedEnergy = nil }, "SavedEnergy"},
+		{"nil use prob", func(c *Config) { c.UseProb = nil }, "UseProb"},
+		{"negative penalty rate", func(c *Config) { c.PenaltyRateWattEq = -1 }, "PenaltyRateWattEq"},
+		{"zero slot width", func(c *Config) { c.ProbSlotWidth = 0 }, "ProbSlotWidth"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			cfg := validConfig()
+			tc.mutate(&cfg)
+			err := cfg.Validate()
+			if tc.field == "" {
+				if err != nil {
+					t.Fatalf("valid config rejected: %v", err)
+				}
+				return
+			}
+			if err == nil {
+				t.Fatalf("invalid config accepted")
+			}
+			if !cfgerr.Is(err, "core.Config", tc.field) {
+				t.Errorf("error %v does not name core.Config.%s", err, tc.field)
+			}
+		})
+	}
+}
+
+func TestConfigValidateCollectsAllFields(t *testing.T) {
+	cfg := validConfig()
+	cfg.Eps = 2
+	cfg.BandwidthBps = -1
+	err := cfg.Validate()
+	if err == nil {
+		t.Fatal("invalid config accepted")
+	}
+	for _, f := range []string{"Eps", "BandwidthBps"} {
+		if !cfgerr.Is(err, "core.Config", f) {
+			t.Errorf("error %v missing field %s", err, f)
+		}
+	}
+}

@@ -1,0 +1,39 @@
+package eval
+
+import (
+	"context"
+	"errors"
+	"reflect"
+	"testing"
+
+	"netmaster/internal/device"
+	"netmaster/internal/policy"
+	"netmaster/internal/power"
+	"netmaster/internal/simtime"
+)
+
+func TestCompareCtxMatchesCompare(t *testing.T) {
+	tr := cohort(t)[0]
+	model := power.Model3G()
+	pols := []device.Policy{&policy.Delay{Interval: 10 * simtime.Minute}}
+	want, err := Compare(tr, model, pols)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := CompareCtx(context.Background(), tr, model, pols)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(got, want) {
+		t.Errorf("CompareCtx diverges from Compare:\n got %+v\nwant %+v", got, want)
+	}
+}
+
+func TestCompareCtxCancelled(t *testing.T) {
+	tr := cohort(t)[0]
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := CompareCtx(ctx, tr, power.Model3G(), nil); !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+}

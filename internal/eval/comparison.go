@@ -4,6 +4,7 @@
 package eval
 
 import (
+	"context"
 	"fmt"
 
 	"netmaster/internal/device"
@@ -26,6 +27,17 @@ type PolicyResult struct {
 // Compare runs the baseline and then every policy over a trace. The
 // first element of the result is always the baseline (saving 0).
 func Compare(t *trace.Trace, model *power.Model, policies []device.Policy) ([]PolicyResult, error) {
+	return CompareCtx(context.Background(), t, model, policies)
+}
+
+// CompareCtx is Compare with cancellation: ctx is checked before the
+// baseline run and between policy runs, returning ctx.Err() once done.
+// Individual device.Run calls are not interrupted mid-replay, so a
+// successful result is byte-identical with or without a deadline.
+func CompareCtx(ctx context.Context, t *trace.Trace, model *power.Model, policies []device.Policy) ([]PolicyResult, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
 	base, err := device.Run(policy.Baseline{}, t, model)
 	if err != nil {
 		return nil, fmt.Errorf("eval: baseline on %s: %w", t.UserID, err)
@@ -34,6 +46,9 @@ func Compare(t *trace.Trace, model *power.Model, policies []device.Policy) ([]Po
 	observeRun(horizon, base.PolicyName, t.UserID, 0)
 	out := []PolicyResult{{Policy: base.PolicyName, Metrics: base}}
 	for _, p := range policies {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
 		m, err := device.Run(p, t, model)
 		if err != nil {
 			return nil, fmt.Errorf("eval: %s on %s: %w", p.Name(), t.UserID, err)

@@ -19,6 +19,7 @@ import (
 	"math"
 	"sort"
 
+	"netmaster/internal/cfgerr"
 	"netmaster/internal/dutycycle"
 	"netmaster/internal/faults"
 	"netmaster/internal/habit"
@@ -139,21 +140,31 @@ func DefaultConfig() Config {
 	}
 }
 
-func (c Config) validate() error {
-	if c.ScreenOnSamplePeriod <= 0 || c.ScreenOffSamplePeriod <= 0 {
-		return fmt.Errorf("middleware: non-positive sample periods")
+// Validate checks the configuration, returning typed field errors
+// (cfgerr.FieldError) for every rejected field. It is the uniform
+// validation entry point the facade, the CLIs and the HTTP server share.
+func (c Config) Validate() error {
+	var es cfgerr.Errors
+	if c.ScreenOnSamplePeriod <= 0 {
+		es = append(es, cfgerr.New("middleware.Config", "ScreenOnSamplePeriod",
+			c.ScreenOnSamplePeriod, "must be positive"))
+	}
+	if c.ScreenOffSamplePeriod <= 0 {
+		es = append(es, cfgerr.New("middleware.Config", "ScreenOffSamplePeriod",
+			c.ScreenOffSamplePeriod, "must be positive"))
 	}
 	if c.DutyInitialSleep <= 0 {
-		return fmt.Errorf("middleware: non-positive duty sleep")
+		es = append(es, cfgerr.New("middleware.Config", "DutyInitialSleep",
+			c.DutyInitialSleep, "must be positive"))
 	}
 	if c.DutyMaxSleep <= 0 {
-		return fmt.Errorf("middleware: non-positive duty max sleep %v", c.DutyMaxSleep)
+		es = append(es, cfgerr.New("middleware.Config", "DutyMaxSleep",
+			c.DutyMaxSleep, "must be positive"))
+	} else if c.DutyInitialSleep > 0 && c.DutyMaxSleep < c.DutyInitialSleep {
+		es = append(es, cfgerr.New("middleware.Config", "DutyMaxSleep",
+			c.DutyMaxSleep, fmt.Sprintf("must be at least DutyInitialSleep (%v)", c.DutyInitialSleep)))
 	}
-	if c.DutyMaxSleep < c.DutyInitialSleep {
-		return fmt.Errorf("middleware: duty max sleep %v below initial %v",
-			c.DutyMaxSleep, c.DutyInitialSleep)
-	}
-	return nil
+	return es.Err()
 }
 
 // Mode is the service's degradation state. The service reports its mode
@@ -266,7 +277,7 @@ type Service struct {
 
 // New builds a Service with an empty monitoring database.
 func New(cfg Config) (*Service, error) {
-	if err := cfg.validate(); err != nil {
+	if err := cfg.Validate(); err != nil {
 		return nil, err
 	}
 	db, err := recorddb.Open(cfg.DB)

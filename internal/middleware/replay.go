@@ -23,6 +23,7 @@ import (
 	"fmt"
 	"sort"
 
+	"netmaster/internal/cfgerr"
 	"netmaster/internal/device"
 	"netmaster/internal/faults"
 	"netmaster/internal/power"
@@ -53,6 +54,35 @@ func DefaultReplayConfig(model *power.Model) ReplayConfig {
 	}
 }
 
+// Validate checks the replay configuration — including the embedded
+// service config — returning typed field errors.
+func (c ReplayConfig) Validate() error {
+	var es cfgerr.Errors
+	if c.Model == nil {
+		es = append(es, cfgerr.New("middleware.ReplayConfig", "Model", nil, "power model required"))
+	} else if err := c.Model.Validate(); err != nil {
+		es = append(es, cfgerr.New("middleware.ReplayConfig", "Model", c.Model.Name, err.Error()))
+	}
+	if c.DutyWakeWindow <= 0 {
+		es = append(es, cfgerr.New("middleware.ReplayConfig", "DutyWakeWindow",
+			c.DutyWakeWindow, "must be positive"))
+	}
+	if c.TailCutSecs < 0 {
+		es = append(es, cfgerr.New("middleware.ReplayConfig", "TailCutSecs",
+			c.TailCutSecs, "must be non-negative"))
+	}
+	if err := c.Service.Validate(); err != nil {
+		if sub, ok := err.(cfgerr.Errors); ok {
+			es = append(es, sub...)
+		} else if fe, ok := cfgerr.Field(err); ok {
+			es = append(es, fe)
+		} else {
+			es = append(es, cfgerr.New("middleware.ReplayConfig", "Service", nil, err.Error()))
+		}
+	}
+	return es.Err()
+}
+
 // ReplayResult is the online run's outcome.
 type ReplayResult struct {
 	Plan *device.Plan
@@ -78,14 +108,21 @@ func DefaultRetryPolicy() RetryPolicy {
 	return RetryPolicy{MaxAttempts: 4, InitialBackoff: simtime.Second, MaxBackoff: 30 * simtime.Second}
 }
 
-func (r RetryPolicy) validate() error {
+// Validate checks the retry policy, returning typed field errors.
+func (r RetryPolicy) Validate() error {
+	var es cfgerr.Errors
 	if r.MaxAttempts <= 0 {
-		return fmt.Errorf("middleware: non-positive retry attempts %d", r.MaxAttempts)
+		es = append(es, cfgerr.New("middleware.RetryPolicy", "MaxAttempts",
+			r.MaxAttempts, "must be positive"))
 	}
-	if r.InitialBackoff <= 0 || r.MaxBackoff < r.InitialBackoff {
-		return fmt.Errorf("middleware: invalid retry backoff [%v, %v]", r.InitialBackoff, r.MaxBackoff)
+	if r.InitialBackoff <= 0 {
+		es = append(es, cfgerr.New("middleware.RetryPolicy", "InitialBackoff",
+			r.InitialBackoff, "must be positive"))
+	} else if r.MaxBackoff < r.InitialBackoff {
+		es = append(es, cfgerr.New("middleware.RetryPolicy", "MaxBackoff",
+			r.MaxBackoff, fmt.Sprintf("must be at least InitialBackoff (%v)", r.InitialBackoff)))
 	}
-	return nil
+	return es.Err()
 }
 
 // ChaosConfig parameterises a fault-injected online replay.
@@ -113,6 +150,31 @@ func DefaultChaosConfig(model *power.Model) ChaosConfig {
 		Retry:       DefaultRetryPolicy(),
 		MaxDeferral: 4 * rc.Service.DutyMaxSleep,
 	}
+}
+
+// Validate checks the chaos configuration — the replay config, the
+// retry policy and the deferral deadline — returning typed field errors.
+func (c ChaosConfig) Validate() error {
+	var es cfgerr.Errors
+	collect := func(err error) {
+		if err == nil {
+			return
+		}
+		if sub, ok := err.(cfgerr.Errors); ok {
+			es = append(es, sub...)
+		} else if fe, ok := cfgerr.Field(err); ok {
+			es = append(es, fe)
+		} else {
+			es = append(es, cfgerr.New("middleware.ChaosConfig", "Replay", nil, err.Error()))
+		}
+	}
+	collect(c.Replay.Validate())
+	collect(c.Retry.Validate())
+	if c.MaxDeferral <= 0 {
+		es = append(es, cfgerr.New("middleware.ChaosConfig", "MaxDeferral",
+			c.MaxDeferral, "must be positive"))
+	}
+	return es.Err()
 }
 
 // CommandRecord is one issued command with its execution outcome under
@@ -157,15 +219,12 @@ func Replay(t *trace.Trace, cfg ReplayConfig) (*ReplayResult, error) {
 // with the recovery machinery engaged. The same seed always reproduces
 // the same run bit for bit.
 func ReplayChaos(t *trace.Trace, cfg ChaosConfig) (*ChaosResult, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
 	inj, err := faults.New(cfg.Faults)
 	if err != nil {
 		return nil, err
-	}
-	if err := cfg.Retry.validate(); err != nil {
-		return nil, err
-	}
-	if cfg.MaxDeferral <= 0 {
-		return nil, fmt.Errorf("middleware: non-positive deferral deadline %v", cfg.MaxDeferral)
 	}
 	cs := &chaosState{cfg: cfg, inj: inj}
 	rcfg := cfg.Replay
@@ -322,17 +381,8 @@ func (cs *chaosState) execute(c Command) CommandRecord {
 // perturbed, and overdue transfers are force-flushed at the deferral
 // deadline).
 func replay(t *trace.Trace, cfg ReplayConfig, cs *chaosState) (*ReplayResult, error) {
-	if cfg.Model == nil {
-		return nil, fmt.Errorf("middleware: replay needs a power model")
-	}
-	if err := cfg.Model.Validate(); err != nil {
+	if err := cfg.Validate(); err != nil {
 		return nil, err
-	}
-	if cfg.DutyWakeWindow <= 0 {
-		return nil, fmt.Errorf("middleware: non-positive wake window")
-	}
-	if cfg.TailCutSecs < 0 {
-		return nil, fmt.Errorf("middleware: negative tail cut")
 	}
 	svc, err := New(cfg.Service)
 	if err != nil {

@@ -1,0 +1,158 @@
+package middleware
+
+import (
+	"testing"
+
+	"netmaster/internal/cfgerr"
+	"netmaster/internal/power"
+	"netmaster/internal/simtime"
+)
+
+// The uniform Validate() surface returns typed field errors, so callers
+// (and these tables) assert on component/field instead of matching
+// message strings.
+func TestConfigValidateFields(t *testing.T) {
+	cases := []struct {
+		name   string
+		mutate func(*Config)
+		field  string // "" = valid
+	}{
+		{"default ok", func(c *Config) {}, ""},
+		{"zero on-sample", func(c *Config) { c.ScreenOnSamplePeriod = 0 }, "ScreenOnSamplePeriod"},
+		{"negative off-sample", func(c *Config) { c.ScreenOffSamplePeriod = -1 }, "ScreenOffSamplePeriod"},
+		{"zero initial sleep", func(c *Config) { c.DutyInitialSleep = 0 }, "DutyInitialSleep"},
+		{"zero max sleep", func(c *Config) { c.DutyMaxSleep = 0 }, "DutyMaxSleep"},
+		{"negative max sleep", func(c *Config) { c.DutyMaxSleep = -5 }, "DutyMaxSleep"},
+		{"max below initial", func(c *Config) {
+			c.DutyInitialSleep = 60 * simtime.Second
+			c.DutyMaxSleep = 30 * simtime.Second
+		}, "DutyMaxSleep"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			cfg := DefaultConfig()
+			tc.mutate(&cfg)
+			err := cfg.Validate()
+			if tc.field == "" {
+				if err != nil {
+					t.Fatalf("valid config rejected: %v", err)
+				}
+				return
+			}
+			if err == nil {
+				t.Fatalf("invalid config accepted")
+			}
+			if !cfgerr.Is(err, "middleware.Config", tc.field) {
+				t.Errorf("error %v does not name middleware.Config.%s", err, tc.field)
+			}
+		})
+	}
+}
+
+func TestConfigValidateCollectsAllFields(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.ScreenOnSamplePeriod = 0
+	cfg.DutyInitialSleep = -1
+	err := cfg.Validate()
+	if err == nil {
+		t.Fatal("invalid config accepted")
+	}
+	for _, f := range []string{"ScreenOnSamplePeriod", "DutyInitialSleep"} {
+		if !cfgerr.Is(err, "middleware.Config", f) {
+			t.Errorf("error %v missing field %s", err, f)
+		}
+	}
+}
+
+func TestRetryPolicyValidateFields(t *testing.T) {
+	cases := []struct {
+		name   string
+		mutate func(*RetryPolicy)
+		field  string
+	}{
+		{"default ok", func(r *RetryPolicy) {}, ""},
+		{"zero attempts", func(r *RetryPolicy) { r.MaxAttempts = 0 }, "MaxAttempts"},
+		{"zero initial backoff", func(r *RetryPolicy) { r.InitialBackoff = 0 }, "InitialBackoff"},
+		{"max below initial", func(r *RetryPolicy) { r.MaxBackoff = r.InitialBackoff - 1 }, "MaxBackoff"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			r := DefaultRetryPolicy()
+			tc.mutate(&r)
+			err := r.Validate()
+			if tc.field == "" {
+				if err != nil {
+					t.Fatalf("valid policy rejected: %v", err)
+				}
+				return
+			}
+			if !cfgerr.Is(err, "middleware.RetryPolicy", tc.field) {
+				t.Errorf("error %v does not name middleware.RetryPolicy.%s", err, tc.field)
+			}
+		})
+	}
+}
+
+func TestReplayConfigValidateFields(t *testing.T) {
+	model := power.Model3G()
+	cases := []struct {
+		name      string
+		mutate    func(*ReplayConfig)
+		component string
+		field     string
+	}{
+		{"default ok", func(c *ReplayConfig) {}, "", ""},
+		{"nil model", func(c *ReplayConfig) { c.Model = nil }, "middleware.ReplayConfig", "Model"},
+		{"zero wake window", func(c *ReplayConfig) { c.DutyWakeWindow = 0 }, "middleware.ReplayConfig", "DutyWakeWindow"},
+		{"negative tail cut", func(c *ReplayConfig) { c.TailCutSecs = -0.1 }, "middleware.ReplayConfig", "TailCutSecs"},
+		{"bad embedded service", func(c *ReplayConfig) { c.Service.DutyMaxSleep = 0 }, "middleware.Config", "DutyMaxSleep"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			cfg := DefaultReplayConfig(model)
+			tc.mutate(&cfg)
+			err := cfg.Validate()
+			if tc.field == "" {
+				if err != nil {
+					t.Fatalf("valid config rejected: %v", err)
+				}
+				return
+			}
+			if !cfgerr.Is(err, tc.component, tc.field) {
+				t.Errorf("error %v does not name %s.%s", err, tc.component, tc.field)
+			}
+		})
+	}
+}
+
+func TestChaosConfigValidateFields(t *testing.T) {
+	model := power.Model3G()
+	cases := []struct {
+		name      string
+		mutate    func(*ChaosConfig)
+		component string
+		field     string
+	}{
+		{"default ok", func(c *ChaosConfig) {}, "", ""},
+		{"zero deadline", func(c *ChaosConfig) { c.MaxDeferral = 0 }, "middleware.ChaosConfig", "MaxDeferral"},
+		{"bad retry", func(c *ChaosConfig) { c.Retry.MaxAttempts = -1 }, "middleware.RetryPolicy", "MaxAttempts"},
+		{"bad replay", func(c *ChaosConfig) { c.Replay.DutyWakeWindow = 0 }, "middleware.ReplayConfig", "DutyWakeWindow"},
+		{"bad service", func(c *ChaosConfig) { c.Replay.Service.DutyInitialSleep = 0 }, "middleware.Config", "DutyInitialSleep"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			cfg := DefaultChaosConfig(model)
+			tc.mutate(&cfg)
+			err := cfg.Validate()
+			if tc.field == "" {
+				if err != nil {
+					t.Fatalf("valid config rejected: %v", err)
+				}
+				return
+			}
+			if !cfgerr.Is(err, tc.component, tc.field) {
+				t.Errorf("error %v does not name %s.%s", err, tc.component, tc.field)
+			}
+		})
+	}
+}

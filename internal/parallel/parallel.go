@@ -12,6 +12,7 @@
 package parallel
 
 import (
+	"context"
 	"runtime"
 	"sync"
 	"sync/atomic"
@@ -110,6 +111,84 @@ func ForEachN(workers, n int, fn func(i int) error) error {
 	return firstErr
 }
 
+// ForEachCtx is ForEach with cancellation: workers stop claiming new
+// indices once ctx is done. See ForEachNCtx for the error contract.
+func ForEachCtx(ctx context.Context, n int, fn func(i int) error) error {
+	return ForEachNCtx(ctx, DefaultWorkers(), n, fn)
+}
+
+// ForEachNCtx is ForEachN with cancellation. Cancellation is treated as
+// a failure observed at the next unclaimed index: workers stop claiming
+// once ctx is done, in-flight calls still finish, and the return value
+// is ctx.Err() unless fn itself failed at a smaller index (the ForEachN
+// first-error contract applies across both kinds of failure). fn is not
+// handed the context; long-running bodies that want to observe
+// cancellation mid-call should close over ctx themselves.
+func ForEachNCtx(ctx context.Context, workers, n int, fn func(i int) error) error {
+	if n <= 0 {
+		return nil
+	}
+	if err := ctx.Err(); err != nil {
+		return err
+	}
+	if workers > n {
+		workers = n
+	}
+	if workers <= 1 {
+		for i := 0; i < n; i++ {
+			if err := ctx.Err(); err != nil {
+				return err
+			}
+			if err := fn(i); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+
+	var (
+		next     atomic.Int64
+		failed   atomic.Bool
+		mu       sync.Mutex
+		firstIdx = n
+		firstErr error
+		wg       sync.WaitGroup
+	)
+	record := func(i int, err error) {
+		mu.Lock()
+		if i < firstIdx {
+			firstIdx, firstErr = i, err
+		}
+		mu.Unlock()
+		failed.Store(true)
+	}
+	wg.Add(workers)
+	for w := 0; w < workers; w++ {
+		go func() {
+			defer wg.Done()
+			for {
+				if failed.Load() {
+					return
+				}
+				i := int(next.Add(1)) - 1
+				if i >= n {
+					return
+				}
+				if err := ctx.Err(); err != nil {
+					record(i, err)
+					return
+				}
+				if err := fn(i); err != nil {
+					record(i, err)
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	return firstErr
+}
+
 // Map runs fn(i) for every i in [0, n) on the default worker pool and
 // collects the results into a pre-sized slice indexed by i. Ordering is
 // therefore identical to a sequential loop. On error the slice is nil
@@ -126,6 +205,31 @@ func MapN[T any](workers, n int, fn func(i int) (T, error)) ([]T, error) {
 	}
 	out := make([]T, n)
 	err := ForEachN(workers, n, func(i int) error {
+		v, err := fn(i)
+		if err != nil {
+			return err
+		}
+		out[i] = v
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+// MapCtx is Map with cancellation on the default worker pool.
+func MapCtx[T any](ctx context.Context, n int, fn func(i int) (T, error)) ([]T, error) {
+	return MapNCtx[T](ctx, DefaultWorkers(), n, fn)
+}
+
+// MapNCtx is MapN with cancellation; see ForEachNCtx for semantics.
+func MapNCtx[T any](ctx context.Context, workers, n int, fn func(i int) (T, error)) ([]T, error) {
+	if n <= 0 {
+		return nil, nil
+	}
+	out := make([]T, n)
+	err := ForEachNCtx(ctx, workers, n, func(i int) error {
 		v, err := fn(i)
 		if err != nil {
 			return err

@@ -1,0 +1,264 @@
+// Wire types for the netmaster-serve HTTP/JSON API. Every response is a
+// pure function of the request body: no wall-clock times, no random
+// identifiers, maps marshalled with sorted keys. That keeps response
+// bytes identical across runs and across -parallelism settings, which
+// the golden tests pin. Cache status travels in the X-Netmaster-Cache
+// header, never in the body, for the same reason.
+package server
+
+import (
+	"fmt"
+
+	"netmaster/internal/device"
+	"netmaster/internal/metrics"
+	"netmaster/internal/simtime"
+	"netmaster/internal/synth"
+	"netmaster/internal/telemetry"
+	"netmaster/internal/telemetry/analyze"
+	"netmaster/internal/trace"
+	"netmaster/internal/tracing"
+)
+
+// GenSpec asks the server to synthesise a cohort trace instead of
+// shipping one inline: User names a synth cohort member (user1…user8,
+// volunteer1…volunteer3) and Days the trace length. Generation is
+// seeded per user, so the same spec always yields the same trace.
+type GenSpec struct {
+	User string `json:"user"`
+	Days int    `json:"days"`
+}
+
+// resolveTrace materialises the request's trace: inline wins, otherwise
+// the gen spec is synthesised. The returned spec is non-nil only on the
+// gen path (callers use it to derive a matching history trace).
+func resolveTrace(tr *trace.Trace, gen *GenSpec) (*trace.Trace, *synth.UserSpec, error) {
+	if tr != nil {
+		if err := tr.Validate(); err != nil {
+			return nil, nil, &apiError{Code: 400, Kind: "bad_trace", Msg: err.Error()}
+		}
+		return tr, nil, nil
+	}
+	if gen == nil {
+		return nil, nil, &apiError{Code: 400, Kind: "bad_request", Msg: "need trace or gen"}
+	}
+	if gen.Days <= 0 {
+		return nil, nil, &apiError{Code: 400, Kind: "bad_request", Msg: "gen.days must be positive"}
+	}
+	for _, spec := range append(synth.MotivationCohort(), synth.EvalCohort()...) {
+		if spec.ID == gen.User {
+			t, err := synth.Generate(spec, gen.Days)
+			if err != nil {
+				return nil, nil, err
+			}
+			return t, &spec, nil
+		}
+	}
+	return nil, nil, &apiError{Code: 400, Kind: "bad_request",
+		Msg: fmt.Sprintf("no cohort user named %q", gen.User)}
+}
+
+// apiError is the uniform error body: {"error": {"kind": ..., "message": ...}}.
+type apiError struct {
+	Code int    `json:"-"`
+	Kind string `json:"kind"`
+	Msg  string `json:"message"`
+}
+
+func (e *apiError) Error() string { return fmt.Sprintf("%s: %s", e.Kind, e.Msg) }
+
+// MineConfig overrides habit.DefaultConfig field by field; nil pointers
+// keep the default so a zero threshold stays expressible.
+type MineConfig struct {
+	SlotWidthSecs       int64    `json:"slot_width_secs,omitempty"`
+	WeekdayThreshold    *float64 `json:"weekday_threshold,omitempty"`
+	WeekendThreshold    *float64 `json:"weekend_threshold,omitempty"`
+	RecencyHalfLifeDays float64  `json:"recency_half_life_days,omitempty"`
+}
+
+// MineRequest is the body of POST /v1/mine.
+type MineRequest struct {
+	Trace  *trace.Trace `json:"trace,omitempty"`
+	Gen    *GenSpec     `json:"gen,omitempty"`
+	Config *MineConfig  `json:"config,omitempty"`
+}
+
+// DayTypeSummary is the mined picture of one day type.
+type DayTypeSummary struct {
+	Days int `json:"days"`
+	// UseProb and NetProb are the per-slot Pr[u(ti)] and Pr[n(ti)]
+	// vectors (Eq. 2 and 3), one entry per slot of day.
+	UseProb []float64 `json:"use_prob"`
+	NetProb []float64 `json:"net_prob"`
+	// ActiveSlots are the predicted user-active intervals for a
+	// representative day of this type (the first such day in week 0).
+	ActiveSlots []simtime.Interval `json:"active_slots"`
+}
+
+// MineResponse is the body of a successful POST /v1/mine. ProfileID is
+// the content hash under which the profile is cached; later
+// /v1/schedule calls may pass it instead of re-shipping the trace.
+type MineResponse struct {
+	ProfileID     string         `json:"profile_id"`
+	UserID        string         `json:"user_id"`
+	SlotWidthSecs int64          `json:"slot_width_secs"`
+	SpecialApps   []trace.AppID  `json:"special_apps"`
+	Weekday       DayTypeSummary `json:"weekday"`
+	Weekend       DayTypeSummary `json:"weekend"`
+}
+
+// ActivityJSON is one screen-off activity to schedule.
+type ActivityJSON struct {
+	ID         int     `json:"id"`
+	TimeSecs   int64   `json:"time_secs"`
+	Bytes      int64   `json:"bytes"`
+	ActiveSecs float64 `json:"active_secs"`
+	DeferOnly  bool    `json:"defer_only,omitempty"`
+}
+
+// ScheduleRequest is the body of POST /v1/schedule. The habit profile
+// comes from ProfileID (a previous mine's cache key) or is mined on the
+// fly from Trace/Gen; Day selects which day's predicted active slots
+// form the knapsack slot set U.
+type ScheduleRequest struct {
+	ProfileID  string         `json:"profile_id,omitempty"`
+	Trace      *trace.Trace   `json:"trace,omitempty"`
+	Gen        *GenSpec       `json:"gen,omitempty"`
+	MineConfig *MineConfig    `json:"mine_config,omitempty"`
+	Day        int            `json:"day"`
+	Model      string         `json:"model,omitempty"` // "3g" (default) or "lte"
+	Activities []ActivityJSON `json:"activities"`
+	// Scheduler overrides; zero keeps the paper's defaults.
+	Eps               float64  `json:"eps,omitempty"`
+	BandwidthBps      float64  `json:"bandwidth_bps,omitempty"`
+	PenaltyRateWattEq *float64 `json:"penalty_rate_watt_eq,omitempty"`
+}
+
+// AssignmentJSON is one placement in the returned packing.
+type AssignmentJSON struct {
+	ActivityID int              `json:"activity_id"`
+	SlotIndex  int              `json:"slot_index"`
+	Slot       simtime.Interval `json:"slot"`
+	TargetSecs int64            `json:"target_secs"`
+	Bytes      int64            `json:"bytes"`
+	Profit     float64          `json:"profit"`
+	Saved      float64          `json:"saved"`
+	Penalty    float64          `json:"penalty"`
+}
+
+// ScheduleResponse is the body of a successful POST /v1/schedule.
+type ScheduleResponse struct {
+	ProfileID    string             `json:"profile_id"`
+	Day          int                `json:"day"`
+	ActiveSlots  []simtime.Interval `json:"active_slots"`
+	Assignments  []AssignmentJSON   `json:"assignments"`
+	Unscheduled  []int              `json:"unscheduled"`
+	TotalSaved   float64            `json:"total_saved"`
+	TotalPenalty float64            `json:"total_penalty"`
+	Objective    float64            `json:"objective"`
+	SlotLoad     []int64            `json:"slot_load"`
+}
+
+// SimulateRequest is the body of POST /v1/simulate: replay one policy
+// over a trace and report its metrics against the baseline.
+type SimulateRequest struct {
+	Trace *trace.Trace `json:"trace,omitempty"`
+	Gen   *GenSpec     `json:"gen,omitempty"`
+	// Policy is baseline, netmaster, oracle, delay, batch or online
+	// (the event-driven middleware replayed over the trace).
+	Policy string `json:"policy"`
+	Model  string `json:"model,omitempty"` // "3g" (default) or "lte"
+	// DelayIntervalSecs parameterises policy "delay" (default 600).
+	DelayIntervalSecs int64 `json:"delay_interval_secs,omitempty"`
+	// BatchSize parameterises policy "batch" (default 3).
+	BatchSize int `json:"batch_size,omitempty"`
+	// HistoryDays, on the gen path, sizes the pre-collected history
+	// the netmaster policy mines before day 0 (default 14).
+	HistoryDays int `json:"history_days,omitempty"`
+}
+
+// MetricsJSON flattens device.Metrics onto the wire.
+type MetricsJSON struct {
+	Policy          string  `json:"policy"`
+	EnergyJ         float64 `json:"energy_j"`
+	RadioOnSecs     float64 `json:"radio_on_secs"`
+	TailEnergyJ     float64 `json:"tail_energy_j"`
+	Promotions      int     `json:"promotions"`
+	WakeUps         int     `json:"wake_ups"`
+	WakeEnergyJ     float64 `json:"wake_energy_j"`
+	BytesDown       int64   `json:"bytes_down"`
+	BytesUp         int64   `json:"bytes_up"`
+	AvgDownRateBps  float64 `json:"avg_down_rate_bps"`
+	AvgUpRateBps    float64 `json:"avg_up_rate_bps"`
+	PeakDownRateBps float64 `json:"peak_down_rate_bps"`
+	PeakUpRateBps   float64 `json:"peak_up_rate_bps"`
+	Interactions    int     `json:"interactions"`
+	WrongDecisions  int     `json:"wrong_decisions"`
+	Deferred        int     `json:"deferred"`
+	MeanDeferSecs   float64 `json:"mean_defer_secs"`
+	MaxDeferSecs    float64 `json:"max_defer_secs"`
+}
+
+func metricsJSON(m device.Metrics) MetricsJSON {
+	return MetricsJSON{
+		Policy:          m.PolicyName,
+		EnergyJ:         m.Radio.EnergyJ,
+		RadioOnSecs:     m.Radio.RadioOnSecs,
+		TailEnergyJ:     m.Radio.TailEnergyJ,
+		Promotions:      m.Radio.Promotions,
+		WakeUps:         m.WakeUps,
+		WakeEnergyJ:     m.WakeEnergyJ,
+		BytesDown:       m.BytesDown,
+		BytesUp:         m.BytesUp,
+		AvgDownRateBps:  m.AvgDownRateBps,
+		AvgUpRateBps:    m.AvgUpRateBps,
+		PeakDownRateBps: m.PeakDownRateBps,
+		PeakUpRateBps:   m.PeakUpRateBps,
+		Interactions:    m.Interactions,
+		WrongDecisions:  m.WrongDecisions,
+		Deferred:        m.Deferred,
+		MeanDeferSecs:   m.MeanDeferSecs,
+		MaxDeferSecs:    m.MaxDeferSecs,
+	}
+}
+
+// SimulateResponse is the body of a successful POST /v1/simulate.
+type SimulateResponse struct {
+	UserID        string      `json:"user_id"`
+	Days          int         `json:"days"`
+	Model         string      `json:"model"`
+	Baseline      MetricsJSON `json:"baseline"`
+	Result        MetricsJSON `json:"result"`
+	EnergySaving  float64     `json:"energy_saving"`
+	RadioOnSaving float64     `json:"radio_on_saving"`
+}
+
+// IngestRequest is the body of POST /v1/fleet/ingest: one device's
+// observability artifacts, exactly what netmaster-analyze reads from an
+// -obs-dir on disk. Re-ingesting a device ID replaces its snapshot.
+type IngestRequest struct {
+	DeviceID string            `json:"device_id"`
+	Metrics  *metrics.Snapshot `json:"metrics,omitempty"`
+	Header   tracing.Header    `json:"trace_header"`
+	Events   []tracing.Event   `json:"events,omitempty"`
+}
+
+// IngestResponse acknowledges an ingest with the resulting fleet size.
+type IngestResponse struct {
+	DeviceID string `json:"device_id"`
+	Devices  int    `json:"devices"`
+}
+
+// FleetReportResponse is the body of GET /v1/fleet/report — the same
+// document netmaster-analyze writes offline, so a live report over
+// ingested devices is byte-comparable with the batch pipeline.
+type FleetReportResponse struct {
+	Metrics  telemetry.FleetSnapshot `json:"metrics"`
+	Analysis analyze.FleetReport     `json:"analysis"`
+}
+
+// HealthResponse is the body of GET /healthz.
+type HealthResponse struct {
+	Status   string `json:"status"`
+	Devices  int    `json:"devices"`
+	InFlight int64  `json:"in_flight"`
+}

@@ -1,0 +1,69 @@
+package server
+
+import (
+	"container/list"
+	"sync"
+)
+
+// lru is a fixed-capacity least-recently-used cache. The daemon keys it
+// by profile ID (content hash of the canonical trace bytes plus the
+// mining config), so identical mining requests hit the cache regardless
+// of client, ordering, or parallelism. A capacity of zero disables
+// caching (every Get misses, Put is a no-op).
+type lru struct {
+	mu   sync.Mutex
+	cap  int
+	ll   *list.List // front = most recent
+	ents map[string]*list.Element
+}
+
+type lruEntry struct {
+	key string
+	val any
+}
+
+func newLRU(capacity int) *lru {
+	return &lru{cap: capacity, ll: list.New(), ents: make(map[string]*list.Element)}
+}
+
+// Get returns the cached value and promotes the key to most-recent.
+func (c *lru) Get(key string) (any, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	el, ok := c.ents[key]
+	if !ok {
+		return nil, false
+	}
+	c.ll.MoveToFront(el)
+	return el.Value.(*lruEntry).val, true
+}
+
+// Put inserts or refreshes a key, evicting the least-recently-used
+// entry when over capacity. It reports whether an eviction happened.
+func (c *lru) Put(key string, val any) (evicted bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.cap <= 0 {
+		return false
+	}
+	if el, ok := c.ents[key]; ok {
+		el.Value.(*lruEntry).val = val
+		c.ll.MoveToFront(el)
+		return false
+	}
+	c.ents[key] = c.ll.PushFront(&lruEntry{key: key, val: val})
+	if c.ll.Len() <= c.cap {
+		return false
+	}
+	oldest := c.ll.Back()
+	c.ll.Remove(oldest)
+	delete(c.ents, oldest.Value.(*lruEntry).key)
+	return true
+}
+
+// Len returns the number of cached entries.
+func (c *lru) Len() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.ll.Len()
+}

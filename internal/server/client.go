@@ -1,0 +1,126 @@
+package server
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"strings"
+)
+
+// Client is a typed caller for the netmaster-serve API. The zero value
+// is not usable; build one with NewClient.
+type Client struct {
+	base string
+	http *http.Client
+}
+
+// NewClient returns a client for the daemon at baseURL (e.g.
+// "http://127.0.0.1:8080"). A nil httpClient uses http.DefaultClient.
+func NewClient(baseURL string, httpClient *http.Client) *Client {
+	if httpClient == nil {
+		httpClient = http.DefaultClient
+	}
+	return &Client{base: strings.TrimRight(baseURL, "/"), http: httpClient}
+}
+
+// do round-trips one call: method + path + optional JSON body → decoded
+// response. API errors come back as *apiError with the server's kind
+// and message.
+func (c *Client) do(ctx context.Context, method, path string, in, out any) error {
+	var body io.Reader
+	if in != nil {
+		b, err := json.Marshal(in)
+		if err != nil {
+			return err
+		}
+		body = bytes.NewReader(b)
+	}
+	req, err := http.NewRequestWithContext(ctx, method, c.base+path, body)
+	if err != nil {
+		return err
+	}
+	if in != nil {
+		req.Header.Set("Content-Type", "application/json")
+	}
+	resp, err := c.http.Do(req)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		var e struct {
+			Error *apiError `json:"error"`
+		}
+		if jerr := json.NewDecoder(resp.Body).Decode(&e); jerr == nil && e.Error != nil {
+			e.Error.Code = resp.StatusCode
+			return e.Error
+		}
+		return fmt.Errorf("server: %s %s: status %d", method, path, resp.StatusCode)
+	}
+	if out == nil {
+		return nil
+	}
+	return json.NewDecoder(resp.Body).Decode(out)
+}
+
+// Mine calls POST /v1/mine.
+func (c *Client) Mine(ctx context.Context, req MineRequest) (*MineResponse, error) {
+	var out MineResponse
+	if err := c.do(ctx, http.MethodPost, "/v1/mine", req, &out); err != nil {
+		return nil, err
+	}
+	return &out, nil
+}
+
+// Schedule calls POST /v1/schedule.
+func (c *Client) Schedule(ctx context.Context, req ScheduleRequest) (*ScheduleResponse, error) {
+	var out ScheduleResponse
+	if err := c.do(ctx, http.MethodPost, "/v1/schedule", req, &out); err != nil {
+		return nil, err
+	}
+	return &out, nil
+}
+
+// Simulate calls POST /v1/simulate.
+func (c *Client) Simulate(ctx context.Context, req SimulateRequest) (*SimulateResponse, error) {
+	var out SimulateResponse
+	if err := c.do(ctx, http.MethodPost, "/v1/simulate", req, &out); err != nil {
+		return nil, err
+	}
+	return &out, nil
+}
+
+// Ingest calls POST /v1/fleet/ingest.
+func (c *Client) Ingest(ctx context.Context, req IngestRequest) (*IngestResponse, error) {
+	var out IngestResponse
+	if err := c.do(ctx, http.MethodPost, "/v1/fleet/ingest", req, &out); err != nil {
+		return nil, err
+	}
+	return &out, nil
+}
+
+// FleetReport calls GET /v1/fleet/report. model may be "" (3g) or a
+// power model name.
+func (c *Client) FleetReport(ctx context.Context, model string) (*FleetReportResponse, error) {
+	path := "/v1/fleet/report"
+	if model != "" {
+		path += "?model=" + model
+	}
+	var out FleetReportResponse
+	if err := c.do(ctx, http.MethodGet, path, nil, &out); err != nil {
+		return nil, err
+	}
+	return &out, nil
+}
+
+// Healthz calls GET /healthz.
+func (c *Client) Healthz(ctx context.Context) (*HealthResponse, error) {
+	var out HealthResponse
+	if err := c.do(ctx, http.MethodGet, "/healthz", nil, &out); err != nil {
+		return nil, err
+	}
+	return &out, nil
+}

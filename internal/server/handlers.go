@@ -1,0 +1,431 @@
+package server
+
+import (
+	"crypto/sha256"
+	"encoding/binary"
+	"encoding/hex"
+	"fmt"
+	"net/http"
+
+	"netmaster/internal/core"
+	"netmaster/internal/device"
+	"netmaster/internal/eval"
+	"netmaster/internal/habit"
+	"netmaster/internal/middleware"
+	"netmaster/internal/policy"
+	"netmaster/internal/power"
+	"netmaster/internal/simtime"
+	"netmaster/internal/synth"
+	"netmaster/internal/telemetry"
+	"netmaster/internal/trace"
+)
+
+func powerModel(name string) (*power.Model, error) {
+	switch name {
+	case "", "3g":
+		return power.Model3G(), nil
+	case "lte":
+		return power.ModelLTE(), nil
+	default:
+		return nil, &apiError{Code: http.StatusBadRequest, Kind: "bad_request",
+			Msg: fmt.Sprintf("unknown model %q (want 3g or lte)", name)}
+	}
+}
+
+func habitConfig(mc *MineConfig) habit.Config {
+	cfg := habit.DefaultConfig()
+	if mc == nil {
+		return cfg
+	}
+	if mc.SlotWidthSecs > 0 {
+		cfg.SlotWidth = simtime.Duration(mc.SlotWidthSecs)
+	}
+	if mc.WeekdayThreshold != nil {
+		cfg.WeekdayThreshold = *mc.WeekdayThreshold
+	}
+	if mc.WeekendThreshold != nil {
+		cfg.WeekendThreshold = *mc.WeekendThreshold
+	}
+	if mc.RecencyHalfLifeDays > 0 {
+		cfg.RecencyHalfLifeDays = mc.RecencyHalfLifeDays
+	}
+	return cfg
+}
+
+// profileID is the LRU key: a content hash over the canonical trace
+// bytes (trace.Write is deterministic) and the mining config. Identical
+// trace + config → identical ID, on every run, at any parallelism.
+func profileID(t *trace.Trace, cfg habit.Config) (string, error) {
+	h := sha256.New()
+	if err := trace.Write(h, t); err != nil {
+		return "", err
+	}
+	binary.Write(h, binary.LittleEndian, int64(cfg.SlotWidth))
+	binary.Write(h, binary.LittleEndian, cfg.WeekdayThreshold)
+	binary.Write(h, binary.LittleEndian, cfg.WeekendThreshold)
+	binary.Write(h, binary.LittleEndian, cfg.RecencyHalfLifeDays)
+	return "sha256:" + hex.EncodeToString(h.Sum(nil)), nil
+}
+
+// mineCached mines a profile through the LRU: a hit skips the full
+// habit.Mine pass. The cache disposition lands in the X-Netmaster-Cache
+// response header — never the body, which must stay byte-identical
+// whether or not the cache was warm.
+func (s *Server) mineCached(t *trace.Trace, cfg habit.Config) (*habit.Profile, string, bool, error) {
+	id, err := profileID(t, cfg)
+	if err != nil {
+		return nil, "", false, err
+	}
+	if v, ok := s.profiles.Get(id); ok {
+		s.mCacheHit.Inc()
+		return v.(*habit.Profile), id, true, nil
+	}
+	s.mCacheMiss.Inc()
+	p, err := habit.Mine(t, cfg)
+	if err != nil {
+		return nil, "", false, &apiError{Code: http.StatusBadRequest, Kind: "mine_failed", Msg: err.Error()}
+	}
+	if s.profiles.Put(id, p) {
+		s.mCacheEvic.Inc()
+	}
+	return p, id, false, nil
+}
+
+func setCacheHeader(w http.ResponseWriter, hit bool) {
+	if hit {
+		w.Header().Set("X-Netmaster-Cache", "hit")
+	} else {
+		w.Header().Set("X-Netmaster-Cache", "miss")
+	}
+}
+
+// firstDayOfType returns the first day index in week 0 of the wanted
+// day type, for the representative active-slot summaries.
+func firstDayOfType(weekend bool) int {
+	for day := 0; day < 7; day++ {
+		if simtime.At(day, 0, 0, 0).IsWeekend() == weekend {
+			return day
+		}
+	}
+	return 0
+}
+
+func dayTypeSummary(p *habit.Profile, dt *habit.DayTypeProfile, weekend bool) DayTypeSummary {
+	sum := DayTypeSummary{
+		Days:    dt.Days,
+		UseProb: make([]float64, len(dt.Slots)),
+		NetProb: make([]float64, len(dt.Slots)),
+	}
+	for i, sl := range dt.Slots {
+		sum.UseProb[i] = sl.UseProb
+		sum.NetProb[i] = sl.NetProb
+	}
+	sum.ActiveSlots = p.PredictedActiveSlots(firstDayOfType(weekend))
+	if sum.ActiveSlots == nil {
+		sum.ActiveSlots = []simtime.Interval{}
+	}
+	return sum
+}
+
+func (s *Server) handleMine(w http.ResponseWriter, r *http.Request) error {
+	var req MineRequest
+	if err := decode(r, &req); err != nil {
+		return err
+	}
+	t, _, err := resolveTrace(req.Trace, req.Gen)
+	if err != nil {
+		return err
+	}
+	cfg := habitConfig(req.Config)
+	p, id, hit, err := s.mineCached(t, cfg)
+	if err != nil {
+		return err
+	}
+	resp := MineResponse{
+		ProfileID:     id,
+		UserID:        p.UserID,
+		SlotWidthSecs: int64(p.SlotWidth),
+		SpecialApps:   p.SpecialApps,
+		Weekday:       dayTypeSummary(p, &p.Weekday, false),
+		Weekend:       dayTypeSummary(p, &p.Weekend, true),
+	}
+	if resp.SpecialApps == nil {
+		resp.SpecialApps = []trace.AppID{}
+	}
+	setCacheHeader(w, hit)
+	return writeJSON(w, http.StatusOK, resp)
+}
+
+func (s *Server) handleSchedule(w http.ResponseWriter, r *http.Request) error {
+	var req ScheduleRequest
+	if err := decode(r, &req); err != nil {
+		return err
+	}
+	model, err := powerModel(req.Model)
+	if err != nil {
+		return err
+	}
+	if req.Day < 0 {
+		return &apiError{Code: http.StatusBadRequest, Kind: "bad_request", Msg: "day must be non-negative"}
+	}
+	if len(req.Activities) == 0 {
+		return &apiError{Code: http.StatusBadRequest, Kind: "bad_request", Msg: "no activities to schedule"}
+	}
+
+	// Resolve the habit profile: by ID from the cache, or mined from
+	// the request's trace (through the same cache).
+	var profile *habit.Profile
+	var id string
+	hit := false
+	if req.ProfileID != "" {
+		v, ok := s.profiles.Get(req.ProfileID)
+		if !ok {
+			return &apiError{Code: http.StatusNotFound, Kind: "unknown_profile",
+				Msg: fmt.Sprintf("profile %s not cached; re-mine or pass the trace", req.ProfileID)}
+		}
+		s.mCacheHit.Inc()
+		profile, id, hit = v.(*habit.Profile), req.ProfileID, true
+	} else {
+		t, _, rerr := resolveTrace(req.Trace, req.Gen)
+		if rerr != nil {
+			return rerr
+		}
+		profile, id, hit, err = s.mineCached(t, habitConfig(req.MineConfig))
+		if err != nil {
+			return err
+		}
+	}
+
+	u := profile.PredictedActiveSlots(req.Day)
+	if len(u) == 0 {
+		setCacheHeader(w, hit)
+		return writeJSON(w, http.StatusOK, ScheduleResponse{
+			ProfileID:   id,
+			Day:         req.Day,
+			ActiveSlots: []simtime.Interval{},
+			Assignments: []AssignmentJSON{},
+			Unscheduled: unscheduledIDs(req.Activities),
+			SlotLoad:    []int64{},
+		})
+	}
+
+	ccfg := core.DefaultConfig()
+	if req.Eps != 0 {
+		ccfg.Eps = req.Eps
+	}
+	if req.BandwidthBps != 0 {
+		ccfg.BandwidthBps = req.BandwidthBps
+	}
+	if req.PenaltyRateWattEq != nil {
+		ccfg.PenaltyRateWattEq = *req.PenaltyRateWattEq
+	}
+	ccfg.ProbSlotWidth = profile.SlotWidth
+	ccfg.SavedEnergy = func(a core.Activity) float64 { return model.SavedEnergy(a.ActiveSecs) }
+	ccfg.UseProb = profile.UseProbAt
+	sched, err := core.New(ccfg)
+	if err != nil {
+		return &apiError{Code: http.StatusBadRequest, Kind: "bad_config", Msg: err.Error()}
+	}
+
+	acts := make([]core.Activity, len(req.Activities))
+	for i, a := range req.Activities {
+		acts[i] = core.Activity{
+			ID:         a.ID,
+			Time:       simtime.Instant(a.TimeSecs),
+			Bytes:      a.Bytes,
+			ActiveSecs: a.ActiveSecs,
+			DeferOnly:  a.DeferOnly,
+		}
+	}
+	result, err := sched.ScheduleCtx(r.Context(), u, acts)
+	if err != nil {
+		if r.Context().Err() != nil {
+			return r.Context().Err()
+		}
+		return &apiError{Code: http.StatusBadRequest, Kind: "schedule_failed", Msg: err.Error()}
+	}
+
+	resp := ScheduleResponse{
+		ProfileID:    id,
+		Day:          req.Day,
+		ActiveSlots:  u,
+		Assignments:  make([]AssignmentJSON, len(result.Assignments)),
+		Unscheduled:  result.Unscheduled,
+		TotalSaved:   result.TotalSaved,
+		TotalPenalty: result.TotalPenalty,
+		Objective:    result.Objective,
+		SlotLoad:     result.SlotLoad,
+	}
+	for i, asg := range result.Assignments {
+		resp.Assignments[i] = AssignmentJSON{
+			ActivityID: asg.ActivityID,
+			SlotIndex:  asg.SlotIndex,
+			Slot:       u[asg.SlotIndex],
+			TargetSecs: int64(asg.Target),
+			Bytes:      asg.Bytes,
+			Profit:     asg.Profit,
+			Saved:      asg.Saved,
+			Penalty:    asg.Penalty,
+		}
+	}
+	if resp.Unscheduled == nil {
+		resp.Unscheduled = []int{}
+	}
+	setCacheHeader(w, hit)
+	return writeJSON(w, http.StatusOK, resp)
+}
+
+func unscheduledIDs(acts []ActivityJSON) []int {
+	ids := make([]int, len(acts))
+	for i, a := range acts {
+		ids[i] = a.ID
+	}
+	return ids
+}
+
+// plannedPolicy adapts a middleware replay's plan to device.Policy.
+type plannedPolicy struct {
+	name string
+	plan *device.Plan
+}
+
+func (p *plannedPolicy) Name() string                              { return p.name }
+func (p *plannedPolicy) Plan(t *trace.Trace) (*device.Plan, error) { return p.plan, nil }
+
+func (s *Server) handleSimulate(w http.ResponseWriter, r *http.Request) error {
+	var req SimulateRequest
+	if err := decode(r, &req); err != nil {
+		return err
+	}
+	model, err := powerModel(req.Model)
+	if err != nil {
+		return err
+	}
+	t, spec, err := resolveTrace(req.Trace, req.Gen)
+	if err != nil {
+		return err
+	}
+
+	var p device.Policy
+	switch req.Policy {
+	case "baseline":
+		p = nil
+	case "netmaster":
+		cfg := policy.DefaultNetMasterConfig(model)
+		if spec != nil {
+			days := req.HistoryDays
+			if days == 0 {
+				days = 14
+			}
+			history, herr := synth.GenerateHistory(*spec, days)
+			if herr != nil {
+				return herr
+			}
+			cfg.History = history
+		}
+		p, err = policy.NewNetMaster(cfg)
+	case "oracle":
+		p, err = policy.NewOracle(model)
+	case "delay":
+		iv := req.DelayIntervalSecs
+		if iv == 0 {
+			iv = 600
+		}
+		p, err = policy.NewDelay(simtime.Duration(iv))
+	case "batch":
+		size := req.BatchSize
+		if size == 0 {
+			size = 3
+		}
+		p, err = policy.NewBatch(size, 0)
+	case "online":
+		res, rerr := middleware.Replay(t, middleware.DefaultReplayConfig(model))
+		if rerr != nil {
+			return &apiError{Code: http.StatusBadRequest, Kind: "simulate_failed", Msg: rerr.Error()}
+		}
+		p = &plannedPolicy{name: res.Plan.PolicyName, plan: res.Plan}
+	default:
+		return &apiError{Code: http.StatusBadRequest, Kind: "bad_request",
+			Msg: fmt.Sprintf("unknown policy %q (want baseline, netmaster, oracle, delay, batch or online)", req.Policy)}
+	}
+	if err != nil {
+		return &apiError{Code: http.StatusBadRequest, Kind: "bad_config", Msg: err.Error()}
+	}
+
+	// CompareCtx runs the baseline then the policy, honouring the
+	// request deadline between runs.
+	var pols []device.Policy
+	if p != nil {
+		pols = append(pols, p)
+	}
+	results, err := eval.CompareCtx(r.Context(), t, model, pols)
+	if err != nil {
+		if r.Context().Err() != nil {
+			return r.Context().Err()
+		}
+		return &apiError{Code: http.StatusBadRequest, Kind: "simulate_failed", Msg: err.Error()}
+	}
+	base := results[0]
+	res := results[len(results)-1]
+	return writeJSON(w, http.StatusOK, SimulateResponse{
+		UserID:        t.UserID,
+		Days:          t.Days,
+		Model:         model.Name,
+		Baseline:      metricsJSON(base.Metrics),
+		Result:        metricsJSON(res.Metrics),
+		EnergySaving:  res.EnergySaving,
+		RadioOnSaving: res.RadioOnSaving,
+	})
+}
+
+func (s *Server) handleIngest(w http.ResponseWriter, r *http.Request) error {
+	var req IngestRequest
+	if err := decode(r, &req); err != nil {
+		return err
+	}
+	if req.DeviceID == "" {
+		return &apiError{Code: http.StatusBadRequest, Kind: "bad_request", Msg: "device_id must be set"}
+	}
+	s.fleetMu.Lock()
+	s.fleet[req.DeviceID] = ingested{metrics: req.Metrics, header: req.Header, events: req.Events}
+	n := len(s.fleet)
+	s.fleetMu.Unlock()
+	return writeJSON(w, http.StatusOK, IngestResponse{DeviceID: req.DeviceID, Devices: n})
+}
+
+func (s *Server) handleFleetReport(w http.ResponseWriter, r *http.Request) error {
+	doc, err := s.fleetDoc(r.URL.Query().Get("model"))
+	if err != nil {
+		return err
+	}
+	return writeJSON(w, http.StatusOK, doc)
+}
+
+// handleMetrics serves the server's own registry (plus any ingested
+// fleet) in Prometheus text format, reusing the fleet exporter: the
+// server is just one more device in its own fleet.
+func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	devs := []telemetry.Device{{ID: "server", Snapshot: s.cfg.Metrics.Snapshot()}}
+	s.fleetMu.Lock()
+	for id, d := range s.fleet {
+		if d.metrics != nil {
+			devs = append(devs, telemetry.Device{ID: id, Snapshot: *d.metrics})
+		}
+	}
+	s.fleetMu.Unlock()
+	agg, err := telemetry.Aggregate(devs...)
+	if err != nil {
+		writeError(w, &apiError{Code: http.StatusInternalServerError, Kind: "internal", Msg: err.Error()})
+		return
+	}
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4")
+	telemetry.WriteProm(w, "netmaster_", agg.Export())
+}
+
+func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, HealthResponse{
+		Status:   "ok",
+		Devices:  s.Devices(),
+		InFlight: s.InFlight(),
+	})
+}

@@ -1,0 +1,391 @@
+// Package server is the long-running daemon face of the repository: the
+// mining, scheduling, simulation and fleet-telemetry pipelines behind
+// an HTTP/JSON API (cmd/netmaster-serve). Production posture:
+//
+//   - habit profiles are cached in an LRU keyed by trace content hash,
+//     so repeated mining of the same trace is one hash away;
+//   - request fan-out goes through internal/parallel with a bounded
+//     in-flight semaphore — overload answers 429, never queues without
+//     bound;
+//   - every request carries a deadline, cancelled down into the
+//     scheduler and evaluator via ScheduleCtx/CompareCtx;
+//   - SIGTERM drains in-flight requests before exit;
+//   - request counts, errors, latency and cache traffic land in a
+//     metrics.Registry (server_* names) served on /metrics in
+//     Prometheus text format via telemetry.WriteProm.
+package server
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	"net/http/pprof"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"netmaster/internal/cfgerr"
+	"netmaster/internal/metrics"
+	"netmaster/internal/parallel"
+	"netmaster/internal/telemetry"
+	"netmaster/internal/telemetry/analyze"
+	"netmaster/internal/tracing"
+)
+
+// LatencyBuckets are the server_latency_ms histogram bounds.
+var LatencyBuckets = []float64{1, 5, 10, 25, 50, 100, 250, 500, 1000, 5000, 30000}
+
+// Config parameterises the daemon.
+type Config struct {
+	// Addr is the listen address, e.g. ":8080" or "127.0.0.1:0".
+	Addr string
+	// MaxInFlight bounds concurrently served API requests; excess
+	// requests are answered 429 immediately (backpressure, not
+	// queueing).
+	MaxInFlight int
+	// CacheSize is the habit-profile LRU capacity (entries). Zero
+	// disables the cache; negative is invalid.
+	CacheSize int
+	// RequestTimeout is the per-request deadline, threaded as a
+	// context into the mining, scheduling and simulation pipelines.
+	RequestTimeout time.Duration
+	// ShutdownGrace bounds the drain on SIGTERM: in-flight requests
+	// get this long to finish before the listener is torn down.
+	ShutdownGrace time.Duration
+	// Parallelism caps the worker pool used by request fan-out; zero
+	// keeps the process-wide default.
+	Parallelism int
+	// LogWriter receives one structured (JSON) line per request; nil
+	// disables request logging.
+	LogWriter io.Writer
+	// Metrics receives server_* counters, gauges and histograms; nil
+	// disables instrumentation (handles are nil-tolerant).
+	Metrics *metrics.Registry
+}
+
+// DefaultConfig returns production-shaped defaults (listener on an
+// ephemeral localhost port, so tests and first runs never collide).
+func DefaultConfig() Config {
+	return Config{
+		Addr:           "127.0.0.1:0",
+		MaxInFlight:    64,
+		CacheSize:      128,
+		RequestTimeout: 30 * time.Second,
+		ShutdownGrace:  5 * time.Second,
+	}
+}
+
+// Validate checks the configuration, returning cfgerr field errors.
+func (c *Config) Validate() error {
+	var es cfgerr.Errors
+	if c.Addr == "" {
+		es = append(es, cfgerr.New("server.Config", "Addr", c.Addr, "must be set"))
+	}
+	if c.MaxInFlight <= 0 {
+		es = append(es, cfgerr.New("server.Config", "MaxInFlight", c.MaxInFlight, "must be positive"))
+	}
+	if c.CacheSize < 0 {
+		es = append(es, cfgerr.New("server.Config", "CacheSize", c.CacheSize, "must be non-negative"))
+	}
+	if c.RequestTimeout <= 0 {
+		es = append(es, cfgerr.New("server.Config", "RequestTimeout", c.RequestTimeout, "must be positive"))
+	}
+	if c.ShutdownGrace <= 0 {
+		es = append(es, cfgerr.New("server.Config", "ShutdownGrace", c.ShutdownGrace, "must be positive"))
+	}
+	if c.Parallelism < 0 {
+		es = append(es, cfgerr.New("server.Config", "Parallelism", c.Parallelism, "must be non-negative"))
+	}
+	return es.Err()
+}
+
+// ingested is one device's artifacts as received on /v1/fleet/ingest.
+type ingested struct {
+	metrics *metrics.Snapshot
+	header  tracing.Header
+	events  []tracing.Event
+}
+
+// Server is the daemon: an http.Handler plus the state behind it.
+type Server struct {
+	cfg  Config
+	mux  *http.ServeMux
+	http *http.Server
+	ln   net.Listener
+
+	profiles *lru // profile ID → *habit.Profile
+
+	fleetMu sync.Mutex
+	fleet   map[string]ingested
+
+	sem      chan struct{}
+	inflight atomic.Int64
+
+	// server_* instrumentation (nil-tolerant handles).
+	mRequests  *metrics.Counter
+	mErrors    *metrics.Counter
+	mRejected  *metrics.Counter
+	mTimeouts  *metrics.Counter
+	mCacheHit  *metrics.Counter
+	mCacheMiss *metrics.Counter
+	mCacheEvic *metrics.Counter
+	mInflight  *metrics.Gauge
+	mLatencyMS *metrics.Histogram
+}
+
+// New builds a Server from the config. The listener is not opened
+// until Start (or ListenAndServe via cmd/netmaster-serve).
+func New(cfg Config) (*Server, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	s := &Server{
+		cfg:      cfg,
+		mux:      http.NewServeMux(),
+		profiles: newLRU(cfg.CacheSize),
+		fleet:    make(map[string]ingested),
+		sem:      make(chan struct{}, cfg.MaxInFlight),
+
+		mRequests:  cfg.Metrics.Counter("server_requests_total"),
+		mErrors:    cfg.Metrics.Counter("server_errors_total"),
+		mRejected:  cfg.Metrics.Counter("server_rejected_total"),
+		mTimeouts:  cfg.Metrics.Counter("server_timeouts_total"),
+		mCacheHit:  cfg.Metrics.Counter("server_cache_hits_total"),
+		mCacheMiss: cfg.Metrics.Counter("server_cache_misses_total"),
+		mCacheEvic: cfg.Metrics.Counter("server_cache_evictions_total"),
+		mInflight:  cfg.Metrics.Gauge("server_in_flight"),
+		mLatencyMS: cfg.Metrics.Histogram("server_latency_ms", LatencyBuckets),
+	}
+	s.routes()
+	s.http = &http.Server{Handler: s.mux}
+	return s, nil
+}
+
+func (s *Server) routes() {
+	s.mux.HandleFunc("POST /v1/mine", s.limited(s.handleMine))
+	s.mux.HandleFunc("POST /v1/schedule", s.limited(s.handleSchedule))
+	s.mux.HandleFunc("POST /v1/simulate", s.limited(s.handleSimulate))
+	s.mux.HandleFunc("POST /v1/fleet/ingest", s.limited(s.handleIngest))
+	s.mux.HandleFunc("GET /v1/fleet/report", s.limited(s.handleFleetReport))
+	s.mux.HandleFunc("GET /metrics", s.handleMetrics)
+	s.mux.HandleFunc("GET /healthz", s.handleHealthz)
+	s.mux.HandleFunc("/debug/pprof/", pprof.Index)
+	s.mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	s.mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	s.mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	s.mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+}
+
+// ServeHTTP makes the server usable under httptest without a listener.
+func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	s.mux.ServeHTTP(w, r)
+}
+
+// statusWriter records the status code for logging and metrics.
+type statusWriter struct {
+	http.ResponseWriter
+	status int
+	bytes  int
+}
+
+func (w *statusWriter) WriteHeader(code int) {
+	w.status = code
+	w.ResponseWriter.WriteHeader(code)
+}
+
+func (w *statusWriter) Write(b []byte) (int, error) {
+	if w.status == 0 {
+		w.status = http.StatusOK
+	}
+	n, err := w.ResponseWriter.Write(b)
+	w.bytes += n
+	return n, err
+}
+
+// limited wraps an API handler with the full request spine: semaphore
+// admission (429 on overload), deadline, panic containment, logging
+// and metrics.
+func (s *Server) limited(h func(http.ResponseWriter, *http.Request) error) http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
+		s.mRequests.Inc()
+		select {
+		case s.sem <- struct{}{}:
+		default:
+			// Full house: shed immediately. Retry-After is advisory;
+			// the bound is requests in flight, not a rate.
+			s.mRejected.Inc()
+			w.Header().Set("Retry-After", "1")
+			writeError(w, &apiError{Code: http.StatusTooManyRequests,
+				Kind: "overloaded", Msg: "too many requests in flight"})
+			s.log(r, http.StatusTooManyRequests, 0, 0)
+			return
+		}
+		s.mInflight.Set(float64(s.inflight.Add(1)))
+		start := time.Now()
+		defer func() {
+			<-s.sem
+			s.mInflight.Set(float64(s.inflight.Add(-1)))
+		}()
+
+		ctx, cancel := context.WithTimeout(r.Context(), s.cfg.RequestTimeout)
+		defer cancel()
+		sw := &statusWriter{ResponseWriter: w}
+		err := h(sw, r.WithContext(ctx))
+		elapsed := time.Since(start)
+		s.mLatencyMS.Observe(float64(elapsed.Milliseconds()))
+		if err != nil {
+			s.mErrors.Inc()
+			var ae *apiError
+			switch {
+			case errors.As(err, &ae):
+				writeError(sw, ae)
+			case errors.Is(err, context.DeadlineExceeded):
+				s.mTimeouts.Inc()
+				writeError(sw, &apiError{Code: http.StatusGatewayTimeout,
+					Kind: "timeout", Msg: "request deadline exceeded"})
+			default:
+				writeError(sw, &apiError{Code: http.StatusInternalServerError,
+					Kind: "internal", Msg: err.Error()})
+			}
+		}
+		s.log(r, sw.status, sw.bytes, elapsed)
+	}
+}
+
+// log emits one structured request line. Timing lives here (and only
+// here): response bodies stay wall-clock free for determinism.
+func (s *Server) log(r *http.Request, status, bytes int, elapsed time.Duration) {
+	if s.cfg.LogWriter == nil {
+		return
+	}
+	line := struct {
+		Method   string `json:"method"`
+		Path     string `json:"path"`
+		Status   int    `json:"status"`
+		Bytes    int    `json:"bytes"`
+		Millis   int64  `json:"ms"`
+		InFlight int64  `json:"in_flight"`
+	}{r.Method, r.URL.Path, status, bytes, elapsed.Milliseconds(), s.inflight.Load()}
+	b, err := json.Marshal(line)
+	if err != nil {
+		return
+	}
+	s.cfg.LogWriter.Write(append(b, '\n'))
+}
+
+// writeJSON writes an indented, deterministic JSON body.
+func writeJSON(w http.ResponseWriter, code int, v any) error {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(v)
+}
+
+func writeError(w http.ResponseWriter, e *apiError) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(e.Code)
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	enc.Encode(struct {
+		Error *apiError `json:"error"`
+	}{e})
+}
+
+// decode parses a JSON request body, rejecting unknown fields so typos
+// fail loudly instead of silently keeping defaults.
+func decode(r *http.Request, v any) error {
+	dec := json.NewDecoder(r.Body)
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(v); err != nil {
+		return &apiError{Code: http.StatusBadRequest, Kind: "bad_json", Msg: err.Error()}
+	}
+	return nil
+}
+
+// Start opens the listener and serves until Shutdown. It returns once
+// the listener is accepting, with the bound address in Addr().
+func (s *Server) Start() error {
+	ln, err := net.Listen("tcp", s.cfg.Addr)
+	if err != nil {
+		return fmt.Errorf("server: listen %s: %w", s.cfg.Addr, err)
+	}
+	s.ln = ln
+	go s.http.Serve(ln)
+	return nil
+}
+
+// Addr returns the bound listen address (useful with ":0").
+func (s *Server) Addr() string {
+	if s.ln == nil {
+		return s.cfg.Addr
+	}
+	return s.ln.Addr().String()
+}
+
+// Shutdown drains in-flight requests within the configured grace and
+// tears the listener down.
+func (s *Server) Shutdown(ctx context.Context) error {
+	dctx, cancel := context.WithTimeout(ctx, s.cfg.ShutdownGrace)
+	defer cancel()
+	return s.http.Shutdown(dctx)
+}
+
+// InFlight returns the number of API requests currently being served.
+func (s *Server) InFlight() int64 { return s.inflight.Load() }
+
+// Devices returns the current ingested fleet size.
+func (s *Server) Devices() int {
+	s.fleetMu.Lock()
+	defer s.fleetMu.Unlock()
+	return len(s.fleet)
+}
+
+// fleetDoc assembles the live fleet report: the exact structure
+// netmaster-analyze produces offline, so the two are byte-comparable.
+func (s *Server) fleetDoc(model string) (FleetReportResponse, error) {
+	acfg := analyze.DefaultConfig()
+	m, err := powerModel(model)
+	if err != nil {
+		return FleetReportResponse{}, err
+	}
+	acfg.ActivePowerMW = m.ActivePowerMW
+
+	s.fleetMu.Lock()
+	ids := make([]string, 0, len(s.fleet))
+	for id := range s.fleet {
+		ids = append(ids, id)
+	}
+	sort.Strings(ids)
+	ins := make([]analyze.DeviceInput, len(ids))
+	var mdevs []telemetry.Device
+	for i, id := range ids {
+		d := s.fleet[id]
+		ins[i] = analyze.DeviceInput{ID: id, Header: d.header, Events: d.events, Metrics: d.metrics}
+		if d.metrics != nil {
+			mdevs = append(mdevs, telemetry.Device{ID: id, Snapshot: *d.metrics})
+		}
+	}
+	s.fleetMu.Unlock()
+
+	workers := s.cfg.Parallelism
+	if workers <= 0 {
+		workers = parallel.DefaultWorkers()
+	}
+	reports, err := parallel.MapN(workers, len(ins), func(i int) (analyze.DeviceReport, error) {
+		return analyze.Device(ins[i], acfg), nil
+	})
+	if err != nil {
+		return FleetReportResponse{}, err
+	}
+	agg, err := telemetry.AggregateParallel(workers, mdevs)
+	if err != nil {
+		return FleetReportResponse{}, err
+	}
+	return FleetReportResponse{Metrics: agg.Export(), Analysis: analyze.Fleet(reports)}, nil
+}

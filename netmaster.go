@@ -14,7 +14,10 @@
 //   - the NetMaster middleware policy (mining + scheduling + exponential
 //     duty-cycle real-time adjustment) and the paper's comparators
 //     (baseline, offline oracle, naive delay and batch);
-//   - an evaluation harness that reproduces every figure of the paper.
+//   - an evaluation harness that reproduces every figure of the paper;
+//   - an observability layer (sim-time metrics, decision tracing, fleet
+//     aggregation and analysis) and an HTTP/JSON daemon (netmaster-serve)
+//     that serves the pipelines as a long-running API.
 //
 // The package re-exports the main types of the internal packages so that
 // typical uses need a single import:
@@ -23,9 +26,19 @@
 //	model := netmaster.Model3G()
 //	policy, _ := netmaster.NewNetMasterPolicy(netmaster.DefaultNetMasterConfig(model))
 //	metrics, _ := netmaster.Run(policy, traces[0], model)
+//
+// The facade is organised into subsystem sections, in pipeline order:
+// simulation time → usage traces → synthetic cohorts → radio power →
+// habit mining → core scheduling → duty cycling → policies & replay →
+// evaluation harness → online middleware & faults → observability &
+// fleet → daemon & client. example_test.go carries one runnable example
+// per section. Stability policy (docs/api.md): names here are additive
+// — CI runs apidiff against the previous release and fails on any
+// incompatible change to this package.
 package netmaster
 
 import (
+	"netmaster/internal/cfgerr"
 	"netmaster/internal/core"
 	"netmaster/internal/device"
 	"netmaster/internal/dutycycle"
@@ -38,6 +51,7 @@ import (
 	"netmaster/internal/parallel"
 	"netmaster/internal/policy"
 	"netmaster/internal/power"
+	"netmaster/internal/server"
 	"netmaster/internal/simtime"
 	"netmaster/internal/synth"
 	"netmaster/internal/telemetry"
@@ -45,6 +59,8 @@ import (
 	"netmaster/internal/trace"
 	"netmaster/internal/tracing"
 )
+
+// ===== Subsystem: parallel evaluation engine =====
 
 // Parallel evaluation engine controls. The evaluation sweeps and the
 // scheduler's per-slot knapsack solves fan out over a bounded worker
@@ -57,6 +73,8 @@ var (
 	// Parallelism returns the current worker-pool width.
 	Parallelism = parallel.DefaultWorkers
 )
+
+// ===== Subsystem: simulation time =====
 
 // Time primitives.
 type (
@@ -76,6 +94,8 @@ const (
 	Day    = simtime.Day
 	Week   = simtime.Week
 )
+
+// ===== Subsystem: usage traces =====
 
 // Trace model.
 type (
@@ -107,6 +127,8 @@ var (
 	WriteTraceFile = trace.WriteFile
 )
 
+// ===== Subsystem: synthetic cohorts =====
+
 // Synthetic trace generation.
 type (
 	// UserSpec describes one synthetic user's habit.
@@ -134,6 +156,8 @@ var (
 	WriteSpecsFile = synth.WriteSpecsFile
 )
 
+// ===== Subsystem: radio power models =====
+
 // Radio power modelling.
 type (
 	// PowerModel is a parameterised RRC radio model.
@@ -154,6 +178,8 @@ var (
 	ModelLTE = power.ModelLTE
 )
 
+// ===== Subsystem: habit mining =====
+
 // Habit mining.
 type (
 	// HabitConfig parameterises mining (slot width, δ thresholds).
@@ -173,6 +199,8 @@ var (
 	// DetectSpecialApps returns the paper's "Special Apps" allowlist.
 	DetectSpecialApps = habit.DetectSpecialApps
 )
+
+// ===== Subsystem: core scheduling =====
 
 // Core scheduling (Algorithm 1).
 type (
@@ -207,6 +235,8 @@ var (
 	GreedyKnapsack = knapsack.Greedy
 )
 
+// ===== Subsystem: duty cycling =====
+
 // Duty cycling (real-time adjustment).
 type (
 	// DutyScheme generates sleep intervals between radio wake-ups.
@@ -225,6 +255,8 @@ var (
 	// SimulateDutyCycle runs a scheme over a horizon.
 	SimulateDutyCycle = dutycycle.Simulate
 )
+
+// ===== Subsystem: policies and replay =====
 
 // Policies and replay.
 type (
@@ -259,6 +291,8 @@ var (
 	ComputeMetrics = device.ComputeMetrics
 )
 
+// ===== Subsystem: evaluation harness =====
+
 // Evaluation harness (figure reproduction).
 type (
 	// PolicyResult is one policy's outcome on one trace.
@@ -278,6 +312,10 @@ type (
 var (
 	// Compare runs the baseline plus the given policies over a trace.
 	Compare = eval.Compare
+	// CompareCtx is Compare with a cancellation context: the deadline is
+	// honoured between policy replays, and a successful result is
+	// byte-identical with or without one.
+	CompareCtx = eval.CompareCtx
 	// Motivation computes the Section III summary over a cohort.
 	Motivation = eval.Motivation
 	// Fig1a–Fig5 reproduce the motivation study's figures.
@@ -327,6 +365,8 @@ var (
 	// MetricsByDay slices a plan's metrics per day.
 	MetricsByDay = device.MetricsByDay
 )
+
+// ===== Subsystem: online middleware and fault injection =====
 
 // Online middleware, fault injection and graceful degradation (see
 // docs/robustness.md).
@@ -394,6 +434,8 @@ var (
 	// intensity.
 	FaultImpact = eval.FaultImpact
 )
+
+// ===== Subsystem: observability and fleet telemetry =====
 
 // Observability layer (see docs/observability.md): sim-time metrics and
 // decision tracing across the middleware, the core scheduler, the duty
@@ -471,4 +513,64 @@ type (
 	// DriftRow and DriftConfig belong to the habit-drift experiment.
 	DriftRow    = eval.DriftRow
 	DriftConfig = eval.DriftConfig
+)
+
+// ===== Subsystem: configuration validation =====
+
+// Typed configuration errors. Every config in the library (OnlineConfig,
+// ChaosConfig, SchedulerConfig, ServerConfig, …) has a Validate method
+// returning these, so callers can match on the exact failing field.
+type (
+	// ConfigFieldError is one invalid configuration field: which
+	// component, which field, the offending value and why.
+	ConfigFieldError = cfgerr.FieldError
+	// ConfigErrors collects every invalid field of one Validate pass.
+	ConfigErrors = cfgerr.Errors
+)
+
+// IsConfigError reports whether err contains a field error for the
+// named component and field (e.g. "middleware.Config", "DutyMaxSleep").
+var IsConfigError = cfgerr.Is
+
+// ===== Subsystem: daemon and client =====
+
+// The HTTP/JSON daemon (cmd/netmaster-serve) and its typed client. The
+// daemon serves mining, scheduling, simulation and fleet telemetry; see
+// docs/api.md for the wire format and operational semantics.
+type (
+	// Server is the daemon: an http.Handler plus its state.
+	Server = server.Server
+	// ServerConfig parameterises the daemon (address, in-flight bound,
+	// cache size, deadlines).
+	ServerConfig = server.Config
+	// ServerClient is a typed caller for the daemon's API.
+	ServerClient = server.Client
+	// MineRequest / MineResponse are the POST /v1/mine wire types.
+	MineRequest  = server.MineRequest
+	MineResponse = server.MineResponse
+	// ScheduleRequest / ScheduleResponse are the POST /v1/schedule wire
+	// types.
+	ScheduleRequest  = server.ScheduleRequest
+	ScheduleResponse = server.ScheduleResponse
+	// SimulateRequest / SimulateResponse are the POST /v1/simulate wire
+	// types.
+	SimulateRequest  = server.SimulateRequest
+	SimulateResponse = server.SimulateResponse
+	// IngestRequest / IngestResponse are the POST /v1/fleet/ingest wire
+	// types; FleetReportResponse is GET /v1/fleet/report's body.
+	IngestRequest       = server.IngestRequest
+	IngestResponse      = server.IngestResponse
+	FleetReportResponse = server.FleetReportResponse
+	// GenSpec asks the daemon to synthesise a cohort trace server-side.
+	GenSpec = server.GenSpec
+)
+
+// Daemon entry points.
+var (
+	// NewServer builds a daemon from a ServerConfig.
+	NewServer = server.New
+	// DefaultServerConfig returns production-shaped daemon defaults.
+	DefaultServerConfig = server.DefaultConfig
+	// NewServerClient returns a typed client for a running daemon.
+	NewServerClient = server.NewClient
 )
