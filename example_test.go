@@ -3,6 +3,7 @@ package netmaster_test
 import (
 	"context"
 	"fmt"
+	"reflect"
 
 	"netmaster"
 )
@@ -31,6 +32,32 @@ func ExampleMineHabits() {
 	fmt.Printf("%s: %d weekday days, %d weekend days, slot width %ds\n",
 		p.UserID, p.Weekday.Days, p.Weekend.Days, int64(p.SlotWidth))
 	// Output: volunteer1: 10 weekday days, 4 weekend days, slot width 3600s
+}
+
+// Incremental mining: fold one day at a time into a sketch; the
+// materialised profile is identical to a batch mine over the whole
+// trace, so a long-lived service absorbs each new day in O(new events).
+func ExampleNewHabitSketch() {
+	tr, err := netmaster.GenerateTrace(netmaster.EvalCohort()[0], 14)
+	if err != nil {
+		panic(err)
+	}
+	full, err := netmaster.MineHabits(tr, netmaster.DefaultHabitConfig())
+	if err != nil {
+		panic(err)
+	}
+	sk, err := netmaster.NewHabitSketch(tr.UserID, netmaster.DefaultHabitConfig())
+	if err != nil {
+		panic(err)
+	}
+	for day := 0; day < tr.Days; day++ {
+		if err := sk.FoldTraceDay(tr, day); err != nil {
+			panic(err)
+		}
+	}
+	fmt.Printf("folded %d days, identical to batch mine: %t\n",
+		sk.Days(), reflect.DeepEqual(full, sk.Profile()))
+	// Output: folded 14 days, identical to batch mine: true
 }
 
 // Core scheduling: pack screen-off activities into predicted active slots.
@@ -122,7 +149,10 @@ func ExampleAggregateFleet() {
 	// Output: 2 devices, demo_total = 5
 }
 
-// Daemon and client: boot the HTTP API in-process and mine over the wire.
+// Daemon and client: boot the HTTP API in-process, mine over the wire,
+// then absorb one new day through POST /v1/profile/update — the
+// incremental update lands on the exact profile ID a full re-mine of
+// the longer trace would produce.
 func ExampleNewServerClient() {
 	cfg := netmaster.DefaultServerConfig()
 	srv, err := netmaster.NewServer(cfg)
@@ -135,8 +165,24 @@ func ExampleNewServerClient() {
 	defer srv.Shutdown(context.Background())
 
 	c := netmaster.NewServerClient("http://"+srv.Addr(), nil)
-	mine, err := c.Mine(context.Background(), netmaster.MineRequest{
+	ctx := context.Background()
+	base, err := c.Mine(ctx, netmaster.MineRequest{
+		Gen: &netmaster.GenSpec{User: "volunteer1", Days: 6},
+	})
+	if err != nil {
+		panic(err)
+	}
+	full, err := c.Mine(ctx, netmaster.MineRequest{
 		Gen: &netmaster.GenSpec{User: "volunteer1", Days: 7},
+	})
+	if err != nil {
+		panic(err)
+	}
+	newDay := 6
+	up, err := c.ProfileUpdate(ctx, netmaster.ProfileUpdateRequest{
+		ProfileID: base.ProfileID,
+		Gen:       &netmaster.GenSpec{User: "volunteer1", Days: 7},
+		Day:       &newDay,
 	})
 	if err != nil {
 		panic(err)
@@ -145,6 +191,7 @@ func ExampleNewServerClient() {
 	if err != nil {
 		panic(err)
 	}
-	fmt.Printf("mined %s (%s…), server %s\n", mine.UserID, mine.ProfileID[:9], h.Status)
-	// Output: mined volunteer1 (sha256:99…), server ok
+	fmt.Printf("mined %s (%s…), update == full re-mine: %t, server %s\n",
+		full.UserID, full.ProfileID[:9], up.ProfileID == full.ProfileID, h.Status)
+	// Output: mined volunteer1 (sketch:3d…), update == full re-mine: true, server ok
 }

@@ -333,15 +333,35 @@ func (s *Scheduler) Schedule(u []simtime.Interval, tn []Activity) (*Schedule, er
 // for a given input the successful output is byte-identical whether or
 // not a deadline was attached.
 func (s *Scheduler) ScheduleCtx(ctx context.Context, u []simtime.Interval, tn []Activity) (*Schedule, error) {
+	sched, _, _, err := s.scheduleCtx(ctx, nil, false, u, tn)
+	return sched, err
+}
+
+// scheduleCtx is the shared spine of ScheduleCtx and ScheduleDeltaCtx.
+// prev optionally supplies per-slot solutions to splice (delta mode);
+// memo asks for a fresh Solved describing this run. With prev == nil
+// and memo == false it is exactly the historical full solve.
+func (s *Scheduler) scheduleCtx(ctx context.Context, prev *Solved, memo bool, u []simtime.Interval, tn []Activity) (*Schedule, *Solved, DeltaStats, error) {
+	stats := DeltaStats{}
 	if err := validateSlots(u); err != nil {
-		return nil, err
+		return nil, nil, stats, err
 	}
 	if err := validateActivities(tn); err != nil {
-		return nil, err
+		return nil, nil, stats, err
+	}
+	// A memo from a different ε would splice solutions a fresh solve
+	// could not produce; ignore it wholesale.
+	if prev != nil && prev.eps != s.cfg.Eps {
+		prev = nil
 	}
 	if len(u) == 0 {
-		return &Schedule{Unscheduled: activityIDs(tn)}, nil
+		var next *Solved
+		if memo {
+			next = &Solved{eps: s.cfg.Eps, memos: map[simtime.Interval]*slotMemo{}}
+		}
+		return &Schedule{Unscheduled: activityIDs(tn)}, next, stats, nil
 	}
+	stats.Slots = len(u)
 
 	// The penalty prefix sum spans the whole horizon once; every Eq. 4
 	// integral below is two lookups instead of a probability-slot walk.
@@ -356,31 +376,75 @@ func (s *Scheduler) ScheduleCtx(ctx context.Context, u []simtime.Interval, tn []
 	// per-slot knapsacks are independent (they share only the read-only
 	// config), so they solve concurrently; solutions land in a pre-sized
 	// slice by slot index and merge sequentially below, keeping the
-	// output bit-identical to a sequential run.
+	// output bit-identical to a sequential run. In delta mode a slot
+	// whose capacity and exact ordered itemset match the previous run's
+	// memo splices that solution instead of re-solving — identical
+	// output, because the solve is a pure function of those inputs.
 	perSlot := make([][]candidate, len(u))
 	for _, cd := range cands {
 		perSlot[cd.slotIdx] = append(perSlot[cd.slotIdx], cd)
 	}
 	sols := make([]knapsack.Solution, len(u))
+	reused := make([]bool, len(u))
+	solved := make([]bool, len(u))
+	memos := make([]*slotMemo, len(u))
+	trackKeys := memo || prev != nil
 	err := parallel.ForEachCtx(ctx, len(u), func(slotIdx int) error {
 		slotCands := perSlot[slotIdx]
+		sortByDensity(slotCands)
+		capacity := s.cfg.Capacity(u[slotIdx])
+		var keys []itemKey
+		if trackKeys {
+			keys = keysOf(slotCands)
+		}
+		if prev != nil {
+			if m := prev.memos[u[slotIdx]]; m != nil && m.capacity == capacity && keysEqual(m.items, keys) {
+				sols[slotIdx] = m.sol
+				reused[slotIdx] = true
+				memos[slotIdx] = m
+				return nil
+			}
+		}
 		if len(slotCands) == 0 {
+			if memo {
+				memos[slotIdx] = &slotMemo{capacity: capacity, items: keys}
+			}
 			return nil
 		}
-		sortByDensity(slotCands)
 		items := make([]knapsack.Item, len(slotCands))
 		for i, cd := range slotCands {
 			items[i] = knapsack.Item{ID: i, Profit: cd.profit(), Weight: cd.act.Bytes}
 		}
-		sol, err := knapsack.Solve(items, s.cfg.Capacity(u[slotIdx]), s.cfg.Eps)
+		sol, err := knapsack.Solve(items, capacity, s.cfg.Eps)
 		if err != nil {
 			return fmt.Errorf("core: slot %d: %w", slotIdx, err)
 		}
 		sols[slotIdx] = sol
+		solved[slotIdx] = true
+		if memo {
+			memos[slotIdx] = &slotMemo{capacity: capacity, items: keys, sol: sol}
+		}
 		return nil
 	})
 	if err != nil {
-		return nil, err
+		return nil, nil, stats, err
+	}
+	var next *Solved
+	if memo {
+		next = &Solved{eps: s.cfg.Eps, memos: make(map[simtime.Interval]*slotMemo, len(u))}
+		for slotIdx, m := range memos {
+			if m != nil {
+				next.memos[u[slotIdx]] = m
+			}
+		}
+	}
+	for slotIdx := range u {
+		if reused[slotIdx] {
+			stats.Reused++
+		}
+		if solved[slotIdx] {
+			stats.Solved++
+		}
 	}
 	chosen := make(map[int][]candidate) // activityID → winning placements
 	for slotIdx, sol := range sols {
@@ -444,7 +508,7 @@ func (s *Scheduler) ScheduleCtx(ctx context.Context, u []simtime.Interval, tn []
 
 	out := s.buildSchedule(u, tn, selected, scheduledIDs, pc)
 	s.observe(u, out)
-	return out, nil
+	return out, next, stats, nil
 }
 
 // observe publishes one Schedule run to the configured observability

@@ -1,0 +1,109 @@
+// Delta rescheduling: re-solve only the knapsack slots whose itemsets
+// or capacities changed since the previous plan, splicing the untouched
+// slots' solutions from a memo. The per-slot SinKnap solves dominate
+// Schedule's runtime; when a day's activities dribble in one event at a
+// time, almost every slot's candidate set is unchanged between
+// consecutive plans, so a delta re-plan costs O(changed slots) solves
+// instead of O(|U|).
+//
+// Reuse is byte-identical to a full re-solve, not merely equivalent:
+// knapsack.Solve is a pure deterministic function of (items, capacity,
+// ε), and item IDs are positions in the density-sorted candidate order.
+// A slot whose ordered (profit, weight) list and capacity match the
+// memo would therefore get the exact same Solution from a fresh solve —
+// the memo just skips the work. Everything downstream of the solves
+// (duplicate filtering, greedy add, penalty dedup) always re-runs in
+// full against the current inputs.
+package core
+
+import (
+	"context"
+	"math"
+
+	"netmaster/internal/knapsack"
+	"netmaster/internal/simtime"
+)
+
+// itemKey identifies one knapsack item exactly: the profit's IEEE bits
+// and its weight. Two slots with equal ordered key lists present
+// bit-identical inputs to SinKnap.
+type itemKey struct {
+	profitBits uint64
+	weight     int64
+}
+
+// slotMemo is one solved slot: the inputs that determined its solution
+// and the solution itself. Immutable after creation, so memos are
+// shared freely between Solved generations.
+type slotMemo struct {
+	capacity int64
+	items    []itemKey
+	sol      knapsack.Solution
+}
+
+// Solved memoises the per-slot knapsack solutions of one Schedule run,
+// keyed by slot interval. Pass it to the next ScheduleDelta call to
+// reuse every slot whose inputs did not change. A Solved is never
+// mutated; each delta run returns a fresh generation.
+type Solved struct {
+	eps   float64
+	memos map[simtime.Interval]*slotMemo
+}
+
+// Len returns the number of memoised slots.
+func (sv *Solved) Len() int {
+	if sv == nil {
+		return 0
+	}
+	return len(sv.memos)
+}
+
+// DeltaStats reports how much work a delta run skipped.
+type DeltaStats struct {
+	Slots  int // slots in this run's U
+	Reused int // slots spliced from the previous Solved
+	Solved int // slots that ran a fresh knapsack solve
+}
+
+// Add accumulates another run's stats (for rolling re-plans).
+func (d *DeltaStats) Add(o DeltaStats) {
+	d.Slots += o.Slots
+	d.Reused += o.Reused
+	d.Solved += o.Solved
+}
+
+// ScheduleDelta is Schedule with slot-level memoisation: prev is the
+// Solved returned by the previous call (nil for the first plan — a full
+// solve that seeds the memo). The returned Schedule is byte-identical
+// to Schedule(u, tn); the returned Solved feeds the next delta call.
+func (s *Scheduler) ScheduleDelta(prev *Solved, u []simtime.Interval, tn []Activity) (*Schedule, *Solved, DeltaStats, error) {
+	return s.ScheduleDeltaCtx(context.Background(), prev, u, tn)
+}
+
+// ScheduleDeltaCtx is ScheduleDelta with cancellation, mirroring
+// ScheduleCtx.
+func (s *Scheduler) ScheduleDeltaCtx(ctx context.Context, prev *Solved, u []simtime.Interval, tn []Activity) (*Schedule, *Solved, DeltaStats, error) {
+	return s.scheduleCtx(ctx, prev, true, u, tn)
+}
+
+// keysOf extracts the exact item identity of a density-sorted candidate
+// list.
+func keysOf(slotCands []candidate) []itemKey {
+	keys := make([]itemKey, len(slotCands))
+	for i, cd := range slotCands {
+		keys[i] = itemKey{profitBits: math.Float64bits(cd.profit()), weight: cd.act.Bytes}
+	}
+	return keys
+}
+
+func keysEqual(a, b []itemKey) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}

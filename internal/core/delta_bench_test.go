@@ -1,0 +1,106 @@
+package core
+
+import (
+	"math/rand"
+	"reflect"
+	"testing"
+	"time"
+
+	"netmaster/internal/simtime"
+)
+
+// deltaBenchWorkload is the serve-replay hot path: two days of hourly
+// slots already planned, then one late activity arrives and the plan is
+// refreshed. Only the slots adjacent to the newcomer change; the other
+// ~45 splice from the memo.
+func deltaBenchWorkload(b *testing.B) (*Scheduler, []simtime.Interval, []Activity, Activity) {
+	b.Helper()
+	cfg := testConfig(64_000, 0.0005, nil)
+	cfg.Eps = 0.02 // tighter approximation, as a serve deployment would run
+	s, err := New(cfg)
+	if err != nil {
+		b.Fatal(err)
+	}
+	u := make([]simtime.Interval, 0, 48)
+	for day := 0; day < 2; day++ {
+		for h := 0; h < 24; h++ {
+			u = append(u, hourSlot(day, h))
+		}
+	}
+	rng := rand.New(rand.NewSource(11))
+	tn := make([]Activity, 1200)
+	for i := range tn {
+		tn[i] = Activity{
+			ID:         i + 1,
+			Time:       simtime.At(rng.Intn(2), rng.Intn(24), rng.Intn(60), 0),
+			Bytes:      rng.Int63n(200_000) + 1,
+			ActiveSecs: float64(rng.Intn(20) + 1),
+			DeferOnly:  rng.Intn(4) == 0,
+		}
+	}
+	late := Activity{
+		ID:         len(tn) + 1,
+		Time:       simtime.At(1, 21, 17, 0),
+		Bytes:      90_000,
+		ActiveSecs: 7,
+	}
+	return s, u, tn, late
+}
+
+// BenchmarkScheduleDeltaVsFull compares a from-scratch Schedule against
+// ScheduleDelta reusing the previous plan's memo when exactly one
+// activity arrived since. "speedup" reports the ratio.
+func BenchmarkScheduleDeltaVsFull(b *testing.B) {
+	s, u, tn, late := deltaBenchWorkload(b)
+	_, prev, _, err := s.ScheduleDelta(nil, u, tn)
+	if err != nil {
+		b.Fatal(err)
+	}
+	all := append(append([]Activity{}, tn...), late)
+
+	// The two paths must agree bit-for-bit before timing them.
+	full, err := s.Schedule(u, all)
+	if err != nil {
+		b.Fatal(err)
+	}
+	delta, _, stats, err := s.ScheduleDelta(prev, u, all)
+	if err != nil {
+		b.Fatal(err)
+	}
+	if !reflect.DeepEqual(full, delta) {
+		b.Fatal("delta plan diverges from full re-solve")
+	}
+	if stats.Reused == 0 {
+		b.Fatalf("one-activity delta reused no slots: %+v", stats)
+	}
+
+	b.Run("full-solve", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, err := s.Schedule(u, all); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("delta-solve", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, _, _, err := s.ScheduleDelta(prev, u, all); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("speedup", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			start := time.Now()
+			if _, err := s.Schedule(u, all); err != nil {
+				b.Fatal(err)
+			}
+			fullDur := time.Since(start)
+			start = time.Now()
+			if _, _, _, err := s.ScheduleDelta(prev, u, all); err != nil {
+				b.Fatal(err)
+			}
+			deltaDur := time.Since(start)
+			b.ReportMetric(float64(fullDur)/float64(deltaDur), "speedup-x")
+		}
+	})
+}

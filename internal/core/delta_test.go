@@ -1,0 +1,154 @@
+package core
+
+import (
+	"fmt"
+	"math/rand"
+	"reflect"
+	"testing"
+
+	"netmaster/internal/parallel"
+	"netmaster/internal/simtime"
+)
+
+// deltaWorkload builds a day of hourly slots and a seeded activity
+// population spread across it.
+func deltaWorkload(seed int64, slots, acts int) ([]simtime.Interval, []Activity) {
+	rng := rand.New(rand.NewSource(seed))
+	u := make([]simtime.Interval, 0, slots)
+	hour := 0
+	for len(u) < slots && hour < 24 {
+		u = append(u, hourSlot(0, hour))
+		hour += 1 + rng.Intn(2) // occasional gaps keep slots non-adjacent
+	}
+	tn := make([]Activity, acts)
+	for i := range tn {
+		tn[i] = Activity{
+			ID:         i + 1,
+			Time:       simtime.At(0, rng.Intn(24), rng.Intn(60), 0),
+			Bytes:      rng.Int63n(200_000) + 1,
+			ActiveSecs: float64(rng.Intn(20) + 1),
+			DeferOnly:  rng.Intn(4) == 0,
+		}
+	}
+	return u, tn
+}
+
+func mustPlanEqual(t *testing.T, full, delta *Schedule, what string) {
+	t.Helper()
+	if !reflect.DeepEqual(full, delta) {
+		t.Fatalf("%s: delta plan differs from full re-solve\n full:  %+v\n delta: %+v", what, full, delta)
+	}
+}
+
+// TestScheduleDeltaMatchesSchedule is the delta-path half of the
+// tentpole invariant: as activities dribble in and the slot set shifts,
+// every ScheduleDelta result must equal a from-scratch Schedule on the
+// same inputs, bit for bit, at any parallelism.
+func TestScheduleDeltaMatchesSchedule(t *testing.T) {
+	prevWorkers := parallel.SetDefaultWorkers(1)
+	defer parallel.SetDefaultWorkers(prevWorkers)
+	for _, workers := range []int{1, 8} {
+		parallel.SetDefaultWorkers(workers)
+		for seed := int64(1); seed <= 3; seed++ {
+			s := mustScheduler(t, testConfig(64_000, 0.0005, nil))
+			u, tn := deltaWorkload(seed, 10, 60)
+			rng := rand.New(rand.NewSource(seed * 97))
+
+			var prev *Solved
+			var acts []Activity
+			for step := 0; step < len(tn); step++ {
+				acts = append(acts, tn[step])
+				name := fmt.Sprintf("workers=%d/seed=%d/step=%d", workers, seed, step)
+
+				// Occasionally perturb the slot set too: drop or restore
+				// a slot, the shape of a profile update shifting U.
+				curU := u
+				if step%17 == 5 && len(u) > 2 {
+					curU = append([]simtime.Interval{}, u[:1+rng.Intn(len(u)-1)]...)
+				}
+
+				full, err := s.Schedule(curU, acts)
+				if err != nil {
+					t.Fatal(err)
+				}
+				delta, next, stats, err := s.ScheduleDelta(prev, curU, acts)
+				if err != nil {
+					t.Fatal(err)
+				}
+				mustPlanEqual(t, full, delta, name)
+				if stats.Slots != len(curU) || stats.Reused+stats.Solved > stats.Slots {
+					t.Fatalf("%s: inconsistent stats %+v", name, stats)
+				}
+				if prev != nil && len(curU) > 0 && stats.Reused == 0 && step%17 != 5 && step%17 != 6 {
+					// One new activity touches at most its adjacent
+					// slots; everything else must splice.
+					t.Fatalf("%s: no slots reused on a one-activity delta (stats %+v)", name, stats)
+				}
+				prev = next
+			}
+		}
+	}
+}
+
+// TestScheduleDeltaEpsMismatch pins that a memo from a different ε is
+// ignored rather than spliced.
+func TestScheduleDeltaEpsMismatch(t *testing.T) {
+	u, tn := deltaWorkload(5, 6, 30)
+	cfg := testConfig(64_000, 0.0005, nil)
+	s := mustScheduler(t, cfg)
+	_, solved, _, err := s.ScheduleDelta(nil, u, tn)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg.Eps = 0.2
+	s2 := mustScheduler(t, cfg)
+	full, err := s2.Schedule(u, tn)
+	if err != nil {
+		t.Fatal(err)
+	}
+	delta, _, stats, err := s2.ScheduleDelta(solved, u, tn)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.Reused != 0 {
+		t.Errorf("reused %d slots across an ε change", stats.Reused)
+	}
+	mustPlanEqual(t, full, delta, "eps mismatch")
+}
+
+// TestScheduleDeltaEmptyU keeps the empty-slot-set early return on the
+// delta path: everything unscheduled, an empty memo back.
+func TestScheduleDeltaEmptyU(t *testing.T) {
+	s := mustScheduler(t, testConfig(64_000, 0.0005, nil))
+	_, tn := deltaWorkload(6, 4, 5)
+	sched, solved, stats, err := s.ScheduleDelta(nil, nil, tn)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(sched.Unscheduled) != len(tn) || stats.Slots != 0 {
+		t.Fatalf("sched %+v stats %+v", sched, stats)
+	}
+	if solved == nil || solved.Len() != 0 {
+		t.Fatalf("solved = %+v, want empty memo", solved)
+	}
+}
+
+// TestScheduleDeltaDoesNotMutatePrev replays the same delta twice from
+// one memo generation; byte-identical results prove prev is read-only.
+func TestScheduleDeltaDoesNotMutatePrev(t *testing.T) {
+	s := mustScheduler(t, testConfig(64_000, 0.0005, nil))
+	u, tn := deltaWorkload(7, 8, 40)
+	_, solved, _, err := s.ScheduleDelta(nil, u, tn[:30])
+	if err != nil {
+		t.Fatal(err)
+	}
+	first, _, _, err := s.ScheduleDelta(solved, u, tn)
+	if err != nil {
+		t.Fatal(err)
+	}
+	second, _, _, err := s.ScheduleDelta(solved, u, tn)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mustPlanEqual(t, first, second, "repeat from same memo")
+}

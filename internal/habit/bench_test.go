@@ -1,0 +1,83 @@
+package habit
+
+import (
+	"reflect"
+	"testing"
+	"time"
+
+	"netmaster/internal/synth"
+	"netmaster/internal/trace"
+)
+
+// incrementalWorkload is the one-new-day serve scenario: 91 days of
+// history where the first 90 are already folded into a sketch and day
+// 90 just arrived.
+func incrementalWorkload(b *testing.B) (*trace.Trace, *Sketch, Config) {
+	b.Helper()
+	spec := synth.EvalCohort()[0]
+	tr, err := synth.Generate(spec, 91)
+	if err != nil {
+		b.Fatal(err)
+	}
+	cfg := DefaultConfig()
+	sk, err := NewSketch(tr.UserID, cfg)
+	if err != nil {
+		b.Fatal(err)
+	}
+	if err := sk.FoldTrace(tr.PrefixDays(90)); err != nil {
+		b.Fatal(err)
+	}
+	return tr, sk, cfg
+}
+
+func incrementalMine(b *testing.B, tr *trace.Trace, sk *Sketch) *Profile {
+	b.Helper()
+	cl := sk.Clone()
+	if err := cl.FoldTraceDay(tr, 90); err != nil {
+		b.Fatal(err)
+	}
+	return cl.Profile()
+}
+
+// BenchmarkMineIncrementalVsFull compares a full batch Mine over a
+// 91-day trace against absorbing the one new day into a pre-folded
+// sketch (clone + fold day + materialise). The incremental path is
+// O(new events) instead of O(whole trace); "speedup" reports the ratio.
+func BenchmarkMineIncrementalVsFull(b *testing.B) {
+	tr, sk, cfg := incrementalWorkload(b)
+
+	// The two paths must agree bit-for-bit before timing them.
+	full, err := Mine(tr, cfg)
+	if err != nil {
+		b.Fatal(err)
+	}
+	if !reflect.DeepEqual(full, incrementalMine(b, tr, sk)) {
+		b.Fatal("incremental fold diverges from full Mine")
+	}
+
+	b.Run("full-mine", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, err := Mine(tr, cfg); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("incremental-fold", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			incrementalMine(b, tr, sk)
+		}
+	})
+	b.Run("speedup", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			start := time.Now()
+			if _, err := Mine(tr, cfg); err != nil {
+				b.Fatal(err)
+			}
+			fullDur := time.Since(start)
+			start = time.Now()
+			incrementalMine(b, tr, sk)
+			incDur := time.Since(start)
+			b.ReportMetric(float64(fullDur)/float64(incDur), "speedup-x")
+		}
+	})
+}

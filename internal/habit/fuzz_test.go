@@ -1,0 +1,130 @@
+package habit
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"netmaster/internal/simtime"
+	"netmaster/internal/trace"
+)
+
+// fuzzEvent is one event of a synthetic fold stream.
+type fuzzEvent struct {
+	interaction bool
+	app         trace.AppID
+	tod         simtime.Duration
+	down, up    int64
+	screenOn    bool
+}
+
+// fuzzDays derives a deterministic multi-day event stream from the fuzz
+// seed: per day, a jumble of interactions and activities.
+func fuzzDays(seed int64, days int) [][]fuzzEvent {
+	rng := rand.New(rand.NewSource(seed))
+	apps := []trace.AppID{"a", "b", "c"}
+	out := make([][]fuzzEvent, days)
+	for d := range out {
+		n := rng.Intn(40)
+		evs := make([]fuzzEvent, n)
+		for i := range evs {
+			evs[i] = fuzzEvent{
+				interaction: rng.Intn(3) == 0,
+				app:         apps[rng.Intn(len(apps))],
+				tod:         simtime.Duration(rng.Int63n(int64(simtime.Day))),
+				down:        rng.Int63n(1 << 30),
+				up:          rng.Int63n(1 << 24),
+				screenOn:    rng.Intn(4) == 0,
+			}
+		}
+		out[d] = evs
+	}
+	return out
+}
+
+func foldEvents(t *testing.T, sk *Sketch, evs []fuzzEvent) {
+	t.Helper()
+	for _, e := range evs {
+		var err error
+		if e.interaction {
+			err = sk.AddInteraction(e.app, e.tod)
+		} else {
+			err = sk.AddActivity(e.app, e.tod, e.down, e.up, e.screenOn)
+		}
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+	sk.CloseDay()
+}
+
+func checkFinite(t *testing.T, p *Profile) {
+	t.Helper()
+	for _, dt := range []*DayTypeProfile{&p.Weekday, &p.Weekend} {
+		for s, sl := range dt.Slots {
+			for _, v := range []float64{sl.UseProb, sl.NetProb, sl.OffBytesDown, sl.OffBytesUp, sl.OffBursts} {
+				if math.IsNaN(v) || math.IsInf(v, 0) {
+					t.Fatalf("slot %d: non-finite accumulator %v", s, v)
+				}
+			}
+			for _, d := range dt.OffDemand[s] {
+				if math.IsNaN(d.BytesDown+d.BytesUp+d.Bursts) || math.IsInf(d.BytesDown+d.BytesUp+d.Bursts, 0) {
+					t.Fatalf("slot %d app %s: non-finite demand", s, d.App)
+				}
+			}
+		}
+	}
+}
+
+// FuzzSketchFold feeds arbitrary event sequences through the sketch and
+// asserts the two incremental-fold invariants: fold order within a day
+// is irrelevant (CloseDay canonicalises before committing), splitting
+// the stream across a Clone at any point changes nothing, and the decay
+// accumulators stay finite no matter how many days fold.
+func FuzzSketchFold(f *testing.F) {
+	f.Add(int64(1), uint8(5), uint8(0))
+	f.Add(int64(42), uint8(14), uint8(8))
+	f.Add(int64(-7), uint8(30), uint8(1))
+	f.Add(int64(999), uint8(1), uint8(255))
+	f.Fuzz(func(t *testing.T, seed int64, daysRaw, hlRaw uint8) {
+		days := 1 + int(daysRaw)%31
+		cfg := DefaultConfig()
+		cfg.RecencyHalfLifeDays = float64(hlRaw) / 4 // 0 .. 63.75 days
+		stream := fuzzDays(seed, days)
+
+		a, err := NewSketch("fuzz", cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		b, err := NewSketch("fuzz", cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		shuffler := rand.New(rand.NewSource(seed ^ 0x5bf03635))
+		split := shuffler.Intn(days)
+		var c *Sketch // forked at the split point, continues independently
+		for d, evs := range stream {
+			if d == split {
+				c = a.Clone()
+			}
+			foldEvents(t, a, evs)
+			if c != nil {
+				foldEvents(t, c, evs)
+			}
+			// Same events, shuffled arrival order.
+			perm := shuffler.Perm(len(evs))
+			shuffled := make([]fuzzEvent, len(evs))
+			for i, j := range perm {
+				shuffled[i] = evs[j]
+			}
+			foldEvents(t, b, shuffled)
+		}
+		if a.Hash() != b.Hash() {
+			t.Fatal("fold state depends on event arrival order within a day")
+		}
+		if c != nil && a.Hash() != c.Hash() {
+			t.Fatal("clone-split fold diverged from the straight-line fold")
+		}
+		checkFinite(t, a.Profile())
+	})
+}

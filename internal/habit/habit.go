@@ -57,8 +57,8 @@ func (c Config) validate() error {
 		c.WeekendThreshold < 0 || c.WeekendThreshold > 1 {
 		return fmt.Errorf("habit: thresholds must lie in [0,1]")
 	}
-	if c.RecencyHalfLifeDays < 0 {
-		return fmt.Errorf("habit: negative recency half-life")
+	if c.RecencyHalfLifeDays < 0 || math.IsNaN(c.RecencyHalfLifeDays) || math.IsInf(c.RecencyHalfLifeDays, 0) {
+		return fmt.Errorf("habit: recency half-life must be a finite non-negative number")
 	}
 	return nil
 }
@@ -134,73 +134,20 @@ func (p *Profile) dayType(day int) *DayTypeProfile {
 }
 
 // Mine builds a Profile from a trace. Every complete day of the trace
-// contributes to its day type's statistics.
+// contributes to its day type's statistics. Mine is the batch face of
+// the incremental Sketch: it folds the trace day by day into a fresh
+// sketch and materialises the profile, so Mine(t, cfg) is always
+// byte-identical to any split of the same days across FoldTrace /
+// FoldTraceDay calls.
 func Mine(t *trace.Trace, cfg Config) (*Profile, error) {
-	if err := cfg.validate(); err != nil {
+	sk, err := NewSketch(t.UserID, cfg)
+	if err != nil {
 		return nil, err
 	}
-	if err := t.Validate(); err != nil {
+	if err := sk.FoldTrace(t); err != nil {
 		return nil, err
 	}
-	slots := int(simtime.Day / cfg.SlotWidth)
-	p := &Profile{
-		UserID:    t.UserID,
-		SlotWidth: cfg.SlotWidth,
-		Config:    cfg,
-		Weekday:   newDayTypeProfile(slots),
-		Weekend:   newDayTypeProfile(slots),
-	}
-
-	// Per-day, per-slot binary usage and screen-off per-app activity.
-	// Each day contributes with a recency weight (1 under the paper's
-	// uniform scheme).
-	type appSlot struct {
-		app  trace.AppID
-		slot int
-	}
-	for day := 0; day < t.Days; day++ {
-		dt := p.dayType(day)
-		dt.Days++
-		w := dayWeight(cfg, t.Days, day)
-		dt.weightSum += w
-		dayStart := simtime.At(day, 0, 0, 0)
-
-		used := make([]bool, slots)
-		for _, ia := range t.InteractionsOfDay(day) {
-			used[slotOf(ia.Time, dayStart, cfg.SlotWidth)] = true
-		}
-		for s, u := range used {
-			if u {
-				dt.Slots[s].UseProb += w // converted to a fraction below
-			}
-		}
-
-		offApps := make(map[appSlot]struct{})
-		offBursts := make([]float64, slots)
-		for _, a := range t.ActivitiesOfDay(day) {
-			if t.ScreenOnAt(a.Start) {
-				continue
-			}
-			s := slotOf(a.Start, dayStart, cfg.SlotWidth)
-			dt.Slots[s].OffBytesDown += w * float64(a.BytesDown)
-			dt.Slots[s].OffBytesUp += w * float64(a.BytesUp)
-			offBursts[s] += w
-			offApps[appSlot{a.App, s}] = struct{}{}
-			dt.addOffDemand(s, a, w)
-		}
-		for s, b := range offBursts {
-			dt.Slots[s].OffBursts += b
-		}
-		for as := range offApps {
-			dt.Slots[as.slot].NetProb += w // per-app-day occurrences; normalised below
-		}
-	}
-
-	finalize(&p.Weekday, len(t.NetworkApps()))
-	finalize(&p.Weekend, len(t.NetworkApps()))
-
-	p.SpecialApps = DetectSpecialApps(t)
-	return p, nil
+	return sk.Profile(), nil
 }
 
 func newDayTypeProfile(slots int) DayTypeProfile {
@@ -214,32 +161,21 @@ func slotOf(t, dayStart simtime.Instant, width simtime.Duration) int {
 	return int(int64(t.Sub(dayStart)) / int64(width))
 }
 
-// dayWeight returns the mining weight of the given day: 1 under uniform
-// weighting, exponentially decayed by age otherwise. The newest day of
-// the history is age 0.
-func dayWeight(cfg Config, totalDays, day int) float64 {
-	if cfg.RecencyHalfLifeDays <= 0 {
-		return 1
-	}
-	age := float64(totalDays - 1 - day)
-	return math.Exp2(-age / cfg.RecencyHalfLifeDays)
-}
-
 // addOffDemand accumulates one screen-off burst into the per-app demand of
 // slot s with the day's weight.
-func (dt *DayTypeProfile) addOffDemand(s int, a trace.NetworkActivity, w float64) {
+func (dt *DayTypeProfile) addOffDemand(s int, app trace.AppID, down, up int64, w float64) {
 	for i := range dt.OffDemand[s] {
-		if dt.OffDemand[s][i].App == a.App {
-			dt.OffDemand[s][i].BytesDown += w * float64(a.BytesDown)
-			dt.OffDemand[s][i].BytesUp += w * float64(a.BytesUp)
+		if dt.OffDemand[s][i].App == app {
+			dt.OffDemand[s][i].BytesDown += w * float64(down)
+			dt.OffDemand[s][i].BytesUp += w * float64(up)
 			dt.OffDemand[s][i].Bursts += w
 			return
 		}
 	}
 	dt.OffDemand[s] = append(dt.OffDemand[s], AppOffDemand{
-		App:       a.App,
-		BytesDown: w * float64(a.BytesDown),
-		BytesUp:   w * float64(a.BytesUp),
+		App:       app,
+		BytesDown: w * float64(down),
+		BytesUp:   w * float64(up),
 		Bursts:    w,
 	})
 }

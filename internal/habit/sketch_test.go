@@ -1,0 +1,276 @@
+package habit
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"reflect"
+	"testing"
+
+	"netmaster/internal/parallel"
+	"netmaster/internal/simtime"
+	"netmaster/internal/trace"
+)
+
+// randomTrace builds a seeded pseudo-random trace: irregular sessions,
+// interactions inside them, and background activities scattered day and
+// night — adversarial input for the fold-equivalence properties.
+func randomTrace(seed int64, days int) *trace.Trace {
+	rng := rand.New(rand.NewSource(seed))
+	apps := []trace.AppID{"alpha", "beta", "gamma", "delta"}
+	t := &trace.Trace{
+		UserID:        fmt.Sprintf("rand%d", seed),
+		Days:          days,
+		InstalledApps: apps,
+	}
+	horizon := simtime.Instant(t.Horizon())
+	for day := 0; day < days; day++ {
+		dayStart := simtime.At(day, 0, 0, 0)
+		tod := int64(0)
+		for {
+			tod += rng.Int63n(5*3600) + 120
+			if tod >= 85000 {
+				break
+			}
+			length := rng.Int63n(1500) + 30
+			if tod+length > 86400 {
+				length = 86400 - tod
+			}
+			start := dayStart.Add(simtime.Duration(tod))
+			t.Sessions = append(t.Sessions, trace.ScreenSession{
+				Interval: simtime.Interval{Start: start, End: start.Add(simtime.Duration(length))},
+			})
+			for i := rng.Intn(4); i > 0; i-- {
+				t.Interactions = append(t.Interactions, trace.Interaction{
+					Time: start.Add(simtime.Duration(rng.Int63n(length))),
+					App:  apps[rng.Intn(len(apps))],
+				})
+			}
+			tod += length
+		}
+		for i := 0; i < 15+rng.Intn(10); i++ {
+			at := dayStart.Add(simtime.Duration(rng.Int63n(86400)))
+			dur := simtime.Duration(rng.Int63n(90) + 1)
+			if at.Add(dur) > horizon {
+				dur = horizon.Sub(at)
+			}
+			t.Activities = append(t.Activities, trace.NetworkActivity{
+				App:       apps[rng.Intn(len(apps))],
+				Start:     at,
+				Duration:  dur,
+				BytesDown: rng.Int63n(1 << 20),
+				BytesUp:   rng.Int63n(1 << 17),
+				Kind:      trace.KindSync,
+			})
+		}
+	}
+	t.Normalize()
+	return t
+}
+
+func mustProfiles(t *testing.T, p, q *Profile, what string) {
+	t.Helper()
+	if !reflect.DeepEqual(p, q) {
+		t.Fatalf("%s: profiles differ\n full: %+v\n fold: %+v", what, p, q)
+	}
+}
+
+// TestSketchFoldMatchesMine is the tentpole invariant: for random
+// traces, random split points, zero and positive recency half-life and
+// parallelism 1 and 8, folding increments is byte-identical to a batch
+// Mine over the concatenated trace. reflect.DeepEqual on float64 fields
+// is exact equality — no tolerance anywhere.
+func TestSketchFoldMatchesMine(t *testing.T) {
+	traces := []*trace.Trace{
+		routineTrace(),
+		randomTrace(1, 17),
+		randomTrace(2, 9),
+		randomTrace(3, 23),
+	}
+	halfLives := []float64{0, 3.5}
+	prev := parallel.SetDefaultWorkers(1)
+	defer parallel.SetDefaultWorkers(prev)
+	for _, workers := range []int{1, 8} {
+		parallel.SetDefaultWorkers(workers)
+		for ti, tr := range traces {
+			for _, hl := range halfLives {
+				cfg := DefaultConfig()
+				cfg.RecencyHalfLifeDays = hl
+				name := fmt.Sprintf("workers=%d/trace=%d/hl=%v", workers, ti, hl)
+				full, err := Mine(tr, cfg)
+				if err != nil {
+					t.Fatal(err)
+				}
+
+				// One FoldTrace over the whole trace.
+				sk, err := NewSketch(tr.UserID, cfg)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if err := sk.FoldTrace(tr); err != nil {
+					t.Fatal(err)
+				}
+				mustProfiles(t, full, sk.Profile(), name+"/whole")
+
+				// Split at a seeded random point: prefix trace, then the
+				// remaining days folded one FoldTraceDay at a time.
+				rng := rand.New(rand.NewSource(int64(ti)*31 + int64(workers)))
+				k := 1 + rng.Intn(tr.Days-1)
+				sk2, err := NewSketch(tr.UserID, cfg)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if err := sk2.FoldTrace(tr.PrefixDays(k)); err != nil {
+					t.Fatal(err)
+				}
+				for day := k; day < tr.Days; day++ {
+					if err := sk2.FoldTraceDay(tr, day); err != nil {
+						t.Fatal(err)
+					}
+				}
+				mustProfiles(t, full, sk2.Profile(), fmt.Sprintf("%s/split@%d", name, k))
+
+				// Day at a time through single-day DayView traces — the
+				// shape of a /v1/profile/update stream.
+				sk3, err := NewSketch(tr.UserID, cfg)
+				if err != nil {
+					t.Fatal(err)
+				}
+				for day := 0; day < tr.Days; day++ {
+					if err := sk3.FoldTrace(tr.DayView(day)); err != nil {
+						t.Fatal(err)
+					}
+				}
+				mustProfiles(t, full, sk3.Profile(), name+"/dayviews")
+
+				// Identical fold history ⇒ identical state hash, however
+				// the days were split across calls.
+				if sk.Hash() != sk2.Hash() || sk.Hash() != sk3.Hash() {
+					t.Fatalf("%s: state hashes diverge across fold splits", name)
+				}
+			}
+		}
+	}
+}
+
+// TestSketchCloneIndependent pins Clone as a true fork: folding into
+// the clone leaves the original's state hash untouched.
+func TestSketchCloneIndependent(t *testing.T) {
+	tr := randomTrace(7, 10)
+	cfg := DefaultConfig()
+	cfg.RecencyHalfLifeDays = 2
+	sk, err := NewSketch(tr.UserID, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := sk.FoldTrace(tr.PrefixDays(5)); err != nil {
+		t.Fatal(err)
+	}
+	before := sk.Hash()
+	cl := sk.Clone()
+	for day := 5; day < tr.Days; day++ {
+		if err := cl.FoldTraceDay(tr, day); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if sk.Hash() != before {
+		t.Error("folding into a clone mutated the original sketch")
+	}
+	if cl.Hash() == before {
+		t.Error("clone hash unchanged after folding new days")
+	}
+	full, err := Mine(tr, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mustProfiles(t, full, cl.Profile(), "clone-continued fold")
+}
+
+// TestSketchEventFold checks the event-level API against the trace
+// fold: replaying one day's events through AddInteraction/AddActivity/
+// CloseDay yields the same profile as FoldTrace over that day, and the
+// day counter decides weekday vs weekend.
+func TestSketchEventFold(t *testing.T) {
+	tr := routineTrace()
+	cfg := DefaultConfig()
+	full, err := Mine(tr, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sk, err := NewSketch(tr.UserID, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for day := 0; day < tr.Days; day++ {
+		dv := tr.DayView(day)
+		for _, ia := range dv.Interactions {
+			if err := sk.AddInteraction(ia.App, simtime.Duration(ia.Time)); err != nil {
+				t.Fatal(err)
+			}
+		}
+		for _, a := range dv.Activities {
+			if err := sk.AddActivity(a.App, simtime.Duration(a.Start), a.BytesDown, a.BytesUp, dv.ScreenOnAt(a.Start)); err != nil {
+				t.Fatal(err)
+			}
+		}
+		sk.CloseDay()
+	}
+	if sk.Days() != tr.Days {
+		t.Fatalf("Days() = %d, want %d", sk.Days(), tr.Days)
+	}
+	mustProfiles(t, full, sk.Profile(), "event-level fold")
+}
+
+func TestSketchRejectsMixedUsers(t *testing.T) {
+	sk, err := NewSketch("alice", DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr := randomTrace(4, 3)
+	if err := sk.FoldTrace(tr); err == nil {
+		t.Error("folded a trace of a different user")
+	}
+}
+
+func TestSketchRejectsOpenDayFold(t *testing.T) {
+	sk, err := NewSketch("", DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := sk.AddInteraction("chat", 10*simtime.Hour); err != nil {
+		t.Fatal(err)
+	}
+	if err := sk.FoldTrace(routineTrace()); err == nil {
+		t.Error("FoldTrace accepted with an open event-level day pending")
+	}
+	sk.CloseDay()
+	if err := sk.FoldTrace(routineTrace()); err != nil {
+		t.Errorf("FoldTrace after CloseDay: %v", err)
+	}
+}
+
+func TestSketchEventValidation(t *testing.T) {
+	sk, err := NewSketch("u", DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := sk.AddInteraction("a", -1); err == nil {
+		t.Error("negative time of day accepted")
+	}
+	if err := sk.AddInteraction("a", simtime.Day); err == nil {
+		t.Error("out-of-day time accepted")
+	}
+	if err := sk.AddActivity("a", simtime.Hour, -1, 0, false); err == nil {
+		t.Error("negative volume accepted")
+	}
+}
+
+func TestConfigRejectsNaNHalfLife(t *testing.T) {
+	cfg := DefaultConfig()
+	for _, hl := range []float64{math.NaN(), math.Inf(1), -1} {
+		cfg.RecencyHalfLifeDays = hl
+		if _, err := NewSketch("u", cfg); err == nil {
+			t.Errorf("half-life %v accepted", hl)
+		}
+	}
+}

@@ -1,0 +1,121 @@
+// Delta rescheduling on the replay path. A day's screen-off transfers
+// dribble in one broadcast at a time; re-planning the day from scratch
+// at each arrival re-solves every slot knapsack even though a single
+// new activity touches at most its adjacent slots. RollingSchedule
+// keeps the previous plan's per-slot solutions (core.Solved) and
+// re-plans through core.ScheduleDelta, so each arrival costs O(changed
+// slots) solves while staying byte-identical to a full re-solve — the
+// invariant TestRollingScheduleMatchesFull pins.
+package middleware
+
+import (
+	"netmaster/internal/core"
+	"netmaster/internal/habit"
+	"netmaster/internal/power"
+	"netmaster/internal/simtime"
+	"netmaster/internal/trace"
+)
+
+// RollingSchedule maintains one day's schedule as its activities arrive
+// incrementally.
+type RollingSchedule struct {
+	sched  *core.Scheduler
+	u      []simtime.Interval
+	acts   []core.Activity
+	solved *core.Solved
+	plan   *core.Schedule
+	stats  core.DeltaStats
+}
+
+// NewRollingSchedule builds an empty rolling plan over the day's active
+// slot set u.
+func NewRollingSchedule(cfg core.Config, u []simtime.Interval) (*RollingSchedule, error) {
+	sched, err := core.New(cfg)
+	if err != nil {
+		return nil, err
+	}
+	return &RollingSchedule{sched: sched, u: u}, nil
+}
+
+// Add appends one activity and re-plans the day, reusing every slot
+// solution the newcomer did not disturb. It returns the refreshed plan
+// (also available via Plan) and the step's delta statistics.
+func (r *RollingSchedule) Add(a core.Activity) (*core.Schedule, core.DeltaStats, error) {
+	r.acts = append(r.acts, a)
+	plan, solved, stats, err := r.sched.ScheduleDelta(r.solved, r.u, r.acts)
+	if err != nil {
+		r.acts = r.acts[:len(r.acts)-1]
+		return nil, stats, err
+	}
+	r.plan, r.solved = plan, solved
+	r.stats.Add(stats)
+	return plan, stats, nil
+}
+
+// Plan returns the current schedule, nil before the first Add.
+func (r *RollingSchedule) Plan() *core.Schedule { return r.plan }
+
+// Len returns the number of activities folded into the plan so far.
+func (r *RollingSchedule) Len() int { return len(r.acts) }
+
+// Stats returns the cumulative delta statistics across every Add.
+func (r *RollingSchedule) Stats() core.DeltaStats { return r.stats }
+
+// rollingState is the replay-side driver of the rolling planner: one
+// RollingSchedule per (day, profile) pair, fed each background arrival
+// as the replay discovers it. Purely observational — the executed plan
+// never depends on it — so the RollingPlan flag cannot perturb replay
+// goldens.
+type rollingState struct {
+	model   *power.Model
+	roll    *RollingSchedule
+	day     int
+	profile *habit.Profile
+	closed  core.DeltaStats // stats of already-finished day plans
+}
+
+// stats returns the cumulative delta statistics across every rolling
+// plan of the replay.
+func (rs *rollingState) stats() core.DeltaStats {
+	out := rs.closed
+	if rs.roll != nil {
+		out.Add(rs.roll.Stats())
+	}
+	return out
+}
+
+// observe feeds one background arrival into the day's rolling plan.
+// Before the service has mined a profile there is nothing to plan
+// against and arrivals pass through unplanned, exactly like the
+// scheduler-less duty path.
+func (rs *rollingState) observe(t *trace.Trace, svc *Service, idx int) error {
+	p := svc.Profile()
+	if p == nil {
+		return nil
+	}
+	a := t.Activities[idx]
+	day := a.Start.Day()
+	if rs.roll == nil || day != rs.day || p != rs.profile {
+		if rs.roll != nil {
+			rs.closed.Add(rs.roll.Stats())
+		}
+		ccfg := core.DefaultConfig()
+		ccfg.ProbSlotWidth = p.SlotWidth
+		ccfg.UseProb = p.UseProbAt
+		model := rs.model
+		ccfg.SavedEnergy = func(act core.Activity) float64 { return model.SavedEnergy(act.ActiveSecs) }
+		roll, err := NewRollingSchedule(ccfg, p.PredictedActiveSlots(day))
+		if err != nil {
+			return err
+		}
+		rs.roll, rs.day, rs.profile = roll, day, p
+	}
+	_, _, err := rs.roll.Add(core.Activity{
+		ID:         idx,
+		Time:       a.Start,
+		Bytes:      a.Bytes(),
+		ActiveSecs: a.Duration.Seconds(),
+		DeferOnly:  a.Kind == trace.KindPush,
+	})
+	return err
+}

@@ -1,0 +1,114 @@
+package middleware
+
+import (
+	"math/rand"
+	"reflect"
+	"testing"
+
+	"netmaster/internal/core"
+	"netmaster/internal/power"
+	"netmaster/internal/simtime"
+	"netmaster/internal/synth"
+)
+
+// TestRollingScheduleMatchesFull pins the rolling planner's invariant:
+// after every Add, the maintained plan equals a from-scratch
+// core.Schedule over the same accumulated activities, while later steps
+// splice most slot solutions instead of re-solving them.
+func TestRollingScheduleMatchesFull(t *testing.T) {
+	cfg := core.DefaultConfig()
+	cfg.ProbSlotWidth = simtime.Hour
+	cfg.UseProb = func(at simtime.Instant) float64 { return 0.1 }
+	cfg.SavedEnergy = func(a core.Activity) float64 { return 5 + a.ActiveSecs }
+	sched, err := core.New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	u := []simtime.Interval{
+		{Start: simtime.At(0, 8, 0, 0), End: simtime.At(0, 9, 0, 0)},
+		{Start: simtime.At(0, 12, 0, 0), End: simtime.At(0, 13, 0, 0)},
+		{Start: simtime.At(0, 19, 0, 0), End: simtime.At(0, 21, 0, 0)},
+	}
+	roll, err := NewRollingSchedule(cfg, u)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	rng := rand.New(rand.NewSource(3))
+	var acts []core.Activity
+	for step := 0; step < 40; step++ {
+		a := core.Activity{
+			ID:         step,
+			Time:       simtime.At(0, rng.Intn(24), rng.Intn(60), 0),
+			Bytes:      rng.Int63n(300_000) + 1,
+			ActiveSecs: float64(rng.Intn(15) + 1),
+		}
+		acts = append(acts, a)
+		plan, stats, err := roll.Add(a)
+		if err != nil {
+			t.Fatal(err)
+		}
+		full, err := sched.Schedule(u, acts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !reflect.DeepEqual(full, plan) {
+			t.Fatalf("step %d: rolling plan differs from full re-solve", step)
+		}
+		if plan != roll.Plan() || roll.Len() != step+1 {
+			t.Fatalf("step %d: accessor mismatch", step)
+		}
+		if step > 0 && stats.Reused == 0 {
+			t.Fatalf("step %d: one-activity arrival reused no slots (%+v)", step, stats)
+		}
+	}
+	total := roll.Stats()
+	if total.Slots != 40*len(u) || total.Reused+total.Solved > total.Slots {
+		t.Fatalf("cumulative stats inconsistent: %+v", total)
+	}
+	if total.Reused <= total.Solved {
+		t.Errorf("delta path reused %d slots vs %d solves; expected reuse to dominate", total.Reused, total.Solved)
+	}
+}
+
+// TestReplayRollingPlanObservational pins two things about the replay
+// wiring: the flag changes nothing about the executed plan or command
+// log, and once the service has mined a profile the rolling planner
+// actually runs, reusing slot solutions as arrivals dribble in.
+func TestReplayRollingPlanObservational(t *testing.T) {
+	spec := synth.EvalCohort()[0]
+	tr, err := synth.Generate(spec, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	model := power.Model3G()
+
+	plain, err := Replay(tr, DefaultReplayConfig(model))
+	if err != nil {
+		t.Fatal(err)
+	}
+	rcfg := DefaultReplayConfig(model)
+	rcfg.RollingPlan = true
+	rolling, err := Replay(tr, rcfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	if !reflect.DeepEqual(plain.Plan, rolling.Plan) {
+		t.Errorf("rolling planner changed the executed plan")
+	}
+	if !reflect.DeepEqual(plain.Commands, rolling.Commands) {
+		t.Errorf("rolling planner changed the command log")
+	}
+	if plain.Rolling != (core.DeltaStats{}) {
+		t.Errorf("rolling stats without the flag = %+v, want zero", plain.Rolling)
+	}
+	if rolling.Rolling.Slots == 0 {
+		t.Fatalf("rolling planner never planned: %+v", rolling.Rolling)
+	}
+	st := rolling.Rolling
+	if st.Reused+st.Solved > st.Slots || st.Reused == 0 {
+		t.Errorf("rolling stats = %+v, want some reuse and consistency", st)
+	}
+}

@@ -24,6 +24,7 @@ import (
 	"sort"
 
 	"netmaster/internal/cfgerr"
+	"netmaster/internal/core"
 	"netmaster/internal/device"
 	"netmaster/internal/faults"
 	"netmaster/internal/power"
@@ -41,6 +42,12 @@ type ReplayConfig struct {
 	DutyWakeWindow simtime.Duration
 	// TailCutSecs is the radio-off latency after a managed burst.
 	TailCutSecs float64
+	// RollingPlan maintains a rolling per-day schedule of the background
+	// arrivals via delta rescheduling (core.ScheduleDelta) once the
+	// service has mined a profile. Purely observational: the executed
+	// plan is unchanged; the result's Rolling field reports how much
+	// knapsack work the delta path skipped. Default off.
+	RollingPlan bool
 }
 
 // DefaultReplayConfig returns deployment defaults matching the offline
@@ -90,6 +97,9 @@ type ReplayResult struct {
 	Commands []Command
 	// Service is the final service state (profile, special apps, DB).
 	Service *Service
+	// Rolling is the rolling planner's cumulative delta statistics
+	// (zero unless ReplayConfig.RollingPlan was set).
+	Rolling core.DeltaStats
 }
 
 // RetryPolicy bounds the executor's re-attempts at a failed radio
@@ -417,6 +427,19 @@ func replay(t *trace.Trace, cfg ReplayConfig, cs *chaosState) (*ReplayResult, er
 	// Pending screen-off background transfers, by activity index.
 	var pending []int
 	nextBg := 0 // next background activity to watch for
+	var roller *rollingState
+	if cfg.RollingPlan {
+		roller = &rollingState{model: cfg.Model}
+	}
+	// arrive registers one background transfer as pending and, with the
+	// rolling planner on, folds it into the day's delta-maintained plan.
+	arrive := func(idx int) error {
+		pending = append(pending, idx)
+		if roller == nil {
+			return nil
+		}
+		return roller.observe(t, svc, idx)
+	}
 	type bgRef struct {
 		index int
 		at    simtime.Instant
@@ -603,7 +626,9 @@ func replay(t *trace.Trace, cfg ReplayConfig, cs *chaosState) (*ReplayResult, er
 		}
 		// Background arrivals up to this event become pending.
 		for nextBg < len(bgQueue) && bgQueue[nextBg].at <= e.Time {
-			pending = append(pending, bgQueue[nextBg].index)
+			if err := arrive(bgQueue[nextBg].index); err != nil {
+				return nil, err
+			}
 			nextBg++
 		}
 		flushOverdue(e.Time)
@@ -620,7 +645,9 @@ func replay(t *trace.Trace, cfg ReplayConfig, cs *chaosState) (*ReplayResult, er
 	for svc.nextWake >= 0 && !svc.screenOn && svc.nextWake < horizon {
 		at := svc.nextWake
 		for nextBg < len(bgQueue) && bgQueue[nextBg].at <= at {
-			pending = append(pending, bgQueue[nextBg].index)
+			if err := arrive(bgQueue[nextBg].index); err != nil {
+				return nil, err
+			}
 			nextBg++
 		}
 		flushOverdue(at)
@@ -634,7 +661,9 @@ func replay(t *trace.Trace, cfg ReplayConfig, cs *chaosState) (*ReplayResult, er
 		}
 	}
 	for nextBg < len(bgQueue) {
-		pending = append(pending, bgQueue[nextBg].index)
+		if err := arrive(bgQueue[nextBg].index); err != nil {
+			return nil, err
+		}
 		nextBg++
 	}
 	if len(pending) > 0 {
@@ -648,6 +677,9 @@ func replay(t *trace.Trace, cfg ReplayConfig, cs *chaosState) (*ReplayResult, er
 		pending = pending[:0]
 	}
 	obs.finish(horizon)
+	if roller != nil {
+		res.Rolling = roller.stats()
+	}
 
 	// User-experience bookkeeping: the radio is unavailable during
 	// screen-off stretches outside wake windows.

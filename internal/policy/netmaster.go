@@ -130,9 +130,40 @@ func (n *NetMaster) Plan(t *trace.Trace) (*device.Plan, error) {
 			p.SpecialAppWhitelist[app] = true
 		}
 	}
+	if err := t.Validate(); err != nil {
+		return nil, err
+	}
+
+	// One profile sketch for the whole replay: the pre-collected history
+	// folds once up front, and each replayed day folds in right after it
+	// is planned. Day d's plan therefore sees exactly the history a
+	// per-day re-mine of Append(History, PrefixDays(d)) would see — the
+	// sketch's day counter equals the merged-trace day index, keeping
+	// weekday alignment — but total mining work is O(trace) instead of
+	// O(days²).
+	sk, err := habit.NewSketch(t.UserID, n.cfg.Habit)
+	if err != nil {
+		return nil, err
+	}
+	var shift simtime.Instant
+	if n.cfg.History != nil {
+		hist := n.cfg.History
+		if hist.UserID != t.UserID {
+			// trace.Append adopts the replayed trace's user; match it.
+			hist = hist.Clone()
+			hist.UserID = t.UserID
+		}
+		if err := sk.FoldTrace(hist); err != nil {
+			return nil, err
+		}
+		shift = simtime.Instant(n.cfg.History.Horizon())
+	}
 
 	for day := 0; day < t.Days; day++ {
-		if err := n.planDay(p, t, day); err != nil {
+		if err := n.planDay(p, t, day, sk, shift); err != nil {
+			return nil, fmt.Errorf("policy: netmaster day %d: %w", day, err)
+		}
+		if err := sk.FoldTraceDay(t, day); err != nil {
 			return nil, fmt.Errorf("policy: netmaster day %d: %w", day, err)
 		}
 	}
@@ -152,7 +183,7 @@ func dayActivities(t *trace.Trace, day int) []int {
 	return out
 }
 
-func (n *NetMaster) planDay(p *device.Plan, t *trace.Trace, day int) error {
+func (n *NetMaster) planDay(p *device.Plan, t *trace.Trace, day int, sk *habit.Sketch, shift simtime.Instant) error {
 	indices := dayActivities(t, day)
 
 	// Warm-up: not enough history, run unmanaged while the monitor
@@ -171,27 +202,13 @@ func (n *NetMaster) planDay(p *device.Plan, t *trace.Trace, day int) error {
 	}
 
 	// Mining component: hour-level prediction from history only — the
-	// pre-collected trace (if any) plus the days already replayed.
-	histTrace := t.PrefixDays(day)
-	var shift simtime.Instant
-	if n.cfg.History != nil {
-		merged, err := trace.Append(n.cfg.History, histTrace)
-		if err != nil {
-			return err
-		}
-		histTrace = merged
-		shift = simtime.Instant(n.cfg.History.Horizon())
-	}
-	profile, err := habit.Mine(histTrace, n.cfg.Habit)
-	if err != nil {
-		return err
-	}
-	// Prediction happens at the merged-trace day index; slot intervals
-	// come back in merged time and are shifted to replay time.
-	predDay := day
-	if n.cfg.History != nil {
-		predDay += n.cfg.History.Days
-	}
+	// sketch holds the pre-collected trace (if any) plus the days already
+	// replayed, so materialising the profile is O(sketch state).
+	profile := sk.Profile()
+	// Prediction happens at the merged-trace day index (the sketch's own
+	// day counter); slot intervals come back in merged time and are
+	// shifted to replay time.
+	predDay := sk.Days()
 	u := shiftIntervals(profile.PredictedActiveSlots(predDay), -shift)
 	dayIv := simtime.Interval{Start: simtime.At(day, 0, 0, 0), End: simtime.At(day+1, 0, 0, 0)}
 	for _, b := range complementWithin(dayIv, u) {

@@ -106,6 +106,39 @@ type MineResponse struct {
 	Weekend       DayTypeSummary `json:"weekend"`
 }
 
+// ProfileUpdateRequest is the body of POST /v1/profile/update: fold new
+// trace days into a cached profile's sketch instead of re-mining from
+// scratch. ProfileID names the base profile (a previous mine's or
+// update's cache key); empty starts a fresh sketch, in which case
+// Config may override the mining defaults (with a base profile the
+// sketch's own config applies and Config must be absent). The new days
+// come inline (Trace) or synthesised (Gen); Day, when set, folds only
+// that trace-local day — the O(new events) incremental path — while nil
+// folds the whole trace.
+type ProfileUpdateRequest struct {
+	ProfileID string       `json:"profile_id,omitempty"`
+	Config    *MineConfig  `json:"config,omitempty"`
+	Trace     *trace.Trace `json:"trace,omitempty"`
+	Gen       *GenSpec     `json:"gen,omitempty"`
+	Day       *int         `json:"day,omitempty"`
+}
+
+// ProfileUpdateResponse is the body of a successful POST
+// /v1/profile/update. ProfileID is the updated profile's cache key (a
+// sketch-state hash — the same ID a full mine over the concatenated
+// trace would produce); BaseProfileID echoes the request's base, if
+// any. Days counts every day folded into the sketch so far.
+type ProfileUpdateResponse struct {
+	ProfileID     string         `json:"profile_id"`
+	BaseProfileID string         `json:"base_profile_id,omitempty"`
+	Days          int            `json:"days"`
+	UserID        string         `json:"user_id"`
+	SlotWidthSecs int64          `json:"slot_width_secs"`
+	SpecialApps   []trace.AppID  `json:"special_apps"`
+	Weekday       DayTypeSummary `json:"weekday"`
+	Weekend       DayTypeSummary `json:"weekend"`
+}
+
 // ActivityJSON is one screen-off activity to schedule.
 type ActivityJSON struct {
 	ID         int     `json:"id"`

@@ -75,6 +75,15 @@ func (c *Client) Mine(ctx context.Context, req MineRequest) (*MineResponse, erro
 	return &out, nil
 }
 
+// ProfileUpdate calls POST /v1/profile/update.
+func (c *Client) ProfileUpdate(ctx context.Context, req ProfileUpdateRequest) (*ProfileUpdateResponse, error) {
+	var out ProfileUpdateResponse
+	if err := c.do(ctx, http.MethodPost, "/v1/profile/update", req, &out); err != nil {
+		return nil, err
+	}
+	return &out, nil
+}
+
 // Schedule calls POST /v1/schedule.
 func (c *Client) Schedule(ctx context.Context, req ScheduleRequest) (*ScheduleResponse, error) {
 	var out ScheduleResponse

@@ -1,9 +1,6 @@
 package server
 
 import (
-	"crypto/sha256"
-	"encoding/binary"
-	"encoding/hex"
 	"fmt"
 	"net/http"
 
@@ -52,45 +49,6 @@ func habitConfig(mc *MineConfig) habit.Config {
 	return cfg
 }
 
-// profileID is the LRU key: a content hash over the canonical trace
-// bytes (trace.Write is deterministic) and the mining config. Identical
-// trace + config → identical ID, on every run, at any parallelism.
-func profileID(t *trace.Trace, cfg habit.Config) (string, error) {
-	h := sha256.New()
-	if err := trace.Write(h, t); err != nil {
-		return "", err
-	}
-	binary.Write(h, binary.LittleEndian, int64(cfg.SlotWidth))
-	binary.Write(h, binary.LittleEndian, cfg.WeekdayThreshold)
-	binary.Write(h, binary.LittleEndian, cfg.WeekendThreshold)
-	binary.Write(h, binary.LittleEndian, cfg.RecencyHalfLifeDays)
-	return "sha256:" + hex.EncodeToString(h.Sum(nil)), nil
-}
-
-// mineCached mines a profile through the LRU: a hit skips the full
-// habit.Mine pass. The cache disposition lands in the X-Netmaster-Cache
-// response header — never the body, which must stay byte-identical
-// whether or not the cache was warm.
-func (s *Server) mineCached(t *trace.Trace, cfg habit.Config) (*habit.Profile, string, bool, error) {
-	id, err := profileID(t, cfg)
-	if err != nil {
-		return nil, "", false, err
-	}
-	if v, ok := s.profiles.Get(id); ok {
-		s.mCacheHit.Inc()
-		return v.(*habit.Profile), id, true, nil
-	}
-	s.mCacheMiss.Inc()
-	p, err := habit.Mine(t, cfg)
-	if err != nil {
-		return nil, "", false, &apiError{Code: http.StatusBadRequest, Kind: "mine_failed", Msg: err.Error()}
-	}
-	if s.profiles.Put(id, p) {
-		s.mCacheEvic.Inc()
-	}
-	return p, id, false, nil
-}
-
 func setCacheHeader(w http.ResponseWriter, hit bool) {
 	if hit {
 		w.Header().Set("X-Netmaster-Cache", "hit")
@@ -132,15 +90,11 @@ func (s *Server) handleMine(w http.ResponseWriter, r *http.Request) error {
 	if err := decode(r, &req); err != nil {
 		return err
 	}
-	t, _, err := resolveTrace(req.Trace, req.Gen)
+	e, id, hit, err := s.resolveProfile(req.Trace, req.Gen, habitConfig(req.Config))
 	if err != nil {
 		return err
 	}
-	cfg := habitConfig(req.Config)
-	p, id, hit, err := s.mineCached(t, cfg)
-	if err != nil {
-		return err
-	}
+	p := e.profile
 	resp := MineResponse{
 		ProfileID:     id,
 		UserID:        p.UserID,
@@ -184,16 +138,14 @@ func (s *Server) handleSchedule(w http.ResponseWriter, r *http.Request) error {
 				Msg: fmt.Sprintf("profile %s not cached; re-mine or pass the trace", req.ProfileID)}
 		}
 		s.mCacheHit.Inc()
-		profile, id, hit = v.(*habit.Profile), req.ProfileID, true
+		s.mProfHit.Inc()
+		profile, id, hit = v.(*profileEntry).profile, req.ProfileID, true
 	} else {
-		t, _, rerr := resolveTrace(req.Trace, req.Gen)
+		e, eid, ehit, rerr := s.resolveProfile(req.Trace, req.Gen, habitConfig(req.MineConfig))
 		if rerr != nil {
 			return rerr
 		}
-		profile, id, hit, err = s.mineCached(t, habitConfig(req.MineConfig))
-		if err != nil {
-			return err
-		}
+		profile, id, hit = e.profile, eid, ehit
 	}
 
 	u := profile.PredictedActiveSlots(req.Day)

@@ -1,0 +1,157 @@
+package server
+
+import (
+	"context"
+	"errors"
+	"net/http"
+	"reflect"
+	"testing"
+)
+
+func intp(v int) *int { return &v }
+
+// TestProfileUpdateIncremental is the serve-path half of the tentpole
+// invariant: folding one new day into a cached base profile must land
+// on the exact cache key a full mine over the longer trace produces,
+// and scheduling against either profile ID must return byte-identical
+// bodies.
+func TestProfileUpdateIncremental(t *testing.T) {
+	_, _, c := testServer(t, nil)
+	ctx := context.Background()
+
+	full, err := c.Mine(ctx, MineRequest{Gen: &GenSpec{User: "volunteer1", Days: 15}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	base, err := c.Mine(ctx, MineRequest{Gen: &GenSpec{User: "volunteer1", Days: 14}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	up, err := c.ProfileUpdate(ctx, ProfileUpdateRequest{
+		ProfileID: base.ProfileID,
+		Gen:       &GenSpec{User: "volunteer1", Days: 15},
+		Day:       intp(14),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if up.ProfileID != full.ProfileID {
+		t.Errorf("incremental update ID %s != full-mine ID %s", up.ProfileID, full.ProfileID)
+	}
+	if up.BaseProfileID != base.ProfileID || up.Days != 15 || up.UserID != "volunteer1" {
+		t.Errorf("update response = %+v", up)
+	}
+
+	acts := []ActivityJSON{
+		{ID: 1, TimeSecs: 14 * 86400, Bytes: 500_000, ActiveSecs: 5},
+		{ID: 2, TimeSecs: 14*86400 + 3600, Bytes: 1_200_000, ActiveSecs: 8},
+	}
+	sFull, err := c.Schedule(ctx, ScheduleRequest{ProfileID: full.ProfileID, Day: 14, Activities: acts})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sUp, err := c.Schedule(ctx, ScheduleRequest{ProfileID: up.ProfileID, Day: 14, Activities: acts})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(sFull, sUp) {
+		t.Errorf("schedule via updated profile differs from full-mine profile\n full:    %+v\n updated: %+v", sFull, sUp)
+	}
+}
+
+// TestProfileUpdateFresh builds a profile from scratch through the
+// update endpoint and checks it lands on the same cache entry a mine
+// would.
+func TestProfileUpdateFresh(t *testing.T) {
+	_, _, c := testServer(t, nil)
+	ctx := context.Background()
+
+	up, err := c.ProfileUpdate(ctx, ProfileUpdateRequest{Gen: &GenSpec{User: "user4", Days: 14}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	mined, err := c.Mine(ctx, MineRequest{Gen: &GenSpec{User: "user4", Days: 14}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if up.ProfileID != mined.ProfileID {
+		t.Errorf("fresh update ID %s != mine ID %s", up.ProfileID, mined.ProfileID)
+	}
+	if up.BaseProfileID != "" || up.Days != 14 {
+		t.Errorf("update response = %+v", up)
+	}
+}
+
+func TestProfileUpdateErrors(t *testing.T) {
+	_, _, c := testServer(t, nil)
+	ctx := context.Background()
+	base, err := c.Mine(ctx, MineRequest{Gen: &GenSpec{User: "volunteer1", Days: 14}})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	cases := []struct {
+		name string
+		req  ProfileUpdateRequest
+		code int
+		kind string
+	}{
+		{"unknown base", ProfileUpdateRequest{ProfileID: "sketch:beef", Gen: &GenSpec{User: "volunteer1", Days: 15}},
+			http.StatusNotFound, "unknown_profile"},
+		{"config with base", ProfileUpdateRequest{ProfileID: base.ProfileID, Config: &MineConfig{SlotWidthSecs: 1800},
+			Gen: &GenSpec{User: "volunteer1", Days: 15}}, http.StatusBadRequest, "bad_request"},
+		{"no trace or gen", ProfileUpdateRequest{ProfileID: base.ProfileID},
+			http.StatusBadRequest, "bad_request"},
+		{"day out of range", ProfileUpdateRequest{ProfileID: base.ProfileID,
+			Gen: &GenSpec{User: "volunteer1", Days: 15}, Day: intp(15)}, http.StatusBadRequest, "bad_request"},
+		{"wrong user", ProfileUpdateRequest{ProfileID: base.ProfileID,
+			Gen: &GenSpec{User: "user4", Days: 15}, Day: intp(14)}, http.StatusBadRequest, "bad_request"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			_, err := c.ProfileUpdate(ctx, tc.req)
+			var ae *apiError
+			if !errors.As(err, &ae) {
+				t.Fatalf("err = %v, want apiError", err)
+			}
+			if ae.Code != tc.code || ae.Kind != tc.kind {
+				t.Errorf("got %d/%s (%s), want %d/%s", ae.Code, ae.Kind, ae.Msg, tc.code, tc.kind)
+			}
+		})
+	}
+}
+
+// TestGenAliasSkipsGeneration pins the request-shape alias: a repeated
+// gen-spec mine is a cache hit (header and profile-cache counters), and
+// never re-synthesises the trace.
+func TestGenAliasSkipsGeneration(t *testing.T) {
+	s, _, c := testServer(t, nil)
+	ctx := context.Background()
+
+	first, err := c.Mine(ctx, MineRequest{Gen: &GenSpec{User: "volunteer2", Days: 10}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := s.mProfMiss.Value(); got != 1 {
+		t.Errorf("profile cache misses after first mine = %v, want 1", got)
+	}
+	second, err := c.Mine(ctx, MineRequest{Gen: &GenSpec{User: "volunteer2", Days: 10}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := s.mProfHit.Value(); got != 1 {
+		t.Errorf("profile cache hits after second mine = %v, want 1", got)
+	}
+	if !reflect.DeepEqual(first, second) {
+		t.Errorf("cached mine differs from cold mine")
+	}
+	// A different config must not alias to the same entry.
+	other, err := c.Mine(ctx, MineRequest{Gen: &GenSpec{User: "volunteer2", Days: 10},
+		Config: &MineConfig{SlotWidthSecs: 1800}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if other.ProfileID == first.ProfileID {
+		t.Errorf("config change did not change the profile ID")
+	}
+}

@@ -2,8 +2,10 @@
 // mining, scheduling, simulation and fleet-telemetry pipelines behind
 // an HTTP/JSON API (cmd/netmaster-serve). Production posture:
 //
-//   - habit profiles are cached in an LRU keyed by trace content hash,
-//     so repeated mining of the same trace is one hash away;
+//   - habit profiles are cached in an LRU keyed by sketch-state hash
+//     (reached through cheap request-shape aliases), so repeated mining
+//     of the same trace is one hash away and incremental updates via
+//     POST /v1/profile/update cost O(new events);
 //   - request fan-out goes through internal/parallel with a bounded
 //     in-flight semaphore — overload answers 429, never queues without
 //     bound;
@@ -118,7 +120,8 @@ type Server struct {
 	http *http.Server
 	ln   net.Listener
 
-	profiles *lru // profile ID → *habit.Profile
+	profiles *lru // sketch-state profile ID → *profileEntry
+	aliases  *lru // request-shape alias → profile ID
 
 	fleetMu sync.Mutex
 	fleet   map[string]ingested
@@ -134,6 +137,9 @@ type Server struct {
 	mCacheHit  *metrics.Counter
 	mCacheMiss *metrics.Counter
 	mCacheEvic *metrics.Counter
+	mProfHit   *metrics.Counter
+	mProfMiss  *metrics.Counter
+	mProfEvic  *metrics.Counter
 	mInflight  *metrics.Gauge
 	mLatencyMS *metrics.Histogram
 }
@@ -148,6 +154,7 @@ func New(cfg Config) (*Server, error) {
 		cfg:      cfg,
 		mux:      http.NewServeMux(),
 		profiles: newLRU(cfg.CacheSize),
+		aliases:  newLRU(cfg.CacheSize),
 		fleet:    make(map[string]ingested),
 		sem:      make(chan struct{}, cfg.MaxInFlight),
 
@@ -158,6 +165,9 @@ func New(cfg Config) (*Server, error) {
 		mCacheHit:  cfg.Metrics.Counter("server_cache_hits_total"),
 		mCacheMiss: cfg.Metrics.Counter("server_cache_misses_total"),
 		mCacheEvic: cfg.Metrics.Counter("server_cache_evictions_total"),
+		mProfHit:   cfg.Metrics.Counter("server_profile_cache_hits_total"),
+		mProfMiss:  cfg.Metrics.Counter("server_profile_cache_misses_total"),
+		mProfEvic:  cfg.Metrics.Counter("server_profile_cache_evictions_total"),
 		mInflight:  cfg.Metrics.Gauge("server_in_flight"),
 		mLatencyMS: cfg.Metrics.Histogram("server_latency_ms", LatencyBuckets),
 	}
@@ -168,6 +178,7 @@ func New(cfg Config) (*Server, error) {
 
 func (s *Server) routes() {
 	s.mux.HandleFunc("POST /v1/mine", s.limited(s.handleMine))
+	s.mux.HandleFunc("POST /v1/profile/update", s.limited(s.handleProfileUpdate))
 	s.mux.HandleFunc("POST /v1/schedule", s.limited(s.handleSchedule))
 	s.mux.HandleFunc("POST /v1/simulate", s.limited(s.handleSimulate))
 	s.mux.HandleFunc("POST /v1/fleet/ingest", s.limited(s.handleIngest))

@@ -190,10 +190,22 @@ type (
 	PredictedNetActivity = habit.PredictedNetActivity
 )
 
+// Incremental mining. A HabitSketch holds the per-slot sufficient
+// statistics of mining, folds traces one day (or one event) at a
+// time, and materialises a HabitProfile on demand. Folding day by day
+// is byte-identical to MineHabits over the concatenated trace — the
+// invariant internal/habit's equivalence tests pin — so a long-lived
+// service can absorb each new day in O(new events) instead of
+// re-mining the whole history.
+type HabitSketch = habit.Sketch
+
 // Mining entry points.
 var (
 	// MineHabits builds a HabitProfile from a trace.
 	MineHabits = habit.Mine
+	// NewHabitSketch builds an empty incremental-mining sketch for one
+	// user.
+	NewHabitSketch = habit.NewSketch
 	// DefaultHabitConfig returns the paper's mining settings.
 	DefaultHabitConfig = habit.DefaultConfig
 	// DetectSpecialApps returns the paper's "Special Apps" allowlist.
@@ -216,6 +228,15 @@ type (
 	KnapsackItem = knapsack.Item
 	// KnapsackSolution is a selected subset of items.
 	KnapsackSolution = knapsack.Solution
+	// SchedSolved is the reusable per-slot solve state returned by
+	// Scheduler.ScheduleDelta: pass it back on the next call and only
+	// the slots whose itemset or capacity changed are re-solved, with
+	// untouched solutions spliced in. The delta plan is always equal to
+	// a full re-solve.
+	SchedSolved = core.Solved
+	// SchedDeltaStats counts, per delta re-plan, how many slot
+	// knapsacks were reused versus re-solved.
+	SchedDeltaStats = core.DeltaStats
 )
 
 // Scheduling entry points.
@@ -385,6 +406,12 @@ type (
 	ChaosResult = middleware.ChaosResult
 	// RetryPolicy bounds command re-attempts under faults.
 	RetryPolicy = middleware.RetryPolicy
+	// RollingSchedule maintains one day's schedule incrementally as
+	// activities arrive, re-planning through Scheduler.ScheduleDelta so
+	// each arrival costs O(changed slots) while the plan stays equal to
+	// a full re-solve. OnlineReplayConfig.RollingPlan drives one inside
+	// the online replay (observationally; see OnlineReplayResult.Rolling).
+	RollingSchedule = middleware.RollingSchedule
 	// ServiceHealth is the middleware's fault-handling counters and
 	// degradation mode.
 	ServiceHealth = middleware.Health
@@ -418,6 +445,9 @@ var (
 	OnlineReplay = middleware.Replay
 	// DefaultOnlineReplayConfig returns deployment defaults.
 	DefaultOnlineReplayConfig = middleware.DefaultReplayConfig
+	// NewRollingSchedule builds an empty rolling plan over a day's
+	// predicted active slots.
+	NewRollingSchedule = middleware.NewRollingSchedule
 	// ChaosReplay runs the online service under a seeded fault
 	// schedule with retries, deferral deadline and degraded modes.
 	ChaosReplay = middleware.ReplayChaos
@@ -548,6 +578,11 @@ type (
 	// MineRequest / MineResponse are the POST /v1/mine wire types.
 	MineRequest  = server.MineRequest
 	MineResponse = server.MineResponse
+	// ProfileUpdateRequest / ProfileUpdateResponse are the
+	// POST /v1/profile/update wire types: fold new days into a cached
+	// profile incrementally instead of re-mining the whole trace.
+	ProfileUpdateRequest  = server.ProfileUpdateRequest
+	ProfileUpdateResponse = server.ProfileUpdateResponse
 	// ScheduleRequest / ScheduleResponse are the POST /v1/schedule wire
 	// types.
 	ScheduleRequest  = server.ScheduleRequest
