@@ -7,6 +7,14 @@
 //	netmaster-serve [-addr 127.0.0.1:8080] [-max-in-flight 64]
 //	                [-cache-size 128] [-request-timeout 30]
 //	                [-shutdown-grace 5] [-parallelism N] [-quiet]
+//	                [-state-dir DIR] [-compact-every 256]
+//
+// With -state-dir, every acknowledged /v1/fleet/ingest and
+// /v1/profile/update is journaled (fsynced) before the response, the
+// journal is periodically compacted into a snapshot, and a restart
+// recovers the fleet and persisted profiles from the directory. An
+// unwritable journal degrades the daemon to read-only (typed 503 on
+// mutating endpoints) instead of dropping acknowledged state.
 //
 // Endpoints (see docs/api.md for request/response bodies):
 //
@@ -60,6 +68,8 @@ func run(o cliconfig.Serve) error {
 		ShutdownGrace:  time.Duration(o.ShutdownGraceSecs) * time.Second,
 		Parallelism:    o.Parallelism,
 		Metrics:        metrics.NewRegistry(),
+		StateDir:       o.StateDir,
+		CompactEvery:   o.CompactEvery,
 	}
 	if !o.Quiet {
 		cfg.LogWriter = os.Stderr
@@ -68,6 +78,7 @@ func run(o cliconfig.Serve) error {
 	if err != nil {
 		return err
 	}
+	defer srv.Close()
 	if err := srv.Start(); err != nil {
 		return err
 	}

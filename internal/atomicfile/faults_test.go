@@ -1,0 +1,135 @@
+// Error-path tests for the atomic writer, driven through the seeded
+// fault layer: whatever fails — the temp write, the fsync, the rename,
+// the directory sync — the destination must hold its previous complete
+// content and the directory must not accumulate temp files. External
+// test package: atomicfile cannot import faults (faults wraps
+// atomicfile's FS), but the test binary can.
+package atomicfile_test
+
+import (
+	"errors"
+	"io"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"netmaster/internal/atomicfile"
+	"netmaster/internal/faults"
+)
+
+// writeOld seeds the destination with known prior content.
+func writeOld(t *testing.T, path string) {
+	t.Helper()
+	if err := os.WriteFile(path, []byte("old content"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// assertUntouched checks the destination still holds the prior content
+// and the directory holds nothing but it.
+func assertUntouched(t *testing.T, dir, path string) {
+	t.Helper()
+	b, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("destination unreadable after failed write: %v", err)
+	}
+	if string(b) != "old content" {
+		t.Errorf("destination changed by failed write: %q", b)
+	}
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, e := range entries {
+		if e.Name() != filepath.Base(path) {
+			t.Errorf("failed write littered %s", e.Name())
+		}
+	}
+}
+
+func TestWriteFileFSFaultMatrix(t *testing.T) {
+	cases := []struct {
+		name string
+		cfg  faults.FSConfig
+	}{
+		{"torn temp write", faults.FSConfig{Seed: 2, WriteFailProb: 1}},
+		{"fsync failure", faults.FSConfig{Seed: 3, SyncFailProb: 1}},
+		{"rename failure", faults.FSConfig{Seed: 4, RenameFailProb: 1}},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			dir := t.TempDir()
+			path := filepath.Join(dir, "out.json")
+			writeOld(t, path)
+			ffs, err := faults.NewFS(nil, tc.cfg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			werr := atomicfile.WriteFileFS(ffs, path, func(w io.Writer) error {
+				_, err := w.Write([]byte("new content that must not land"))
+				return err
+			})
+			if !errors.Is(werr, faults.ErrInjected) {
+				t.Fatalf("err = %v, want ErrInjected", werr)
+			}
+			assertUntouched(t, dir, path)
+		})
+	}
+}
+
+// TestWriteFileFSCrashLeavesOldFile: a crash at any mutating operation
+// of the atomic write leaves the destination holding one complete file
+// — the old content before the rename has happened, the new content
+// after it — never a partial mix. (The temp file may survive a crash —
+// a real power cut cannot unlink it — recovery tolerates stray temps.)
+func TestWriteFileFSCrashLeavesOldFile(t *testing.T) {
+	for crashAt := 1; crashAt <= 6; crashAt++ {
+		dir := t.TempDir()
+		path := filepath.Join(dir, "out.json")
+		writeOld(t, path)
+		ffs, err := faults.NewFS(nil, faults.FSConfig{Seed: int64(crashAt), CrashAfterWrites: crashAt})
+		if err != nil {
+			t.Fatal(err)
+		}
+		werr := atomicfile.WriteFileFS(ffs, path, func(w io.Writer) error {
+			_, err := w.Write([]byte("new content"))
+			return err
+		})
+		b, rerr := os.ReadFile(path)
+		if rerr != nil {
+			t.Fatalf("crash@%d: destination unreadable: %v", crashAt, rerr)
+		}
+		if string(b) != "old content" && string(b) != "new content" {
+			t.Errorf("crash@%d: destination holds a partial file: %q", crashAt, b)
+		}
+		if werr == nil && string(b) != "new content" {
+			t.Errorf("crash@%d: successful write but destination = %q", crashAt, b)
+		}
+		// Before the rename (ops 1-4: create temp, write, sync, rename)
+		// a failure must leave the old file.
+		if werr != nil && crashAt <= 4 && string(b) != "old content" {
+			t.Errorf("crash@%d: pre-rename failure mutated destination to %q", crashAt, b)
+		}
+	}
+}
+
+// TestWriteFileFSHealthyWrapPassesThrough: with no faults configured
+// the wrapped filesystem behaves exactly like the real one.
+func TestWriteFileFSHealthyWrapPassesThrough(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "out.json")
+	ffs, err := faults.NewFS(nil, faults.FSConfig{Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := atomicfile.WriteFileFS(ffs, path, func(w io.Writer) error {
+		_, err := w.Write([]byte("payload"))
+		return err
+	}); err != nil {
+		t.Fatal(err)
+	}
+	b, err := os.ReadFile(path)
+	if err != nil || string(b) != "payload" {
+		t.Fatalf("read back %q, %v", b, err)
+	}
+}

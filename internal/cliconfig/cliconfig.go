@@ -171,7 +171,9 @@ type Serve struct {
 	RequestTimeoutSecs int
 	ShutdownGraceSecs  int
 	Parallelism        int
-	Quiet              bool // suppress the per-request access log
+	Quiet              bool   // suppress the per-request access log
+	StateDir           string // durable state directory, "" = in-memory only
+	CompactEvery       int    // journal records between snapshots, 0 = default
 }
 
 // DefaultServe returns netmaster-serve's flag defaults.
@@ -194,4 +196,6 @@ func (o *Serve) Register(fs *flag.FlagSet) {
 	fs.IntVar(&o.ShutdownGraceSecs, "shutdown-grace", o.ShutdownGraceSecs, "drain window in seconds on SIGTERM/SIGINT")
 	fs.IntVar(&o.Parallelism, "parallelism", o.Parallelism, "worker count for request fan-out, 0 = GOMAXPROCS")
 	fs.BoolVar(&o.Quiet, "quiet", o.Quiet, "suppress the per-request access log on stderr")
+	fs.StringVar(&o.StateDir, "state-dir", o.StateDir, "journal ingests and profile updates to this directory and recover it on boot; empty = in-memory only")
+	fs.IntVar(&o.CompactEvery, "compact-every", o.CompactEvery, "journal records between snapshot compactions, 0 = default")
 }

@@ -1,0 +1,311 @@
+package faults
+
+// The filesystem fault layer: a seeded, deterministic wrapper around
+// the store's file interface (atomicfile.FS) that injects the failure
+// modes durable storage actually exhibits — torn writes, short reads,
+// fsync errors, rename failures, bit flips — plus whole-process crash
+// points, so write-ahead-log recovery can be exercised reproducibly.
+// Like the rest of the package, every decision is drawn from a seeded
+// generator in call order: the same FSConfig over the same operation
+// sequence injects exactly the same faults.
+
+import (
+	"errors"
+	"fmt"
+	"io/fs"
+	"math/rand"
+	"sync"
+
+	"netmaster/internal/atomicfile"
+)
+
+// ErrCrashed marks every filesystem operation attempted at or after a
+// configured crash point. The write that trips the crash point is torn:
+// a seeded prefix of its bytes reaches the underlying file first.
+var ErrCrashed = errors.New("faults: filesystem crashed")
+
+// ErrInjected wraps every probabilistically injected filesystem error,
+// so callers (and tests) can tell injected faults from real ones.
+var ErrInjected = errors.New("faults: injected filesystem fault")
+
+// FSConfig is a seeded filesystem fault schedule.
+type FSConfig struct {
+	Seed int64
+
+	// WriteFailProb is the chance a write fails after persisting only a
+	// seeded prefix of its bytes — a torn write.
+	WriteFailProb float64
+	// ShortReadProb is the chance a read returns fewer bytes than were
+	// available (callers using io.ReadAll still converge; single-shot
+	// readers see truncation).
+	ShortReadProb float64
+	// BitFlipProb is the chance a read's buffer comes back with one bit
+	// flipped — silent media corruption on the read path.
+	BitFlipProb float64
+	// SyncFailProb is the chance an fsync (file or directory) errors.
+	SyncFailProb float64
+	// RenameFailProb is the chance a rename errors.
+	RenameFailProb float64
+
+	// CrashAfterWrites, when positive, kills the filesystem at the N-th
+	// mutating operation (1-based): that operation tears (writes keep a
+	// seeded prefix) and every operation from then on — reads included —
+	// returns ErrCrashed. Recovery is exercised by reopening the
+	// underlying directory with a fresh, healthy FS.
+	CrashAfterWrites int
+}
+
+// Validate checks the schedule's probabilities.
+func (c FSConfig) Validate() error {
+	for _, p := range []struct {
+		name string
+		p    float64
+	}{
+		{"write fail", c.WriteFailProb},
+		{"short read", c.ShortReadProb},
+		{"bit flip", c.BitFlipProb},
+		{"sync fail", c.SyncFailProb},
+		{"rename fail", c.RenameFailProb},
+	} {
+		if p.p < 0 || p.p > 1 {
+			return fmt.Errorf("faults: %s probability %v outside [0,1]", p.name, p.p)
+		}
+	}
+	if c.CrashAfterWrites < 0 {
+		return fmt.Errorf("faults: negative crash point %d", c.CrashAfterWrites)
+	}
+	return nil
+}
+
+// FS implements the store's file interface (atomicfile.FS) over an
+// inner filesystem, injecting the schedule's faults. It is safe for
+// concurrent use; the draw order — and therefore the schedule — is the
+// serialized order of operations.
+type FS struct {
+	mu      sync.Mutex
+	inner   atomicfile.FS
+	cfg     FSConfig
+	rng     *rand.Rand
+	writes  int
+	crashed bool
+}
+
+// NewFS wraps inner with the seeded fault schedule. A nil inner uses
+// the real filesystem.
+func NewFS(inner atomicfile.FS, cfg FSConfig) (*FS, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	if inner == nil {
+		inner = atomicfile.OS()
+	}
+	return &FS{inner: inner, cfg: cfg, rng: rand.New(rand.NewSource(cfg.Seed))}, nil
+}
+
+// Writes returns how many mutating operations have been attempted.
+func (f *FS) Writes() int {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.writes
+}
+
+// Crashed reports whether the crash point has been reached.
+func (f *FS) Crashed() bool {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.crashed
+}
+
+// mutate accounts one mutating operation and reports whether it is the
+// crashing one. Callers hold f.mu.
+func (f *FS) mutate() (crashNow bool) {
+	if f.crashed {
+		return false
+	}
+	f.writes++
+	if f.cfg.CrashAfterWrites > 0 && f.writes >= f.cfg.CrashAfterWrites {
+		f.crashed = true
+		return true
+	}
+	return false
+}
+
+func (f *FS) OpenFile(name string, flag int, perm fs.FileMode) (atomicfile.File, error) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if f.crashed {
+		return nil, ErrCrashed
+	}
+	inner, err := f.inner.OpenFile(name, flag, perm)
+	if err != nil {
+		return nil, err
+	}
+	return &faultFile{fs: f, inner: inner}, nil
+}
+
+func (f *FS) CreateTemp(dir, pattern string) (atomicfile.File, error) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if f.mutate() {
+		return nil, ErrCrashed
+	}
+	if f.crashed {
+		return nil, ErrCrashed
+	}
+	inner, err := f.inner.CreateTemp(dir, pattern)
+	if err != nil {
+		return nil, err
+	}
+	return &faultFile{fs: f, inner: inner}, nil
+}
+
+func (f *FS) Rename(oldpath, newpath string) error {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if f.mutate() || f.crashed {
+		return ErrCrashed
+	}
+	if f.rng.Float64() < f.cfg.RenameFailProb {
+		return fmt.Errorf("rename %s -> %s: %w", oldpath, newpath, ErrInjected)
+	}
+	return f.inner.Rename(oldpath, newpath)
+}
+
+func (f *FS) Remove(name string) error {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if f.mutate() || f.crashed {
+		return ErrCrashed
+	}
+	return f.inner.Remove(name)
+}
+
+func (f *FS) Chmod(name string, mode fs.FileMode) error {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if f.crashed {
+		return ErrCrashed
+	}
+	return f.inner.Chmod(name, mode)
+}
+
+func (f *FS) Stat(name string) (fs.FileInfo, error) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if f.crashed {
+		return nil, ErrCrashed
+	}
+	return f.inner.Stat(name)
+}
+
+func (f *FS) MkdirAll(path string, perm fs.FileMode) error {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if f.crashed {
+		return ErrCrashed
+	}
+	return f.inner.MkdirAll(path, perm)
+}
+
+func (f *FS) SyncDir(dir string) error {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if f.mutate() || f.crashed {
+		return ErrCrashed
+	}
+	if f.rng.Float64() < f.cfg.SyncFailProb {
+		return fmt.Errorf("sync dir %s: %w", dir, ErrInjected)
+	}
+	return f.inner.SyncDir(dir)
+}
+
+// faultFile interposes on one open file's reads, writes and syncs.
+type faultFile struct {
+	fs    *FS
+	inner atomicfile.File
+}
+
+func (ff *faultFile) Name() string { return ff.inner.Name() }
+
+func (ff *faultFile) Read(p []byte) (int, error) {
+	f := ff.fs
+	f.mu.Lock()
+	if f.crashed {
+		f.mu.Unlock()
+		return 0, ErrCrashed
+	}
+	short := len(p) > 1 && f.rng.Float64() < f.cfg.ShortReadProb
+	var cut int
+	if short {
+		cut = 1 + f.rng.Intn(len(p)-1)
+	}
+	flip := f.cfg.BitFlipProb > 0 && f.rng.Float64() < f.cfg.BitFlipProb
+	var flipAt int64
+	if flip {
+		flipAt = f.rng.Int63()
+	}
+	f.mu.Unlock()
+
+	if short {
+		p = p[:cut]
+	}
+	n, err := ff.inner.Read(p)
+	if flip && n > 0 {
+		i := int(flipAt % int64(n))
+		p[i] ^= 1 << uint(flipAt%8)
+	}
+	return n, err
+}
+
+func (ff *faultFile) Write(p []byte) (int, error) {
+	f := ff.fs
+	f.mu.Lock()
+	crashNow := f.mutate()
+	if !crashNow && f.crashed {
+		f.mu.Unlock()
+		return 0, ErrCrashed
+	}
+	torn := crashNow || f.rng.Float64() < f.cfg.WriteFailProb
+	var keep int
+	if torn && len(p) > 0 {
+		keep = f.rng.Intn(len(p))
+	}
+	f.mu.Unlock()
+
+	if torn {
+		n, _ := ff.inner.Write(p[:keep])
+		if crashNow {
+			return n, ErrCrashed
+		}
+		return n, fmt.Errorf("torn write of %s after %d/%d bytes: %w", ff.inner.Name(), n, len(p), ErrInjected)
+	}
+	return ff.inner.Write(p)
+}
+
+func (ff *faultFile) Sync() error {
+	f := ff.fs
+	f.mu.Lock()
+	if f.mutate() || f.crashed {
+		f.mu.Unlock()
+		return ErrCrashed
+	}
+	fail := f.rng.Float64() < f.cfg.SyncFailProb
+	f.mu.Unlock()
+	if fail {
+		return fmt.Errorf("sync %s: %w", ff.inner.Name(), ErrInjected)
+	}
+	return ff.inner.Sync()
+}
+
+func (ff *faultFile) Close() error {
+	// Close always reaches the inner file so descriptors never leak,
+	// crash or no crash.
+	err := ff.inner.Close()
+	ff.fs.mu.Lock()
+	crashed := ff.fs.crashed
+	ff.fs.mu.Unlock()
+	if crashed {
+		return ErrCrashed
+	}
+	return err
+}

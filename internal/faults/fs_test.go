@@ -1,0 +1,218 @@
+package faults
+
+import (
+	"errors"
+	"io"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+func TestFSConfigValidate(t *testing.T) {
+	bad := []FSConfig{
+		{WriteFailProb: -0.1},
+		{ShortReadProb: 1.5},
+		{BitFlipProb: 2},
+		{SyncFailProb: -1},
+		{RenameFailProb: 1.01},
+		{CrashAfterWrites: -1},
+	}
+	for i, cfg := range bad {
+		if _, err := NewFS(nil, cfg); err == nil {
+			t.Errorf("config %d accepted: %+v", i, cfg)
+		}
+	}
+	if _, err := NewFS(nil, FSConfig{Seed: 1, WriteFailProb: 0.5, CrashAfterWrites: 3}); err != nil {
+		t.Errorf("valid config rejected: %v", err)
+	}
+}
+
+// TestFSTornWriteKeepsPrefix: an injected write failure persists only a
+// prefix of the buffer and wraps ErrInjected.
+func TestFSTornWriteKeepsPrefix(t *testing.T) {
+	ffs, err := NewFS(nil, FSConfig{Seed: 3, WriteFailProb: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(t.TempDir(), "f")
+	f, err := ffs.OpenFile(path, os.O_CREATE|os.O_WRONLY, 0o644)
+	if err != nil {
+		t.Fatal(err)
+	}
+	payload := make([]byte, 100)
+	for i := range payload {
+		payload[i] = byte(i)
+	}
+	n, werr := f.Write(payload)
+	if !errors.Is(werr, ErrInjected) {
+		t.Fatalf("write err = %v, want ErrInjected", werr)
+	}
+	f.Close()
+	onDisk, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(onDisk) != n || len(onDisk) >= len(payload) {
+		t.Fatalf("torn write left %d bytes (reported %d), want a strict prefix of %d",
+			len(onDisk), n, len(payload))
+	}
+	for i, b := range onDisk {
+		if b != payload[i] {
+			t.Fatalf("torn write byte %d = %d, not a prefix", i, b)
+		}
+	}
+}
+
+// TestFSDeterministic: the same seed over the same operation sequence
+// injects exactly the same faults.
+func TestFSDeterministic(t *testing.T) {
+	run := func() (errs []bool, sizes []int64) {
+		ffs, err := NewFS(nil, FSConfig{Seed: 99, WriteFailProb: 0.5, SyncFailProb: 0.3})
+		if err != nil {
+			t.Fatal(err)
+		}
+		dir := t.TempDir()
+		for i := 0; i < 20; i++ {
+			path := filepath.Join(dir, "f")
+			f, err := ffs.OpenFile(path, os.O_CREATE|os.O_TRUNC|os.O_WRONLY, 0o644)
+			if err != nil {
+				t.Fatal(err)
+			}
+			_, werr := f.Write(make([]byte, 64))
+			serr := f.Sync()
+			f.Close()
+			errs = append(errs, werr != nil, serr != nil)
+			if st, err := os.Stat(path); err == nil {
+				sizes = append(sizes, st.Size())
+			}
+		}
+		return errs, sizes
+	}
+	e1, s1 := run()
+	e2, s2 := run()
+	for i := range e1 {
+		if e1[i] != e2[i] {
+			t.Fatalf("fault schedule diverged at draw %d: %v vs %v", i, e1, e2)
+		}
+	}
+	for i := range s1 {
+		if s1[i] != s2[i] {
+			t.Fatalf("torn-write sizes diverged at op %d: %v vs %v", i, s1, s2)
+		}
+	}
+}
+
+// TestFSCrashPoint: the N-th mutating op tears, and everything after —
+// including reads and opens — answers ErrCrashed.
+func TestFSCrashPoint(t *testing.T) {
+	ffs, err := NewFS(nil, FSConfig{Seed: 1, CrashAfterWrites: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	dir := t.TempDir()
+	f, err := ffs.OpenFile(filepath.Join(dir, "f"), os.O_CREATE|os.O_WRONLY, 0o644)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.Write([]byte("one")); err != nil { // mutating op 1
+		t.Fatalf("write before crash point: %v", err)
+	}
+	if err := f.Sync(); err != nil { // op 2
+		t.Fatalf("sync before crash point: %v", err)
+	}
+	if _, err := f.Write([]byte("three")); !errors.Is(err, ErrCrashed) { // op 3: crash
+		t.Fatalf("crashing write err = %v, want ErrCrashed", err)
+	}
+	if !ffs.Crashed() {
+		t.Fatal("Crashed() false after the crash point")
+	}
+	if _, err := f.Write([]byte("late")); !errors.Is(err, ErrCrashed) {
+		t.Errorf("post-crash write err = %v", err)
+	}
+	if err := f.Sync(); !errors.Is(err, ErrCrashed) {
+		t.Errorf("post-crash sync err = %v", err)
+	}
+	f.Close()
+	if _, err := ffs.OpenFile(filepath.Join(dir, "f"), os.O_RDONLY, 0); !errors.Is(err, ErrCrashed) {
+		t.Errorf("post-crash open err = %v", err)
+	}
+	if err := ffs.Rename(filepath.Join(dir, "a"), filepath.Join(dir, "b")); !errors.Is(err, ErrCrashed) {
+		t.Errorf("post-crash rename err = %v", err)
+	}
+	// The torn crash write persisted at most a prefix.
+	onDisk, err := os.ReadFile(filepath.Join(dir, "f"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(onDisk) > len("one")+len("three") {
+		t.Errorf("crash persisted %d bytes", len(onDisk))
+	}
+}
+
+// TestFSShortReadsConverge: with every read shortened, io.ReadAll still
+// assembles the full content — short reads truncate a call, not a file.
+func TestFSShortReadsConverge(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "f")
+	content := make([]byte, 4096)
+	for i := range content {
+		content[i] = byte(i * 7)
+	}
+	if err := os.WriteFile(path, content, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	ffs, err := NewFS(nil, FSConfig{Seed: 5, ShortReadProb: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	f, err := ffs.OpenFile(path, os.O_RDONLY, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	got, err := io.ReadAll(f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != len(content) {
+		t.Fatalf("ReadAll over short reads got %d bytes, want %d", len(got), len(content))
+	}
+	for i := range got {
+		if got[i] != content[i] {
+			t.Fatalf("byte %d corrupted by short reads", i)
+		}
+	}
+}
+
+// TestFSBitFlip: a flip-injected read differs from disk in exactly one
+// bit.
+func TestFSBitFlip(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "f")
+	content := make([]byte, 256)
+	if err := os.WriteFile(path, content, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	ffs, err := NewFS(nil, FSConfig{Seed: 11, BitFlipProb: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	f, err := ffs.OpenFile(path, os.O_RDONLY, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	buf := make([]byte, len(content))
+	n, err := f.Read(buf)
+	if err != nil || n == 0 {
+		t.Fatalf("read: n=%d err=%v", n, err)
+	}
+	flipped := 0
+	for i := 0; i < n; i++ {
+		b := buf[i] ^ content[i]
+		for ; b != 0; b &= b - 1 {
+			flipped++
+		}
+	}
+	if flipped != 1 {
+		t.Errorf("read flipped %d bits, want exactly 1", flipped)
+	}
+}

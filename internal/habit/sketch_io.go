@@ -1,0 +1,288 @@
+// Binary serialisation of the profile sketch. The durable serve store
+// journals sketch states so a restart recovers exactly the profiles it
+// acknowledged; that only works if the encoding is bit-faithful, so
+// floats travel as raw IEEE-754 bits and both app sets in sorted order.
+// The round-trip invariant the store (and its tests) lean on:
+//
+//	UnmarshalSketch(s.MarshalBinary()).Hash() == s.Hash()
+//
+// holds for every sketch with no open event-level day.
+package habit
+
+import (
+	"bytes"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"math"
+	"sort"
+
+	"netmaster/internal/simtime"
+	"netmaster/internal/trace"
+)
+
+// sketchMagic versions the encoding; bump on any layout change.
+var sketchMagic = []byte("NMSK1\x00")
+
+// ErrCorruptSketch marks a sketch blob that fails structural
+// validation; errors.Is-able so the store can refuse corrupted journal
+// records with a typed cause.
+var ErrCorruptSketch = errors.New("habit: corrupt sketch encoding")
+
+// maxSketchStrings bounds decoded string and slice lengths, so a
+// corrupted length prefix cannot drive allocation to OOM.
+const maxSketchStrings = 1 << 20
+
+type sketchEnc struct {
+	buf bytes.Buffer
+	tmp [8]byte
+}
+
+func (e *sketchEnc) u64(v uint64) {
+	binary.LittleEndian.PutUint64(e.tmp[:], v)
+	e.buf.Write(e.tmp[:])
+}
+
+func (e *sketchEnc) i64(v int64)   { e.u64(uint64(v)) }
+func (e *sketchEnc) f64(v float64) { e.u64(math.Float64bits(v)) }
+
+func (e *sketchEnc) str(s string) {
+	e.i64(int64(len(s)))
+	e.buf.WriteString(s)
+}
+
+// MarshalBinary encodes the full sketch state: config, day counter,
+// every accumulator bit, both app sets. Sketches with an open
+// event-level day refuse to marshal — close the day first.
+func (s *Sketch) MarshalBinary() ([]byte, error) {
+	if s.open.dirty() {
+		return nil, fmt.Errorf("habit: cannot marshal a sketch with an open event-level day")
+	}
+	var e sketchEnc
+	e.buf.Write(sketchMagic)
+	e.str(s.userID)
+	e.i64(int64(s.days))
+	e.i64(int64(s.cfg.SlotWidth))
+	e.f64(s.cfg.WeekdayThreshold)
+	e.f64(s.cfg.WeekendThreshold)
+	e.f64(s.cfg.RecencyHalfLifeDays)
+	for _, dt := range []*DayTypeProfile{&s.weekday, &s.weekend} {
+		e.i64(int64(dt.Days))
+		e.f64(dt.weightSum)
+		e.i64(int64(len(dt.Slots)))
+		for _, sl := range dt.Slots {
+			e.f64(sl.UseProb)
+			e.f64(sl.NetProb)
+			e.f64(sl.OffBytesDown)
+			e.f64(sl.OffBytesUp)
+			e.f64(sl.OffBursts)
+		}
+		e.i64(int64(len(dt.OffDemand)))
+		for _, d := range dt.OffDemand {
+			e.i64(int64(len(d)))
+			for _, ad := range d {
+				e.str(string(ad.App))
+				e.f64(ad.BytesDown)
+				e.f64(ad.BytesUp)
+				e.f64(ad.Bursts)
+			}
+		}
+	}
+	for _, set := range []map[trace.AppID]bool{s.networkApps, s.interacted} {
+		apps := make([]string, 0, len(set))
+		for app := range set {
+			apps = append(apps, string(app))
+		}
+		sort.Strings(apps)
+		e.i64(int64(len(apps)))
+		for _, app := range apps {
+			e.str(app)
+		}
+	}
+	return e.buf.Bytes(), nil
+}
+
+type sketchDec struct {
+	b   []byte
+	off int
+}
+
+func (d *sketchDec) fail(what string) error {
+	return fmt.Errorf("%w: %s at offset %d", ErrCorruptSketch, what, d.off)
+}
+
+func (d *sketchDec) u64() (uint64, error) {
+	if d.off+8 > len(d.b) {
+		return 0, d.fail("truncated")
+	}
+	v := binary.LittleEndian.Uint64(d.b[d.off:])
+	d.off += 8
+	return v, nil
+}
+
+func (d *sketchDec) i64() (int64, error) {
+	v, err := d.u64()
+	return int64(v), err
+}
+
+// count decodes a non-negative, sanity-bounded length prefix.
+func (d *sketchDec) count(what string) (int, error) {
+	v, err := d.i64()
+	if err != nil {
+		return 0, err
+	}
+	if v < 0 || v > maxSketchStrings {
+		return 0, d.fail(fmt.Sprintf("implausible %s count %d", what, v))
+	}
+	return int(v), nil
+}
+
+func (d *sketchDec) f64() (float64, error) {
+	v, err := d.u64()
+	return math.Float64frombits(v), err
+}
+
+func (d *sketchDec) str() (string, error) {
+	n, err := d.count("string length")
+	if err != nil {
+		return "", err
+	}
+	if d.off+n > len(d.b) {
+		return "", d.fail("truncated string")
+	}
+	s := string(d.b[d.off : d.off+n])
+	d.off += n
+	return s, nil
+}
+
+// UnmarshalSketch decodes a MarshalBinary blob, validating structure as
+// it goes: magic, config sanity, slot-count consistency and bounded
+// lengths. Corruption yields an error wrapping ErrCorruptSketch, never
+// a panic or a silently wrong sketch.
+func UnmarshalSketch(b []byte) (*Sketch, error) {
+	d := &sketchDec{b: b}
+	if len(b) < len(sketchMagic) || !bytes.Equal(b[:len(sketchMagic)], sketchMagic) {
+		return nil, d.fail("bad magic")
+	}
+	d.off = len(sketchMagic)
+	userID, err := d.str()
+	if err != nil {
+		return nil, err
+	}
+	days, err := d.i64()
+	if err != nil {
+		return nil, err
+	}
+	if days < 0 {
+		return nil, d.fail("negative day counter")
+	}
+	var cfg Config
+	sw, err := d.i64()
+	if err != nil {
+		return nil, err
+	}
+	cfg.SlotWidth = simtime.Duration(sw)
+	if cfg.WeekdayThreshold, err = d.f64(); err != nil {
+		return nil, err
+	}
+	if cfg.WeekendThreshold, err = d.f64(); err != nil {
+		return nil, err
+	}
+	if cfg.RecencyHalfLifeDays, err = d.f64(); err != nil {
+		return nil, err
+	}
+	if err := cfg.validate(); err != nil {
+		return nil, fmt.Errorf("%w: %v", ErrCorruptSketch, err)
+	}
+	s, err := NewSketch(userID, cfg)
+	if err != nil {
+		return nil, fmt.Errorf("%w: %v", ErrCorruptSketch, err)
+	}
+	s.days = int(days)
+	slots := s.slots()
+	for _, dt := range []*DayTypeProfile{&s.weekday, &s.weekend} {
+		dd, err := d.i64()
+		if err != nil {
+			return nil, err
+		}
+		if dd < 0 {
+			return nil, d.fail("negative day-type day count")
+		}
+		dt.Days = int(dd)
+		if dt.weightSum, err = d.f64(); err != nil {
+			return nil, err
+		}
+		n, err := d.count("slot")
+		if err != nil {
+			return nil, err
+		}
+		if n != slots {
+			return nil, d.fail(fmt.Sprintf("slot count %d does not match slot width (%d slots)", n, slots))
+		}
+		for i := range dt.Slots {
+			sl := &dt.Slots[i]
+			if sl.UseProb, err = d.f64(); err != nil {
+				return nil, err
+			}
+			if sl.NetProb, err = d.f64(); err != nil {
+				return nil, err
+			}
+			if sl.OffBytesDown, err = d.f64(); err != nil {
+				return nil, err
+			}
+			if sl.OffBytesUp, err = d.f64(); err != nil {
+				return nil, err
+			}
+			if sl.OffBursts, err = d.f64(); err != nil {
+				return nil, err
+			}
+		}
+		n, err = d.count("off-demand slot")
+		if err != nil {
+			return nil, err
+		}
+		if n != slots {
+			return nil, d.fail(fmt.Sprintf("off-demand slot count %d does not match slot width (%d slots)", n, slots))
+		}
+		for i := 0; i < slots; i++ {
+			m, err := d.count("off-demand app")
+			if err != nil {
+				return nil, err
+			}
+			for j := 0; j < m; j++ {
+				app, err := d.str()
+				if err != nil {
+					return nil, err
+				}
+				ad := AppOffDemand{App: trace.AppID(app)}
+				if ad.BytesDown, err = d.f64(); err != nil {
+					return nil, err
+				}
+				if ad.BytesUp, err = d.f64(); err != nil {
+					return nil, err
+				}
+				if ad.Bursts, err = d.f64(); err != nil {
+					return nil, err
+				}
+				dt.OffDemand[i] = append(dt.OffDemand[i], ad)
+			}
+		}
+	}
+	for _, set := range []map[trace.AppID]bool{s.networkApps, s.interacted} {
+		n, err := d.count("app set")
+		if err != nil {
+			return nil, err
+		}
+		for i := 0; i < n; i++ {
+			app, err := d.str()
+			if err != nil {
+				return nil, err
+			}
+			set[trace.AppID(app)] = true
+		}
+	}
+	if d.off != len(b) {
+		return nil, d.fail(fmt.Sprintf("%d trailing bytes", len(b)-d.off))
+	}
+	return s, nil
+}

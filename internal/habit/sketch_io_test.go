@@ -1,0 +1,120 @@
+package habit
+
+import (
+	"errors"
+	"math/rand"
+	"reflect"
+	"testing"
+)
+
+// TestSketchMarshalRoundTrip: for random traces and configs, decoding a
+// marshalled sketch reproduces the exact state — same hash (so the
+// durable store's identity survives a restart) and same profile.
+func TestSketchMarshalRoundTrip(t *testing.T) {
+	for seed := int64(1); seed <= 6; seed++ {
+		tr := randomTrace(seed, 10)
+		for _, cfg := range []Config{DefaultConfig(), {
+			SlotWidth:           DefaultConfig().SlotWidth / 2,
+			WeekdayThreshold:    0.4,
+			WeekendThreshold:    0.3,
+			RecencyHalfLifeDays: 7,
+		}} {
+			sk, err := NewSketch(tr.UserID, cfg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if err := sk.FoldTrace(tr); err != nil {
+				t.Fatal(err)
+			}
+			blob, err := sk.MarshalBinary()
+			if err != nil {
+				t.Fatal(err)
+			}
+			got, err := UnmarshalSketch(blob)
+			if err != nil {
+				t.Fatalf("seed %d: unmarshal: %v", seed, err)
+			}
+			if got.Hash() != sk.Hash() {
+				t.Errorf("seed %d: hash changed across round-trip: %s vs %s", seed, got.Hash(), sk.Hash())
+			}
+			if !reflect.DeepEqual(got.Profile(), sk.Profile()) {
+				t.Errorf("seed %d: profile changed across round-trip", seed)
+			}
+			// Re-marshalling the decoded sketch is byte-identical — the
+			// encoding is canonical, so journaled blobs are stable.
+			again, err := got.MarshalBinary()
+			if err != nil {
+				t.Fatal(err)
+			}
+			if string(again) != string(blob) {
+				t.Errorf("seed %d: re-marshal differs from original blob", seed)
+			}
+		}
+	}
+}
+
+// TestSketchMarshalRefusesOpenDay: an open event-level day is
+// unfinished state and must not serialise.
+func TestSketchMarshalRefusesOpenDay(t *testing.T) {
+	sk, err := NewSketch("alice", DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := sk.AddInteraction("mail", 3600); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := sk.MarshalBinary(); err == nil {
+		t.Fatal("marshal of a sketch with an open day accepted")
+	}
+}
+
+// TestUnmarshalSketchCorruptionMatrix: truncations at every boundary
+// and scattered bit flips must yield ErrCorruptSketch — never a panic,
+// never a quietly different sketch.
+func TestUnmarshalSketchCorruptionMatrix(t *testing.T) {
+	tr := randomTrace(42, 8)
+	sk, err := NewSketch(tr.UserID, DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := sk.FoldTrace(tr); err != nil {
+		t.Fatal(err)
+	}
+	blob, err := sk.MarshalBinary()
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantHash := sk.Hash()
+
+	// Every truncation point: either a typed corruption error, or (for
+	// flips that do not change structure, impossible for truncation) a
+	// decode; silent success with different content is the failure mode
+	// under test.
+	for cut := 0; cut < len(blob); cut++ {
+		if _, err := UnmarshalSketch(blob[:cut]); !errors.Is(err, ErrCorruptSketch) {
+			t.Fatalf("truncation at %d: err = %v, want ErrCorruptSketch", cut, err)
+		}
+	}
+	// Trailing garbage is corruption too.
+	if _, err := UnmarshalSketch(append(append([]byte(nil), blob...), 0)); !errors.Is(err, ErrCorruptSketch) {
+		t.Fatalf("trailing byte: err = %v, want ErrCorruptSketch", err)
+	}
+	// Bit flips: structural fields fail typed; flips inside float
+	// payloads decode but must change the hash — either way the store's
+	// hash check catches the record.
+	rng := rand.New(rand.NewSource(7))
+	for trial := 0; trial < 200; trial++ {
+		mut := append([]byte(nil), blob...)
+		mut[rng.Intn(len(mut))] ^= 1 << uint(rng.Intn(8))
+		got, err := UnmarshalSketch(mut)
+		if err != nil {
+			if !errors.Is(err, ErrCorruptSketch) {
+				t.Fatalf("bit flip trial %d: untyped error %v", trial, err)
+			}
+			continue
+		}
+		if got.Hash() == wantHash {
+			t.Fatalf("bit flip trial %d decoded to the original hash", trial)
+		}
+	}
+}

@@ -1,0 +1,159 @@
+// Binary serialisation of the record log — the "flash image" a device
+// would persist between monitoring sessions. The format is defensive by
+// construction: a magic header, a record count, fixed-layout records
+// with length-prefixed app names, and a trailing CRC-32C over the whole
+// image. Read validates all of it and answers corruption with a typed
+// *CorruptError carrying the byte offset — never a panic, and never a
+// silently shortened log.
+package recorddb
+
+import (
+	"encoding/binary"
+	"fmt"
+	"hash/crc32"
+	"io"
+
+	"netmaster/internal/simtime"
+	"netmaster/internal/trace"
+)
+
+// imageMagic identifies a recorddb flash image (version 1).
+const imageMagic = "NMRDB1\x00\x00"
+
+// maxAppNameLen bounds one record's app-name field; anything larger is
+// a corrupted length prefix, not a package name.
+const maxAppNameLen = 4096
+
+// maxImageRecords bounds the declared record count so a corrupted
+// header cannot drive allocation. 1<<26 records ≈ 3 GiB decoded, far
+// beyond any on-device log.
+const maxImageRecords = 1 << 26
+
+var crcTable = crc32.MakeTable(crc32.Castagnoli)
+
+// CorruptError reports a structurally invalid flash image: where the
+// decoder was when it gave up and why.
+type CorruptError struct {
+	Offset int64
+	Reason string
+}
+
+func (e *CorruptError) Error() string {
+	return fmt.Sprintf("recorddb: corrupt image at byte %d: %s", e.Offset, e.Reason)
+}
+
+func corrupt(off int64, format string, args ...any) error {
+	return &CorruptError{Offset: off, Reason: fmt.Sprintf(format, args...)}
+}
+
+// WriteTo serialises every record (flushed and cached, in time order)
+// as one flash image. It implements io.WriterTo.
+func (db *DB) WriteTo(w io.Writer) (int64, error) {
+	recs := db.All()
+	buf := make([]byte, 0, len(imageMagic)+8+len(recs)*32+4)
+	buf = append(buf, imageMagic...)
+	buf = binary.LittleEndian.AppendUint64(buf, uint64(len(recs)))
+	for _, r := range recs {
+		buf = binary.LittleEndian.AppendUint64(buf, uint64(int64(r.Time)))
+		buf = append(buf, byte(r.Feature))
+		buf = binary.LittleEndian.AppendUint64(buf, uint64(r.Value))
+		up := byte(0)
+		if r.Up {
+			up = 1
+		}
+		buf = append(buf, up)
+		if len(r.App) > maxAppNameLen {
+			return 0, fmt.Errorf("recorddb: app name %d bytes exceeds limit %d", len(r.App), maxAppNameLen)
+		}
+		buf = binary.LittleEndian.AppendUint16(buf, uint16(len(r.App)))
+		buf = append(buf, r.App...)
+	}
+	buf = binary.LittleEndian.AppendUint32(buf, crc32.Checksum(buf, crcTable))
+	n, err := w.Write(buf)
+	return int64(n), err
+}
+
+// Read decodes a flash image into a fresh DB under cfg. All records
+// land in the durable store (they were flushed to produce the image).
+// Any structural problem — bad magic, impossible counts or lengths,
+// truncation, trailing bytes, checksum mismatch — returns a
+// *CorruptError; Read never panics on hostile input.
+func Read(r io.Reader, cfg Config) (*DB, error) {
+	db, err := Open(cfg)
+	if err != nil {
+		return nil, err
+	}
+	img, err := io.ReadAll(r)
+	if err != nil {
+		return nil, fmt.Errorf("recorddb: read image: %w", err)
+	}
+	if len(img) < len(imageMagic)+8+4 {
+		return nil, corrupt(int64(len(img)), "image truncated before header (%d bytes)", len(img))
+	}
+	if string(img[:len(imageMagic)]) != imageMagic {
+		return nil, corrupt(0, "bad magic %q", img[:len(imageMagic)])
+	}
+	// The CRC covers everything before its own four bytes.
+	body, sum := img[:len(img)-4], binary.LittleEndian.Uint32(img[len(img)-4:])
+	if got := crc32.Checksum(body, crcTable); got != sum {
+		return nil, corrupt(int64(len(body)), "checksum mismatch: computed %08x, stored %08x", got, sum)
+	}
+	off := int64(len(imageMagic))
+	count := binary.LittleEndian.Uint64(body[off:])
+	off += 8
+	if count > maxImageRecords {
+		return nil, corrupt(off-8, "record count %d exceeds limit %d", count, maxImageRecords)
+	}
+	need := func(n int64, what string) error {
+		if off+n > int64(len(body)) {
+			return corrupt(off, "image truncated inside %s", what)
+		}
+		return nil
+	}
+	db.store = make([]Record, 0, count)
+	for i := uint64(0); i < count; i++ {
+		if err := need(20, "record header"); err != nil {
+			return nil, err
+		}
+		var rec Record
+		rec.Time = simtime.Instant(binary.LittleEndian.Uint64(body[off:]))
+		off += 8
+		rec.Feature = Feature(body[off])
+		off++
+		if rec.Feature < 0 || int(rec.Feature) >= len(featureNames) {
+			return nil, corrupt(off-1, "record %d: unknown feature %d", i, int(rec.Feature))
+		}
+		rec.Value = int64(binary.LittleEndian.Uint64(body[off:]))
+		off += 8
+		switch body[off] {
+		case 0:
+		case 1:
+			rec.Up = true
+		default:
+			return nil, corrupt(off, "record %d: up flag %d not 0 or 1", i, body[off])
+		}
+		off++
+		appLen := int64(binary.LittleEndian.Uint16(body[off:]))
+		off += 2
+		if appLen > maxAppNameLen {
+			return nil, corrupt(off-2, "record %d: app name length %d exceeds limit %d", i, appLen, maxAppNameLen)
+		}
+		if err := need(appLen, "app name"); err != nil {
+			return nil, err
+		}
+		rec.App = trace.AppID(body[off : off+appLen])
+		off += appLen
+		if len(db.store) > 0 && rec.Time < db.store[len(db.store)-1].Time {
+			return nil, corrupt(off, "record %d: time %d out of order", i, int64(rec.Time))
+		}
+		db.store = append(db.store, rec)
+	}
+	if off != int64(len(body)) {
+		return nil, corrupt(off, "%d trailing bytes after %d records", int64(len(body))-off, count)
+	}
+	db.appended = len(db.store)
+	if len(db.store) > 0 {
+		db.flushes = 1
+	}
+	return db, nil
+}

@@ -1,0 +1,192 @@
+package recorddb
+
+import (
+	"bytes"
+	"encoding/binary"
+	"errors"
+	"hash/crc32"
+	"math/rand"
+	"reflect"
+	"strings"
+	"testing"
+)
+
+func testImageDB(t *testing.T) *DB {
+	t.Helper()
+	db, err := Open(DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	recs := []Record{
+		{Time: 10, Feature: FeatureScreen, Value: 1},
+		{Time: 11, Feature: FeatureApp, App: "com.example.mail"},
+		{Time: 12, Feature: FeatureNetwork, Value: 4096, Up: true},
+		{Time: 30, Feature: FeatureNetwork, Value: 200},
+		{Time: 31, Feature: FeatureInteraction, App: "com.example.maps", Value: 1},
+		{Time: 60, Feature: FeatureScreen, Value: 0},
+	}
+	for _, r := range recs {
+		db.Append(r)
+	}
+	return db
+}
+
+func TestImageRoundTrip(t *testing.T) {
+	db := testImageDB(t)
+	var buf bytes.Buffer
+	if _, err := db.WriteTo(&buf); err != nil {
+		t.Fatal(err)
+	}
+	got, err := Read(bytes.NewReader(buf.Bytes()), DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(got.All(), db.All()) {
+		t.Errorf("round-trip changed records:\n got %+v\nwant %+v", got.All(), db.All())
+	}
+	if got.Len() != db.Len() {
+		t.Errorf("round-trip Len %d, want %d", got.Len(), db.Len())
+	}
+	// Decoded records are queryable like the originals.
+	q := got.Query(0, 100, FeatureNetwork)
+	if len(q) != 2 {
+		t.Errorf("query after decode returned %d records, want 2", len(q))
+	}
+}
+
+func TestImageEmptyRoundTrip(t *testing.T) {
+	db, err := Open(DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if _, err := db.WriteTo(&buf); err != nil {
+		t.Fatal(err)
+	}
+	got, err := Read(bytes.NewReader(buf.Bytes()), DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Len() != 0 {
+		t.Errorf("empty image decoded to %d records", got.Len())
+	}
+}
+
+// TestImageCorruptionMatrix: every truncation point and random bit
+// flips must produce a typed *CorruptError — no panics, no silently
+// shortened or altered logs.
+func TestImageCorruptionMatrix(t *testing.T) {
+	db := testImageDB(t)
+	var buf bytes.Buffer
+	if _, err := db.WriteTo(&buf); err != nil {
+		t.Fatal(err)
+	}
+	img := buf.Bytes()
+
+	for cut := 0; cut < len(img); cut++ {
+		_, err := Read(bytes.NewReader(img[:cut]), DefaultConfig())
+		var ce *CorruptError
+		if !errors.As(err, &ce) {
+			t.Fatalf("truncation at %d: err = %v, want *CorruptError", cut, err)
+		}
+	}
+	rng := rand.New(rand.NewSource(13))
+	for trial := 0; trial < 300; trial++ {
+		mut := append([]byte(nil), img...)
+		mut[rng.Intn(len(mut))] ^= 1 << uint(rng.Intn(8))
+		_, err := Read(bytes.NewReader(mut), DefaultConfig())
+		var ce *CorruptError
+		if !errors.As(err, &ce) {
+			t.Fatalf("bit flip trial %d: err = %v, want *CorruptError (CRC must catch any flip)", trial, err)
+		}
+	}
+	// Trailing garbage past the checksum.
+	_, err := Read(bytes.NewReader(append(append([]byte(nil), img...), 0xAA)), DefaultConfig())
+	var ce *CorruptError
+	if !errors.As(err, &ce) {
+		t.Fatalf("trailing byte: err = %v, want *CorruptError", err)
+	}
+}
+
+func TestImageCorruptErrorNamesOffset(t *testing.T) {
+	_, err := Read(strings.NewReader("BOGUSMAGIC and then some filler bytes"), DefaultConfig())
+	var ce *CorruptError
+	if !errors.As(err, &ce) {
+		t.Fatalf("err = %v, want *CorruptError", err)
+	}
+	if ce.Offset != 0 || !strings.Contains(ce.Reason, "magic") {
+		t.Errorf("bad-magic error = %+v, want offset 0 naming magic", ce)
+	}
+	if !strings.Contains(ce.Error(), "byte 0") {
+		t.Errorf("Error() = %q", ce.Error())
+	}
+}
+
+// TestImageHostileHeader: a forged record count must not drive
+// allocation or panic — the checksum and bounds checks reject it first.
+func TestImageHostileHeader(t *testing.T) {
+	img := []byte(imageMagic)
+	// Claim 2^60 records.
+	img = append(img, 0, 0, 0, 0, 0, 0, 0, 0x10)
+	img = append(img, 0, 0, 0, 0) // bogus CRC
+	_, err := Read(bytes.NewReader(img), DefaultConfig())
+	var ce *CorruptError
+	if !errors.As(err, &ce) {
+		t.Fatalf("hostile header: err = %v, want *CorruptError", err)
+	}
+}
+
+func TestImageOutOfOrderRecordsRejected(t *testing.T) {
+	// Craft an image with descending timestamps by writing two DBs and
+	// splicing is fiddly; instead build it through the encoder and then
+	// swap the two record times in place, re-stamping the CRC.
+	db, err := Open(DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	db.Append(Record{Time: 5, Feature: FeatureScreen, Value: 1})
+	db.Append(Record{Time: 9, Feature: FeatureScreen, Value: 0})
+	var buf bytes.Buffer
+	if _, err := db.WriteTo(&buf); err != nil {
+		t.Fatal(err)
+	}
+	img := buf.Bytes()
+	// Record layout after magic(8)+count(8): time is the first 8 bytes
+	// of each 20-byte fixed part (no app names here).
+	r1 := len(imageMagic) + 8
+	r2 := r1 + 20
+	img[r1], img[r2] = img[r2], img[r1] // 5 <-> 9: now descending
+	restampImageCRC(img)
+	_, rerr := Read(bytes.NewReader(img), DefaultConfig())
+	var ce *CorruptError
+	if !errors.As(rerr, &ce) || !strings.Contains(ce.Reason, "out of order") {
+		t.Fatalf("out-of-order image: err = %v, want *CorruptError naming order", rerr)
+	}
+}
+
+// restampImageCRC recomputes the trailing checksum after a test mutated
+// the body, so the mutation under test is the structural one.
+func restampImageCRC(img []byte) {
+	binary.LittleEndian.PutUint32(img[len(img)-4:], crc32.Checksum(img[:len(img)-4], crcTable))
+}
+
+func TestImageFlushAccounting(t *testing.T) {
+	db := testImageDB(t)
+	var buf bytes.Buffer
+	if _, err := db.WriteTo(&buf); err != nil {
+		t.Fatal(err)
+	}
+	got, err := Read(bytes.NewReader(buf.Bytes()), DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	st := got.Stats()
+	if st.CachedNow != 0 || st.StoredNow != db.Len() || st.Appended != db.Len() {
+		t.Errorf("decoded stats = %+v", st)
+	}
+	// Appends continue normally on a decoded DB.
+	got.Append(Record{Time: 100, Feature: FeatureScreen, Value: 1})
+	if got.Len() != db.Len()+1 {
+		t.Errorf("append after decode: len %d", got.Len())
+	}
+}

@@ -289,9 +289,23 @@ type FleetReportResponse struct {
 	Analysis analyze.FleetReport     `json:"analysis"`
 }
 
-// HealthResponse is the body of GET /healthz.
+// StoreStatus summarises the durable state layer on /healthz; absent
+// when the daemon runs without a -state-dir.
+type StoreStatus struct {
+	// Mode is "read_write" while the journal is healthy, "read_only"
+	// once an append failed and the daemon degraded to serving reads.
+	Mode string `json:"mode"`
+	// Seq is the last journal sequence number assigned.
+	Seq uint64 `json:"seq"`
+	// AppendsSinceCompact is the journal length beyond the snapshot.
+	AppendsSinceCompact int `json:"appends_since_compact"`
+}
+
+// HealthResponse is the body of GET /healthz. Status is "ok", or
+// "read_only" when the durable store has degraded.
 type HealthResponse struct {
-	Status   string `json:"status"`
-	Devices  int    `json:"devices"`
-	InFlight int64  `json:"in_flight"`
+	Status   string       `json:"status"`
+	Devices  int          `json:"devices"`
+	InFlight int64        `json:"in_flight"`
+	Store    *StoreStatus `json:"store,omitempty"`
 }

@@ -67,3 +67,15 @@ func (c *lru) Len() int {
 	defer c.mu.Unlock()
 	return c.ll.Len()
 }
+
+// each visits entries from least to most recently used — the order a
+// snapshot must record so re-inserting them rebuilds the same recency
+// state.
+func (c *lru) each(visit func(key string, val any)) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	for el := c.ll.Back(); el != nil; el = el.Prev() {
+		e := el.Value.(*lruEntry)
+		visit(e.key, e.val)
+	}
+}

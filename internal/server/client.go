@@ -4,50 +4,178 @@ import (
 	"bytes"
 	"context"
 	"encoding/json"
+	"errors"
 	"fmt"
 	"io"
 	"net/http"
+	"strconv"
 	"strings"
+	"time"
+
+	"netmaster/internal/faults"
+	"netmaster/internal/simtime"
 )
+
+// RetryPolicy bounds the client's transparent retries of transient
+// failures: 429 responses (honouring Retry-After), read_only 503s from
+// a degraded daemon, and network-level round-trip errors. Retries are
+// opt-in via WithRetry; the zero policy disables them.
+type RetryPolicy struct {
+	// MaxAttempts is the total number of tries, including the first.
+	// Values below 2 disable retrying.
+	MaxAttempts int
+	// BaseDelay is the first backoff step; it doubles per attempt.
+	BaseDelay time.Duration
+	// MaxDelay caps the backoff and any server-sent Retry-After.
+	MaxDelay time.Duration
+	// Seed keys the deterministic backoff jitter.
+	Seed uint64
+}
+
+// DefaultRetryPolicy retries overload answers a handful of times over
+// roughly a second — enough to ride out a draining or compacting
+// daemon without hiding a persistent outage.
+func DefaultRetryPolicy() RetryPolicy {
+	return RetryPolicy{MaxAttempts: 4, BaseDelay: 50 * time.Millisecond, MaxDelay: time.Second, Seed: 1}
+}
 
 // Client is a typed caller for the netmaster-serve API. The zero value
 // is not usable; build one with NewClient.
 type Client struct {
-	base string
-	http *http.Client
+	base  string
+	http  *http.Client
+	retry RetryPolicy
+	sleep func(ctx context.Context, d time.Duration) error
 }
 
 // NewClient returns a client for the daemon at baseURL (e.g.
 // "http://127.0.0.1:8080"). A nil httpClient uses http.DefaultClient.
+// The client does not retry; chain WithRetry to opt in.
 func NewClient(baseURL string, httpClient *http.Client) *Client {
 	if httpClient == nil {
 		httpClient = http.DefaultClient
 	}
-	return &Client{base: strings.TrimRight(baseURL, "/"), http: httpClient}
+	return &Client{base: strings.TrimRight(baseURL, "/"), http: httpClient, sleep: sleepCtx}
+}
+
+// WithRetry returns a copy of the client that retries transient
+// failures under p. The original client is unchanged.
+func (c *Client) WithRetry(p RetryPolicy) *Client {
+	d := *c
+	d.retry = p
+	return &d
+}
+
+// sleepCtx waits for d or the context, whichever ends first.
+func sleepCtx(ctx context.Context, d time.Duration) error {
+	if d <= 0 {
+		return ctx.Err()
+	}
+	t := time.NewTimer(d)
+	defer t.Stop()
+	select {
+	case <-ctx.Done():
+		return ctx.Err()
+	case <-t.C:
+		return nil
+	}
+}
+
+// retryable reports whether a failed attempt is worth repeating, and
+// the server-requested delay if it named one. Overload (429) and a
+// read-only daemon (503 kind "read_only") are transient by contract;
+// other API errors are answers, not failures. Transport errors retry
+// unless the caller's context ended.
+func retryable(err error, resp *http.Response) (bool, time.Duration) {
+	var ae *apiError
+	if errors.As(err, &ae) {
+		transient := ae.Code == http.StatusTooManyRequests ||
+			(ae.Code == http.StatusServiceUnavailable && ae.Kind == "read_only")
+		if !transient {
+			return false, 0
+		}
+		var after time.Duration
+		if resp != nil {
+			if secs, perr := strconv.Atoi(resp.Header.Get("Retry-After")); perr == nil && secs > 0 {
+				after = time.Duration(secs) * time.Second
+			}
+		}
+		return true, after
+	}
+	if err != nil && !errors.Is(err, context.Canceled) && !errors.Is(err, context.DeadlineExceeded) {
+		return true, 0
+	}
+	return false, 0
+}
+
+// backoffDelay is the wait before attempt n (1-based first retry),
+// jittered deterministically from the policy seed via faults.Backoff.
+func (p RetryPolicy) backoffDelay(attempt int, serverAfter time.Duration) time.Duration {
+	d := time.Duration(faults.Backoff(
+		simtime.Duration(p.BaseDelay/time.Millisecond),
+		simtime.Duration(p.MaxDelay/time.Millisecond),
+		attempt, p.Seed)) * time.Millisecond
+	if serverAfter > d {
+		d = serverAfter
+	}
+	if p.MaxDelay > 0 && d > p.MaxDelay {
+		d = p.MaxDelay
+	}
+	return d
 }
 
 // do round-trips one call: method + path + optional JSON body → decoded
 // response. API errors come back as *apiError with the server's kind
-// and message.
+// and message. Under a retry policy, transient failures are retried
+// with capped jittered backoff; the final error is returned verbatim.
 func (c *Client) do(ctx context.Context, method, path string, in, out any) error {
-	var body io.Reader
+	var payload []byte
 	if in != nil {
 		b, err := json.Marshal(in)
 		if err != nil {
 			return err
 		}
-		body = bytes.NewReader(b)
+		payload = b
+	}
+	attempts := c.retry.MaxAttempts
+	if attempts < 1 {
+		attempts = 1
+	}
+	var err error
+	for attempt := 0; attempt < attempts; attempt++ {
+		var resp *http.Response
+		err, resp = c.once(ctx, method, path, payload, out)
+		if err == nil {
+			return nil
+		}
+		ok, after := retryable(err, resp)
+		if !ok || attempt == attempts-1 {
+			return err
+		}
+		if serr := c.sleep(ctx, c.retry.backoffDelay(attempt+1, after)); serr != nil {
+			return err
+		}
+	}
+	return err
+}
+
+// once performs a single HTTP attempt. The response is returned (body
+// already closed) so the retry loop can read Retry-After.
+func (c *Client) once(ctx context.Context, method, path string, payload []byte, out any) (error, *http.Response) {
+	var body io.Reader
+	if payload != nil {
+		body = bytes.NewReader(payload)
 	}
 	req, err := http.NewRequestWithContext(ctx, method, c.base+path, body)
 	if err != nil {
-		return err
+		return err, nil
 	}
-	if in != nil {
+	if payload != nil {
 		req.Header.Set("Content-Type", "application/json")
 	}
 	resp, err := c.http.Do(req)
 	if err != nil {
-		return err
+		return err, nil
 	}
 	defer resp.Body.Close()
 	if resp.StatusCode != http.StatusOK {
@@ -56,14 +184,14 @@ func (c *Client) do(ctx context.Context, method, path string, in, out any) error
 		}
 		if jerr := json.NewDecoder(resp.Body).Decode(&e); jerr == nil && e.Error != nil {
 			e.Error.Code = resp.StatusCode
-			return e.Error
+			return e.Error, resp
 		}
-		return fmt.Errorf("server: %s %s: status %d", method, path, resp.StatusCode)
+		return fmt.Errorf("server: %s %s: status %d", method, path, resp.StatusCode), resp
 	}
 	if out == nil {
-		return nil
+		return nil, resp
 	}
-	return json.NewDecoder(resp.Body).Decode(out)
+	return json.NewDecoder(resp.Body).Decode(out), resp
 }
 
 // Mine calls POST /v1/mine.

@@ -1,0 +1,186 @@
+package server
+
+import (
+	"context"
+	"errors"
+	"net/http"
+	"net/http/httptest"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+// flakyHandler answers the scripted status codes in order, then 200s.
+func flakyHandler(t *testing.T, script []int, hits *atomic.Int32) http.Handler {
+	t.Helper()
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		n := int(hits.Add(1)) - 1
+		if n < len(script) {
+			code := script[n]
+			if code == http.StatusTooManyRequests {
+				w.Header().Set("Retry-After", "1")
+			}
+			w.Header().Set("Content-Type", "application/json")
+			w.WriteHeader(code)
+			kind := "overloaded"
+			if code == http.StatusServiceUnavailable {
+				kind = "read_only"
+			}
+			w.Write([]byte(`{"error":{"kind":"` + kind + `","message":"scripted failure"}}`))
+			return
+		}
+		w.Header().Set("Content-Type", "application/json")
+		w.Write([]byte(`{"status":"ok","devices":0,"in_flight":0}`))
+	})
+}
+
+// retryClient builds a retrying client whose sleeps are recorded, not
+// slept, so the table runs instantly.
+func retryClient(ts *httptest.Server, p RetryPolicy, slept *[]time.Duration) *Client {
+	c := NewClient(ts.URL, nil).WithRetry(p)
+	c.sleep = func(ctx context.Context, d time.Duration) error {
+		*slept = append(*slept, d)
+		return ctx.Err()
+	}
+	return c
+}
+
+func TestClientRetryTable(t *testing.T) {
+	policy := RetryPolicy{MaxAttempts: 4, BaseDelay: 10 * time.Millisecond, MaxDelay: 2 * time.Second, Seed: 1}
+	cases := []struct {
+		name      string
+		script    []int // per-attempt status before the 200s start
+		wantHits  int32
+		wantErr   bool
+		errCode   int
+		wantSleep int
+	}{
+		{"no failures, one attempt", nil, 1, false, 0, 0},
+		{"one 429 then success", []int{429}, 2, false, 0, 1},
+		{"read_only 503 then success", []int{503}, 2, false, 0, 1},
+		{"mixed transients then success", []int{429, 503, 429}, 4, false, 0, 3},
+		{"exhausted attempts", []int{429, 429, 429, 429, 429}, 4, true, 429, 3},
+		{"400 is an answer, not a failure", []int{400}, 1, true, 400, 0},
+		{"404 not retried", []int{404}, 1, true, 404, 0},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			var hits atomic.Int32
+			ts := httptest.NewServer(flakyHandler(t, tc.script, &hits))
+			defer ts.Close()
+			var slept []time.Duration
+			c := retryClient(ts, policy, &slept)
+			_, err := c.Healthz(context.Background())
+			if tc.wantErr {
+				var ae *apiError
+				if !errors.As(err, &ae) || ae.Code != tc.errCode {
+					t.Fatalf("err = %v, want apiError code %d", err, tc.errCode)
+				}
+			} else if err != nil {
+				t.Fatalf("err = %v, want success after retries", err)
+			}
+			if hits.Load() != tc.wantHits {
+				t.Errorf("server saw %d attempts, want %d", hits.Load(), tc.wantHits)
+			}
+			if len(slept) != tc.wantSleep {
+				t.Errorf("client slept %d times (%v), want %d", len(slept), slept, tc.wantSleep)
+			}
+			for _, d := range slept {
+				if d <= 0 || d > policy.MaxDelay {
+					t.Errorf("sleep %v outside (0, %v]", d, policy.MaxDelay)
+				}
+			}
+		})
+	}
+}
+
+// TestClientRetryHonorsRetryAfter: a server-sent Retry-After stretches
+// the backoff up to (and never beyond) MaxDelay.
+func TestClientRetryHonorsRetryAfter(t *testing.T) {
+	var hits atomic.Int32
+	ts := httptest.NewServer(flakyHandler(t, []int{429}, &hits)) // sends Retry-After: 1
+	defer ts.Close()
+	var slept []time.Duration
+	policy := RetryPolicy{MaxAttempts: 2, BaseDelay: time.Millisecond, MaxDelay: 500 * time.Millisecond, Seed: 1}
+	c := retryClient(ts, policy, &slept)
+	if _, err := c.Healthz(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	if len(slept) != 1 {
+		t.Fatalf("slept %v, want one wait", slept)
+	}
+	// Retry-After asked for 1s; MaxDelay caps it at 500ms.
+	if slept[0] != policy.MaxDelay {
+		t.Errorf("sleep = %v, want Retry-After capped to MaxDelay %v", slept[0], policy.MaxDelay)
+	}
+}
+
+// TestClientRetryTransportErrors: network-level failures retry;
+// a canceled context does not.
+func TestClientRetryTransportErrors(t *testing.T) {
+	var hits atomic.Int32
+	ts := httptest.NewServer(flakyHandler(t, nil, &hits))
+	ts.Close() // refuse every connection: a transient transport error
+	var slept []time.Duration
+	policy := RetryPolicy{MaxAttempts: 3, BaseDelay: time.Millisecond, MaxDelay: 10 * time.Millisecond, Seed: 9}
+	c := retryClient(ts, policy, &slept)
+	if _, err := c.Healthz(context.Background()); err == nil {
+		t.Fatal("success against a closed server")
+	}
+	if len(slept) != 2 {
+		t.Errorf("slept %d times, want 2 (3 attempts)", len(slept))
+	}
+
+	// Context cancellation short-circuits: no retries.
+	slept = nil
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := c.Healthz(ctx); !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	if len(slept) != 0 {
+		t.Errorf("canceled context still slept %v", slept)
+	}
+}
+
+// TestClientRetryDeterministicJitter: the same policy seed yields the
+// same backoff schedule — soak runs are reproducible.
+func TestClientRetryDeterministicJitter(t *testing.T) {
+	run := func() []time.Duration {
+		var hits atomic.Int32
+		ts := httptest.NewServer(flakyHandler(t, []int{503, 503, 503}, &hits))
+		defer ts.Close()
+		var slept []time.Duration
+		c := retryClient(ts, RetryPolicy{MaxAttempts: 4, BaseDelay: 20 * time.Millisecond,
+			MaxDelay: time.Second, Seed: 42}, &slept)
+		if _, err := c.Healthz(context.Background()); err != nil {
+			t.Fatal(err)
+		}
+		return slept
+	}
+	a, b := run(), run()
+	if len(a) != len(b) {
+		t.Fatalf("schedules differ in length: %v vs %v", a, b)
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Errorf("backoff %d: %v vs %v", i, a[i], b[i])
+		}
+	}
+}
+
+// TestClientWithRetryLeavesOriginal: WithRetry is a copy; the original
+// client keeps its single-attempt behaviour.
+func TestClientWithRetryLeavesOriginal(t *testing.T) {
+	var hits atomic.Int32
+	ts := httptest.NewServer(flakyHandler(t, []int{429}, &hits))
+	defer ts.Close()
+	base := NewClient(ts.URL, nil)
+	_ = base.WithRetry(DefaultRetryPolicy())
+	if _, err := base.Healthz(context.Background()); err == nil {
+		t.Fatal("non-retrying client succeeded through a 429")
+	}
+	if hits.Load() != 1 {
+		t.Errorf("base client made %d attempts, want 1", hits.Load())
+	}
+}

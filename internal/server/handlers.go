@@ -338,11 +338,16 @@ func (s *Server) handleIngest(w http.ResponseWriter, r *http.Request) error {
 	if req.DeviceID == "" {
 		return &apiError{Code: http.StatusBadRequest, Kind: "bad_request", Msg: "device_id must be set"}
 	}
-	s.fleetMu.Lock()
-	s.fleet[req.DeviceID] = ingested{metrics: req.Metrics, header: req.Header, events: req.Events}
-	n := len(s.fleet)
-	s.fleetMu.Unlock()
-	return writeJSON(w, http.StatusOK, IngestResponse{DeviceID: req.DeviceID, Devices: n})
+	// Durability before acknowledgement: the journal append happens (and
+	// fsyncs) before the 200, so an acked ingest survives any crash.
+	if s.store != nil {
+		if err := s.ingestDurable(&req); err != nil {
+			return err
+		}
+	} else {
+		s.applyIngest(&req)
+	}
+	return writeJSON(w, http.StatusOK, IngestResponse{DeviceID: req.DeviceID, Devices: s.Devices()})
 }
 
 func (s *Server) handleFleetReport(w http.ResponseWriter, r *http.Request) error {
@@ -375,9 +380,14 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 }
 
 func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
-	writeJSON(w, http.StatusOK, HealthResponse{
+	h := HealthResponse{
 		Status:   "ok",
 		Devices:  s.Devices(),
 		InFlight: s.InFlight(),
-	})
+		Store:    s.storeStatus(),
+	}
+	if h.Store != nil && h.Store.Mode == "read_only" {
+		h.Status = "read_only"
+	}
+	writeJSON(w, http.StatusOK, h)
 }

@@ -207,6 +207,15 @@ func (s *Server) handleProfileUpdate(w http.ResponseWriter, r *http.Request) err
 	}
 
 	id := sk.Hash()
+	// Durability before acknowledgement: the updated sketch state is
+	// journaled (and fsynced) before the cache mutation and the 200, so
+	// an acked profile ID survives any crash. Read-only mode answers a
+	// typed 503 here instead of acking an update it cannot keep.
+	if s.store != nil {
+		if err := s.persistProfile(id, sk); err != nil {
+			return err
+		}
+	}
 	// "hit" here means this exact fold history was already cached — the
 	// update was a no-op for the cache, if not for the fold work.
 	_, hit := s.profiles.Get(id)

@@ -31,9 +31,11 @@ import (
 	"sync/atomic"
 	"time"
 
+	"netmaster/internal/atomicfile"
 	"netmaster/internal/cfgerr"
 	"netmaster/internal/metrics"
 	"netmaster/internal/parallel"
+	"netmaster/internal/store"
 	"netmaster/internal/telemetry"
 	"netmaster/internal/telemetry/analyze"
 	"netmaster/internal/tracing"
@@ -68,7 +70,23 @@ type Config struct {
 	// Metrics receives server_* counters, gauges and histograms; nil
 	// disables instrumentation (handles are nil-tolerant).
 	Metrics *metrics.Registry
+	// StateDir, when set, makes fleet ingests and profile updates
+	// durable: a write-ahead journal plus snapshot compaction under
+	// this directory, recovered on startup. Empty keeps the daemon
+	// purely in-memory.
+	StateDir string
+	// StateFS overrides the filesystem the durable store writes
+	// through; nil uses the real one. Tests inject faults.FS here.
+	StateFS atomicfile.FS
+	// CompactEvery is how many journal records accumulate before the
+	// state is compacted into a snapshot; zero uses
+	// DefaultCompactEvery.
+	CompactEvery int
 }
+
+// DefaultCompactEvery is the journal-records-per-snapshot compaction
+// threshold when Config.CompactEvery is zero.
+const DefaultCompactEvery = 256
 
 // DefaultConfig returns production-shaped defaults (listener on an
 // ephemeral localhost port, so tests and first runs never collide).
@@ -103,6 +121,12 @@ func (c *Config) Validate() error {
 	if c.Parallelism < 0 {
 		es = append(es, cfgerr.New("server.Config", "Parallelism", c.Parallelism, "must be non-negative"))
 	}
+	if c.CompactEvery < 0 {
+		es = append(es, cfgerr.New("server.Config", "CompactEvery", c.CompactEvery, "must be non-negative"))
+	}
+	if c.StateDir != "" && c.CacheSize == 0 {
+		es = append(es, cfgerr.New("server.Config", "CacheSize", c.CacheSize, "must be positive when StateDir is set (recovered profiles need a cache to live in)"))
+	}
 	return es.Err()
 }
 
@@ -126,6 +150,13 @@ type Server struct {
 	fleetMu sync.Mutex
 	fleet   map[string]ingested
 
+	// Durable state (nil store without Config.StateDir). stateMu
+	// serialises journal-append + in-memory apply + compaction so a
+	// snapshot always covers exactly the records whose effects it holds.
+	stateMu   sync.Mutex
+	store     *store.Store
+	persisted *lru // profile ID → sketch binary, the durably held set
+
 	sem      chan struct{}
 	inflight atomic.Int64
 
@@ -142,6 +173,13 @@ type Server struct {
 	mProfEvic  *metrics.Counter
 	mInflight  *metrics.Gauge
 	mLatencyMS *metrics.Histogram
+
+	// server_store_* instrumentation, registered only with a StateDir.
+	mStoreAppends  *metrics.Counter
+	mStoreReplays  *metrics.Counter
+	mStoreCompact  *metrics.Counter
+	mStoreTorn     *metrics.Counter
+	mStoreRecovery *metrics.Gauge
 }
 
 // New builds a Server from the config. The listener is not opened
@@ -170,6 +208,17 @@ func New(cfg Config) (*Server, error) {
 		mProfEvic:  cfg.Metrics.Counter("server_profile_cache_evictions_total"),
 		mInflight:  cfg.Metrics.Gauge("server_in_flight"),
 		mLatencyMS: cfg.Metrics.Histogram("server_latency_ms", LatencyBuckets),
+	}
+	s.persisted = newLRU(cfg.CacheSize)
+	if cfg.StateDir != "" {
+		s.mStoreAppends = cfg.Metrics.Counter("server_store_appends_total")
+		s.mStoreReplays = cfg.Metrics.Counter("server_store_replays_total")
+		s.mStoreCompact = cfg.Metrics.Counter("server_store_compactions_total")
+		s.mStoreTorn = cfg.Metrics.Counter("server_store_torn_tails_total")
+		s.mStoreRecovery = cfg.Metrics.Gauge("server_store_recovery_ms")
+		if err := s.openStore(); err != nil {
+			return nil, err
+		}
 	}
 	s.routes()
 	s.http = &http.Server{Handler: s.mux}

@@ -1,0 +1,436 @@
+// Package store is the durable, crash-safe state layer behind
+// netmaster-serve: an append-only, length-prefixed, CRC-framed
+// write-ahead journal plus periodic snapshot compaction, written
+// through internal/atomicfile's FS seam so storage faults are
+// injectable (internal/faults.FS) and recovery is testable to exact
+// equality.
+//
+// Durability contract:
+//
+//   - Append frames a payload, writes it in one call and fsyncs before
+//     returning: an acknowledged record survives any later crash.
+//   - Compact writes a snapshot of the caller's full state atomically
+//     (temp + fsync + rename + directory fsync) and only then replaces
+//     the journal with an empty one, so every crash point leaves either
+//     the old snapshot+journal or the new snapshot.
+//   - Open recovers the latest valid snapshot and replays the journal
+//     tail. A torn final record — the signature of a crash mid-append —
+//     is truncated and recovery continues; a corrupted interior record
+//     (CRC mismatch, bad frame, sequence gap) refuses recovery with
+//     ErrCorrupt rather than silently dropping acknowledged data.
+//   - Once an append fails the store turns read-only (Unwritable
+//     reports the sticky cause); callers surface that as degraded mode
+//     instead of dropping writes silently.
+//
+// One documented ambiguity is inherited from every length-prefixed WAL:
+// a corrupted length field that claims past end-of-file is
+// indistinguishable from a torn final record and is treated as one.
+// Lengths beyond MaxRecordBytes and all in-file corruption are caught
+// by the frame checks and the seq+payload CRC.
+package store
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"io"
+	"io/fs"
+	"os"
+	"path/filepath"
+	"sync"
+	"time"
+
+	"netmaster/internal/atomicfile"
+)
+
+// FS is the filesystem seam the store writes through — the atomicfile
+// interface, so internal/faults.FS plugs straight in.
+type FS = atomicfile.FS
+
+const (
+	// JournalName and SnapshotName are the two files of a state dir.
+	JournalName  = "journal.wal"
+	SnapshotName = "snapshot.nms"
+
+	journalMagic  = "NMWAL1\x00\x00"
+	snapshotMagic = "NMSNAP1\x00"
+
+	// frameHeaderLen is len(4) + crc(4) + seq(8).
+	frameHeaderLen = 16
+
+	// DefaultMaxRecordBytes bounds one journal record (and the snapshot
+	// payload); a frame length beyond it is treated as corruption.
+	DefaultMaxRecordBytes = 64 << 20
+)
+
+// ErrCorrupt marks interior journal or snapshot corruption: state that
+// was acknowledged but can no longer be trusted. Recovery refuses to
+// proceed past it — silent absorption is the one unacceptable outcome.
+var ErrCorrupt = errors.New("store: corrupt state")
+
+// ErrReadOnly marks appends attempted after the journal became
+// unwritable.
+var ErrReadOnly = errors.New("store: journal unwritable, store is read-only")
+
+var crcTable = crc32.MakeTable(crc32.Castagnoli)
+
+// Config parameterises a state directory.
+type Config struct {
+	// Dir is the state directory; created if missing.
+	Dir string
+	// FS is the filesystem to write through; nil uses the real one.
+	FS FS
+	// MaxRecordBytes bounds one record; zero uses
+	// DefaultMaxRecordBytes.
+	MaxRecordBytes int
+}
+
+// Recovery reports what Open found and replayed.
+type Recovery struct {
+	// SnapshotPayload is the latest valid snapshot body, nil when the
+	// directory had none.
+	SnapshotPayload []byte
+	// SnapshotSeq is the last record sequence folded into the snapshot.
+	SnapshotSeq uint64
+	// Records are the journal-tail payloads beyond the snapshot, in
+	// append order.
+	Records [][]byte
+	// TornTail reports that a torn final record was truncated away.
+	TornTail bool
+	// TornBytes is how many trailing bytes the truncation discarded.
+	TornBytes int64
+	// Elapsed is the wall-clock recovery time (read + validate +
+	// journal rebuild).
+	Elapsed time.Duration
+}
+
+// Store is one open state directory. Safe for concurrent use.
+type Store struct {
+	mu      sync.Mutex
+	cfg     Config
+	fsys    FS
+	journal atomicfile.File // current journal handle, positioned at end
+	nextSeq uint64
+	since   int // appends since the last compaction
+	broken  error
+
+	appends     uint64
+	compactions uint64
+}
+
+// Open recovers the state directory and leaves the store ready to
+// append. The journal is rebuilt atomically on open (dropping any torn
+// tail and records already folded into the snapshot), so appends always
+// continue a clean file.
+func Open(cfg Config) (*Store, *Recovery, error) {
+	start := time.Now()
+	if cfg.Dir == "" {
+		return nil, nil, fmt.Errorf("store: empty state dir")
+	}
+	if cfg.FS == nil {
+		cfg.FS = atomicfile.OS()
+	}
+	if cfg.MaxRecordBytes <= 0 {
+		cfg.MaxRecordBytes = DefaultMaxRecordBytes
+	}
+	fsys := cfg.FS
+	if err := fsys.MkdirAll(cfg.Dir, 0o755); err != nil {
+		return nil, nil, fmt.Errorf("store: mkdir %s: %w", cfg.Dir, err)
+	}
+
+	rec := &Recovery{}
+	snapPath := filepath.Join(cfg.Dir, SnapshotName)
+	if payload, seq, err := readSnapshot(fsys, snapPath, cfg.MaxRecordBytes); err == nil {
+		rec.SnapshotPayload = payload
+		rec.SnapshotSeq = seq
+	} else if !errors.Is(err, fs.ErrNotExist) {
+		return nil, nil, err
+	}
+
+	jPath := filepath.Join(cfg.Dir, JournalName)
+	records, lastSeq, tornBytes, err := readJournal(fsys, jPath, rec.SnapshotSeq, cfg.MaxRecordBytes)
+	if err != nil {
+		return nil, nil, err
+	}
+	rec.Records = records
+	rec.TornTail = tornBytes > 0
+	rec.TornBytes = tornBytes
+
+	s := &Store{cfg: cfg, fsys: fsys, nextSeq: maxU64(rec.SnapshotSeq, lastSeq) + 1}
+	// Rebuild the journal with exactly the surviving tail: the rewrite
+	// goes to a temp file and renames into place, so a crash here keeps
+	// the old journal readable.
+	if err := s.rebuildJournal(rec.Records, rec.SnapshotSeq); err != nil {
+		return nil, nil, err
+	}
+	rec.Elapsed = time.Since(start)
+	return s, rec, nil
+}
+
+func maxU64(a, b uint64) uint64 {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+// readSnapshot loads and validates the snapshot file.
+func readSnapshot(fsys FS, path string, maxRecord int) ([]byte, uint64, error) {
+	b, err := readFile(fsys, path)
+	if err != nil {
+		return nil, 0, err
+	}
+	if len(b) < len(snapshotMagic)+frameHeaderLen || string(b[:len(snapshotMagic)]) != snapshotMagic {
+		return nil, 0, fmt.Errorf("%w: snapshot %s: bad magic or truncated header", ErrCorrupt, path)
+	}
+	off := len(snapshotMagic)
+	length := binary.LittleEndian.Uint32(b[off:])
+	crc := binary.LittleEndian.Uint32(b[off+4:])
+	seq := binary.LittleEndian.Uint64(b[off+8:])
+	off += frameHeaderLen
+	if int(length) > maxRecord || off+int(length) != len(b) {
+		return nil, 0, fmt.Errorf("%w: snapshot %s: length %d does not match file", ErrCorrupt, path, length)
+	}
+	payload := b[off:]
+	if frameCRC(seq, payload) != crc {
+		return nil, 0, fmt.Errorf("%w: snapshot %s: checksum mismatch", ErrCorrupt, path)
+	}
+	return payload, seq, nil
+}
+
+// readJournal parses the journal, returning the payloads with sequence
+// beyond snapSeq, the last sequence seen, and how many trailing bytes a
+// torn final record left behind. Interior corruption returns ErrCorrupt.
+func readJournal(fsys FS, path string, snapSeq uint64, maxRecord int) (records [][]byte, lastSeq uint64, tornBytes int64, err error) {
+	b, err := readFile(fsys, path)
+	if errors.Is(err, fs.ErrNotExist) {
+		return nil, 0, 0, nil
+	}
+	if err != nil {
+		return nil, 0, 0, err
+	}
+	if len(b) < len(journalMagic) {
+		// A journal torn inside its own header: nothing was ever
+		// appended, treat the whole file as the torn tail.
+		return nil, 0, int64(len(b)), nil
+	}
+	if string(b[:len(journalMagic)]) != journalMagic {
+		return nil, 0, 0, fmt.Errorf("%w: journal %s: bad magic", ErrCorrupt, path)
+	}
+	off := len(journalMagic)
+	var prevSeq uint64
+	for off < len(b) {
+		remain := len(b) - off
+		if remain < frameHeaderLen {
+			return records, lastSeq, int64(remain), nil // torn tail: header cut short
+		}
+		length := binary.LittleEndian.Uint32(b[off:])
+		crc := binary.LittleEndian.Uint32(b[off+4:])
+		seq := binary.LittleEndian.Uint64(b[off+8:])
+		if int(length) > maxRecord {
+			return nil, 0, 0, fmt.Errorf("%w: journal %s: record at offset %d claims %d bytes (max %d)",
+				ErrCorrupt, path, off, length, maxRecord)
+		}
+		end := off + frameHeaderLen + int(length)
+		if end > len(b) {
+			// The frame claims past EOF: a crash mid-append. (A corrupted
+			// interior length that claims past EOF is indistinguishable
+			// and treated the same — see the package comment.)
+			return records, lastSeq, int64(remain), nil
+		}
+		payload := b[off+frameHeaderLen : end]
+		if frameCRC(seq, payload) != crc {
+			if end == len(b) {
+				// Final record, full length present but garbled: torn.
+				return records, lastSeq, int64(remain), nil
+			}
+			return nil, 0, 0, fmt.Errorf("%w: journal %s: checksum mismatch on interior record at offset %d",
+				ErrCorrupt, path, off)
+		}
+		if prevSeq != 0 && seq != prevSeq+1 {
+			return nil, 0, 0, fmt.Errorf("%w: journal %s: sequence jump %d -> %d at offset %d",
+				ErrCorrupt, path, prevSeq, seq, off)
+		}
+		if prevSeq == 0 && seq > snapSeq+1 {
+			return nil, 0, 0, fmt.Errorf("%w: journal %s: first record seq %d leaves a gap after snapshot seq %d",
+				ErrCorrupt, path, seq, snapSeq)
+		}
+		prevSeq = seq
+		lastSeq = seq
+		if seq > snapSeq {
+			// Copy: b is one big read buffer.
+			records = append(records, append([]byte(nil), payload...))
+		}
+		off = end
+	}
+	return records, lastSeq, 0, nil
+}
+
+func readFile(fsys FS, path string) ([]byte, error) {
+	f, err := fsys.OpenFile(path, os.O_RDONLY, 0)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	return io.ReadAll(f)
+}
+
+// frameCRC is the record checksum: CRC-32C over the sequence number and
+// the payload, so a record cannot be replayed under the wrong position.
+func frameCRC(seq uint64, payload []byte) uint32 {
+	var s [8]byte
+	binary.LittleEndian.PutUint64(s[:], seq)
+	crc := crc32.Update(0, crcTable, s[:])
+	return crc32.Update(crc, crcTable, payload)
+}
+
+func frame(seq uint64, payload []byte) []byte {
+	b := make([]byte, frameHeaderLen+len(payload))
+	binary.LittleEndian.PutUint32(b, uint32(len(payload)))
+	binary.LittleEndian.PutUint32(b[4:], frameCRC(seq, payload))
+	binary.LittleEndian.PutUint64(b[8:], seq)
+	copy(b[frameHeaderLen:], payload)
+	return b
+}
+
+// rebuildJournal writes a fresh journal containing records (whose
+// sequences continue from baseSeq+1) to a temp file, fsyncs, renames it
+// into place, fsyncs the directory, and keeps the handle (the rename
+// preserves the inode) for subsequent appends.
+func (s *Store) rebuildJournal(records [][]byte, baseSeq uint64) error {
+	dir := s.cfg.Dir
+	tmp := filepath.Join(dir, JournalName+".tmp")
+	f, err := s.fsys.OpenFile(tmp, os.O_CREATE|os.O_TRUNC|os.O_WRONLY, 0o644)
+	if err != nil {
+		return fmt.Errorf("store: create journal: %w", err)
+	}
+	ok := false
+	defer func() {
+		if !ok {
+			f.Close()
+			s.fsys.Remove(tmp)
+		}
+	}()
+	if _, err := f.Write([]byte(journalMagic)); err != nil {
+		return fmt.Errorf("store: write journal header: %w", err)
+	}
+	for i, payload := range records {
+		if _, err := f.Write(frame(baseSeq+1+uint64(i), payload)); err != nil {
+			return fmt.Errorf("store: rewrite journal record: %w", err)
+		}
+	}
+	if err := f.Sync(); err != nil {
+		return fmt.Errorf("store: sync journal: %w", err)
+	}
+	if err := s.fsys.Rename(tmp, filepath.Join(dir, JournalName)); err != nil {
+		return fmt.Errorf("store: rename journal: %w", err)
+	}
+	if err := s.fsys.SyncDir(dir); err != nil {
+		return fmt.Errorf("store: sync state dir: %w", err)
+	}
+	if s.journal != nil {
+		s.journal.Close()
+	}
+	s.journal = f
+	ok = true
+	return nil
+}
+
+// Append frames payload under the next sequence number, writes it in a
+// single call and fsyncs before returning: once Append returns nil the
+// record survives any crash. On failure the store becomes read-only and
+// every later Append returns ErrReadOnly wrapping the original cause.
+func (s *Store) Append(payload []byte) (uint64, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.broken != nil {
+		return 0, fmt.Errorf("%w: %w", ErrReadOnly, s.broken)
+	}
+	if len(payload) > s.cfg.MaxRecordBytes {
+		return 0, fmt.Errorf("store: record of %d bytes exceeds max %d", len(payload), s.cfg.MaxRecordBytes)
+	}
+	seq := s.nextSeq
+	if _, err := s.journal.Write(frame(seq, payload)); err != nil {
+		s.broken = fmt.Errorf("append seq %d: %w", seq, err)
+		return 0, fmt.Errorf("%w: %w", ErrReadOnly, s.broken)
+	}
+	if err := s.journal.Sync(); err != nil {
+		s.broken = fmt.Errorf("sync seq %d: %w", seq, err)
+		return 0, fmt.Errorf("%w: %w", ErrReadOnly, s.broken)
+	}
+	s.nextSeq++
+	s.since++
+	s.appends++
+	return seq, nil
+}
+
+// Compact persists snapshot as the new durable base (covering every
+// record appended so far) and replaces the journal with an empty one.
+// Crash-safe at every point: the snapshot lands atomically first, and
+// journal records it covers are skipped on replay by sequence number.
+func (s *Store) Compact(snapshot []byte) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.broken != nil {
+		return fmt.Errorf("%w: %w", ErrReadOnly, s.broken)
+	}
+	seq := s.nextSeq - 1
+	err := atomicfile.WriteFileFS(s.fsys, filepath.Join(s.cfg.Dir, SnapshotName), func(w io.Writer) error {
+		if _, err := w.Write([]byte(snapshotMagic)); err != nil {
+			return err
+		}
+		_, err := w.Write(frame(seq, snapshot))
+		return err
+	})
+	if err != nil {
+		return fmt.Errorf("store: write snapshot: %w", err)
+	}
+	if err := s.rebuildJournal(nil, seq); err != nil {
+		return err
+	}
+	s.since = 0
+	s.compactions++
+	return nil
+}
+
+// Seq returns the last sequence number assigned (0 before any append).
+func (s *Store) Seq() uint64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.nextSeq - 1
+}
+
+// AppendsSinceCompact returns how many records the journal holds beyond
+// the snapshot — the compaction trigger input.
+func (s *Store) AppendsSinceCompact() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.since
+}
+
+// Unwritable returns the sticky append failure, nil while healthy.
+func (s *Store) Unwritable() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.broken
+}
+
+// Stats reports lifetime append and compaction counts.
+func (s *Store) Stats() (appends, compactions uint64) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.appends, s.compactions
+}
+
+// Close releases the journal handle. The store must not be used after.
+func (s *Store) Close() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.journal == nil {
+		return nil
+	}
+	err := s.journal.Close()
+	s.journal = nil
+	return err
+}

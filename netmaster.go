@@ -598,6 +598,14 @@ type (
 	FleetReportResponse = server.FleetReportResponse
 	// GenSpec asks the daemon to synthesise a cohort trace server-side.
 	GenSpec = server.GenSpec
+	// ServerStoreStatus summarises the durable state layer on /healthz
+	// when the daemon runs with a state directory.
+	ServerStoreStatus = server.StoreStatus
+	// ClientRetryPolicy bounds the client's transparent retries of 429s,
+	// read-only 503s and transient network errors.
+	ClientRetryPolicy = server.RetryPolicy
+	// HealthResponse is GET /healthz's body.
+	HealthResponse = server.HealthResponse
 )
 
 // Daemon entry points.
@@ -608,4 +616,7 @@ var (
 	DefaultServerConfig = server.DefaultConfig
 	// NewServerClient returns a typed client for a running daemon.
 	NewServerClient = server.NewClient
+	// DefaultClientRetryPolicy retries overload answers a handful of
+	// times over roughly a second; opt in with ServerClient.WithRetry.
+	DefaultClientRetryPolicy = server.DefaultRetryPolicy
 )
