@@ -8,6 +8,12 @@
 //	                [-cache-size 128] [-request-timeout 30]
 //	                [-shutdown-grace 5] [-parallelism N] [-quiet]
 //	                [-state-dir DIR] [-compact-every 256]
+//	netmaster-serve -router -backends URL,URL[,...] [-vnodes 128] [...]
+//
+// With -router the process serves no pipelines itself: it proxies
+// /v1/* across the -backends shards by device ID on a consistent-hash
+// ring, fanning fleet-wide reads out to every shard and merging them so
+// a routed /v1/fleet/report is byte-identical to a single-node run.
 //
 // With -state-dir, every acknowledged /v1/fleet/ingest and
 // /v1/profile/update is journaled (fsynced) before the response, the
@@ -60,6 +66,9 @@ func run(o cliconfig.Serve) error {
 	if o.Parallelism > 0 {
 		parallel.SetDefaultWorkers(o.Parallelism)
 	}
+	if o.Router {
+		return runRouter(o)
+	}
 	cfg := server.Config{
 		Addr:           o.Addr,
 		MaxInFlight:    o.MaxInFlight,
@@ -90,4 +99,35 @@ func run(o cliconfig.Serve) error {
 	stop()
 	fmt.Fprintln(os.Stderr, "netmaster-serve: draining")
 	return srv.Shutdown(context.Background())
+}
+
+func runRouter(o cliconfig.Serve) error {
+	cfg := server.DefaultRouterConfig()
+	cfg.Addr = o.Addr
+	cfg.Backends = o.BackendList()
+	cfg.VNodes = o.VNodes
+	cfg.MaxInFlight = o.MaxInFlight
+	cfg.RequestTimeout = time.Duration(o.RequestTimeoutSecs) * time.Second
+	cfg.ShutdownGrace = time.Duration(o.ShutdownGraceSecs) * time.Second
+	cfg.Parallelism = o.Parallelism
+	cfg.Metrics = metrics.NewRegistry()
+	if !o.Quiet {
+		cfg.LogWriter = os.Stderr
+	}
+	rt, err := server.NewRouter(cfg)
+	if err != nil {
+		return err
+	}
+	if err := rt.Start(); err != nil {
+		return err
+	}
+	fmt.Fprintf(os.Stderr, "netmaster-serve: routing %d shards on http://%s\n",
+		len(cfg.Backends), rt.Addr())
+
+	ctx, stop := signal.NotifyContext(context.Background(), syscall.SIGTERM, syscall.SIGINT)
+	defer stop()
+	<-ctx.Done()
+	stop()
+	fmt.Fprintln(os.Stderr, "netmaster-serve: draining")
+	return rt.Shutdown(context.Background())
 }

@@ -9,6 +9,8 @@ package cliconfig
 import (
 	"flag"
 	"fmt"
+	"strings"
+	"time"
 
 	"netmaster/internal/parallel"
 	"netmaster/internal/power"
@@ -174,6 +176,24 @@ type Serve struct {
 	Quiet              bool   // suppress the per-request access log
 	StateDir           string // durable state directory, "" = in-memory only
 	CompactEvery       int    // journal records between snapshots, 0 = default
+
+	// Router mode: proxy the API across backend shards instead of
+	// serving it from this process.
+	Router   bool
+	Backends string // comma-separated shard base URLs (router mode)
+	VNodes   int    // consistent-hash virtual nodes per shard, 0 = default
+}
+
+// BackendList splits the comma-separated -backends value, dropping
+// empty segments so trailing commas are harmless.
+func (o *Serve) BackendList() []string {
+	var out []string
+	for _, b := range strings.Split(o.Backends, ",") {
+		if b = strings.TrimSpace(b); b != "" {
+			out = append(out, b)
+		}
+	}
+	return out
 }
 
 // DefaultServe returns netmaster-serve's flag defaults.
@@ -187,6 +207,49 @@ func DefaultServe() Serve {
 	}
 }
 
+// Bench is the netmaster-bench option set.
+type Bench struct {
+	Target       string        // serve-tier base URL; "" self-hosts an in-memory daemon
+	Devices      int           // synthetic cohort size
+	Batch        int           // devices per ingest batch
+	Concurrency  int           // concurrent in-flight requests
+	Duration     time.Duration // keep cycling passes until elapsed; 0 = one pass
+	Days         int           // replay days behind each template device
+	Format       string        // text | json
+	Out          string        // also write the report here
+	SLOErrorRate float64       // request error-rate ceiling
+	SLOP99Millis float64       // p99 latency ceiling in milliseconds
+	Parallelism  int           // self-hosted daemon parallelism, 0 = default
+}
+
+// DefaultBench returns netmaster-bench's flag defaults.
+func DefaultBench() Bench {
+	return Bench{
+		Devices:      100000,
+		Batch:        500,
+		Concurrency:  32,
+		Days:         2,
+		Format:       "text",
+		SLOErrorRate: 0.01,
+		SLOP99Millis: 5000,
+	}
+}
+
+// Register installs netmaster-bench's flags.
+func (o *Bench) Register(fs *flag.FlagSet) {
+	fs.StringVar(&o.Target, "target", o.Target, "serve-tier base URL (daemon or router); empty self-hosts an in-memory daemon")
+	fs.IntVar(&o.Devices, "devices", o.Devices, "synthetic cohort size")
+	fs.IntVar(&o.Batch, "batch", o.Batch, "devices per /v1/fleet/ingest:batch request")
+	fs.IntVar(&o.Concurrency, "concurrency", o.Concurrency, "concurrent in-flight requests")
+	fs.DurationVar(&o.Duration, "duration", o.Duration, "keep cycling ingest passes until this much time has elapsed (0 = one pass)")
+	fs.IntVar(&o.Days, "days", o.Days, "replayed days behind each template device")
+	fs.StringVar(&o.Format, "format", o.Format, "report format: text or json")
+	fs.StringVar(&o.Out, "out", o.Out, "also write the report to this file")
+	fs.Float64Var(&o.SLOErrorRate, "slo-error-rate", o.SLOErrorRate, "fail (exit 1) when the request error rate exceeds this")
+	fs.Float64Var(&o.SLOP99Millis, "slo-p99", o.SLOP99Millis, "fail (exit 1) when p99 request latency exceeds this many milliseconds")
+	fs.IntVar(&o.Parallelism, "parallelism", o.Parallelism, "self-hosted daemon worker count, 0 = GOMAXPROCS")
+}
+
 // Register installs netmaster-serve's flags.
 func (o *Serve) Register(fs *flag.FlagSet) {
 	fs.StringVar(&o.Addr, "addr", o.Addr, "listen address")
@@ -198,4 +261,7 @@ func (o *Serve) Register(fs *flag.FlagSet) {
 	fs.BoolVar(&o.Quiet, "quiet", o.Quiet, "suppress the per-request access log on stderr")
 	fs.StringVar(&o.StateDir, "state-dir", o.StateDir, "journal ingests and profile updates to this directory and recover it on boot; empty = in-memory only")
 	fs.IntVar(&o.CompactEvery, "compact-every", o.CompactEvery, "journal records between snapshot compactions, 0 = default")
+	fs.BoolVar(&o.Router, "router", o.Router, "run as a shard router: proxy /v1/* across -backends by device ID instead of serving locally")
+	fs.StringVar(&o.Backends, "backends", o.Backends, "comma-separated shard base URLs, e.g. http://127.0.0.1:9101,http://127.0.0.1:9102 (router mode)")
+	fs.IntVar(&o.VNodes, "vnodes", o.VNodes, "consistent-hash virtual nodes per shard, 0 = default (router mode)")
 }

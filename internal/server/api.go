@@ -153,6 +153,10 @@ type ActivityJSON struct {
 // fly from Trace/Gen; Day selects which day's predicted active slots
 // form the knapsack slot set U.
 type ScheduleRequest struct {
+	// DeviceID optionally names the device this schedule is for. It is
+	// echoed in the response and is the routing key in -router mode and
+	// in /v1/schedule:batch items.
+	DeviceID   string         `json:"device_id,omitempty"`
 	ProfileID  string         `json:"profile_id,omitempty"`
 	Trace      *trace.Trace   `json:"trace,omitempty"`
 	Gen        *GenSpec       `json:"gen,omitempty"`
@@ -180,6 +184,7 @@ type AssignmentJSON struct {
 
 // ScheduleResponse is the body of a successful POST /v1/schedule.
 type ScheduleResponse struct {
+	DeviceID     string             `json:"device_id,omitempty"`
 	ProfileID    string             `json:"profile_id"`
 	Day          int                `json:"day"`
 	ActiveSlots  []simtime.Interval `json:"active_slots"`
@@ -287,6 +292,28 @@ type IngestResponse struct {
 type FleetReportResponse struct {
 	Metrics  telemetry.FleetSnapshot `json:"metrics"`
 	Analysis analyze.FleetReport     `json:"analysis"`
+}
+
+// DeviceDump is one device's share of GET /v1/fleet/devices: the raw
+// ingested metrics plus (unless reports=0) the analyzed per-device
+// report. Dumps are the shard half of a routed fleet report — the
+// router concatenates every shard's dumps and folds them exactly as a
+// single node folds its own memory.
+type DeviceDump struct {
+	DeviceID string                `json:"device_id"`
+	Metrics  *metrics.Snapshot     `json:"metrics,omitempty"`
+	Report   *analyze.DeviceReport `json:"report,omitempty"`
+	// DeferSecs carries the report's raw per-deferral waits, which do
+	// not serialise inside Report: the fleet fold pools the exact values
+	// to recompute cohort quantiles, so a routed report stays
+	// byte-identical to a single-node run.
+	DeferSecs []float64 `json:"defer_secs,omitempty"`
+}
+
+// FleetDevicesResponse is the body of GET /v1/fleet/devices, devices in
+// sorted-ID order.
+type FleetDevicesResponse struct {
+	Devices []DeviceDump `json:"devices"`
 }
 
 // StoreStatus summarises the durable state layer on /healthz; absent

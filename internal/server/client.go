@@ -83,10 +83,14 @@ func sleepCtx(ctx context.Context, d time.Duration) error {
 
 // retryable reports whether a failed attempt is worth repeating, and
 // the server-requested delay if it named one. Overload (429) and a
-// read-only daemon (503 kind "read_only") are transient by contract;
-// other API errors are answers, not failures. Transport errors retry
-// unless the caller's context ended.
-func retryable(err error, resp *http.Response) (bool, time.Duration) {
+// read-only daemon (503 kind "read_only") are transient by contract —
+// both are definitive proof the request was NOT applied, so they are
+// safe to retry regardless of idempotency. Other API errors are
+// answers, not failures. Transport errors are ambiguous: the server may
+// have processed the request before the connection died, so they retry
+// only for idempotent calls (everything except a batch ingest without a
+// request_id — with a request_id the server deduplicates the replay).
+func retryable(err error, resp *http.Response, idempotent bool) (bool, time.Duration) {
 	var ae *apiError
 	if errors.As(err, &ae) {
 		transient := ae.Code == http.StatusTooManyRequests ||
@@ -102,7 +106,8 @@ func retryable(err error, resp *http.Response) (bool, time.Duration) {
 		}
 		return true, after
 	}
-	if err != nil && !errors.Is(err, context.Canceled) && !errors.Is(err, context.DeadlineExceeded) {
+	if err != nil && idempotent &&
+		!errors.Is(err, context.Canceled) && !errors.Is(err, context.DeadlineExceeded) {
 		return true, 0
 	}
 	return false, 0
@@ -124,11 +129,19 @@ func (p RetryPolicy) backoffDelay(attempt int, serverAfter time.Duration) time.D
 	return d
 }
 
-// do round-trips one call: method + path + optional JSON body → decoded
-// response. API errors come back as *apiError with the server's kind
-// and message. Under a retry policy, transient failures are retried
-// with capped jittered backoff; the final error is returned verbatim.
+// do round-trips one idempotent call: method + path + optional JSON
+// body → decoded response. API errors come back as *apiError with the
+// server's kind and message. Under a retry policy, transient failures
+// are retried with capped jittered backoff; the final error is returned
+// verbatim.
 func (c *Client) do(ctx context.Context, method, path string, in, out any) error {
+	return c.doIdem(ctx, method, path, in, out, true)
+}
+
+// doIdem is do with an explicit idempotency statement: non-idempotent
+// calls never retry ambiguous transport errors (the request may have
+// landed), only definitive not-processed answers like 429.
+func (c *Client) doIdem(ctx context.Context, method, path string, in, out any, idempotent bool) error {
 	var payload []byte
 	if in != nil {
 		b, err := json.Marshal(in)
@@ -148,7 +161,7 @@ func (c *Client) do(ctx context.Context, method, path string, in, out any) error
 		if err == nil {
 			return nil
 		}
-		ok, after := retryable(err, resp)
+		ok, after := retryable(err, resp, idempotent)
 		if !ok || attempt == attempts-1 {
 			return err
 		}
@@ -239,6 +252,47 @@ func (c *Client) Ingest(ctx context.Context, req IngestRequest) (*IngestResponse
 	return &out, nil
 }
 
+// IngestBatch calls POST /v1/fleet/ingest:batch. The call is treated
+// as idempotent — and therefore safe to retry on ambiguous transport
+// errors — only when req.RequestID is set, because only then can the
+// server deduplicate a replayed batch. Without a request_id, transport
+// failures surface immediately rather than risk double-ingesting.
+func (c *Client) IngestBatch(ctx context.Context, req BatchIngestRequest) (*BatchIngestResponse, error) {
+	var out BatchIngestResponse
+	if err := c.doIdem(ctx, http.MethodPost, "/v1/fleet/ingest:batch", req, &out, req.RequestID != ""); err != nil {
+		return nil, err
+	}
+	return &out, nil
+}
+
+// ScheduleBatch calls POST /v1/schedule:batch (pure, so always
+// retry-safe).
+func (c *Client) ScheduleBatch(ctx context.Context, req BatchScheduleRequest) (*BatchScheduleResponse, error) {
+	var out BatchScheduleResponse
+	if err := c.do(ctx, http.MethodPost, "/v1/schedule:batch", req, &out); err != nil {
+		return nil, err
+	}
+	return &out, nil
+}
+
+// FleetDevices calls GET /v1/fleet/devices.
+func (c *Client) FleetDevices(ctx context.Context, model string, reports bool) (*FleetDevicesResponse, error) {
+	path := "/v1/fleet/devices"
+	switch {
+	case model != "" && !reports:
+		path += "?model=" + model + "&reports=0"
+	case model != "":
+		path += "?model=" + model
+	case !reports:
+		path += "?reports=0"
+	}
+	var out FleetDevicesResponse
+	if err := c.do(ctx, http.MethodGet, path, nil, &out); err != nil {
+		return nil, err
+	}
+	return &out, nil
+}
+
 // FleetReport calls GET /v1/fleet/report. model may be "" (3g) or a
 // power model name.
 func (c *Client) FleetReport(ctx context.Context, model string) (*FleetReportResponse, error) {
@@ -251,6 +305,32 @@ func (c *Client) FleetReport(ctx context.Context, model string) (*FleetReportRes
 		return nil, err
 	}
 	return &out, nil
+}
+
+// Metrics calls GET /metrics and returns the raw Prometheus text
+// exposition. scope may be "" (self + fleet), "fleet" or "self".
+func (c *Client) Metrics(ctx context.Context, scope string) ([]byte, error) {
+	path := "/metrics"
+	if scope != "" {
+		path += "?scope=" + scope
+	}
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, c.base+path, nil)
+	if err != nil {
+		return nil, err
+	}
+	resp, err := c.http.Do(req)
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		return nil, err
+	}
+	if resp.StatusCode != http.StatusOK {
+		return nil, fmt.Errorf("server: GET %s: status %d: %s", path, resp.StatusCode, bytes.TrimSpace(body))
+	}
+	return body, nil
 }
 
 // Healthz calls GET /healthz.

@@ -1,6 +1,7 @@
 package server
 
 import (
+	"context"
 	"fmt"
 	"net/http"
 
@@ -115,15 +116,28 @@ func (s *Server) handleSchedule(w http.ResponseWriter, r *http.Request) error {
 	if err := decode(r, &req); err != nil {
 		return err
 	}
-	model, err := powerModel(req.Model)
+	resp, hit, err := s.scheduleOne(r.Context(), &req)
 	if err != nil {
 		return err
 	}
+	setCacheHeader(w, hit)
+	return writeJSON(w, http.StatusOK, resp)
+}
+
+// scheduleOne answers one schedule request: profile resolution (by ID
+// or mined through the cache), predicted slots, and the knapsack
+// assignment. Shared by POST /v1/schedule and each /v1/schedule:batch
+// item.
+func (s *Server) scheduleOne(ctx context.Context, req *ScheduleRequest) (*ScheduleResponse, bool, error) {
+	model, err := powerModel(req.Model)
+	if err != nil {
+		return nil, false, err
+	}
 	if req.Day < 0 {
-		return &apiError{Code: http.StatusBadRequest, Kind: "bad_request", Msg: "day must be non-negative"}
+		return nil, false, &apiError{Code: http.StatusBadRequest, Kind: "bad_request", Msg: "day must be non-negative"}
 	}
 	if len(req.Activities) == 0 {
-		return &apiError{Code: http.StatusBadRequest, Kind: "bad_request", Msg: "no activities to schedule"}
+		return nil, false, &apiError{Code: http.StatusBadRequest, Kind: "bad_request", Msg: "no activities to schedule"}
 	}
 
 	// Resolve the habit profile: by ID from the cache, or mined from
@@ -134,7 +148,7 @@ func (s *Server) handleSchedule(w http.ResponseWriter, r *http.Request) error {
 	if req.ProfileID != "" {
 		v, ok := s.profiles.Get(req.ProfileID)
 		if !ok {
-			return &apiError{Code: http.StatusNotFound, Kind: "unknown_profile",
+			return nil, false, &apiError{Code: http.StatusNotFound, Kind: "unknown_profile",
 				Msg: fmt.Sprintf("profile %s not cached; re-mine or pass the trace", req.ProfileID)}
 		}
 		s.mCacheHit.Inc()
@@ -143,22 +157,22 @@ func (s *Server) handleSchedule(w http.ResponseWriter, r *http.Request) error {
 	} else {
 		e, eid, ehit, rerr := s.resolveProfile(req.Trace, req.Gen, habitConfig(req.MineConfig))
 		if rerr != nil {
-			return rerr
+			return nil, false, rerr
 		}
 		profile, id, hit = e.profile, eid, ehit
 	}
 
 	u := profile.PredictedActiveSlots(req.Day)
 	if len(u) == 0 {
-		setCacheHeader(w, hit)
-		return writeJSON(w, http.StatusOK, ScheduleResponse{
+		return &ScheduleResponse{
+			DeviceID:    req.DeviceID,
 			ProfileID:   id,
 			Day:         req.Day,
 			ActiveSlots: []simtime.Interval{},
 			Assignments: []AssignmentJSON{},
 			Unscheduled: unscheduledIDs(req.Activities),
 			SlotLoad:    []int64{},
-		})
+		}, hit, nil
 	}
 
 	ccfg := core.DefaultConfig()
@@ -176,7 +190,7 @@ func (s *Server) handleSchedule(w http.ResponseWriter, r *http.Request) error {
 	ccfg.UseProb = profile.UseProbAt
 	sched, err := core.New(ccfg)
 	if err != nil {
-		return &apiError{Code: http.StatusBadRequest, Kind: "bad_config", Msg: err.Error()}
+		return nil, false, &apiError{Code: http.StatusBadRequest, Kind: "bad_config", Msg: err.Error()}
 	}
 
 	acts := make([]core.Activity, len(req.Activities))
@@ -189,15 +203,16 @@ func (s *Server) handleSchedule(w http.ResponseWriter, r *http.Request) error {
 			DeferOnly:  a.DeferOnly,
 		}
 	}
-	result, err := sched.ScheduleCtx(r.Context(), u, acts)
+	result, err := sched.ScheduleCtx(ctx, u, acts)
 	if err != nil {
-		if r.Context().Err() != nil {
-			return r.Context().Err()
+		if ctx.Err() != nil {
+			return nil, false, ctx.Err()
 		}
-		return &apiError{Code: http.StatusBadRequest, Kind: "schedule_failed", Msg: err.Error()}
+		return nil, false, &apiError{Code: http.StatusBadRequest, Kind: "schedule_failed", Msg: err.Error()}
 	}
 
-	resp := ScheduleResponse{
+	resp := &ScheduleResponse{
+		DeviceID:     req.DeviceID,
 		ProfileID:    id,
 		Day:          req.Day,
 		ActiveSlots:  u,
@@ -223,8 +238,7 @@ func (s *Server) handleSchedule(w http.ResponseWriter, r *http.Request) error {
 	if resp.Unscheduled == nil {
 		resp.Unscheduled = []int{}
 	}
-	setCacheHeader(w, hit)
-	return writeJSON(w, http.StatusOK, resp)
+	return resp, hit, nil
 }
 
 func unscheduledIDs(acts []ActivityJSON) []int {
@@ -358,18 +372,52 @@ func (s *Server) handleFleetReport(w http.ResponseWriter, r *http.Request) error
 	return writeJSON(w, http.StatusOK, doc)
 }
 
-// handleMetrics serves the server's own registry (plus any ingested
-// fleet) in Prometheus text format, reusing the fleet exporter: the
-// server is just one more device in its own fleet.
-func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
-	devs := []telemetry.Device{{ID: "server", Snapshot: s.cfg.Metrics.Snapshot()}}
+// handleFleetDevices dumps the ingested fleet per device — the shard
+// half of a routed fleet report. reports=0 skips the per-device
+// analysis when the caller only wants raw metrics.
+func (s *Server) handleFleetDevices(w http.ResponseWriter, r *http.Request) error {
+	dumps, err := s.deviceDumps(r.URL.Query().Get("model"), r.URL.Query().Get("reports") != "0")
+	if err != nil {
+		return err
+	}
+	if dumps == nil {
+		dumps = []DeviceDump{}
+	}
+	return writeJSON(w, http.StatusOK, FleetDevicesResponse{Devices: dumps})
+}
+
+// fleetMetricDevices snapshots the ingested devices that carry metrics.
+func (s *Server) fleetMetricDevices() []telemetry.Device {
 	s.fleetMu.Lock()
+	defer s.fleetMu.Unlock()
+	var devs []telemetry.Device
 	for id, d := range s.fleet {
 		if d.metrics != nil {
 			devs = append(devs, telemetry.Device{ID: id, Snapshot: *d.metrics})
 		}
 	}
-	s.fleetMu.Unlock()
+	return devs
+}
+
+// handleMetrics serves the server's own registry (plus any ingested
+// fleet) in Prometheus text format, reusing the fleet exporter: the
+// server is just one more device in its own fleet. ?scope=fleet drops
+// the server's own counters (the surface a router merges, since each
+// shard's server_* numbers are its own); ?scope=self drops the fleet.
+func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	var devs []telemetry.Device
+	switch scope := r.URL.Query().Get("scope"); scope {
+	case "", "all":
+		devs = append([]telemetry.Device{{ID: "server", Snapshot: s.cfg.Metrics.Snapshot()}}, s.fleetMetricDevices()...)
+	case "fleet":
+		devs = s.fleetMetricDevices()
+	case "self":
+		devs = []telemetry.Device{{ID: "server", Snapshot: s.cfg.Metrics.Snapshot()}}
+	default:
+		writeError(w, &apiError{Code: http.StatusBadRequest, Kind: "bad_request",
+			Msg: fmt.Sprintf("unknown metrics scope %q (want all, fleet or self)", scope)})
+		return
+	}
 	agg, err := telemetry.Aggregate(devs...)
 	if err != nil {
 		writeError(w, &apiError{Code: http.StatusInternalServerError, Kind: "internal", Msg: err.Error()})

@@ -22,7 +22,7 @@ import (
 
 // walRecord is one journal entry: exactly one of the payloads is set.
 type walRecord struct {
-	// Kind is "ingest" or "profile".
+	// Kind is "ingest", "ingest_batch" or "profile".
 	Kind string `json:"kind"`
 	// Ingest carries one device's /v1/fleet/ingest body.
 	Ingest *IngestRequest `json:"ingest,omitempty"`
@@ -30,6 +30,13 @@ type walRecord struct {
 	// sketch-state hash and the habit sketch's binary encoding.
 	ProfileID string `json:"profile_id,omitempty"`
 	Sketch    []byte `json:"sketch,omitempty"`
+	// RequestID, Items and Ack carry one acknowledged ingest batch: the
+	// idempotency key (may be empty), the accepted items, and the exact
+	// response bytes the batch was acked with — replayed into the dedup
+	// cache on recovery so a post-crash retry still deduplicates.
+	RequestID string          `json:"request_id,omitempty"`
+	Items     []IngestRequest `json:"items,omitempty"`
+	Ack       []byte          `json:"ack,omitempty"`
 }
 
 // snapshotDevice is one device inside a snapshot document.
@@ -44,12 +51,19 @@ type snapshotProfile struct {
 	Sketch []byte `json:"sketch"`
 }
 
+// snapshotAck is one batch-ingest idempotency entry inside a snapshot.
+type snapshotAck struct {
+	RequestID string `json:"request_id"`
+	Ack       []byte `json:"ack"`
+}
+
 // snapshotDoc is the compaction payload: the whole durable state.
-// Devices are sorted by ID; profiles run least- to most-recently used
-// so re-insertion rebuilds the same recency order.
+// Devices are sorted by ID; profiles and batch acks run least- to
+// most-recently used so re-insertion rebuilds the same recency order.
 type snapshotDoc struct {
-	Devices  []snapshotDevice  `json:"devices"`
-	Profiles []snapshotProfile `json:"profiles"`
+	Devices   []snapshotDevice  `json:"devices"`
+	Profiles  []snapshotProfile `json:"profiles"`
+	BatchAcks []snapshotAck     `json:"batch_acks,omitempty"`
 }
 
 // errReadOnly is the typed degraded-mode answer for mutating endpoints
@@ -85,6 +99,12 @@ func (s *Server) openStore() error {
 				return err
 			}
 		}
+		for _, a := range doc.BatchAcks {
+			if a.RequestID == "" || len(a.Ack) == 0 {
+				return fmt.Errorf("server: state recovery: %w: snapshot batch-ack entry without id or body", store.ErrCorrupt)
+			}
+			s.batchAcks.Put(a.RequestID, a.Ack)
+		}
 	}
 	for _, payload := range rec.Records {
 		var w walRecord
@@ -97,6 +117,19 @@ func (s *Server) openStore() error {
 				return fmt.Errorf("server: state recovery: %w: ingest record without body", store.ErrCorrupt)
 			}
 			s.applyIngest(w.Ingest)
+		case "ingest_batch":
+			if len(w.Items) == 0 {
+				return fmt.Errorf("server: state recovery: %w: ingest_batch record without items", store.ErrCorrupt)
+			}
+			for i := range w.Items {
+				if w.Items[i].DeviceID == "" {
+					return fmt.Errorf("server: state recovery: %w: ingest_batch item without device_id", store.ErrCorrupt)
+				}
+				s.applyIngest(&w.Items[i])
+			}
+			if w.RequestID != "" && len(w.Ack) > 0 {
+				s.batchAcks.Put(w.RequestID, w.Ack)
+			}
 		case "profile":
 			if err := s.applyProfile(w.ProfileID, w.Sketch); err != nil {
 				return err
@@ -234,6 +267,9 @@ func (s *Server) compactLocked() error {
 	s.fleetMu.Unlock()
 	s.persisted.each(func(key string, val any) {
 		doc.Profiles = append(doc.Profiles, snapshotProfile{ID: key, Sketch: val.([]byte)})
+	})
+	s.batchAcks.each(func(key string, val any) {
+		doc.BatchAcks = append(doc.BatchAcks, snapshotAck{RequestID: key, Ack: val.([]byte)})
 	})
 	payload, err := json.Marshal(doc)
 	if err != nil {

@@ -1,0 +1,752 @@
+// Router is the shard-ready face of the serve tier: a netmaster-serve
+// process started with -router proxies the /v1/* API across N backend
+// daemons, placing every device on exactly one shard via the
+// internal/shard consistent-hash ring. Single-device requests forward
+// to the owning shard untouched; fleet-wide reads (/v1/fleet/report,
+// /v1/fleet/devices, /metrics) fan out to every shard and fold the
+// per-device dumps through the same exactly-associative telemetry merge
+// a single node uses — so a routed fleet report is byte-identical to a
+// one-node run over the same cohort. Batch endpoints partition their
+// items by device, fan sub-batches out in parallel, and stitch the
+// per-item results back into request order; a shard that cannot be
+// reached fails only its own items (kind "bad_gateway"), never the
+// envelope, and never fabricates a success.
+package server
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	"net/url"
+	"sort"
+	"strconv"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"netmaster/internal/cfgerr"
+	"netmaster/internal/metrics"
+	"netmaster/internal/parallel"
+	"netmaster/internal/shard"
+	"netmaster/internal/telemetry"
+)
+
+// RouterConfig parameterises the routing tier.
+type RouterConfig struct {
+	// Addr is the router's listen address.
+	Addr string
+	// Backends are the shard base URLs, e.g. "http://127.0.0.1:9101".
+	// Order does not matter: placement depends only on the set.
+	Backends []string
+	// VNodes is the consistent-hash virtual-node count per shard; zero
+	// means shard.DefaultVNodes.
+	VNodes int
+	// MaxInFlight bounds concurrently served requests (429 beyond it).
+	MaxInFlight int
+	// RequestTimeout is the per-request deadline, covering the full
+	// fan-out.
+	RequestTimeout time.Duration
+	// ShutdownGrace bounds the drain on SIGTERM.
+	ShutdownGrace time.Duration
+	// Parallelism caps the shard fan-out width; zero keeps the
+	// process-wide default.
+	Parallelism int
+	// LogWriter receives one structured line per request; nil disables.
+	LogWriter io.Writer
+	// Metrics receives router_* counters; nil disables instrumentation.
+	Metrics *metrics.Registry
+	// HTTPClient overrides the backend transport; nil uses a default
+	// client (per-request deadlines come from the request context).
+	HTTPClient *http.Client
+}
+
+// DefaultRouterConfig returns production-shaped router defaults; the
+// caller must still provide Backends.
+func DefaultRouterConfig() RouterConfig {
+	return RouterConfig{
+		Addr:           "127.0.0.1:0",
+		MaxInFlight:    256,
+		RequestTimeout: 60 * time.Second,
+		ShutdownGrace:  5 * time.Second,
+	}
+}
+
+// Validate checks the configuration, returning cfgerr field errors.
+// Backend-set errors come from shard.Config's own validation.
+func (c *RouterConfig) Validate() error {
+	var es cfgerr.Errors
+	if c.Addr == "" {
+		es = append(es, cfgerr.New("server.RouterConfig", "Addr", c.Addr, "must be set"))
+	}
+	if c.MaxInFlight <= 0 {
+		es = append(es, cfgerr.New("server.RouterConfig", "MaxInFlight", c.MaxInFlight, "must be positive"))
+	}
+	if c.RequestTimeout <= 0 {
+		es = append(es, cfgerr.New("server.RouterConfig", "RequestTimeout", c.RequestTimeout, "must be positive"))
+	}
+	if c.ShutdownGrace <= 0 {
+		es = append(es, cfgerr.New("server.RouterConfig", "ShutdownGrace", c.ShutdownGrace, "must be positive"))
+	}
+	if c.Parallelism < 0 {
+		es = append(es, cfgerr.New("server.RouterConfig", "Parallelism", c.Parallelism, "must be non-negative"))
+	}
+	return es.Err()
+}
+
+// ShardHealth is one backend's slice of the router's /healthz.
+type ShardHealth struct {
+	Shard   string `json:"shard"`
+	Status  string `json:"status"` // the shard's own status, or "unreachable"
+	Devices int    `json:"devices"`
+	Error   string `json:"error,omitempty"`
+}
+
+// RouterHealthResponse is the body of GET /healthz in -router mode.
+// Status is "ok" only when every shard answered "ok".
+type RouterHealthResponse struct {
+	Status   string        `json:"status"` // ok | degraded
+	Shards   []ShardHealth `json:"shards"`
+	Devices  int           `json:"devices"`
+	InFlight int64         `json:"in_flight"`
+}
+
+// Router proxies the /v1/* API across the shard ring.
+type Router struct {
+	cfg    RouterConfig
+	ring   *shard.Ring
+	mux    *http.ServeMux
+	http   *http.Server
+	ln     net.Listener
+	client *http.Client
+
+	sem      chan struct{}
+	inflight atomic.Int64
+
+	// router_* instrumentation (nil-tolerant handles).
+	mRequests  *metrics.Counter
+	mErrors    *metrics.Counter
+	mRejected  *metrics.Counter
+	mTimeouts  *metrics.Counter
+	mProxied   *metrics.Counter
+	mFanouts   *metrics.Counter
+	mInflight  *metrics.Gauge
+	mLatencyMS *metrics.Histogram
+}
+
+// NewRouter builds a Router from the config. The listener is not opened
+// until Start.
+func NewRouter(cfg RouterConfig) (*Router, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	ring, err := shard.New(shard.Config{Shards: cfg.Backends, VNodes: cfg.VNodes})
+	if err != nil {
+		return nil, err
+	}
+	client := cfg.HTTPClient
+	if client == nil {
+		client = &http.Client{}
+	}
+	rt := &Router{
+		cfg:    cfg,
+		ring:   ring,
+		mux:    http.NewServeMux(),
+		client: client,
+		sem:    make(chan struct{}, cfg.MaxInFlight),
+
+		mRequests:  cfg.Metrics.Counter("router_requests_total"),
+		mErrors:    cfg.Metrics.Counter("router_errors_total"),
+		mRejected:  cfg.Metrics.Counter("router_rejected_total"),
+		mTimeouts:  cfg.Metrics.Counter("router_timeouts_total"),
+		mProxied:   cfg.Metrics.Counter("router_proxied_total"),
+		mFanouts:   cfg.Metrics.Counter("router_fanouts_total"),
+		mInflight:  cfg.Metrics.Gauge("router_in_flight"),
+		mLatencyMS: cfg.Metrics.Histogram("router_latency_ms", LatencyBuckets),
+	}
+	rt.routes()
+	rt.http = &http.Server{Handler: rt.mux}
+	return rt, nil
+}
+
+func (rt *Router) routes() {
+	for _, p := range []string{"POST /v1/mine", "POST /v1/profile/update", "POST /v1/schedule",
+		"POST /v1/simulate", "POST /v1/fleet/ingest"} {
+		rt.mux.HandleFunc(p, rt.limited(rt.handleRouted))
+	}
+	rt.mux.HandleFunc("POST /v1/fleet/ingest:batch", rt.limited(rt.handleIngestBatch))
+	rt.mux.HandleFunc("POST /v1/schedule:batch", rt.limited(rt.handleScheduleBatch))
+	rt.mux.HandleFunc("GET /v1/fleet/report", rt.limited(rt.handleFleetReport))
+	rt.mux.HandleFunc("GET /v1/fleet/devices", rt.limited(rt.handleFleetDevices))
+	rt.mux.HandleFunc("GET /metrics", rt.handleMetrics)
+	rt.mux.HandleFunc("GET /healthz", rt.handleHealthz)
+}
+
+// ServeHTTP makes the router usable under httptest without a listener.
+func (rt *Router) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	rt.mux.ServeHTTP(w, r)
+}
+
+// Ring exposes the placement ring (read-only; the Ring is immutable).
+func (rt *Router) Ring() *shard.Ring { return rt.ring }
+
+func (rt *Router) workers() int {
+	if rt.cfg.Parallelism > 0 {
+		return rt.cfg.Parallelism
+	}
+	return parallel.DefaultWorkers()
+}
+
+// limited is the router's request spine: admission, deadline, metrics
+// and logging — the same contract as the daemon's.
+func (rt *Router) limited(h func(http.ResponseWriter, *http.Request) error) http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
+		rt.mRequests.Inc()
+		select {
+		case rt.sem <- struct{}{}:
+		default:
+			rt.mRejected.Inc()
+			w.Header().Set("Retry-After", "1")
+			writeError(w, &apiError{Code: http.StatusTooManyRequests,
+				Kind: "overloaded", Msg: "too many requests in flight"})
+			rt.log(r, http.StatusTooManyRequests, 0)
+			return
+		}
+		rt.mInflight.Set(float64(rt.inflight.Add(1)))
+		start := time.Now()
+		defer func() {
+			<-rt.sem
+			rt.mInflight.Set(float64(rt.inflight.Add(-1)))
+		}()
+
+		ctx, cancel := context.WithTimeout(r.Context(), rt.cfg.RequestTimeout)
+		defer cancel()
+		sw := &statusWriter{ResponseWriter: w}
+		err := h(sw, r.WithContext(ctx))
+		elapsed := time.Since(start)
+		rt.mLatencyMS.Observe(float64(elapsed.Milliseconds()))
+		if err != nil {
+			rt.mErrors.Inc()
+			var ae *apiError
+			switch {
+			case errors.As(err, &ae):
+				writeError(sw, ae)
+			case errors.Is(err, context.DeadlineExceeded):
+				rt.mTimeouts.Inc()
+				writeError(sw, &apiError{Code: http.StatusGatewayTimeout,
+					Kind: "timeout", Msg: "request deadline exceeded"})
+			default:
+				writeError(sw, &apiError{Code: http.StatusInternalServerError,
+					Kind: "internal", Msg: err.Error()})
+			}
+		}
+		rt.log(r, sw.status, elapsed)
+	}
+}
+
+func (rt *Router) log(r *http.Request, status int, elapsed time.Duration) {
+	if rt.cfg.LogWriter == nil {
+		return
+	}
+	line := struct {
+		Role     string `json:"role"`
+		Method   string `json:"method"`
+		Path     string `json:"path"`
+		Status   int    `json:"status"`
+		Millis   int64  `json:"ms"`
+		InFlight int64  `json:"in_flight"`
+	}{"router", r.Method, r.URL.Path, status, elapsed.Milliseconds(), rt.inflight.Load()}
+	b, err := json.Marshal(line)
+	if err != nil {
+		return
+	}
+	rt.cfg.LogWriter.Write(append(b, '\n'))
+}
+
+// routeProbe is a loose view of any /v1/* request body: just the fields
+// that can carry a routing key.
+type routeProbe struct {
+	DeviceID  string `json:"device_id"`
+	ProfileID string `json:"profile_id"`
+	Gen       *struct {
+		User string `json:"user"`
+	} `json:"gen"`
+	Trace *struct {
+		UserID string `json:"user_id"`
+	} `json:"trace"`
+}
+
+// routeKey extracts the placement key for a single-device request. An
+// explicit X-Netmaster-Route-Key header wins; then device_id, the gen
+// user, the inline trace's user, the profile ID, and finally the raw
+// body bytes (a stable, if arbitrary, assignment). profile_id ranks
+// below the user keys because a profile ID alone cannot prove which
+// user it belongs to — callers that schedule by bare profile_id against
+// a router should pin affinity with the header (docs/api.md).
+func routeKey(r *http.Request, body []byte) string {
+	if k := r.Header.Get("X-Netmaster-Route-Key"); k != "" {
+		return k
+	}
+	var p routeProbe
+	if json.Unmarshal(body, &p) == nil {
+		switch {
+		case p.DeviceID != "":
+			return p.DeviceID
+		case p.Gen != nil && p.Gen.User != "":
+			return p.Gen.User
+		case p.Trace != nil && p.Trace.UserID != "":
+			return p.Trace.UserID
+		case p.ProfileID != "":
+			return p.ProfileID
+		}
+	}
+	return string(body)
+}
+
+// errShard is the typed answer for an unreachable or misbehaving shard.
+func errShard(backend string, err error) *apiError {
+	return &apiError{Code: http.StatusBadGateway, Kind: "bad_gateway",
+		Msg: fmt.Sprintf("shard %s: %v", backend, err)}
+}
+
+// handleRouted forwards a single-device request verbatim to the shard
+// that owns its routing key and relays the response.
+func (rt *Router) handleRouted(w http.ResponseWriter, r *http.Request) error {
+	body, err := io.ReadAll(r.Body)
+	if err != nil {
+		return &apiError{Code: http.StatusBadRequest, Kind: "bad_request", Msg: err.Error()}
+	}
+	backend := rt.ring.Owner(routeKey(r, body))
+	req, err := http.NewRequestWithContext(r.Context(), r.Method, backend+r.URL.RequestURI(), bytes.NewReader(body))
+	if err != nil {
+		return errShard(backend, err)
+	}
+	req.Header.Set("Content-Type", "application/json")
+	resp, err := rt.client.Do(req)
+	if err != nil {
+		return errShard(backend, err)
+	}
+	defer resp.Body.Close()
+	rt.mProxied.Inc()
+	for _, h := range []string{"Content-Type", "X-Netmaster-Cache", "X-Netmaster-Idempotent-Replay", "Retry-After"} {
+		if v := resp.Header.Get(h); v != "" {
+			w.Header().Set(h, v)
+		}
+	}
+	w.WriteHeader(resp.StatusCode)
+	// Past this point the status is on the wire; a copy failure only
+	// means the client went away.
+	io.Copy(w, resp.Body)
+	return nil
+}
+
+// getJSON fetches one shard URL into out.
+func (rt *Router) getJSON(ctx context.Context, backend, path string, out any) error {
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, backend+path, nil)
+	if err != nil {
+		return err
+	}
+	resp, err := rt.client.Do(req)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		return err
+	}
+	if resp.StatusCode != http.StatusOK {
+		return fmt.Errorf("status %d: %s", resp.StatusCode, bytes.TrimSpace(body))
+	}
+	return json.Unmarshal(body, out)
+}
+
+// postJSON posts in to one shard URL and decodes the 200 body into out.
+func (rt *Router) postJSON(ctx context.Context, backend, path string, in, out any) (http.Header, error) {
+	payload, err := json.Marshal(in)
+	if err != nil {
+		return nil, err
+	}
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost, backend+path, bytes.NewReader(payload))
+	if err != nil {
+		return nil, err
+	}
+	req.Header.Set("Content-Type", "application/json")
+	resp, err := rt.client.Do(req)
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		return nil, err
+	}
+	if resp.StatusCode != http.StatusOK {
+		return nil, fmt.Errorf("status %d: %s", resp.StatusCode, bytes.TrimSpace(body))
+	}
+	return resp.Header, json.Unmarshal(body, out)
+}
+
+// shardDumps fans GET /v1/fleet/devices out to every shard and returns
+// the union in sorted-ID order. A device reported by two shards is a
+// placement violation and fails the read (kind "shard_conflict") —
+// merging would silently double-count it.
+func (rt *Router) shardDumps(ctx context.Context, query string) ([]DeviceDump, error) {
+	shards := rt.ring.Shards()
+	rt.mFanouts.Inc()
+	per, err := parallel.MapNCtx(ctx, rt.workers(), len(shards), func(i int) ([]DeviceDump, error) {
+		var fd FleetDevicesResponse
+		if err := rt.getJSON(ctx, shards[i], "/v1/fleet/devices"+query, &fd); err != nil {
+			return nil, errShard(shards[i], err)
+		}
+		return fd.Devices, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	owner := make(map[string]string)
+	var all []DeviceDump
+	for i, dumps := range per {
+		for _, d := range dumps {
+			if prev, dup := owner[d.DeviceID]; dup {
+				return nil, &apiError{Code: http.StatusBadGateway, Kind: "shard_conflict",
+					Msg: fmt.Sprintf("device %s reported by both %s and %s", d.DeviceID, prev, shards[i])}
+			}
+			owner[d.DeviceID] = shards[i]
+			all = append(all, d)
+		}
+	}
+	sort.Slice(all, func(i, j int) bool { return all[i].DeviceID < all[j].DeviceID })
+	return all, nil
+}
+
+func (rt *Router) handleFleetReport(w http.ResponseWriter, r *http.Request) error {
+	q := url.Values{}
+	if m := r.URL.Query().Get("model"); m != "" {
+		q.Set("model", m)
+	}
+	query := ""
+	if len(q) > 0 {
+		query = "?" + q.Encode()
+	}
+	dumps, err := rt.shardDumps(r.Context(), query)
+	if err != nil {
+		return err
+	}
+	doc, err := fleetDocFromDumps(rt.workers(), dumps)
+	if err != nil {
+		return err
+	}
+	return writeJSON(w, http.StatusOK, doc)
+}
+
+func (rt *Router) handleFleetDevices(w http.ResponseWriter, r *http.Request) error {
+	q := url.Values{}
+	if m := r.URL.Query().Get("model"); m != "" {
+		q.Set("model", m)
+	}
+	if rep := r.URL.Query().Get("reports"); rep != "" {
+		q.Set("reports", rep)
+	}
+	query := ""
+	if len(q) > 0 {
+		query = "?" + q.Encode()
+	}
+	dumps, err := rt.shardDumps(r.Context(), query)
+	if err != nil {
+		return err
+	}
+	if dumps == nil {
+		dumps = []DeviceDump{}
+	}
+	return writeJSON(w, http.StatusOK, FleetDevicesResponse{Devices: dumps})
+}
+
+// handleMetrics mirrors the daemon's /metrics scopes: "fleet" merges
+// every shard's ingested devices (byte-identical to a single node's
+// ?scope=fleet over the same cohort), "self" is the router's own
+// registry, and the default is both.
+func (rt *Router) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	ctx, cancel := context.WithTimeout(r.Context(), rt.cfg.RequestTimeout)
+	defer cancel()
+	self := telemetry.Device{ID: "router", Snapshot: rt.cfg.Metrics.Snapshot()}
+	fleet := func() ([]telemetry.Device, error) {
+		dumps, err := rt.shardDumps(ctx, "?reports=0")
+		if err != nil {
+			return nil, err
+		}
+		var devs []telemetry.Device
+		for _, d := range dumps {
+			if d.Metrics != nil {
+				devs = append(devs, telemetry.Device{ID: d.DeviceID, Snapshot: *d.Metrics})
+			}
+		}
+		return devs, nil
+	}
+	var devs []telemetry.Device
+	var err error
+	switch scope := r.URL.Query().Get("scope"); scope {
+	case "", "all":
+		devs, err = fleet()
+		devs = append([]telemetry.Device{self}, devs...)
+	case "fleet":
+		devs, err = fleet()
+	case "self":
+		devs = []telemetry.Device{self}
+	default:
+		writeError(w, &apiError{Code: http.StatusBadRequest, Kind: "bad_request",
+			Msg: fmt.Sprintf("unknown metrics scope %q (want all, fleet or self)", scope)})
+		return
+	}
+	if err == nil {
+		var agg *telemetry.Agg
+		agg, err = telemetry.Aggregate(devs...)
+		if err == nil {
+			w.Header().Set("Content-Type", "text/plain; version=0.0.4")
+			telemetry.WriteProm(w, "netmaster_", agg.Export())
+			return
+		}
+	}
+	var ae *apiError
+	if !errors.As(err, &ae) {
+		ae = &apiError{Code: http.StatusInternalServerError, Kind: "internal", Msg: err.Error()}
+	}
+	writeError(w, ae)
+}
+
+func (rt *Router) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	ctx, cancel := context.WithTimeout(r.Context(), rt.cfg.RequestTimeout)
+	defer cancel()
+	shards := rt.ring.Shards()
+	h := RouterHealthResponse{Status: "ok", Shards: make([]ShardHealth, len(shards)), InFlight: rt.InFlight()}
+	var mu sync.Mutex
+	parallel.ForEachN(rt.workers(), len(shards), func(i int) error {
+		var sh HealthResponse
+		if err := rt.getJSON(ctx, shards[i], "/healthz", &sh); err != nil {
+			h.Shards[i] = ShardHealth{Shard: shards[i], Status: "unreachable", Error: err.Error()}
+			return nil
+		}
+		h.Shards[i] = ShardHealth{Shard: shards[i], Status: sh.Status, Devices: sh.Devices}
+		mu.Lock()
+		h.Devices += sh.Devices
+		mu.Unlock()
+		return nil
+	})
+	for _, sh := range h.Shards {
+		if sh.Status != "ok" {
+			h.Status = "degraded"
+			break
+		}
+	}
+	writeJSON(w, http.StatusOK, h)
+}
+
+// handleIngestBatch partitions the batch by device owner, fans
+// sub-batches out, and stitches per-item results back into request
+// order. Sub-batch idempotency keys derive deterministically from the
+// caller's request_id and the shard's position in the sorted shard
+// list, so a retried router batch deduplicates at every shard.
+func (rt *Router) handleIngestBatch(w http.ResponseWriter, r *http.Request) error {
+	var req BatchIngestRequest
+	if err := decode(r, &req); err != nil {
+		return err
+	}
+	if len(req.Items) == 0 {
+		return &apiError{Code: http.StatusBadRequest, Kind: "bad_request", Msg: "items must be non-empty"}
+	}
+	results := make([]BatchIngestResult, len(req.Items))
+	byShard := make(map[string][]int)
+	for i := range req.Items {
+		results[i].DeviceID = req.Items[i].DeviceID
+		if req.Items[i].DeviceID == "" {
+			results[i].Error = &BatchItemError{Kind: "bad_request", Msg: "device_id must be set"}
+			continue
+		}
+		owner := rt.ring.Owner(req.Items[i].DeviceID)
+		byShard[owner] = append(byShard[owner], i)
+	}
+	shards := make([]string, 0, len(byShard))
+	for s := range byShard {
+		shards = append(shards, s)
+	}
+	sort.Strings(shards)
+
+	rt.mFanouts.Inc()
+	devices := atomic.Int64{}
+	allReplayed := atomic.Bool{}
+	allReplayed.Store(len(shards) > 0)
+	err := parallel.ForEachNCtx(r.Context(), rt.workers(), len(shards), func(si int) error {
+		idxs := byShard[shards[si]]
+		sub := BatchIngestRequest{Items: make([]IngestRequest, len(idxs))}
+		if req.RequestID != "" {
+			sub.RequestID = req.RequestID + "#" + strconv.Itoa(si)
+		}
+		for j, i := range idxs {
+			sub.Items[j] = req.Items[i]
+		}
+		var subResp BatchIngestResponse
+		hdr, perr := rt.postJSON(r.Context(), shards[si], "/v1/fleet/ingest:batch", &sub, &subResp)
+		if perr != nil {
+			if r.Context().Err() != nil {
+				return r.Context().Err()
+			}
+			e := errShard(shards[si], perr)
+			for _, i := range idxs {
+				results[i].Error = &BatchItemError{Kind: e.Kind, Msg: e.Msg}
+			}
+			allReplayed.Store(false)
+			return nil
+		}
+		if len(subResp.Results) != len(idxs) {
+			e := errShard(shards[si], fmt.Errorf("returned %d results for %d items", len(subResp.Results), len(idxs)))
+			for _, i := range idxs {
+				results[i].Error = &BatchItemError{Kind: e.Kind, Msg: e.Msg}
+			}
+			allReplayed.Store(false)
+			return nil
+		}
+		for j, i := range idxs {
+			results[i] = subResp.Results[j]
+		}
+		devices.Add(int64(subResp.Devices))
+		if hdr.Get("X-Netmaster-Idempotent-Replay") != "true" {
+			allReplayed.Store(false)
+		}
+		return nil
+	})
+	if err != nil {
+		return err
+	}
+
+	resp := BatchIngestResponse{RequestID: req.RequestID, Devices: int(devices.Load()), Results: results}
+	for i := range results {
+		if results[i].Error == nil {
+			results[i].OK = true
+			resp.Accepted++
+		} else {
+			results[i].OK = false
+			resp.Failed++
+		}
+	}
+	if req.RequestID != "" && allReplayed.Load() {
+		w.Header().Set("X-Netmaster-Idempotent-Replay", "true")
+	}
+	return writeJSON(w, http.StatusOK, resp)
+}
+
+// scheduleItemKey is routeKey's precedence for a decoded schedule item.
+func scheduleItemKey(it *ScheduleRequest) string {
+	switch {
+	case it.DeviceID != "":
+		return it.DeviceID
+	case it.Gen != nil && it.Gen.User != "":
+		return it.Gen.User
+	case it.Trace != nil && it.Trace.UserID != "":
+		return it.Trace.UserID
+	case it.ProfileID != "":
+		return it.ProfileID
+	}
+	b, err := json.Marshal(it)
+	if err != nil {
+		return ""
+	}
+	return string(b)
+}
+
+func (rt *Router) handleScheduleBatch(w http.ResponseWriter, r *http.Request) error {
+	var req BatchScheduleRequest
+	if err := decode(r, &req); err != nil {
+		return err
+	}
+	if len(req.Items) == 0 {
+		return &apiError{Code: http.StatusBadRequest, Kind: "bad_request", Msg: "items must be non-empty"}
+	}
+	results := make([]BatchScheduleResult, len(req.Items))
+	byShard := make(map[string][]int)
+	for i := range req.Items {
+		results[i].DeviceID = req.Items[i].DeviceID
+		owner := rt.ring.Owner(scheduleItemKey(&req.Items[i]))
+		byShard[owner] = append(byShard[owner], i)
+	}
+	shards := make([]string, 0, len(byShard))
+	for s := range byShard {
+		shards = append(shards, s)
+	}
+	sort.Strings(shards)
+
+	rt.mFanouts.Inc()
+	err := parallel.ForEachNCtx(r.Context(), rt.workers(), len(shards), func(si int) error {
+		idxs := byShard[shards[si]]
+		sub := BatchScheduleRequest{Items: make([]ScheduleRequest, len(idxs))}
+		for j, i := range idxs {
+			sub.Items[j] = req.Items[i]
+		}
+		var subResp BatchScheduleResponse
+		if _, perr := rt.postJSON(r.Context(), shards[si], "/v1/schedule:batch", &sub, &subResp); perr != nil {
+			if r.Context().Err() != nil {
+				return r.Context().Err()
+			}
+			e := errShard(shards[si], perr)
+			for _, i := range idxs {
+				results[i].Error = &BatchItemError{Kind: e.Kind, Msg: e.Msg}
+			}
+			return nil
+		}
+		if len(subResp.Results) != len(idxs) {
+			e := errShard(shards[si], fmt.Errorf("returned %d results for %d items", len(subResp.Results), len(idxs)))
+			for _, i := range idxs {
+				results[i].Error = &BatchItemError{Kind: e.Kind, Msg: e.Msg}
+			}
+			return nil
+		}
+		for j, i := range idxs {
+			results[i] = subResp.Results[j]
+		}
+		return nil
+	})
+	if err != nil {
+		return err
+	}
+	resp := BatchScheduleResponse{Results: results}
+	for i := range results {
+		if results[i].OK {
+			resp.Succeeded++
+		} else {
+			resp.Failed++
+		}
+	}
+	return writeJSON(w, http.StatusOK, resp)
+}
+
+// Start opens the listener and serves until Shutdown.
+func (rt *Router) Start() error {
+	ln, err := net.Listen("tcp", rt.cfg.Addr)
+	if err != nil {
+		return fmt.Errorf("router: listen %s: %w", rt.cfg.Addr, err)
+	}
+	rt.ln = ln
+	go rt.http.Serve(ln)
+	return nil
+}
+
+// Addr returns the bound listen address (useful with ":0").
+func (rt *Router) Addr() string {
+	if rt.ln == nil {
+		return rt.cfg.Addr
+	}
+	return rt.ln.Addr().String()
+}
+
+// Shutdown drains in-flight requests within the configured grace.
+func (rt *Router) Shutdown(ctx context.Context) error {
+	dctx, cancel := context.WithTimeout(ctx, rt.cfg.ShutdownGrace)
+	defer cancel()
+	return rt.http.Shutdown(dctx)
+}
+
+// InFlight returns the number of requests currently being served.
+func (rt *Router) InFlight() int64 { return rt.inflight.Load() }

@@ -144,8 +144,9 @@ type Server struct {
 	http *http.Server
 	ln   net.Listener
 
-	profiles *lru // sketch-state profile ID → *profileEntry
-	aliases  *lru // request-shape alias → profile ID
+	profiles  *lru // sketch-state profile ID → *profileEntry
+	aliases   *lru // request-shape alias → profile ID
+	batchAcks *lru // batch request_id → ack bytes (idempotent replay)
 
 	fleetMu sync.Mutex
 	fleet   map[string]ingested
@@ -189,12 +190,13 @@ func New(cfg Config) (*Server, error) {
 		return nil, err
 	}
 	s := &Server{
-		cfg:      cfg,
-		mux:      http.NewServeMux(),
-		profiles: newLRU(cfg.CacheSize),
-		aliases:  newLRU(cfg.CacheSize),
-		fleet:    make(map[string]ingested),
-		sem:      make(chan struct{}, cfg.MaxInFlight),
+		cfg:       cfg,
+		mux:       http.NewServeMux(),
+		profiles:  newLRU(cfg.CacheSize),
+		aliases:   newLRU(cfg.CacheSize),
+		batchAcks: newLRU(cfg.CacheSize),
+		fleet:     make(map[string]ingested),
+		sem:       make(chan struct{}, cfg.MaxInFlight),
 
 		mRequests:  cfg.Metrics.Counter("server_requests_total"),
 		mErrors:    cfg.Metrics.Counter("server_errors_total"),
@@ -231,7 +233,10 @@ func (s *Server) routes() {
 	s.mux.HandleFunc("POST /v1/schedule", s.limited(s.handleSchedule))
 	s.mux.HandleFunc("POST /v1/simulate", s.limited(s.handleSimulate))
 	s.mux.HandleFunc("POST /v1/fleet/ingest", s.limited(s.handleIngest))
+	s.mux.HandleFunc("POST /v1/fleet/ingest:batch", s.limited(s.handleIngestBatch))
+	s.mux.HandleFunc("POST /v1/schedule:batch", s.limited(s.handleScheduleBatch))
 	s.mux.HandleFunc("GET /v1/fleet/report", s.limited(s.handleFleetReport))
+	s.mux.HandleFunc("GET /v1/fleet/devices", s.limited(s.handleFleetDevices))
 	s.mux.HandleFunc("GET /metrics", s.handleMetrics)
 	s.mux.HandleFunc("GET /healthz", s.handleHealthz)
 	s.mux.HandleFunc("/debug/pprof/", pprof.Index)
@@ -406,13 +411,23 @@ func (s *Server) Devices() int {
 	return len(s.fleet)
 }
 
-// fleetDoc assembles the live fleet report: the exact structure
-// netmaster-analyze produces offline, so the two are byte-comparable.
-func (s *Server) fleetDoc(model string) (FleetReportResponse, error) {
+// workers is the bounded fan-out width for per-request parallel work.
+func (s *Server) workers() int {
+	if s.cfg.Parallelism > 0 {
+		return s.cfg.Parallelism
+	}
+	return parallel.DefaultWorkers()
+}
+
+// deviceDumps snapshots the ingested fleet in sorted-ID order: each
+// device's raw metrics plus (optionally) its analyzed report. This is
+// the shard's contribution to a routed fleet report — the router fetches
+// dumps from every shard and folds them with fleetDocFromDumps.
+func (s *Server) deviceDumps(model string, withReports bool) ([]DeviceDump, error) {
 	acfg := analyze.DefaultConfig()
 	m, err := powerModel(model)
 	if err != nil {
-		return FleetReportResponse{}, err
+		return nil, err
 	}
 	acfg.ActivePowerMW = m.ActivePowerMW
 
@@ -423,25 +438,61 @@ func (s *Server) fleetDoc(model string) (FleetReportResponse, error) {
 	}
 	sort.Strings(ids)
 	ins := make([]analyze.DeviceInput, len(ids))
-	var mdevs []telemetry.Device
+	dumps := make([]DeviceDump, len(ids))
 	for i, id := range ids {
 		d := s.fleet[id]
 		ins[i] = analyze.DeviceInput{ID: id, Header: d.header, Events: d.events, Metrics: d.metrics}
-		if d.metrics != nil {
-			mdevs = append(mdevs, telemetry.Device{ID: id, Snapshot: *d.metrics})
-		}
+		dumps[i] = DeviceDump{DeviceID: id, Metrics: d.metrics}
 	}
 	s.fleetMu.Unlock()
 
-	workers := s.cfg.Parallelism
-	if workers <= 0 {
-		workers = parallel.DefaultWorkers()
+	if withReports {
+		reports, err := parallel.MapN(s.workers(), len(ins), func(i int) (analyze.DeviceReport, error) {
+			return analyze.Device(ins[i], acfg), nil
+		})
+		if err != nil {
+			return nil, err
+		}
+		for i := range dumps {
+			dumps[i].Report = &reports[i]
+			dumps[i].DeferSecs = reports[i].DeferSecs()
+		}
 	}
-	reports, err := parallel.MapN(workers, len(ins), func(i int) (analyze.DeviceReport, error) {
-		return analyze.Device(ins[i], acfg), nil
-	})
+	return dumps, nil
+}
+
+// fleetDoc assembles the live fleet report: the exact structure
+// netmaster-analyze produces offline, so the two are byte-comparable.
+func (s *Server) fleetDoc(model string) (FleetReportResponse, error) {
+	dumps, err := s.deviceDumps(model, true)
 	if err != nil {
 		return FleetReportResponse{}, err
+	}
+	return fleetDocFromDumps(s.workers(), dumps)
+}
+
+// fleetDocFromDumps folds per-device dumps into the fleet document.
+// The same fold serves one node's memory and a router's N shards: the
+// telemetry merge is exactly associative and analyze.Fleet sorts its
+// inputs, so the result is independent of how devices were grouped —
+// which is what makes a routed report byte-identical to a single-node
+// run.
+func fleetDocFromDumps(workers int, dumps []DeviceDump) (FleetReportResponse, error) {
+	var mdevs []telemetry.Device
+	reports := make([]analyze.DeviceReport, 0, len(dumps))
+	for _, d := range dumps {
+		if d.Metrics != nil {
+			mdevs = append(mdevs, telemetry.Device{ID: d.DeviceID, Snapshot: *d.Metrics})
+		}
+		if d.Report != nil {
+			rep := *d.Report
+			if rep.DeferSecs() == nil {
+				// Rebuilt from JSON: the raw waits ride next to the
+				// report, not inside it.
+				rep.SetDeferSecs(d.DeferSecs)
+			}
+			reports = append(reports, rep)
+		}
 	}
 	agg, err := telemetry.AggregateParallel(workers, mdevs)
 	if err != nil {

@@ -1,0 +1,239 @@
+package shard
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"netmaster/internal/cfgerr"
+)
+
+// syntheticIDs builds n fleet-shaped device IDs: a cohort-user prefix
+// plus a zero-padded index, the same shape netmaster-bench drives.
+func syntheticIDs(n int) []string {
+	users := []string{"user1", "user2", "user3", "user4", "user5", "user6", "user7", "user8",
+		"volunteer1", "volunteer2", "volunteer3"}
+	ids := make([]string, n)
+	for i := range ids {
+		ids[i] = fmt.Sprintf("%s-%07d", users[i%len(users)], i)
+	}
+	return ids
+}
+
+func mustRing(t *testing.T, shards []string, vnodes int) *Ring {
+	t.Helper()
+	r, err := New(Config{Shards: shards, VNodes: vnodes})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return r
+}
+
+// TestPlacementDeterministicAcrossConstructionOrder: the ring is a pure
+// function of the shard *set* — every permutation of the config places
+// every key identically.
+func TestPlacementDeterministicAcrossConstructionOrder(t *testing.T) {
+	shards := []string{"http://a:1", "http://b:2", "http://c:3", "http://d:4", "http://e:5"}
+	ids := syntheticIDs(20000)
+	ref := mustRing(t, shards, 64)
+
+	rng := rand.New(rand.NewSource(7))
+	for perm := 0; perm < 5; perm++ {
+		shuffled := append([]string(nil), shards...)
+		rng.Shuffle(len(shuffled), func(i, j int) { shuffled[i], shuffled[j] = shuffled[j], shuffled[i] })
+		r := mustRing(t, shuffled, 64)
+		for _, id := range ids {
+			if got, want := r.Owner(id), ref.Owner(id); got != want {
+				t.Fatalf("permutation %d: Owner(%s) = %s, want %s", perm, id, got, want)
+			}
+		}
+	}
+	// And across repeated construction of the same config.
+	again := mustRing(t, shards, 64)
+	for _, id := range ids[:1000] {
+		if ref.Owner(id) != again.Owner(id) {
+			t.Fatalf("Owner(%s) differs between two rings of the same config", id)
+		}
+	}
+}
+
+// TestKeyMovementBoundOnAdd: growing an N-shard ring to N+1 moves at
+// most 2/(N+1) of the keys (expected 1/(N+1)), and every moved key
+// moves TO the new shard — consistent hashing never reshuffles keys
+// between surviving shards.
+func TestKeyMovementBoundOnAdd(t *testing.T) {
+	ids := syntheticIDs(200000)
+	for _, n := range []int{3, 4, 8} {
+		shards := make([]string, n)
+		for i := range shards {
+			shards[i] = fmt.Sprintf("http://shard%d:80", i)
+		}
+		before := mustRing(t, shards, DefaultVNodes)
+		added := "http://shard-new:80"
+		after := mustRing(t, append(append([]string(nil), shards...), added), DefaultVNodes)
+
+		moved := 0
+		for _, id := range ids {
+			was, now := before.Owner(id), after.Owner(id)
+			if was == now {
+				continue
+			}
+			if now != added {
+				t.Fatalf("n=%d: key %s moved between surviving shards %s -> %s", n, id, was, now)
+			}
+			moved++
+		}
+		frac := float64(moved) / float64(len(ids))
+		if bound := 2.0 / float64(n+1); frac > bound {
+			t.Errorf("n=%d->%d: %.1f%% of keys moved, bound %.1f%%", n, n+1, 100*frac, 100*bound)
+		}
+		if moved == 0 {
+			t.Errorf("n=%d: adding a shard moved no keys at all", n)
+		}
+	}
+}
+
+// TestKeyMovementBoundOnRemove: removing a shard moves only the keys it
+// owned — at most 2/N of the population for an N-shard ring.
+func TestKeyMovementBoundOnRemove(t *testing.T) {
+	ids := syntheticIDs(200000)
+	n := 5
+	shards := make([]string, n)
+	for i := range shards {
+		shards[i] = fmt.Sprintf("http://shard%d:80", i)
+	}
+	before := mustRing(t, shards, DefaultVNodes)
+	removed := shards[2]
+	after := mustRing(t, append(append([]string(nil), shards[:2]...), shards[3:]...), DefaultVNodes)
+
+	moved := 0
+	for _, id := range ids {
+		was, now := before.Owner(id), after.Owner(id)
+		if was == now {
+			continue
+		}
+		if was != removed {
+			t.Fatalf("key %s moved from surviving shard %s -> %s", id, was, now)
+		}
+		moved++
+	}
+	frac := float64(moved) / float64(len(ids))
+	if bound := 2.0 / float64(n); frac > bound {
+		t.Errorf("removing 1 of %d shards moved %.1f%% of keys, bound %.1f%%", n, 100*frac, 100*bound)
+	}
+}
+
+// TestEvenDistributionOverMillionIDs: over 1M synthetic device IDs, the
+// most and least loaded of 8 shards stay within a bounded ratio.
+func TestEvenDistributionOverMillionIDs(t *testing.T) {
+	if testing.Short() {
+		t.Skip("1M-key distribution sweep skipped in -short")
+	}
+	shards := make([]string, 8)
+	for i := range shards {
+		shards[i] = fmt.Sprintf("http://shard%d:80", i)
+	}
+	r := mustRing(t, shards, 256)
+	load := make(map[string]int, len(shards))
+	for _, id := range syntheticIDs(1_000_000) {
+		load[r.Owner(id)]++
+	}
+	min, max := 1<<62, 0
+	for _, s := range shards {
+		n := load[s]
+		if n == 0 {
+			t.Fatalf("shard %s owns no keys", s)
+		}
+		if n < min {
+			min = n
+		}
+		if n > max {
+			max = n
+		}
+	}
+	if ratio := float64(max) / float64(min); ratio > 1.6 {
+		t.Errorf("max/min shard load ratio %.2f exceeds 1.6 (loads: %v)", ratio, load)
+	}
+}
+
+// TestPartitionCoversAllKeysInOrder: Partition is a grouping of exactly
+// the input indices, each shard's slice in ascending input order.
+func TestPartitionCoversAllKeysInOrder(t *testing.T) {
+	r := mustRing(t, []string{"a", "b", "c"}, 32)
+	ids := syntheticIDs(5000)
+	parts := r.Partition(ids)
+	seen := make([]bool, len(ids))
+	total := 0
+	for shard, idxs := range parts {
+		last := -1
+		for _, i := range idxs {
+			if i <= last {
+				t.Fatalf("shard %s: indices out of order: %d after %d", shard, i, last)
+			}
+			last = i
+			if seen[i] {
+				t.Fatalf("index %d assigned twice", i)
+			}
+			seen[i] = true
+			if r.Owner(ids[i]) != shard {
+				t.Fatalf("index %d partitioned to %s but owned by %s", i, shard, r.Owner(ids[i]))
+			}
+			total++
+		}
+	}
+	if total != len(ids) {
+		t.Fatalf("partition covers %d of %d keys", total, len(ids))
+	}
+}
+
+// TestConfigValidate: typed field errors for every rejected shape.
+func TestConfigValidate(t *testing.T) {
+	cases := []struct {
+		name  string
+		cfg   Config
+		field string // "" = valid
+	}{
+		{"ok", Config{Shards: []string{"a", "b"}}, ""},
+		{"ok explicit vnodes", Config{Shards: []string{"a"}, VNodes: 16}, ""},
+		{"no shards", Config{}, "Shards"},
+		{"empty name", Config{Shards: []string{"a", ""}}, "Shards[1]"},
+		{"duplicate", Config{Shards: []string{"a", "b", "a"}}, "Shards[2]"},
+		{"negative vnodes", Config{Shards: []string{"a"}, VNodes: -1}, "VNodes"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			err := tc.cfg.Validate()
+			if tc.field == "" {
+				if err != nil {
+					t.Fatalf("Validate() = %v, want nil", err)
+				}
+				return
+			}
+			var fe *cfgerr.FieldError
+			if !errors.As(err, &fe) {
+				t.Fatalf("Validate() = %v, want *cfgerr.FieldError", err)
+			}
+			if fe.Field != tc.field {
+				t.Fatalf("rejected field %s, want %s (err: %v)", fe.Field, tc.field, err)
+			}
+		})
+	}
+}
+
+// TestDefaultsApplied: VNodes zero resolves to DefaultVNodes and Shards
+// comes back sorted regardless of input order.
+func TestDefaultsApplied(t *testing.T) {
+	r := mustRing(t, []string{"b", "a"}, 0)
+	if r.VNodes() != DefaultVNodes {
+		t.Errorf("VNodes() = %d, want %d", r.VNodes(), DefaultVNodes)
+	}
+	s := r.Shards()
+	if len(s) != 2 || s[0] != "a" || s[1] != "b" {
+		t.Errorf("Shards() = %v, want sorted [a b]", s)
+	}
+	s[0] = "mutated"
+	if r.Shards()[0] != "a" {
+		t.Error("Shards() returned its internal slice, not a copy")
+	}
+}

@@ -130,17 +130,28 @@ type ThrashStats struct {
 
 // DeviceReport is one device's analysis.
 type DeviceReport struct {
-	Device    string         `json:"device"`
-	Events    int            `json:"events"`
-	Truncated bool           `json:"truncated"`
-	Dropped   uint64         `json:"dropped"`
-	Apps      []AppEnergy    `json:"apps"`
-	Slots     []SlotScore    `json:"slots"`
-	Deferrals DeferStats     `json:"deferrals"`
-	Thrash    ThrashStats    `json:"thrash"`
-	Findings  []Finding      `json:"findings"`
-	deferSecs []float64      // exact waits, for the fleet distribution
+	Device    string      `json:"device"`
+	Events    int         `json:"events"`
+	Truncated bool        `json:"truncated"`
+	Dropped   uint64      `json:"dropped"`
+	Apps      []AppEnergy `json:"apps"`
+	Slots     []SlotScore `json:"slots"`
+	Deferrals DeferStats  `json:"deferrals"`
+	Thrash    ThrashStats `json:"thrash"`
+	Findings  []Finding   `json:"findings"`
+	deferSecs []float64   // exact waits, for the fleet distribution
 }
+
+// DeferSecs returns the raw per-deferral waits (seconds) backing the
+// report's deferral distribution. Fleet pools these exact values to
+// recompute the cohort quantiles, so a report that crosses a process
+// boundary must carry them alongside its JSON (they are deliberately
+// not serialised with the report — per_device entries would balloon).
+func (r *DeviceReport) DeferSecs() []float64 { return r.deferSecs }
+
+// SetDeferSecs restores the raw deferral waits on a report that was
+// rebuilt from JSON, re-enabling the exact fleet-level pooling.
+func (r *DeviceReport) SetDeferSecs(v []float64) { r.deferSecs = v }
 
 // DeviceInput is one device's trace (and optionally its metrics
 // snapshot, enabling the trace↔counters cross-check).

@@ -52,6 +52,7 @@ import (
 	"netmaster/internal/policy"
 	"netmaster/internal/power"
 	"netmaster/internal/server"
+	"netmaster/internal/shard"
 	"netmaster/internal/simtime"
 	"netmaster/internal/synth"
 	"netmaster/internal/telemetry"
@@ -619,4 +620,54 @@ var (
 	// DefaultClientRetryPolicy retries overload answers a handful of
 	// times over roughly a second; opt in with ServerClient.WithRetry.
 	DefaultClientRetryPolicy = server.DefaultRetryPolicy
+)
+
+// ===== Subsystem: sharded serve tier =====
+
+// Consistent-hash placement and the routing front end: netmaster-serve
+// -router proxies /v1/* across N backend daemons by device ID, fans
+// fleet-wide reads out to every shard and merges them exactly, and
+// splits batch requests into per-shard sub-batches. See docs/api.md.
+type (
+	// ShardConfig names the backend set and the virtual-node count.
+	ShardConfig = shard.Config
+	// ShardRing is an immutable consistent-hash ring over the backends;
+	// Owner(key) is a pure function of the configuration.
+	ShardRing = shard.Ring
+	// ServeRouter is the routing front end (an http.Handler).
+	ServeRouter = server.Router
+	// ServeRouterConfig parameterises the router (backends, in-flight
+	// bound, fan-out parallelism, deadlines).
+	ServeRouterConfig = server.RouterConfig
+	// RouterHealth is the router's GET /healthz body: per-shard health
+	// plus the summed fleet size.
+	RouterHealth = server.RouterHealthResponse
+	// BatchIngestRequest / BatchIngestResponse are the
+	// POST /v1/fleet/ingest:batch wire types; the request may carry a
+	// request_id idempotency key that makes retries replay-safe.
+	BatchIngestRequest  = server.BatchIngestRequest
+	BatchIngestResponse = server.BatchIngestResponse
+	// BatchScheduleRequest / BatchScheduleResponse are the
+	// POST /v1/schedule:batch wire types.
+	BatchScheduleRequest  = server.BatchScheduleRequest
+	BatchScheduleResponse = server.BatchScheduleResponse
+	// BatchItemError is one item's failure inside a batch response.
+	BatchItemError = server.BatchItemError
+	// DeviceDump is one device's slice of GET /v1/fleet/devices — the
+	// shard-merge currency behind routed fleet reports.
+	DeviceDump = server.DeviceDump
+	// FleetDevicesResponse is GET /v1/fleet/devices's body.
+	FleetDevicesResponse = server.FleetDevicesResponse
+)
+
+// Sharded serve-tier entry points.
+var (
+	// NewShardRing builds a placement ring from a ShardConfig.
+	NewShardRing = shard.New
+	// NewServeRouter builds the routing front end across the configured
+	// backends.
+	NewServeRouter = server.NewRouter
+	// DefaultServeRouterConfig returns production-shaped router
+	// defaults; the caller must still provide Backends.
+	DefaultServeRouterConfig = server.DefaultRouterConfig
 )
