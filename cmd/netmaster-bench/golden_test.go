@@ -59,6 +59,17 @@ func cannedResult() Result {
 		FleetReadMS:    85.375,
 		FleetDevices:   100000,
 		SLO:            SLO{MaxErrorRate: 0.01, MaxP99Millis: 5000, Pass: true},
+		Server: &ServerStats{
+			Role: "server",
+			Endpoints: []EndpointLatency{
+				{Endpoint: "fleet_report", Requests: 1, P50: 40.5, P90: 70.25, P99: 80.125},
+				{Endpoint: "ingest_batch", Requests: 200, P50: 150.5, P90: 300.25, P99: 400.125},
+			},
+			SLORequests:     201,
+			SLOErrors:       1,
+			ErrorBurnRate:   0.498,
+			LatencyBurnRate: 0,
+		},
 	}
 }
 
@@ -104,6 +115,18 @@ func TestBenchServeJSONSchemaPin(t *testing.T) {
 	}
 	if !r.SLO.Pass {
 		t.Errorf("committed bench violates its own SLO: %+v", r.SLO)
+	}
+	if r.Server == nil || len(r.Server.Endpoints) == 0 {
+		t.Fatalf("committed bench missing the server-side block: %+v", r.Server)
+	}
+	var batch *EndpointLatency
+	for i := range r.Server.Endpoints {
+		if r.Server.Endpoints[i].Endpoint == "ingest_batch" {
+			batch = &r.Server.Endpoints[i]
+		}
+	}
+	if batch == nil || batch.P99 <= 0 || batch.Requests <= 0 {
+		t.Errorf("committed bench missing server-side ingest_batch quantiles: %+v", r.Server.Endpoints)
 	}
 	var buf bytes.Buffer
 	if err := renderJSON(&buf, r); err != nil {
@@ -168,5 +191,23 @@ func TestBenchSelfHostedSmallRun(t *testing.T) {
 	}
 	if !res.SLO.Pass {
 		t.Errorf("small self-hosted run violated the default SLO: %+v", res)
+	}
+	if res.Server == nil {
+		t.Fatal("self-hosted run produced no server-side block")
+	}
+	if res.Server.Role != "server" {
+		t.Errorf("server block role = %q, want server", res.Server.Role)
+	}
+	found := false
+	for _, ep := range res.Server.Endpoints {
+		if ep.Endpoint == "ingest_batch" && ep.Requests == res.Requests && ep.P99 > 0 {
+			found = true
+		}
+	}
+	if !found {
+		t.Errorf("server block lacks a matching ingest_batch entry: %+v", res.Server.Endpoints)
+	}
+	if res.Server.SLORequests < res.Requests {
+		t.Errorf("server SLO saw %d requests, bench made %d", res.Server.SLORequests, res.Requests)
 	}
 }

@@ -4,6 +4,9 @@
 // concurrency against a daemon or a -router front end, probes the
 // merged fleet read path, and reports throughput, exact p50/p90/p99
 // request latencies and the error rate against configurable SLOs.
+// After the load phase it scrapes the target's raw metrics snapshot so
+// the report also carries the server-observed per-endpoint quantiles
+// and SLO burn state next to the client-side view.
 //
 // Usage:
 //
@@ -25,6 +28,7 @@ import (
 	"io"
 	"os"
 	"sort"
+	"strings"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -34,6 +38,7 @@ import (
 	"netmaster/internal/middleware"
 	"netmaster/internal/power"
 	"netmaster/internal/server"
+	"netmaster/internal/slo"
 	"netmaster/internal/synth"
 	"netmaster/internal/tracing"
 )
@@ -54,6 +59,31 @@ type SLO struct {
 	Pass         bool    `json:"pass"`
 }
 
+// EndpointLatency is one endpoint's server-side latency view,
+// interpolated from the target's own per-endpoint histogram after the
+// load phase. Unlike the client-side Quantiles these include the
+// target's queueing but not the network or the bench's own scheduling.
+type EndpointLatency struct {
+	Endpoint string  `json:"endpoint"`
+	Requests int64   `json:"requests"`
+	P50      float64 `json:"p50"`
+	P90      float64 `json:"p90"`
+	P99      float64 `json:"p99"`
+}
+
+// ServerStats is the server-side half of the report, scraped from the
+// target's raw metrics snapshot: per-endpoint latency quantiles plus
+// the SLO burn state, so client- and server-observed latency can be
+// compared in one document.
+type ServerStats struct {
+	Role            string            `json:"role"` // "server" or "router"
+	Endpoints       []EndpointLatency `json:"endpoints"`
+	SLORequests     int64             `json:"slo_requests"`
+	SLOErrors       int64             `json:"slo_errors"`
+	ErrorBurnRate   float64           `json:"error_burn_rate"`
+	LatencyBurnRate float64           `json:"latency_burn_rate"`
+}
+
 // Result is the bench report. The JSON form is the schema of the
 // committed BENCH_serve.json; a round-trip test pins it.
 type Result struct {
@@ -72,6 +102,9 @@ type Result struct {
 	FleetReadMS    float64   `json:"fleet_read_ms"`
 	FleetDevices   int       `json:"fleet_devices"`
 	SLO            SLO       `json:"slo"`
+	// Server is the target's own view of the run (absent when the
+	// target does not expose a raw metrics snapshot).
+	Server *ServerStats `json:"server,omitempty"`
 }
 
 func main() {
@@ -178,6 +211,10 @@ func runBench(o cliconfig.Bench, logw io.Writer) (Result, error) {
 			ShutdownGrace:  time.Second,
 			Parallelism:    o.Parallelism,
 			Metrics:        metrics.NewRegistry(),
+			// Burn tracking on the self-hosted daemon mirrors the bench's
+			// own SLO flags, so the scraped server block reports burn
+			// against the same objectives the exit status gates on.
+			SLO: slo.Config{TargetP99MS: o.SLOP99Millis, TargetErrorRate: o.SLOErrorRate},
 		})
 		if err != nil {
 			return Result{}, err
@@ -297,7 +334,61 @@ func runBench(o cliconfig.Bench, logw io.Writer) (Result, error) {
 		res.RequestsPerSec = float64(requests) / secs
 	}
 	res.SLO.Pass = res.ErrorRate <= o.SLOErrorRate && res.Latency.P99 <= o.SLOP99Millis
+	if stats, err := scrapeServer(ctx, client); err != nil {
+		// Non-fatal: an older target without the raw-snapshot endpoint
+		// still yields the client-side report.
+		fmt.Fprintf(logw, "netmaster-bench: server scrape skipped: %v\n", err)
+	} else {
+		res.Server = stats
+	}
 	return res, nil
+}
+
+// scrapeServer reads the target's raw metrics snapshot and distils the
+// server-side view: per-endpoint latency quantiles (interpolated from
+// the exact merge-stable histogram buckets) and the SLO burn state.
+func scrapeServer(ctx context.Context, c *server.Client) (*ServerStats, error) {
+	snap, err := c.MetricsSnapshot(ctx)
+	if err != nil {
+		return nil, err
+	}
+	stats := &ServerStats{Role: "server"}
+	if _, ok := snap.Counters["router_requests_total"]; ok {
+		stats.Role = "router"
+	}
+	prefix := stats.Role + "_http_"
+	for name, hs := range snap.Histograms {
+		if !strings.HasPrefix(name, prefix) || !strings.HasSuffix(name, "_latency_ms") {
+			continue
+		}
+		endpoint := strings.TrimSuffix(strings.TrimPrefix(name, prefix), "_latency_ms")
+		if hs.Count == 0 {
+			continue
+		}
+		ep := EndpointLatency{
+			Endpoint: endpoint,
+			Requests: snap.Counters[prefix+endpoint+"_requests_total"],
+		}
+		for _, q := range []struct {
+			q   float64
+			dst *float64
+		}{{0.50, &ep.P50}, {0.90, &ep.P90}, {0.99, &ep.P99}} {
+			v, err := slo.HistogramQuantile(hs, q.q)
+			if err != nil {
+				return nil, fmt.Errorf("%s: %w", name, err)
+			}
+			*q.dst = v
+		}
+		stats.Endpoints = append(stats.Endpoints, ep)
+	}
+	sort.Slice(stats.Endpoints, func(i, j int) bool {
+		return stats.Endpoints[i].Endpoint < stats.Endpoints[j].Endpoint
+	})
+	stats.SLORequests = snap.Counters[stats.Role+"_slo_requests_total"]
+	stats.SLOErrors = snap.Counters[stats.Role+"_slo_errors_total"]
+	stats.ErrorBurnRate = snap.Gauges[stats.Role+"_slo_error_burn_rate"]
+	stats.LatencyBurnRate = snap.Gauges[stats.Role+"_slo_latency_burn_rate"]
+	return stats, nil
 }
 
 // probeDevices reads the fleet size out of /healthz; the loose decode
@@ -339,7 +430,21 @@ func renderText(w io.Writer, r Result) error {
 		r.Latency.P50, r.Latency.P90, r.Latency.P99, r.Latency.Max,
 		r.FleetReadMS, r.FleetDevices,
 		verdict, r.SLO.MaxErrorRate, r.SLO.MaxP99Millis)
-	return err
+	if err != nil || r.Server == nil {
+		return err
+	}
+	if _, err := fmt.Fprintf(w, "server side: role %s, slo burn error %.3f latency %.3f (%d reqs, %d errors)\n",
+		r.Server.Role, r.Server.ErrorBurnRate, r.Server.LatencyBurnRate,
+		r.Server.SLORequests, r.Server.SLOErrors); err != nil {
+		return err
+	}
+	for _, ep := range r.Server.Endpoints {
+		if _, err := fmt.Fprintf(w, "  %-16s p50 %.1f  p90 %.1f  p99 %.1f  (%d reqs)\n",
+			ep.Endpoint, ep.P50, ep.P90, ep.P99, ep.Requests); err != nil {
+			return err
+		}
+	}
+	return nil
 }
 
 // emit writes the report in the selected format to stdout and -out.

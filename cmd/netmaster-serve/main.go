@@ -8,6 +8,8 @@
 //	                [-cache-size 128] [-request-timeout 30]
 //	                [-shutdown-grace 5] [-parallelism N] [-quiet]
 //	                [-state-dir DIR] [-compact-every 256]
+//	                [-slow-request MS] [-trace-ring N]
+//	                [-slo-p99 2000] [-slo-error-rate 0.01] [-slo-window N]
 //	netmaster-serve -router -backends URL,URL[,...] [-vnodes 128] [...]
 //
 // With -router the process serves no pipelines itself: it proxies
@@ -30,7 +32,8 @@
 //	POST /v1/fleet/ingest  one device's metrics + decision trace
 //	GET  /v1/fleet/report  live fleet aggregate + analysis roll-up
 //	GET  /metrics          Prometheus text exposition (server + fleet)
-//	GET  /healthz          liveness + fleet size + in-flight count
+//	GET  /healthz          liveness + fleet size + in-flight + SLO burn
+//	GET  /debug/requests   recent + slowest request spans (JSON)
 //	GET  /debug/pprof/     runtime profiles
 //
 // SIGTERM/SIGINT drains in-flight requests within -shutdown-grace and
@@ -50,7 +53,18 @@ import (
 	"netmaster/internal/metrics"
 	"netmaster/internal/parallel"
 	"netmaster/internal/server"
+	"netmaster/internal/slo"
 )
+
+// sloConfig maps the shared CLI observability flags onto the SLO
+// tracker config used by both the daemon and the router.
+func sloConfig(o cliconfig.Serve) slo.Config {
+	return slo.Config{
+		TargetP99MS:     o.SLOP99Millis,
+		TargetErrorRate: o.SLOErrorRate,
+		Window:          o.SLOWindow,
+	}
+}
 
 func main() {
 	o := cliconfig.DefaultServe()
@@ -79,6 +93,9 @@ func run(o cliconfig.Serve) error {
 		Metrics:        metrics.NewRegistry(),
 		StateDir:       o.StateDir,
 		CompactEvery:   o.CompactEvery,
+		SlowRequest:    time.Duration(o.SlowRequestMillis) * time.Millisecond,
+		TraceRing:      o.TraceRing,
+		SLO:            sloConfig(o),
 	}
 	if !o.Quiet {
 		cfg.LogWriter = os.Stderr
@@ -111,6 +128,9 @@ func runRouter(o cliconfig.Serve) error {
 	cfg.ShutdownGrace = time.Duration(o.ShutdownGraceSecs) * time.Second
 	cfg.Parallelism = o.Parallelism
 	cfg.Metrics = metrics.NewRegistry()
+	cfg.SlowRequest = time.Duration(o.SlowRequestMillis) * time.Millisecond
+	cfg.TraceRing = o.TraceRing
+	cfg.SLO = sloConfig(o)
 	if !o.Quiet {
 		cfg.LogWriter = os.Stderr
 	}

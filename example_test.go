@@ -195,3 +195,40 @@ func ExampleNewServerClient() {
 		full.UserID, full.ProfileID[:9], up.ProfileID == full.ProfileID, h.Status)
 	// Output: mined volunteer1 (sketch:3d…), update == full re-mine: true, server ok
 }
+
+// Serve-tier observability: enable SLO burn tracking on the daemon,
+// make one request, then read the burn state from /healthz and the
+// request's span back from /debug/requests.
+func ExampleServeSLOConfig() {
+	cfg := netmaster.DefaultServerConfig()
+	cfg.SLO = netmaster.ServeSLOConfig{TargetP99MS: 60000, TargetErrorRate: 0.01}
+	srv, err := netmaster.NewServer(cfg)
+	if err != nil {
+		panic(err)
+	}
+	if err := srv.Start(); err != nil {
+		panic(err)
+	}
+	defer srv.Shutdown(context.Background())
+
+	c := netmaster.NewServerClient("http://"+srv.Addr(), nil)
+	ctx := context.Background()
+	if _, err := c.Mine(ctx, netmaster.MineRequest{
+		Gen: &netmaster.GenSpec{User: "volunteer1", Days: 3},
+	}); err != nil {
+		panic(err)
+	}
+	h, err := c.Healthz(ctx)
+	if err != nil {
+		panic(err)
+	}
+	dump, err := c.DebugRequests(ctx, 1)
+	if err != nil {
+		panic(err)
+	}
+	sp := dump.Recent[0]
+	fmt.Printf("slo %s after %d request(s), burn error %.0f latency %.0f; span %s status %d, id set: %t\n",
+		h.SLO.Status, h.SLO.Requests, h.SLO.ErrorBurnRate, h.SLO.LatencyBurnRate,
+		sp.Endpoint, sp.Status, sp.RequestID != "")
+	// Output: slo ok after 1 request(s), burn error 0 latency 0; span mine status 200, id set: true
+}

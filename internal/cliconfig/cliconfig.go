@@ -177,6 +177,15 @@ type Serve struct {
 	StateDir           string // durable state directory, "" = in-memory only
 	CompactEvery       int    // journal records between snapshots, 0 = default
 
+	// Request observability: slow-request capture, the /debug/requests
+	// span ring, and SLO burn tracking (server_slo_*/router_slo_*
+	// series plus a /healthz block).
+	SlowRequestMillis int     // log requests at or above this latency, 0 disables
+	TraceRing         int     // /debug/requests recent-span ring capacity, 0 = default
+	SLOP99Millis      float64 // p99 latency objective in ms, 0 disables
+	SLOErrorRate      float64 // 5xx-rate objective, 0 disables
+	SLOWindow         int     // trailing request window for burn rates, 0 = default
+
 	// Router mode: proxy the API across backend shards instead of
 	// serving it from this process.
 	Router   bool
@@ -196,7 +205,11 @@ func (o *Serve) BackendList() []string {
 	return out
 }
 
-// DefaultServe returns netmaster-serve's flag defaults.
+// DefaultServe returns netmaster-serve's flag defaults. Unlike the
+// library's server.DefaultConfig (which keeps SLO tracking off so
+// embedded servers opt in explicitly), the CLI ships with burn
+// tracking on: a production daemon should know when it is missing its
+// objectives without extra flags.
 func DefaultServe() Serve {
 	return Serve{
 		Addr:               "127.0.0.1:8080",
@@ -204,6 +217,8 @@ func DefaultServe() Serve {
 		CacheSize:          128,
 		RequestTimeoutSecs: 30,
 		ShutdownGraceSecs:  5,
+		SLOP99Millis:       2000,
+		SLOErrorRate:       0.01,
 	}
 }
 
@@ -261,6 +276,11 @@ func (o *Serve) Register(fs *flag.FlagSet) {
 	fs.BoolVar(&o.Quiet, "quiet", o.Quiet, "suppress the per-request access log on stderr")
 	fs.StringVar(&o.StateDir, "state-dir", o.StateDir, "journal ingests and profile updates to this directory and recover it on boot; empty = in-memory only")
 	fs.IntVar(&o.CompactEvery, "compact-every", o.CompactEvery, "journal records between snapshot compactions, 0 = default")
+	fs.IntVar(&o.SlowRequestMillis, "slow-request", o.SlowRequestMillis, "log a structured slow_request line for requests at or above this many milliseconds, 0 disables")
+	fs.IntVar(&o.TraceRing, "trace-ring", o.TraceRing, "/debug/requests recent-span ring capacity, 0 = default")
+	fs.Float64Var(&o.SLOP99Millis, "slo-p99", o.SLOP99Millis, "p99 latency objective in milliseconds for SLO burn tracking, 0 disables")
+	fs.Float64Var(&o.SLOErrorRate, "slo-error-rate", o.SLOErrorRate, "5xx error-rate objective for SLO burn tracking, 0 disables")
+	fs.IntVar(&o.SLOWindow, "slo-window", o.SLOWindow, "trailing request window for SLO burn rates, 0 = default")
 	fs.BoolVar(&o.Router, "router", o.Router, "run as a shard router: proxy /v1/* across -backends by device ID instead of serving locally")
 	fs.StringVar(&o.Backends, "backends", o.Backends, "comma-separated shard base URLs, e.g. http://127.0.0.1:9101,http://127.0.0.1:9102 (router mode)")
 	fs.IntVar(&o.VNodes, "vnodes", o.VNodes, "consistent-hash virtual nodes per shard, 0 = default (router mode)")

@@ -1,0 +1,293 @@
+// Package reqtrace is the serve tier's per-request observability
+// vocabulary: request-ID generation at the edge, propagation headers
+// that carry one ID through every router→shard hop, and a bounded ring
+// of per-request span records (endpoint, shard, status, queue-wait vs
+// handle time) that backs GET /debug/requests on both the daemon and
+// the router.
+//
+// The design mirrors internal/tracing, but for wall-clock requests
+// instead of sim-time decisions: spans live in a fixed-capacity ring
+// (so a long-running daemon cannot grow without bound), the slowest
+// requests are retained separately so a burst of fast traffic cannot
+// evict the interesting tail, and a nil *Ring is a valid no-op. Spans
+// carry request *metadata* only — never bodies, traces or profile
+// content — so a ring dump is safe to expose on a debug endpoint.
+package reqtrace
+
+import (
+	"context"
+	"crypto/rand"
+	"encoding/hex"
+	"fmt"
+	"net/http"
+	"strconv"
+	"sync"
+	"sync/atomic"
+)
+
+// Propagation headers. The request ID is assigned once at the edge (the
+// first netmaster process to see the request) and echoed on every
+// response; sub-requests a router fans out carry the parent ID plus a
+// hop index identifying which leg of the fan-out they are.
+const (
+	// HeaderRequestID carries the request correlation ID. Clients may
+	// supply their own; absent, the edge generates one.
+	HeaderRequestID = "X-Netmaster-Request-Id"
+	// HeaderHop is the 1-based hop index a router stamps on the
+	// sub-requests it derives from one inbound request (1 for a direct
+	// proxy; 1+i for the i-th shard of a fan-out).
+	HeaderHop = "X-Netmaster-Hop"
+	// HeaderShard names the backend a router chose for a proxied
+	// single-device request, echoed on the router's response.
+	HeaderShard = "X-Netmaster-Shard"
+)
+
+// Span is one request's record: who it was, where it ran, and where its
+// time went. All durations are fractional milliseconds. Spans hold
+// request metadata only (no bodies), so /debug/requests is
+// redaction-safe by construction.
+type Span struct {
+	// Seq is the ring-assigned sequence number, monotonically
+	// increasing across the process lifetime even after the ring wraps.
+	Seq uint64 `json:"seq"`
+	// RequestID correlates this span with every other hop of the same
+	// request, across processes.
+	RequestID string `json:"request_id"`
+	// Role is the recording process's role: "server" or "router".
+	Role string `json:"role,omitempty"`
+	// Endpoint is the logical endpoint key (mine, schedule,
+	// ingest_batch, …) — the same key the per-endpoint RED metrics use.
+	Endpoint string `json:"endpoint"`
+	// Method and Path are the HTTP request line.
+	Method string `json:"method"`
+	Path   string `json:"path"`
+	// Hop is the router-stamped hop index (0 = an edge request).
+	Hop int `json:"hop,omitempty"`
+	// Shard is the backend a router proxied this request to, when one
+	// was chosen.
+	Shard string `json:"shard,omitempty"`
+	// Status is the HTTP status answered.
+	Status int `json:"status"`
+	// ErrKind is the typed API error kind for non-2xx answers.
+	ErrKind string `json:"error_kind,omitempty"`
+	// Cache is the profile-cache disposition ("hit"/"miss") when the
+	// endpoint touched the cache.
+	Cache string `json:"cache,omitempty"`
+	// StoreMode is the durable store's mode at serve time
+	// ("read_write"/"read_only"), empty for an in-memory daemon.
+	StoreMode string `json:"store_mode,omitempty"`
+	// QueueWaitMS is admission time: request arrival to handler start.
+	QueueWaitMS float64 `json:"queue_wait_ms"`
+	// HandleMS is handler time: handler start to response completion.
+	HandleMS float64 `json:"handle_ms"`
+	// TotalMS is the whole request, QueueWaitMS + HandleMS.
+	TotalMS float64 `json:"total_ms"`
+	// Bytes is the response body size.
+	Bytes int `json:"bytes,omitempty"`
+}
+
+// Default ring sizes.
+const (
+	// DefaultCapacity bounds the recent-span ring.
+	DefaultCapacity = 512
+	// DefaultSlowCapacity bounds the retained-slowest set.
+	DefaultSlowCapacity = 32
+)
+
+// Ring collects spans in a fixed-capacity ring, and separately retains
+// the slowest spans seen so the tail survives bursts of fast traffic.
+// Safe for concurrent use; a nil *Ring discards spans.
+type Ring struct {
+	mu      sync.Mutex
+	buf     []Span
+	start   int // index of the oldest span
+	n       int // spans currently buffered
+	seq     uint64
+	dropped uint64
+	slow    []Span // ascending by TotalMS, at most slowCap
+	slowCap int
+}
+
+// NewRing builds a ring holding at most capacity recent spans and
+// slowCap slowest spans (defaults apply for non-positive values).
+func NewRing(capacity, slowCap int) *Ring {
+	if capacity <= 0 {
+		capacity = DefaultCapacity
+	}
+	if slowCap <= 0 {
+		slowCap = DefaultSlowCapacity
+	}
+	return &Ring{buf: make([]Span, 0, capacity), slowCap: slowCap}
+}
+
+// Record stores one span, assigning its sequence number. When the ring
+// is full the oldest span is dropped and counted; the slowest set keeps
+// the span independently if it ranks. Nil-safe.
+func (r *Ring) Record(sp Span) {
+	if r == nil {
+		return
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	sp.Seq = r.seq
+	r.seq++
+	if r.n < cap(r.buf) {
+		r.buf = append(r.buf, sp)
+		r.n++
+	} else {
+		r.buf[r.start] = sp
+		r.start = (r.start + 1) % cap(r.buf)
+		r.dropped++
+	}
+	r.keepSlow(sp)
+}
+
+// keepSlow inserts sp into the bounded slowest set (ascending TotalMS)
+// if it ranks. Called with the mutex held.
+func (r *Ring) keepSlow(sp Span) {
+	if len(r.slow) == r.slowCap {
+		if sp.TotalMS <= r.slow[0].TotalMS {
+			return
+		}
+		r.slow = r.slow[1:]
+	}
+	i := len(r.slow)
+	for i > 0 && r.slow[i-1].TotalMS > sp.TotalMS {
+		i--
+	}
+	r.slow = append(r.slow, Span{})
+	copy(r.slow[i+1:], r.slow[i:])
+	r.slow[i] = sp
+}
+
+// Recent returns up to n spans, newest first (all buffered spans when
+// n <= 0). Nil-safe.
+func (r *Ring) Recent(n int) []Span {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if n <= 0 || n > r.n {
+		n = r.n
+	}
+	out := make([]Span, n)
+	for i := 0; i < n; i++ {
+		// Newest is the span just before the wrap point.
+		out[i] = r.buf[(r.start+r.n-1-i+cap(r.buf))%cap(r.buf)]
+	}
+	return out
+}
+
+// Slowest returns up to n retained spans, slowest first (all when
+// n <= 0). Nil-safe.
+func (r *Ring) Slowest(n int) []Span {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if n <= 0 || n > len(r.slow) {
+		n = len(r.slow)
+	}
+	out := make([]Span, n)
+	for i := 0; i < n; i++ {
+		out[i] = r.slow[len(r.slow)-1-i]
+	}
+	return out
+}
+
+// Capacity returns the recent-ring capacity; zero for a nil ring.
+func (r *Ring) Capacity() int {
+	if r == nil {
+		return 0
+	}
+	return cap(r.buf)
+}
+
+// Total returns how many spans were ever recorded. Nil-safe.
+func (r *Ring) Total() uint64 {
+	if r == nil {
+		return 0
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.seq
+}
+
+// Dropped returns how many spans the ring has overwritten. Nil-safe.
+func (r *Ring) Dropped() uint64 {
+	if r == nil {
+		return 0
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.dropped
+}
+
+// IDGen mints request IDs: a process-unique prefix plus an atomic
+// counter, so IDs are unique across restarts and cheap to generate.
+type IDGen struct {
+	prefix string
+	seq    atomic.Uint64
+}
+
+// NewIDGen returns a generator with a random process prefix.
+func NewIDGen() *IDGen {
+	var b [4]byte
+	if _, err := rand.Read(b[:]); err != nil {
+		// Degrade to a fixed prefix; uniqueness within the process
+		// still holds via the counter.
+		return NewIDGenSeeded("0fa11bac")
+	}
+	return NewIDGenSeeded(hex.EncodeToString(b[:]))
+}
+
+// NewIDGenSeeded returns a generator with a fixed prefix, so tests can
+// pin the exact IDs a server will mint.
+func NewIDGenSeeded(prefix string) *IDGen {
+	return &IDGen{prefix: prefix}
+}
+
+// Next mints the next ID, e.g. "req-9f86d081-000001".
+func (g *IDGen) Next() string {
+	return fmt.Sprintf("req-%s-%06d", g.prefix, g.seq.Add(1))
+}
+
+// ctxKey keys the request ID in a context.
+type ctxKey struct{}
+
+// WithRequestID returns a context carrying the request's ID, so
+// downstream fan-out code can stamp sub-requests.
+func WithRequestID(ctx context.Context, id string) context.Context {
+	return context.WithValue(ctx, ctxKey{}, id)
+}
+
+// RequestID returns the context's request ID, or "".
+func RequestID(ctx context.Context) string {
+	id, _ := ctx.Value(ctxKey{}).(string)
+	return id
+}
+
+// Incoming parses the propagation headers of an inbound request: the
+// caller-supplied request ID (empty when this process is the edge and
+// must mint one) and the hop index (0 for edge requests).
+func Incoming(h http.Header) (id string, hop int) {
+	id = h.Get(HeaderRequestID)
+	if v := h.Get(HeaderHop); v != "" {
+		if n, err := strconv.Atoi(v); err == nil && n > 0 {
+			hop = n
+		}
+	}
+	return id, hop
+}
+
+// Propagate stamps an outbound sub-request with the parent's ID and the
+// hop index. An empty ID stamps nothing (the receiver becomes an edge).
+func Propagate(h http.Header, id string, hop int) {
+	if id == "" {
+		return
+	}
+	h.Set(HeaderRequestID, id)
+	h.Set(HeaderHop, strconv.Itoa(hop))
+}

@@ -1,0 +1,168 @@
+package reqtrace
+
+import (
+	"context"
+	"net/http"
+	"sync"
+	"testing"
+)
+
+func TestRingRecordRecentOrder(t *testing.T) {
+	r := NewRing(4, 2)
+	for i := 0; i < 3; i++ {
+		r.Record(Span{RequestID: "a", TotalMS: float64(i)})
+	}
+	got := r.Recent(0)
+	if len(got) != 3 {
+		t.Fatalf("recent: got %d spans, want 3", len(got))
+	}
+	// Newest first.
+	for i, sp := range got {
+		if want := uint64(2 - i); sp.Seq != want {
+			t.Errorf("recent[%d].Seq = %d, want %d", i, sp.Seq, want)
+		}
+	}
+	if got := r.Recent(1); len(got) != 1 || got[0].Seq != 2 {
+		t.Errorf("Recent(1) = %+v, want single span seq 2", got)
+	}
+}
+
+func TestRingWrapDropsOldest(t *testing.T) {
+	r := NewRing(3, 8)
+	for i := 0; i < 5; i++ {
+		r.Record(Span{TotalMS: float64(i)})
+	}
+	if r.Total() != 5 {
+		t.Errorf("Total = %d, want 5", r.Total())
+	}
+	if r.Dropped() != 2 {
+		t.Errorf("Dropped = %d, want 2", r.Dropped())
+	}
+	got := r.Recent(0)
+	if len(got) != 3 {
+		t.Fatalf("recent: got %d spans, want 3", len(got))
+	}
+	// Seqs 4,3,2 survive; 0 and 1 were overwritten.
+	for i, want := range []uint64{4, 3, 2} {
+		if got[i].Seq != want {
+			t.Errorf("recent[%d].Seq = %d, want %d", i, got[i].Seq, want)
+		}
+	}
+	if r.Capacity() != 3 {
+		t.Errorf("Capacity = %d, want 3", r.Capacity())
+	}
+}
+
+func TestRingSlowestRetainsTail(t *testing.T) {
+	r := NewRing(2, 3)
+	// A slow early request followed by many fast ones: the fast
+	// traffic evicts it from the recent ring but not the slow set.
+	r.Record(Span{RequestID: "slow", TotalMS: 900})
+	for i := 0; i < 10; i++ {
+		r.Record(Span{RequestID: "fast", TotalMS: 1 + float64(i)})
+	}
+	slow := r.Slowest(0)
+	if len(slow) != 3 {
+		t.Fatalf("slowest: got %d spans, want 3", len(slow))
+	}
+	if slow[0].RequestID != "slow" || slow[0].TotalMS != 900 {
+		t.Errorf("slowest[0] = %+v, want the 900ms span", slow[0])
+	}
+	if slow[1].TotalMS != 10 || slow[2].TotalMS != 9 {
+		t.Errorf("slowest tail = %v,%v, want 10,9", slow[1].TotalMS, slow[2].TotalMS)
+	}
+	if got := r.Slowest(1); len(got) != 1 || got[0].TotalMS != 900 {
+		t.Errorf("Slowest(1) = %+v, want the 900ms span", got)
+	}
+}
+
+func TestRingNilSafe(t *testing.T) {
+	var r *Ring
+	r.Record(Span{})
+	if r.Recent(5) != nil || r.Slowest(5) != nil {
+		t.Error("nil ring should return nil slices")
+	}
+	if r.Total() != 0 || r.Dropped() != 0 || r.Capacity() != 0 {
+		t.Error("nil ring counters should be zero")
+	}
+}
+
+func TestRingConcurrent(t *testing.T) {
+	r := NewRing(64, 8)
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 100; i++ {
+				r.Record(Span{TotalMS: float64(g*100 + i)})
+				r.Recent(4)
+				r.Slowest(4)
+			}
+		}(g)
+	}
+	wg.Wait()
+	if r.Total() != 800 {
+		t.Errorf("Total = %d, want 800", r.Total())
+	}
+}
+
+func TestIDGenSeeded(t *testing.T) {
+	g := NewIDGenSeeded("cafe0001")
+	if got := g.Next(); got != "req-cafe0001-000001" {
+		t.Errorf("Next = %q, want req-cafe0001-000001", got)
+	}
+	if got := g.Next(); got != "req-cafe0001-000002" {
+		t.Errorf("Next = %q, want req-cafe0001-000002", got)
+	}
+}
+
+func TestIDGenUnique(t *testing.T) {
+	a, b := NewIDGen(), NewIDGen()
+	seen := map[string]bool{}
+	for i := 0; i < 100; i++ {
+		for _, id := range []string{a.Next(), b.Next()} {
+			if seen[id] {
+				t.Fatalf("duplicate id %q", id)
+			}
+			seen[id] = true
+		}
+	}
+}
+
+func TestContextRoundTrip(t *testing.T) {
+	ctx := context.Background()
+	if RequestID(ctx) != "" {
+		t.Error("empty context should carry no request ID")
+	}
+	ctx = WithRequestID(ctx, "req-x-1")
+	if got := RequestID(ctx); got != "req-x-1" {
+		t.Errorf("RequestID = %q, want req-x-1", got)
+	}
+}
+
+func TestIncomingPropagate(t *testing.T) {
+	h := http.Header{}
+	if id, hop := Incoming(h); id != "" || hop != 0 {
+		t.Errorf("empty headers: got (%q,%d), want (\"\",0)", id, hop)
+	}
+	Propagate(h, "req-a-1", 3)
+	if id, hop := Incoming(h); id != "req-a-1" || hop != 3 {
+		t.Errorf("round trip: got (%q,%d), want (req-a-1,3)", id, hop)
+	}
+	// Bad hop values are ignored.
+	h.Set(HeaderHop, "nope")
+	if _, hop := Incoming(h); hop != 0 {
+		t.Errorf("bad hop parsed to %d, want 0", hop)
+	}
+	h.Set(HeaderHop, "-2")
+	if _, hop := Incoming(h); hop != 0 {
+		t.Errorf("negative hop parsed to %d, want 0", hop)
+	}
+	// Empty ID stamps nothing.
+	h2 := http.Header{}
+	Propagate(h2, "", 1)
+	if len(h2) != 0 {
+		t.Errorf("Propagate with empty id set headers: %v", h2)
+	}
+}

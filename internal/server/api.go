@@ -11,7 +11,9 @@ import (
 
 	"netmaster/internal/device"
 	"netmaster/internal/metrics"
+	"netmaster/internal/reqtrace"
 	"netmaster/internal/simtime"
+	"netmaster/internal/slo"
 	"netmaster/internal/synth"
 	"netmaster/internal/telemetry"
 	"netmaster/internal/telemetry/analyze"
@@ -329,10 +331,26 @@ type StoreStatus struct {
 }
 
 // HealthResponse is the body of GET /healthz. Status is "ok", or
-// "read_only" when the durable store has degraded.
+// "read_only" when the durable store has degraded. SLO is present only
+// when the daemon was configured with SLO targets; its inner status
+// flips to "burning" while an objective is being missed.
 type HealthResponse struct {
 	Status   string       `json:"status"`
 	Devices  int          `json:"devices"`
 	InFlight int64        `json:"in_flight"`
 	Store    *StoreStatus `json:"store,omitempty"`
+	SLO      *slo.Status  `json:"slo,omitempty"`
+}
+
+// DebugRequestsResponse is the body of GET /debug/requests on the
+// daemon and the router: the recent-span ring plus the retained
+// slowest spans, newest/slowest first. Capacity, Total and Dropped
+// describe the ring itself, so a scraper can tell how much history the
+// dump covers.
+type DebugRequestsResponse struct {
+	Capacity int             `json:"capacity"`
+	Total    uint64          `json:"total"`
+	Dropped  uint64          `json:"dropped"`
+	Recent   []reqtrace.Span `json:"recent"`
+	Slowest  []reqtrace.Span `json:"slowest"`
 }

@@ -13,6 +13,7 @@ import (
 	"time"
 
 	"netmaster/internal/faults"
+	"netmaster/internal/metrics"
 	"netmaster/internal/simtime"
 )
 
@@ -331,6 +332,32 @@ func (c *Client) Metrics(ctx context.Context, scope string) ([]byte, error) {
 		return nil, fmt.Errorf("server: GET %s: status %d: %s", path, resp.StatusCode, bytes.TrimSpace(body))
 	}
 	return body, nil
+}
+
+// MetricsSnapshot calls GET /metrics?format=json&scope=self: the raw
+// registry snapshot of the process answering (daemon server_* series,
+// router router_* series) — the surface netmaster-bench scrapes for
+// server-side latency quantiles and SLO burn counters.
+func (c *Client) MetricsSnapshot(ctx context.Context) (*metrics.Snapshot, error) {
+	var out metrics.Snapshot
+	if err := c.do(ctx, http.MethodGet, "/metrics?format=json&scope=self", nil, &out); err != nil {
+		return nil, err
+	}
+	return &out, nil
+}
+
+// DebugRequests calls GET /debug/requests. n bounds the recent-span
+// dump; n <= 0 keeps the server default.
+func (c *Client) DebugRequests(ctx context.Context, n int) (*DebugRequestsResponse, error) {
+	path := "/debug/requests"
+	if n > 0 {
+		path += "?n=" + strconv.Itoa(n)
+	}
+	var out DebugRequestsResponse
+	if err := c.do(ctx, http.MethodGet, path, nil, &out); err != nil {
+		return nil, err
+	}
+	return &out, nil
 }
 
 // Healthz calls GET /healthz.

@@ -404,7 +404,20 @@ func (s *Server) fleetMetricDevices() []telemetry.Device {
 // server is just one more device in its own fleet. ?scope=fleet drops
 // the server's own counters (the surface a router merges, since each
 // shard's server_* numbers are its own); ?scope=self drops the fleet.
+// ?format=json&scope=self returns the raw registry snapshot instead —
+// the surface the router's ?scope=serve fold and netmaster-bench
+// scrape, since a snapshot merges and quantiles exactly where text
+// exposition would have to be re-parsed.
 func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	if r.URL.Query().Get("format") == "json" {
+		if scope := r.URL.Query().Get("scope"); scope != "self" {
+			writeError(w, &apiError{Code: http.StatusBadRequest, Kind: "bad_request",
+				Msg: "format=json requires scope=self"})
+			return
+		}
+		writeJSON(w, http.StatusOK, s.cfg.Metrics.Snapshot())
+		return
+	}
 	var devs []telemetry.Device
 	switch scope := r.URL.Query().Get("scope"); scope {
 	case "", "all":
@@ -433,6 +446,9 @@ func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 		Devices:  s.Devices(),
 		InFlight: s.InFlight(),
 		Store:    s.storeStatus(),
+	}
+	if st := s.tracker.Status(); st.Status != "" {
+		h.SLO = &st
 	}
 	if h.Store != nil && h.Store.Mode == "read_only" {
 		h.Status = "read_only"

@@ -32,7 +32,9 @@ import (
 	"netmaster/internal/cfgerr"
 	"netmaster/internal/metrics"
 	"netmaster/internal/parallel"
+	"netmaster/internal/reqtrace"
 	"netmaster/internal/shard"
+	"netmaster/internal/slo"
 	"netmaster/internal/telemetry"
 )
 
@@ -63,6 +65,15 @@ type RouterConfig struct {
 	// HTTPClient overrides the backend transport; nil uses a default
 	// client (per-request deadlines come from the request context).
 	HTTPClient *http.Client
+	// SlowRequest, when positive, emits a structured slow_request log
+	// line for any request whose total wall time reaches the threshold.
+	SlowRequest time.Duration
+	// TraceRing is the /debug/requests recent-span ring capacity; zero
+	// uses reqtrace.DefaultCapacity.
+	TraceRing int
+	// SLO configures online burn tracking, exposed as router_slo_*
+	// series and on /healthz. The zero value disables it.
+	SLO slo.Config
 }
 
 // DefaultRouterConfig returns production-shaped router defaults; the
@@ -95,6 +106,13 @@ func (c *RouterConfig) Validate() error {
 	if c.Parallelism < 0 {
 		es = append(es, cfgerr.New("server.RouterConfig", "Parallelism", c.Parallelism, "must be non-negative"))
 	}
+	if c.SlowRequest < 0 {
+		es = append(es, cfgerr.New("server.RouterConfig", "SlowRequest", c.SlowRequest, "must be non-negative"))
+	}
+	if c.TraceRing < 0 {
+		es = append(es, cfgerr.New("server.RouterConfig", "TraceRing", c.TraceRing, "must be non-negative"))
+	}
+	es = appendSLOErrors(es, c.SLO)
 	return es.Err()
 }
 
@@ -113,6 +131,7 @@ type RouterHealthResponse struct {
 	Shards   []ShardHealth `json:"shards"`
 	Devices  int           `json:"devices"`
 	InFlight int64         `json:"in_flight"`
+	SLO      *slo.Status   `json:"slo,omitempty"`
 }
 
 // Router proxies the /v1/* API across the shard ring.
@@ -126,6 +145,14 @@ type Router struct {
 
 	sem      chan struct{}
 	inflight atomic.Int64
+
+	// Request observability: span ring, edge request-ID generation, SLO
+	// burn tracking, per-endpoint RED handles, injectable clock.
+	spans   *reqtrace.Ring
+	ids     *reqtrace.IDGen
+	tracker *slo.Tracker
+	obs     map[string]*endpointObs
+	now     func() time.Time
 
 	// router_* instrumentation (nil-tolerant handles).
 	mRequests  *metrics.Counter
@@ -159,6 +186,12 @@ func NewRouter(cfg RouterConfig) (*Router, error) {
 		client: client,
 		sem:    make(chan struct{}, cfg.MaxInFlight),
 
+		spans:   reqtrace.NewRing(cfg.TraceRing, 0),
+		ids:     reqtrace.NewIDGen(),
+		tracker: slo.NewTracker(cfg.SLO, cfg.Metrics, "router_"),
+		obs:     make(map[string]*endpointObs),
+		now:     time.Now,
+
 		mRequests:  cfg.Metrics.Counter("router_requests_total"),
 		mErrors:    cfg.Metrics.Counter("router_errors_total"),
 		mRejected:  cfg.Metrics.Counter("router_rejected_total"),
@@ -174,16 +207,22 @@ func NewRouter(cfg RouterConfig) (*Router, error) {
 }
 
 func (rt *Router) routes() {
-	for _, p := range []string{"POST /v1/mine", "POST /v1/profile/update", "POST /v1/schedule",
-		"POST /v1/simulate", "POST /v1/fleet/ingest"} {
-		rt.mux.HandleFunc(p, rt.limited(rt.handleRouted))
+	for _, rp := range []struct{ pattern, endpoint string }{
+		{"POST /v1/mine", "mine"},
+		{"POST /v1/profile/update", "profile_update"},
+		{"POST /v1/schedule", "schedule"},
+		{"POST /v1/simulate", "simulate"},
+		{"POST /v1/fleet/ingest", "ingest"},
+	} {
+		rt.mux.HandleFunc(rp.pattern, rt.limited(rp.endpoint, rt.handleRouted))
 	}
-	rt.mux.HandleFunc("POST /v1/fleet/ingest:batch", rt.limited(rt.handleIngestBatch))
-	rt.mux.HandleFunc("POST /v1/schedule:batch", rt.limited(rt.handleScheduleBatch))
-	rt.mux.HandleFunc("GET /v1/fleet/report", rt.limited(rt.handleFleetReport))
-	rt.mux.HandleFunc("GET /v1/fleet/devices", rt.limited(rt.handleFleetDevices))
+	rt.mux.HandleFunc("POST /v1/fleet/ingest:batch", rt.limited("ingest_batch", rt.handleIngestBatch))
+	rt.mux.HandleFunc("POST /v1/schedule:batch", rt.limited("schedule_batch", rt.handleScheduleBatch))
+	rt.mux.HandleFunc("GET /v1/fleet/report", rt.limited("fleet_report", rt.handleFleetReport))
+	rt.mux.HandleFunc("GET /v1/fleet/devices", rt.limited("fleet_devices", rt.handleFleetDevices))
 	rt.mux.HandleFunc("GET /metrics", rt.handleMetrics)
 	rt.mux.HandleFunc("GET /healthz", rt.handleHealthz)
+	rt.mux.HandleFunc("GET /debug/requests", handleDebugRequests(rt.spans))
 }
 
 // ServeHTTP makes the router usable under httptest without a listener.
@@ -201,70 +240,92 @@ func (rt *Router) workers() int {
 	return parallel.DefaultWorkers()
 }
 
-// limited is the router's request spine: admission, deadline, metrics
-// and logging — the same contract as the daemon's.
-func (rt *Router) limited(h func(http.ResponseWriter, *http.Request) error) http.HandlerFunc {
+// limited is the router's request spine: request-ID assignment and
+// propagation, admission, deadline, span capture, RED metrics, SLO
+// tracking and logging — the same contract as the daemon's.
+func (rt *Router) limited(endpoint string, h func(http.ResponseWriter, *http.Request) error) http.HandlerFunc {
+	ep := newEndpointObs(rt.cfg.Metrics, "router_", endpoint)
+	rt.obs[endpoint] = ep
 	return func(w http.ResponseWriter, r *http.Request) {
+		arrive := rt.now()
+		reqID, hop := reqtrace.Incoming(r.Header)
+		if reqID == "" {
+			reqID = rt.ids.Next()
+		}
+		w.Header().Set(reqtrace.HeaderRequestID, reqID)
 		rt.mRequests.Inc()
+		ep.requests.Inc()
+		sp := reqtrace.Span{RequestID: reqID, Role: "router", Endpoint: endpoint,
+			Method: r.Method, Path: r.URL.Path, Hop: hop}
 		select {
 		case rt.sem <- struct{}{}:
 		default:
 			rt.mRejected.Inc()
-			w.Header().Set("Retry-After", "1")
 			writeError(w, &apiError{Code: http.StatusTooManyRequests,
 				Kind: "overloaded", Msg: "too many requests in flight"})
-			rt.log(r, http.StatusTooManyRequests, 0)
+			rt.finish(ep, sp, w.Header(), http.StatusTooManyRequests, "overloaded", 0, arrive, arrive)
 			return
 		}
 		rt.mInflight.Set(float64(rt.inflight.Add(1)))
-		start := time.Now()
+		ep.enter()
+		start := rt.now()
 		defer func() {
 			<-rt.sem
 			rt.mInflight.Set(float64(rt.inflight.Add(-1)))
+			ep.exit()
 		}()
 
 		ctx, cancel := context.WithTimeout(r.Context(), rt.cfg.RequestTimeout)
 		defer cancel()
+		ctx = reqtrace.WithRequestID(ctx, reqID)
 		sw := &statusWriter{ResponseWriter: w}
 		err := h(sw, r.WithContext(ctx))
-		elapsed := time.Since(start)
-		rt.mLatencyMS.Observe(float64(elapsed.Milliseconds()))
+		rt.mLatencyMS.Observe(float64(rt.now().Sub(start).Milliseconds()))
+		errKind := ""
 		if err != nil {
 			rt.mErrors.Inc()
 			var ae *apiError
 			switch {
 			case errors.As(err, &ae):
-				writeError(sw, ae)
 			case errors.Is(err, context.DeadlineExceeded):
 				rt.mTimeouts.Inc()
-				writeError(sw, &apiError{Code: http.StatusGatewayTimeout,
-					Kind: "timeout", Msg: "request deadline exceeded"})
+				ae = &apiError{Code: http.StatusGatewayTimeout,
+					Kind: "timeout", Msg: "request deadline exceeded"}
 			default:
-				writeError(sw, &apiError{Code: http.StatusInternalServerError,
-					Kind: "internal", Msg: err.Error()})
+				ae = &apiError{Code: http.StatusInternalServerError,
+					Kind: "internal", Msg: err.Error()}
 			}
+			writeError(sw, ae)
+			errKind = ae.Kind
 		}
-		rt.log(r, sw.status, elapsed)
+		rt.finish(ep, sp, sw.Header(), sw.status, errKind, sw.bytes, arrive, start)
 	}
 }
 
-func (rt *Router) log(r *http.Request, status int, elapsed time.Duration) {
-	if rt.cfg.LogWriter == nil {
-		return
+// finish is the router half of Server.finish: span, RED, SLO, slow
+// line and the access-log line (role "router", with the routed shard
+// from the X-Netmaster-Shard response header when one was chosen).
+func (rt *Router) finish(ep *endpointObs, sp reqtrace.Span, hdr http.Header, status int, errKind string, bytes int, arrive, start time.Time) {
+	end := rt.now()
+	sp.Status = status
+	sp.ErrKind = errKind
+	sp.Shard = hdr.Get(reqtrace.HeaderShard)
+	sp.Cache = hdr.Get("X-Netmaster-Cache")
+	sp.QueueWaitMS = durMS(start.Sub(arrive))
+	sp.HandleMS = durMS(end.Sub(start))
+	sp.TotalMS = durMS(end.Sub(arrive))
+	sp.Bytes = bytes
+	ep.finish(status, sp.TotalMS)
+	rt.tracker.Observe(sp.TotalMS, status >= 500)
+	rt.spans.Record(sp)
+	if rt.cfg.SlowRequest > 0 && end.Sub(arrive) >= rt.cfg.SlowRequest {
+		emitLog(rt.cfg.LogWriter, slowLine{SlowRequest: sp})
 	}
-	line := struct {
-		Role     string `json:"role"`
-		Method   string `json:"method"`
-		Path     string `json:"path"`
-		Status   int    `json:"status"`
-		Millis   int64  `json:"ms"`
-		InFlight int64  `json:"in_flight"`
-	}{"router", r.Method, r.URL.Path, status, elapsed.Milliseconds(), rt.inflight.Load()}
-	b, err := json.Marshal(line)
-	if err != nil {
-		return
-	}
-	rt.cfg.LogWriter.Write(append(b, '\n'))
+	emitLog(rt.cfg.LogWriter, accessLine{
+		Role: "router", Method: sp.Method, Path: sp.Path, Status: status, Bytes: bytes,
+		Millis: end.Sub(arrive).Milliseconds(), InFlight: rt.inflight.Load(),
+		RequestID: sp.RequestID, Shard: sp.Shard, Cache: sp.Cache, QueueWaitMS: sp.QueueWaitMS,
+	})
 }
 
 // routeProbe is a loose view of any /v1/* request body: just the fields
@@ -321,11 +382,15 @@ func (rt *Router) handleRouted(w http.ResponseWriter, r *http.Request) error {
 		return &apiError{Code: http.StatusBadRequest, Kind: "bad_request", Msg: err.Error()}
 	}
 	backend := rt.ring.Owner(routeKey(r, body))
+	// The chosen shard rides back on the response (and so into the span
+	// and access log) even when the proxy attempt fails.
+	w.Header().Set(reqtrace.HeaderShard, backend)
 	req, err := http.NewRequestWithContext(r.Context(), r.Method, backend+r.URL.RequestURI(), bytes.NewReader(body))
 	if err != nil {
 		return errShard(backend, err)
 	}
 	req.Header.Set("Content-Type", "application/json")
+	reqtrace.Propagate(req.Header, reqtrace.RequestID(r.Context()), 1)
 	resp, err := rt.client.Do(req)
 	if err != nil {
 		return errShard(backend, err)
@@ -344,12 +409,15 @@ func (rt *Router) handleRouted(w http.ResponseWriter, r *http.Request) error {
 	return nil
 }
 
-// getJSON fetches one shard URL into out.
-func (rt *Router) getJSON(ctx context.Context, backend, path string, out any) error {
+// getJSON fetches one shard URL into out. hop is the fan-out leg index
+// stamped on the sub-request (with the context's request ID) so the
+// shard's span correlates back to the routed request.
+func (rt *Router) getJSON(ctx context.Context, backend, path string, out any, hop int) error {
 	req, err := http.NewRequestWithContext(ctx, http.MethodGet, backend+path, nil)
 	if err != nil {
 		return err
 	}
+	reqtrace.Propagate(req.Header, reqtrace.RequestID(ctx), hop)
 	resp, err := rt.client.Do(req)
 	if err != nil {
 		return err
@@ -365,8 +433,9 @@ func (rt *Router) getJSON(ctx context.Context, backend, path string, out any) er
 	return json.Unmarshal(body, out)
 }
 
-// postJSON posts in to one shard URL and decodes the 200 body into out.
-func (rt *Router) postJSON(ctx context.Context, backend, path string, in, out any) (http.Header, error) {
+// postJSON posts in to one shard URL and decodes the 200 body into
+// out. hop stamps the fan-out leg as in getJSON.
+func (rt *Router) postJSON(ctx context.Context, backend, path string, in, out any, hop int) (http.Header, error) {
 	payload, err := json.Marshal(in)
 	if err != nil {
 		return nil, err
@@ -376,6 +445,7 @@ func (rt *Router) postJSON(ctx context.Context, backend, path string, in, out an
 		return nil, err
 	}
 	req.Header.Set("Content-Type", "application/json")
+	reqtrace.Propagate(req.Header, reqtrace.RequestID(ctx), hop)
 	resp, err := rt.client.Do(req)
 	if err != nil {
 		return nil, err
@@ -400,7 +470,7 @@ func (rt *Router) shardDumps(ctx context.Context, query string) ([]DeviceDump, e
 	rt.mFanouts.Inc()
 	per, err := parallel.MapNCtx(ctx, rt.workers(), len(shards), func(i int) ([]DeviceDump, error) {
 		var fd FleetDevicesResponse
-		if err := rt.getJSON(ctx, shards[i], "/v1/fleet/devices"+query, &fd); err != nil {
+		if err := rt.getJSON(ctx, shards[i], "/v1/fleet/devices"+query, &fd, i+1); err != nil {
 			return nil, errShard(shards[i], err)
 		}
 		return fd.Devices, nil
@@ -469,10 +539,25 @@ func (rt *Router) handleFleetDevices(w http.ResponseWriter, r *http.Request) err
 // handleMetrics mirrors the daemon's /metrics scopes: "fleet" merges
 // every shard's ingested devices (byte-identical to a single node's
 // ?scope=fleet over the same cohort), "self" is the router's own
-// registry, and the default is both.
+// registry, and the default is both. The additional "serve" scope
+// merges the serve-tier process registries instead — the router's own
+// router_* series plus every shard's server_* series, folded through
+// the same exactly-associative merge, so per-endpoint latency
+// histograms sum bucket-wise across shards and two scrapes of
+// identical state render byte-identical text. ?format=json&scope=self
+// returns the raw registry snapshot, as on the daemon.
 func (rt *Router) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	ctx, cancel := context.WithTimeout(r.Context(), rt.cfg.RequestTimeout)
 	defer cancel()
+	if r.URL.Query().Get("format") == "json" {
+		if scope := r.URL.Query().Get("scope"); scope != "self" {
+			writeError(w, &apiError{Code: http.StatusBadRequest, Kind: "bad_request",
+				Msg: "format=json requires scope=self"})
+			return
+		}
+		writeJSON(w, http.StatusOK, rt.cfg.Metrics.Snapshot())
+		return
+	}
 	self := telemetry.Device{ID: "router", Snapshot: rt.cfg.Metrics.Snapshot()}
 	fleet := func() ([]telemetry.Device, error) {
 		dumps, err := rt.shardDumps(ctx, "?reports=0")
@@ -497,9 +582,11 @@ func (rt *Router) handleMetrics(w http.ResponseWriter, r *http.Request) {
 		devs, err = fleet()
 	case "self":
 		devs = []telemetry.Device{self}
+	case "serve":
+		devs, err = rt.serveRegistries(ctx)
 	default:
 		writeError(w, &apiError{Code: http.StatusBadRequest, Kind: "bad_request",
-			Msg: fmt.Sprintf("unknown metrics scope %q (want all, fleet or self)", scope)})
+			Msg: fmt.Sprintf("unknown metrics scope %q (want all, fleet, self or serve)", scope)})
 		return
 	}
 	if err == nil {
@@ -518,6 +605,29 @@ func (rt *Router) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	writeError(w, ae)
 }
 
+// serveRegistries gathers the serve-tier process registries — the
+// router's own plus every shard's (fetched as raw JSON snapshots) —
+// one telemetry device per process, keyed by shard URL. Aggregating
+// them merges per-endpoint latency histograms bucket-exactly, because
+// every process uses the shared LatencyBuckets bounds. Neither this
+// scrape nor the shards' /metrics handlers pass through the limited
+// spine, so scraping never perturbs the counters being read — two
+// scrapes of identical state are byte-identical.
+func (rt *Router) serveRegistries(ctx context.Context) ([]telemetry.Device, error) {
+	shards := rt.ring.Shards()
+	per, err := parallel.MapNCtx(ctx, rt.workers(), len(shards), func(i int) (telemetry.Device, error) {
+		var snap metrics.Snapshot
+		if err := rt.getJSON(ctx, shards[i], "/metrics?format=json&scope=self", &snap, i+1); err != nil {
+			return telemetry.Device{}, errShard(shards[i], err)
+		}
+		return telemetry.Device{ID: shards[i], Snapshot: snap}, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	return append([]telemetry.Device{{ID: "router", Snapshot: rt.cfg.Metrics.Snapshot()}}, per...), nil
+}
+
 func (rt *Router) handleHealthz(w http.ResponseWriter, r *http.Request) {
 	ctx, cancel := context.WithTimeout(r.Context(), rt.cfg.RequestTimeout)
 	defer cancel()
@@ -526,7 +636,7 @@ func (rt *Router) handleHealthz(w http.ResponseWriter, r *http.Request) {
 	var mu sync.Mutex
 	parallel.ForEachN(rt.workers(), len(shards), func(i int) error {
 		var sh HealthResponse
-		if err := rt.getJSON(ctx, shards[i], "/healthz", &sh); err != nil {
+		if err := rt.getJSON(ctx, shards[i], "/healthz", &sh, i+1); err != nil {
 			h.Shards[i] = ShardHealth{Shard: shards[i], Status: "unreachable", Error: err.Error()}
 			return nil
 		}
@@ -541,6 +651,9 @@ func (rt *Router) handleHealthz(w http.ResponseWriter, r *http.Request) {
 			h.Status = "degraded"
 			break
 		}
+	}
+	if st := rt.tracker.Status(); st.Status != "" {
+		h.SLO = &st
 	}
 	writeJSON(w, http.StatusOK, h)
 }
@@ -589,7 +702,7 @@ func (rt *Router) handleIngestBatch(w http.ResponseWriter, r *http.Request) erro
 			sub.Items[j] = req.Items[i]
 		}
 		var subResp BatchIngestResponse
-		hdr, perr := rt.postJSON(r.Context(), shards[si], "/v1/fleet/ingest:batch", &sub, &subResp)
+		hdr, perr := rt.postJSON(r.Context(), shards[si], "/v1/fleet/ingest:batch", &sub, &subResp, si+1)
 		if perr != nil {
 			if r.Context().Err() != nil {
 				return r.Context().Err()
@@ -686,7 +799,7 @@ func (rt *Router) handleScheduleBatch(w http.ResponseWriter, r *http.Request) er
 			sub.Items[j] = req.Items[i]
 		}
 		var subResp BatchScheduleResponse
-		if _, perr := rt.postJSON(r.Context(), shards[si], "/v1/schedule:batch", &sub, &subResp); perr != nil {
+		if _, perr := rt.postJSON(r.Context(), shards[si], "/v1/schedule:batch", &sub, &subResp, si+1); perr != nil {
 			if r.Context().Err() != nil {
 				return r.Context().Err()
 			}

@@ -35,6 +35,8 @@ import (
 	"netmaster/internal/cfgerr"
 	"netmaster/internal/metrics"
 	"netmaster/internal/parallel"
+	"netmaster/internal/reqtrace"
+	"netmaster/internal/slo"
 	"netmaster/internal/store"
 	"netmaster/internal/telemetry"
 	"netmaster/internal/telemetry/analyze"
@@ -82,6 +84,18 @@ type Config struct {
 	// state is compacted into a snapshot; zero uses
 	// DefaultCompactEvery.
 	CompactEvery int
+	// SlowRequest, when positive, emits a structured slow_request log
+	// line (the request's full span) for any request whose total wall
+	// time reaches the threshold. Zero disables slow-request capture.
+	SlowRequest time.Duration
+	// TraceRing is the /debug/requests recent-span ring capacity; zero
+	// uses reqtrace.DefaultCapacity.
+	TraceRing int
+	// SLO configures online burn tracking against a p99 latency target
+	// and an error-rate target, exposed as server_slo_* series and on
+	// /healthz. The zero value disables tracking (and keeps /healthz
+	// bodies unchanged).
+	SLO slo.Config
 }
 
 // DefaultCompactEvery is the journal-records-per-snapshot compaction
@@ -127,7 +141,32 @@ func (c *Config) Validate() error {
 	if c.StateDir != "" && c.CacheSize == 0 {
 		es = append(es, cfgerr.New("server.Config", "CacheSize", c.CacheSize, "must be positive when StateDir is set (recovered profiles need a cache to live in)"))
 	}
+	if c.SlowRequest < 0 {
+		es = append(es, cfgerr.New("server.Config", "SlowRequest", c.SlowRequest, "must be non-negative"))
+	}
+	if c.TraceRing < 0 {
+		es = append(es, cfgerr.New("server.Config", "TraceRing", c.TraceRing, "must be non-negative"))
+	}
+	es = appendSLOErrors(es, c.SLO)
 	return es.Err()
+}
+
+// appendSLOErrors folds a nested slo.Config validation into the
+// caller's error list, keeping the slo.Config component name so the
+// failing field stays unambiguous.
+func appendSLOErrors(es cfgerr.Errors, cfg slo.Config) cfgerr.Errors {
+	err := cfg.Validate()
+	if err == nil {
+		return es
+	}
+	var sub cfgerr.Errors
+	if errors.As(err, &sub) {
+		return append(es, sub...)
+	}
+	if fe, ok := cfgerr.Field(err); ok {
+		return append(es, fe)
+	}
+	return es
 }
 
 // ingested is one device's artifacts as received on /v1/fleet/ingest.
@@ -160,6 +199,15 @@ type Server struct {
 
 	sem      chan struct{}
 	inflight atomic.Int64
+
+	// Request observability: span ring behind /debug/requests, edge
+	// request-ID generation, SLO burn tracking, per-endpoint RED
+	// handles, and an injectable clock so log/span tests can pin time.
+	ring    *reqtrace.Ring
+	ids     *reqtrace.IDGen
+	tracker *slo.Tracker
+	obs     map[string]*endpointObs
+	now     func() time.Time
 
 	// server_* instrumentation (nil-tolerant handles).
 	mRequests  *metrics.Counter
@@ -198,6 +246,12 @@ func New(cfg Config) (*Server, error) {
 		fleet:     make(map[string]ingested),
 		sem:       make(chan struct{}, cfg.MaxInFlight),
 
+		ring:    reqtrace.NewRing(cfg.TraceRing, 0),
+		ids:     reqtrace.NewIDGen(),
+		tracker: slo.NewTracker(cfg.SLO, cfg.Metrics, "server_"),
+		obs:     make(map[string]*endpointObs),
+		now:     time.Now,
+
 		mRequests:  cfg.Metrics.Counter("server_requests_total"),
 		mErrors:    cfg.Metrics.Counter("server_errors_total"),
 		mRejected:  cfg.Metrics.Counter("server_rejected_total"),
@@ -228,17 +282,18 @@ func New(cfg Config) (*Server, error) {
 }
 
 func (s *Server) routes() {
-	s.mux.HandleFunc("POST /v1/mine", s.limited(s.handleMine))
-	s.mux.HandleFunc("POST /v1/profile/update", s.limited(s.handleProfileUpdate))
-	s.mux.HandleFunc("POST /v1/schedule", s.limited(s.handleSchedule))
-	s.mux.HandleFunc("POST /v1/simulate", s.limited(s.handleSimulate))
-	s.mux.HandleFunc("POST /v1/fleet/ingest", s.limited(s.handleIngest))
-	s.mux.HandleFunc("POST /v1/fleet/ingest:batch", s.limited(s.handleIngestBatch))
-	s.mux.HandleFunc("POST /v1/schedule:batch", s.limited(s.handleScheduleBatch))
-	s.mux.HandleFunc("GET /v1/fleet/report", s.limited(s.handleFleetReport))
-	s.mux.HandleFunc("GET /v1/fleet/devices", s.limited(s.handleFleetDevices))
+	s.mux.HandleFunc("POST /v1/mine", s.limited("mine", s.handleMine))
+	s.mux.HandleFunc("POST /v1/profile/update", s.limited("profile_update", s.handleProfileUpdate))
+	s.mux.HandleFunc("POST /v1/schedule", s.limited("schedule", s.handleSchedule))
+	s.mux.HandleFunc("POST /v1/simulate", s.limited("simulate", s.handleSimulate))
+	s.mux.HandleFunc("POST /v1/fleet/ingest", s.limited("ingest", s.handleIngest))
+	s.mux.HandleFunc("POST /v1/fleet/ingest:batch", s.limited("ingest_batch", s.handleIngestBatch))
+	s.mux.HandleFunc("POST /v1/schedule:batch", s.limited("schedule_batch", s.handleScheduleBatch))
+	s.mux.HandleFunc("GET /v1/fleet/report", s.limited("fleet_report", s.handleFleetReport))
+	s.mux.HandleFunc("GET /v1/fleet/devices", s.limited("fleet_devices", s.handleFleetDevices))
 	s.mux.HandleFunc("GET /metrics", s.handleMetrics)
 	s.mux.HandleFunc("GET /healthz", s.handleHealthz)
+	s.mux.HandleFunc("GET /debug/requests", handleDebugRequests(s.ring))
 	s.mux.HandleFunc("/debug/pprof/", pprof.Index)
 	s.mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
 	s.mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
@@ -272,75 +327,103 @@ func (w *statusWriter) Write(b []byte) (int, error) {
 	return n, err
 }
 
-// limited wraps an API handler with the full request spine: semaphore
-// admission (429 on overload), deadline, panic containment, logging
-// and metrics.
-func (s *Server) limited(h func(http.ResponseWriter, *http.Request) error) http.HandlerFunc {
+// limited wraps an API handler with the full request spine: request-ID
+// assignment/propagation, semaphore admission (429 on overload),
+// deadline, error mapping, span capture, RED metrics, SLO tracking and
+// logging. endpoint keys the per-endpoint series and span records.
+func (s *Server) limited(endpoint string, h func(http.ResponseWriter, *http.Request) error) http.HandlerFunc {
+	ep := newEndpointObs(s.cfg.Metrics, "server_", endpoint)
+	s.obs[endpoint] = ep
 	return func(w http.ResponseWriter, r *http.Request) {
+		arrive := s.now()
+		// The edge mints the request ID; a propagated one (router hop)
+		// wins. Either way the response echoes it immediately, so even
+		// a 429 is correlatable.
+		reqID, hop := reqtrace.Incoming(r.Header)
+		if reqID == "" {
+			reqID = s.ids.Next()
+		}
+		w.Header().Set(reqtrace.HeaderRequestID, reqID)
 		s.mRequests.Inc()
+		ep.requests.Inc()
+		sp := reqtrace.Span{RequestID: reqID, Role: "server", Endpoint: endpoint,
+			Method: r.Method, Path: r.URL.Path, Hop: hop}
 		select {
 		case s.sem <- struct{}{}:
 		default:
 			// Full house: shed immediately. Retry-After is advisory;
-			// the bound is requests in flight, not a rate.
+			// the bound is requests in flight, not a rate. Rejected
+			// requests still span + count, so /debug/requests
+			// reconciles exactly with server_requests_total.
 			s.mRejected.Inc()
-			w.Header().Set("Retry-After", "1")
 			writeError(w, &apiError{Code: http.StatusTooManyRequests,
 				Kind: "overloaded", Msg: "too many requests in flight"})
-			s.log(r, http.StatusTooManyRequests, 0, 0)
+			s.finish(ep, sp, w.Header(), http.StatusTooManyRequests, "overloaded", 0, arrive, arrive)
 			return
 		}
 		s.mInflight.Set(float64(s.inflight.Add(1)))
-		start := time.Now()
+		ep.enter()
+		start := s.now()
 		defer func() {
 			<-s.sem
 			s.mInflight.Set(float64(s.inflight.Add(-1)))
+			ep.exit()
 		}()
 
 		ctx, cancel := context.WithTimeout(r.Context(), s.cfg.RequestTimeout)
 		defer cancel()
+		ctx = reqtrace.WithRequestID(ctx, reqID)
 		sw := &statusWriter{ResponseWriter: w}
 		err := h(sw, r.WithContext(ctx))
-		elapsed := time.Since(start)
-		s.mLatencyMS.Observe(float64(elapsed.Milliseconds()))
+		s.mLatencyMS.Observe(float64(s.now().Sub(start).Milliseconds()))
+		errKind := ""
 		if err != nil {
 			s.mErrors.Inc()
 			var ae *apiError
 			switch {
 			case errors.As(err, &ae):
-				writeError(sw, ae)
 			case errors.Is(err, context.DeadlineExceeded):
 				s.mTimeouts.Inc()
-				writeError(sw, &apiError{Code: http.StatusGatewayTimeout,
-					Kind: "timeout", Msg: "request deadline exceeded"})
+				ae = &apiError{Code: http.StatusGatewayTimeout,
+					Kind: "timeout", Msg: "request deadline exceeded"}
 			default:
-				writeError(sw, &apiError{Code: http.StatusInternalServerError,
-					Kind: "internal", Msg: err.Error()})
+				ae = &apiError{Code: http.StatusInternalServerError,
+					Kind: "internal", Msg: err.Error()}
 			}
+			writeError(sw, ae)
+			errKind = ae.Kind
 		}
-		s.log(r, sw.status, sw.bytes, elapsed)
+		s.finish(ep, sp, sw.Header(), sw.status, errKind, sw.bytes, arrive, start)
 	}
 }
 
-// log emits one structured request line. Timing lives here (and only
-// here): response bodies stay wall-clock free for determinism.
-func (s *Server) log(r *http.Request, status, bytes int, elapsed time.Duration) {
-	if s.cfg.LogWriter == nil {
-		return
+// finish closes out one request: it completes the span and records it,
+// lands the RED and SLO observations, and emits the slow-request and
+// access-log lines. start equals arrive on the 429 path (the request
+// never reached a handler).
+func (s *Server) finish(ep *endpointObs, sp reqtrace.Span, hdr http.Header, status int, errKind string, bytes int, arrive, start time.Time) {
+	end := s.now()
+	sp.Status = status
+	sp.ErrKind = errKind
+	sp.Cache = hdr.Get("X-Netmaster-Cache")
+	if st := s.storeStatus(); st != nil {
+		sp.StoreMode = st.Mode
 	}
-	line := struct {
-		Method   string `json:"method"`
-		Path     string `json:"path"`
-		Status   int    `json:"status"`
-		Bytes    int    `json:"bytes"`
-		Millis   int64  `json:"ms"`
-		InFlight int64  `json:"in_flight"`
-	}{r.Method, r.URL.Path, status, bytes, elapsed.Milliseconds(), s.inflight.Load()}
-	b, err := json.Marshal(line)
-	if err != nil {
-		return
+	sp.QueueWaitMS = durMS(start.Sub(arrive))
+	sp.HandleMS = durMS(end.Sub(start))
+	sp.TotalMS = durMS(end.Sub(arrive))
+	sp.Bytes = bytes
+	ep.finish(status, sp.TotalMS)
+	s.tracker.Observe(sp.TotalMS, status >= 500)
+	s.ring.Record(sp)
+	if s.cfg.SlowRequest > 0 && end.Sub(arrive) >= s.cfg.SlowRequest {
+		emitLog(s.cfg.LogWriter, slowLine{SlowRequest: sp})
 	}
-	s.cfg.LogWriter.Write(append(b, '\n'))
+	emitLog(s.cfg.LogWriter, accessLine{
+		Method: sp.Method, Path: sp.Path, Status: status, Bytes: bytes,
+		Millis: end.Sub(arrive).Milliseconds(), InFlight: s.inflight.Load(),
+		RequestID: sp.RequestID, Cache: sp.Cache, QueueWaitMS: sp.QueueWaitMS,
+	})
 }
 
 // writeJSON writes an indented, deterministic JSON body.
@@ -353,6 +436,16 @@ func writeJSON(w http.ResponseWriter, code int, v any) error {
 }
 
 func writeError(w http.ResponseWriter, e *apiError) {
+	// Overload (429), upstream failure (502) and degraded-store (503)
+	// answers are retryable by contract: advertise that uniformly, so
+	// every such response carries Retry-After whichever path produced
+	// it. An already-set header (e.g. relayed from a shard) wins.
+	switch e.Code {
+	case http.StatusTooManyRequests, http.StatusBadGateway, http.StatusServiceUnavailable:
+		if w.Header().Get("Retry-After") == "" {
+			w.Header().Set("Retry-After", "1")
+		}
+	}
 	w.Header().Set("Content-Type", "application/json")
 	w.WriteHeader(e.Code)
 	enc := json.NewEncoder(w)

@@ -51,9 +51,11 @@ import (
 	"netmaster/internal/parallel"
 	"netmaster/internal/policy"
 	"netmaster/internal/power"
+	"netmaster/internal/reqtrace"
 	"netmaster/internal/server"
 	"netmaster/internal/shard"
 	"netmaster/internal/simtime"
+	"netmaster/internal/slo"
 	"netmaster/internal/synth"
 	"netmaster/internal/telemetry"
 	"netmaster/internal/telemetry/analyze"
@@ -670,4 +672,37 @@ var (
 	// DefaultServeRouterConfig returns production-shaped router
 	// defaults; the caller must still provide Backends.
 	DefaultServeRouterConfig = server.DefaultRouterConfig
+)
+
+// ===== Subsystem: serve-tier request observability =====
+
+// Request tracing, per-endpoint RED metrics, slow-request capture and
+// SLO burn tracking across the daemon and the router: every response
+// carries an X-Netmaster-Request-Id, spans land in a bounded ring
+// served on /debug/requests, and burn rates against configurable p99 /
+// error-rate objectives ride /metrics and /healthz. See
+// docs/observability.md.
+type (
+	// RequestSpan is one request's trace record: ID, role, endpoint,
+	// hop, shard, status, cache/store disposition and the queue-wait /
+	// handle / total millisecond split.
+	RequestSpan = reqtrace.Span
+	// DebugRequestsResponse is GET /debug/requests's body: ring
+	// capacity and totals plus the recent and slowest span sets.
+	DebugRequestsResponse = server.DebugRequestsResponse
+	// ServeSLOConfig sets the burn-tracking objectives (target p99 in
+	// ms, target 5xx rate, trailing window) on ServerConfig.SLO and
+	// ServeRouterConfig.SLO; the zero value disables tracking.
+	ServeSLOConfig = slo.Config
+	// SLOStatus is the burn-tracking block on /healthz: objectives,
+	// window fill and the error/latency burn rates.
+	SLOStatus = slo.Status
+)
+
+// Serve-tier observability entry points.
+var (
+	// SLOHistogramQuantile interpolates a quantile from an exported
+	// latency-histogram snapshot, Prometheus-style — the same math
+	// netmaster-bench uses for its server-side report.
+	SLOHistogramQuantile = slo.HistogramQuantile
 )
