@@ -6,8 +6,15 @@
 //
 // Usage:
 //
-//	experiments [-figure all|1a|1b|2|3|4|5|7|8|9|10a|10b|10c|ux|motivation]
+//	experiments [-figure all|1a|1b|2|3|4|5|7|8|9|10a|10b|10c|ux|wifi|motivation]
 //	            [-days N] [-model 3g|lte] [-seed N] [-parallelism N]
+//	            [-wifi-model wifi] [-wifi-coverage F]
+//
+// Figure "wifi" sweeps energy savings against Wi-Fi coverage fraction:
+// at each point the cohort's traces are regenerated with that much
+// seeded AP visibility (demand identical across points) and replayed
+// under the wifi-offload-only baseline, cellular-only NetMaster and
+// dual-radio NetMaster. -wifi-coverage narrows the sweep to {0, F}.
 package main
 
 import (
@@ -38,14 +45,19 @@ func main() {
 	o.Register(flag.CommandLine)
 	flag.Parse()
 	parallel.SetDefaultWorkers(o.Parallelism)
-	if err := run(o.Figure, o.Days, o.ModelName, o.CSVDir, o.ObsDir); err != nil {
+	if err := run(o); err != nil {
 		fmt.Fprintln(os.Stderr, "experiments:", err)
 		os.Exit(1)
 	}
 }
 
-func run(figure string, days int, modelName, csvDir, obsDir string) error {
-	model, err := cliconfig.ResolveModel(modelName)
+func run(o cliconfig.Experiments) error {
+	figure, days, csvDir, obsDir := o.Figure, o.Days, o.CSVDir, o.ObsDir
+	model, err := cliconfig.ResolveModel(o.ModelName)
+	if err != nil {
+		return err
+	}
+	wifi, err := o.WiFi.Resolve()
 	if err != nil {
 		return err
 	}
@@ -171,8 +183,13 @@ func run(figure string, days int, modelName, csvDir, obsDir string) error {
 			return err
 		}
 	}
+	if all || figure == "wifi" {
+		if err := printWiFi(w, days, model, wifi, o.WiFiCoverage); err != nil {
+			return err
+		}
+	}
 	if csvDir != "" {
-		if err := writeCSVs(csvDir, volunteers, histories, model); err != nil {
+		if err := writeCSVs(csvDir, volunteers, histories, model, wifi, days); err != nil {
 			return err
 		}
 		fmt.Fprintf(w, "\nCSV series written to %s\n", csvDir)
@@ -215,7 +232,8 @@ func writeObservability(dir string, volunteers []*trace.Trace, model *power.Mode
 }
 
 // writeCSVs exports the evaluation figures' data series as CSV files.
-func writeCSVs(dir string, volunteers []*trace.Trace, histories map[string]*trace.Trace, model *power.Model) error {
+// The wifi sweep series is included whenever a NIC model is configured.
+func writeCSVs(dir string, volunteers []*trace.Trace, histories map[string]*trace.Trace, model *power.Model, wifi *power.WiFiModel, days int) error {
 	if err := os.MkdirAll(dir, 0o755); err != nil {
 		return err
 	}
@@ -294,7 +312,22 @@ func writeCSVs(dir string, volunteers []*trace.Trace, histories map[string]*trac
 	for i, g := range dist.Gaps {
 		tg.AddRow(i, g)
 	}
-	return save("fig7a_gaps.csv", tg)
+	if err := save("fig7a_gaps.csv", tg); err != nil {
+		return err
+	}
+
+	if wifi == nil {
+		return nil
+	}
+	sweep, err := eval.WiFiSweep(synth.EvalCohort(), days, model, wifi, eval.DefaultWiFiCoverageSweep())
+	if err != nil {
+		return err
+	}
+	tw := report.NewTable("", "coverage", "measured", "offload_saving", "cell_netmaster_saving", "dual_saving", "dual_wifi_j")
+	for _, r := range sweep {
+		tw.AddRow(r.Coverage, r.MeasuredCoverage, r.OffloadSaving, r.CellNetMasterSaving, r.DualSaving, r.DualWiFiEnergyJ)
+	}
+	return save("wifi.csv", tw)
 }
 
 func printMotivation(w *os.File, cohort []*trace.Trace) error {
@@ -500,6 +533,34 @@ func printFig10c(w *os.File, volunteers []*trace.Trace, histories map[string]*tr
 		"delta", "accuracy", "energy-saving/oracle")
 	for _, r := range rows {
 		t.AddRow(r.Delta, report.Percent(r.Accuracy), report.Percent(r.EnergySaving))
+	}
+	return t.Render(w)
+}
+
+// wifiSweepPoints picks the coverage x-axis: the default sweep, or
+// {0, cov} when -wifi-coverage pins a single point of interest (the
+// zero point stays so the cellular-only anchor is always visible).
+func wifiSweepPoints(cov float64) []float64 {
+	if cov > 0 {
+		return []float64{0, cov}
+	}
+	return eval.DefaultWiFiCoverageSweep()
+}
+
+func printWiFi(w *os.File, days int, model *power.Model, wifi *power.WiFiModel, cov float64) error {
+	if wifi == nil {
+		return fmt.Errorf("figure wifi needs -wifi-model (try -wifi-model wifi)")
+	}
+	rows, err := eval.WiFiSweep(synth.EvalCohort(), days, model, wifi, wifiSweepPoints(cov))
+	if err != nil {
+		return err
+	}
+	t := report.NewTable("Wi-Fi coverage sweep: radio energy saving vs the all-cellular baseline (expect dual >= offload-only >= 0)",
+		"coverage", "measured", "offload-only", "cell-netmaster", "dual-netmaster", "dual wifi (J)")
+	for _, r := range rows {
+		t.AddRow(report.Percent(r.Coverage), report.Percent(r.MeasuredCoverage),
+			report.Percent(r.OffloadSaving), report.Percent(r.CellNetMasterSaving),
+			report.Percent(r.DualSaving), r.DualWiFiEnergyJ)
 	}
 	return t.Render(w)
 }

@@ -5,30 +5,67 @@ import (
 	"path/filepath"
 	"testing"
 
+	"netmaster/internal/cliconfig"
 	"netmaster/internal/tracing"
 )
+
+// expOpts builds an Experiments option set over the defaults.
+func expOpts(mut func(*cliconfig.Experiments)) cliconfig.Experiments {
+	o := cliconfig.DefaultExperiments()
+	mut(&o)
+	return o
+}
 
 func TestRunSingleFigures(t *testing.T) {
 	// The cheap figures run end to end; days kept small.
 	for _, fig := range []string{"motivation", "1a", "1b", "2", "3", "4", "5", "10a", "10b", "delta"} {
-		if err := run(fig, 8, "3g", "", ""); err != nil {
+		if err := run(expOpts(func(o *cliconfig.Experiments) {
+			o.Figure, o.Days = fig, 8
+		})); err != nil {
 			t.Errorf("figure %s: %v", fig, err)
 		}
 	}
 }
 
+// The wifi figure covers the dual-radio sweep; the pinned -wifi-coverage
+// path narrows the x-axis to the zero anchor plus the requested point.
+func TestRunWiFiFigure(t *testing.T) {
+	if err := run(expOpts(func(o *cliconfig.Experiments) {
+		o.Figure, o.Days, o.WiFiCoverage = "wifi", 6, 0.6
+	})); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunWiFiFigureNeedsModel(t *testing.T) {
+	if err := run(expOpts(func(o *cliconfig.Experiments) {
+		o.Figure, o.Days, o.WiFiModelName = "wifi", 6, ""
+	})); err == nil {
+		t.Error("figure wifi without a NIC model accepted")
+	}
+}
+
 func TestRunUnknownModel(t *testing.T) {
-	if err := run("1a", 8, "6g", "", ""); err == nil {
+	if err := run(expOpts(func(o *cliconfig.Experiments) {
+		o.Figure, o.Days, o.ModelName = "1a", 8, "6g"
+	})); err == nil {
 		t.Error("unknown model accepted")
+	}
+	if err := run(expOpts(func(o *cliconfig.Experiments) {
+		o.Figure, o.Days, o.WiFiModelName = "1a", 8, "warp"
+	})); err == nil {
+		t.Error("unknown wifi model accepted")
 	}
 }
 
 func TestRunCSVExport(t *testing.T) {
 	dir := t.TempDir()
-	if err := run("7", 8, "3g", dir, ""); err != nil {
+	if err := run(expOpts(func(o *cliconfig.Experiments) {
+		o.Figure, o.Days, o.CSVDir = "7", 8, dir
+	})); err != nil {
 		t.Fatal(err)
 	}
-	for _, f := range []string{"fig7.csv", "fig8.csv", "fig9.csv", "fig10c.csv", "fig7a_gaps.csv"} {
+	for _, f := range []string{"fig7.csv", "fig8.csv", "fig9.csv", "fig10c.csv", "fig7a_gaps.csv", "wifi.csv"} {
 		if _, err := os.Stat(filepath.Join(dir, f)); err != nil {
 			t.Errorf("missing %s", f)
 		}
@@ -40,7 +77,9 @@ func TestRunCSVExport(t *testing.T) {
 // headered trace.
 func TestRunObservabilityExport(t *testing.T) {
 	dir := t.TempDir()
-	if err := run("1a", 6, "3g", "", dir); err != nil {
+	if err := run(expOpts(func(o *cliconfig.Experiments) {
+		o.Figure, o.Days, o.ObsDir = "1a", 6, dir
+	})); err != nil {
 		t.Fatal(err)
 	}
 	entries, err := os.ReadDir(dir)

@@ -128,17 +128,24 @@ func main() {
 
 // buildCohort replays the seeded eval volunteers once and clones their
 // metric snapshots across n synthetic device IDs — full telemetry per
-// device without paying for n trace replays.
-func buildCohort(n, days int) ([]server.IngestRequest, error) {
+// device without paying for n trace replays. With a Wi-Fi model the
+// templates replay dual-radio: each trace carries cov coverage and the
+// middleware pools deferred batches onto the NIC, so the ingested
+// snapshots exercise the dual-radio metric surface.
+func buildCohort(n, days int, wifi *power.WiFiModel, cov float64) ([]server.IngestRequest, error) {
 	model := power.Model3G()
 	var templates []*metrics.Snapshot
 	for _, spec := range synth.EvalCohort() {
+		if wifi != nil && cov > 0 {
+			spec.WiFiCoverage = cov
+		}
 		tr, err := synth.Generate(spec, days)
 		if err != nil {
 			return nil, err
 		}
 		reg := metrics.NewRegistry()
 		cfg := middleware.DefaultReplayConfig(model)
+		cfg.WiFi = wifi
 		cfg.Service.Metrics = reg
 		cfg.Service.Tracing = tracing.NewSink(0)
 		if _, err := middleware.Replay(tr, cfg); err != nil {
@@ -189,7 +196,11 @@ func runBench(o cliconfig.Bench, logw io.Writer) (Result, error) {
 	if o.Devices <= 0 || o.Batch <= 0 || o.Concurrency <= 0 {
 		return Result{}, fmt.Errorf("devices, batch and concurrency must be positive")
 	}
-	cohort, err := buildCohort(o.Devices, o.Days)
+	wifi, err := o.WiFi.Resolve()
+	if err != nil {
+		return Result{}, err
+	}
+	cohort, err := buildCohort(o.Devices, o.Days, wifi, o.WiFiCoverage)
 	if err != nil {
 		return Result{}, err
 	}

@@ -127,8 +127,12 @@ func run(o options, stdout io.Writer) error {
 	if err != nil {
 		return err
 	}
+	wifi, err := o.WiFi.Resolve()
+	if err != nil {
+		return err
+	}
 
-	t, history, err := loadTrace(o.TracePath, o.Gen, o.Days, o.HistoryPath)
+	t, history, err := loadTrace(o.TracePath, o.Gen, o.Days, o.HistoryPath, o.WiFiCoverage)
 	if err != nil {
 		return err
 	}
@@ -138,26 +142,33 @@ func run(o options, stdout io.Writer) error {
 	var health *middleware.Health
 	var faultStats faults.Stats
 	if o.PolicyName == "online" {
-		plan, h, fs, err := runOnline(t, model, o, ob)
+		plan, h, fs, err := runOnline(t, model, wifi, o, ob)
 		if err != nil {
 			return err
 		}
 		p = &plannedPolicy{name: plan.PolicyName, plan: plan}
 		health, faultStats = h, fs
 	} else {
-		p, err = buildPolicy(o.PolicyName, o.Interval, o.BatchSize, model, history, ob)
+		p, err = buildPolicy(o.PolicyName, o.Interval, o.BatchSize, model, wifi, history, ob)
 		if err != nil {
 			return err
 		}
 	}
 
+	// The baseline stays all-cellular so savings remain comparable with
+	// single-radio runs; the policy meters on both radios when the NIC
+	// is enabled.
 	base, err := device.Run(policy.Baseline{}, t, model)
 	if err != nil {
 		return err
 	}
 	m := base
 	if p != nil {
-		m, err = device.Run(p, t, model)
+		if wifi != nil {
+			m, err = device.RunRadios(p, t, model, wifi)
+		} else {
+			m, err = device.Run(p, t, model)
+		}
 		if err != nil {
 			return err
 		}
@@ -176,6 +187,10 @@ func run(o options, stdout io.Writer) error {
 	tbl.AddRow("peak up rate (kB/s)", m.PeakUpRateBps/1024, base.PeakUpRateBps/1024, fmt.Sprintf("%.2fx", pup))
 	tbl.AddRow("duty wake-ups", m.WakeUps, 0, "")
 	tbl.AddRow("wake energy (J)", m.WakeEnergyJ, 0, "")
+	if wifi != nil {
+		tbl.AddRow("wifi energy (J)", m.WiFi.EnergyJ, 0, "")
+		tbl.AddRow("wifi associations", m.WiFi.Promotions, 0, "")
+	}
 	tbl.AddRow("interactions", m.Interactions, base.Interactions, "")
 	tbl.AddRow("wrong decisions", m.WrongDecisions, 0, report.Percent(m.WrongDecisionRate()))
 	tbl.AddRow("affected interactions", m.AffectedActivities, 0, report.Percent(m.AffectedRate()))
@@ -214,8 +229,9 @@ func (p *plannedPolicy) Plan(t *trace.Trace) (*device.Plan, error) { return p.pl
 
 // runOnline replays the middleware service over the trace — plainly, or
 // under the flags' fault schedule.
-func runOnline(t *trace.Trace, model *power.Model, o options, ob *observed) (*device.Plan, *middleware.Health, faults.Stats, error) {
+func runOnline(t *trace.Trace, model *power.Model, wifi *power.WiFiModel, o options, ob *observed) (*device.Plan, *middleware.Health, faults.Stats, error) {
 	cfg := middleware.DefaultChaosConfig(model)
+	cfg.Replay.WiFi = wifi
 	cfg.Replay.Service.Metrics = ob.reg
 	cfg.Replay.Service.Tracing = ob.sink
 	cfg.Faults = faults.Uniform(o.FaultSeed, o.FaultRate)
@@ -330,7 +346,7 @@ func renderPerApp(w io.Writer, t *trace.Trace, p device.Policy, model *power.Mod
 	return tbl.Render(w)
 }
 
-func loadTrace(tracePath, gen string, days int, historyPath string) (*trace.Trace, *trace.Trace, error) {
+func loadTrace(tracePath, gen string, days int, historyPath string, wifiCoverage float64) (*trace.Trace, *trace.Trace, error) {
 	var history *trace.Trace
 	if historyPath != "" {
 		h, err := trace.ReadFile(historyPath)
@@ -350,6 +366,7 @@ func loadTrace(tracePath, gen string, days int, historyPath string) (*trace.Trac
 		if spec.ID != gen {
 			continue
 		}
+		spec.WiFiCoverage = wifiCoverage
 		t, err := synth.Generate(spec, days)
 		if err != nil {
 			return nil, nil, err
@@ -365,16 +382,22 @@ func loadTrace(tracePath, gen string, days int, historyPath string) (*trace.Trac
 	return nil, nil, fmt.Errorf("no cohort user named %q", gen)
 }
 
-func buildPolicy(name string, interval, batchSize int, model *power.Model, history *trace.Trace, ob *observed) (device.Policy, error) {
+func buildPolicy(name string, interval, batchSize int, model *power.Model, wifi *power.WiFiModel, history *trace.Trace, ob *observed) (device.Policy, error) {
 	switch name {
 	case "baseline":
 		return nil, nil // metrics of the baseline itself
 	case "netmaster":
 		cfg := policy.DefaultNetMasterConfig(model)
+		cfg.WiFi = wifi
 		cfg.History = history
 		cfg.Metrics = ob.reg
 		cfg.Tracing = ob.sink
 		return policy.NewNetMaster(cfg)
+	case "wifi-offload":
+		if wifi == nil {
+			return nil, fmt.Errorf("policy wifi-offload needs -wifi-model")
+		}
+		return policy.WiFiOffload{}, nil
 	case "oracle":
 		return policy.NewOracle(model)
 	case "delay":

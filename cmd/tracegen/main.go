@@ -5,6 +5,12 @@
 //
 //	tracegen -cohort motivation|eval [-days N] [-out DIR] [-user ID]
 //	tracegen -stats -cohort motivation   # print per-trace statistics only
+//	tracegen -cohort eval -wifi-coverage 0.6   # overlay Wi-Fi coverage
+//
+// With -wifi-coverage the generated traces carry seeded Wi-Fi
+// availability windows covering that fraction of each day; the demand
+// side is byte-identical to a coverage-0 run. -stats with -wifi-model
+// additionally prices the screen-off volume on the NIC.
 package main
 
 import (
@@ -13,76 +19,77 @@ import (
 	"os"
 	"path/filepath"
 
+	"netmaster/internal/cliconfig"
+	"netmaster/internal/power"
 	"netmaster/internal/stats"
 	"netmaster/internal/synth"
 	"netmaster/internal/trace"
 )
 
 func main() {
-	var (
-		cohort    = flag.String("cohort", "motivation", "cohort to generate: motivation or eval")
-		specFile  = flag.String("spec", "", "generate from a JSON cohort spec file instead of a built-in cohort")
-		emitSpec  = flag.String("emit-spec", "", "write the selected built-in cohort's spec JSON to this file and exit")
-		days      = flag.Int("days", 21, "trace length in days")
-		outDir    = flag.String("out", ".", "output directory for trace files")
-		user      = flag.String("user", "", "generate only this user ID")
-		statsOnly = flag.Bool("stats", false, "print statistics instead of writing files")
-	)
+	o := cliconfig.DefaultTracegen()
+	o.Register(flag.CommandLine)
 	flag.Parse()
-	if err := run(*cohort, *specFile, *emitSpec, *days, *outDir, *user, *statsOnly); err != nil {
+	if err := run(o); err != nil {
 		fmt.Fprintln(os.Stderr, "tracegen:", err)
 		os.Exit(1)
 	}
 }
 
-func run(cohort, specFile, emitSpec string, days int, outDir, user string, statsOnly bool) error {
+func run(o cliconfig.Tracegen) error {
+	wifi, err := o.WiFi.Resolve()
+	if err != nil {
+		return err
+	}
 	var specs []synth.UserSpec
-	if specFile != "" {
-		var err error
-		specs, err = synth.ReadSpecsFile(specFile)
+	if o.SpecFile != "" {
+		specs, err = synth.ReadSpecsFile(o.SpecFile)
 		if err != nil {
 			return err
 		}
 	} else {
-		switch cohort {
+		switch o.Cohort {
 		case "motivation":
 			specs = synth.MotivationCohort()
 		case "eval":
 			specs = synth.EvalCohort()
 		default:
-			return fmt.Errorf("unknown cohort %q (want motivation or eval)", cohort)
+			return fmt.Errorf("unknown cohort %q (want motivation or eval)", o.Cohort)
 		}
 	}
-	if emitSpec != "" {
-		if err := synth.WriteSpecsFile(emitSpec, specs); err != nil {
+	if o.EmitSpec != "" {
+		if err := synth.WriteSpecsFile(o.EmitSpec, specs); err != nil {
 			return err
 		}
-		fmt.Printf("wrote %d user specs to %s\n", len(specs), emitSpec)
+		fmt.Printf("wrote %d user specs to %s\n", len(specs), o.EmitSpec)
 		return nil
 	}
-	if user != "" {
+	if o.User != "" {
 		var filtered []synth.UserSpec
 		for _, s := range specs {
-			if s.ID == user {
+			if s.ID == o.User {
 				filtered = append(filtered, s)
 			}
 		}
 		if len(filtered) == 0 {
-			return fmt.Errorf("no user %q in cohort %q", user, cohort)
+			return fmt.Errorf("no user %q in cohort %q", o.User, o.Cohort)
 		}
 		specs = filtered
 	}
 
 	for _, spec := range specs {
-		t, err := synth.Generate(spec, days)
+		if o.WiFiCoverage > 0 {
+			spec.WiFiCoverage = o.WiFiCoverage
+		}
+		t, err := synth.Generate(spec, o.Days)
 		if err != nil {
 			return err
 		}
-		if statsOnly {
-			printStats(t)
+		if o.StatsOnly {
+			printStats(t, wifi)
 			continue
 		}
-		path := filepath.Join(outDir, fmt.Sprintf("%s.trace", t.UserID))
+		path := filepath.Join(o.OutDir, fmt.Sprintf("%s.trace", t.UserID))
 		if err := trace.WriteFile(path, t); err != nil {
 			return err
 		}
@@ -92,7 +99,7 @@ func run(cohort, specFile, emitSpec string, days int, outDir, user string, stats
 	return nil
 }
 
-func printStats(t *trace.Trace) {
+func printStats(t *trace.Trace, wifi *power.WiFiModel) {
 	on, off := t.SplitByScreen()
 	down, up := t.TotalBytes()
 	rates := make([]float64, 0, len(off))
@@ -103,4 +110,18 @@ func printStats(t *trace.Trace) {
 		t.UserID, t.Days, len(t.Sessions), len(t.Interactions), len(t.Activities), len(on), len(off))
 	fmt.Printf("  volume: down=%.1fMB up=%.1fMB; screen-off rate %s kB/s\n",
 		float64(down)/(1<<20), float64(up)/(1<<20), stats.Summarize(rates))
+	if len(t.WiFi) > 0 {
+		fmt.Printf("  wifi: coverage %.1f%% of the trace (%d windows)\n",
+			100*t.WiFiCoverageFraction(), len(t.WiFi))
+		if wifi != nil {
+			// An upper bound on what offload can touch: the whole
+			// screen-off volume pooled onto the NIC at batch rate.
+			var bytes int64
+			for _, a := range off {
+				bytes += a.Bytes()
+			}
+			fmt.Printf("  wifi: screen-off volume prices at %.1f J on %s (pooled, excl. association)\n",
+				wifi.MarginalBurstEnergy(float64(bytes)/wifi.BatchBps), wifi.Name)
+		}
+	}
 }

@@ -5,12 +5,23 @@ import (
 	"path/filepath"
 	"testing"
 
+	"netmaster/internal/cliconfig"
 	"netmaster/internal/trace"
 )
 
+// opts builds a Tracegen option set over the defaults.
+func opts(mut func(*cliconfig.Tracegen)) cliconfig.Tracegen {
+	o := cliconfig.DefaultTracegen()
+	mut(&o)
+	return o
+}
+
 func TestRunGeneratesTraceFiles(t *testing.T) {
 	dir := t.TempDir()
-	if err := run("eval", "", "", 3, dir, "volunteer2", false); err != nil {
+	err := run(opts(func(o *cliconfig.Tracegen) {
+		o.Cohort, o.Days, o.OutDir, o.User = "eval", 3, dir, "volunteer2"
+	}))
+	if err != nil {
 		t.Fatal(err)
 	}
 	tr, err := trace.ReadFile(filepath.Join(dir, "volunteer2.trace"))
@@ -22,9 +33,47 @@ func TestRunGeneratesTraceFiles(t *testing.T) {
 	}
 }
 
+// TestRunWiFiCoverageRoundtrips: -wifi-coverage overlays availability
+// windows that survive the trace file round trip, without disturbing
+// the demand side.
+func TestRunWiFiCoverageRoundtrips(t *testing.T) {
+	dir := t.TempDir()
+	gen := func(cov float64) *trace.Trace {
+		err := run(opts(func(o *cliconfig.Tracegen) {
+			o.Cohort, o.Days, o.OutDir, o.User = "eval", 3, dir, "volunteer2"
+			o.WiFiCoverage = cov
+		}))
+		if err != nil {
+			t.Fatal(err)
+		}
+		tr, err := trace.ReadFile(filepath.Join(dir, "volunteer2.trace"))
+		if err != nil {
+			t.Fatal(err)
+		}
+		return tr
+	}
+	plain := gen(0)
+	covered := gen(0.5)
+	if len(plain.WiFi) != 0 {
+		t.Errorf("coverage 0 wrote %d wifi windows", len(plain.WiFi))
+	}
+	if len(covered.WiFi) == 0 {
+		t.Error("coverage 0.5 wrote no wifi windows")
+	}
+	if got := covered.WiFiCoverageFraction(); got < 0.3 || got > 0.7 {
+		t.Errorf("realised coverage %.2f far from requested 0.5", got)
+	}
+	if len(covered.Activities) != len(plain.Activities) || len(covered.Sessions) != len(plain.Sessions) {
+		t.Error("coverage overlay disturbed the demand side of the trace")
+	}
+}
+
 func TestRunStatsOnlyWritesNothing(t *testing.T) {
 	dir := t.TempDir()
-	if err := run("motivation", "", "", 2, dir, "", true); err != nil {
+	err := run(opts(func(o *cliconfig.Tracegen) {
+		o.Cohort, o.Days, o.OutDir, o.StatsOnly = "motivation", 2, dir, true
+	}))
+	if err != nil {
 		t.Fatal(err)
 	}
 	entries, err := os.ReadDir(dir)
@@ -39,10 +88,17 @@ func TestRunStatsOnlyWritesNothing(t *testing.T) {
 func TestRunSpecRoundtrip(t *testing.T) {
 	dir := t.TempDir()
 	specPath := filepath.Join(dir, "cohort.json")
-	if err := run("eval", "", specPath, 3, dir, "", false); err != nil {
+	err := run(opts(func(o *cliconfig.Tracegen) {
+		o.Cohort, o.Days, o.OutDir, o.EmitSpec = "eval", 3, dir, specPath
+	}))
+	if err != nil {
 		t.Fatal(err)
 	}
-	if err := run("", specPath, "", 2, dir, "volunteer1", false); err != nil {
+	err = run(opts(func(o *cliconfig.Tracegen) {
+		o.SpecFile, o.Days, o.OutDir, o.User = specPath, 2, dir, "volunteer1"
+		o.Cohort = ""
+	}))
+	if err != nil {
 		t.Fatal(err)
 	}
 	if _, err := os.Stat(filepath.Join(dir, "volunteer1.trace")); err != nil {
@@ -51,13 +107,32 @@ func TestRunSpecRoundtrip(t *testing.T) {
 }
 
 func TestRunErrors(t *testing.T) {
-	if err := run("bogus", "", "", 3, t.TempDir(), "", false); err == nil {
+	if err := run(opts(func(o *cliconfig.Tracegen) {
+		o.Cohort, o.Days, o.OutDir = "bogus", 3, t.TempDir()
+	})); err == nil {
 		t.Error("unknown cohort accepted")
 	}
-	if err := run("eval", "", "", 3, t.TempDir(), "nobody", false); err == nil {
+	if err := run(opts(func(o *cliconfig.Tracegen) {
+		o.Cohort, o.Days, o.OutDir, o.User = "eval", 3, t.TempDir(), "nobody"
+	})); err == nil {
 		t.Error("unknown user accepted")
 	}
-	if err := run("", "/does/not/exist.json", "", 3, t.TempDir(), "", false); err == nil {
+	if err := run(opts(func(o *cliconfig.Tracegen) {
+		o.SpecFile, o.Days, o.OutDir = "/does/not/exist.json", 3, t.TempDir()
+		o.Cohort = ""
+	})); err == nil {
 		t.Error("missing spec file accepted")
+	}
+	if err := run(opts(func(o *cliconfig.Tracegen) {
+		o.Cohort, o.Days, o.OutDir = "eval", 3, t.TempDir()
+		o.WiFiModelName = "warp"
+	})); err == nil {
+		t.Error("unknown wifi model accepted")
+	}
+	if err := run(opts(func(o *cliconfig.Tracegen) {
+		o.Cohort, o.Days, o.OutDir = "eval", 3, t.TempDir()
+		o.WiFiCoverage = 1.5
+	})); err == nil {
+		t.Error("out-of-range wifi coverage accepted")
 	}
 }

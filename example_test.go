@@ -107,6 +107,36 @@ func ExampleCompare() {
 	// Output: delay-10m vs baseline: saving positive = true
 }
 
+// Dual-radio offload: give the spec Wi-Fi coverage, point NetMaster at
+// the NIC model and meter both radios. Coverage 0 (or a nil WiFiModel)
+// reproduces the cellular-only plan byte for byte.
+func ExampleRunRadios() {
+	spec := netmaster.EvalCohort()[0]
+	spec.WiFiCoverage = 0.6
+	tr, err := netmaster.GenerateTrace(spec, 7)
+	if err != nil {
+		panic(err)
+	}
+	cell, wifi := netmaster.Model3G(), netmaster.ModelWiFi()
+	base, err := netmaster.Run(netmaster.BaselinePolicy{}, tr, cell)
+	if err != nil {
+		panic(err)
+	}
+	cfg := netmaster.DefaultNetMasterConfig(cell)
+	cfg.WiFi = wifi
+	nm, err := netmaster.NewNetMasterPolicy(cfg)
+	if err != nil {
+		panic(err)
+	}
+	m, err := netmaster.RunRadios(nm, tr, cell, wifi)
+	if err != nil {
+		panic(err)
+	}
+	fmt.Printf("dual-radio beats all-cellular: %t, NIC associated: %t\n",
+		m.EnergySavingVs(base) > 0, m.WiFi.Promotions > 0)
+	// Output: dual-radio beats all-cellular: true, NIC associated: true
+}
+
 // Online middleware: drive the deployment-mode service over a trace.
 func ExampleOnlineReplay() {
 	tr, err := netmaster.GenerateTrace(netmaster.EvalCohort()[0], 7)

@@ -12,6 +12,7 @@ import (
 	"strings"
 	"time"
 
+	"netmaster/internal/cfgerr"
 	"netmaster/internal/parallel"
 	"netmaster/internal/power"
 )
@@ -42,6 +43,47 @@ func registerModel(fs *flag.FlagSet, dst *string, usage string) {
 	fs.StringVar(dst, "model", *dst, usage)
 }
 
+// WiFi is the shared dual-radio flag pair: -wifi-model selects the NIC
+// power model (empty keeps a binary cellular-only), -wifi-coverage the
+// coverage fraction overlaid on generated traces. Option structs embed
+// it so the two flags keep one name, default and help string across
+// binaries.
+type WiFi struct {
+	WiFiModelName string
+	WiFiCoverage  float64
+}
+
+// Register installs the shared -wifi-model and -wifi-coverage flags.
+func (o *WiFi) Register(fs *flag.FlagSet) {
+	fs.StringVar(&o.WiFiModelName, "wifi-model", o.WiFiModelName,
+		"Wi-Fi NIC power model: wifi; empty keeps the run cellular-only")
+	fs.Float64Var(&o.WiFiCoverage, "wifi-coverage", o.WiFiCoverage,
+		"Wi-Fi coverage fraction of each generated day, in [0, 1]")
+}
+
+// Resolve validates the pair with typed field errors and returns the
+// NIC model — nil when -wifi-model is empty (dual radio disabled).
+func (o *WiFi) Resolve() (*power.WiFiModel, error) {
+	var es cfgerr.Errors
+	var m *power.WiFiModel
+	switch o.WiFiModelName {
+	case "":
+	case "wifi":
+		m = power.ModelWiFi()
+	default:
+		es = append(es, cfgerr.New("cliconfig.WiFi", "wifi-model", o.WiFiModelName,
+			"unknown wifi model (want wifi)"))
+	}
+	if o.WiFiCoverage < 0 || o.WiFiCoverage > 1 {
+		es = append(es, cfgerr.New("cliconfig.WiFi", "wifi-coverage", o.WiFiCoverage,
+			"must be in [0, 1]"))
+	}
+	if err := es.Err(); err != nil {
+		return nil, err
+	}
+	return m, nil
+}
+
 // Sim is the netmaster-sim option set.
 type Sim struct {
 	TracePath   string
@@ -54,6 +96,7 @@ type Sim struct {
 	HistoryPath string
 	PerApp      bool
 	TimelineDay int
+	WiFi        // -wifi-model / -wifi-coverage
 
 	// Fault schedule (policy=online only).
 	FaultRate   float64
@@ -87,7 +130,7 @@ func (o *Sim) Register(fs *flag.FlagSet) {
 	fs.StringVar(&o.TracePath, "trace", o.TracePath, "trace file to replay")
 	fs.StringVar(&o.Gen, "gen", o.Gen, "generate the named cohort user instead of reading a trace")
 	fs.IntVar(&o.Days, "days", o.Days, "days for -gen")
-	fs.StringVar(&o.PolicyName, "policy", o.PolicyName, "policy: baseline, netmaster, oracle, delay, batch, online")
+	fs.StringVar(&o.PolicyName, "policy", o.PolicyName, "policy: baseline, netmaster, oracle, delay, batch, online, wifi-offload")
 	fs.IntVar(&o.Interval, "interval", o.Interval, "delay interval seconds (policy=delay)")
 	fs.IntVar(&o.BatchSize, "batch", o.BatchSize, "batch size (policy=batch)")
 	registerModel(fs, &o.ModelName, "radio model: 3g or lte")
@@ -103,6 +146,7 @@ func (o *Sim) Register(fs *flag.FlagSet) {
 	fs.StringVar(&o.ObsDir, "obs-dir", o.ObsDir, "write <dir>/<user>/metrics.json and trace.jsonl for netmaster-analyze")
 	fs.IntVar(&o.TraceCap, "trace-cap", o.TraceCap, "trace ring capacity in events, 0 = default")
 	fs.StringVar(&o.PprofAddr, "pprof-addr", o.PprofAddr, "serve net/http/pprof and expvar on this address (for soak runs)")
+	o.WiFi.Register(fs)
 }
 
 // Experiments is the experiments option set.
@@ -113,6 +157,7 @@ type Experiments struct {
 	CSVDir      string
 	ObsDir      string
 	Parallelism int
+	WiFi        // -wifi-model / -wifi-coverage (figure wifi)
 }
 
 // DefaultExperiments returns experiments' flag defaults. Parallelism
@@ -124,6 +169,9 @@ func DefaultExperiments() Experiments {
 		Days:        21,
 		ModelName:   "3g",
 		Parallelism: parallel.DefaultWorkers(),
+		// The wifi figure needs a NIC model; ship it enabled so
+		// `experiments -figure wifi` works without extra flags.
+		WiFi: WiFi{WiFiModelName: "wifi"},
 	}
 }
 
@@ -136,6 +184,7 @@ func (o *Experiments) Register(fs *flag.FlagSet) {
 	fs.StringVar(&o.ObsDir, "obs-dir", o.ObsDir, "replay the cohort online and write per-device metrics.json + trace.jsonl for netmaster-analyze")
 	fs.IntVar(&o.Parallelism, "parallelism", o.Parallelism,
 		"worker-pool width for the evaluation engine and scheduler (1 = sequential)")
+	o.WiFi.Register(fs)
 }
 
 // Analyze is the netmaster-analyze option set. Dirs comes from the
@@ -235,6 +284,7 @@ type Bench struct {
 	SLOErrorRate float64       // request error-rate ceiling
 	SLOP99Millis float64       // p99 latency ceiling in milliseconds
 	Parallelism  int           // self-hosted daemon parallelism, 0 = default
+	WiFi                       // -wifi-model / -wifi-coverage for the template replays
 }
 
 // DefaultBench returns netmaster-bench's flag defaults.
@@ -263,6 +313,36 @@ func (o *Bench) Register(fs *flag.FlagSet) {
 	fs.Float64Var(&o.SLOErrorRate, "slo-error-rate", o.SLOErrorRate, "fail (exit 1) when the request error rate exceeds this")
 	fs.Float64Var(&o.SLOP99Millis, "slo-p99", o.SLOP99Millis, "fail (exit 1) when p99 request latency exceeds this many milliseconds")
 	fs.IntVar(&o.Parallelism, "parallelism", o.Parallelism, "self-hosted daemon worker count, 0 = GOMAXPROCS")
+	o.WiFi.Register(fs)
+}
+
+// Tracegen is the tracegen option set.
+type Tracegen struct {
+	Cohort    string
+	SpecFile  string
+	EmitSpec  string
+	Days      int
+	OutDir    string
+	User      string
+	StatsOnly bool
+	WiFi      // -wifi-coverage overlays coverage on the written traces
+}
+
+// DefaultTracegen returns tracegen's flag defaults.
+func DefaultTracegen() Tracegen {
+	return Tracegen{Cohort: "motivation", Days: 21, OutDir: "."}
+}
+
+// Register installs tracegen's flags.
+func (o *Tracegen) Register(fs *flag.FlagSet) {
+	fs.StringVar(&o.Cohort, "cohort", o.Cohort, "cohort to generate: motivation or eval")
+	fs.StringVar(&o.SpecFile, "spec", o.SpecFile, "generate from a JSON cohort spec file instead of a built-in cohort")
+	fs.StringVar(&o.EmitSpec, "emit-spec", o.EmitSpec, "write the selected built-in cohort's spec JSON to this file and exit")
+	fs.IntVar(&o.Days, "days", o.Days, "trace length in days")
+	fs.StringVar(&o.OutDir, "out", o.OutDir, "output directory for trace files")
+	fs.StringVar(&o.User, "user", o.User, "generate only this user ID")
+	fs.BoolVar(&o.StatsOnly, "stats", o.StatsOnly, "print statistics instead of writing files")
+	o.WiFi.Register(fs)
 }
 
 // Register installs netmaster-serve's flags.

@@ -24,6 +24,7 @@ import (
 	"netmaster/internal/knapsack"
 	"netmaster/internal/metrics"
 	"netmaster/internal/parallel"
+	"netmaster/internal/power"
 	"netmaster/internal/simtime"
 	"netmaster/internal/tracing"
 )
@@ -66,6 +67,18 @@ type Config struct {
 	// ProbSlotWidth is the granularity at which UseProb is piecewise
 	// constant, used to integrate Eq. 4 exactly.
 	ProbSlotWidth simtime.Duration
+	// WiFiSavedEnergy optionally returns ΔEj for executing the activity
+	// over Wi-Fi instead of cellular inside an active slot: the cellular
+	// standalone burst energy recovered minus the marginal Wi-Fi cost.
+	// Must be set together with WiFiAvailable; both nil (the default)
+	// keeps the scheduler single-radio and its output byte-identical to
+	// the pre-dual-radio solver.
+	WiFiSavedEnergy func(a Activity) float64
+	// WiFiAvailable reports whether Wi-Fi covers the whole slot
+	// interval. Availability is evaluated per slot, not per activity:
+	// a placement commits the transfer to the slot's radio, so a slot
+	// only offers the Wi-Fi choice when coverage spans it entirely.
+	WiFiAvailable func(slot simtime.Interval) bool
 	// Metrics and Tracing optionally record each Schedule run: counters
 	// for runs/assignments and one KindSchedDecision trace event per
 	// accepted placement (chosen slot, profit, ΔE, ΔP). Both nil (the
@@ -107,6 +120,9 @@ func (c *Config) Validate() error {
 	if c.ProbSlotWidth <= 0 {
 		es = append(es, cfgerr.New("core.Config", "ProbSlotWidth", c.ProbSlotWidth, "must be positive"))
 	}
+	if (c.WiFiSavedEnergy == nil) != (c.WiFiAvailable == nil) {
+		es = append(es, cfgerr.New("core.Config", "WiFiSavedEnergy", nil, "WiFiSavedEnergy and WiFiAvailable must be set together"))
+	}
 	return es.Err()
 }
 
@@ -125,6 +141,11 @@ type Assignment struct {
 	Profit  float64
 	Saved   float64 // ΔE
 	Penalty float64 // independent ΔP
+	// Network is the radio the placement runs on. The zero value means
+	// cellular, so single-radio schedules (and dual-radio schedules at
+	// zero Wi-Fi coverage) remain byte-identical to the historical
+	// output.
+	Network power.Network
 }
 
 // Schedule is the scheduler's output, the S of Algorithm 1.
@@ -293,12 +314,18 @@ func nearestEdge(t simtime.Instant, slot simtime.Interval) simtime.Instant {
 }
 
 // candidate is one (activity, slot) placement considered by the solver.
+// With dual-radio hooks wired, a Wi-Fi-covered slot conceptually offers
+// two candidates per activity — one per radio — but both carry the same
+// weight (the activity's bytes) and target, so only the higher-profit
+// network can ever be packed: buildCandidates keeps that one (the
+// dominance reduction) and the knapsack shape is unchanged.
 type candidate struct {
 	act     Activity
 	slotIdx int
 	target  simtime.Instant
 	saved   float64
 	penalty float64
+	network power.Network // zero value = cellular
 }
 
 func (cd candidate) profit() float64 { return cd.saved - cd.penalty }
@@ -566,8 +593,19 @@ func (s *Scheduler) observe(u []simtime.Interval, sched *Schedule) {
 	})
 }
 
-// buildCandidates implements the duplication step.
+// buildCandidates implements the duplication step. With dual-radio
+// hooks wired it also resolves the per-slot network choice: both radio
+// variants of a placement share weight, target and penalty, so keeping
+// the strictly-higher-ΔE network (ties go to cellular) is exact — the
+// losing variant could never appear in an optimal packing.
 func (s *Scheduler) buildCandidates(u []simtime.Interval, tn []Activity, pc *penaltyCache) []candidate {
+	dual := s.cfg.WiFiSavedEnergy != nil && s.cfg.WiFiAvailable != nil
+	wifiSlot := make([]bool, len(u))
+	if dual {
+		for i, slot := range u {
+			wifiSlot[i] = s.cfg.WiFiAvailable(slot)
+		}
+	}
 	var cands []candidate
 	for _, a := range tn {
 		for _, slotIdx := range adjacentSlots(u, a.Time) {
@@ -581,6 +619,12 @@ func (s *Scheduler) buildCandidates(u []simtime.Interval, tn []Activity, pc *pen
 				target:  target,
 				saved:   s.cfg.SavedEnergy(a),
 				penalty: pc.penalty(&s.cfg, a.Time, target),
+			}
+			if dual && wifiSlot[slotIdx] {
+				if ws := s.cfg.WiFiSavedEnergy(a); ws > cd.saved {
+					cd.saved = ws
+					cd.network = power.NetworkWiFi
+				}
 			}
 			if cd.profit() > 0 {
 				cands = append(cands, cd)
@@ -651,6 +695,7 @@ func (s *Scheduler) buildSchedule(u []simtime.Interval, tn []Activity, selected 
 			Profit:     cd.profit(),
 			Saved:      cd.saved,
 			Penalty:    cd.penalty,
+			Network:    cd.network,
 		})
 		out.TotalSaved += cd.saved
 		out.SlotLoad[cd.slotIdx] += cd.act.Bytes

@@ -1,0 +1,133 @@
+package core
+
+import (
+	"math/rand"
+	"reflect"
+	"testing"
+	"time"
+
+	"netmaster/internal/power"
+	"netmaster/internal/simtime"
+)
+
+// dualBenchWorkload is the dual-radio solve instance: two days of
+// hourly slots, 1200 activities, the real 3G/Wi-Fi power models behind
+// the profit hooks and Wi-Fi coverage over half the slots — so the
+// solver actually exercises the (network, profit, energy) choice sets.
+func dualBenchWorkload(b *testing.B) (Config, []simtime.Interval, []Activity) {
+	b.Helper()
+	cell, wifi := power.Model3G(), power.ModelWiFi()
+	cfg := testConfig(64_000, 0.0005, nil)
+	cfg.Eps = 0.02
+	cfg.SavedEnergy = func(a Activity) float64 { return cell.SavedEnergy(a.ActiveSecs) }
+	cfg.WiFiSavedEnergy = func(a Activity) float64 {
+		return cell.SavedEnergy(a.ActiveSecs) +
+			cell.MarginalBurstEnergy(a.ActiveSecs) -
+			wifi.MarginalBurstEnergy(float64(a.Bytes)/wifi.BatchBps)
+	}
+	cfg.WiFiAvailable = func(slot simtime.Interval) bool {
+		return (slot.Start/simtime.Instant(simtime.Hour))%2 == 0
+	}
+	u := make([]simtime.Interval, 0, 48)
+	for day := 0; day < 2; day++ {
+		for h := 0; h < 24; h++ {
+			u = append(u, hourSlot(day, h))
+		}
+	}
+	rng := rand.New(rand.NewSource(17))
+	tn := make([]Activity, 1200)
+	for i := range tn {
+		tn[i] = Activity{
+			ID:         i + 1,
+			Time:       simtime.At(rng.Intn(2), rng.Intn(24), rng.Intn(60), 0),
+			Bytes:      rng.Int63n(200_000) + 1,
+			ActiveSecs: float64(rng.Intn(20) + 1),
+			DeferOnly:  rng.Intn(4) == 0,
+		}
+	}
+	return cfg, u, tn
+}
+
+// BenchmarkScheduleDualRadioVsCellular prices the choice-set widening:
+// the same instance solved cellular-only versus with per-slot Wi-Fi
+// choices. "overhead" reports the dual/cellular time ratio — the cost
+// of co-optimising when and on which radio each batch runs.
+func BenchmarkScheduleDualRadioVsCellular(b *testing.B) {
+	cfg, u, tn := dualBenchWorkload(b)
+
+	cellCfg := cfg
+	cellCfg.WiFiSavedEnergy, cellCfg.WiFiAvailable = nil, nil
+	cellS, err := New(cellCfg)
+	if err != nil {
+		b.Fatal(err)
+	}
+	dualS, err := New(cfg)
+	if err != nil {
+		b.Fatal(err)
+	}
+
+	// Sanity before timing: no coverage must reproduce the cellular
+	// plan exactly, and with coverage some batches must move radios.
+	darkCfg := cfg
+	darkCfg.WiFiAvailable = func(simtime.Interval) bool { return false }
+	darkS, err := New(darkCfg)
+	if err != nil {
+		b.Fatal(err)
+	}
+	cellPlan, err := cellS.Schedule(u, tn)
+	if err != nil {
+		b.Fatal(err)
+	}
+	darkPlan, err := darkS.Schedule(u, tn)
+	if err != nil {
+		b.Fatal(err)
+	}
+	if !reflect.DeepEqual(cellPlan, darkPlan) {
+		b.Fatal("zero-coverage dual solve diverges from cellular-only")
+	}
+	dualPlan, err := dualS.Schedule(u, tn)
+	if err != nil {
+		b.Fatal(err)
+	}
+	var onWiFi int
+	for _, a := range dualPlan.Assignments {
+		if a.Network.IsWiFi() {
+			onWiFi++
+		}
+	}
+	if onWiFi == 0 {
+		b.Fatal("half-coverage dual solve placed nothing on the NIC")
+	}
+
+	b.Run("cellular-only", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			if _, err := cellS.Schedule(u, tn); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("dual-radio", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			if _, err := dualS.Schedule(u, tn); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("overhead", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			start := time.Now()
+			if _, err := cellS.Schedule(u, tn); err != nil {
+				b.Fatal(err)
+			}
+			cellDur := time.Since(start)
+			start = time.Now()
+			if _, err := dualS.Schedule(u, tn); err != nil {
+				b.Fatal(err)
+			}
+			dualDur := time.Since(start)
+			b.ReportMetric(float64(dualDur)/float64(cellDur), "overhead-x")
+		}
+	})
+}

@@ -1,0 +1,201 @@
+package core
+
+import (
+	"reflect"
+	"testing"
+
+	"netmaster/internal/parallel"
+	"netmaster/internal/power"
+	"netmaster/internal/simtime"
+)
+
+// dualConfig wires dual-radio hooks onto the flat test config: Wi-Fi
+// saves a fixed bonus over cellular, and availability is delegated to
+// the given predicate.
+func dualConfig(bonus float64, avail func(simtime.Interval) bool) Config {
+	cfg := testConfig(1000, 0, nil)
+	cfg.WiFiSavedEnergy = func(a Activity) float64 { return cfg.SavedEnergy(a) + bonus }
+	cfg.WiFiAvailable = avail
+	return cfg
+}
+
+func wifiTestInput() ([]simtime.Interval, []Activity) {
+	u := []simtime.Interval{hourSlot(0, 8), hourSlot(0, 12), hourSlot(0, 20)}
+	tn := []Activity{
+		{ID: 1, Time: simtime.At(0, 3, 0, 0), Bytes: 4096, ActiveSecs: 5},
+		{ID: 2, Time: simtime.At(0, 10, 0, 0), Bytes: 8192, ActiveSecs: 9},
+		{ID: 3, Time: simtime.At(0, 15, 0, 0), Bytes: 2048, ActiveSecs: 3},
+		{ID: 4, Time: simtime.At(0, 22, 0, 0), Bytes: 1024, ActiveSecs: 2},
+	}
+	return u, tn
+}
+
+// Hooks must be wired together: exactly one set is a config error.
+func TestDualRadioConfigValidation(t *testing.T) {
+	cfg := testConfig(1000, 0, nil)
+	cfg.WiFiSavedEnergy = func(a Activity) float64 { return 1 }
+	if _, err := New(cfg); err == nil {
+		t.Fatal("WiFiSavedEnergy without WiFiAvailable accepted")
+	}
+	cfg.WiFiSavedEnergy = nil
+	cfg.WiFiAvailable = func(simtime.Interval) bool { return true }
+	if _, err := New(cfg); err == nil {
+		t.Fatal("WiFiAvailable without WiFiSavedEnergy accepted")
+	}
+}
+
+// With hooks wired but no covered slot, the dual-radio scheduler's
+// output is byte-identical to the single-radio scheduler's — the
+// coverage-zero equivalence the wire format and policies rely on.
+func TestDualRadioZeroCoverageIdentical(t *testing.T) {
+	u, tn := wifiTestInput()
+	single := mustScheduler(t, testConfig(1000, 0, nil))
+	dual := mustScheduler(t, dualConfig(50, func(simtime.Interval) bool { return false }))
+	want, err := single.Schedule(u, tn)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := dual.Schedule(u, tn)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("zero-coverage dual schedule differs:\n got %+v\nwant %+v", got, want)
+	}
+	for _, a := range got.Assignments {
+		if a.Network != "" {
+			t.Fatalf("assignment %d carries network %q without coverage", a.ActivityID, a.Network)
+		}
+	}
+}
+
+// A covered slot with a strictly better Wi-Fi ΔE attributes its
+// placements to Wi-Fi and books the larger saving.
+func TestDualRadioPrefersWiFiWhenProfitable(t *testing.T) {
+	u, tn := wifiTestInput()
+	covered := u[1]
+	s := mustScheduler(t, dualConfig(50, func(iv simtime.Interval) bool { return iv == covered }))
+	sched, err := s.Schedule(u, tn)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var sawWiFi bool
+	for _, a := range sched.Assignments {
+		onCovered := a.SlotIndex == 1
+		if onCovered {
+			sawWiFi = true
+			if a.Network != power.NetworkWiFi {
+				t.Errorf("assignment %d in covered slot on %q", a.ActivityID, a.Network)
+			}
+			if a.Saved != 50+10+activeSecsOf(tn, a.ActivityID) {
+				t.Errorf("assignment %d saved %v, want wifi bonus applied", a.ActivityID, a.Saved)
+			}
+		} else if a.Network != "" {
+			t.Errorf("assignment %d outside coverage on %q", a.ActivityID, a.Network)
+		}
+	}
+	if !sawWiFi {
+		t.Fatal("no assignment landed in the covered slot")
+	}
+}
+
+func activeSecsOf(tn []Activity, id int) float64 {
+	for _, a := range tn {
+		if a.ID == id {
+			return a.ActiveSecs
+		}
+	}
+	return -1
+}
+
+// Equal ΔE on both radios keeps the placement on cellular: the
+// tie-break that makes attribution stable when models coincide.
+func TestDualRadioTieBreaksToCellular(t *testing.T) {
+	u, tn := wifiTestInput()
+	s := mustScheduler(t, dualConfig(0, func(simtime.Interval) bool { return true }))
+	sched, err := s.Schedule(u, tn)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(sched.Assignments) == 0 {
+		t.Fatal("no assignments")
+	}
+	for _, a := range sched.Assignments {
+		if a.Network != "" {
+			t.Errorf("assignment %d tie-broke to %q, want cellular", a.ActivityID, a.Network)
+		}
+	}
+}
+
+// An availability flip between delta runs changes candidate profits, so
+// the touched slots must re-solve — and the delta result must match a
+// fresh full solve of the new availability bit-for-bit.
+func TestScheduleDeltaInvalidatesOnAvailabilityChange(t *testing.T) {
+	u, tn := wifiTestInput()
+	covered := false
+	cfg := dualConfig(50, func(simtime.Interval) bool { return covered })
+	s := mustScheduler(t, cfg)
+
+	first, memo, _, err := s.ScheduleDelta(nil, u, tn)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Same availability: every non-empty slot splices from the memo.
+	again, memo, stats, err := s.ScheduleDelta(memo, u, tn)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(again, first) {
+		t.Fatal("steady-state delta run changed the schedule")
+	}
+	if stats.Solved != 0 {
+		t.Fatalf("steady-state delta re-solved %d slots", stats.Solved)
+	}
+
+	// Coverage appears: profits shift, memos go stale, slots re-solve.
+	covered = true
+	flipped, _, stats, err := s.ScheduleDelta(memo, u, tn)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.Solved == 0 {
+		t.Fatal("availability flip reused every stale memo")
+	}
+	fresh, err := s.Schedule(u, tn)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(flipped, fresh) {
+		t.Fatalf("delta after flip differs from fresh solve:\n got %+v\nwant %+v", flipped, fresh)
+	}
+	var sawWiFi bool
+	for _, a := range flipped.Assignments {
+		if a.Network == power.NetworkWiFi {
+			sawWiFi = true
+		}
+	}
+	if !sawWiFi {
+		t.Fatal("flip to full coverage produced no wifi placements")
+	}
+}
+
+// The widened solver stays deterministic across worker-pool widths.
+func TestDualRadioDeterministicAcrossParallelism(t *testing.T) {
+	u, tn := wifiTestInput()
+	s := mustScheduler(t, dualConfig(50, func(iv simtime.Interval) bool { return iv.Start.HourOfDay()%2 == 0 }))
+	prev := parallel.SetDefaultWorkers(1)
+	defer parallel.SetDefaultWorkers(prev)
+	seq, err := s.Schedule(u, tn)
+	if err != nil {
+		t.Fatal(err)
+	}
+	parallel.SetDefaultWorkers(8)
+	par, err := s.Schedule(u, tn)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(seq, par) {
+		t.Fatal("schedule differs between 1 and 8 workers")
+	}
+}

@@ -40,6 +40,11 @@ type Execution struct {
 	// TailCutSecs bounds the radio tail after this burst (see
 	// power.Burst); power.FullTail means the OS default.
 	TailCutSecs float64
+	// Network is the radio the transfer ran on. The zero value means
+	// cellular, so single-radio plans are unchanged byte-for-byte; a
+	// plan with Wi-Fi executions must be metered with
+	// ComputeMetricsRadios.
+	Network power.Network
 }
 
 // durationFor resolves the execution's on-air time against the original
@@ -121,6 +126,11 @@ func (p *Plan) Validate() error {
 		if e.TailCutSecs < 0 {
 			return fmt.Errorf("device: plan %q: activity %d negative tail cut", p.PolicyName, e.Index)
 		}
+		switch e.Network {
+		case "", power.NetworkCellular, power.NetworkWiFi:
+		default:
+			return fmt.Errorf("device: plan %q: activity %d on unknown network %q", p.PolicyName, e.Index, e.Network)
+		}
 	}
 	return nil
 }
@@ -130,8 +140,13 @@ type Metrics struct {
 	PolicyName string
 	Horizon    simtime.Duration
 
-	// Radio accounting, including duty-cycle wake windows.
-	Radio power.Result
+	// Radio accounting across every radio, including duty-cycle wake
+	// windows. Radio is the all-network total the savings comparisons
+	// use; Cellular and WiFi break it down per network (WiFi is zero
+	// for single-radio plans, Cellular excludes the wake share).
+	Radio    power.Result
+	Cellular power.Result
+	WiFi     power.Result
 	// WakeEnergyJ and WakeOnSecs are the duty-cycle share inside Radio.
 	WakeEnergyJ float64
 	WakeOnSecs  float64
@@ -200,8 +215,18 @@ func monitorPowerMW(m *power.Model) float64 {
 	return m.Tails[len(m.Tails)-1].PowerMW
 }
 
-// ComputeMetrics evaluates a validated plan under a radio model.
+// ComputeMetrics evaluates a validated plan under a cellular radio
+// model. A plan carrying Wi-Fi executions needs the Wi-Fi model too —
+// use ComputeMetricsRadios.
 func ComputeMetrics(p *Plan, model *power.Model) (Metrics, error) {
+	return ComputeMetricsRadios(p, model, nil)
+}
+
+// ComputeMetricsRadios evaluates a validated plan with each execution
+// metered on the radio it ran on: cellular bursts under the RRC state
+// machine, Wi-Fi bursts under the NIC model. Metrics.Radio is the
+// all-network sum. wifi may be nil for single-radio plans.
+func ComputeMetricsRadios(p *Plan, cell *power.Model, wifi *power.WiFiModel) (Metrics, error) {
 	if err := p.Validate(); err != nil {
 		return Metrics{}, err
 	}
@@ -211,18 +236,28 @@ func ComputeMetrics(p *Plan, model *power.Model) (Metrics, error) {
 		WakeUps:    len(p.WakeWindows),
 	}
 
-	// Build the radio timeline: every execution is a burst; wake
-	// windows are separate low-power listen periods accounted after.
-	bursts := make([]power.Burst, 0, len(p.Executions))
+	// Build one radio timeline per network: every execution is a burst
+	// on its own radio; wake windows are separate low-power listen
+	// periods accounted after.
+	cellBursts := make([]power.Burst, 0, len(p.Executions))
+	var wifiBursts []power.Burst
 	var deferSum, deferMax float64
 	for _, e := range p.Executions {
 		a := p.Trace.Activities[e.Index]
 		dur := e.durationFor(a)
 		end := e.ExecStart.Add(dur)
-		bursts = append(bursts, power.Burst{
+		b := power.Burst{
 			Interval:    simtime.Interval{Start: e.ExecStart, End: end},
 			TailCutSecs: e.TailCutSecs,
-		})
+		}
+		if e.Network.IsWiFi() {
+			if wifi == nil {
+				return Metrics{}, fmt.Errorf("device: plan %q: activity %d ran on wifi but no Wi-Fi model given", p.PolicyName, e.Index)
+			}
+			wifiBursts = append(wifiBursts, b)
+		} else {
+			cellBursts = append(cellBursts, b)
+		}
 		m.BytesDown += a.BytesDown
 		m.BytesUp += a.BytesUp
 		if rate := burstRate(float64(a.BytesDown), dur); rate > m.PeakDownRateBps {
@@ -239,24 +274,31 @@ func ComputeMetrics(p *Plan, model *power.Model) (Metrics, error) {
 			}
 		}
 	}
-	m.Radio = model.EnergyOfTimeline(bursts)
+	m.Cellular = cell.EnergyOfTimeline(cellBursts)
+	if len(wifiBursts) > 0 {
+		m.WiFi = wifi.EnergyOfTimeline(wifiBursts)
+	}
+	m.Radio = m.Cellular
+	m.Radio.Add(m.WiFi)
 	if m.Deferred > 0 {
 		m.MeanDeferSecs = deferSum / float64(m.Deferred)
 	}
 	m.MaxDeferSecs = deferMax
 
-	// Duty-cycle wake windows: the radio camps in the low connected
-	// state (FACH for 3G) to let Special Apps poll — no full promotion
-	// is paid unless a transfer actually starts, and transfers pay
-	// their own promotions in the burst timeline. Windows overlapping
-	// a transfer burst are already paid for; count only the
-	// non-overlapping listen time.
-	transferIvs := make([]simtime.Interval, len(bursts))
-	for i, b := range bursts {
+	// Duty-cycle wake windows: the cellular radio camps in the low
+	// connected state (FACH for 3G) to let Special Apps poll — no full
+	// promotion is paid unless a transfer actually starts, and
+	// transfers pay their own promotions in the burst timeline.
+	// Windows overlapping a cellular transfer burst are already paid
+	// for; count only the non-overlapping listen time. Wi-Fi transfers
+	// do not discount listening — they run on the other NIC while the
+	// cellular radio keeps camping.
+	transferIvs := make([]simtime.Interval, len(cellBursts))
+	for i, b := range cellBursts {
 		transferIvs[i] = b.Interval
 	}
 	transferIvs = simtime.MergeIntervals(transferIvs)
-	listenPower := monitorPowerMW(model)
+	listenPower := monitorPowerMW(cell)
 	for _, w := range p.WakeWindows {
 		free := subtractCovered(w, transferIvs)
 		if free <= 0 {
@@ -321,11 +363,16 @@ func containsInstant(ivs []simtime.Interval, t simtime.Instant) bool {
 
 // Run replays a policy over a trace and returns its metrics.
 func Run(p Policy, t *trace.Trace, model *power.Model) (Metrics, error) {
+	return RunRadios(p, t, model, nil)
+}
+
+// RunRadios is Run with a Wi-Fi model for dual-radio policies.
+func RunRadios(p Policy, t *trace.Trace, cell *power.Model, wifi *power.WiFiModel) (Metrics, error) {
 	plan, err := p.Plan(t)
 	if err != nil {
 		return Metrics{}, fmt.Errorf("device: policy %q: %w", p.Name(), err)
 	}
-	return ComputeMetrics(plan, model)
+	return ComputeMetricsRadios(plan, cell, wifi)
 }
 
 // RateIncreaseVs returns the multiplier of this plan's average rates over

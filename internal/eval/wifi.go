@@ -1,0 +1,130 @@
+// Dual-radio evaluation: energy savings as a function of Wi-Fi coverage
+// fraction. Each sweep point regenerates the cohort's traces with the
+// same demand seed and a different coverage overlay (the overlay draws
+// from its own RNG stream, so the transfers, sessions and interactions
+// are byte-identical across points) and replays three arms over them:
+// the unmanaged cellular baseline, the wifi-offload-only baseline, and
+// NetMaster in cellular-only and dual-radio configurations.
+package eval
+
+import (
+	"fmt"
+
+	"netmaster/internal/device"
+	"netmaster/internal/parallel"
+	"netmaster/internal/policy"
+	"netmaster/internal/power"
+	"netmaster/internal/synth"
+	"netmaster/internal/trace"
+)
+
+// WiFiRow is one coverage point's outcome averaged over the cohort. All
+// savings are fractions of the unmanaged all-cellular baseline's radio
+// energy, so the cellular-only arm's saving is identically zero and the
+// expected ordering is Dual ≥ Offload ≥ 0 at every point.
+type WiFiRow struct {
+	// Coverage is the requested Wi-Fi coverage fraction of the day.
+	Coverage float64
+	// MeasuredCoverage is the realised fraction, averaged over traces.
+	MeasuredCoverage float64
+	// OffloadSaving is the wifi-offload-only baseline: transfers run as
+	// recorded, covered ones on the Wi-Fi NIC.
+	OffloadSaving float64
+	// CellNetMasterSaving is NetMaster ignoring the Wi-Fi NIC.
+	CellNetMasterSaving float64
+	// DualSaving is dual-radio NetMaster: scheduling, duty-cycling and
+	// batch-pooled offload together.
+	DualSaving float64
+	// DualWiFiEnergyJ is the mean energy metered on the Wi-Fi NIC by the
+	// dual arm — how much work actually moved radios.
+	DualWiFiEnergyJ float64
+}
+
+// DefaultWiFiCoverageSweep is the x-axis of the coverage figure.
+func DefaultWiFiCoverageSweep() []float64 {
+	return []float64{0, 0.2, 0.4, 0.6, 0.8, 1}
+}
+
+// WiFiSweep evaluates the three arms over the cohort at each coverage
+// fraction. Sweep points fan out over the worker pool; per-point
+// reductions are sequential, so results are independent of parallelism.
+func WiFiSweep(specs []synth.UserSpec, days int, cell *power.Model, wifi *power.WiFiModel, coverages []float64) ([]WiFiRow, error) {
+	if len(specs) == 0 {
+		return nil, fmt.Errorf("eval: wifi sweep needs a cohort")
+	}
+	rows := make([]WiFiRow, len(coverages))
+	err := parallel.ForEach(len(coverages), func(ci int) error {
+		cov := coverages[ci]
+		row := WiFiRow{Coverage: cov}
+		type part struct {
+			measured, offload, cellNM, dual, dualWiFiJ float64
+		}
+		parts, err := parallel.Map(len(specs), func(si int) (part, error) {
+			spec := specs[si]
+			spec.WiFiCoverage = cov
+			t, err := synth.Generate(spec, days)
+			if err != nil {
+				return part{}, err
+			}
+			base, err := device.Run(policy.Baseline{}, t, cell)
+			if err != nil {
+				return part{}, err
+			}
+			off, err := device.RunRadios(policy.WiFiOffload{}, t, cell, wifi)
+			if err != nil {
+				return part{}, err
+			}
+			cellNM, err := policy.NewNetMaster(policy.DefaultNetMasterConfig(cell))
+			if err != nil {
+				return part{}, err
+			}
+			cm, err := device.Run(cellNM, t, cell)
+			if err != nil {
+				return part{}, err
+			}
+			dcfg := policy.DefaultNetMasterConfig(cell)
+			dcfg.WiFi = wifi
+			dualNM, err := policy.NewNetMaster(dcfg)
+			if err != nil {
+				return part{}, err
+			}
+			dm, err := device.RunRadios(dualNM, t, cell, wifi)
+			if err != nil {
+				return part{}, err
+			}
+			return part{
+				measured:  measuredCoverage(t),
+				offload:   off.EnergySavingVs(base),
+				cellNM:    cm.EnergySavingVs(base),
+				dual:      dm.EnergySavingVs(base),
+				dualWiFiJ: dm.WiFi.EnergyJ,
+			}, nil
+		})
+		if err != nil {
+			return err
+		}
+		for _, p := range parts {
+			row.MeasuredCoverage += p.measured
+			row.OffloadSaving += p.offload
+			row.CellNetMasterSaving += p.cellNM
+			row.DualSaving += p.dual
+			row.DualWiFiEnergyJ += p.dualWiFiJ
+		}
+		n := float64(len(specs))
+		row.MeasuredCoverage /= n
+		row.OffloadSaving /= n
+		row.CellNetMasterSaving /= n
+		row.DualSaving /= n
+		row.DualWiFiEnergyJ /= n
+		rows[ci] = row
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	return rows, nil
+}
+
+func measuredCoverage(t *trace.Trace) float64 {
+	return t.WiFiCoverageFraction()
+}

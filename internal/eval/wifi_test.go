@@ -1,0 +1,56 @@
+package eval
+
+import (
+	"testing"
+
+	"netmaster/internal/power"
+	"netmaster/internal/synth"
+)
+
+// The acceptance ordering of the dual-radio layer: at every coverage
+// point, dual-radio NetMaster ≥ wifi-offload-only ≥ the all-cellular
+// baseline (saving 0) — and the conservative batch gates additionally
+// keep the dual arm from ever falling below its own cellular-only
+// configuration.
+func TestWiFiSweepOrdering(t *testing.T) {
+	rows, err := WiFiSweep(synth.EvalCohort(), 7, power.Model3G(), power.ModelWiFi(), DefaultWiFiCoverageSweep())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != len(DefaultWiFiCoverageSweep()) {
+		t.Fatalf("got %d rows", len(rows))
+	}
+	for _, r := range rows {
+		if r.OffloadSaving < 0 {
+			t.Errorf("coverage %.1f: offload saving %.4f below cellular-only baseline", r.Coverage, r.OffloadSaving)
+		}
+		if r.DualSaving < r.OffloadSaving {
+			t.Errorf("coverage %.1f: dual saving %.4f below offload-only %.4f", r.Coverage, r.DualSaving, r.OffloadSaving)
+		}
+		if r.DualSaving < r.CellNetMasterSaving {
+			t.Errorf("coverage %.1f: dual saving %.4f below cellular-only netmaster %.4f", r.Coverage, r.DualSaving, r.CellNetMasterSaving)
+		}
+	}
+	// Coverage 0 is the degenerate point: no coverage, no offloads, and
+	// the dual arm coincides with cellular-only NetMaster exactly.
+	z := rows[0]
+	if z.OffloadSaving != 0 {
+		t.Errorf("coverage 0: offload saving %v, want 0", z.OffloadSaving)
+	}
+	if z.DualSaving != z.CellNetMasterSaving {
+		t.Errorf("coverage 0: dual %v != cellular-only %v", z.DualSaving, z.CellNetMasterSaving)
+	}
+	if z.DualWiFiEnergyJ != 0 {
+		t.Errorf("coverage 0: wifi energy %v, want 0", z.DualWiFiEnergyJ)
+	}
+	// And somewhere in the sweep the dual arm must actually use the NIC.
+	var used bool
+	for _, r := range rows {
+		if r.DualWiFiEnergyJ > 0 {
+			used = true
+		}
+	}
+	if !used {
+		t.Error("dual arm never metered energy on the Wi-Fi NIC")
+	}
+}

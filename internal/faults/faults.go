@@ -119,6 +119,13 @@ type Config struct {
 	// outright, regardless of the probabilities — the radio analogue of
 	// driving through a tunnel.
 	RadioOutages []simtime.Interval
+
+	// WiFiOutages are windows during which the Wi-Fi NIC is unreachable
+	// even where the trace records coverage — the AP rebooted, or the
+	// device roamed out mid-dwell. Unlike RadioOutages they fail no
+	// radio commands: a dual-radio middleware is expected to notice and
+	// fall back to cellular for transfers it would have offloaded.
+	WiFiOutages []simtime.Interval
 }
 
 // Uniform returns a schedule with every failure probability set to p
@@ -175,6 +182,11 @@ func (c Config) Validate() error {
 			return fmt.Errorf("faults: inverted outage window %v", iv)
 		}
 	}
+	for _, iv := range c.WiFiOutages {
+		if iv.End < iv.Start {
+			return fmt.Errorf("faults: inverted wifi outage window %v", iv)
+		}
+	}
 	return nil
 }
 
@@ -187,7 +199,23 @@ func (c Config) IsZero() bool {
 		c.TransferFailProb == 0 && c.DBWriteFailProb == 0 &&
 		c.MineFailProb == 0 && c.MineCorruptProb == 0 && c.MineEmptyProb == 0 &&
 		c.DropEventProb == 0 && c.DupEventProb == 0 && c.ReorderEventProb == 0 &&
-		len(c.RadioOutages) == 0
+		len(c.RadioOutages) == 0 && len(c.WiFiOutages) == 0
+}
+
+// WiFiDown reports whether the Wi-Fi NIC sits inside an outage window
+// at t. The check consumes no randomness, so adding or removing outage
+// windows never shifts the draw order of the probabilistic boundaries.
+// A nil injector reports no outages.
+func (in *Injector) WiFiDown(t simtime.Instant) bool {
+	if in == nil {
+		return false
+	}
+	for _, iv := range in.cfg.WiFiOutages {
+		if iv.Contains(t) {
+			return true
+		}
+	}
+	return false
 }
 
 // Stats counts the injector's decisions per boundary.

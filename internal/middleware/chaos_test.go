@@ -192,6 +192,113 @@ func TestChaosDeadlineFlush(t *testing.T) {
 	}
 }
 
+// TestChaosWiFiOutageFallback covers the dual-radio serve path's
+// availability handling: a pending batch is only pooled onto the Wi-Fi
+// NIC when the NIC is actually reachable at execution time. An injected
+// outage spanning the whole trace must push every batch back onto the
+// cellular burst train — landing byte-identically on the cellular-only
+// replay — while a partial outage only suppresses offloads inside its
+// window, reproducibly per seed.
+func TestChaosWiFiOutageFallback(t *testing.T) {
+	spec := synth.EvalCohort()[1]
+	spec.WiFiCoverage = 0.9
+	tr, err := synth.Generate(spec, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	model := power.Model3G()
+	wifi := power.ModelWiFi()
+	wifiExecs := func(res *ChaosResult) []simtime.Instant {
+		var starts []simtime.Instant
+		for _, ex := range res.Plan.Executions {
+			if ex.Network.IsWiFi() {
+				starts = append(starts, ex.ExecStart)
+			}
+		}
+		return starts
+	}
+
+	// Under a zero fault schedule the dual-radio chaos replay is still
+	// bit-identical to the dual-radio plain replay, and high coverage
+	// must produce actual offloads.
+	rc := DefaultReplayConfig(model)
+	rc.WiFi = wifi
+	plain, err := Replay(tr, rc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ccfg := DefaultChaosConfig(model)
+	ccfg.Replay.WiFi = wifi
+	ccfg.Faults = faults.Config{Seed: 7}
+	calm, err := ReplayChaos(tr, ccfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(plain.Plan.Executions, calm.Plan.Executions) {
+		t.Fatal("dual-radio chaos replay diverged from plain replay under zero faults")
+	}
+	if len(wifiExecs(calm)) == 0 {
+		t.Fatal("0.9-coverage replay never pooled a batch onto the Wi-Fi NIC")
+	}
+
+	// A trace-wide NIC outage: every batch must fall back to cellular —
+	// exactly the executions the cellular-only replay produces.
+	cellOnly, err := Replay(tr, DefaultReplayConfig(model))
+	if err != nil {
+		t.Fatal(err)
+	}
+	blackout := ccfg
+	blackout.Faults = faults.Config{Seed: 7, WiFiOutages: []simtime.Interval{
+		{Start: 0, End: simtime.Instant(7 * simtime.Day)},
+	}}
+	dark, err := ReplayChaos(tr, blackout)
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkInvariants(t, tr, blackout, dark)
+	if n := len(wifiExecs(dark)); n != 0 {
+		t.Fatalf("%d executions scheduled onto a NIC that was down the whole trace", n)
+	}
+	if !reflect.DeepEqual(dark.Plan.Executions, cellOnly.Plan.Executions) {
+		t.Fatal("blackout fallback diverged from the cellular-only replay")
+	}
+
+	// A two-day outage on top of transient faults: offloads vanish inside
+	// the window, survive outside it, and the run reproduces bit for bit.
+	outage := simtime.Interval{
+		Start: simtime.Instant(2 * simtime.Day), End: simtime.Instant(4 * simtime.Day),
+	}
+	mixed := ccfg
+	mixed.Faults = faults.Uniform(3, 0.05)
+	mixed.Faults.WiFiOutages = []simtime.Interval{outage}
+	res, err := ReplayChaos(tr, mixed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkInvariants(t, tr, mixed, res)
+	var inside, outside int
+	for _, start := range wifiExecs(res) {
+		if outage.Contains(start) {
+			inside++
+		} else {
+			outside++
+		}
+	}
+	if inside != 0 {
+		t.Fatalf("%d Wi-Fi executions inside the injected outage window", inside)
+	}
+	if outside == 0 {
+		t.Fatal("outage outside days produced no offloads at all")
+	}
+	again, err := ReplayChaos(tr, mixed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(res.Plan.Executions, again.Plan.Executions) {
+		t.Fatal("mixed-fault dual-radio run not reproducible")
+	}
+}
+
 // TestChaosHeavyFaultsDegrade drives the schedule hard enough that the
 // service must actually enter its degraded modes and recover machinery,
 // and still satisfies every invariant.

@@ -38,6 +38,14 @@ type ReplayConfig struct {
 	Service Config
 	// Model converts volumes to compact burst durations.
 	Model *power.Model
+	// WiFi optionally enables dual-radio serving. Network selection
+	// happens at execution time, not deferral time: when a radio window
+	// opens, the pending batch is pooled onto the Wi-Fi NIC only if
+	// coverage spans the pooled burst right then — and, under chaos, the
+	// NIC is not inside an injected Wi-Fi outage — falling back to the
+	// cellular burst train otherwise. Nil keeps the replay cellular-only
+	// and its plans byte-identical.
+	WiFi *power.WiFiModel
 	// DutyWakeWindow is the radio-on listening window at each wake.
 	DutyWakeWindow simtime.Duration
 	// TailCutSecs is the radio-off latency after a managed burst.
@@ -69,6 +77,11 @@ func (c ReplayConfig) Validate() error {
 		es = append(es, cfgerr.New("middleware.ReplayConfig", "Model", nil, "power model required"))
 	} else if err := c.Model.Validate(); err != nil {
 		es = append(es, cfgerr.New("middleware.ReplayConfig", "Model", c.Model.Name, err.Error()))
+	}
+	if c.WiFi != nil {
+		if err := c.WiFi.Validate(); err != nil {
+			es = append(es, cfgerr.New("middleware.ReplayConfig", "WiFi", c.WiFi.Name, err.Error()))
+		}
 	}
 	if c.DutyWakeWindow <= 0 {
 		es = append(es, cfgerr.New("middleware.ReplayConfig", "DutyWakeWindow",
@@ -455,6 +468,79 @@ func replay(t *trace.Trace, cfg ReplayConfig, cs *chaosState) (*ReplayResult, er
 		}
 	}
 
+	// offloadBatch decides whether a served batch runs as one pooled
+	// Wi-Fi sync. Availability is checked at execution time: the trace
+	// must record coverage over the pooled window right now, and under
+	// chaos the NIC must not sit inside an injected Wi-Fi outage —
+	// otherwise the batch falls back to the cellular burst train instead
+	// of being scheduled onto an unreachable network. The energy gate
+	// compares full timelines: the cellular side pays its promotion and
+	// tail train (minus the wake-listen discount it would overlap), the
+	// Wi-Fi side pays association, pool and tail plus the promotion
+	// margin a neighbouring cellular burst loses when this batch stops
+	// keeping the RRC machine warm.
+	type servedRef struct {
+		idx  int
+		exec simtime.Instant
+		dur  simtime.Duration
+	}
+	offloadBatch := func(at simtime.Instant, batch []servedRef, totalBytes int64) (simtime.Instant, simtime.Duration, bool) {
+		if cfg.WiFi == nil || len(t.WiFi) == 0 || len(batch) == 0 {
+			return 0, 0, false
+		}
+		if cs != nil && cs.inj.WiFiDown(at) {
+			return 0, 0, false
+		}
+		start := batch[0].exec
+		dur := cfg.WiFi.CompactDuration(totalBytes)
+		if start.Add(dur) > horizon {
+			start = horizon.Add(-dur)
+		}
+		if start < 0 {
+			return 0, 0, false
+		}
+		for _, s := range batch {
+			if start < t.Activities[s.idx].Start {
+				return 0, 0, false
+			}
+		}
+		pool := simtime.Interval{Start: start, End: start.Add(dur)}
+		if !t.WiFiCovers(pool) {
+			return 0, 0, false
+		}
+
+		bursts := make([]power.Burst, len(batch))
+		ivs := make([]simtime.Interval, len(batch))
+		for i, s := range batch {
+			iv := simtime.Interval{Start: s.exec, End: s.exec.Add(s.dur)}
+			bursts[i] = power.Burst{Interval: iv, TailCutSecs: cfg.TailCutSecs}
+			ivs[i] = iv
+		}
+		cellCost := cfg.Model.EnergyOfTimeline(bursts).EnergyJ
+		if tails := cfg.Model.Tails; len(tails) > 0 {
+			window := simtime.Interval{Start: at, End: at.Add(cfg.DutyWakeWindow)}
+			var overlap float64
+			for _, iv := range simtime.MergeIntervals(ivs) {
+				overlap += window.Intersect(iv).Len().Seconds()
+			}
+			cellCost -= tails[len(tails)-1].PowerMW / 1000 * overlap
+		}
+
+		wifiCost := cfg.WiFi.EnergyOfTimeline([]power.Burst{{
+			Interval: pool, TailCutSecs: cfg.TailCutSecs,
+		}}).EnergyJ
+		if len(cfg.Model.PromoFromTail) > 0 {
+			margin := cfg.Model.PromoFromIdle.Energy() - cfg.Model.PromoFromTail[0].Energy()
+			if margin > 0 {
+				wifiCost += margin
+			}
+		}
+		if cellCost <= wifiCost {
+			return 0, 0, false
+		}
+		return start, dur, true
+	}
+
 	// serve executes every pending transfer at the given instant. Under
 	// chaos a transfer may fail transiently and stay pending for the
 	// next radio window or the deadline; serving with the radio
@@ -466,6 +552,8 @@ func replay(t *trace.Trace, cfg ReplayConfig, cs *chaosState) (*ReplayResult, er
 			return
 		}
 		var retained []int
+		var batch []servedRef
+		var batchBytes int64
 		cur := at
 		for _, idx := range pending {
 			a := t.Activities[idx]
@@ -490,10 +578,23 @@ func replay(t *trace.Trace, cfg ReplayConfig, cs *chaosState) (*ReplayResult, er
 				}, "horizon")
 				continue
 			}
-			record(device.Execution{
-				Index: idx, ExecStart: exec, Duration: dur, TailCutSecs: cfg.TailCutSecs,
-			}, "served")
+			batch = append(batch, servedRef{idx: idx, exec: exec, dur: dur})
+			batchBytes += a.Bytes()
 			cur = exec.Add(dur)
+		}
+		if start, dur, ok := offloadBatch(at, batch, batchBytes); ok {
+			for _, s := range batch {
+				record(device.Execution{
+					Index: s.idx, ExecStart: start, Duration: dur,
+					TailCutSecs: cfg.TailCutSecs, Network: power.NetworkWiFi,
+				}, "offloaded")
+			}
+		} else {
+			for _, s := range batch {
+				record(device.Execution{
+					Index: s.idx, ExecStart: s.exec, Duration: s.dur, TailCutSecs: cfg.TailCutSecs,
+				}, "served")
+			}
 		}
 		pending = pending[:0]
 		pending = append(pending, retained...)

@@ -8,6 +8,7 @@ package policy
 
 import (
 	"fmt"
+	"math"
 	"sort"
 
 	"netmaster/internal/core"
@@ -31,8 +32,14 @@ type NetMasterConfig struct {
 	BandwidthBps float64
 	// PenaltyRateWattEq is the e_t scaling factor of Eq. 4.
 	PenaltyRateWattEq float64
-	// Model is the radio model used for ΔE and tail decisions.
+	// Model is the cellular radio model used for ΔE and tail decisions.
 	Model *power.Model
+	// WiFi optionally enables dual-radio operation: the knapsack gains a
+	// per-slot network choice and every execution is offloaded to Wi-Fi
+	// when coverage spans it. Nil (the default) keeps the middleware
+	// cellular-only and its plans byte-identical to the historical ones;
+	// the same holds with WiFi set over a trace without coverage.
+	WiFi *power.WiFiModel
 	// History is an optional pre-collected trace of the same user (the
 	// paper gathered weeks of traces before enabling NetMaster); it
 	// must cover whole weeks so weekday alignment is preserved. With a
@@ -93,6 +100,11 @@ func NewNetMaster(cfg NetMasterConfig) (*NetMaster, error) {
 	}
 	if err := cfg.Model.Validate(); err != nil {
 		return nil, err
+	}
+	if cfg.WiFi != nil {
+		if err := cfg.WiFi.Validate(); err != nil {
+			return nil, err
+		}
 	}
 	if cfg.Eps <= 0 || cfg.Eps >= 1 {
 		return nil, fmt.Errorf("policy: netmaster eps %v outside (0,1)", cfg.Eps)
@@ -226,10 +238,12 @@ func (n *NetMaster) planDay(p *device.Plan, t *trace.Trace, day int, sk *habit.S
 		a := t.Activities[i]
 		switch {
 		case !a.Kind.IsBackground() || t.ScreenOnAt(a.Start):
-			// Foreground / user-driven / streaming: untouched, but
-			// the scheduling component reclaims the tail.
+			// Foreground / user-driven / streaming: untouched in time,
+			// but the scheduling component reclaims the tail and
+			// offloads the transfer when Wi-Fi covers it.
 			p.Executions = append(p.Executions, device.Execution{
 				Index: i, ExecStart: a.Start, TailCutSecs: n.cfg.TailCutSecs,
+				Network: n.offloadNetwork(t, a.Start, a.Duration, a.Duration),
 			})
 		case a.Kind == trace.KindPush && p.SpecialAppWhitelist[a.App]:
 			// Pushes for Special Apps are delivered at duty-cycle
@@ -254,39 +268,43 @@ func (n *NetMaster) planDay(p *device.Plan, t *trace.Trace, day int, sk *habit.S
 
 	// Scheduling component: overlapped multiple knapsack over U.
 	if len(schedulable) > 0 {
-		sched, err := n.schedule(profile, shift, u, schedulable)
+		sched, err := n.schedule(t, profile, shift, u, schedulable)
 		if err != nil {
 			return err
 		}
-		cursors := make(map[int]simtime.Instant)
 		horizon := simtime.Instant(t.Horizon())
-		for _, asg := range sched.Assignments {
-			a := byID[asg.ActivityID]
-			slot := u[asg.SlotIndex]
-			// Scheduled transfers are compacted: the middleware
-			// triggers the sync as one burst inside the active slot.
-			dur := n.cfg.Model.CompactDuration(a.Bytes())
-			cur, ok := cursors[asg.SlotIndex]
-			if !ok {
-				cur = slot.Start
-			}
-			if a.Kind == trace.KindPush && cur < a.Start {
-				cur = a.Start
-			}
-			if cur.Add(dur) > horizon {
-				cur = horizon.Add(-dur)
-			}
-			if a.Kind == trace.KindPush && cur < a.Start {
-				// No room after arrival; run as recorded.
+		if n.dualRadio(t) {
+			n.emitScheduledDual(p, t, u, sched, byID, horizon)
+		} else {
+			cursors := make(map[int]simtime.Instant)
+			for _, asg := range sched.Assignments {
+				a := byID[asg.ActivityID]
+				slot := u[asg.SlotIndex]
+				// Scheduled transfers are compacted: the middleware
+				// triggers the sync as one burst inside the active slot.
+				dur := n.cfg.Model.CompactDuration(a.Bytes())
+				cur, ok := cursors[asg.SlotIndex]
+				if !ok {
+					cur = slot.Start
+				}
+				if a.Kind == trace.KindPush && cur < a.Start {
+					cur = a.Start
+				}
+				if cur.Add(dur) > horizon {
+					cur = horizon.Add(-dur)
+				}
+				if a.Kind == trace.KindPush && cur < a.Start {
+					// No room after arrival; run as recorded.
+					p.Executions = append(p.Executions, device.Execution{
+						Index: asg.ActivityID, ExecStart: a.Start, TailCutSecs: n.cfg.TailCutSecs,
+					})
+					continue
+				}
 				p.Executions = append(p.Executions, device.Execution{
-					Index: asg.ActivityID, ExecStart: a.Start, TailCutSecs: n.cfg.TailCutSecs,
+					Index: asg.ActivityID, ExecStart: cur, Duration: dur, TailCutSecs: n.cfg.TailCutSecs,
 				})
-				continue
+				cursors[asg.SlotIndex] = cur.Add(dur)
 			}
-			p.Executions = append(p.Executions, device.Execution{
-				Index: asg.ActivityID, ExecStart: cur, Duration: dur, TailCutSecs: n.cfg.TailCutSecs,
-			})
-			cursors[asg.SlotIndex] = cur.Add(dur)
 		}
 		p.PlannedSavingJ += sched.TotalSaved
 		p.PlannedPenaltyJ += sched.TotalPenalty
@@ -321,10 +339,10 @@ func (n *NetMaster) predicted(profile *habit.Profile, predDay int, shift simtime
 	return false
 }
 
-// schedule wires the core scheduler to the mined profile and radio model;
-// shift translates replay-time instants into merged-history time for the
-// probability lookups.
-func (n *NetMaster) schedule(profile *habit.Profile, shift simtime.Instant, u []simtime.Interval, acts []core.Activity) (*core.Schedule, error) {
+// schedule wires the core scheduler to the mined profile and radio
+// models; shift translates replay-time instants into merged-history time
+// for the probability lookups.
+func (n *NetMaster) schedule(t *trace.Trace, profile *habit.Profile, shift simtime.Instant, u []simtime.Interval, acts []core.Activity) (*core.Schedule, error) {
 	cfg := core.Config{
 		Eps:               n.cfg.Eps,
 		BandwidthBps:      n.cfg.BandwidthBps,
@@ -339,11 +357,194 @@ func (n *NetMaster) schedule(profile *habit.Profile, shift simtime.Instant, u []
 			return profile.UseProbAt(t + shift)
 		},
 	}
+	if n.dualRadio(t) {
+		// Dual-radio: a placement in a Wi-Fi-covered slot still
+		// eliminates the isolated cellular burst (the same g(tj)), and
+		// on top moves the compacted transfer from the cellular batch
+		// to the pooled Wi-Fi sync of its slot. The extra term is the
+		// per-transfer marginal gap at the radios' batch rates — the
+		// association is amortized across the slot pool, so it is
+		// priced (and the whole pool re-checked) at execution assembly,
+		// not per candidate.
+		cfg.WiFiSavedEnergy = func(a core.Activity) float64 {
+			cellSecs := n.cfg.Model.CompactDuration(a.Bytes).Seconds()
+			pooledSecs := float64(a.Bytes) / n.cfg.WiFi.BatchBps
+			return n.cfg.Model.SavedEnergy(a.ActiveSecs) +
+				n.cfg.Model.MarginalBurstEnergy(cellSecs) -
+				n.cfg.WiFi.MarginalBurstEnergy(pooledSecs)
+		}
+		cfg.WiFiAvailable = t.WiFiCovers
+	}
 	s, err := core.New(cfg)
 	if err != nil {
 		return nil, err
 	}
 	return s.Schedule(u, acts)
+}
+
+// dualRadio reports whether this replay runs the dual-radio machinery:
+// a Wi-Fi model is configured and the trace actually has coverage.
+// Everywhere it is false the planner takes the cellular-only code paths
+// unchanged, which is what keeps those plans byte-identical.
+func (n *NetMaster) dualRadio(t *trace.Trace) bool {
+	return n.cfg.WiFi != nil && len(t.WiFi) > 0
+}
+
+// wifiDelta returns a conservative lower bound on the energy saved by
+// moving one transfer from cellular to Wi-Fi. The Wi-Fi side is charged
+// a full standalone burst — association and untrimmed high-power tail,
+// as if it merged with nothing — while the cellular side is credited
+// only its active transfer energy (as if it rode an existing batch with
+// no promotion or tail of its own), minus the duty-cycle listen
+// discount cellular bursts can absorb by overlapping wake windows.
+// A positive delta therefore survives any batching context; gating
+// per-transfer offloads on it keeps the dual-radio plan at least as
+// cheap as the cellular-only plan it deviates from, instead of
+// shredding batches across two radios and paying both sets of
+// per-burst overheads.
+func (n *NetMaster) wifiDelta(cellSecs, wifiSecs float64) float64 {
+	return n.cfg.Model.MarginalBurstEnergy(cellSecs) -
+		n.listenLossBound(cellSecs) -
+		n.cfg.WiFi.StandaloneBurstEnergy(wifiSecs)
+}
+
+// listenLossBound bounds the duty-cycle listen energy a cellular burst
+// span of the given length could have absorbed by overlapping wake
+// windows — energy the device pays again when the span moves to the
+// other NIC. A span of S seconds can touch at most 1 + S/sleep windows
+// of the initial cadence, each for at most the window length.
+func (n *NetMaster) listenLossBound(cellSecs float64) float64 {
+	tails := n.cfg.Model.Tails
+	if len(tails) == 0 {
+		return 0
+	}
+	w := n.cfg.DutyWakeWindow.Seconds()
+	windows := 1 + cellSecs/n.cfg.DutyInitialSleep.Seconds()
+	return tails[len(tails)-1].PowerMW / 1000 * math.Min(cellSecs, w*windows)
+}
+
+// offloadNetwork picks the radio for a lone transfer occupying
+// [at, at+cellDur) on cellular or [at, at+wifiDur) on Wi-Fi. It returns
+// Wi-Fi only when dual-radio is enabled, coverage spans the longer
+// cellular variant, and the conservative wifiDelta gate says the move is
+// strictly profitable — which for typical small background transfers it
+// is not: lone transfers stay cellular, and offloads happen at batch
+// granularity (slotPool, wakePool) where the association amortizes.
+// The zero-value return keeps cellular-only plans byte-identical.
+func (n *NetMaster) offloadNetwork(t *trace.Trace, at simtime.Instant, cellDur, wifiDur simtime.Duration) power.Network {
+	if n.cfg.WiFi == nil {
+		return ""
+	}
+	if !t.WiFiCovers(simtime.Interval{Start: at, End: at.Add(cellDur)}) {
+		return ""
+	}
+	if n.wifiDelta(cellDur.Seconds(), wifiDur.Seconds()) <= 0 {
+		return ""
+	}
+	return power.NetworkWiFi
+}
+
+// emitScheduledDual realises knapsack assignments under dual-radio
+// operation. Assignments are grouped per slot; a Wi-Fi-attributed slot
+// batch becomes one pooled sync — every member rides a single shared
+// window at the Wi-Fi batch rate, paying one association — when the
+// batch-level gate holds, and is demoted to the cellular cursor walk
+// (identical to the single-radio path) otherwise.
+func (n *NetMaster) emitScheduledDual(p *device.Plan, t *trace.Trace, u []simtime.Interval, sched *core.Schedule, byID map[int]trace.NetworkActivity, horizon simtime.Instant) {
+	var order []int
+	groups := make(map[int][]core.Assignment)
+	for _, asg := range sched.Assignments {
+		if _, ok := groups[asg.SlotIndex]; !ok {
+			order = append(order, asg.SlotIndex)
+		}
+		groups[asg.SlotIndex] = append(groups[asg.SlotIndex], asg)
+	}
+	for _, si := range order {
+		members := groups[si]
+		slot := u[si]
+		if start, dur, ok := n.slotPool(t, slot, members, byID, horizon); ok {
+			for _, asg := range members {
+				p.Executions = append(p.Executions, device.Execution{
+					Index: asg.ActivityID, ExecStart: start, Duration: dur,
+					TailCutSecs: n.cfg.TailCutSecs, Network: power.NetworkWiFi,
+				})
+			}
+			continue
+		}
+		cur := slot.Start
+		for _, asg := range members {
+			a := byID[asg.ActivityID]
+			dur := n.cfg.Model.CompactDuration(a.Bytes())
+			if a.Kind == trace.KindPush && cur < a.Start {
+				cur = a.Start
+			}
+			if cur.Add(dur) > horizon {
+				cur = horizon.Add(-dur)
+			}
+			if a.Kind == trace.KindPush && cur < a.Start {
+				// No room after arrival; run as recorded.
+				p.Executions = append(p.Executions, device.Execution{
+					Index: asg.ActivityID, ExecStart: a.Start, TailCutSecs: n.cfg.TailCutSecs,
+					Network: n.offloadNetwork(t, a.Start, a.Duration, a.Duration),
+				})
+				continue
+			}
+			p.Executions = append(p.Executions, device.Execution{
+				Index: asg.ActivityID, ExecStart: cur, Duration: dur, TailCutSecs: n.cfg.TailCutSecs,
+			})
+			cur = cur.Add(dur)
+		}
+	}
+}
+
+// slotPool decides whether a slot's batch runs as one pooled Wi-Fi sync
+// and, if so, where. The pool starts at the slot start (after the last
+// push arrival in the batch — pushes cannot be prefetched) and moves the
+// whole batch's bytes in one window at the Wi-Fi batch rate. The gate is
+// conservative: Wi-Fi is charged a full standalone pool — association
+// and untrimmed tail — plus the forfeited wake-listen discount, while
+// cellular is credited only the batch's marginal transfer energy, as if
+// it merged with surrounding traffic for free. A pool that clears this
+// bar is cheaper in any batching context, so demotion can never make the
+// dual-radio plan worse than the cellular-only one.
+func (n *NetMaster) slotPool(t *trace.Trace, slot simtime.Interval, members []core.Assignment, byID map[int]trace.NetworkActivity, horizon simtime.Instant) (simtime.Instant, simtime.Duration, bool) {
+	if !members[0].Network.IsWiFi() {
+		return 0, 0, false
+	}
+	var totalBytes int64
+	var cellSecs float64
+	start := slot.Start
+	for _, asg := range members {
+		a := byID[asg.ActivityID]
+		totalBytes += a.Bytes()
+		cellSecs += n.cfg.Model.CompactDuration(a.Bytes()).Seconds()
+		if a.Kind == trace.KindPush && a.Start > start {
+			start = a.Start
+		}
+	}
+	dur := n.cfg.WiFi.CompactDuration(totalBytes)
+	if start.Add(dur) > horizon {
+		start = horizon.Add(-dur)
+	}
+	if start < 0 {
+		return 0, 0, false
+	}
+	for _, asg := range members {
+		a := byID[asg.ActivityID]
+		if a.Kind == trace.KindPush && start < a.Start {
+			return 0, 0, false
+		}
+	}
+	if !t.WiFiCovers(simtime.Interval{Start: start, End: start.Add(dur)}) {
+		return 0, 0, false
+	}
+	gain := n.cfg.Model.MarginalBurstEnergy(cellSecs) -
+		n.listenLossBound(cellSecs) -
+		n.cfg.WiFi.StandaloneBurstEnergy(dur.Seconds())
+	if gain <= 0 {
+		return 0, 0, false
+	}
+	return start, dur, true
 }
 
 // runDutyCycle executes the remaining screen-off activities at duty-cycle
@@ -353,8 +554,10 @@ func (n *NetMaster) runDutyCycle(p *device.Plan, t *trace.Trace, day int, dutyId
 	horizon := simtime.Instant(t.Horizon())
 	if n.cfg.DisableDutyCycle {
 		for _, i := range dutyIdx {
+			a := t.Activities[i]
 			p.Executions = append(p.Executions, device.Execution{
-				Index: i, ExecStart: t.Activities[i].Start, TailCutSecs: n.cfg.TailCutSecs,
+				Index: i, ExecStart: a.Start, TailCutSecs: n.cfg.TailCutSecs,
+				Network: n.offloadNetwork(t, a.Start, a.Duration, a.Duration),
 			})
 		}
 		return
@@ -400,7 +603,10 @@ func (n *NetMaster) runDutyCycle(p *device.Plan, t *trace.Trace, day int, dutyId
 				window.End = g.End
 			}
 			p.WakeWindows = append(p.WakeWindows, window)
-			served := false
+			// Collect everything this wake serves first: the duty batch
+			// is the offload unit, so its radio is decided as a whole.
+			var batch []dutyServe
+			var batchBytes int64
 			exec := wakeAt
 			for cursor < len(pending) && t.Activities[pending[cursor]].Start <= wakeAt {
 				i := pending[cursor]
@@ -412,15 +618,14 @@ func (n *NetMaster) runDutyCycle(p *device.Plan, t *trace.Trace, day int, dutyId
 				if exec < a.Start {
 					exec = a.Start
 				}
-				p.Executions = append(p.Executions, device.Execution{
-					Index: i, ExecStart: exec, Duration: dur, TailCutSecs: n.cfg.TailCutSecs,
-				})
+				batch = append(batch, dutyServe{idx: i, exec: exec, dur: dur})
+				batchBytes += a.Bytes()
 				handled[i] = true
 				exec = exec.Add(dur)
 				cursor++
-				served = true
 			}
-			if served {
+			n.emitWakeBatch(p, t, window, batch, batchBytes, horizon)
+			if len(batch) > 0 {
 				scheme.Reset()
 			}
 			wakeAt = window.End
@@ -448,13 +653,117 @@ func (n *NetMaster) runDutyCycle(p *device.Plan, t *trace.Trace, day int, dutyId
 			// No room to compact after arrival; run as recorded.
 			p.Executions = append(p.Executions, device.Execution{
 				Index: i, ExecStart: a.Start, TailCutSecs: n.cfg.TailCutSecs,
+				Network: n.offloadNetwork(t, a.Start, a.Duration, a.Duration),
 			})
 			continue
 		}
+		wdur := dur
+		if n.cfg.WiFi != nil {
+			wdur = n.cfg.WiFi.CompactDuration(a.Bytes())
+		}
+		net := n.offloadNetwork(t, exec, dur, wdur)
+		if net.IsWiFi() {
+			dur = wdur
+		}
 		p.Executions = append(p.Executions, device.Execution{
 			Index: i, ExecStart: exec, Duration: dur, TailCutSecs: n.cfg.TailCutSecs,
+			Network: net,
 		})
 	}
+}
+
+// dutyServe is one transfer a duty wake serves: its activity index and
+// the position it takes in the wake's cellular burst train.
+type dutyServe struct {
+	idx  int
+	exec simtime.Instant
+	dur  simtime.Duration
+}
+
+// emitWakeBatch realises one duty wake's served batch: pooled onto Wi-Fi
+// as a single shared window when the exact batch-level comparison says
+// the pool is cheaper, on the cellular burst train otherwise (bit
+// positions identical to the single-radio planner's).
+func (n *NetMaster) emitWakeBatch(p *device.Plan, t *trace.Trace, window simtime.Interval, batch []dutyServe, batchBytes int64, horizon simtime.Instant) {
+	if len(batch) == 0 {
+		return
+	}
+	if n.dualRadio(t) {
+		if start, dur, ok := n.wakePool(t, window, batch, batchBytes, horizon); ok {
+			for _, s := range batch {
+				p.Executions = append(p.Executions, device.Execution{
+					Index: s.idx, ExecStart: start, Duration: dur,
+					TailCutSecs: n.cfg.TailCutSecs, Network: power.NetworkWiFi,
+				})
+			}
+			return
+		}
+	}
+	for _, s := range batch {
+		p.Executions = append(p.Executions, device.Execution{
+			Index: s.idx, ExecStart: s.exec, Duration: s.dur, TailCutSecs: n.cfg.TailCutSecs,
+		})
+	}
+}
+
+// wakePool decides whether a duty wake's batch runs as one pooled Wi-Fi
+// sync. Unlike slot pools, the cellular side here is exact, not a bound:
+// duty batches sit alone on the cellular timeline (consecutive wakes are
+// at least the initial sleep apart, longer than the full tail train, and
+// the gap-end leftovers next to session traffic take the per-transfer
+// path), so the batch's standalone timeline energy minus the wake-listen
+// overlap it discounts is precisely what offloading relieves. The Wi-Fi
+// side pays the pooled window plus a margin for the neighbouring burst
+// that may lose its cheap from-tail promotion when the batch vanishes
+// from the cellular timeline.
+func (n *NetMaster) wakePool(t *trace.Trace, window simtime.Interval, batch []dutyServe, batchBytes int64, horizon simtime.Instant) (simtime.Instant, simtime.Duration, bool) {
+	start := batch[0].exec
+	dur := n.cfg.WiFi.CompactDuration(batchBytes)
+	if start.Add(dur) > horizon {
+		start = horizon.Add(-dur)
+	}
+	if start < 0 {
+		return 0, 0, false
+	}
+	for _, s := range batch {
+		if start < t.Activities[s.idx].Start {
+			return 0, 0, false
+		}
+	}
+	if !t.WiFiCovers(simtime.Interval{Start: start, End: start.Add(dur)}) {
+		return 0, 0, false
+	}
+
+	bursts := make([]power.Burst, len(batch))
+	ivs := make([]simtime.Interval, len(batch))
+	for i, s := range batch {
+		iv := simtime.Interval{Start: s.exec, End: s.exec.Add(s.dur)}
+		bursts[i] = power.Burst{Interval: iv, TailCutSecs: n.cfg.TailCutSecs}
+		ivs[i] = iv
+	}
+	cellCost := n.cfg.Model.EnergyOfTimeline(bursts).EnergyJ
+	if tails := n.cfg.Model.Tails; len(tails) > 0 {
+		var overlap float64
+		for _, iv := range simtime.MergeIntervals(ivs) {
+			overlap += window.Intersect(iv).Len().Seconds()
+		}
+		cellCost -= tails[len(tails)-1].PowerMW / 1000 * overlap
+	}
+
+	wifiCost := n.cfg.WiFi.EnergyOfTimeline([]power.Burst{{
+		Interval:    simtime.Interval{Start: start, End: start.Add(dur)},
+		TailCutSecs: n.cfg.TailCutSecs,
+	}}).EnergyJ
+	if len(n.cfg.Model.PromoFromTail) > 0 {
+		margin := n.cfg.Model.PromoFromIdle.Energy() - n.cfg.Model.PromoFromTail[0].Energy()
+		if margin > 0 {
+			wifiCost += margin
+		}
+	}
+	if cellCost <= wifiCost {
+		return 0, 0, false
+	}
+	return start, dur, true
 }
 
 // containsIn reports whether t lies in any interval of the sorted set.

@@ -1,0 +1,42 @@
+// Wi-Fi offload baseline: the "just use Wi-Fi when you have it" arm of
+// the dual-radio evaluation. Every activity runs exactly when and how
+// the trace recorded it — no scheduling, no batching, no tail cutting —
+// but a transfer whose whole recorded interval lies inside Wi-Fi
+// coverage moves to the Wi-Fi NIC. Its savings isolate the pure
+// energy-per-byte gap between the radios; NetMaster's dual-radio mode
+// must beat it because it applies the same offload rule on top of its
+// scheduling and duty-cycle taming.
+package policy
+
+import (
+	"netmaster/internal/device"
+	"netmaster/internal/power"
+	"netmaster/internal/simtime"
+	"netmaster/internal/trace"
+)
+
+// WiFiOffload implements device.Policy. Over a trace without coverage
+// its plan is the Baseline plan (all-cellular), so its savings are
+// exactly zero at Wi-Fi coverage 0.
+type WiFiOffload struct{}
+
+// Name implements device.Policy.
+func (WiFiOffload) Name() string { return "wifi-offload" }
+
+// Plan implements device.Policy.
+func (WiFiOffload) Plan(t *trace.Trace) (*device.Plan, error) {
+	p := &device.Plan{PolicyName: "wifi-offload", Trace: t}
+	for i, a := range t.Activities {
+		var net power.Network
+		if t.WiFiCovers(simtime.Interval{Start: a.Start, End: a.Start.Add(a.Duration)}) {
+			net = power.NetworkWiFi
+		}
+		p.Executions = append(p.Executions, device.Execution{
+			Index:       i,
+			ExecStart:   a.Start,
+			TailCutSecs: power.FullTail,
+			Network:     net,
+		})
+	}
+	return p, nil
+}

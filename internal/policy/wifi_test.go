@@ -1,0 +1,151 @@
+package policy
+
+import (
+	"reflect"
+	"testing"
+
+	"netmaster/internal/device"
+	"netmaster/internal/power"
+	"netmaster/internal/synth"
+	"netmaster/internal/trace"
+)
+
+func wifiTrace(t *testing.T, coverage float64) *trace.Trace {
+	t.Helper()
+	spec := synth.EvalCohort()[0]
+	spec.WiFiCoverage = coverage
+	tr, err := synth.Generate(spec, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return tr
+}
+
+// The headline back-compat property: enabling the Wi-Fi model over a
+// trace without coverage produces a plan byte-identical to the
+// cellular-only middleware's.
+func TestDualRadioPlanIdenticalAtZeroCoverage(t *testing.T) {
+	tr := wifiTrace(t, 0)
+	if len(tr.WiFi) != 0 {
+		t.Fatal("coverage-0 trace has wifi intervals")
+	}
+	cellOnly, err := NewNetMaster(DefaultNetMasterConfig(power.Model3G()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	dcfg := DefaultNetMasterConfig(power.Model3G())
+	dcfg.WiFi = power.ModelWiFi()
+	dual, err := NewNetMaster(dcfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := cellOnly.Plan(tr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := dual.Plan(tr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(got, want) {
+		t.Fatal("dual-radio plan at zero coverage differs from cellular-only plan")
+	}
+	// And the metrics agree whether or not the Wi-Fi model is supplied.
+	mw, err := device.ComputeMetrics(want, power.Model3G())
+	if err != nil {
+		t.Fatal(err)
+	}
+	mg, err := device.ComputeMetricsRadios(got, power.Model3G(), power.ModelWiFi())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(mg, mw) {
+		t.Fatalf("metrics diverge at zero coverage:\n got %+v\nwant %+v", mg, mw)
+	}
+}
+
+// Without coverage the offload baseline degenerates to the unmanaged
+// baseline: same executions, zero savings.
+func TestWiFiOffloadIsBaselineAtZeroCoverage(t *testing.T) {
+	tr := wifiTrace(t, 0)
+	base, err := Baseline{}.Plan(tr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	off, err := WiFiOffload{}.Plan(tr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(off.Executions, base.Executions) {
+		t.Fatal("offload executions differ from baseline at zero coverage")
+	}
+}
+
+// With coverage, offloading only ever helps: every offloaded execution
+// is attributed to Wi-Fi, and total radio energy drops below the
+// all-cellular baseline metering of the same demand.
+func TestWiFiOffloadSavesWithCoverage(t *testing.T) {
+	tr := wifiTrace(t, 0.6)
+	wifi := power.ModelWiFi()
+	base, err := device.Run(Baseline{}, tr, power.Model3G())
+	if err != nil {
+		t.Fatal(err)
+	}
+	off, err := device.RunRadios(WiFiOffload{}, tr, power.Model3G(), wifi)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if off.WiFi.EnergyJ <= 0 {
+		t.Fatal("no energy metered on wifi despite coverage")
+	}
+	saving := off.EnergySavingVs(base)
+	if saving <= 0 {
+		t.Fatalf("offload saving %v, want positive", saving)
+	}
+}
+
+// Dual-radio NetMaster attributes work to Wi-Fi under coverage and
+// undercuts both the offload-only baseline and its own cellular-only
+// configuration.
+func TestDualRadioNetMasterBeatsOffloadOnly(t *testing.T) {
+	tr := wifiTrace(t, 0.6)
+	wifi := power.ModelWiFi()
+	base, err := device.Run(Baseline{}, tr, power.Model3G())
+	if err != nil {
+		t.Fatal(err)
+	}
+	off, err := device.RunRadios(WiFiOffload{}, tr, power.Model3G(), wifi)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dcfg := DefaultNetMasterConfig(power.Model3G())
+	dcfg.WiFi = wifi
+	dual, err := NewNetMaster(dcfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dm, err := device.RunRadios(dual, tr, power.Model3G(), wifi)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if dm.WiFi.EnergyJ <= 0 {
+		t.Fatal("dual netmaster metered nothing on wifi")
+	}
+	cellOnly, err := NewNetMaster(DefaultNetMasterConfig(power.Model3G()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	cm, err := device.Run(cellOnly, tr, power.Model3G())
+	if err != nil {
+		t.Fatal(err)
+	}
+	dualSaving := dm.EnergySavingVs(base)
+	offSaving := off.EnergySavingVs(base)
+	cellSaving := cm.EnergySavingVs(base)
+	if dualSaving <= offSaving {
+		t.Errorf("dual saving %.4f not above offload-only %.4f", dualSaving, offSaving)
+	}
+	if dualSaving <= cellSaving {
+		t.Errorf("dual saving %.4f not above cellular-only %.4f", dualSaving, cellSaving)
+	}
+}

@@ -1,0 +1,53 @@
+// The Radio interface is the common face of the per-network power
+// models: the cellular RRC machine (Model) and the Wi-Fi NIC machine
+// (WiFiModel). The scheduler's profit function g(·) and the device
+// replay's timeline accounting are written against this interface, so
+// every burst can be priced on the network it actually ran on.
+package power
+
+import "netmaster/internal/simtime"
+
+// Network names the radio a transfer runs on. The empty string means
+// cellular everywhere a Network is optional, which keeps single-radio
+// plans and wire messages byte-identical to the pre-dual-radio format.
+type Network string
+
+const (
+	// NetworkCellular is the cellular RRC radio (the default).
+	NetworkCellular Network = "cellular"
+	// NetworkWiFi is the Wi-Fi NIC.
+	NetworkWiFi Network = "wifi"
+)
+
+// IsWiFi reports whether the network is Wi-Fi. Any other value —
+// including the empty default — is cellular.
+func (n Network) IsWiFi() bool { return n == NetworkWiFi }
+
+// Radio is one network's power model: burst-level energy structure
+// (promotion, active draw, post-burst hangover), volume-to-airtime
+// conversion, and full timeline accounting. Both *Model and *WiFiModel
+// implement it.
+type Radio interface {
+	// NetworkName identifies the model (e.g. "wcdma-3g", "wifi").
+	NetworkName() string
+	// StandaloneBurstEnergy is the paper's g(tj): the full cost of an
+	// isolated burst of the given active seconds, promotion and
+	// hangover included.
+	StandaloneBurstEnergy(activeSecs float64) float64
+	// MarginalBurstEnergy is the cost of the same transfer when the
+	// radio is already up and stays busy afterwards.
+	MarginalBurstEnergy(activeSecs float64) float64
+	// SavedEnergy is standalone minus marginal: the energy recovered by
+	// merging an isolated burst into an already-active period.
+	SavedEnergy(activeSecs float64) float64
+	// CompactDuration converts a batched volume into on-air time.
+	CompactDuration(bytes int64) simtime.Duration
+	// TransferSecs converts raw volumes into transfer time.
+	TransferSecs(bytesDown, bytesUp int64) float64
+	// EnergyOfTimeline runs the radio's state machine over a burst
+	// sequence, honouring per-burst tail allowances.
+	EnergyOfTimeline(bursts []Burst) Result
+}
+
+// NetworkName implements Radio for the cellular model.
+func (m *Model) NetworkName() string { return m.Name }

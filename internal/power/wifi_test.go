@@ -1,0 +1,125 @@
+package power
+
+import (
+	"math"
+	"testing"
+
+	"netmaster/internal/simtime"
+)
+
+func TestWiFiModelValidate(t *testing.T) {
+	if err := ModelWiFi().Validate(); err != nil {
+		t.Fatalf("stock wifi model invalid: %v", err)
+	}
+	bad := ModelWiFi()
+	bad.BatchBps = 0
+	if err := bad.Validate(); err == nil {
+		t.Fatal("zero batch rate accepted")
+	}
+	bad = ModelWiFi()
+	bad.ActivePowerMW = -1
+	if err := bad.Validate(); err == nil {
+		t.Fatal("negative active power accepted")
+	}
+}
+
+// Both radios implement the common interface.
+func TestRadioInterface(t *testing.T) {
+	radios := []Radio{Model3G(), ModelLTE(), ModelWiFi()}
+	for _, r := range radios {
+		if r.NetworkName() == "" {
+			t.Fatal("unnamed radio")
+		}
+		if r.StandaloneBurstEnergy(1) <= r.MarginalBurstEnergy(1) {
+			t.Fatalf("%s: standalone must exceed marginal", r.NetworkName())
+		}
+		if got := r.SavedEnergy(1); math.Abs(got-(r.StandaloneBurstEnergy(1)-r.MarginalBurstEnergy(1))) > 1e-12 {
+			t.Fatalf("%s: SavedEnergy mismatch", r.NetworkName())
+		}
+		if r.CompactDuration(1) < 1 {
+			t.Fatalf("%s: compact duration below one second", r.NetworkName())
+		}
+	}
+}
+
+// The per-byte gap the dual-radio scheduler exploits: a batched
+// kilobyte on Wi-Fi must cost an order of magnitude less than on
+// cellular.
+func TestWiFiEnergyPerByteGap(t *testing.T) {
+	cell := Model3G()
+	wifi := ModelWiFi()
+	const bytes = 1 << 20
+	cellJ := cell.MarginalBurstEnergy(float64(cell.CompactDuration(bytes)))
+	wifiJ := wifi.MarginalBurstEnergy(float64(wifi.CompactDuration(bytes)))
+	if wifiJ*5 > cellJ {
+		t.Fatalf("wifi %0.1fJ vs cellular %0.1fJ per MiB: gap below 5x", wifiJ, cellJ)
+	}
+}
+
+// Offloading a recorded burst must never cost more than running it on
+// cellular: the active draw is below the cellular DCH draw and the
+// association plus hangover overhead is below promotion plus tails.
+func TestWiFiStandaloneCheaperThanCellular(t *testing.T) {
+	cell := Model3G()
+	wifi := ModelWiFi()
+	for _, secs := range []float64{0.25, 1, 5, 30, 180} {
+		if w, c := wifi.StandaloneBurstEnergy(secs), cell.StandaloneBurstEnergy(secs); w >= c {
+			t.Fatalf("wifi standalone %0.2fJ >= cellular %0.2fJ at %v active secs", w, c, secs)
+		}
+	}
+}
+
+func TestWiFiEnergyOfTimeline(t *testing.T) {
+	w := ModelWiFi()
+
+	// A single burst with the full hangover equals the standalone cost.
+	one := []Burst{{Interval: simtime.Interval{Start: 100, End: 105}, TailCutSecs: FullTail}}
+	got := w.EnergyOfTimeline(one)
+	want := w.StandaloneBurstEnergy(5)
+	if math.Abs(got.EnergyJ-want) > 1e-9 {
+		t.Fatalf("single burst energy %0.4f, want standalone %0.4f", got.EnergyJ, want)
+	}
+	if got.Promotions != 1 {
+		t.Fatalf("single burst associations = %d, want 1", got.Promotions)
+	}
+
+	// Two bursts within the re-associate gap pay one association; two
+	// bursts beyond it pay two.
+	near := []Burst{
+		{Interval: simtime.Interval{Start: 0, End: 5}, TailCutSecs: FullTail},
+		{Interval: simtime.Interval{Start: 30, End: 35}, TailCutSecs: FullTail},
+	}
+	if r := w.EnergyOfTimeline(near); r.Promotions != 1 || r.TailPromotions != 1 {
+		t.Fatalf("near bursts: promotions=%d tail=%d, want 1/1", r.Promotions, r.TailPromotions)
+	}
+	far := []Burst{
+		{Interval: simtime.Interval{Start: 0, End: 5}, TailCutSecs: FullTail},
+		{Interval: simtime.Interval{Start: 1000, End: 1005}, TailCutSecs: FullTail},
+	}
+	if r := w.EnergyOfTimeline(far); r.Promotions != 2 {
+		t.Fatalf("far bursts: promotions=%d, want 2", r.Promotions)
+	}
+
+	// A zero tail cut shaves the hangover.
+	cut := []Burst{{Interval: simtime.Interval{Start: 0, End: 5}, TailCutSecs: 0}}
+	if r := w.EnergyOfTimeline(cut); r.TailEnergyJ != 0 {
+		t.Fatalf("cut burst tail energy %0.4f, want 0", r.TailEnergyJ)
+	}
+
+	// Empty timeline.
+	if r := w.EnergyOfTimeline(nil); r.EnergyJ != 0 {
+		t.Fatalf("empty timeline energy %0.4f", r.EnergyJ)
+	}
+}
+
+func TestWiFiIdleEnergy(t *testing.T) {
+	w := ModelWiFi()
+	got := w.IdleEnergy(simtime.Duration(1000), 200)
+	want := 800 * w.LowPowerMW / 1000
+	if math.Abs(got-want) > 1e-9 {
+		t.Fatalf("idle energy %0.4f, want %0.4f", got, want)
+	}
+	if w.IdleEnergy(simtime.Duration(10), 100) != 0 {
+		t.Fatal("idle energy must clamp at zero")
+	}
+}

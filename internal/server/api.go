@@ -28,6 +28,11 @@ import (
 type GenSpec struct {
 	User string `json:"user"`
 	Days int    `json:"days"`
+	// WiFiCoverage optionally overlays Wi-Fi AP visibility on the
+	// synthesised trace: the fraction of each day covered, in [0, 1].
+	// The overlay draws from its own seeded stream, so the demand side
+	// of the trace is byte-identical across coverage values.
+	WiFiCoverage float64 `json:"wifi_coverage,omitempty"`
 }
 
 // resolveTrace materialises the request's trace: inline wins, otherwise
@@ -46,8 +51,12 @@ func resolveTrace(tr *trace.Trace, gen *GenSpec) (*trace.Trace, *synth.UserSpec,
 	if gen.Days <= 0 {
 		return nil, nil, &apiError{Code: 400, Kind: "bad_request", Msg: "gen.days must be positive"}
 	}
+	if gen.WiFiCoverage < 0 || gen.WiFiCoverage > 1 {
+		return nil, nil, &apiError{Code: 400, Kind: "bad_request", Msg: "gen.wifi_coverage must be in [0, 1]"}
+	}
 	for _, spec := range append(synth.MotivationCohort(), synth.EvalCohort()...) {
 		if spec.ID == gen.User {
+			spec.WiFiCoverage = gen.WiFiCoverage
 			t, err := synth.Generate(spec, gen.Days)
 			if err != nil {
 				return nil, nil, err
@@ -141,6 +150,25 @@ type ProfileUpdateResponse struct {
 	Weekend       DayTypeSummary `json:"weekend"`
 }
 
+// NetworksJSON widens a schedule or simulate request to the
+// multi-network surface. Absent (the default), the request and its
+// response are byte-identical to the single-radio API.
+type NetworksJSON struct {
+	WiFi *WiFiNetworkJSON `json:"wifi,omitempty"`
+}
+
+// WiFiNetworkJSON enables the Wi-Fi NIC for a request.
+type WiFiNetworkJSON struct {
+	// Model names the NIC power model; "wifi" (the default and only
+	// value today) is the libpowertutor-derived 802.11 model.
+	Model string `json:"model,omitempty"`
+	// Coverage lists AP-visibility windows in trace-relative seconds.
+	// On /v1/schedule the packer consults it per slot: a slot whose
+	// whole interval is covered gets Wi-Fi candidates. On /v1/simulate
+	// a non-empty list overrides the trace's own recorded coverage.
+	Coverage []simtime.Interval `json:"coverage,omitempty"`
+}
+
 // ActivityJSON is one screen-off activity to schedule.
 type ActivityJSON struct {
 	ID         int     `json:"id"`
@@ -170,6 +198,11 @@ type ScheduleRequest struct {
 	Eps               float64  `json:"eps,omitempty"`
 	BandwidthBps      float64  `json:"bandwidth_bps,omitempty"`
 	PenaltyRateWattEq *float64 `json:"penalty_rate_watt_eq,omitempty"`
+	// Networks widens the packing to the dual-radio choice set: each
+	// covered slot also carries a Wi-Fi candidate and assignments gain
+	// per-decision network attribution. Nil keeps the cellular-only
+	// packing and its response bytes.
+	Networks *NetworksJSON `json:"networks,omitempty"`
 }
 
 // AssignmentJSON is one placement in the returned packing.
@@ -182,6 +215,9 @@ type AssignmentJSON struct {
 	Profit     float64          `json:"profit"`
 	Saved      float64          `json:"saved"`
 	Penalty    float64          `json:"penalty"`
+	// Network is the radio the placement targets: "wifi" on a covered
+	// slot whose Wi-Fi candidate won the packing, absent for cellular.
+	Network string `json:"network,omitempty"`
 }
 
 // ScheduleResponse is the body of a successful POST /v1/schedule.
@@ -203,8 +239,10 @@ type ScheduleResponse struct {
 type SimulateRequest struct {
 	Trace *trace.Trace `json:"trace,omitempty"`
 	Gen   *GenSpec     `json:"gen,omitempty"`
-	// Policy is baseline, netmaster, oracle, delay, batch or online
-	// (the event-driven middleware replayed over the trace).
+	// Policy is baseline, netmaster, oracle, delay, batch, online (the
+	// event-driven middleware replayed over the trace) or wifi-offload
+	// (run as recorded, covered transfers on the Wi-Fi NIC; needs the
+	// Networks block).
 	Policy string `json:"policy"`
 	Model  string `json:"model,omitempty"` // "3g" (default) or "lte"
 	// DelayIntervalSecs parameterises policy "delay" (default 600).
@@ -214,6 +252,12 @@ type SimulateRequest struct {
 	// HistoryDays, on the gen path, sizes the pre-collected history
 	// the netmaster policy mines before day 0 (default 14).
 	HistoryDays int `json:"history_days,omitempty"`
+	// Networks enables the Wi-Fi NIC: the policy may offload onto it
+	// (policies "netmaster" and "online" become dual-radio; policy
+	// "wifi-offload" requires it) and the result metrics gain a per-NIC
+	// breakdown. The baseline stays all-cellular so savings remain
+	// comparable with single-radio runs.
+	Networks *NetworksJSON `json:"networks,omitempty"`
 }
 
 // MetricsJSON flattens device.Metrics onto the wire.
@@ -236,6 +280,12 @@ type MetricsJSON struct {
 	Deferred        int     `json:"deferred"`
 	MeanDeferSecs   float64 `json:"mean_defer_secs"`
 	MaxDeferSecs    float64 `json:"max_defer_secs"`
+	// Per-NIC breakdown of EnergyJ/RadioOnSecs, present only when a
+	// dual-radio run actually metered work on the Wi-Fi NIC.
+	// WiFiAssociations counts NIC power-ups from the low-power state.
+	WiFiEnergyJ      float64 `json:"wifi_energy_j,omitempty"`
+	WiFiOnSecs       float64 `json:"wifi_on_secs,omitempty"`
+	WiFiAssociations int     `json:"wifi_associations,omitempty"`
 }
 
 func metricsJSON(m device.Metrics) MetricsJSON {
@@ -258,6 +308,10 @@ func metricsJSON(m device.Metrics) MetricsJSON {
 		Deferred:        m.Deferred,
 		MeanDeferSecs:   m.MeanDeferSecs,
 		MaxDeferSecs:    m.MaxDeferSecs,
+
+		WiFiEnergyJ:      m.WiFi.EnergyJ,
+		WiFiOnSecs:       m.WiFi.RadioOnSecs,
+		WiFiAssociations: m.WiFi.Promotions,
 	}
 }
 

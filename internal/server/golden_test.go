@@ -108,6 +108,17 @@ func TestGoldenEndpoints(t *testing.T) {
 			`{"gen": {"user": "volunteer2", "days": 7}, "policy": "netmaster"}`},
 		{"simulate_user1_delay.golden", "POST", "/v1/simulate",
 			`{"gen": {"user": "user1", "days": 7}, "policy": "delay", "delay_interval_secs": 300, "model": "lte"}`},
+		{"schedule_volunteer1_day1_wifi.golden", "POST", "/v1/schedule",
+			`{"gen": {"user": "volunteer1", "days": 14}, "day": 1,
+			   "networks": {"wifi": {"coverage": [{"Start": 0, "End": 1209600}]}},
+			   "activities": [
+			   {"id": 1, "time_secs": 97200, "bytes": 200000, "active_secs": 5},
+			   {"id": 2, "time_secs": 100800, "bytes": 50000, "active_secs": 2},
+			   {"id": 3, "time_secs": 104400, "bytes": 1000000, "active_secs": 12}]}`},
+		{"simulate_volunteer2_dual.golden", "POST", "/v1/simulate",
+			`{"gen": {"user": "volunteer2", "days": 7, "wifi_coverage": 0.6}, "policy": "netmaster", "networks": {"wifi": {}}}`},
+		{"simulate_user1_offload.golden", "POST", "/v1/simulate",
+			`{"gen": {"user": "user1", "days": 7, "wifi_coverage": 0.8}, "policy": "wifi-offload", "networks": {"wifi": {"model": "wifi"}}}`},
 		{"healthz.golden", "GET", "/healthz", ""},
 	}
 
@@ -169,6 +180,28 @@ func TestGoldenErrors(t *testing.T) {
 		}
 		checkGolden(t, tc.golden, b)
 	}
+}
+
+// TestScheduleWiFiAttribution: a networks block whose coverage spans
+// every slot must surface per-decision attribution — at least one
+// assignment targets the Wi-Fi NIC — while the same request without the
+// block stays byte-identical to the single-radio golden.
+func TestScheduleWiFiAttribution(t *testing.T) {
+	_, ts, _ := testServer(t, nil)
+	acts := `"day": 1, "activities": [
+	  {"id": 1, "time_secs": 97200, "bytes": 200000, "active_secs": 5},
+	  {"id": 2, "time_secs": 100800, "bytes": 50000, "active_secs": 2},
+	  {"id": 3, "time_secs": 104400, "bytes": 1000000, "active_secs": 12}]`
+	dual := post(t, ts, "/v1/schedule",
+		`{"gen": {"user": "volunteer1", "days": 14}, "networks": {"wifi": {"coverage": [{"Start": 0, "End": 1209600}]}}, `+acts+`}`)
+	if !bytes.Contains(dual, []byte(`"network": "wifi"`)) {
+		t.Errorf("full-coverage schedule carries no wifi attribution:\n%s", dual)
+	}
+	plain := post(t, ts, "/v1/schedule", `{"gen": {"user": "volunteer1", "days": 14}, `+acts+`}`)
+	if bytes.Contains(plain, []byte(`"network"`)) {
+		t.Errorf("single-radio schedule leaked a network field:\n%s", plain)
+	}
+	checkGolden(t, "schedule_volunteer1_day1.golden", plain)
 }
 
 // TestScheduleProfileIDEqualsInline: scheduling against a cached

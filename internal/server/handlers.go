@@ -30,6 +30,39 @@ func powerModel(name string) (*power.Model, error) {
 	}
 }
 
+// wifiNetwork resolves a request's optional Networks block to the NIC
+// power model and its merged coverage windows. A nil block means the
+// request stays on the single-radio surface.
+func wifiNetwork(n *NetworksJSON) (*power.WiFiModel, []simtime.Interval, error) {
+	if n == nil || n.WiFi == nil {
+		return nil, nil, nil
+	}
+	switch n.WiFi.Model {
+	case "", "wifi":
+	default:
+		return nil, nil, &apiError{Code: http.StatusBadRequest, Kind: "bad_request",
+			Msg: fmt.Sprintf("unknown wifi model %q (want wifi)", n.WiFi.Model)}
+	}
+	for _, iv := range n.WiFi.Coverage {
+		if iv.End < iv.Start {
+			return nil, nil, &apiError{Code: http.StatusBadRequest, Kind: "bad_request",
+				Msg: fmt.Sprintf("inverted wifi coverage window %v", iv)}
+		}
+	}
+	return power.ModelWiFi(), simtime.MergeIntervals(n.WiFi.Coverage), nil
+}
+
+// coversAll reports whether the merged window set contains the whole
+// interval.
+func coversAll(ivs []simtime.Interval, iv simtime.Interval) bool {
+	for _, w := range ivs {
+		if w.Start <= iv.Start && iv.End <= w.End {
+			return true
+		}
+	}
+	return false
+}
+
 func habitConfig(mc *MineConfig) habit.Config {
 	cfg := habit.DefaultConfig()
 	if mc == nil {
@@ -188,6 +221,24 @@ func (s *Server) scheduleOne(ctx context.Context, req *ScheduleRequest) (*Schedu
 	ccfg.ProbSlotWidth = profile.SlotWidth
 	ccfg.SavedEnergy = func(a core.Activity) float64 { return model.SavedEnergy(a.ActiveSecs) }
 	ccfg.UseProb = profile.UseProbAt
+	wifi, wifiCov, err := wifiNetwork(req.Networks)
+	if err != nil {
+		return nil, false, err
+	}
+	if wifi != nil {
+		// Pooled-optimistic Wi-Fi profit, mirroring the offline policy:
+		// cellular is credited its marginal burst, Wi-Fi charged only a
+		// fractional share of a pooled sync — execution-time gates do the
+		// conservative demotion.
+		ccfg.WiFiSavedEnergy = func(a core.Activity) float64 {
+			cellSecs := model.CompactDuration(a.Bytes).Seconds()
+			pooledSecs := float64(a.Bytes) / wifi.BatchBps
+			return model.SavedEnergy(a.ActiveSecs) +
+				model.MarginalBurstEnergy(cellSecs) -
+				wifi.MarginalBurstEnergy(pooledSecs)
+		}
+		ccfg.WiFiAvailable = func(slot simtime.Interval) bool { return coversAll(wifiCov, slot) }
+	}
 	sched, err := core.New(ccfg)
 	if err != nil {
 		return nil, false, &apiError{Code: http.StatusBadRequest, Kind: "bad_config", Msg: err.Error()}
@@ -233,6 +284,7 @@ func (s *Server) scheduleOne(ctx context.Context, req *ScheduleRequest) (*Schedu
 			Profit:     asg.Profit,
 			Saved:      asg.Saved,
 			Penalty:    asg.Penalty,
+			Network:    string(asg.Network),
 		}
 	}
 	if resp.Unscheduled == nil {
@@ -271,6 +323,19 @@ func (s *Server) handleSimulate(w http.ResponseWriter, r *http.Request) error {
 	if err != nil {
 		return err
 	}
+	wifi, wifiCov, err := wifiNetwork(req.Networks)
+	if err != nil {
+		return err
+	}
+	if len(wifiCov) > 0 {
+		// The request's coverage windows override whatever the trace
+		// recorded.
+		t = t.Clone()
+		t.WiFi = wifiCov
+		if verr := t.Validate(); verr != nil {
+			return &apiError{Code: http.StatusBadRequest, Kind: "bad_trace", Msg: verr.Error()}
+		}
+	}
 
 	var p device.Policy
 	switch req.Policy {
@@ -278,6 +343,7 @@ func (s *Server) handleSimulate(w http.ResponseWriter, r *http.Request) error {
 		p = nil
 	case "netmaster":
 		cfg := policy.DefaultNetMasterConfig(model)
+		cfg.WiFi = wifi
 		if spec != nil {
 			days := req.HistoryDays
 			if days == 0 {
@@ -305,17 +371,29 @@ func (s *Server) handleSimulate(w http.ResponseWriter, r *http.Request) error {
 		}
 		p, err = policy.NewBatch(size, 0)
 	case "online":
-		res, rerr := middleware.Replay(t, middleware.DefaultReplayConfig(model))
+		rc := middleware.DefaultReplayConfig(model)
+		rc.WiFi = wifi
+		res, rerr := middleware.Replay(t, rc)
 		if rerr != nil {
 			return &apiError{Code: http.StatusBadRequest, Kind: "simulate_failed", Msg: rerr.Error()}
 		}
 		p = &plannedPolicy{name: res.Plan.PolicyName, plan: res.Plan}
+	case "wifi-offload":
+		if wifi == nil {
+			return &apiError{Code: http.StatusBadRequest, Kind: "bad_request",
+				Msg: "policy wifi-offload needs a networks.wifi block"}
+		}
+		p = policy.WiFiOffload{}
 	default:
 		return &apiError{Code: http.StatusBadRequest, Kind: "bad_request",
-			Msg: fmt.Sprintf("unknown policy %q (want baseline, netmaster, oracle, delay, batch or online)", req.Policy)}
+			Msg: fmt.Sprintf("unknown policy %q (want baseline, netmaster, oracle, delay, batch, online or wifi-offload)", req.Policy)}
 	}
 	if err != nil {
 		return &apiError{Code: http.StatusBadRequest, Kind: "bad_config", Msg: err.Error()}
+	}
+
+	if wifi != nil {
+		return s.simulateDual(w, r, req, t, model, wifi, p)
 	}
 
 	// CompareCtx runs the baseline then the policy, honouring the
@@ -341,6 +419,37 @@ func (s *Server) handleSimulate(w http.ResponseWriter, r *http.Request) error {
 		Result:        metricsJSON(res.Metrics),
 		EnergySaving:  res.EnergySaving,
 		RadioOnSaving: res.RadioOnSaving,
+	})
+}
+
+// simulateDual answers a simulate request with the Wi-Fi NIC enabled:
+// the baseline stays the unmanaged all-cellular replay — so savings are
+// comparable across single- and dual-radio requests — while the policy
+// runs under both radio models and its metrics carry the per-NIC
+// breakdown.
+func (s *Server) simulateDual(w http.ResponseWriter, r *http.Request, req SimulateRequest, t *trace.Trace, model *power.Model, wifi *power.WiFiModel, p device.Policy) error {
+	base, err := device.Run(policy.Baseline{}, t, model)
+	if err != nil {
+		return &apiError{Code: http.StatusBadRequest, Kind: "simulate_failed", Msg: err.Error()}
+	}
+	if r.Context().Err() != nil {
+		return r.Context().Err()
+	}
+	res := base
+	if p != nil {
+		res, err = device.RunRadios(p, t, model, wifi)
+		if err != nil {
+			return &apiError{Code: http.StatusBadRequest, Kind: "simulate_failed", Msg: err.Error()}
+		}
+	}
+	return writeJSON(w, http.StatusOK, SimulateResponse{
+		UserID:        t.UserID,
+		Days:          t.Days,
+		Model:         model.Name,
+		Baseline:      metricsJSON(base),
+		Result:        metricsJSON(res),
+		EnergySaving:  res.EnergySavingVs(base),
+		RadioOnSaving: res.RadioOnSavingVs(base),
 	})
 }
 

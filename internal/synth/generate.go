@@ -35,6 +35,9 @@ func Generate(spec UserSpec, days int) (*trace.Trace, error) {
 	for day := 0; day < days; day++ {
 		g.generateDay(day)
 	}
+	// The coverage overlay draws from its own seeded generator so the
+	// demand stream above never shifts with the coverage fraction.
+	g.out.WiFi = WiFiOverlay(spec.Seed, g.out.Horizon(), spec.WiFiCoverage, spec.WiFiMeanOnSecs)
 	g.out.Normalize()
 	if err := g.out.Validate(); err != nil {
 		return nil, fmt.Errorf("synth: generated invalid trace: %w", err)

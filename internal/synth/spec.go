@@ -98,6 +98,18 @@ type UserSpec struct {
 	// (the paper: 90% below 5 kB/s).
 	OnRateBps float64
 
+	// WiFiCoverage is the long-run fraction of time the user sits
+	// inside Wi-Fi coverage (home and office APs). Zero — the default —
+	// generates a cellular-only trace identical to the pre-dual-radio
+	// output. The coverage overlay draws from its own generator derived
+	// from Seed, so changing the coverage never perturbs the demand
+	// events: the same spec at any coverage produces byte-identical
+	// sessions, activities and interactions.
+	WiFiCoverage float64 `json:",omitempty"`
+	// WiFiMeanOnSecs is the mean length of one coverage window (zero
+	// means the 2-hour default: a dwell at home or at a desk).
+	WiFiMeanOnSecs float64 `json:",omitempty"`
+
 	Apps []AppSpec
 }
 
@@ -117,6 +129,12 @@ func (u *UserSpec) Validate() error {
 	}
 	if u.OffBurstSecs <= 0 || u.OnRateBps <= 0 {
 		return fmt.Errorf("synth: user %s: non-positive burst length or rate", u.ID)
+	}
+	if u.WiFiCoverage < 0 || u.WiFiCoverage > 1 {
+		return fmt.Errorf("synth: user %s: WiFiCoverage outside [0,1]", u.ID)
+	}
+	if u.WiFiMeanOnSecs < 0 {
+		return fmt.Errorf("synth: user %s: negative WiFiMeanOnSecs", u.ID)
 	}
 	if len(u.Apps) == 0 {
 		return fmt.Errorf("synth: user %s: no apps", u.ID)

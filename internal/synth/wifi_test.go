@@ -1,0 +1,74 @@
+package synth
+
+import (
+	"math"
+	"reflect"
+	"testing"
+
+	"netmaster/internal/simtime"
+)
+
+// The coverage overlay must not perturb the demand stream: the same
+// spec at any coverage produces byte-identical sessions, activities
+// and interactions.
+func TestWiFiOverlayLeavesDemandUnchanged(t *testing.T) {
+	spec := EvalCohort()[0]
+	base, err := Generate(spec, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, c := range []float64{0.2, 0.5, 1.0} {
+		s := spec
+		s.WiFiCoverage = c
+		got, err := Generate(s, 7)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !reflect.DeepEqual(got.Sessions, base.Sessions) ||
+			!reflect.DeepEqual(got.Activities, base.Activities) ||
+			!reflect.DeepEqual(got.Interactions, base.Interactions) {
+			t.Fatalf("coverage %v perturbed the demand stream", c)
+		}
+		if c > 0 && len(got.WiFi) == 0 {
+			t.Fatalf("coverage %v produced no wifi intervals", c)
+		}
+	}
+}
+
+func TestWiFiOverlayEdgeCoverages(t *testing.T) {
+	h := 7 * simtime.Day
+	if got := WiFiOverlay(1, h, 0, 0); got != nil {
+		t.Fatalf("coverage 0 must be nil, got %v", got)
+	}
+	full := WiFiOverlay(1, h, 1, 0)
+	if len(full) != 1 || full[0].Start != 0 || full[0].End != simtime.Instant(h) {
+		t.Fatalf("coverage 1 must span the horizon, got %v", full)
+	}
+}
+
+// The realised coverage fraction lands near the asked one, and the
+// overlay is deterministic in the seed.
+func TestWiFiOverlayCoverageFraction(t *testing.T) {
+	h := 28 * simtime.Day
+	for _, c := range []float64{0.2, 0.5, 0.8} {
+		ivs := WiFiOverlay(42, h, c, 0)
+		var on simtime.Duration
+		for i, iv := range ivs {
+			if iv.IsEmpty() {
+				t.Fatalf("empty interval at %d", i)
+			}
+			if i > 0 && iv.Start < ivs[i-1].End {
+				t.Fatalf("overlapping intervals at %d", i)
+			}
+			on += iv.Len()
+		}
+		got := on.Seconds() / h.Seconds()
+		if math.Abs(got-c) > 0.15 {
+			t.Fatalf("asked coverage %v realised %0.3f", c, got)
+		}
+		again := WiFiOverlay(42, h, c, 0)
+		if !reflect.DeepEqual(ivs, again) {
+			t.Fatalf("overlay not deterministic at coverage %v", c)
+		}
+	}
+}

@@ -10,6 +10,8 @@ import (
 	"fmt"
 	"io"
 	"os"
+
+	"netmaster/internal/simtime"
 )
 
 // MarshalJSON encodes the kind as its string name.
@@ -47,6 +49,9 @@ type headerRecord struct {
 	UserID        string  `json:"user_id"`
 	Days          int     `json:"days"`
 	InstalledApps []AppID `json:"installed_apps"`
+	// WiFi carries the coverage intervals; omitted for cellular-only
+	// traces so pre-dual-radio files round-trip byte-identically.
+	WiFi []simtime.Interval `json:"wifi,omitempty"`
 }
 
 // Write serializes the trace to w in the line-oriented format.
@@ -57,6 +62,7 @@ func Write(w io.Writer, t *Trace) error {
 		UserID:        t.UserID,
 		Days:          t.Days,
 		InstalledApps: t.InstalledApps,
+		WiFi:          t.WiFi,
 	}}); err != nil {
 		return fmt.Errorf("trace: writing header: %w", err)
 	}
@@ -107,6 +113,7 @@ func Read(r io.Reader) (*Trace, error) {
 			t.UserID = rec.Header.UserID
 			t.Days = rec.Header.Days
 			t.InstalledApps = rec.Header.InstalledApps
+			t.WiFi = rec.Header.WiFi
 		case "session":
 			if rec.Session == nil {
 				return nil, fmt.Errorf("trace: line %d: session record missing body", line)

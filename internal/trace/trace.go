@@ -123,6 +123,11 @@ type Trace struct {
 	Sessions      []ScreenSession   `json:"sessions"`
 	Activities    []NetworkActivity `json:"activities"`
 	Interactions  []Interaction     `json:"interactions"`
+	// WiFi lists the intervals during which the device sat inside Wi-Fi
+	// coverage, sorted and non-overlapping. An empty list means the
+	// device was cellular-only for the whole trace — the pre-dual-radio
+	// format, which therefore round-trips byte-identically.
+	WiFi []simtime.Interval `json:"wifi,omitempty"`
 }
 
 // Horizon returns the trace length as a duration.
@@ -146,6 +151,9 @@ func (t *Trace) Normalize() {
 	sort.Slice(t.Interactions, func(i, j int) bool {
 		return t.Interactions[i].Time < t.Interactions[j].Time
 	})
+	if len(t.WiFi) > 0 {
+		t.WiFi = simtime.MergeIntervals(t.WiFi)
+	}
 }
 
 // Validate checks the structural invariants the rest of the system relies
@@ -196,7 +204,62 @@ func (t *Trace) Validate() error {
 		}
 		prevTime = ia.Time
 	}
+	var prevWiFiEnd simtime.Instant
+	for i, iv := range t.WiFi {
+		if iv.IsEmpty() {
+			return fmt.Errorf("trace %q: empty wifi interval %d %v", t.UserID, i, iv)
+		}
+		if iv.Start < 0 || iv.End > horizon {
+			return fmt.Errorf("trace %q: wifi interval %d %v outside horizon", t.UserID, i, iv)
+		}
+		if i > 0 && iv.Start < prevWiFiEnd {
+			return fmt.Errorf("trace %q: wifi intervals %d and %d overlap or are unsorted", t.UserID, i-1, i)
+		}
+		prevWiFiEnd = iv.End
+	}
 	return nil
+}
+
+// WiFiAt reports whether the device has Wi-Fi coverage at instant ti.
+func (t *Trace) WiFiAt(ti simtime.Instant) bool {
+	idx := sort.Search(len(t.WiFi), func(i int) bool {
+		return t.WiFi[i].Start > ti
+	}) - 1
+	if idx < 0 {
+		return false
+	}
+	return t.WiFi[idx].Contains(ti)
+}
+
+// WiFiCovers reports whether the whole interval lies inside one Wi-Fi
+// coverage window — the availability test a scheduler must pass before
+// placing a transfer on Wi-Fi.
+func (t *Trace) WiFiCovers(iv simtime.Interval) bool {
+	if iv.IsEmpty() {
+		return t.WiFiAt(iv.Start)
+	}
+	idx := sort.Search(len(t.WiFi), func(i int) bool {
+		return t.WiFi[i].Start > iv.Start
+	}) - 1
+	if idx < 0 {
+		return false
+	}
+	w := t.WiFi[idx]
+	return w.Start <= iv.Start && iv.End <= w.End
+}
+
+// WiFiCoverageFraction returns the fraction of the trace horizon spent
+// inside Wi-Fi coverage.
+func (t *Trace) WiFiCoverageFraction() float64 {
+	h := t.Horizon().Seconds()
+	if h <= 0 {
+		return 0
+	}
+	var covered simtime.Duration
+	for _, iv := range t.WiFi {
+		covered += iv.Len()
+	}
+	return covered.Seconds() / h
 }
 
 // ScreenOnAt reports whether the screen is on at instant ti.
@@ -389,6 +452,9 @@ func (t *Trace) Clone() *Trace {
 	out.Sessions = append([]ScreenSession(nil), t.Sessions...)
 	out.Activities = append([]NetworkActivity(nil), t.Activities...)
 	out.Interactions = append([]Interaction(nil), t.Interactions...)
+	if len(t.WiFi) > 0 {
+		out.WiFi = append([]simtime.Interval(nil), t.WiFi...)
+	}
 	return out
 }
 
@@ -426,6 +492,9 @@ func Append(history, current *Trace) (*Trace, error) {
 	for _, ia := range current.Interactions {
 		ia.Time += shift
 		out.Interactions = append(out.Interactions, ia)
+	}
+	for _, iv := range current.WiFi {
+		out.WiFi = append(out.WiFi, simtime.Interval{Start: iv.Start + shift, End: iv.End + shift})
 	}
 	out.Normalize()
 	if err := out.Validate(); err != nil {
@@ -474,6 +543,17 @@ func (t *Trace) PrefixDays(k int) *Trace {
 		}
 		out.Interactions = append(out.Interactions, ia)
 	}
+	for _, iv := range t.WiFi {
+		if iv.Start >= cut {
+			break
+		}
+		if iv.End > cut {
+			iv.End = cut
+		}
+		if !iv.IsEmpty() {
+			out.WiFi = append(out.WiFi, iv)
+		}
+	}
 	return out
 }
 
@@ -509,6 +589,16 @@ func (t *Trace) DayView(day int) *Trace {
 		}
 		ia.Time -= shift
 		out.Interactions = append(out.Interactions, ia)
+	}
+	for _, w := range t.WiFi {
+		clipped := w.Intersect(iv)
+		if clipped.IsEmpty() {
+			continue
+		}
+		out.WiFi = append(out.WiFi, simtime.Interval{
+			Start: clipped.Start - shift,
+			End:   clipped.End - shift,
+		})
 	}
 	return out
 }

@@ -315,6 +315,60 @@ var (
 	ComputeMetrics = device.ComputeMetrics
 )
 
+// ===== Subsystem: dual-radio Wi-Fi offload =====
+
+// Dual-radio scheduling: a Wi-Fi NIC power model next to the cellular
+// RRC machine, per-slot network availability on traces, and policies
+// that co-optimise when and on which radio each batch runs. Coverage 0
+// (or a nil WiFiModel anywhere one is optional) reproduces the
+// cellular-only plans byte for byte.
+type (
+	// WiFiModel is the Wi-Fi NIC power model: association cost,
+	// high/low power states and the batch transfer rate.
+	WiFiModel = power.WiFiModel
+	// Radio is the interface both radio models implement — the paper's
+	// g(·) burst-energy accounting per network.
+	Radio = power.Radio
+	// Network names the radio an execution ran on.
+	Network = power.Network
+	// NetworkAvailability is a set of coverage windows, as carried by
+	// Trace.WiFi: merged, non-overlapping, chronological intervals
+	// during which the Wi-Fi NIC is usable.
+	NetworkAvailability = []simtime.Interval
+	// WiFiOffloadPolicy is the offload-only baseline: transfers run as
+	// recorded, covered ones on the Wi-Fi NIC.
+	WiFiOffloadPolicy = policy.WiFiOffload
+	// WiFiSweepRow is one coverage point of the dual-radio evaluation
+	// sweep.
+	WiFiSweepRow = eval.WiFiRow
+)
+
+// Radio networks.
+const (
+	// NetworkCellular is the cellular RRC radio (the default; the
+	// zero-value Network means cellular too).
+	NetworkCellular = power.NetworkCellular
+	// NetworkWiFi is the Wi-Fi NIC.
+	NetworkWiFi = power.NetworkWiFi
+)
+
+// Dual-radio entry points. Dual-radio NetMaster is configured, not
+// separately constructed: set NetMasterConfig.WiFi and the scheduler
+// widens each slot to per-network choices; OnlineReplayConfig.WiFi does
+// the same for the online middleware's pooled deferral batches.
+var (
+	// ModelWiFi is the stock Wi-Fi NIC model.
+	ModelWiFi = power.ModelWiFi
+	// RunRadios replays a policy over a trace metering both radios;
+	// Metrics.WiFi carries the NIC's energy accounting.
+	RunRadios = device.RunRadios
+	// WiFiSweep evaluates offload-only, cellular-only NetMaster and
+	// dual-radio NetMaster across Wi-Fi coverage fractions.
+	WiFiSweep = eval.WiFiSweep
+	// DefaultWiFiCoverageSweep is the coverage figure's x-axis.
+	DefaultWiFiCoverageSweep = eval.DefaultWiFiCoverageSweep
+)
+
 // ===== Subsystem: evaluation harness =====
 
 // Evaluation harness (figure reproduction).
@@ -601,6 +655,12 @@ type (
 	FleetReportResponse = server.FleetReportResponse
 	// GenSpec asks the daemon to synthesise a cohort trace server-side.
 	GenSpec = server.GenSpec
+	// NetworksJSON is the optional multi-network block of schedule and
+	// simulate requests; WiFiNetworkJSON configures its Wi-Fi arm.
+	// Requests without one are answered byte-identically to before the
+	// block existed.
+	NetworksJSON    = server.NetworksJSON
+	WiFiNetworkJSON = server.WiFiNetworkJSON
 	// ServerStoreStatus summarises the durable state layer on /healthz
 	// when the daemon runs with a state directory.
 	ServerStoreStatus = server.StoreStatus
